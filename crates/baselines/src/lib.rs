@@ -1,0 +1,42 @@
+//! # cmdl-baselines
+//!
+//! The baseline discovery systems the paper compares CMDL against
+//! (Section 6, "Baselines"):
+//!
+//! * [`elastic`] — keyword-search baselines over the tabular columns: BM25
+//!   and LM-Dirichlet over content ∪ schema, and BM25 over content-only /
+//!   schema-only (the four "Elastic" labels of Figure 6).
+//! * [`containment`] — the sketch-based containment-search baseline
+//!   (MinHash + LSH Ensemble), threshold-based as in the original LSH
+//!   Ensemble system.
+//! * [`entity`] — entity-matching baselines in the spirit of SpaCy /
+//!   SciSpaCy: extract entity-like mentions from documents and table tuples
+//!   and match them with Jaccard or Jaro similarity; a "fine-tuned" mode is
+//!   primed with the domain vocabulary (mirroring SciSpaCy on PubMed).
+//! * [`aurum`] — the Aurum system for structured-data discovery: Jaccard
+//!   similarity + schema similarity edges, PK-FK based on Jaccard inclusion,
+//!   unionability as the maximum of schema and value similarity.
+//! * [`d3l`] — the D3L system: multiple hash-based similarity signals per
+//!   column pair combined at query time with a weighted Euclidean score;
+//!   union candidates obtained per-measure and then combined.
+//!
+//! All baselines operate on the same [`ProfiledLake`](cmdl_core::ProfiledLake)
+//! CMDL uses, so comparisons isolate the *method* differences rather than
+//! preprocessing differences — mirroring the paper's setup where all systems
+//! see the same lake.
+
+pub mod aurum;
+pub mod containment;
+pub mod d3l;
+pub mod elastic;
+pub mod entity;
+
+pub use aurum::Aurum;
+pub use containment::ContainmentSearch;
+pub use d3l::D3l;
+pub use elastic::{ElasticBaseline, ElasticVariant};
+pub use entity::{EntityMatcher, EntityMetric};
+
+/// A table-level discovery answer shared by all baselines: table name plus
+/// relevance score, sorted descending by the caller.
+pub type TableAnswer = (String, f64);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the CMDL index probes (supports Table 6):
+//! BM25 content search, LSH-Ensemble containment search, and ANN semantic
+//! search — the three labeling-function probes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cmdl_bench::{bench_config, build_system};
+use cmdl_datalake::synth::{self, PharmaConfig};
+use cmdl_index::ScoringFunction;
+
+fn index_benches(c: &mut Criterion) {
+    let config = bench_config();
+    let lake = synth::pharma::generate(&PharmaConfig::tiny()).lake;
+    let cmdl = build_system(lake);
+    let doc_id = cmdl.profiled.doc_ids[0];
+    let profile = cmdl.profiled.profile(doc_id).expect("profiled").clone();
+    let k = config.label_probe_top_k;
+
+    c.bench_function("bm25_content_probe", |b| {
+        b.iter(|| {
+            cmdl.indexes.content_search(
+                &cmdl.profiled,
+                &profile.content,
+                Some(cmdl_datalake::DeKind::Column),
+                k,
+                ScoringFunction::default(),
+            )
+        })
+    });
+
+    c.bench_function("lshensemble_containment_probe", |b| {
+        b.iter(|| cmdl.indexes.containment_search(&profile.minhash, k))
+    });
+
+    c.bench_function("ann_semantic_probe", |b| {
+        b.iter(|| cmdl.indexes.solo_search(&profile.solo.content, k))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = index_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the CMDL profiler (supports Figure 8):
+//! structured-column profiling and unstructured-document transformation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cmdl_bench::bench_config;
+use cmdl_core::Profiler;
+use cmdl_datalake::synth::{self, PharmaConfig};
+use cmdl_datalake::DeId;
+use cmdl_text::{Pipeline, PipelineConfig};
+
+fn profiler_benches(c: &mut Criterion) {
+    let config = bench_config();
+    let profiler = Profiler::new(&config);
+    let lake = synth::pharma::generate(&PharmaConfig::tiny()).lake;
+    let table = lake.table("Drugs").expect("exists").clone();
+    let doc = lake.documents()[0].clone();
+    let pipeline = Pipeline::new(PipelineConfig::default());
+
+    c.bench_function("profile_column_drugs_name", |b| {
+        b.iter(|| profiler.profile_column(DeId(0), "Drugs", &table.columns[1], table.num_rows()))
+    });
+
+    c.bench_function("document_nlp_to_bow", |b| {
+        b.iter(|| pipeline.process(&doc.text))
+    });
+
+    c.bench_function("profile_tiny_pharma_lake", |b| {
+        b.iter_batched(
+            || synth::pharma::generate(&PharmaConfig::tiny()).lake,
+            |lake| profiler.profile_lake(lake),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = profiler_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Figure 10: impact of the triplet-generation parameters on the joint-model
+//! training — (a) mini-batch size vs epochs/time to converge, (b) hard-
+//! sampling strategy vs training time and model error, (c) triplet-loss
+//! margin vs model error.
+
+use cmdl_bench::{bench_config, emit, pharma_lake};
+use cmdl_core::{
+    CmdlConfig, HardSampling, IndexCatalog, JointTrainer, Profiler, TrainingDatasetGenerator,
+};
+use cmdl_eval::{ExperimentReport, MethodResult};
+
+fn train_with(config: &CmdlConfig) -> (usize, f64, f64, usize) {
+    let synth = pharma_lake();
+    let profiler = Profiler::new(config);
+    let profiled = profiler.profile_lake(synth.lake);
+    let indexes = IndexCatalog::build(&profiled, config);
+    let (dataset, _) = TrainingDatasetGenerator::new(&profiled, &indexes, config).generate(None, None);
+    let (_, report) = JointTrainer::new(config).train(&profiled, &dataset);
+    (
+        report.epochs,
+        report.duration.as_secs_f64(),
+        report.error_rate,
+        report.triplets_last_epoch,
+    )
+}
+
+fn main() {
+    let base = bench_config();
+
+    // (a) Mini-batch size.
+    let mut report_a = ExperimentReport::new(
+        "Figure 10a",
+        "Impact of the mini-batch matrix size (as % of the training DEs) on convergence: \
+         epochs and wall-clock seconds until the loss delta falls below the threshold.",
+    );
+    for ratio in [0.02f64, 0.05, 0.08, 0.12, 0.16] {
+        let config = CmdlConfig {
+            mini_batch_ratio: ratio,
+            ..base.clone()
+        };
+        let (epochs, secs, _, _) = train_with(&config);
+        report_a.push(
+            MethodResult::new(format!("batch {:.0}%", ratio * 100.0))
+                .with("epochs", epochs as f64)
+                .with("time_sec", secs),
+        );
+    }
+    emit(&report_a);
+
+    // (b) Hard-sampling strategy (fixed epoch budget).
+    let mut report_b = ExperimentReport::new(
+        "Figure 10b",
+        "Impact of the hard-sampling strategy on training time and model error % \
+         (fixed epoch budget): average-based cutoff, median-based cutoff, and disabled \
+         (all positive x negative combinations).",
+    );
+    for (label, strategy) in [
+        ("Average-based threshold", HardSampling::Average),
+        ("Median-based threshold", HardSampling::Median),
+        ("Disabled hard sampling", HardSampling::Disabled),
+    ] {
+        let config = CmdlConfig {
+            hard_sampling: strategy,
+            max_epochs: 30,
+            convergence_delta: 0.0, // force the fixed budget
+            ..base.clone()
+        };
+        let (_, secs, error, triplets) = train_with(&config);
+        report_b.push(
+            MethodResult::new(label)
+                .with("time_sec", secs)
+                .with("model_error_%", error * 100.0)
+                .with("triplets_per_epoch", triplets as f64),
+        );
+    }
+    emit(&report_b);
+
+    // (c) Triplet-loss margin.
+    let mut report_c = ExperimentReport::new(
+        "Figure 10c",
+        "Impact of the triplet-loss margin (beta) on the model error %.",
+    );
+    for margin in [0.05f32, 0.1, 0.2, 0.3, 0.4, 0.6] {
+        let config = CmdlConfig {
+            triplet_margin: margin,
+            max_epochs: 40,
+            ..base.clone()
+        };
+        let (_, _, error, _) = train_with(&config);
+        report_c.push(
+            MethodResult::new(format!("beta = {margin}"))
+                .with("model_error_%", error * 100.0),
+        );
+    }
+    emit(&report_c);
+}

@@ -1,0 +1,102 @@
+//! Figure 6: effectiveness of cross-modality (Doc→Table) discovery on
+//! Benchmarks 1A, 1B, and 1C — precision/recall for the CMDL variants and all
+//! keyword/containment/entity-matching baselines across a top-k sweep.
+
+use cmdl_bench::{bench_config, emit, mlopen_lake, pharma_lake, ukopen_lake};
+use cmdl_core::Cmdl;
+use cmdl_datalake::benchmarks::doc_to_table_benchmark;
+use cmdl_datalake::synth::{MlOpenScale, SyntheticLake};
+use cmdl_datalake::BenchmarkId;
+use cmdl_eval::{evaluate_doc2table, Doc2TableMethod, ExperimentReport, MethodResult};
+use cmdl_weaklabel::GoldLabel;
+
+fn gold_labels(cmdl: &Cmdl, synth: &SyntheticLake, ratio: f64) -> Vec<GoldLabel> {
+    // Gold labels: a small fraction of the ground truth, expressed as
+    // (document, column) pairs with positive/negative labels.
+    let mut gold = Vec::new();
+    let take = ((synth.truth.doc_to_table.len() as f64 * ratio).ceil() as usize).max(1);
+    for (doc_idx, tables) in synth.truth.doc_to_table.iter().take(take) {
+        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else { continue };
+        for table in tables.iter().take(2) {
+            for col in cmdl.profiled.columns_of_table(table).into_iter().take(1) {
+                gold.push(GoldLabel::new(doc_id.raw(), col.raw(), true));
+            }
+        }
+        // A negative from an unrelated table.
+        for table in cmdl.profiled.lake.tables() {
+            if !tables.contains(&table.name) {
+                if let Some(col) = cmdl.profiled.columns_of_table(&table.name).first() {
+                    gold.push(GoldLabel::new(doc_id.raw(), col.raw(), false));
+                }
+                break;
+            }
+        }
+    }
+    gold
+}
+
+fn run_benchmark(label: &str, id: BenchmarkId, synth: SyntheticLake, ks: &[usize]) {
+    let benchmark = doc_to_table_benchmark(id, &synth);
+    let mut cmdl = Cmdl::build(synth.lake.clone(), bench_config());
+
+    let mut report = ExperimentReport::new(
+        format!("Figure 6 - Benchmark {label}"),
+        format!(
+            "Doc→Table precision/recall at k in {ks:?} for CMDL variants and baselines \
+             ({} queries).",
+            benchmark.num_queries()
+        ),
+    );
+
+    // Baselines and the solo variant need no training.
+    let untrained_methods = [
+        Doc2TableMethod::CmdlSolo,
+        Doc2TableMethod::ElasticBm25,
+        Doc2TableMethod::ElasticLmDirichlet,
+        Doc2TableMethod::ElasticContentOnly,
+        Doc2TableMethod::ElasticSchemaOnly,
+        Doc2TableMethod::Containment,
+        Doc2TableMethod::EntityJaccard,
+    ];
+    for method in untrained_methods {
+        let eval = evaluate_doc2table(&cmdl, &benchmark, method, ks);
+        push_curve(&mut report, &eval.method, &eval.curve);
+    }
+
+    // Joint model without gold tuning.
+    cmdl.train_joint(None);
+    let eval = evaluate_doc2table(&cmdl, &benchmark, Doc2TableMethod::CmdlJoint, ks);
+    push_curve(&mut report, eval.method.as_str(), &eval.curve);
+
+    // Joint model with gold tuning.
+    let gold = gold_labels(&cmdl, &synth, 0.1);
+    cmdl.train_joint(Some(&gold));
+    let eval = evaluate_doc2table(&cmdl, &benchmark, Doc2TableMethod::CmdlJointGold, ks);
+    push_curve(&mut report, Doc2TableMethod::CmdlJointGold.label(), &eval.curve);
+
+    emit(&report);
+}
+
+fn push_curve(report: &mut ExperimentReport, method: &str, curve: &[cmdl_eval::PrPoint]) {
+    let mut row = MethodResult::new(method);
+    for point in curve {
+        row = row
+            .with(format!("P@{}", point.k), point.precision)
+            .with(format!("R@{}", point.k), point.recall);
+    }
+    report.push(row);
+}
+
+fn main() {
+    // Benchmark 1A: UK-Open, larger k sweep.
+    run_benchmark("1A (UK-Open)", BenchmarkId::B1A, ukopen_lake(), &[5, 15, 25]);
+    // Benchmark 1B: Pharma.
+    run_benchmark("1B (Pharma)", BenchmarkId::B1B, pharma_lake(), &[2, 6, 10]);
+    // Benchmark 1C: ML-Open MS reviews.
+    run_benchmark(
+        "1C (ML-Open)",
+        BenchmarkId::B1C,
+        mlopen_lake(MlOpenScale::Medium),
+        &[1, 3, 6],
+    );
+}

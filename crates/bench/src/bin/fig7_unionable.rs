@@ -1,0 +1,36 @@
+//! Figure 7: unionable table discovery — precision@K / recall@K of Aurum,
+//! D3L, and CMDL on Benchmarks 3A (UK-Open) and 3B (DrugBank-Synthetic).
+
+use cmdl_bench::{build_system, emit, pharma_lake, ukopen_lake};
+use cmdl_datalake::benchmarks::unionable_benchmark;
+use cmdl_datalake::synth::SyntheticLake;
+use cmdl_datalake::BenchmarkId;
+use cmdl_eval::{evaluate_union, ExperimentReport, MethodResult, StructuredSystem};
+
+fn run(label: &str, synth: SyntheticLake, id: BenchmarkId, ks: &[usize]) {
+    let benchmark = unionable_benchmark(id, &synth);
+    let cmdl = build_system(synth.lake);
+    let mut report = ExperimentReport::new(
+        format!("Figure 7 - Benchmark {label}"),
+        format!(
+            "Unionable table discovery precision@K / recall@K over {} queries.",
+            benchmark.num_queries()
+        ),
+    );
+    for system in [StructuredSystem::Aurum, StructuredSystem::D3l, StructuredSystem::Cmdl] {
+        let eval = evaluate_union(&cmdl, &benchmark, system, ks, "ensemble");
+        let mut row = MethodResult::new(eval.system.clone());
+        for point in &eval.curve {
+            row = row
+                .with(format!("P@{}", point.k), point.precision)
+                .with(format!("R@{}", point.k), point.recall);
+        }
+        report.push(row);
+    }
+    emit(&report);
+}
+
+fn main() {
+    run("3A (UK-Open)", ukopen_lake(), BenchmarkId::B3A, &[1, 3, 5, 10]);
+    run("3B (DrugBank-Synthetic)", pharma_lake(), BenchmarkId::B3B, &[1, 3, 5, 10]);
+}

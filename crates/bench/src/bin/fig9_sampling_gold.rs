@@ -1,0 +1,89 @@
+//! Figure 9: (a) impact of the training-sample size on Doc→Table accuracy,
+//! and (b) impact of the gold-label size on labeling-function elimination.
+
+use cmdl_bench::{bench_config, emit, ukopen_lake};
+use cmdl_core::{Cmdl, TrainingDatasetGenerator};
+use cmdl_datalake::benchmarks::doc_to_table_benchmark;
+use cmdl_datalake::BenchmarkId;
+use cmdl_eval::{evaluate_doc2table, Doc2TableMethod, ExperimentReport, MethodResult};
+use cmdl_weaklabel::GoldLabel;
+
+fn main() {
+    let synth = ukopen_lake();
+    let benchmark = doc_to_table_benchmark(BenchmarkId::B1A, &synth);
+    let ks = [5, 15, 25];
+
+    // (a) Sample-size sweep.
+    let mut report_a = ExperimentReport::new(
+        "Figure 9a",
+        "Impact of the labeling sample size (fraction of documents/columns used for \
+         weak-supervision) on Doc→Table precision/recall for the joint model (Benchmark 1A).",
+    );
+    for sample in [0.05f64, 0.1, 0.5, 1.0] {
+        let mut cmdl = Cmdl::build(synth.lake.clone(), bench_config());
+        cmdl.train_joint_with_sample(None, Some(sample));
+        let eval = evaluate_doc2table(&cmdl, &benchmark, Doc2TableMethod::CmdlJoint, &ks);
+        let mut row = MethodResult::new(format!("sample {:.0}%", sample * 100.0));
+        for p in &eval.curve {
+            row = row
+                .with(format!("P@{}", p.k), p.precision)
+                .with(format!("R@{}", p.k), p.recall);
+        }
+        report_a.push(row);
+    }
+    emit(&report_a);
+
+    // (b) Gold-label size sweep: how many labeling functions survive tuning.
+    let cmdl = Cmdl::build(synth.lake.clone(), bench_config());
+    let mut report_b = ExperimentReport::new(
+        "Figure 9b",
+        "Impact of the gold-label set size (fraction of the ground truth) on the \
+         elimination of imprecise labeling functions: number of LFs kept out of 4 and the \
+         measured accuracy spread.",
+    );
+    for ratio in [0.01f64, 0.05, 0.10] {
+        let gold = build_gold(&cmdl, &synth, ratio);
+        let generator = TrainingDatasetGenerator::new(&cmdl.profiled, &cmdl.indexes, &cmdl.config);
+        let (_, gen_report) = generator.generate(Some(&gold), None);
+        let kept = gen_report.gold_reports.iter().filter(|r| r.enabled).count();
+        let max_acc = gen_report
+            .gold_reports
+            .iter()
+            .map(|r| r.accuracy)
+            .fold(0.0f64, f64::max);
+        let min_acc = gen_report
+            .gold_reports
+            .iter()
+            .map(|r| r.accuracy)
+            .fold(1.0f64, f64::min);
+        report_b.push(
+            MethodResult::new(format!("gold {:.0}%", ratio * 100.0))
+                .with("gold_pairs", gold.len() as f64)
+                .with("LFs_kept", kept as f64)
+                .with("best_LF_acc", max_acc)
+                .with("worst_LF_acc", min_acc),
+        );
+    }
+    emit(&report_b);
+}
+
+fn build_gold(cmdl: &Cmdl, synth: &cmdl_datalake::synth::SyntheticLake, ratio: f64) -> Vec<GoldLabel> {
+    let take = ((synth.truth.doc_to_table.len() as f64 * ratio).ceil() as usize).max(1);
+    let mut gold = Vec::new();
+    for (doc_idx, tables) in synth.truth.doc_to_table.iter().take(take) {
+        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else { continue };
+        for table in tables.iter().take(2) {
+            for col in cmdl.profiled.columns_of_table(table).into_iter().take(2) {
+                gold.push(GoldLabel::new(doc_id.raw(), col.raw(), true));
+            }
+        }
+        for table in cmdl.profiled.lake.tables() {
+            if !tables.contains(&table.name) {
+                if let Some(col) = cmdl.profiled.columns_of_table(&table.name).first() {
+                    gold.push(GoldLabel::new(doc_id.raw(), col.raw(), false));
+                }
+            }
+        }
+    }
+    gold
+}

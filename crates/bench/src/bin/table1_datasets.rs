@@ -1,0 +1,31 @@
+//! Table 1: overview of the evaluation data lakes.
+
+use cmdl_bench::{emit, mlopen_lake, pharma_lake, ukopen_lake};
+use cmdl_datalake::synth::MlOpenScale;
+use cmdl_datalake::LakeStats;
+use cmdl_eval::{ExperimentReport, MethodResult};
+
+fn main() {
+    let mut report = ExperimentReport::new(
+        "Table 1",
+        "Overview of the evaluation data lakes (synthetic reproductions): number of tables, \
+         discoverable elements, approximate size, and fraction of numeric attributes.",
+    );
+    let mut add = |label: &str, stats: LakeStats| {
+        report.push(
+            MethodResult::new(label)
+                .with("tables", stats.num_tables as f64)
+                .with("columns", stats.num_columns as f64)
+                .with("documents", stats.num_documents as f64)
+                .with("DEs", stats.num_des() as f64)
+                .with("approx_MB", stats.approx_bytes as f64 / 1_000_000.0)
+                .with("numeric_%", stats.numeric_ratio * 100.0),
+        );
+    };
+    add("Pharma", LakeStats::compute(&pharma_lake().lake));
+    add("UK-Open", LakeStats::compute(&ukopen_lake().lake));
+    add("ML-Open SS", LakeStats::compute(&mlopen_lake(MlOpenScale::Small).lake));
+    add("ML-Open MS", LakeStats::compute(&mlopen_lake(MlOpenScale::Medium).lake));
+    add("ML-Open LS", LakeStats::compute(&mlopen_lake(MlOpenScale::Large).lake));
+    emit(&report);
+}

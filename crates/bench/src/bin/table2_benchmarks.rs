@@ -1,0 +1,45 @@
+//! Table 2: overview of the evaluation benchmarks (number of queries, average
+//! answer size, median query cardinality ratio).
+
+use cmdl_bench::{emit, mlopen_lake, pharma_lake, ukopen_lake};
+use cmdl_datalake::benchmarks::{
+    doc_to_table_benchmark, pkfk_benchmark, syntactic_join_benchmark, unionable_benchmark,
+};
+use cmdl_datalake::synth::MlOpenScale;
+use cmdl_datalake::BenchmarkId;
+use cmdl_eval::{ExperimentReport, MethodResult};
+
+fn main() {
+    let pharma = pharma_lake();
+    let ukopen = ukopen_lake();
+    let mlopen = mlopen_lake(MlOpenScale::Medium);
+    let mlopen_ss = mlopen_lake(MlOpenScale::Small);
+    let mlopen_ls = mlopen_lake(MlOpenScale::Large);
+
+    let mut report = ExperimentReport::new(
+        "Table 2",
+        "Overview of the evaluation benchmarks: queries, average answer size, and median \
+         query cardinality ratio (mQCR).",
+    );
+    let mut add = |label: &str, bench: cmdl_datalake::Benchmark, lake: &cmdl_datalake::DataLake| {
+        report.push(
+            MethodResult::new(label)
+                .with("queries", bench.num_queries() as f64)
+                .with("avg_answer", bench.avg_answer_size())
+                .with("mQCR", bench.median_qcr(lake)),
+        );
+    };
+
+    add("1A Doc2Table UK-Open", doc_to_table_benchmark(BenchmarkId::B1A, &ukopen), &ukopen.lake);
+    add("1B Doc2Table Pharma", doc_to_table_benchmark(BenchmarkId::B1B, &pharma), &pharma.lake);
+    add("1C Doc2Table ML-Open", doc_to_table_benchmark(BenchmarkId::B1C, &mlopen), &mlopen.lake);
+    add("2A Join UK-Open", syntactic_join_benchmark(BenchmarkId::B2A, &ukopen), &ukopen.lake);
+    add("2B Join Pharma", syntactic_join_benchmark(BenchmarkId::B2B, &pharma), &pharma.lake);
+    add("2C Join ML-Open SS", syntactic_join_benchmark(BenchmarkId::B2C, &mlopen_ss), &mlopen_ss.lake);
+    add("2C Join ML-Open MS", syntactic_join_benchmark(BenchmarkId::B2C, &mlopen), &mlopen.lake);
+    add("2C Join ML-Open LS", syntactic_join_benchmark(BenchmarkId::B2C, &mlopen_ls), &mlopen_ls.lake);
+    add("2D PK-FK Pharma", pkfk_benchmark(BenchmarkId::B2D, &pharma), &pharma.lake);
+    add("3A Union UK-Open", unionable_benchmark(BenchmarkId::B3A, &ukopen), &ukopen.lake);
+    add("3B Union Pharma", unionable_benchmark(BenchmarkId::B3B, &pharma), &pharma.lake);
+    emit(&report);
+}

@@ -1,0 +1,87 @@
+//! Table 6: query throughput (queries per second) of the three index types
+//! used as labeling functions — keyword search (BM25), containment (LSH
+//! Ensemble), and semantic nearest-neighbour (ANN).
+
+use std::time::Instant;
+
+use cmdl_bench::{bench_config, build_system, emit, pharma_lake};
+use cmdl_eval::{ExperimentReport, MethodResult};
+
+fn main() {
+    let synth = pharma_lake();
+    let cmdl = build_system(synth.lake);
+    let config = bench_config();
+
+    // Query workload: every document's profile probes each index.
+    let doc_profiles: Vec<_> = cmdl
+        .profiled
+        .doc_ids
+        .iter()
+        .filter_map(|id| cmdl.profiled.profile(*id))
+        .collect();
+    let rounds = 5usize;
+
+    let mut report = ExperimentReport::new(
+        "Table 6",
+        format!(
+            "Index probe throughput in queries/second (top-{} probes, {} query documents x {} rounds).",
+            config.label_probe_top_k,
+            doc_profiles.len(),
+            rounds
+        ),
+    );
+
+    // Content keyword search.
+    let start = Instant::now();
+    let mut count = 0usize;
+    for _ in 0..rounds {
+        for p in &doc_profiles {
+            let _ = cmdl.indexes.content_search(
+                &cmdl.profiled,
+                &p.content,
+                Some(cmdl_datalake::DeKind::Column),
+                config.label_probe_top_k,
+                cmdl_index::ScoringFunction::default(),
+            );
+            count += 1;
+        }
+    }
+    report.push(
+        MethodResult::new("Content search (BM25 inverted index)")
+            .with("Qps", count as f64 / start.elapsed().as_secs_f64()),
+    );
+
+    // Containment (LSH Ensemble).
+    let start = Instant::now();
+    let mut count = 0usize;
+    for _ in 0..rounds {
+        for p in &doc_profiles {
+            let _ = cmdl
+                .indexes
+                .containment_search(&p.minhash, config.label_probe_top_k);
+            count += 1;
+        }
+    }
+    report.push(
+        MethodResult::new("Containment (LSH Ensemble)")
+            .with("Qps", count as f64 / start.elapsed().as_secs_f64()),
+    );
+
+    // Semantic (ANN over solo embeddings).
+    let start = Instant::now();
+    let mut count = 0usize;
+    for _ in 0..rounds {
+        for p in &doc_profiles {
+            let _ = cmdl
+                .indexes
+                .solo_search(&p.solo.content, config.label_probe_top_k);
+            count += 1;
+        }
+    }
+    report.push(
+        MethodResult::new("Semantic (ANN random-projection forest)")
+            .with("Qps", count as f64 / start.elapsed().as_secs_f64()),
+    );
+
+    emit(&report);
+}

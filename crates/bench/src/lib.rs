@@ -1,0 +1,99 @@
+//! # cmdl-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation section. Each experiment is a binary under `src/bin/`
+//! (see `DESIGN.md` for the experiment ↔ binary mapping); all binaries print
+//! an aligned text table to stdout and write a JSON report under
+//! `target/reports/`.
+//!
+//! This library crate holds the helpers shared by the binaries: benchmark-
+//! scale lake construction, system construction, and report output.
+
+use std::path::PathBuf;
+
+use cmdl_core::{Cmdl, CmdlConfig};
+use cmdl_datalake::synth::{self, MlOpenScale, SyntheticLake};
+use cmdl_eval::ExperimentReport;
+
+/// The directory reports are written to.
+pub fn report_dir() -> PathBuf {
+    PathBuf::from("target/reports")
+}
+
+/// Print a report and persist it as JSON.
+pub fn emit(report: &ExperimentReport) {
+    println!("{}", report.to_text());
+    match report.write_json(report_dir()) {
+        Ok(path) => println!("(report written to {})\n", path.display()),
+        Err(err) => eprintln!("warning: could not write report: {err}"),
+    }
+}
+
+/// The benchmark-scale CMDL configuration: smaller sketches/embeddings than
+/// production defaults so every experiment completes on a laptop, but the
+/// same default ratios (sample size, mini-batch size, margin) as the paper.
+pub fn bench_config() -> CmdlConfig {
+    CmdlConfig {
+        minhash_hashes: 64,
+        embedding_dim: 48,
+        joint_dim: 32,
+        label_probe_top_k: 10,
+        sample_ratio: 0.3,
+        mini_batch_ratio: 0.08,
+        max_epochs: 60,
+        ann_trees: 8,
+        ..CmdlConfig::default()
+    }
+}
+
+/// The benchmark-scale Pharma lake.
+pub fn pharma_lake() -> SyntheticLake {
+    synth::pharma::generate(&synth::PharmaConfig {
+        num_drugs: 60,
+        num_enzymes: 30,
+        num_documents: 80,
+        num_interactions: 120,
+        num_synthetic_tables: 10,
+        ..Default::default()
+    })
+}
+
+/// The benchmark-scale UK-Open lake.
+pub fn ukopen_lake() -> SyntheticLake {
+    synth::ukopen::generate(&synth::UkOpenConfig {
+        num_categories: 6,
+        tables_per_category: 4,
+        rows_per_table: 40,
+        num_documents: 60,
+        ..Default::default()
+    })
+}
+
+/// The benchmark-scale ML-Open lake at a given scale.
+pub fn mlopen_lake(scale: MlOpenScale) -> SyntheticLake {
+    synth::mlopen(scale)
+}
+
+/// Build a CMDL system over a lake with the benchmark configuration.
+pub fn build_system(lake: cmdl_datalake::DataLake) -> Cmdl {
+    Cmdl::build(lake, bench_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_keeps_paper_ratios() {
+        let c = bench_config();
+        assert!((c.mini_batch_ratio - 0.08).abs() < 1e-12);
+        assert!((c.triplet_margin - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lakes_are_generated() {
+        assert!(pharma_lake().lake.num_tables() > 10);
+        assert!(ukopen_lake().lake.num_tables() > 10);
+        assert!(mlopen_lake(MlOpenScale::Small).lake.num_tables() > 5);
+    }
+}

@@ -1,0 +1,528 @@
+//! The CMDL discovery interface (paper Section 5.2).
+//!
+//! [`Cmdl`] is the system façade: it owns the profiled lake, the index
+//! catalog, the (optionally trained) joint model, and the EKG, and exposes
+//! SRQL-style discovery primitives:
+//!
+//! * [`content_search`](Cmdl::content_search) — keyword search over either
+//!   modality (Q1 in the motivating example);
+//! * [`cross_modal_search`](Cmdl::cross_modal_search) /
+//!   [`cross_modal_search_text`](Cmdl::cross_modal_search_text) — Doc→Table
+//!   discovery (Q2/Q3);
+//! * [`joinable`](Cmdl::joinable) and [`pkfk`](Cmdl::pkfk) — Table-J-Table
+//!   discovery (Q4);
+//! * [`unionable`](Cmdl::unionable) — Table-U-Table discovery (Q5).
+//!
+//! Results are returned as [`DiscoveryResult`] sets carrying scores, so they
+//! can be chained: the output of one primitive can be fed as the input of
+//! the next, exactly like the pipeline of Figure 1.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cmdl_datalake::{DataLake, DeId, DeKind};
+use cmdl_index::ScoringFunction;
+use cmdl_weaklabel::GoldLabel;
+
+use crate::config::{CmdlConfig, CrossModalStrategy};
+use crate::ekg::{Ekg, NodeId, RelationType};
+use crate::error::CmdlError;
+use crate::indexes::IndexCatalog;
+use crate::join::{JoinDiscovery, PkFkLink};
+use crate::joint::{JointModel, JointTrainer, JointTrainingReport};
+use crate::profile::{ProfiledLake, Profiler};
+use crate::training::{TrainingDataset, TrainingDatasetGenerator, TrainingGenerationReport};
+use crate::union::{UnionDiscovery, UnionScore};
+
+/// The search scope of [`Cmdl::content_search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchMode {
+    /// Search only the text documents.
+    Text,
+    /// Search only the tabular columns.
+    Tables,
+    /// Search both modalities.
+    All,
+}
+
+/// One discovery result: an element (or table) with its score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryResult {
+    /// The matched element id (column or document), if the result is
+    /// element-granular.
+    pub element: Option<DeId>,
+    /// The matched table name, if the result is table-granular.
+    pub table: Option<String>,
+    /// A human-readable label (qualified column name, document title, or
+    /// table name).
+    pub label: String,
+    /// The relevance score.
+    pub score: f64,
+}
+
+/// The CMDL system.
+pub struct Cmdl {
+    /// System configuration.
+    pub config: CmdlConfig,
+    /// The profiled lake.
+    pub profiled: ProfiledLake,
+    /// The index catalog.
+    pub indexes: IndexCatalog,
+    profiler: Profiler,
+    joint: Option<JointModel>,
+    ekg: Ekg,
+    /// The last weak-supervision training dataset (kept for inspection).
+    pub training_dataset: Option<TrainingDataset>,
+    /// The last training-generation report.
+    pub training_report: Option<TrainingGenerationReport>,
+}
+
+impl Cmdl {
+    /// Profile and index a data lake (no joint training yet).
+    pub fn build(lake: DataLake, config: CmdlConfig) -> Self {
+        let profiler = Profiler::new(&config);
+        let profiled = profiler.profile_lake(lake);
+        let indexes = IndexCatalog::build(&profiled, &config);
+        let mut system = Self {
+            config,
+            profiled,
+            indexes,
+            profiler,
+            joint: None,
+            ekg: Ekg::new(),
+            training_dataset: None,
+            training_report: None,
+        };
+        system.build_structural_ekg();
+        system
+    }
+
+    /// The Enterprise Knowledge Graph.
+    pub fn ekg(&self) -> &Ekg {
+        &self.ekg
+    }
+
+    /// The trained joint model, if any.
+    pub fn joint_model(&self) -> Option<&JointModel> {
+        self.joint.as_ref()
+    }
+
+    /// The profiler (exposed for query-text transformation).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Generate the weakly-supervised training dataset, train the joint
+    /// representation model, embed every element, and index the joint
+    /// embeddings. `gold` optionally supplies gold labels for labeling-
+    /// function pruning.
+    pub fn train_joint(&mut self, gold: Option<&[GoldLabel]>) -> JointTrainingReport {
+        self.train_joint_with_sample(gold, None)
+    }
+
+    /// Like [`train_joint`](Self::train_joint) but with an explicit sampling
+    /// ratio override (used by the sampling-impact experiment, Figure 9a).
+    pub fn train_joint_with_sample(
+        &mut self,
+        gold: Option<&[GoldLabel]>,
+        sample_ratio: Option<f64>,
+    ) -> JointTrainingReport {
+        let generator = TrainingDatasetGenerator::new(&self.profiled, &self.indexes, &self.config);
+        let (dataset, gen_report) = generator.generate(gold, sample_ratio);
+        let trainer = JointTrainer::new(&self.config);
+        let (model, report) = trainer.train(&self.profiled, &dataset);
+
+        // Embed every element and index the joint space.
+        let embeddings: HashMap<DeId, Vec<f32>> = self
+            .profiled
+            .profiles
+            .iter()
+            .map(|(&id, profile)| (id, model.embed(&profile.solo)))
+            .collect();
+        self.indexes
+            .install_joint(&self.profiled, embeddings, &self.config);
+        self.joint = Some(model);
+        self.training_dataset = Some(dataset);
+        self.training_report = Some(gen_report);
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Discovery primitives
+    // ------------------------------------------------------------------
+
+    /// Keyword search (Q1): find the `top_k` elements matching the query text
+    /// in the requested scope.
+    pub fn content_search(&self, query: &str, mode: SearchMode, top_k: usize) -> Vec<DiscoveryResult> {
+        let (bow, _) = self.profiler.profile_query_text(query);
+        let kind = match mode {
+            SearchMode::Text => Some(DeKind::Document),
+            SearchMode::Tables => Some(DeKind::Column),
+            SearchMode::All => None,
+        };
+        self.indexes
+            .content_search(&self.profiled, &bow, kind, top_k, ScoringFunction::default())
+            .into_iter()
+            .map(|(id, score)| self.element_result(id, score))
+            .collect()
+    }
+
+    /// Cross-modal Doc→Table discovery (Q2/Q3) for a document already in the
+    /// lake, using the configured strategy (joint embeddings when trained,
+    /// otherwise solo embeddings).
+    pub fn cross_modal_search(
+        &self,
+        document: usize,
+        top_k: usize,
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        let doc_id = self
+            .profiled
+            .lake
+            .document_id(document)
+            .ok_or(CmdlError::UnknownDocument(document))?;
+        let profile = self
+            .profiled
+            .profile(doc_id)
+            .ok_or(CmdlError::UnknownDocument(document))?;
+        let strategy = if self.joint.is_some() {
+            CrossModalStrategy::JointEmbedding
+        } else {
+            CrossModalStrategy::SoloEmbedding
+        };
+        Ok(self.doc_to_table_search(&profile.solo.clone(), &profile.content.clone(), strategy, top_k))
+    }
+
+    /// Cross-modal Doc→Table discovery for ad-hoc query text (e.g. a
+    /// highlighted sentence, as in Figure 1).
+    pub fn cross_modal_search_text(&self, text: &str, top_k: usize) -> Vec<DiscoveryResult> {
+        let (bow, solo) = self.profiler.profile_query_text(text);
+        let strategy = if self.joint.is_some() {
+            CrossModalStrategy::JointEmbedding
+        } else {
+            CrossModalStrategy::SoloEmbedding
+        };
+        self.doc_to_table_search(&solo, &bow, strategy, top_k)
+    }
+
+    /// Doc→Table discovery with an explicit strategy (used by the Figure 6
+    /// comparison of CMDL variants).
+    pub fn doc_to_table_search(
+        &self,
+        solo: &cmdl_embed::SoloEmbedding,
+        content: &cmdl_text::BagOfWords,
+        strategy: CrossModalStrategy,
+        top_k: usize,
+    ) -> Vec<DiscoveryResult> {
+        let probe_k = (top_k * 6).max(20);
+        let column_scores: Vec<(DeId, f64)> = match (strategy, &self.joint) {
+            (CrossModalStrategy::JointEmbedding, Some(model)) => {
+                let query = model.embed(solo);
+                self.indexes
+                    .joint_search(&query, probe_k)
+                    .unwrap_or_default()
+            }
+            _ => self.indexes.solo_search(&solo.content, probe_k),
+        };
+        // Blend in a containment signal so exact identifier matches are not
+        // lost (the embeddings capture semantics; containment captures value
+        // overlap), then aggregate column scores to table level.
+        let minhash = self.profiler.minhasher().signature(content.terms());
+        let containment: HashMap<DeId, f64> = self
+            .indexes
+            .containment_search(&minhash, probe_k)
+            .into_iter()
+            .collect();
+        let mut table_scores: HashMap<String, f64> = HashMap::new();
+        for (id, score) in column_scores {
+            let Some(profile) = self.profiled.profile(id) else { continue };
+            let Some(table) = profile.table_name.clone() else { continue };
+            let combined = 0.7 * score.max(0.0) + 0.3 * containment.get(&id).copied().unwrap_or(0.0);
+            let entry = table_scores.entry(table).or_insert(0.0);
+            if combined > *entry {
+                *entry = combined;
+            }
+        }
+        for (id, score) in &containment {
+            let Some(profile) = self.profiled.profile(*id) else { continue };
+            let Some(table) = profile.table_name.clone() else { continue };
+            let entry = table_scores.entry(table).or_insert(0.0);
+            if 0.3 * score > *entry {
+                *entry = 0.3 * score;
+            }
+        }
+        let mut results: Vec<DiscoveryResult> = table_scores
+            .into_iter()
+            .map(|(table, score)| DiscoveryResult {
+                element: None,
+                label: table.clone(),
+                table: Some(table),
+                score,
+            })
+            .collect();
+        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.truncate(top_k);
+        results
+    }
+
+    /// Table-level joinability discovery (Q4).
+    pub fn joinable(&self, table: &str, top_k: usize) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        if self.profiled.lake.table(table).is_none() {
+            return Err(CmdlError::UnknownTable(table.to_string()));
+        }
+        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
+        Ok(discovery
+            .joinable_tables(table, top_k)
+            .into_iter()
+            .map(|(name, score)| DiscoveryResult {
+                element: None,
+                label: name.clone(),
+                table: Some(name),
+                score,
+            })
+            .collect())
+    }
+
+    /// Column-level joinability discovery.
+    pub fn joinable_columns(
+        &self,
+        table: &str,
+        column: &str,
+        top_k: usize,
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        let id = self
+            .profiled
+            .lake
+            .column_id_by_name(table, column)
+            .ok_or_else(|| CmdlError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
+        Ok(discovery
+            .joinable_columns(id, top_k)
+            .into_iter()
+            .map(|(cid, score)| self.element_result(cid, score))
+            .collect())
+    }
+
+    /// PK-FK discovery over the whole lake.
+    pub fn pkfk(&self) -> Vec<PkFkLink> {
+        JoinDiscovery::new(&self.profiled, &self.config).pkfk_links()
+    }
+
+    /// Unionable-table discovery (Q5).
+    pub fn unionable(&self, table: &str, top_k: usize) -> Result<Vec<UnionScore>, CmdlError> {
+        if self.profiled.lake.table(table).is_none() {
+            return Err(CmdlError::UnknownTable(table.to_string()));
+        }
+        Ok(UnionDiscovery::new(&self.profiled, &self.config).unionable_tables(table, top_k))
+    }
+
+    /// Materialize the higher-order relationships (Doc→Table, joinability,
+    /// PK-FK, unionability) into the EKG. Expensive on large lakes; intended
+    /// to be called after training.
+    pub fn materialize_ekg(&mut self, top_k: usize) {
+        // Doc→Table edges.
+        let doc_ids = self.profiled.doc_ids.clone();
+        for doc_id in doc_ids {
+            if let Some(idx) = self.profiled.lake.document_index(doc_id) {
+                if let Ok(results) = self.cross_modal_search(idx, top_k) {
+                    for r in results {
+                        if let Some(table) = &r.table {
+                            if let Some(t_idx) = self.profiled.lake.table_index(table) {
+                                self.ekg.add_edge(
+                                    NodeId::De(doc_id),
+                                    NodeId::Table(t_idx),
+                                    RelationType::DocToTable,
+                                    r.score,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // PK-FK edges.
+        for link in self.pkfk() {
+            self.ekg
+                .add_edge(NodeId::De(link.pk), NodeId::De(link.fk), RelationType::PkFk, link.score);
+        }
+        // Join and union edges at the table level.
+        let table_names: Vec<String> =
+            self.profiled.lake.tables().iter().map(|t| t.name.clone()).collect();
+        for name in &table_names {
+            let from = self.profiled.lake.table_index(name).expect("table exists");
+            if let Ok(joins) = self.joinable(name, top_k) {
+                for j in joins {
+                    if let Some(to) = j.table.as_deref().and_then(|t| self.profiled.lake.table_index(t)) {
+                        self.ekg.add_edge(
+                            NodeId::Table(from),
+                            NodeId::Table(to),
+                            RelationType::Joinable,
+                            j.score,
+                        );
+                    }
+                }
+            }
+            if let Ok(unions) = self.unionable(name, top_k) {
+                for u in unions {
+                    if let Some(to) = self.profiled.lake.table_index(&u.table) {
+                        self.ekg.add_edge(
+                            NodeId::Table(from),
+                            NodeId::Table(to),
+                            RelationType::Unionable,
+                            u.score,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn build_structural_ekg(&mut self) {
+        // BelongsTo edges between columns and their tables.
+        let memberships: Vec<(DeId, usize)> = self
+            .profiled
+            .column_ids
+            .iter()
+            .filter_map(|&id| {
+                self.profiled
+                    .lake
+                    .column_ref(id)
+                    .map(|cref| (id, cref.table))
+            })
+            .collect();
+        for (column, table) in memberships {
+            self.ekg
+                .add_undirected(NodeId::De(column), NodeId::Table(table), RelationType::BelongsTo, 1.0);
+        }
+    }
+
+    fn element_result(&self, id: DeId, score: f64) -> DiscoveryResult {
+        let label = self
+            .profiled
+            .profile(id)
+            .map(|p| p.qualified_name.clone())
+            .unwrap_or_else(|| format!("de-{}", id.raw()));
+        let table = self
+            .profiled
+            .profile(id)
+            .and_then(|p| p.table_name.clone());
+        DiscoveryResult {
+            element: Some(id),
+            table,
+            label,
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmdl_datalake::synth;
+
+    fn system() -> Cmdl {
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        Cmdl::build(lake, CmdlConfig::fast())
+    }
+
+    #[test]
+    fn build_profiles_and_indexes() {
+        let cmdl = system();
+        assert!(cmdl.profiled.len() > 0);
+        assert!(cmdl.indexes.content.len() > 0);
+        assert!(cmdl.ekg().num_edges() > 0, "structural EKG edges exist");
+        assert!(cmdl.joint_model().is_none());
+    }
+
+    #[test]
+    fn content_search_modes() {
+        let cmdl = system();
+        let drug = cmdl
+            .profiled
+            .lake
+            .table("Drugs")
+            .unwrap()
+            .column("Drug")
+            .unwrap()
+            .values[0]
+            .as_text();
+        let docs = cmdl.content_search(&drug, SearchMode::Text, 5);
+        let cols = cmdl.content_search(&drug, SearchMode::Tables, 5);
+        assert!(docs
+            .iter()
+            .all(|r| matches!(cmdl.profiled.profile(r.element.unwrap()).unwrap().kind, DeKind::Document)));
+        assert!(cols
+            .iter()
+            .all(|r| matches!(cmdl.profiled.profile(r.element.unwrap()).unwrap().kind, DeKind::Column)));
+        assert!(!cols.is_empty());
+    }
+
+    #[test]
+    fn cross_modal_search_solo_finds_entity_tables() {
+        let cmdl = system();
+        let results = cmdl.cross_modal_search(0, 4).unwrap();
+        assert!(!results.is_empty());
+        let tables: Vec<&str> = results.iter().filter_map(|r| r.table.as_deref()).collect();
+        assert!(
+            tables.iter().any(|t| *t == "Drugs" || *t == "Enzyme_Targets" || *t == "Enzymes"
+                || t.contains("Drug") || t.contains("proj")),
+            "expected entity tables, got {tables:?}"
+        );
+    }
+
+    #[test]
+    fn cross_modal_unknown_document_errors() {
+        let cmdl = system();
+        assert!(matches!(
+            cmdl.cross_modal_search(10_000, 3),
+            Err(CmdlError::UnknownDocument(_))
+        ));
+    }
+
+    #[test]
+    fn train_joint_installs_joint_index() {
+        let mut cmdl = system();
+        let report = cmdl.train_joint(None);
+        assert!(report.epochs >= 1);
+        assert!(cmdl.joint_model().is_some());
+        assert!(cmdl.indexes.joint_ann.is_some());
+        assert!(cmdl.training_dataset.as_ref().unwrap().len() > 0);
+        // Cross-modal search now uses the joint space without breaking.
+        let results = cmdl.cross_modal_search(0, 3).unwrap();
+        assert!(!results.is_empty());
+    }
+
+    #[test]
+    fn joinable_and_pkfk_and_unionable() {
+        let cmdl = system();
+        let joins = cmdl.joinable("Drugs", 3).unwrap();
+        assert!(!joins.is_empty());
+        assert!(cmdl.joinable("NoSuch", 3).is_err());
+
+        let cols = cmdl.joinable_columns("Drugs", "Id", 5).unwrap();
+        assert!(!cols.is_empty());
+        assert!(cmdl.joinable_columns("Drugs", "NoCol", 5).is_err());
+
+        let links = cmdl.pkfk();
+        assert!(!links.is_empty());
+
+        let unions = cmdl.unionable("Drugs", 3).unwrap();
+        // Projections of Drugs exist in the synthetic lake.
+        assert!(unions.iter().any(|u| u.table.contains("proj") || !u.table.is_empty()));
+    }
+
+    #[test]
+    fn materialize_ekg_adds_relationship_edges() {
+        let mut cmdl = system();
+        let before = cmdl.ekg().num_edges();
+        cmdl.materialize_ekg(2);
+        let after = cmdl.ekg().num_edges();
+        assert!(after > before);
+        let counts = cmdl.ekg().edge_counts_by_relation();
+        assert!(counts.contains_key(&RelationType::DocToTable));
+        assert!(counts.contains_key(&RelationType::PkFk));
+    }
+}

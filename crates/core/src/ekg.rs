@@ -1,0 +1,195 @@
+//! The Enterprise Knowledge Graph (EKG).
+//!
+//! All discovered relationships are materialized as a weighted, typed graph
+//! over discoverable elements and tables (paper Section 5.1). The EKG is the
+//! substrate of the SRQL-style relationship queries: navigation follows typed
+//! edges, and the edge weight is the relationship strength.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use cmdl_datalake::DeId;
+
+/// A node of the EKG: a discoverable element (column or document) or a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeId {
+    /// A discoverable element (column or document).
+    De(DeId),
+    /// A table, identified by its index in the lake.
+    Table(usize),
+}
+
+/// Relationship types stored on EKG edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RelationType {
+    /// Content keyword similarity (BM25).
+    ContentKeyword,
+    /// Metadata keyword similarity.
+    MetadataKeyword,
+    /// Jaccard set containment.
+    Containment,
+    /// Solo-embedding semantic similarity.
+    SemanticSolo,
+    /// Joint-embedding cross-modal similarity.
+    Joint,
+    /// Document-to-table relationship (aggregated).
+    DocToTable,
+    /// Column-level syntactic joinability.
+    Joinable,
+    /// PK-FK relationship.
+    PkFk,
+    /// Table-level unionability.
+    Unionable,
+    /// Column membership in a table.
+    BelongsTo,
+}
+
+/// A typed, weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Target node.
+    pub to: NodeId,
+    /// Relationship type.
+    pub relation: RelationType,
+    /// Relationship strength.
+    pub weight: f64,
+}
+
+/// The Enterprise Knowledge Graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ekg {
+    adjacency: HashMap<NodeId, Vec<Edge>>,
+    edge_count: usize,
+}
+
+impl Ekg {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a directed edge.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, relation: RelationType, weight: f64) {
+        self.adjacency.entry(from).or_default().push(Edge {
+            to,
+            relation,
+            weight,
+        });
+        self.edge_count += 1;
+    }
+
+    /// Add an undirected edge (two directed edges).
+    pub fn add_undirected(&mut self, a: NodeId, b: NodeId, relation: RelationType, weight: f64) {
+        self.add_edge(a, b, relation, weight);
+        self.add_edge(b, a, relation, weight);
+    }
+
+    /// All outgoing edges of a node.
+    pub fn edges(&self, from: NodeId) -> &[Edge] {
+        self.adjacency.get(&from).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Outgoing edges of a node restricted to a relation type, sorted by
+    /// weight descending.
+    pub fn neighbors(&self, from: NodeId, relation: RelationType) -> Vec<(NodeId, f64)> {
+        let mut out: Vec<(NodeId, f64)> = self
+            .edges(from)
+            .iter()
+            .filter(|e| e.relation == relation)
+            .map(|e| (e.to, e.weight))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Total number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of nodes with at least one outgoing edge.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Count of edges per relation type (for reports).
+    pub fn edge_counts_by_relation(&self) -> BTreeMap<RelationType, usize> {
+        let mut counts = BTreeMap::new();
+        for edges in self.adjacency.values() {
+            for e in edges {
+                *counts.entry(e.relation).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// The combined relationship strength between two nodes: the normalized
+    /// sum of the weights of all edges from `a` to `b` (paper Section 5.2,
+    /// "compositions of the DRS ... normalized sum of similarity scores").
+    pub fn combined_strength(&self, a: NodeId, b: NodeId) -> f64 {
+        let edges: Vec<&Edge> = self.edges(a).iter().filter(|e| e.to == b).collect();
+        if edges.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = edges.iter().map(|e| e.weight.clamp(0.0, 1.0)).sum();
+        (sum / edges.len() as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Ekg::new();
+        let a = NodeId::De(DeId(1));
+        let b = NodeId::De(DeId(2));
+        let t = NodeId::Table(0);
+        g.add_edge(a, b, RelationType::Containment, 0.8);
+        g.add_edge(a, t, RelationType::DocToTable, 0.5);
+        g.add_undirected(b, t, RelationType::BelongsTo, 1.0);
+
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.edges(a).len(), 2);
+        assert_eq!(g.neighbors(a, RelationType::Containment), vec![(b, 0.8)]);
+        assert!(g.neighbors(a, RelationType::Unionable).is_empty());
+        assert_eq!(g.neighbors(t, RelationType::BelongsTo), vec![(b, 1.0)]);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_weight() {
+        let mut g = Ekg::new();
+        let q = NodeId::Table(9);
+        g.add_edge(q, NodeId::Table(1), RelationType::Unionable, 0.4);
+        g.add_edge(q, NodeId::Table(2), RelationType::Unionable, 0.9);
+        g.add_edge(q, NodeId::Table(3), RelationType::Unionable, 0.6);
+        let ns = g.neighbors(q, RelationType::Unionable);
+        assert_eq!(ns[0].0, NodeId::Table(2));
+        assert_eq!(ns[2].0, NodeId::Table(1));
+    }
+
+    #[test]
+    fn combined_strength_normalizes() {
+        let mut g = Ekg::new();
+        let a = NodeId::De(DeId(1));
+        let b = NodeId::De(DeId(2));
+        g.add_edge(a, b, RelationType::Containment, 0.8);
+        g.add_edge(a, b, RelationType::SemanticSolo, 0.4);
+        assert!((g.combined_strength(a, b) - 0.6).abs() < 1e-12);
+        assert_eq!(g.combined_strength(b, a), 0.0);
+    }
+
+    #[test]
+    fn edge_counts_by_relation() {
+        let mut g = Ekg::new();
+        g.add_edge(NodeId::Table(0), NodeId::Table(1), RelationType::Unionable, 1.0);
+        g.add_edge(NodeId::Table(1), NodeId::Table(0), RelationType::Unionable, 1.0);
+        g.add_edge(NodeId::De(DeId(0)), NodeId::De(DeId(1)), RelationType::PkFk, 1.0);
+        let counts = g.edge_counts_by_relation();
+        assert_eq!(counts[&RelationType::Unionable], 2);
+        assert_eq!(counts[&RelationType::PkFk], 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types for the CMDL system.
+
+use thiserror::Error;
+
+/// Errors produced by CMDL operations.
+#[derive(Debug, Error)]
+pub enum CmdlError {
+    /// A referenced table does not exist in the lake.
+    #[error("unknown table: {0}")]
+    UnknownTable(String),
+    /// A referenced column does not exist.
+    #[error("unknown column: {table}.{column}")]
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A referenced document does not exist.
+    #[error("unknown document index: {0}")]
+    UnknownDocument(usize),
+    /// The joint model has not been trained yet.
+    #[error("the joint representation model has not been trained; call train_joint first")]
+    JointModelMissing,
+    /// The training dataset was empty (e.g. sampling produced no pairs).
+    #[error("the weakly-supervised training dataset is empty: {0}")]
+    EmptyTrainingData(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = CmdlError::UnknownTable("Drugs".into());
+        assert!(e.to_string().contains("Drugs"));
+        let e = CmdlError::UnknownColumn { table: "T".into(), column: "c".into() };
+        assert!(e.to_string().contains("T.c"));
+        assert!(CmdlError::JointModelMissing.to_string().contains("train_joint"));
+    }
+}

@@ -1,0 +1,307 @@
+//! The CMDL indexing framework (paper Figure 2, "Indexing Framework").
+//!
+//! Every sketch produced by the profiler is indexed with an appropriate
+//! structure: bag-of-words content and metadata with the BM25 inverted index
+//! (the elastic-search role), MinHash signatures with the LSH Ensemble for
+//! containment queries, and solo embeddings with the Annoy-style ANN index.
+//! After the joint model is trained, the joint embeddings are indexed with a
+//! second ANN index (see [`crate::discovery::Cmdl::train_joint`]).
+
+use std::collections::HashMap;
+
+use cmdl_datalake::{DeId, DeKind};
+use cmdl_index::{AnnIndex, AnnIndexConfig, InvertedIndex, ScoringFunction};
+use cmdl_sketch::{LshEnsemble, LshEnsembleConfig, MinHash};
+use cmdl_text::BagOfWords;
+
+use crate::config::CmdlConfig;
+use crate::profile::ProfiledLake;
+
+/// All indexes built over a profiled lake.
+#[derive(Debug, Clone)]
+pub struct IndexCatalog {
+    /// BM25/LM inverted index over the *content* of every element.
+    pub content: InvertedIndex,
+    /// BM25/LM inverted index over the *metadata* of every element.
+    pub metadata: InvertedIndex,
+    /// LSH Ensemble over the MinHash signatures of the tabular columns
+    /// (queried with document or column signatures for containment).
+    pub containment: LshEnsemble,
+    /// ANN index over the content solo embeddings of the tabular columns.
+    pub solo_ann: AnnIndex,
+    /// ANN index over the joint embeddings of the tabular columns (present
+    /// after joint training).
+    pub joint_ann: Option<AnnIndex>,
+    /// Joint embeddings of every element (documents and columns), present
+    /// after joint training.
+    pub joint_embeddings: HashMap<DeId, Vec<f32>>,
+}
+
+impl IndexCatalog {
+    /// Build the catalog from a profiled lake.
+    pub fn build(profiled: &ProfiledLake, config: &CmdlConfig) -> Self {
+        let mut content = InvertedIndex::new();
+        let mut metadata = InvertedIndex::new();
+        let mut containment = LshEnsemble::new(LshEnsembleConfig {
+            num_hashes: config.minhash_hashes,
+            default_threshold: config.containment_threshold,
+            ..Default::default()
+        });
+        let mut solo_ann = AnnIndex::new(
+            config.embedding_dim,
+            AnnIndexConfig {
+                num_trees: config.ann_trees,
+                seed: config.seed,
+                ..Default::default()
+            },
+        );
+
+        // Iterate in the lake's deterministic element order (columns first,
+        // then documents) so index construction — and thus ANN tree shapes —
+        // is reproducible across runs.
+        let ordered_ids = profiled
+            .column_ids
+            .iter()
+            .chain(profiled.doc_ids.iter())
+            .copied();
+        for id in ordered_ids {
+            let Some(profile) = profiled.profile(id) else { continue };
+            content.add(id.raw(), &profile.content);
+            metadata.add(id.raw(), &profile.metadata);
+            if profile.kind == DeKind::Column {
+                if profile.tags.text_searchable || profile.tags.join_candidate {
+                    containment.insert(id.raw(), profile.minhash.clone());
+                }
+                if profile.tags.text_searchable {
+                    solo_ann.add(id.raw(), profile.solo.content.clone());
+                }
+            }
+        }
+        containment.build();
+        solo_ann.build();
+
+        Self {
+            content,
+            metadata,
+            containment,
+            solo_ann,
+            joint_ann: None,
+            joint_embeddings: HashMap::new(),
+        }
+    }
+
+    /// Install joint embeddings (for all elements) and build the joint ANN
+    /// index over the column embeddings.
+    pub fn install_joint(
+        &mut self,
+        profiled: &ProfiledLake,
+        embeddings: HashMap<DeId, Vec<f32>>,
+        config: &CmdlConfig,
+    ) {
+        let mut ann = AnnIndex::new(
+            config.joint_dim,
+            AnnIndexConfig {
+                num_trees: config.ann_trees,
+                seed: config.seed ^ 0xBEEF,
+                ..Default::default()
+            },
+        );
+        for &id in &profiled.column_ids {
+            let (Some(profile), Some(vector)) = (profiled.profile(id), embeddings.get(&id)) else {
+                continue;
+            };
+            if profile.kind == DeKind::Column && profile.tags.text_searchable {
+                ann.add(id.raw(), vector.clone());
+            }
+        }
+        ann.build();
+        self.joint_ann = Some(ann);
+        self.joint_embeddings = embeddings;
+    }
+
+    /// Keyword search over content with BM25, restricted to elements of a
+    /// given kind (or all when `kind` is `None`). Returns `(id, score)`.
+    pub fn content_search(
+        &self,
+        profiled: &ProfiledLake,
+        query: &BagOfWords,
+        kind: Option<DeKind>,
+        top_k: usize,
+        scoring: ScoringFunction,
+    ) -> Vec<(DeId, f64)> {
+        filter_by_kind(
+            self.content.search_with(query, top_k * 4, scoring),
+            profiled,
+            kind,
+            top_k,
+        )
+    }
+
+    /// Keyword search over metadata with BM25.
+    pub fn metadata_search(
+        &self,
+        profiled: &ProfiledLake,
+        query: &BagOfWords,
+        kind: Option<DeKind>,
+        top_k: usize,
+        scoring: ScoringFunction,
+    ) -> Vec<(DeId, f64)> {
+        filter_by_kind(
+            self.metadata.search_with(query, top_k * 4, scoring),
+            profiled,
+            kind,
+            top_k,
+        )
+    }
+
+    /// Containment search: columns whose value sets contain the query token
+    /// set, ranked by estimated containment.
+    pub fn containment_search(&self, query: &MinHash, top_k: usize) -> Vec<(DeId, f64)> {
+        self.containment
+            .query_top_k(query, top_k)
+            .into_iter()
+            .map(|(id, score)| (DeId(id), score))
+            .collect()
+    }
+
+    /// Semantic search over the column solo embeddings.
+    pub fn solo_search(&self, query: &[f32], top_k: usize) -> Vec<(DeId, f64)> {
+        self.solo_ann
+            .query(query, top_k)
+            .into_iter()
+            .map(|(id, score)| (DeId(id), score))
+            .collect()
+    }
+
+    /// Semantic search over the column joint embeddings (if trained).
+    pub fn joint_search(&self, query: &[f32], top_k: usize) -> Option<Vec<(DeId, f64)>> {
+        self.joint_ann.as_ref().map(|ann| {
+            ann.query(query, top_k)
+                .into_iter()
+                .map(|(id, score)| (DeId(id), score))
+                .collect()
+        })
+    }
+}
+
+fn filter_by_kind(
+    results: Vec<(u64, f64)>,
+    profiled: &ProfiledLake,
+    kind: Option<DeKind>,
+    top_k: usize,
+) -> Vec<(DeId, f64)> {
+    results
+        .into_iter()
+        .map(|(id, score)| (DeId(id), score))
+        .filter(|(id, _)| match kind {
+            None => true,
+            Some(k) => profiled.profile(*id).map(|p| p.kind == k).unwrap_or(false),
+        })
+        .take(top_k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profiler;
+    use cmdl_datalake::synth;
+    use cmdl_index::Bm25Params;
+
+    fn build() -> (ProfiledLake, IndexCatalog, CmdlConfig) {
+        let config = CmdlConfig::fast();
+        let profiled = Profiler::new(&config)
+            .profile_lake(synth::pharma::generate(&synth::PharmaConfig::tiny()).lake);
+        let catalog = IndexCatalog::build(&profiled, &config);
+        (profiled, catalog, config)
+    }
+
+    #[test]
+    fn indexes_cover_elements() {
+        let (profiled, catalog, _) = build();
+        assert_eq!(catalog.content.len(), profiled.len());
+        assert_eq!(catalog.metadata.len(), profiled.len());
+        assert!(catalog.containment.len() > 0);
+        assert!(catalog.solo_ann.len() > 0);
+        assert!(catalog.joint_ann.is_none());
+    }
+
+    #[test]
+    fn content_search_finds_drug_columns() {
+        let (profiled, catalog, config) = build();
+        let profiler = Profiler::new(&config);
+        // Query with a drug name present in the Drugs table.
+        let drug = profiled.lake.table("Drugs").unwrap().column("Drug").unwrap().values[0].as_text();
+        let (query, _) = profiler.profile_query_text(&format!("study of {drug} dosing"));
+        let results = catalog.content_search(
+            &profiled,
+            &query,
+            Some(DeKind::Column),
+            5,
+            ScoringFunction::Bm25(Bm25Params::default()),
+        );
+        assert!(!results.is_empty());
+        let tables: Vec<String> = results
+            .iter()
+            .filter_map(|(id, _)| profiled.profile(*id).and_then(|p| p.table_name.clone()))
+            .collect();
+        assert!(
+            tables.iter().any(|t| t == "Drugs" || t == "Compounds" || t == "Chemical_Entities"
+                || t == "Drug_Interactions" || t.contains("proj")),
+            "expected drug-bearing table, got {tables:?}"
+        );
+    }
+
+    #[test]
+    fn kind_filter_respected() {
+        let (profiled, catalog, config) = build();
+        let profiler = Profiler::new(&config);
+        let (query, _) = profiler.profile_query_text("enzyme target inhibitor");
+        let docs = catalog.content_search(
+            &profiled,
+            &query,
+            Some(DeKind::Document),
+            5,
+            ScoringFunction::default(),
+        );
+        for (id, _) in docs {
+            assert_eq!(profiled.profile(id).unwrap().kind, DeKind::Document);
+        }
+    }
+
+    #[test]
+    fn containment_search_returns_columns() {
+        let (profiled, catalog, config) = build();
+        let profiler = Profiler::new(&config);
+        let id_col = profiled.lake.column_id_by_name("Drugs", "Id").unwrap();
+        let sig = profiled.profile(id_col).unwrap().minhash.clone();
+        let results = catalog.containment_search(&sig, 5);
+        assert!(!results.is_empty());
+        // The column itself (or an FK referencing it) should be a top match.
+        assert!(results.iter().any(|(id, score)| {
+            *score > 0.8
+                && profiled
+                    .profile(*id)
+                    .map(|p| p.name.to_lowercase().contains("id") || p.name.to_lowercase().contains("key")
+                        || p.name.to_lowercase().contains("drug"))
+                    .unwrap_or(false)
+        }));
+        let _ = profiler;
+    }
+
+    #[test]
+    fn install_joint_builds_ann() {
+        let (profiled, mut catalog, config) = build();
+        let dim = config.joint_dim;
+        let embeddings: HashMap<DeId, Vec<f32>> = profiled
+            .profiles
+            .keys()
+            .map(|&id| (id, vec![0.5; dim]))
+            .collect();
+        catalog.install_joint(&profiled, embeddings, &config);
+        assert!(catalog.joint_ann.is_some());
+        assert!(!catalog.joint_embeddings.is_empty());
+        let res = catalog.joint_search(&vec![0.5; dim], 3).unwrap();
+        assert!(!res.is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Joinability discovery: syntactic joins and PK-FK links.
+//!
+//! CMDL discovers two flavours of joinability (paper Sections 5.1 and 6.2):
+//!
+//! * **syntactic joins** between any pair of columns with high value overlap,
+//!   measured with the Jaccard *set containment* in both directions — the key
+//!   difference from Aurum/D3L, which use symmetric Jaccard similarity and
+//!   therefore degrade when the joined columns have skewed cardinalities;
+//! * **PK-FK links**: the FK column's values must be (almost) contained in
+//!   the PK column, the PK column must be key-like (cardinality ≈ 1), and
+//!   the two columns should have similar names; numeric key pairs use the
+//!   numeric-overlap similarity as in Aurum.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+use cmdl_datalake::{DeId, DeKind};
+use cmdl_sketch::{exact_containment, numeric_overlap};
+use cmdl_text::strsim::name_similarity;
+
+use crate::config::CmdlConfig;
+use crate::profile::{DeProfile, ProfiledLake};
+
+/// A discovered PK-FK link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PkFkLink {
+    /// Primary-key column id.
+    pub pk: DeId,
+    /// Foreign-key column id.
+    pub fk: DeId,
+    /// Qualified name of the PK column.
+    pub pk_name: String,
+    /// Qualified name of the FK column.
+    pub fk_name: String,
+    /// Combined link score.
+    pub score: f64,
+}
+
+/// Joinability discovery over a profiled lake.
+pub struct JoinDiscovery<'a> {
+    profiled: &'a ProfiledLake,
+    config: &'a CmdlConfig,
+}
+
+impl<'a> JoinDiscovery<'a> {
+    /// Create a join-discovery engine.
+    pub fn new(profiled: &'a ProfiledLake, config: &'a CmdlConfig) -> Self {
+        Self { profiled, config }
+    }
+
+    /// Bidirectional containment-based join score between two column
+    /// profiles: `max(containment(a ⊂ b), containment(b ⊂ a))`, computed
+    /// exactly on the distinct value sets (columns are profiled with their
+    /// distinct values, so this is cheap), with numeric columns falling back
+    /// to the numeric range-overlap measure.
+    pub fn join_score(&self, a: &DeProfile, b: &DeProfile) -> f64 {
+        if a.tags.numeric && b.tags.numeric {
+            return match (&a.numeric, &b.numeric) {
+                (Some(na), Some(nb)) => numeric_overlap(na, nb),
+                _ => 0.0,
+            };
+        }
+        if a.tags.numeric != b.tags.numeric {
+            return 0.0;
+        }
+        let c_ab = exact_containment(&a.distinct_values, &b.distinct_values);
+        let c_ba = exact_containment(&b.distinct_values, &a.distinct_values);
+        c_ab.max(c_ba)
+    }
+
+    /// Find the `top_k` columns (in other tables) joinable with the given
+    /// column. Returns `(column id, score)` sorted by score descending.
+    pub fn joinable_columns(&self, column: DeId, top_k: usize) -> Vec<(DeId, f64)> {
+        let Some(query) = self.profiled.profile(column) else {
+            return Vec::new();
+        };
+        if query.kind != DeKind::Column || !query.tags.join_candidate {
+            return Vec::new();
+        }
+        let mut scored: Vec<(DeId, f64)> = self
+            .profiled
+            .column_ids
+            .iter()
+            .filter_map(|&id| {
+                if id == column {
+                    return None;
+                }
+                let candidate = self.profiled.profile(id)?;
+                if !candidate.tags.join_candidate {
+                    return None;
+                }
+                if candidate.table_name == query.table_name {
+                    return None; // only joins across tables
+                }
+                let score = self.join_score(query, candidate);
+                if score > 0.0 {
+                    Some((id, score))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// Find the `top_k` tables joinable with the given table: the best join
+    /// score over any column pair, aggregated per candidate table.
+    pub fn joinable_tables(&self, table_name: &str, top_k: usize) -> Vec<(String, f64)> {
+        let columns = self.profiled.columns_of_table(table_name);
+        let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        for col in columns {
+            for (other, score) in self.joinable_columns(col, top_k * 4) {
+                if let Some(profile) = self.profiled.profile(other) {
+                    if let Some(other_table) = &profile.table_name {
+                        let entry = best.entry(other_table.clone()).or_insert(0.0);
+                        if score > *entry {
+                            *entry = score;
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(String, f64)> = best.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.truncate(top_k);
+        out
+    }
+
+    /// Discover all PK-FK links in the lake.
+    ///
+    /// A pair `(p, f)` is reported when `p` is key-like, `f`'s values are
+    /// contained in `p`'s values above the configured containment threshold,
+    /// the columns have similar names (schema similarity filter), and they
+    /// live in different tables.
+    pub fn pkfk_links(&self) -> Vec<PkFkLink> {
+        let pk_candidates: Vec<&DeProfile> = self
+            .profiled
+            .column_ids
+            .iter()
+            .filter_map(|id| self.profiled.profile(*id))
+            .filter(|p| p.tags.key_like && p.tags.join_candidate)
+            .collect();
+        let fk_candidates: Vec<&DeProfile> = self
+            .profiled
+            .column_ids
+            .iter()
+            .filter_map(|id| self.profiled.profile(*id))
+            .filter(|p| p.tags.join_candidate)
+            .collect();
+
+        let mut links = Vec::new();
+        let mut seen: HashSet<(DeId, DeId)> = HashSet::new();
+        for pk in &pk_candidates {
+            for fk in &fk_candidates {
+                if pk.id == fk.id || pk.table_name == fk.table_name {
+                    continue;
+                }
+                if pk.tags.numeric != fk.tags.numeric {
+                    continue;
+                }
+                let containment = if pk.tags.numeric {
+                    match (&fk.numeric, &pk.numeric) {
+                        (Some(nf), Some(np)) => {
+                            if nf.range_contained_in(np) {
+                                1.0
+                            } else {
+                                numeric_overlap(nf, np)
+                            }
+                        }
+                        _ => 0.0,
+                    }
+                } else {
+                    exact_containment(&fk.distinct_values, &pk.distinct_values)
+                };
+                if containment < self.config.pkfk_containment {
+                    continue;
+                }
+                let name_sim = name_similarity(&pk.name, &fk.name)
+                    .max(name_similarity(&pk.qualified_name, &fk.qualified_name));
+                if name_sim < self.config.pkfk_name_similarity {
+                    continue;
+                }
+                if !seen.insert((pk.id, fk.id)) {
+                    continue;
+                }
+                links.push(PkFkLink {
+                    pk: pk.id,
+                    fk: fk.id,
+                    pk_name: pk.qualified_name.clone(),
+                    fk_name: fk.qualified_name.clone(),
+                    score: 0.5 * containment + 0.3 * name_sim + 0.2 * pk.uniqueness,
+                });
+            }
+        }
+        links.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profiler;
+    use cmdl_datalake::synth;
+
+    fn setup() -> (ProfiledLake, CmdlConfig) {
+        let config = CmdlConfig::fast();
+        let profiled = Profiler::new(&config)
+            .profile_lake(synth::pharma::generate(&synth::PharmaConfig::tiny()).lake);
+        (profiled, config)
+    }
+
+    #[test]
+    fn joinable_columns_find_fk_partners() {
+        let (profiled, config) = setup();
+        let discovery = JoinDiscovery::new(&profiled, &config);
+        let id = profiled.lake.column_id_by_name("Drugs", "Id").unwrap();
+        let results = discovery.joinable_columns(id, 10);
+        assert!(!results.is_empty());
+        let names: Vec<String> = results
+            .iter()
+            .map(|(c, _)| profiled.profile(*c).unwrap().qualified_name.clone())
+            .collect();
+        assert!(
+            names.iter().any(|n| n == "Enzyme_Targets.Drug_Key"),
+            "expected Enzyme_Targets.Drug_Key among {names:?}"
+        );
+        // Scores sorted descending.
+        for w in results.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn joinable_excludes_same_table() {
+        let (profiled, config) = setup();
+        let discovery = JoinDiscovery::new(&profiled, &config);
+        let id = profiled.lake.column_id_by_name("Drugs", "Id").unwrap();
+        for (col, _) in discovery.joinable_columns(id, 50) {
+            assert_ne!(
+                profiled.profile(col).unwrap().table_name.as_deref(),
+                Some("Drugs")
+            );
+        }
+    }
+
+    #[test]
+    fn joinable_tables_aggregates() {
+        let (profiled, config) = setup();
+        let discovery = JoinDiscovery::new(&profiled, &config);
+        let tables = discovery.joinable_tables("Drugs", 5);
+        assert!(!tables.is_empty());
+        let names: Vec<&str> = tables.iter().map(|(t, _)| t.as_str()).collect();
+        assert!(
+            names.contains(&"Enzyme_Targets")
+                || names.contains(&"Drug_Interactions")
+                || names.contains(&"Dosages"),
+            "expected a drug-key table among {names:?}"
+        );
+    }
+
+    #[test]
+    fn pkfk_links_recover_schema_keys() {
+        let (profiled, config) = setup();
+        let discovery = JoinDiscovery::new(&profiled, &config);
+        let links = discovery.pkfk_links();
+        assert!(!links.is_empty());
+        let pairs: Vec<(String, String)> = links
+            .iter()
+            .map(|l| (l.pk_name.clone(), l.fk_name.clone()))
+            .collect();
+        assert!(
+            pairs.iter().any(|(pk, fk)| pk == "Drugs.Id" && fk == "Enzyme_Targets.Drug_Key"),
+            "expected Drugs.Id -> Enzyme_Targets.Drug_Key among {} links",
+            pairs.len()
+        );
+        // All reported links satisfy the containment threshold by construction.
+        assert!(links.iter().all(|l| l.score > 0.0));
+    }
+
+    #[test]
+    fn unknown_column_returns_empty() {
+        let (profiled, config) = setup();
+        let discovery = JoinDiscovery::new(&profiled, &config);
+        assert!(discovery.joinable_columns(DeId(999_999), 5).is_empty());
+        assert!(discovery.joinable_tables("NoSuchTable", 5).is_empty());
+    }
+
+    #[test]
+    fn numeric_and_text_columns_do_not_join() {
+        let (profiled, config) = setup();
+        let discovery = JoinDiscovery::new(&profiled, &config);
+        let text = profiled.lake.column_id_by_name("Drugs", "Drug").unwrap();
+        let numeric = profiled.lake.column_id_by_name("Dosages", "Dose_Mg").unwrap();
+        let a = profiled.profile(text).unwrap();
+        let b = profiled.profile(numeric).unwrap();
+        assert_eq!(discovery.join_score(a, b), 0.0);
+    }
+}

@@ -1,0 +1,513 @@
+//! Joint representation learning (paper Section 4.2, Figures 4 and 5).
+//!
+//! The joint model is a small MLP that maps the 2·`embedding_dim`
+//! (metadata ⊕ content) input encoding of any discoverable element to a
+//! `joint_dim` embedding, trained with a triplet margin loss so that related
+//! (document, column) pairs are close and unrelated ones far apart.
+//!
+//! Training follows the paper's workflow:
+//!
+//! 1. the **mini-batch generator** partitions the training dataset into
+//!    non-overlapping mini batches of documents and columns, sized as a
+//!    fraction of the training DEs (default 8%);
+//! 2. the **triplet generator** builds, for each document in the batch, one
+//!    triplet: the anchor (the document), an *aggregated* positive sample
+//!    (mean encoding of its related columns) and an *aggregated hard
+//!    negative* (mean encoding of the unrelated columns within the hard
+//!    sampling cutoff — by default the average negative distance);
+//! 3. the MLP is updated with the triplet loss through Adam until the loss
+//!    delta between epochs falls below the convergence threshold.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use cmdl_datalake::DeId;
+use cmdl_embed::SoloEmbedding;
+use cmdl_nn::{
+    triplet_loss, triplet_loss_grad, Activation, Adam, AdamConfig, Matrix, Mlp, MlpConfig,
+    Optimizer, TripletBatch,
+};
+
+use crate::config::{CmdlConfig, HardSampling};
+use crate::profile::ProfiledLake;
+use crate::training::TrainingDataset;
+
+/// The trained joint-representation model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JointModel {
+    mlp: Mlp,
+    /// Input dimensionality (2 × solo dim).
+    pub input_dim: usize,
+    /// Output (joint) dimensionality.
+    pub output_dim: usize,
+}
+
+impl JointModel {
+    /// Embed an input encoding vector.
+    pub fn embed_encoding(&self, encoding: &[f32]) -> Vec<f32> {
+        self.mlp.embed(encoding)
+    }
+
+    /// Embed a solo embedding (metadata ⊕ content concatenation).
+    pub fn embed(&self, solo: &SoloEmbedding) -> Vec<f32> {
+        self.embed_encoding(&solo.input_encoding())
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.mlp.num_parameters()
+    }
+}
+
+/// Statistics of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JointTrainingReport {
+    /// Number of epochs executed before convergence (or the epoch cap).
+    pub epochs: usize,
+    /// Final mean triplet loss.
+    pub final_loss: f32,
+    /// Wall-clock training time.
+    #[serde(skip)]
+    pub duration: Duration,
+    /// Triplets generated in the final epoch.
+    pub triplets_last_epoch: usize,
+    /// Fraction of triplets whose margin is still violated after training
+    /// (the paper's "model error %").
+    pub error_rate: f64,
+}
+
+/// One triplet of element ids (before embedding): a document anchor, the
+/// aggregated positive encoding, and the aggregated negative encoding.
+#[derive(Debug, Clone)]
+struct EncodedTriplet {
+    anchor: Vec<f32>,
+    positive: Vec<f32>,
+    negative: Vec<f32>,
+}
+
+/// The joint-representation trainer.
+#[derive(Debug, Clone)]
+pub struct JointTrainer {
+    config: CmdlConfig,
+}
+
+impl JointTrainer {
+    /// Create a trainer from the system configuration.
+    pub fn new(config: &CmdlConfig) -> Self {
+        Self {
+            config: config.clone(),
+        }
+    }
+
+    /// Train the joint model on a profiled lake and its training dataset.
+    /// Returns the model and a training report.
+    pub fn train(
+        &self,
+        profiled: &ProfiledLake,
+        dataset: &TrainingDataset,
+    ) -> (JointModel, JointTrainingReport) {
+        let start = Instant::now();
+        let input_dim = 2 * self.config.embedding_dim;
+        let output_dim = self.config.joint_dim;
+        let hidden = ((input_dim + output_dim) / 2).max(output_dim);
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim,
+            hidden: vec![hidden],
+            output_dim,
+            hidden_activation: Activation::Relu,
+            seed: self.config.seed,
+        });
+        let mut optimizer = Adam::new(AdamConfig {
+            learning_rate: self.config.learning_rate,
+            ..Default::default()
+        });
+
+        let docs = dataset.documents();
+        let columns = dataset.columns();
+        // Relatedness lookup.
+        let related: HashMap<(DeId, DeId), f64> = dataset
+            .pairs
+            .iter()
+            .map(|p| ((p.doc, p.column), p.relatedness))
+            .collect();
+        let encoding: HashMap<DeId, Vec<f32>> = docs
+            .iter()
+            .chain(columns.iter())
+            .filter_map(|&id| profiled.profile(id).map(|p| (id, p.input_encoding())))
+            .collect();
+
+        let batch_docs = ((docs.len() as f64 * self.config.mini_batch_ratio).ceil() as usize)
+            .clamp(1, docs.len().max(1));
+        let batch_cols = ((columns.len() as f64 * self.config.mini_batch_ratio).ceil() as usize)
+            .clamp(1, columns.len().max(1));
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x701E7);
+        let mut prev_loss = f32::MAX;
+        let mut final_loss = 0.0f32;
+        let mut epochs = 0usize;
+        let mut triplets_last_epoch = 0usize;
+
+        for epoch in 0..self.config.max_epochs {
+            epochs = epoch + 1;
+            // Fresh random partition each epoch (paper: "another epoch with
+            // full random generation of mini batches").
+            let mut epoch_docs = docs.clone();
+            let mut epoch_cols = columns.clone();
+            epoch_docs.shuffle(&mut rng);
+            epoch_cols.shuffle(&mut rng);
+
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_batches = 0usize;
+            let mut epoch_triplets = 0usize;
+
+            for (doc_chunk, col_chunk) in epoch_docs
+                .chunks(batch_docs)
+                .zip(epoch_cols.chunks(batch_cols).cycle())
+            {
+                let triplets =
+                    self.generate_triplets(doc_chunk, col_chunk, &related, &encoding);
+                if triplets.is_empty() {
+                    continue;
+                }
+                epoch_triplets += triplets.len();
+                let batch = TripletBatch {
+                    anchors: Matrix::from_rows(
+                        &triplets.iter().map(|t| t.anchor.clone()).collect::<Vec<_>>(),
+                    ),
+                    positives: Matrix::from_rows(
+                        &triplets.iter().map(|t| t.positive.clone()).collect::<Vec<_>>(),
+                    ),
+                    negatives: Matrix::from_rows(
+                        &triplets.iter().map(|t| t.negative.clone()).collect::<Vec<_>>(),
+                    ),
+                };
+                let loss = self.train_step(&mut mlp, &mut optimizer, &batch);
+                epoch_loss += loss;
+                epoch_batches += 1;
+            }
+            triplets_last_epoch = epoch_triplets;
+            final_loss = if epoch_batches > 0 {
+                epoch_loss / epoch_batches as f32
+            } else {
+                0.0
+            };
+            if (prev_loss - final_loss).abs() < self.config.convergence_delta {
+                break;
+            }
+            prev_loss = final_loss;
+        }
+
+        let model = JointModel {
+            mlp,
+            input_dim,
+            output_dim,
+        };
+        let error_rate = self.violation_rate(&model, dataset, &encoding);
+        let report = JointTrainingReport {
+            epochs,
+            final_loss,
+            duration: start.elapsed(),
+            triplets_last_epoch,
+            error_rate,
+        };
+        (model, report)
+    }
+
+    /// Run one forward/backward/update step over a triplet batch (the three
+    /// matrices are passed through the *shared* encoder, and the gradients of
+    /// the triplet loss w.r.t. the three outputs are accumulated into the same
+    /// parameters).
+    fn train_step(&self, mlp: &mut Mlp, optimizer: &mut Adam, batch: &TripletBatch) -> f32 {
+        let cache_a = mlp.forward_cached(&batch.anchors);
+        let cache_p = mlp.forward_cached(&batch.positives);
+        let cache_n = mlp.forward_cached(&batch.negatives);
+        let embedded = TripletBatch {
+            anchors: cache_a.output().clone(),
+            positives: cache_p.output().clone(),
+            negatives: cache_n.output().clone(),
+        };
+        let loss = triplet_loss(&embedded, self.config.triplet_margin);
+        let (da, dp, dn) = triplet_loss_grad(&embedded, self.config.triplet_margin);
+        let ga = mlp.backward(&cache_a, &da);
+        let gp = mlp.backward(&cache_p, &dp);
+        let gn = mlp.backward(&cache_n, &dn);
+        // Sum the three gradient contributions (shared weights).
+        let grads: Vec<_> = ga
+            .into_iter()
+            .zip(gp)
+            .zip(gn)
+            .map(|((a, p), n)| cmdl_nn::mlp::LinearGrads {
+                weights: a.weights.add(&p.weights).add(&n.weights),
+                bias: a
+                    .bias
+                    .iter()
+                    .zip(&p.bias)
+                    .zip(&n.bias)
+                    .map(|((x, y), z)| x + y + z)
+                    .collect(),
+            })
+            .collect();
+        optimizer.step(mlp, &grads);
+        loss
+    }
+
+    /// Generate one aggregated triplet per document in the mini batch
+    /// (paper Figure 5).
+    fn generate_triplets(
+        &self,
+        doc_chunk: &[DeId],
+        col_chunk: &[DeId],
+        related: &HashMap<(DeId, DeId), f64>,
+        encoding: &HashMap<DeId, Vec<f32>>,
+    ) -> Vec<EncodedTriplet> {
+        let mut triplets = Vec::new();
+        for &doc in doc_chunk {
+            let Some(anchor) = encoding.get(&doc) else { continue };
+            let mut positives: Vec<&Vec<f32>> = Vec::new();
+            let mut negatives: Vec<(&Vec<f32>, f32)> = Vec::new();
+            for &col in col_chunk {
+                let Some(enc) = encoding.get(&col) else { continue };
+                let score = related.get(&(doc, col)).copied().unwrap_or(0.0);
+                if score >= self.config.positive_threshold {
+                    positives.push(enc);
+                } else {
+                    negatives.push((enc, euclidean(anchor, enc)));
+                }
+            }
+            // Documents without both positive and negative samples are
+            // ignored (paper footnote 4).
+            if positives.is_empty() || negatives.is_empty() {
+                continue;
+            }
+            let positive = mean_of(&positives);
+            match self.config.hard_sampling {
+                HardSampling::Disabled => {
+                    // All combinations of a positive and a negative sample.
+                    for pos in &positives {
+                        for (neg, _) in &negatives {
+                            triplets.push(EncodedTriplet {
+                                anchor: anchor.clone(),
+                                positive: (*pos).clone(),
+                                negative: (*neg).clone(),
+                            });
+                        }
+                    }
+                }
+                strategy => {
+                    let cutoff = match strategy {
+                        HardSampling::Average => {
+                            negatives.iter().map(|(_, d)| *d).sum::<f32>() / negatives.len() as f32
+                        }
+                        HardSampling::Median => {
+                            let mut ds: Vec<f32> = negatives.iter().map(|(_, d)| *d).collect();
+                            ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                            ds[ds.len() / 2]
+                        }
+                        HardSampling::Disabled => unreachable!(),
+                    };
+                    let hard: Vec<&Vec<f32>> = negatives
+                        .iter()
+                        .filter(|(_, d)| *d <= cutoff)
+                        .map(|(e, _)| *e)
+                        .collect();
+                    let negative = if hard.is_empty() {
+                        mean_of(&negatives.iter().map(|(e, _)| *e).collect::<Vec<_>>())
+                    } else {
+                        mean_of(&hard)
+                    };
+                    triplets.push(EncodedTriplet {
+                        anchor: anchor.clone(),
+                        positive,
+                        negative,
+                    });
+                }
+            }
+        }
+        triplets
+    }
+
+    /// Fraction of (doc, positive, negative) triples from the whole dataset
+    /// whose margin is violated under the trained model.
+    fn violation_rate(
+        &self,
+        model: &JointModel,
+        dataset: &TrainingDataset,
+        encoding: &HashMap<DeId, Vec<f32>>,
+    ) -> f64 {
+        let mut per_doc: HashMap<DeId, (Vec<DeId>, Vec<DeId>)> = HashMap::new();
+        for pair in &dataset.pairs {
+            let entry = per_doc.entry(pair.doc).or_default();
+            if pair.relatedness >= self.config.positive_threshold {
+                entry.0.push(pair.column);
+            } else {
+                entry.1.push(pair.column);
+            }
+        }
+        let mut total = 0usize;
+        let mut violated = 0usize;
+        for (doc, (pos, neg)) in per_doc {
+            let Some(anchor_enc) = encoding.get(&doc) else { continue };
+            if pos.is_empty() || neg.is_empty() {
+                continue;
+            }
+            let anchor = model.embed_encoding(anchor_enc);
+            for p in pos.iter().take(5) {
+                for n in neg.iter().take(5) {
+                    let (Some(pe), Some(ne)) = (encoding.get(p), encoding.get(n)) else { continue };
+                    let dp = squared(&anchor, &model.embed_encoding(pe));
+                    let dn = squared(&anchor, &model.embed_encoding(ne));
+                    total += 1;
+                    if dp + self.config.triplet_margin as f64 > dn {
+                        violated += 1;
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            violated as f64 / total as f64
+        }
+    }
+}
+
+fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
+}
+
+fn squared(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (f64::from(*x) - f64::from(*y)).powi(2))
+        .sum()
+}
+
+fn mean_of(vectors: &[&Vec<f32>]) -> Vec<f32> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let dim = vectors[0].len();
+    let mut out = vec![0.0f32; dim];
+    for v in vectors {
+        for (o, x) in out.iter_mut().zip(v.iter()) {
+            *o += x;
+        }
+    }
+    for o in out.iter_mut() {
+        *o /= vectors.len() as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexes::IndexCatalog;
+    use crate::profile::Profiler;
+    use crate::training::TrainingDatasetGenerator;
+    use cmdl_datalake::synth;
+
+    fn setup() -> (ProfiledLake, TrainingDataset, CmdlConfig) {
+        let mut config = CmdlConfig::fast();
+        config.max_epochs = 15;
+        let profiled = Profiler::new(&config)
+            .profile_lake(synth::pharma::generate(&synth::PharmaConfig::tiny()).lake);
+        let catalog = IndexCatalog::build(&profiled, &config);
+        let (dataset, _) =
+            TrainingDatasetGenerator::new(&profiled, &catalog, &config).generate(None, None);
+        (profiled, dataset, config)
+    }
+
+    #[test]
+    fn training_converges_and_reduces_violations() {
+        let (profiled, dataset, config) = setup();
+        let trainer = JointTrainer::new(&config);
+        let (model, report) = trainer.train(&profiled, &dataset);
+        assert!(report.epochs >= 1 && report.epochs <= config.max_epochs);
+        assert!(report.final_loss.is_finite());
+        assert!(report.triplets_last_epoch > 0);
+        assert!(report.error_rate <= 0.7, "error rate too high: {}", report.error_rate);
+        assert_eq!(model.output_dim, config.joint_dim);
+        assert_eq!(model.input_dim, 2 * config.embedding_dim);
+        assert!(model.num_parameters() > 0);
+    }
+
+    #[test]
+    fn embeddings_have_configured_dimension() {
+        let (profiled, dataset, config) = setup();
+        let (model, _) = JointTrainer::new(&config).train(&profiled, &dataset);
+        let doc_id = profiled.doc_ids[0];
+        let solo = &profiled.profile(doc_id).unwrap().solo;
+        let v = model.embed(solo);
+        assert_eq!(v.len(), config.joint_dim);
+    }
+
+    #[test]
+    fn joint_space_separates_related_from_unrelated() {
+        let (profiled, dataset, config) = setup();
+        let (model, _) = JointTrainer::new(&config).train(&profiled, &dataset);
+        // For strongly positive pairs, the joint distance should on average be
+        // smaller than for zero-relatedness pairs.
+        let embed = |id: DeId| model.embed_encoding(&profiled.profile(id).unwrap().input_encoding());
+        let mut pos_dist = Vec::new();
+        let mut neg_dist = Vec::new();
+        for p in &dataset.pairs {
+            let d = squared(&embed(p.doc), &embed(p.column));
+            if p.relatedness >= 0.7 {
+                pos_dist.push(d);
+            } else if p.relatedness == 0.0 {
+                neg_dist.push(d);
+            }
+        }
+        if !pos_dist.is_empty() && !neg_dist.is_empty() {
+            let pos_avg: f64 = pos_dist.iter().sum::<f64>() / pos_dist.len() as f64;
+            let neg_avg: f64 = neg_dist.iter().sum::<f64>() / neg_dist.len() as f64;
+            assert!(
+                pos_avg < neg_avg,
+                "positive pairs should be closer: pos {pos_avg} vs neg {neg_avg}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_hard_sampling_generates_more_triplets() {
+        let (profiled, dataset, mut config) = setup();
+        config.max_epochs = 2;
+        let (_, with_hard) = JointTrainer::new(&config).train(&profiled, &dataset);
+        config.hard_sampling = HardSampling::Disabled;
+        let (_, without) = JointTrainer::new(&config).train(&profiled, &dataset);
+        assert!(
+            without.triplets_last_epoch >= with_hard.triplets_last_epoch,
+            "all-pairs triplets ({}) should be at least as many as hard-sampled ({})",
+            without.triplets_last_epoch,
+            with_hard.triplets_last_epoch
+        );
+    }
+
+    #[test]
+    fn median_hard_sampling_works() {
+        let (profiled, dataset, mut config) = setup();
+        config.hard_sampling = HardSampling::Median;
+        config.max_epochs = 3;
+        let (_, report) = JointTrainer::new(&config).train(&profiled, &dataset);
+        assert!(report.triplets_last_epoch > 0);
+    }
+
+    #[test]
+    fn empty_dataset_yields_model_without_training() {
+        let (profiled, _, config) = setup();
+        let (model, report) = JointTrainer::new(&config).train(&profiled, &TrainingDataset::default());
+        assert_eq!(report.triplets_last_epoch, 0);
+        assert_eq!(report.error_rate, 0.0);
+        assert_eq!(model.output_dim, config.joint_dim);
+    }
+}

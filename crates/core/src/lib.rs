@@ -1,0 +1,53 @@
+//! # cmdl-core
+//!
+//! The CMDL system (paper Sections 2–5): preprocessing and profiling of
+//! discoverable elements, the indexing framework, the weakly-supervised
+//! training-dataset generator, the joint-representation model, the Enterprise
+//! Knowledge Graph (EKG) builder, and the SRQL-style discovery interface.
+//!
+//! The typical flow mirrors Figure 2 of the paper:
+//!
+//! ```text
+//! DataLake ──Profiler──▶ ProfiledLake ──IndexCatalog──▶ indexes
+//!                                   │
+//!                TrainingDatasetGenerator (weak supervision over the indexes)
+//!                                   │
+//!                        JointTrainer (triplet loss MLP)
+//!                                   │
+//!                 EKG builder + Discovery interface (Cmdl)
+//! ```
+//!
+//! The [`Cmdl`] façade wires all stages together:
+//!
+//! ```no_run
+//! use cmdl_core::{Cmdl, CmdlConfig};
+//! use cmdl_datalake::synth;
+//!
+//! let lake = synth::pharma();
+//! let mut system = Cmdl::build(lake.lake, CmdlConfig::fast());
+//! system.train_joint(None);
+//! let tables = system.cross_modal_search_text("pemetrexed inhibits thymidylate synthase", 3);
+//! println!("{tables:?}");
+//! ```
+
+pub mod config;
+pub mod discovery;
+pub mod ekg;
+pub mod error;
+pub mod join;
+pub mod joint;
+pub mod profile;
+pub mod indexes;
+pub mod training;
+pub mod union;
+
+pub use config::{CmdlConfig, CrossModalStrategy, HardSampling};
+pub use discovery::{Cmdl, DiscoveryResult, SearchMode};
+pub use ekg::{Ekg, NodeId, RelationType};
+pub use error::CmdlError;
+pub use indexes::IndexCatalog;
+pub use join::{JoinDiscovery, PkFkLink};
+pub use joint::{JointModel, JointTrainer, JointTrainingReport};
+pub use profile::{ColumnTags, DeProfile, ProfiledLake, Profiler};
+pub use training::{TrainingDataset, TrainingDatasetGenerator, TrainingPair};
+pub use union::{UnionDiscovery, UnionScore};

@@ -1,0 +1,349 @@
+//! Benchmark workload definitions (paper Table 2).
+//!
+//! A [`Benchmark`] bundles a discovery task kind, the query workload, and the
+//! expected answers derived from the lake's ground truth. The nine paper
+//! benchmarks (1A, 1B, 1C, 2A, 2B, 2C-SS/MS/LS, 2D, 3A, 3B) are constructed
+//! from the corresponding synthetic lakes by the functions in this module;
+//! the evaluation harness in `cmdl-eval` runs them against CMDL and the
+//! baselines.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::DataLake;
+use crate::synth::SyntheticLake;
+
+/// Identifier of a paper benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkId {
+    /// 1A: Doc→Table over UK-Open (synthetic text + government data).
+    B1A,
+    /// 1B: Doc→Table over Pharma (PubMed + DrugBank).
+    B1B,
+    /// 1C: Doc→Table over ML-Open (reviews + MS tables).
+    B1C,
+    /// 2A: syntactic join over UK-Open.
+    B2A,
+    /// 2B: syntactic join over Pharma (DrugBank).
+    B2B,
+    /// 2C: syntactic join over ML-Open (one of the three scales).
+    B2C,
+    /// 2D: PK-FK join discovery over Pharma databases.
+    B2D,
+    /// 3A: unionability over UK-Open.
+    B3A,
+    /// 3B: unionability over DrugBank-Synthetic.
+    B3B,
+}
+
+impl BenchmarkId {
+    /// The paper's label for the benchmark.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BenchmarkId::B1A => "1A",
+            BenchmarkId::B1B => "1B",
+            BenchmarkId::B1C => "1C",
+            BenchmarkId::B2A => "2A",
+            BenchmarkId::B2B => "2B",
+            BenchmarkId::B2C => "2C",
+            BenchmarkId::B2D => "2D",
+            BenchmarkId::B3A => "3A",
+            BenchmarkId::B3B => "3B",
+        }
+    }
+}
+
+/// The discovery task a benchmark evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchmarkKind {
+    /// Document-to-table discovery.
+    DocToTable,
+    /// Syntactic joinable-column discovery.
+    SyntacticJoin,
+    /// PK-FK join discovery.
+    PkFk,
+    /// Unionable-table discovery.
+    Unionable,
+}
+
+/// The input of one benchmark query.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryInput {
+    /// A document index in the lake (Doc→Table task).
+    Document(usize),
+    /// A (table, column) pair (join tasks).
+    Column {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// A table name (unionability task).
+    Table(String),
+    /// The whole lake (PK-FK discovery runs a single query, as in the paper).
+    Lake,
+}
+
+/// One benchmark query: an input plus the expected answer set.
+///
+/// Expected answers are strings whose meaning depends on the task: table
+/// names for Doc→Table and unionability, `"table.column"` strings for join
+/// tasks, `"pk_table.pk_col->fk_table.fk_col"` strings for PK-FK discovery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Query {
+    /// Query input.
+    pub input: QueryInput,
+    /// Expected answers.
+    pub expected: BTreeSet<String>,
+}
+
+/// A benchmark workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Benchmark {
+    /// Which paper benchmark this corresponds to.
+    pub id: BenchmarkId,
+    /// The evaluated task.
+    pub kind: BenchmarkKind,
+    /// Name of the data lake the benchmark runs on.
+    pub lake_name: String,
+    /// The query workload.
+    pub queries: Vec<Query>,
+}
+
+impl Benchmark {
+    /// Number of queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Average expected-answer size across queries.
+    pub fn avg_answer_size(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries.iter().map(|q| q.expected.len()).sum::<usize>() as f64
+            / self.queries.len() as f64
+    }
+
+    /// Median query cardinality ratio (mQCR, Table 2): the median over all
+    /// ground-truth links of `|query terms| / |answer element cardinality|`.
+    /// Low values indicate high skew between query and answer cardinalities.
+    pub fn median_qcr(&self, lake: &DataLake) -> f64 {
+        let mut ratios = Vec::new();
+        for query in &self.queries {
+            let query_card = match &query.input {
+                QueryInput::Document(idx) => lake
+                    .documents()
+                    .get(*idx)
+                    .map(|d| d.text.split_whitespace().count())
+                    .unwrap_or(0),
+                QueryInput::Column { table, column } => lake
+                    .table(table)
+                    .and_then(|t| t.column(column))
+                    .map(|c| c.distinct_texts().len())
+                    .unwrap_or(0),
+                QueryInput::Table(name) => lake
+                    .table(name)
+                    .map(|t| t.num_rows() * t.num_columns())
+                    .unwrap_or(0),
+                QueryInput::Lake => lake.num_columns(),
+            };
+            if query_card == 0 {
+                continue;
+            }
+            for answer in &query.expected {
+                let answer_card = answer_cardinality(lake, &self.kind, answer);
+                if answer_card > 0 {
+                    ratios.push((query_card as f64 / answer_card as f64).min(1.0));
+                }
+            }
+        }
+        median(&mut ratios)
+    }
+}
+
+fn answer_cardinality(lake: &DataLake, kind: &BenchmarkKind, answer: &str) -> usize {
+    match kind {
+        BenchmarkKind::DocToTable | BenchmarkKind::Unionable => lake
+            .table(answer)
+            .map(|t| t.num_rows() * t.num_columns().max(1))
+            .unwrap_or(0),
+        BenchmarkKind::SyntacticJoin | BenchmarkKind::PkFk => {
+            let key = answer.split("->").last().unwrap_or(answer);
+            let (table, column) = key.split_once('.').unwrap_or((key, ""));
+            lake.table(table)
+                .and_then(|t| t.column(column))
+                .map(|c| c.distinct_texts().len())
+                .unwrap_or(0)
+        }
+    }
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Encode a column answer as `"table.column"`.
+pub fn column_answer(table: &str, column: &str) -> String {
+    format!("{table}.{column}")
+}
+
+/// Encode a PK-FK answer as `"pk_table.pk_col->fk_table.fk_col"`.
+pub fn pkfk_answer(pk: &(String, String), fk: &(String, String)) -> String {
+    format!("{}.{}->{}.{}", pk.0, pk.1, fk.0, fk.1)
+}
+
+/// Build the Doc→Table benchmark for a lake (1A/1B/1C depending on the lake).
+pub fn doc_to_table_benchmark(id: BenchmarkId, synth: &SyntheticLake) -> Benchmark {
+    let queries = synth
+        .truth
+        .doc_to_table
+        .iter()
+        .map(|(doc, tables)| Query {
+            input: QueryInput::Document(*doc),
+            expected: tables.clone(),
+        })
+        .collect();
+    Benchmark {
+        id,
+        kind: BenchmarkKind::DocToTable,
+        lake_name: synth.lake.name.clone(),
+        queries,
+    }
+}
+
+/// Build the syntactic-join benchmark for a lake (2A/2B/2C).
+pub fn syntactic_join_benchmark(id: BenchmarkId, synth: &SyntheticLake) -> Benchmark {
+    let queries = synth
+        .truth
+        .joinable
+        .iter()
+        .map(|(key, answers)| Query {
+            input: QueryInput::Column {
+                table: key.0.clone(),
+                column: key.1.clone(),
+            },
+            expected: answers
+                .iter()
+                .map(|(t, c)| column_answer(t, c))
+                .collect(),
+        })
+        .collect();
+    Benchmark {
+        id,
+        kind: BenchmarkKind::SyntacticJoin,
+        lake_name: synth.lake.name.clone(),
+        queries,
+    }
+}
+
+/// Build the PK-FK benchmark (2D): one query whose answer is every PK-FK link.
+pub fn pkfk_benchmark(id: BenchmarkId, synth: &SyntheticLake) -> Benchmark {
+    let expected = synth
+        .truth
+        .pkfk
+        .iter()
+        .map(|(pk, fk)| pkfk_answer(pk, fk))
+        .collect();
+    Benchmark {
+        id,
+        kind: BenchmarkKind::PkFk,
+        lake_name: synth.lake.name.clone(),
+        queries: vec![Query {
+            input: QueryInput::Lake,
+            expected,
+        }],
+    }
+}
+
+/// Build the unionability benchmark (3A/3B).
+pub fn unionable_benchmark(id: BenchmarkId, synth: &SyntheticLake) -> Benchmark {
+    let queries = synth
+        .truth
+        .unionable
+        .iter()
+        .map(|(table, others)| Query {
+            input: QueryInput::Table(table.clone()),
+            expected: others.clone(),
+        })
+        .collect();
+    Benchmark {
+        id,
+        kind: BenchmarkKind::Unionable,
+        lake_name: synth.lake.name.clone(),
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{self, MlOpenScale};
+
+    #[test]
+    fn doc_to_table_benchmark_shape() {
+        let synth = synth::pharma::generate(&synth::PharmaConfig::tiny());
+        let b = doc_to_table_benchmark(BenchmarkId::B1B, &synth);
+        assert_eq!(b.kind, BenchmarkKind::DocToTable);
+        assert_eq!(b.num_queries(), synth.truth.num_doc_queries());
+        assert!(b.avg_answer_size() >= 2.0);
+        let mqcr = b.median_qcr(&synth.lake);
+        assert!(mqcr > 0.0 && mqcr <= 1.0);
+    }
+
+    #[test]
+    fn join_benchmark_answers_encoded() {
+        let synth = synth::ukopen::generate(&synth::UkOpenConfig::tiny());
+        let b = syntactic_join_benchmark(BenchmarkId::B2A, &synth);
+        assert!(b.num_queries() > 0);
+        let q = &b.queries[0];
+        assert!(q.expected.iter().all(|a| a.contains('.')));
+    }
+
+    #[test]
+    fn pkfk_single_query() {
+        let synth = synth::pharma::generate(&synth::PharmaConfig::tiny());
+        let b = pkfk_benchmark(BenchmarkId::B2D, &synth);
+        assert_eq!(b.num_queries(), 1);
+        assert_eq!(b.queries[0].expected.len(), synth.truth.num_pkfk_links());
+        assert!(b.queries[0].expected.iter().all(|a| a.contains("->")));
+    }
+
+    #[test]
+    fn unionable_benchmark_from_mlopen() {
+        let synth = synth::mlopen(MlOpenScale::Small);
+        let b = unionable_benchmark(BenchmarkId::B3B, &synth);
+        assert!(b.num_queries() > 0);
+        assert!(b.avg_answer_size() >= 1.0);
+    }
+
+    #[test]
+    fn benchmark_labels() {
+        assert_eq!(BenchmarkId::B1A.label(), "1A");
+        assert_eq!(BenchmarkId::B2D.label(), "2D");
+        assert_eq!(BenchmarkId::B3B.label(), "3B");
+    }
+
+    #[test]
+    fn median_of_empty_is_zero() {
+        let b = Benchmark {
+            id: BenchmarkId::B1A,
+            kind: BenchmarkKind::DocToTable,
+            lake_name: "x".into(),
+            queries: vec![],
+        };
+        let lake = DataLake::new("x");
+        assert_eq!(b.median_qcr(&lake), 0.0);
+        assert_eq!(b.avg_answer_size(), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Minimal CSV ingestion and serialization for tabular data.
+//!
+//! The UK-Open and ML-Open lakes of the paper are collections of CSV files;
+//! this module provides a small, dependency-free CSV reader (supporting
+//! quoted fields, embedded commas, and escaped quotes) that converts files
+//! into [`Table`]s, plus a writer used by examples and tests.
+
+use std::path::Path;
+
+use thiserror::Error;
+
+use crate::model::{Column, Table, Value};
+
+/// Errors raised while reading CSV data.
+#[derive(Debug, Error)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    #[error("io error reading {path}: {source}")]
+    Io {
+        /// File path.
+        path: String,
+        /// Source error.
+        #[source]
+        source: std::io::Error,
+    },
+    /// The input had no header row.
+    #[error("csv input is empty (no header row)")]
+    Empty,
+    /// A data row had more fields than the header.
+    #[error("row {row} has {found} fields but the header has {expected}")]
+    RaggedRow {
+        /// 1-based row number.
+        row: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+}
+
+/// Parse CSV text into rows of string fields.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        field.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if !field.is_empty() || !row.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Convert CSV text into a [`Table`]. The first row is the header.
+pub fn table_from_csv(name: impl Into<String>, text: &str) -> Result<Table, CsvError> {
+    let rows = parse_csv(text);
+    let Some((header, data)) = rows.split_first() else {
+        return Err(CsvError::Empty);
+    };
+    let ncols = header.len();
+    let mut columns: Vec<Vec<Value>> = vec![Vec::with_capacity(data.len()); ncols];
+    for (i, row) in data.iter().enumerate() {
+        if row.len() > ncols {
+            return Err(CsvError::RaggedRow {
+                row: i + 2,
+                found: row.len(),
+                expected: ncols,
+            });
+        }
+        for c in 0..ncols {
+            let raw = row.get(c).map(|s| s.as_str()).unwrap_or("");
+            columns[c].push(Value::parse(raw));
+        }
+    }
+    Ok(Table::new(
+        name,
+        header
+            .iter()
+            .zip(columns)
+            .map(|(name, values)| Column::new(name.clone(), values))
+            .collect(),
+    ))
+}
+
+/// Read a CSV file into a [`Table`] named after the file stem.
+pub fn table_from_csv_file(path: impl AsRef<Path>) -> Result<Table, CsvError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|source| CsvError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| "table".to_string());
+    table_from_csv(name, &text)
+}
+
+/// Serialize a [`Table`] to CSV text (header + rows), quoting fields that
+/// contain commas, quotes, or newlines.
+pub fn table_to_csv(table: &Table) -> String {
+    fn escape(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(
+        &table
+            .columns
+            .iter()
+            .map(|c| escape(&c.name))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in 0..table.num_rows() {
+        let line = table
+            .columns
+            .iter()
+            .map(|c| escape(&c.values[row].as_text()))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ColumnType;
+
+    #[test]
+    fn parses_simple_csv() {
+        let table = table_from_csv("drugs", "id,name\nDB1,Pemetrexed\nDB2,Citric Acid\n").unwrap();
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(table.schema(), vec!["id", "name"]);
+        assert_eq!(table.column("name").unwrap().values[0].as_text(), "Pemetrexed");
+    }
+
+    #[test]
+    fn parses_quoted_fields() {
+        let table =
+            table_from_csv("t", "a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(table.column("a").unwrap().values[0].as_text(), "x, y");
+        assert_eq!(table.column("b").unwrap().values[0].as_text(), "he said \"hi\"");
+    }
+
+    #[test]
+    fn numeric_columns_typed() {
+        let table = table_from_csv("t", "id,dose\n1,0.5\n2,1.5\n").unwrap();
+        assert_eq!(table.column("dose").unwrap().infer_type(), ColumnType::Numeric);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(table_from_csv("t", ""), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        let err = table_from_csv("t", "a,b\n1,2,3\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { row: 2, found: 3, expected: 2 }));
+    }
+
+    #[test]
+    fn short_rows_padded_with_null() {
+        let table = table_from_csv("t", "a,b\n1\n").unwrap();
+        assert!(table.column("b").unwrap().values[0].is_null());
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let table = table_from_csv("t", "a\nx").unwrap();
+        assert_eq!(table.num_rows(), 1);
+    }
+
+    #[test]
+    fn roundtrip_through_csv() {
+        let original = table_from_csv("t", "name,dose\n\"a, b\",1.5\nplain,2\n").unwrap();
+        let csv = table_to_csv(&original);
+        let back = table_from_csv("t", &csv).unwrap();
+        assert_eq!(back.num_rows(), original.num_rows());
+        assert_eq!(
+            back.column("name").unwrap().values[0].as_text(),
+            "a, b"
+        );
+    }
+
+    #[test]
+    fn file_not_found_is_io_error() {
+        let err = table_from_csv_file("/nonexistent/file.csv").unwrap_err();
+        assert!(matches!(err, CsvError::Io { .. }));
+    }
+}

@@ -1,0 +1,201 @@
+//! Ground-truth relationship containers.
+//!
+//! Every benchmark in the paper evaluates discovered relationships against a
+//! ground truth obtained synthetically, from schema definitions, by brute
+//! force, or by manual annotation (Table 2, "Ground Truth Generation").
+//! [`GroundTruth`] stores all four relationship families keyed by stable
+//! names (table / column / document identifiers) so it survives lake
+//! re-profiling.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// A (table, column) name pair identifying a column.
+pub type ColumnKey = (String, String);
+
+/// Ground-truth relationships for one data lake.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Document index → set of related table names (Doc→Table task).
+    pub doc_to_table: BTreeMap<usize, BTreeSet<String>>,
+    /// Syntactic-join ground truth: for a query column, the set of joinable
+    /// columns (in other tables).
+    pub joinable: BTreeMap<ColumnKey, BTreeSet<ColumnKey>>,
+    /// PK-FK links: (primary key column, foreign key column).
+    pub pkfk: BTreeSet<(ColumnKey, ColumnKey)>,
+    /// Unionable-table ground truth: table name → set of unionable tables.
+    pub unionable: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl GroundTruth {
+    /// Create an empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that document `doc` is related to table `table`.
+    pub fn add_doc_table(&mut self, doc: usize, table: impl Into<String>) {
+        self.doc_to_table.entry(doc).or_default().insert(table.into());
+    }
+
+    /// Record a joinable column pair (stored symmetrically).
+    pub fn add_joinable(
+        &mut self,
+        a: (impl Into<String>, impl Into<String>),
+        b: (impl Into<String>, impl Into<String>),
+    ) {
+        let a = (a.0.into(), a.1.into());
+        let b = (b.0.into(), b.1.into());
+        self.joinable.entry(a.clone()).or_default().insert(b.clone());
+        self.joinable.entry(b).or_default().insert(a);
+    }
+
+    /// Record a PK-FK link from a primary-key column to a foreign-key column.
+    pub fn add_pkfk(
+        &mut self,
+        pk: (impl Into<String>, impl Into<String>),
+        fk: (impl Into<String>, impl Into<String>),
+    ) {
+        self.pkfk
+            .insert(((pk.0.into(), pk.1.into()), (fk.0.into(), fk.1.into())));
+    }
+
+    /// Record a unionable table pair (stored symmetrically).
+    pub fn add_unionable(&mut self, a: impl Into<String>, b: impl Into<String>) {
+        let a = a.into();
+        let b = b.into();
+        self.unionable.entry(a.clone()).or_default().insert(b.clone());
+        self.unionable.entry(b).or_default().insert(a);
+    }
+
+    /// Tables related to a document, if any.
+    pub fn tables_for_doc(&self, doc: usize) -> Option<&BTreeSet<String>> {
+        self.doc_to_table.get(&doc)
+    }
+
+    /// Columns joinable with the given column, if any.
+    pub fn joinable_for(&self, table: &str, column: &str) -> Option<&BTreeSet<ColumnKey>> {
+        self.joinable.get(&(table.to_string(), column.to_string()))
+    }
+
+    /// Tables unionable with the given table, if any.
+    pub fn unionable_for(&self, table: &str) -> Option<&BTreeSet<String>> {
+        self.unionable.get(table)
+    }
+
+    /// Is `(pk, fk)` a known PK-FK link?
+    pub fn is_pkfk(&self, pk: &ColumnKey, fk: &ColumnKey) -> bool {
+        self.pkfk.contains(&(pk.clone(), fk.clone()))
+    }
+
+    /// Number of documents with at least one related table.
+    pub fn num_doc_queries(&self) -> usize {
+        self.doc_to_table.len()
+    }
+
+    /// Number of distinct join query columns.
+    pub fn num_join_queries(&self) -> usize {
+        self.joinable.len()
+    }
+
+    /// Number of PK-FK links.
+    pub fn num_pkfk_links(&self) -> usize {
+        self.pkfk.len()
+    }
+
+    /// Merge another ground truth into this one.
+    pub fn merge(&mut self, other: &GroundTruth) {
+        for (doc, tables) in &other.doc_to_table {
+            self.doc_to_table
+                .entry(*doc)
+                .or_default()
+                .extend(tables.iter().cloned());
+        }
+        for (k, vs) in &other.joinable {
+            self.joinable
+                .entry(k.clone())
+                .or_default()
+                .extend(vs.iter().cloned());
+        }
+        self.pkfk.extend(other.pkfk.iter().cloned());
+        for (k, vs) in &other.unionable {
+            self.unionable
+                .entry(k.clone())
+                .or_default()
+                .extend(vs.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_table_links() {
+        let mut gt = GroundTruth::new();
+        gt.add_doc_table(0, "Drugs");
+        gt.add_doc_table(0, "Enzyme_Targets");
+        gt.add_doc_table(3, "Drugs");
+        assert_eq!(gt.num_doc_queries(), 2);
+        assert_eq!(gt.tables_for_doc(0).unwrap().len(), 2);
+        assert!(gt.tables_for_doc(1).is_none());
+    }
+
+    #[test]
+    fn joinable_symmetric() {
+        let mut gt = GroundTruth::new();
+        gt.add_joinable(("Drugs", "Id"), ("Targets", "DrugKey"));
+        assert!(gt.joinable_for("Drugs", "Id").unwrap().contains(&("Targets".into(), "DrugKey".into())));
+        assert!(gt.joinable_for("Targets", "DrugKey").unwrap().contains(&("Drugs".into(), "Id".into())));
+        assert_eq!(gt.num_join_queries(), 2);
+    }
+
+    #[test]
+    fn pkfk_links() {
+        let mut gt = GroundTruth::new();
+        gt.add_pkfk(("Drugs", "Id"), ("Targets", "DrugKey"));
+        assert_eq!(gt.num_pkfk_links(), 1);
+        assert!(gt.is_pkfk(
+            &("Drugs".into(), "Id".into()),
+            &("Targets".into(), "DrugKey".into())
+        ));
+        assert!(!gt.is_pkfk(
+            &("Targets".into(), "DrugKey".into()),
+            &("Drugs".into(), "Id".into())
+        ));
+    }
+
+    #[test]
+    fn unionable_symmetric() {
+        let mut gt = GroundTruth::new();
+        gt.add_unionable("A", "B");
+        assert!(gt.unionable_for("A").unwrap().contains("B"));
+        assert!(gt.unionable_for("B").unwrap().contains("A"));
+        assert!(gt.unionable_for("C").is_none());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = GroundTruth::new();
+        a.add_doc_table(0, "T1");
+        let mut b = GroundTruth::new();
+        b.add_doc_table(0, "T2");
+        b.add_unionable("X", "Y");
+        a.merge(&b);
+        assert_eq!(a.tables_for_doc(0).unwrap().len(), 2);
+        assert!(a.unionable_for("X").is_some());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut gt = GroundTruth::new();
+        gt.add_doc_table(1, "T");
+        gt.add_pkfk(("A", "id"), ("B", "a_id"));
+        let json = serde_json::to_string(&gt).unwrap();
+        let back: GroundTruth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_pkfk_links(), 1);
+        assert_eq!(back.num_doc_queries(), 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cmdl-datalake
+//!
+//! The data-lake model CMDL discovers over, together with the synthetic lake
+//! generators and benchmark workloads used to reproduce the paper's
+//! evaluation.
+//!
+//! * [`model`] — tables, columns, typed values, documents, and the
+//!   [`DataLake`](model::DataLake) container that assigns every discoverable
+//!   element (column or document) a stable id.
+//! * [`csv`] — a small CSV reader/writer for loading real tabular data.
+//! * [`groundtruth`] — containers for the ground-truth relationships each
+//!   benchmark evaluates against (Doc→Table links, joinable column pairs,
+//!   PK-FK links, unionable table pairs).
+//! * [`synth`] — synthetic generators for the three data lakes of the paper
+//!   (Pharma, UK-Open, ML-Open) with ground truth emitted by construction.
+//! * [`benchmarks`] — the nine benchmark workloads (1A–3B) of Table 2,
+//!   including the query sets and the `mQCR` statistic.
+//! * [`stats`] — data-lake statistics used to regenerate Table 1.
+
+pub mod benchmarks;
+pub mod csv;
+pub mod groundtruth;
+pub mod model;
+pub mod stats;
+pub mod synth;
+
+pub use benchmarks::{Benchmark, BenchmarkId, BenchmarkKind, Query, QueryInput};
+pub use groundtruth::GroundTruth;
+pub use model::{Column, ColumnRef, ColumnType, DataLake, DeId, DeKind, Document, Table, Value};
+pub use stats::LakeStats;

@@ -1,0 +1,115 @@
+//! Data-lake statistics (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{ColumnType, DataLake};
+
+/// Summary statistics of one data lake, mirroring the columns of the paper's
+/// Table 1 (number of tables, number of DEs, size, fraction of numeric
+/// attributes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LakeStats {
+    /// Lake name.
+    pub name: String,
+    /// Number of tables.
+    pub num_tables: usize,
+    /// Number of tabular DEs (columns).
+    pub num_columns: usize,
+    /// Number of document DEs.
+    pub num_documents: usize,
+    /// Total number of cells across tables.
+    pub num_cells: usize,
+    /// Approximate size of the textual content in bytes.
+    pub approx_bytes: usize,
+    /// Fraction of columns that are numeric.
+    pub numeric_ratio: f64,
+}
+
+impl LakeStats {
+    /// Compute statistics for a lake.
+    pub fn compute(lake: &DataLake) -> Self {
+        let mut num_columns = 0usize;
+        let mut numeric = 0usize;
+        let mut num_cells = 0usize;
+        let mut approx_bytes = 0usize;
+        for table in lake.tables() {
+            for column in &table.columns {
+                num_columns += 1;
+                if column.infer_type() == ColumnType::Numeric {
+                    numeric += 1;
+                }
+                num_cells += column.len();
+                approx_bytes += column
+                    .values
+                    .iter()
+                    .map(|v| v.as_text().len())
+                    .sum::<usize>();
+            }
+        }
+        for doc in lake.documents() {
+            approx_bytes += doc.text.len();
+        }
+        Self {
+            name: lake.name.clone(),
+            num_tables: lake.num_tables(),
+            num_columns,
+            num_documents: lake.num_documents(),
+            num_cells,
+            approx_bytes,
+            numeric_ratio: if num_columns == 0 {
+                0.0
+            } else {
+                numeric as f64 / num_columns as f64
+            },
+        }
+    }
+
+    /// Total number of discoverable elements (columns + documents).
+    pub fn num_des(&self) -> usize {
+        self.num_columns + self.num_documents
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Column, Document, Table};
+
+    #[test]
+    fn stats_of_small_lake() {
+        let mut lake = DataLake::new("test");
+        lake.add_table(Table::new(
+            "T",
+            vec![
+                Column::from_texts("a", ["x", "y"]),
+                Column::from_numbers("b", [1.0, 2.0]),
+            ],
+        ));
+        lake.add_document(Document::new("d", "src", "hello world"));
+        let stats = LakeStats::compute(&lake);
+        assert_eq!(stats.num_tables, 1);
+        assert_eq!(stats.num_columns, 2);
+        assert_eq!(stats.num_documents, 1);
+        assert_eq!(stats.num_des(), 3);
+        assert_eq!(stats.num_cells, 4);
+        assert!((stats.numeric_ratio - 0.5).abs() < 1e-12);
+        assert!(stats.approx_bytes > 10);
+    }
+
+    #[test]
+    fn empty_lake() {
+        let stats = LakeStats::compute(&DataLake::new("empty"));
+        assert_eq!(stats.num_des(), 0);
+        assert_eq!(stats.numeric_ratio, 0.0);
+    }
+
+    #[test]
+    fn pharma_lake_stats_match_shape() {
+        let synth = crate::synth::pharma::generate(&crate::synth::PharmaConfig::tiny());
+        let stats = LakeStats::compute(&synth.lake);
+        assert!(stats.num_tables > 10);
+        assert!(stats.num_documents > 0);
+        // Pharma is mostly textual with a minority of numeric columns.
+        assert!(stats.numeric_ratio > 0.0 && stats.numeric_ratio < 0.6);
+    }
+}

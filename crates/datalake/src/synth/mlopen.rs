@@ -1,0 +1,295 @@
+//! The synthetic ML-Open data lake.
+//!
+//! The paper's ML-Open lake collects ML datasets from Kaggle/OpenML in three
+//! scale variants (Small, Medium, Large) plus a corpus of review documents.
+//! The distinguishing characteristics reproduced here are:
+//!
+//! * **numeric-heavy tables** (33%–69% numeric attributes, Table 1), each
+//!   describing a "dataset" with id, feature columns, and a label column;
+//! * **dataset families** sharing id domains (train/test/validation splits of
+//!   the same dataset are joinable and unionable);
+//! * **review documents** describing a dataset in natural language — these
+//!   drive Benchmark 1C, where the ground truth is sparse (low mQCR) and
+//!   "manually annotated" in the paper; here it is emitted by construction.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::groundtruth::GroundTruth;
+use crate::model::{Column, DataLake, Document, Table};
+
+use super::vocab::{REVIEW_DOMAINS, REVIEW_TOPICS};
+use super::SyntheticLake;
+
+/// The three scale variants of the ML-Open lake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MlOpenScale {
+    /// Small Scale (SS): few datasets, small files.
+    Small,
+    /// Medium Scale (MS): more datasets and columns.
+    Medium,
+    /// Large Scale (LS): many numeric columns, highly skewed cardinalities.
+    Large,
+}
+
+impl MlOpenScale {
+    /// Short label as used in the paper's tables ("SS", "MS", "LS").
+    pub fn label(&self) -> &'static str {
+        match self {
+            MlOpenScale::Small => "SS",
+            MlOpenScale::Medium => "MS",
+            MlOpenScale::Large => "LS",
+        }
+    }
+}
+
+/// Configuration for the ML-Open generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlOpenConfig {
+    /// Scale variant.
+    pub scale: MlOpenScale,
+    /// Number of dataset families.
+    pub num_datasets: usize,
+    /// Splits per dataset (train/test/validation …): tables per family.
+    pub splits_per_dataset: usize,
+    /// Feature (numeric) columns per table.
+    pub features_per_table: usize,
+    /// Rows per table.
+    pub rows_per_table: usize,
+    /// Number of review documents.
+    pub num_documents: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MlOpenConfig {
+    /// Default configuration for a given scale (sizes chosen so the relative
+    /// proportions between SS/MS/LS match Table 1's shape while remaining
+    /// laptop-friendly).
+    pub fn at_scale(scale: MlOpenScale) -> Self {
+        match scale {
+            MlOpenScale::Small => Self {
+                scale,
+                num_datasets: 7,
+                splits_per_dataset: 2,
+                features_per_table: 5,
+                rows_per_table: 40,
+                num_documents: 40,
+                seed: 0x310,
+            },
+            MlOpenScale::Medium => Self {
+                scale,
+                num_datasets: 20,
+                splits_per_dataset: 3,
+                features_per_table: 7,
+                rows_per_table: 80,
+                num_documents: 80,
+                seed: 0x311,
+            },
+            MlOpenScale::Large => Self {
+                scale,
+                num_datasets: 10,
+                splits_per_dataset: 2,
+                features_per_table: 25,
+                rows_per_table: 400,
+                num_documents: 60,
+                seed: 0x312,
+            },
+        }
+    }
+
+    /// A very small configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            scale: MlOpenScale::Small,
+            num_datasets: 3,
+            splits_per_dataset: 2,
+            features_per_table: 3,
+            rows_per_table: 15,
+            num_documents: 10,
+            seed: 0x310,
+        }
+    }
+}
+
+/// Generate the ML-Open lake at the configured scale.
+pub fn generate(config: &MlOpenConfig) -> SyntheticLake {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut lake = DataLake::new(format!("ML-Open-{}", config.scale.label()));
+    let mut truth = GroundTruth::new();
+
+    let mut dataset_names = Vec::with_capacity(config.num_datasets);
+    for d in 0..config.num_datasets {
+        let domain = REVIEW_DOMAINS[d % REVIEW_DOMAINS.len()];
+        let topic = REVIEW_TOPICS[d % REVIEW_TOPICS.len()];
+        dataset_names.push(format!("{domain}_{topic}"));
+    }
+
+    let splits = ["train", "test", "valid", "holdout"];
+    for (d, dataset) in dataset_names.iter().enumerate() {
+        let mut family = Vec::new();
+        for s in 0..config.splits_per_dataset {
+            let split = splits[s % splits.len()];
+            let name = format!("{dataset}_{split}");
+            let rows = config.rows_per_table;
+            let ids: Vec<String> = (0..rows).map(|r| format!("{dataset}-{:05}", r + s * rows)).collect();
+            let mut columns = vec![
+                Column::from_texts("record_id", ids),
+                Column::from_texts(
+                    "dataset_name",
+                    (0..rows).map(|_| dataset.clone()),
+                ),
+            ];
+            for f in 0..config.features_per_table {
+                let base = (d * 31 + f * 7) as f64;
+                columns.push(Column::from_numbers(
+                    format!("feature_{f}"),
+                    (0..rows).map(|r| base + (r as f64) * 0.5 + rng.gen_range(-1.0..1.0)),
+                ));
+            }
+            columns.push(Column::from_texts(
+                "label",
+                (0..rows).map(|r| format!("class_{}", r % 3)),
+            ));
+            lake.add_table(Table::new(name.clone(), columns));
+            family.push(name);
+        }
+        // Splits of the same dataset are unionable and joinable on dataset_name.
+        for i in 0..family.len() {
+            for j in i + 1..family.len() {
+                truth.add_unionable(family[i].clone(), family[j].clone());
+                truth.add_joinable(
+                    (family[i].as_str(), "dataset_name"),
+                    (family[j].as_str(), "dataset_name"),
+                );
+            }
+        }
+    }
+
+    // A catalog table joining everything by dataset name.
+    lake.add_table(Table::new(
+        "dataset_catalog",
+        vec![
+            Column::from_texts("dataset_name", dataset_names.clone()),
+            Column::from_texts(
+                "task",
+                (0..config.num_datasets).map(|d| REVIEW_TOPICS[d % REVIEW_TOPICS.len()].to_string()),
+            ),
+            Column::from_numbers(
+                "num_rows",
+                (0..config.num_datasets).map(|_| config.rows_per_table as f64),
+            ),
+        ],
+    ));
+    for (_d, dataset) in dataset_names.iter().enumerate() {
+        for s in 0..config.splits_per_dataset {
+            let split = splits[s % splits.len()];
+            truth.add_joinable(
+                ("dataset_catalog", "dataset_name"),
+                (format!("{dataset}_{split}").as_str(), "dataset_name"),
+            );
+            truth.add_pkfk(
+                ("dataset_catalog", "dataset_name"),
+                (format!("{dataset}_{split}").as_str(), "dataset_name"),
+            );
+        }
+    }
+
+    // Review documents: each reviews one dataset; ground truth links it to the
+    // dataset's split tables and the catalog (sparse ground truth → low mQCR).
+    for d in 0..config.num_documents {
+        let dataset_idx = d % dataset_names.len();
+        let dataset = &dataset_names[dataset_idx];
+        let domain = REVIEW_DOMAINS[dataset_idx % REVIEW_DOMAINS.len()];
+        let topic = REVIEW_TOPICS[dataset_idx % REVIEW_TOPICS.len()];
+        let text = format!(
+            "This dataset, {dataset}, contains {domain} records collected for a {topic} task. \
+             Each record carries several numeric features and a class label. The {dataset} data \
+             is split into train and test partitions and is frequently used to benchmark \
+             {topic} models on {domain} problems. Reviewers note the label distribution is \
+             imbalanced and recommend stratified sampling.",
+        );
+        let doc_idx = lake.add_document(Document::new(
+            format!("review-{dataset}-{d}"),
+            "Reviews",
+            text,
+        ));
+        for s in 0..config.splits_per_dataset {
+            let split = splits[s % splits.len()];
+            truth.add_doc_table(doc_idx, format!("{dataset}_{split}"));
+        }
+        truth.add_doc_table(doc_idx, "dataset_catalog");
+    }
+
+    SyntheticLake { lake, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ColumnType;
+
+    #[test]
+    fn generates_all_scales() {
+        for scale in [MlOpenScale::Small, MlOpenScale::Medium, MlOpenScale::Large] {
+            let cfg = MlOpenConfig::at_scale(scale);
+            let SyntheticLake { lake, .. } = generate(&cfg);
+            assert_eq!(
+                lake.num_tables(),
+                cfg.num_datasets * cfg.splits_per_dataset + 1
+            );
+            assert_eq!(lake.num_documents(), cfg.num_documents);
+        }
+    }
+
+    #[test]
+    fn large_scale_is_numeric_heavy() {
+        let SyntheticLake { lake, .. } = generate(&MlOpenConfig::at_scale(MlOpenScale::Large));
+        let mut numeric = 0usize;
+        let mut total = 0usize;
+        for t in lake.tables() {
+            for c in &t.columns {
+                total += 1;
+                if c.infer_type() == ColumnType::Numeric {
+                    numeric += 1;
+                }
+            }
+        }
+        let ratio = numeric as f64 / total as f64;
+        assert!(ratio > 0.6, "LS should be numeric heavy, got {ratio}");
+    }
+
+    #[test]
+    fn splits_are_unionable_and_joinable() {
+        let SyntheticLake { truth, lake } = generate(&MlOpenConfig::tiny());
+        let first = lake.tables()[0].name.clone();
+        let second = lake.tables()[1].name.clone();
+        assert!(truth.unionable_for(&first).unwrap().contains(&second));
+        assert!(truth
+            .joinable_for(&first, "dataset_name")
+            .unwrap()
+            .contains(&(second.clone(), "dataset_name".to_string())));
+    }
+
+    #[test]
+    fn reviews_linked_to_dataset_tables() {
+        let SyntheticLake { lake, truth } = generate(&MlOpenConfig::tiny());
+        let tables = truth.tables_for_doc(0).unwrap();
+        assert!(tables.len() >= 2);
+        let doc = &lake.documents()[0];
+        assert!(doc.source == "Reviews");
+        // The review mentions the dataset name it is linked to.
+        assert!(tables.iter().any(|t| {
+            let base = t.trim_end_matches("_train").trim_end_matches("_test");
+            doc.text.contains(base) || t == "dataset_catalog"
+        }));
+    }
+
+    #[test]
+    fn scale_labels() {
+        assert_eq!(MlOpenScale::Small.label(), "SS");
+        assert_eq!(MlOpenScale::Medium.label(), "MS");
+        assert_eq!(MlOpenScale::Large.label(), "LS");
+    }
+}

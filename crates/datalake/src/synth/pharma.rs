@@ -1,0 +1,501 @@
+//! The synthetic Pharma data lake.
+//!
+//! Reproduces the shape of the paper's Pharma lake (DrugBank + ChEMBL + ChEBI
+//! tables and PubMed/MedLine abstracts):
+//!
+//! * a **DrugBank-like** schema: `Drugs`, `Enzymes`, `Enzyme_Targets`,
+//!   `Drug_Interactions`, `Dosages`, `Trials`, with PK-FK constraints;
+//! * a **ChEMBL-like** schema: `Compounds`, `Assays`, `Activities`, with
+//!   numeric-heavy columns and schema-defined foreign keys;
+//! * a **ChEBI-like** schema: `Chemical_Entities`, `Chemical_Relations`, with
+//!   numeric identifiers;
+//! * **abstract documents** that cite specific drugs and enzymes, which
+//!   yields the Doc→Table ground truth (Benchmark 1B: "From the database");
+//! * **DrugBank-Synthetic** tables: projections/selections of the base tables
+//!   used for the unionability benchmark 3B, mirroring the TUS-style
+//!   generation the paper describes.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::groundtruth::GroundTruth;
+use crate::model::{Column, DataLake, Document, Table, Value};
+
+use super::vocab;
+use super::SyntheticLake;
+
+/// Configuration for the Pharma generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PharmaConfig {
+    /// Number of drugs in the DrugBank-like tables.
+    pub num_drugs: usize,
+    /// Number of enzymes / targets.
+    pub num_enzymes: usize,
+    /// Number of abstract documents.
+    pub num_documents: usize,
+    /// Number of drug-drug interaction rows.
+    pub num_interactions: usize,
+    /// Number of synthetic projection tables (for unionability).
+    pub num_synthetic_tables: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PharmaConfig {
+    fn default() -> Self {
+        Self {
+            num_drugs: 120,
+            num_enzymes: 60,
+            num_documents: 200,
+            num_interactions: 300,
+            num_synthetic_tables: 12,
+            seed: 0xFA21A,
+        }
+    }
+}
+
+impl PharmaConfig {
+    /// A small configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_drugs: 30,
+            num_enzymes: 15,
+            num_documents: 40,
+            num_interactions: 60,
+            num_synthetic_tables: 6,
+            seed: 0xFA21A,
+        }
+    }
+}
+
+/// Generate the Pharma lake.
+pub fn generate(config: &PharmaConfig) -> SyntheticLake {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut lake = DataLake::new("Pharma");
+    let mut truth = GroundTruth::new();
+
+    let drug_names = vocab::drug_names(config.num_drugs, &mut rng);
+    let enzyme_names = vocab::enzyme_names(config.num_enzymes, &mut rng);
+    let drug_ids: Vec<String> = (0..config.num_drugs).map(vocab::drug_id).collect();
+    let target_ids: Vec<String> = (0..config.num_enzymes).map(vocab::target_id).collect();
+
+    // ---- DrugBank-like tables -------------------------------------------------
+    let drug_descriptions: Vec<String> = drug_names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let enzyme = &enzyme_names[i % enzyme_names.len()];
+            format!(
+                "{name} is a {} drug that inhibits {enzyme} and is used in {} therapy",
+                ["chemotherapy", "antibiotic", "antiviral", "anticoagulant"][i % 4],
+                ["cancer", "infection", "cardiovascular", "metabolic"][i % 4]
+            )
+        })
+        .collect();
+    lake.add_table(Table::new(
+        "Drugs",
+        vec![
+            Column::from_texts("Id", drug_ids.clone()),
+            Column::from_texts("Drug", drug_names.clone()),
+            Column::from_texts("Description", drug_descriptions),
+            Column::from_texts(
+                "Type",
+                (0..config.num_drugs)
+                    .map(|i| ["small molecule", "biotech", "antibody", "peptide"][i % 4].to_string()),
+            ),
+        ],
+    ));
+
+    lake.add_table(Table::new(
+        "Enzymes",
+        vec![
+            Column::from_texts("Id", target_ids.clone()),
+            Column::from_texts("Target", enzyme_names.clone()),
+            Column::from_texts(
+                "Organism",
+                (0..config.num_enzymes).map(|i| ["human", "mouse", "rat", "yeast"][i % 4].to_string()),
+            ),
+            Column::from_numbers(
+                "Molecular_Weight",
+                (0..config.num_enzymes).map(|i| 20_000.0 + (i as f64) * 137.0),
+            ),
+        ],
+    ));
+
+    // Enzyme_Targets joins enzymes to drugs.
+    let num_links = (config.num_drugs * 2).min(config.num_drugs * config.num_enzymes);
+    let mut et_target_ids = Vec::with_capacity(num_links);
+    let mut et_targets = Vec::with_capacity(num_links);
+    let mut et_actions = Vec::with_capacity(num_links);
+    let mut et_drug_keys = Vec::with_capacity(num_links);
+    let mut drug_to_enzymes: Vec<Vec<usize>> = vec![Vec::new(); config.num_drugs];
+    for i in 0..num_links {
+        let drug = i % config.num_drugs;
+        let enzyme = rng.gen_range(0..config.num_enzymes);
+        drug_to_enzymes[drug].push(enzyme);
+        et_target_ids.push(target_ids[enzyme].clone());
+        et_targets.push(enzyme_names[enzyme].clone());
+        et_actions.push(["inhibitor", "substrate", "inducer", "unknown"][i % 4].to_string());
+        et_drug_keys.push(drug_ids[drug].clone());
+    }
+    lake.add_table(Table::new(
+        "Enzyme_Targets",
+        vec![
+            Column::from_texts("Id", et_target_ids),
+            Column::from_texts("Target", et_targets),
+            Column::from_texts("Action", et_actions),
+            Column::from_texts("Drug_Key", et_drug_keys),
+        ],
+    ));
+
+    // Drug_Interactions references drugs twice.
+    let mut di_a = Vec::with_capacity(config.num_interactions);
+    let mut di_b = Vec::with_capacity(config.num_interactions);
+    let mut di_effect = Vec::with_capacity(config.num_interactions);
+    for _ in 0..config.num_interactions {
+        let a = rng.gen_range(0..config.num_drugs);
+        let b = (a + 1 + rng.gen_range(0..config.num_drugs - 1)) % config.num_drugs;
+        di_a.push(drug_ids[a].clone());
+        di_b.push(drug_ids[b].clone());
+        di_effect.push(format!(
+            "{} {}",
+            drug_names[a],
+            vocab::INTERACTION_EFFECTS.choose(&mut rng).unwrap()
+        ));
+    }
+    lake.add_table(Table::new(
+        "Drug_Interactions",
+        vec![
+            Column::from_texts("Drug_1", di_a),
+            Column::from_texts("Drug_2", di_b),
+            Column::from_texts("Effect", di_effect),
+        ],
+    ));
+
+    // Dosages and Trials (numeric-heavy, FK to drugs).
+    lake.add_table(Table::new(
+        "Dosages",
+        vec![
+            Column::from_texts("Drug_Key", drug_ids.clone()),
+            Column::from_numbers(
+                "Dose_Mg",
+                (0..config.num_drugs).map(|i| 5.0 + (i as f64 % 20.0) * 25.0),
+            ),
+            Column::from_texts(
+                "Route",
+                (0..config.num_drugs).map(|i| ["oral", "intravenous", "topical"][i % 3].to_string()),
+            ),
+        ],
+    ));
+    lake.add_table(Table::new(
+        "Trials",
+        vec![
+            Column::from_texts(
+                "Trial_Id",
+                (0..config.num_drugs).map(|i| format!("NCT{:07}", 100_000 + i)),
+            ),
+            Column::from_texts("Drug_Key", drug_ids.clone()),
+            Column::from_numbers("Phase", (0..config.num_drugs).map(|i| (i % 4 + 1) as f64)),
+            Column::from_numbers("Year", (0..config.num_drugs).map(|i| 2005.0 + (i % 18) as f64)),
+        ],
+    ));
+
+    // ---- ChEMBL-like tables ---------------------------------------------------
+    let chembl_ids: Vec<String> = (0..config.num_drugs).map(vocab::chembl_id).collect();
+    lake.add_table(Table::new(
+        "Compounds",
+        vec![
+            Column::from_texts("Chembl_Id", chembl_ids.clone()),
+            Column::from_texts("Compound_Name", drug_names.clone()),
+            Column::from_numbers(
+                "Molecular_Weight",
+                (0..config.num_drugs).map(|i| 150.0 + (i as f64) * 3.7),
+            ),
+            Column::from_numbers("LogP", (0..config.num_drugs).map(|i| -2.0 + (i % 70) as f64 * 0.1)),
+        ],
+    ));
+    lake.add_table(Table::new(
+        "Assays",
+        vec![
+            Column::from_texts(
+                "Assay_Id",
+                (0..config.num_enzymes).map(|i| format!("ASSAY{:05}", i + 10)),
+            ),
+            Column::from_texts("Target_Name", enzyme_names.clone()),
+            Column::from_numbers(
+                "Confidence",
+                (0..config.num_enzymes).map(|i| (i % 9 + 1) as f64),
+            ),
+        ],
+    ));
+    lake.add_table(Table::new(
+        "Activities",
+        vec![
+            Column::from_texts("Chembl_Id", chembl_ids.clone()),
+            Column::from_texts(
+                "Assay_Id",
+                (0..config.num_drugs).map(|i| format!("ASSAY{:05}", (i % config.num_enzymes) + 10)),
+            ),
+            Column::from_numbers("IC50_nM", (0..config.num_drugs).map(|i| 1.0 + (i as f64) * 13.0)),
+        ],
+    ));
+
+    // ---- ChEBI-like tables (numeric keys) --------------------------------------
+    let chebi_ids: Vec<f64> = (0..config.num_drugs).map(|i| (40_000 + i) as f64).collect();
+    lake.add_table(Table::new(
+        "Chemical_Entities",
+        vec![
+            Column::from_numbers("Chebi_Id", chebi_ids.clone()),
+            Column::from_texts("Entity_Name", drug_names.clone()),
+            Column::from_numbers("Charge", (0..config.num_drugs).map(|i| ((i % 5) as f64) - 2.0)),
+        ],
+    ));
+    lake.add_table(Table::new(
+        "Chemical_Relations",
+        vec![
+            Column::from_numbers("Chebi_Id", chebi_ids.clone()),
+            Column::from_numbers(
+                "Related_Chebi_Id",
+                (0..config.num_drugs).map(|i| (40_000 + ((i + 7) % config.num_drugs)) as f64),
+            ),
+            Column::from_texts(
+                "Relation",
+                (0..config.num_drugs).map(|i| ["is_a", "has_part", "has_role"][i % 3].to_string()),
+            ),
+        ],
+    ));
+
+    // ---- PK-FK ground truth (schema-defined, as in ChEMBL/ChEBI; manual for
+    // DrugBank in the paper — here by construction) ------------------------------
+    truth.add_pkfk(("Drugs", "Id"), ("Enzyme_Targets", "Drug_Key"));
+    truth.add_pkfk(("Drugs", "Id"), ("Drug_Interactions", "Drug_1"));
+    truth.add_pkfk(("Drugs", "Id"), ("Drug_Interactions", "Drug_2"));
+    truth.add_pkfk(("Drugs", "Id"), ("Dosages", "Drug_Key"));
+    truth.add_pkfk(("Drugs", "Id"), ("Trials", "Drug_Key"));
+    truth.add_pkfk(("Enzymes", "Id"), ("Enzyme_Targets", "Id"));
+    truth.add_pkfk(("Compounds", "Chembl_Id"), ("Activities", "Chembl_Id"));
+    truth.add_pkfk(("Assays", "Assay_Id"), ("Activities", "Assay_Id"));
+    truth.add_pkfk(("Chemical_Entities", "Chebi_Id"), ("Chemical_Relations", "Chebi_Id"));
+    truth.add_pkfk(
+        ("Chemical_Entities", "Chebi_Id"),
+        ("Chemical_Relations", "Related_Chebi_Id"),
+    );
+
+    // Syntactic-join ground truth: columns sharing the drug-id domain, the
+    // enzyme domains, and name domains.
+    let join_groups: Vec<Vec<(&str, &str)>> = vec![
+        vec![
+            ("Drugs", "Id"),
+            ("Enzyme_Targets", "Drug_Key"),
+            ("Drug_Interactions", "Drug_1"),
+            ("Drug_Interactions", "Drug_2"),
+            ("Dosages", "Drug_Key"),
+            ("Trials", "Drug_Key"),
+        ],
+        vec![("Drugs", "Drug"), ("Compounds", "Compound_Name"), ("Chemical_Entities", "Entity_Name")],
+        vec![("Enzymes", "Target"), ("Enzyme_Targets", "Target"), ("Assays", "Target_Name")],
+        vec![("Enzymes", "Id"), ("Enzyme_Targets", "Id")],
+        vec![("Compounds", "Chembl_Id"), ("Activities", "Chembl_Id")],
+        vec![("Assays", "Assay_Id"), ("Activities", "Assay_Id")],
+        vec![
+            ("Chemical_Entities", "Chebi_Id"),
+            ("Chemical_Relations", "Chebi_Id"),
+            ("Chemical_Relations", "Related_Chebi_Id"),
+        ],
+    ];
+    for group in &join_groups {
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                if group[i].0 != group[j].0 {
+                    truth.add_joinable(group[i], group[j]);
+                }
+            }
+        }
+    }
+
+    // ---- Abstract documents and Doc→Table ground truth -------------------------
+    for d in 0..config.num_documents {
+        let drug = rng.gen_range(0..config.num_drugs);
+        let enzymes = &drug_to_enzymes[drug];
+        let enzyme = if enzymes.is_empty() {
+            rng.gen_range(0..config.num_enzymes)
+        } else {
+            enzymes[rng.gen_range(0..enzymes.len())]
+        };
+        let other_drug = (drug + 1 + rng.gen_range(0..config.num_drugs - 1)) % config.num_drugs;
+        let text = format!(
+            "{drug_name} is a novel {class} that inhibits {enzyme_name} among other targets. \
+             In vitro studies show that {drug_name} is active against {disease} cells, while \
+             co-administration with {other_name} {effect}. These findings support further \
+             clinical evaluation of {drug_name} dosing regimens.",
+            drug_name = drug_names[drug],
+            class = ["antifolate", "antibiotic", "kinase inhibitor", "antiviral"][d % 4],
+            enzyme_name = enzyme_names[enzyme],
+            disease = ["pancreatic cancer", "lung carcinoma", "bacterial infection", "hepatitis"][d % 4],
+            other_name = drug_names[other_drug],
+            effect = vocab::INTERACTION_EFFECTS[d % vocab::INTERACTION_EFFECTS.len()],
+        );
+        let doc_idx = lake.add_document(Document::new(
+            format!("pubmed-{:07}", 3_000_000 + d),
+            "PubMed",
+            text,
+        ));
+        // The abstract cites a drug and an enzyme: the related tables are the
+        // ones whose rows carry those entities (the drug name appears in the
+        // DrugBank/ChEMBL/ChEBI name columns, the enzyme name in the target
+        // tables). This mirrors the paper's 1B ground truth, which is derived
+        // "from the database" through the citation links.
+        for t in [
+            "Drugs",
+            "Compounds",
+            "Chemical_Entities",
+            "Enzymes",
+            "Enzyme_Targets",
+            "Assays",
+        ] {
+            truth.add_doc_table(doc_idx, t);
+        }
+        if d % 3 == 0 {
+            truth.add_doc_table(doc_idx, "Drug_Interactions");
+        }
+    }
+
+    // ---- DrugBank-Synthetic projection tables for unionability (3B) ------------
+    let base = lake.table("Drugs").expect("Drugs exists").clone();
+    let interactions = lake.table("Drug_Interactions").expect("exists").clone();
+    let mut synthetic_names = Vec::new();
+    for s in 0..config.num_synthetic_tables {
+        let source = if s % 2 == 0 { &base } else { &interactions };
+        let rows = source.num_rows();
+        let keep_rows: Vec<usize> = vocab::sample_indexes(rows, rows / 2 + 1, &mut rng);
+        // Project a subset of columns (at least 2) and select half the rows.
+        let mut col_idx: Vec<usize> = (0..source.num_columns()).collect();
+        col_idx.shuffle(&mut rng);
+        let keep_cols = col_idx[..2.max(source.num_columns() - 1)].to_vec();
+        let columns: Vec<Column> = keep_cols
+            .iter()
+            .map(|&c| {
+                let src = &source.columns[c];
+                Column::new(
+                    src.name.clone(),
+                    keep_rows.iter().map(|&r| src.values[r].clone()).collect::<Vec<Value>>(),
+                )
+            })
+            .collect();
+        let name = format!("{}_proj_{s}", source.name);
+        synthetic_names.push((name.clone(), source.name.clone()));
+        lake.add_table(Table::new(name, columns));
+    }
+    // Unionability ground truth: each projection is unionable with its source
+    // and with other projections of the same source.
+    for (name, source) in &synthetic_names {
+        truth.add_unionable(name.clone(), source.clone());
+        for (other, other_source) in &synthetic_names {
+            if other != name && other_source == source {
+                truth.add_unionable(name.clone(), other.clone());
+            }
+        }
+    }
+
+    SyntheticLake { lake, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_tables() {
+        let SyntheticLake { lake, truth } = generate(&PharmaConfig::tiny());
+        for t in [
+            "Drugs",
+            "Enzymes",
+            "Enzyme_Targets",
+            "Drug_Interactions",
+            "Dosages",
+            "Trials",
+            "Compounds",
+            "Assays",
+            "Activities",
+            "Chemical_Entities",
+            "Chemical_Relations",
+        ] {
+            assert!(lake.table(t).is_some(), "missing table {t}");
+        }
+        assert!(lake.num_tables() >= 11 + PharmaConfig::tiny().num_synthetic_tables);
+        assert_eq!(lake.num_documents(), PharmaConfig::tiny().num_documents);
+        assert!(truth.num_pkfk_links() >= 10);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&PharmaConfig::tiny());
+        let b = generate(&PharmaConfig::tiny());
+        assert_eq!(a.lake.num_tables(), b.lake.num_tables());
+        assert_eq!(
+            a.lake.table("Drugs").unwrap().column("Drug").unwrap().distinct_texts(),
+            b.lake.table("Drugs").unwrap().column("Drug").unwrap().distinct_texts()
+        );
+        assert_eq!(a.lake.documents()[0].text, b.lake.documents()[0].text);
+    }
+
+    #[test]
+    fn fk_values_contained_in_pk() {
+        let SyntheticLake { lake, .. } = generate(&PharmaConfig::tiny());
+        let pk: std::collections::HashSet<String> = lake
+            .table("Drugs")
+            .unwrap()
+            .column("Id")
+            .unwrap()
+            .distinct_texts()
+            .into_iter()
+            .collect();
+        let fk = lake
+            .table("Enzyme_Targets")
+            .unwrap()
+            .column("Drug_Key")
+            .unwrap()
+            .distinct_texts();
+        assert!(fk.iter().all(|v| pk.contains(v)));
+    }
+
+    #[test]
+    fn documents_mention_drugs_from_tables() {
+        let SyntheticLake { lake, truth } = generate(&PharmaConfig::tiny());
+        let drug_names: Vec<String> = lake
+            .table("Drugs")
+            .unwrap()
+            .column("Drug")
+            .unwrap()
+            .distinct_texts();
+        let doc = &lake.documents()[0];
+        assert!(
+            drug_names.iter().any(|d| doc.text.contains(d)),
+            "document should cite a drug name"
+        );
+        assert!(truth.tables_for_doc(0).unwrap().contains("Drugs"));
+    }
+
+    #[test]
+    fn drug_id_key_is_unique() {
+        let SyntheticLake { lake, .. } = generate(&PharmaConfig::tiny());
+        let col = lake.table("Drugs").unwrap().column("Id").unwrap();
+        assert!((col.uniqueness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_tables_unionable_with_source() {
+        let SyntheticLake { lake, truth } = generate(&PharmaConfig::tiny());
+        let proj: Vec<&Table> = lake
+            .tables()
+            .iter()
+            .filter(|t| t.name.contains("_proj_"))
+            .collect();
+        assert!(!proj.is_empty());
+        for t in proj {
+            assert!(truth.unionable_for(&t.name).is_some(), "{} should have union truth", t.name);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The synthetic UK-Open data lake.
+//!
+//! The paper's UK-Open lake is the "Smaller Real" testbed of D3L: hundreds of
+//! open-government CSV tables plus a synthetic text collection (Benchmark
+//! 1A). This generator reproduces its shape:
+//!
+//! * **table families**: for each service category (education, transport, …)
+//!   a family of per-region tables with a shared schema — these families are
+//!   unionable with each other (Benchmark 3A ground truth);
+//! * **reference tables** (`regions`, `councils`) whose code columns are
+//!   foreign keys of the family tables — joinability ground truth
+//!   (Benchmark 2A);
+//! * **synthetic text documents** generated from table rows, so that each
+//!   document is related by construction to the tables its terms came from
+//!   (Benchmark 1A ground truth: "Synthetic").
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::groundtruth::GroundTruth;
+use crate::model::{Column, DataLake, Document, Table};
+
+use super::vocab::{CATEGORIES, REGIONS};
+use super::SyntheticLake;
+
+/// Configuration for the UK-Open generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UkOpenConfig {
+    /// Number of service categories used (≤ `CATEGORIES.len()`).
+    pub num_categories: usize,
+    /// Number of tables per category family (each covering a region subset).
+    pub tables_per_category: usize,
+    /// Rows per generated table.
+    pub rows_per_table: usize,
+    /// Number of synthetic text documents.
+    pub num_documents: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UkOpenConfig {
+    fn default() -> Self {
+        Self {
+            num_categories: 10,
+            tables_per_category: 8,
+            rows_per_table: 60,
+            num_documents: 150,
+            seed: 0x11A0,
+        }
+    }
+}
+
+impl UkOpenConfig {
+    /// A small configuration for fast tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_categories: 4,
+            tables_per_category: 3,
+            rows_per_table: 20,
+            num_documents: 30,
+            seed: 0x11A0,
+        }
+    }
+}
+
+/// Generate the UK-Open lake.
+pub fn generate(config: &UkOpenConfig) -> SyntheticLake {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut lake = DataLake::new("UK-Open");
+    let mut truth = GroundTruth::new();
+
+    let num_regions = REGIONS.len();
+    let region_codes: Vec<String> = (0..num_regions).map(|i| format!("E{:08}", 6_000_000 + i)).collect();
+    let council_names: Vec<String> = REGIONS
+        .iter()
+        .map(|r| format!("{r} county council"))
+        .collect();
+
+    // Reference tables.
+    lake.add_table(Table::new(
+        "regions",
+        vec![
+            Column::from_texts("region_code", region_codes.clone()),
+            Column::from_texts("region_name", REGIONS.iter().map(|s| s.to_string())),
+            Column::from_numbers(
+                "population",
+                (0..num_regions).map(|i| 50_000.0 + (i as f64) * 13_777.0),
+            ),
+        ],
+    ));
+    lake.add_table(Table::new(
+        "councils",
+        vec![
+            Column::from_texts("council_name", council_names.clone()),
+            Column::from_texts("region_code", region_codes.clone()),
+            Column::from_numbers("budget_millions", (0..num_regions).map(|i| 10.0 + i as f64 * 3.5)),
+        ],
+    ));
+    truth.add_joinable(("regions", "region_code"), ("councils", "region_code"));
+    truth.add_pkfk(("regions", "region_code"), ("councils", "region_code"));
+
+    let categories: Vec<&str> = CATEGORIES.iter().take(config.num_categories).copied().collect();
+
+    // Family tables: `<category>_spending_<k>` — unionable within a family and
+    // joinable with the reference tables through `region_code`.
+    for (ci, category) in categories.iter().enumerate() {
+        let mut family_names = Vec::new();
+        for k in 0..config.tables_per_category {
+            let name = format!("{category}_spending_{k}");
+            let rows = config.rows_per_table;
+            let region_idx: Vec<usize> = (0..rows).map(|r| (r + k * 3 + ci) % num_regions).collect();
+            let providers: Vec<String> = (0..rows)
+                .map(|r| format!("{} {} provider {}", REGIONS[region_idx[r]], category, r % 7))
+                .collect();
+            let table = Table::new(
+                name.clone(),
+                vec![
+                    Column::from_texts(
+                        "region_code",
+                        region_idx.iter().map(|&i| region_codes[i].clone()),
+                    ),
+                    Column::from_texts(
+                        "region_name",
+                        region_idx.iter().map(|&i| REGIONS[i].to_string()),
+                    ),
+                    Column::from_texts("provider", providers),
+                    Column::from_texts(
+                        "service_category",
+                        (0..rows).map(|_| category.to_string()),
+                    ),
+                    Column::from_numbers(
+                        "amount_gbp",
+                        (0..rows).map(|r| 1_000.0 + rng.gen_range(0.0..50_000.0) + r as f64),
+                    ),
+                    Column::from_numbers("year", (0..rows).map(|r| 2015.0 + (r % 8) as f64)),
+                ],
+            );
+            lake.add_table(table);
+            // Joinable with reference tables through region_code / region_name.
+            truth.add_joinable(("regions", "region_code"), (name.as_str(), "region_code"));
+            truth.add_joinable(("councils", "region_code"), (name.as_str(), "region_code"));
+            truth.add_joinable(("regions", "region_name"), (name.as_str(), "region_name"));
+            truth.add_pkfk(("regions", "region_code"), (name.as_str(), "region_code"));
+            family_names.push(name);
+        }
+        // Unionable within the family; joinable between family members on the
+        // shared code columns.
+        for i in 0..family_names.len() {
+            for j in i + 1..family_names.len() {
+                truth.add_unionable(family_names[i].clone(), family_names[j].clone());
+                truth.add_joinable(
+                    (family_names[i].as_str(), "region_code"),
+                    (family_names[j].as_str(), "region_code"),
+                );
+            }
+        }
+    }
+
+    // Synthetic documents: each describes spending in a region for a category,
+    // using terms drawn from that category's tables.
+    for d in 0..config.num_documents {
+        let category = categories[d % categories.len()];
+        let region = d % num_regions;
+        let year = 2015 + (d % 8);
+        let text = format!(
+            "The {region_name} council published its {category} spending report for {year}. \
+             The report lists payments to local {category} providers across the {region_name} \
+             region, with budget allocations by service area and provider. Total expenditure \
+             in {region_name} increased compared with the previous financial year, and the \
+             council code {code} is used for all transactions.",
+            region_name = REGIONS[region],
+            category = category,
+            year = year,
+            code = region_codes[region],
+        );
+        let doc_idx = lake.add_document(Document::new(
+            format!("govdoc-{category}-{d}"),
+            "Synthetic text",
+            text,
+        ));
+        // Related tables: the category family plus the reference tables.
+        for k in 0..config.tables_per_category {
+            truth.add_doc_table(doc_idx, format!("{category}_spending_{k}"));
+        }
+        truth.add_doc_table(doc_idx, "regions");
+        truth.add_doc_table(doc_idx, "councils");
+    }
+
+    SyntheticLake { lake, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_families_and_references() {
+        let cfg = UkOpenConfig::tiny();
+        let SyntheticLake { lake, truth } = generate(&cfg);
+        assert!(lake.table("regions").is_some());
+        assert!(lake.table("councils").is_some());
+        assert_eq!(
+            lake.num_tables(),
+            2 + cfg.num_categories * cfg.tables_per_category
+        );
+        assert_eq!(lake.num_documents(), cfg.num_documents);
+        assert!(truth.num_join_queries() > 0);
+    }
+
+    #[test]
+    fn family_tables_unionable() {
+        let SyntheticLake { truth, .. } = generate(&UkOpenConfig::tiny());
+        let u = truth.unionable_for("education_spending_0").unwrap();
+        assert!(u.contains("education_spending_1"));
+        assert!(!u.contains("transport_spending_0"));
+    }
+
+    #[test]
+    fn region_codes_join_reference_tables() {
+        let SyntheticLake { lake, truth } = generate(&UkOpenConfig::tiny());
+        let family_codes: std::collections::HashSet<String> = lake
+            .table("education_spending_0")
+            .unwrap()
+            .column("region_code")
+            .unwrap()
+            .distinct_texts()
+            .into_iter()
+            .collect();
+        let reference: std::collections::HashSet<String> = lake
+            .table("regions")
+            .unwrap()
+            .column("region_code")
+            .unwrap()
+            .distinct_texts()
+            .into_iter()
+            .collect();
+        assert!(family_codes.is_subset(&reference));
+        assert!(truth
+            .joinable_for("regions", "region_code")
+            .unwrap()
+            .contains(&("education_spending_0".to_string(), "region_code".to_string())));
+    }
+
+    #[test]
+    fn documents_linked_to_category_tables() {
+        let SyntheticLake { lake, truth } = generate(&UkOpenConfig::tiny());
+        let tables = truth.tables_for_doc(0).unwrap();
+        assert!(tables.iter().any(|t| t.contains("_spending_")));
+        assert!(tables.contains("regions"));
+        // the document text mentions its region name
+        let doc = &lake.documents()[0];
+        assert!(REGIONS.iter().any(|r| doc.text.contains(r)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&UkOpenConfig::tiny());
+        let b = generate(&UkOpenConfig::tiny());
+        assert_eq!(a.lake.documents()[5].text, b.lake.documents()[5].text);
+        assert_eq!(
+            a.lake.table("education_spending_0").unwrap().num_rows(),
+            b.lake.table("education_spending_0").unwrap().num_rows()
+        );
+    }
+}

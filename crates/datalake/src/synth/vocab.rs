@@ -1,0 +1,177 @@
+//! Deterministic vocabulary generators shared by the synthetic lakes.
+//!
+//! All name generators are seeded and purely combinatorial so that the same
+//! configuration always produces the same lake (and ground truth).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Syllables used to compose pseudo-pharmaceutical drug names.
+const DRUG_PREFIXES: &[&str] = &[
+    "peme", "zalci", "metho", "ami", "fos", "gene", "cipro", "doxo", "lami", "rito", "ator",
+    "oseli", "predni", "keto", "ibu", "napro", "fluo", "sulfa", "tetra", "vanco",
+];
+const DRUG_MIDDLES: &[&str] = &[
+    "trex", "tab", "carn", "glyco", "vir", "micin", "floxa", "rubi", "vudi", "navi", "vasta",
+    "tami", "solo", "cona", "profe", "xeno", "oxeti", "metho", "cycli", "myci",
+];
+const DRUG_SUFFIXES: &[&str] = &[
+    "ed", "ine", "ate", "cin", "ir", "ol", "one", "ide", "ab", "an", "um", "il",
+];
+
+/// Stems for enzyme / protein target names.
+const ENZYME_STEMS: &[&str] = &[
+    "thymidylate", "dihydrofolate", "ribonucleotide", "glucokinase", "aldolase", "catalase",
+    "peptidase", "kinase", "lipase", "amylase", "protease", "helicase", "polymerase", "synthase",
+    "reductase", "transferase", "oxidase", "hydrolase", "isomerase", "ligase", "mutase",
+    "carboxylase", "dehydrogenase", "phosphatase",
+];
+const ENZYME_QUALIFIERS: &[&str] = &[
+    "alpha", "beta", "gamma", "delta", "mitochondrial", "cytosolic", "membrane", "nuclear",
+    "type-1", "type-2", "type-3",
+];
+
+/// Effect phrases for drug interactions.
+pub const INTERACTION_EFFECTS: &[&str] = &[
+    "may increase the risk of severe side effects such as nausea and fever",
+    "may decrease the excretion rate resulting in higher serum levels",
+    "may increase the anticoagulant activity and bleeding risk",
+    "may reduce the therapeutic efficacy when administered together",
+    "may increase the risk of peripheral neuropathy and myelosuppression",
+    "may increase the hepatotoxic effect on the liver",
+    "may increase the immunosuppressive effect and infection risk",
+    "may decrease the renal clearance leading to accumulation",
+];
+
+/// Region names for the UK-Open lake.
+pub const REGIONS: &[&str] = &[
+    "northshire", "eastvale", "westbrook", "southmoor", "highland", "midlands", "lakeside",
+    "riverton", "stonebridge", "ashford", "claymont", "dunwich", "elmswell", "farleigh",
+    "greenfield", "harrowgate", "kingsport", "larkspur", "marlow", "norwood",
+];
+
+/// Service categories for UK-Open tables.
+pub const CATEGORIES: &[&str] = &[
+    "education", "transport", "housing", "health", "environment", "planning", "waste",
+    "culture", "libraries", "parks", "roads", "social-care", "licensing", "procurement",
+];
+
+/// Vocabulary for ML-Open review documents.
+pub const REVIEW_TOPICS: &[&str] = &[
+    "classification", "regression", "clustering", "anomaly", "forecasting", "recommendation",
+    "segmentation", "ranking", "imputation", "calibration",
+];
+pub const REVIEW_DOMAINS: &[&str] = &[
+    "housing", "credit", "churn", "weather", "retail", "traffic", "energy", "genomics",
+    "sensor", "marketing", "insurance", "telemetry",
+];
+
+/// Generate `n` distinct pseudo-drug names.
+pub fn drug_names(n: usize, rng: &mut ChaCha8Rng) -> Vec<String> {
+    let mut names = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    while names.len() < n {
+        let name = format!(
+            "{}{}{}",
+            DRUG_PREFIXES.choose(rng).unwrap(),
+            DRUG_MIDDLES.choose(rng).unwrap(),
+            DRUG_SUFFIXES.choose(rng).unwrap()
+        );
+        if seen.insert(name.clone()) {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// Generate `n` distinct pseudo-enzyme names.
+pub fn enzyme_names(n: usize, rng: &mut ChaCha8Rng) -> Vec<String> {
+    let mut names = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut counter = 0usize;
+    while names.len() < n {
+        let stem = ENZYME_STEMS.choose(rng).unwrap();
+        let partner = ENZYME_STEMS.choose(rng).unwrap();
+        let name = if rng.gen_bool(0.5) {
+            format!("{stem} {partner}")
+        } else {
+            format!("{} {}", ENZYME_QUALIFIERS.choose(rng).unwrap(), stem)
+        };
+        counter += 1;
+        let name = if seen.contains(&name) {
+            format!("{name} {counter}")
+        } else {
+            name
+        };
+        if seen.insert(name.clone()) {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// A DrugBank-style identifier (`DB#####`).
+pub fn drug_id(index: usize) -> String {
+    format!("DB{:05}", index + 100)
+}
+
+/// A target identifier (`BE#######`).
+pub fn target_id(index: usize) -> String {
+    format!("BE{:07}", index + 1000)
+}
+
+/// A ChEMBL-style identifier.
+pub fn chembl_id(index: usize) -> String {
+    format!("CHEMBL{}", index + 5000)
+}
+
+/// Pick `k` distinct indexes from `0..n`.
+pub fn sample_indexes(n: usize, k: usize, rng: &mut ChaCha8Rng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k.min(n));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drug_names_distinct_and_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = drug_names(50, &mut rng);
+        assert_eq!(a.len(), 50);
+        let set: std::collections::HashSet<&String> = a.iter().collect();
+        assert_eq!(set.len(), 50);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(a, drug_names(50, &mut rng2));
+    }
+
+    #[test]
+    fn enzyme_names_distinct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let names = enzyme_names(100, &mut rng);
+        let set: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn identifier_formats() {
+        assert_eq!(drug_id(0), "DB00100");
+        assert_eq!(target_id(0), "BE0001000");
+        assert!(chembl_id(3).starts_with("CHEMBL"));
+    }
+
+    #[test]
+    fn sample_indexes_within_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = sample_indexes(10, 4, &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|i| *i < 10));
+        let all = sample_indexes(3, 10, &mut rng);
+        assert_eq!(all.len(), 3);
+    }
+}

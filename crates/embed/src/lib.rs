@@ -1,0 +1,33 @@
+//! # cmdl-embed
+//!
+//! Semantic embeddings for CMDL's discoverable elements.
+//!
+//! The paper's profiler applies a pre-trained word-embedding model (fastText)
+//! to every token of a document or column and aggregates the word vectors by
+//! mean pooling into a DE-level *solo embedding* (Section 3, "Semantic
+//! Similarity via Solo Embeddings"). The pre-trained fastText model is a
+//! multi-gigabyte external artifact, so this crate substitutes it with a
+//! deterministic **subword-hash embedding**: every character n-gram of a word
+//! is hashed into a bucketed vector table and the word vector is the mean of
+//! its n-gram vectors — exactly the mechanism fastText uses for
+//! out-of-vocabulary words. Lexically related words (shared stems, shared
+//! identifiers) therefore receive nearby vectors, which is the property the
+//! solo-embedding similarity signal and the joint-representation input
+//! encoding rely on.
+//!
+//! An optional co-occurrence refinement pass ([`CooccurrenceTrainer`]) nudges
+//! vectors of words that co-occur in the same bag of words towards each
+//! other, strengthening the corpus-specific semantic signal.
+
+pub mod pooling;
+pub mod solo;
+pub mod word;
+
+pub use pooling::{mean_pool, Pooling};
+pub use solo::{SoloEmbedder, SoloEmbedding};
+pub use word::{CooccurrenceTrainer, WordEmbedder, WordEmbedderConfig};
+
+/// The embedding dimensionality used throughout the paper's joint model: the
+/// solo embeddings are 100-dimensional and two of them (metadata + content)
+/// are concatenated into the 200-dim input encoding.
+pub const SOLO_DIM: usize = 100;

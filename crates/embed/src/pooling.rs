@@ -1,0 +1,102 @@
+//! Aggregation of word vectors into element-level vectors.
+//!
+//! The paper aggregates word embeddings with mean pooling (footnote 3: mean
+//! pooling is preferred over min/max pooling because it represents the whole
+//! set rather than a few extreme values, consistent with Aurum/D3L). Min and
+//! max pooling are provided for the ablation tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Pooling strategy for aggregating word vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pooling {
+    /// Element-wise mean (CMDL's default).
+    Mean,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl Default for Pooling {
+    fn default() -> Self {
+        Pooling::Mean
+    }
+}
+
+impl Pooling {
+    /// Pool a set of equal-length vectors into one vector. Returns a zero
+    /// vector of dimension `dim` when `vectors` is empty.
+    pub fn pool(&self, vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
+        if vectors.is_empty() {
+            return vec![0.0; dim];
+        }
+        match self {
+            Pooling::Mean => {
+                let mut out = vec![0.0f32; dim];
+                for v in vectors {
+                    for (o, x) in out.iter_mut().zip(v) {
+                        *o += x;
+                    }
+                }
+                for o in out.iter_mut() {
+                    *o /= vectors.len() as f32;
+                }
+                out
+            }
+            Pooling::Max => {
+                let mut out = vec![f32::MIN; dim];
+                for v in vectors {
+                    for (o, x) in out.iter_mut().zip(v) {
+                        *o = o.max(*x);
+                    }
+                }
+                out
+            }
+            Pooling::Min => {
+                let mut out = vec![f32::MAX; dim];
+                for v in vectors {
+                    for (o, x) in out.iter_mut().zip(v) {
+                        *o = o.min(*x);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// Convenience wrapper for mean pooling.
+pub fn mean_pool(vectors: &[Vec<f32>], dim: usize) -> Vec<f32> {
+    Pooling::Mean.pool(vectors, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_pooling() {
+        let vs = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(mean_pool(&vs, 2), vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn max_and_min_pooling() {
+        let vs = vec![vec![1.0, -2.0], vec![0.0, 3.0]];
+        assert_eq!(Pooling::Max.pool(&vs, 2), vec![1.0, 3.0]);
+        assert_eq!(Pooling::Min.pool(&vs, 2), vec![0.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_input_gives_zero_vector() {
+        assert_eq!(mean_pool(&[], 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(Pooling::Max.pool(&[], 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_vector_identity() {
+        let vs = vec![vec![0.3, 0.7]];
+        assert_eq!(mean_pool(&vs, 2), vec![0.3, 0.7]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Solo embeddings of discoverable elements.
+//!
+//! A *solo embedding* (paper Section 3) is the independent embedding of one
+//! discoverable element: every word of its bag-of-words representation is
+//! embedded with the word model and the word vectors are aggregated by mean
+//! pooling. Both the content and the metadata of an element are embedded this
+//! way (each 100-dimensional); the concatenation of the two forms the 200-dim
+//! input encoding of the joint-representation model.
+
+use serde::{Deserialize, Serialize};
+
+use cmdl_text::BagOfWords;
+
+use crate::pooling::Pooling;
+use crate::word::{normalize, WordEmbedder};
+
+/// A DE-level embedding pair: content vector and metadata vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoloEmbedding {
+    /// Mean-pooled embedding of the element's content terms.
+    pub content: Vec<f32>,
+    /// Mean-pooled embedding of the element's metadata terms (name, title,
+    /// schema context).
+    pub metadata: Vec<f32>,
+}
+
+impl SoloEmbedding {
+    /// Concatenate metadata and content vectors into the joint-model input
+    /// encoding (metadata first, matching Figure 4 of the paper).
+    pub fn input_encoding(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.metadata.len() + self.content.len());
+        out.extend_from_slice(&self.metadata);
+        out.extend_from_slice(&self.content);
+        out
+    }
+
+    /// Dimensionality of the concatenated encoding.
+    pub fn encoding_dim(&self) -> usize {
+        self.metadata.len() + self.content.len()
+    }
+}
+
+/// Computes solo embeddings from bags of words using a [`WordEmbedder`].
+#[derive(Debug, Clone)]
+pub struct SoloEmbedder {
+    word_embedder: WordEmbedder,
+    pooling: Pooling,
+    /// Weight each word vector by its term frequency. Default `false`
+    /// (distinct-term pooling, as columns are value sets).
+    pub frequency_weighted: bool,
+}
+
+impl SoloEmbedder {
+    /// Create a solo embedder around a word model with mean pooling.
+    pub fn new(word_embedder: WordEmbedder) -> Self {
+        Self {
+            word_embedder,
+            pooling: Pooling::Mean,
+            frequency_weighted: false,
+        }
+    }
+
+    /// Override the pooling strategy.
+    pub fn with_pooling(mut self, pooling: Pooling) -> Self {
+        self.pooling = pooling;
+        self
+    }
+
+    /// Access the underlying word embedder.
+    pub fn word_embedder(&self) -> &WordEmbedder {
+        &self.word_embedder
+    }
+
+    /// Mutable access to the underlying word embedder (e.g. for
+    /// co-occurrence refinement).
+    pub fn word_embedder_mut(&mut self) -> &mut WordEmbedder {
+        &mut self.word_embedder
+    }
+
+    /// Embedding dimensionality of each pooled vector.
+    pub fn dim(&self) -> usize {
+        self.word_embedder.dim()
+    }
+
+    /// Embed a single bag of words into one pooled, normalized vector.
+    pub fn embed_bow(&self, bow: &BagOfWords) -> Vec<f32> {
+        let dim = self.dim();
+        let mut vectors = Vec::with_capacity(bow.distinct_len());
+        for (term, count) in bow.iter() {
+            let v = self.word_embedder.embed_word(term);
+            if self.frequency_weighted {
+                for _ in 0..count {
+                    vectors.push(v.clone());
+                }
+            } else {
+                vectors.push(v);
+            }
+        }
+        let mut pooled = self.pooling.pool(&vectors, dim);
+        normalize(&mut pooled);
+        pooled
+    }
+
+    /// Embed an element's content and metadata bags into a [`SoloEmbedding`].
+    pub fn embed_element(&self, content: &BagOfWords, metadata: &BagOfWords) -> SoloEmbedding {
+        SoloEmbedding {
+            content: self.embed_bow(content),
+            metadata: self.embed_bow(metadata),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::WordEmbedderConfig;
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    fn embedder() -> SoloEmbedder {
+        SoloEmbedder::new(WordEmbedder::new(WordEmbedderConfig {
+            dim: 50,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn similar_bags_have_similar_embeddings() {
+        let e = embedder();
+        let a = e.embed_bow(&BagOfWords::from_tokens(["pemetrexed", "synthase", "enzyme"]));
+        let b = e.embed_bow(&BagOfWords::from_tokens(["pemetrexed", "synthase", "target"]));
+        let c = e.embed_bow(&BagOfWords::from_tokens(["council", "region", "budget"]));
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn empty_bag_gives_zero_vector() {
+        let e = embedder();
+        let v = e.embed_bow(&BagOfWords::new());
+        assert!(v.iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn element_embedding_and_encoding() {
+        let e = embedder();
+        let emb = e.embed_element(
+            &BagOfWords::from_tokens(["drug", "enzyme"]),
+            &BagOfWords::from_tokens(["drugbank", "target"]),
+        );
+        assert_eq!(emb.content.len(), 50);
+        assert_eq!(emb.metadata.len(), 50);
+        let enc = emb.input_encoding();
+        assert_eq!(enc.len(), 100);
+        assert_eq!(emb.encoding_dim(), 100);
+        // Metadata occupies the first half.
+        assert_eq!(&enc[..50], emb.metadata.as_slice());
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = embedder();
+        let bow = BagOfWords::from_tokens(["alpha", "beta"]);
+        assert_eq!(e.embed_bow(&bow), e.embed_bow(&bow));
+    }
+
+    #[test]
+    fn frequency_weighting_changes_result() {
+        let mut e = embedder();
+        let mut bow = BagOfWords::new();
+        bow.add_count("drug", 10);
+        bow.add("enzyme");
+        let unweighted = e.embed_bow(&bow);
+        e.frequency_weighted = true;
+        let weighted = e.embed_bow(&bow);
+        let drug = e.word_embedder().embed_word("drug");
+        assert!(cosine(&weighted, &drug) > cosine(&unweighted, &drug));
+    }
+}

@@ -1,0 +1,318 @@
+//! Subword-hash word embeddings with optional co-occurrence refinement.
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use cmdl_text::BagOfWords;
+
+/// Configuration for [`WordEmbedder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordEmbedderConfig {
+    /// Embedding dimensionality. Default [`crate::SOLO_DIM`].
+    pub dim: usize,
+    /// Number of hash buckets backing the n-gram table. Default 1 << 18.
+    pub buckets: usize,
+    /// Minimum character n-gram length. Default 3.
+    pub min_ngram: usize,
+    /// Maximum character n-gram length. Default 5.
+    pub max_ngram: usize,
+    /// Seed controlling the bucket vectors.
+    pub seed: u64,
+}
+
+impl Default for WordEmbedderConfig {
+    fn default() -> Self {
+        Self {
+            dim: crate::SOLO_DIM,
+            buckets: 1 << 18,
+            min_ngram: 3,
+            max_ngram: 5,
+            seed: 0xFA57_7E87,
+        }
+    }
+}
+
+/// A deterministic subword-hash word-embedding model.
+///
+/// A word is wrapped in boundary markers (`<word>`), decomposed into its
+/// character n-grams, each n-gram is hashed to one of `buckets` pseudo-random
+/// unit vectors, and the word vector is the normalized mean of those bucket
+/// vectors. Identical words always map to identical vectors; words sharing
+/// many n-grams (inflections, compound identifiers) map to nearby vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WordEmbedder {
+    config: WordEmbedderConfig,
+    /// Learned corrections applied on top of the hash-derived vectors,
+    /// produced by [`CooccurrenceTrainer`]. Keyed by word.
+    adjustments: HashMap<String, Vec<f32>>,
+}
+
+impl Default for WordEmbedder {
+    fn default() -> Self {
+        Self::new(WordEmbedderConfig::default())
+    }
+}
+
+impl WordEmbedder {
+    /// Create an embedder with the given configuration.
+    pub fn new(config: WordEmbedderConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        assert!(config.min_ngram >= 1 && config.min_ngram <= config.max_ngram);
+        Self {
+            config,
+            adjustments: HashMap::new(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Compute the embedding of a single word.
+    pub fn embed_word(&self, word: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.config.dim];
+        let marked: Vec<char> = std::iter::once('<')
+            .chain(word.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        let mut count = 0usize;
+        for n in self.config.min_ngram..=self.config.max_ngram {
+            if marked.len() < n {
+                continue;
+            }
+            for start in 0..=(marked.len() - n) {
+                let gram: String = marked[start..start + n].iter().collect();
+                let bucket = hash_str(&gram, self.config.seed) % self.config.buckets as u64;
+                add_bucket_vector(&mut acc, bucket, self.config.seed, self.config.dim);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            // Word shorter than the smallest n-gram: hash the whole word.
+            let bucket = hash_str(word, self.config.seed) % self.config.buckets as u64;
+            add_bucket_vector(&mut acc, bucket, self.config.seed, self.config.dim);
+            count = 1;
+        }
+        for v in acc.iter_mut() {
+            *v /= count as f32;
+        }
+        if let Some(adj) = self.adjustments.get(word) {
+            for (a, b) in acc.iter_mut().zip(adj) {
+                *a += b;
+            }
+        }
+        normalize(&mut acc);
+        acc
+    }
+
+    /// Apply a learned adjustment to a word (used by [`CooccurrenceTrainer`]).
+    pub fn set_adjustment(&mut self, word: impl Into<String>, adjustment: Vec<f32>) {
+        assert_eq!(adjustment.len(), self.config.dim);
+        self.adjustments.insert(word.into(), adjustment);
+    }
+
+    /// Number of words with learned adjustments.
+    pub fn num_adjusted(&self) -> usize {
+        self.adjustments.len()
+    }
+}
+
+/// L2-normalize a vector in place (no-op on the zero vector).
+pub fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn hash_str(s: &str, seed: u64) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ seed;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Deterministically expand a bucket id into a pseudo-random ±1 vector and
+/// accumulate it.
+fn add_bucket_vector(acc: &mut [f32], bucket: u64, seed: u64, dim: usize) {
+    let mut state = bucket ^ seed.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+    for item in acc.iter_mut().take(dim) {
+        // xorshift-like progression; sign of a bit decides +1/-1.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        *item += if state & 1 == 1 { 1.0 } else { -1.0 };
+    }
+}
+
+/// A lightweight co-occurrence refinement pass.
+///
+/// For every pair of words that co-occur in the same bag of words, the
+/// trainer moves each word's adjustment a small step towards the *context
+/// centroid* of its co-occurring words, over `epochs` passes. This is a
+/// simplified CBOW-style update that is sufficient to pull corpus-specific
+/// synonyms and co-mentioned entities (drug ↔ enzyme names) closer together.
+#[derive(Debug, Clone)]
+pub struct CooccurrenceTrainer {
+    /// Learning rate of the centroid pull. Default 0.3.
+    pub learning_rate: f32,
+    /// Number of passes over the corpus. Default 2.
+    pub epochs: usize,
+    /// Maximum number of distinct words per element considered (guards the
+    /// quadratic pair cost on huge columns). Default 64.
+    pub max_terms_per_element: usize,
+    /// Seed for sampling when an element exceeds `max_terms_per_element`.
+    pub seed: u64,
+}
+
+impl Default for CooccurrenceTrainer {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.3,
+            epochs: 2,
+            max_terms_per_element: 64,
+            seed: 0xC0C0,
+        }
+    }
+}
+
+impl CooccurrenceTrainer {
+    /// Refine the embedder in place using a corpus of bags of words.
+    pub fn train(&self, embedder: &mut WordEmbedder, corpus: &[&BagOfWords]) {
+        let dim = embedder.dim();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        for _ in 0..self.epochs {
+            for bow in corpus {
+                let mut terms: Vec<&str> = bow.terms().collect();
+                if terms.len() < 2 {
+                    continue;
+                }
+                if terms.len() > self.max_terms_per_element {
+                    // Deterministic subsample.
+                    for i in (1..terms.len()).rev() {
+                        let j = rng.gen_range(0..=i);
+                        terms.swap(i, j);
+                    }
+                    terms.truncate(self.max_terms_per_element);
+                }
+                // Context centroid of the element.
+                let mut centroid = vec![0.0f32; dim];
+                let vectors: Vec<Vec<f32>> =
+                    terms.iter().map(|t| embedder.embed_word(t)).collect();
+                for v in &vectors {
+                    for (c, x) in centroid.iter_mut().zip(v) {
+                        *c += x;
+                    }
+                }
+                for c in centroid.iter_mut() {
+                    *c /= terms.len() as f32;
+                }
+                // Pull each word towards the centroid.
+                for (term, vec) in terms.iter().zip(&vectors) {
+                    let mut adj: Vec<f32> = centroid
+                        .iter()
+                        .zip(vec)
+                        .map(|(c, v)| self.learning_rate * (c - v))
+                        .collect();
+                    if let Some(prev) = embedder.adjustments.get(*term) {
+                        for (a, p) in adj.iter_mut().zip(prev) {
+                            *a += p;
+                        }
+                    }
+                    embedder.set_adjustment(term.to_string(), adj);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    #[test]
+    fn deterministic_embeddings() {
+        let e = WordEmbedder::default();
+        assert_eq!(e.embed_word("pemetrexed"), e.embed_word("pemetrexed"));
+    }
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let e = WordEmbedder::default();
+        let v = e.embed_word("synthase");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_words_closer_than_unrelated() {
+        let e = WordEmbedder::default();
+        let a = e.embed_word("thymidylate");
+        let b = e.embed_word("thymidylates"); // morphological variant
+        let c = e.embed_word("zalcitabine"); // unrelated
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+        assert!(cosine(&a, &b) > 0.5);
+    }
+
+    #[test]
+    fn short_words_handled() {
+        let e = WordEmbedder::default();
+        let v = e.embed_word("ab");
+        assert_eq!(v.len(), e.dim());
+        assert!(v.iter().any(|x| *x != 0.0));
+    }
+
+    #[test]
+    fn custom_dimension() {
+        let e = WordEmbedder::new(WordEmbedderConfig { dim: 32, ..Default::default() });
+        assert_eq!(e.embed_word("drug").len(), 32);
+    }
+
+    #[test]
+    fn cooccurrence_training_pulls_words_together() {
+        let mut e = WordEmbedder::new(WordEmbedderConfig { dim: 50, ..Default::default() });
+        let before = cosine(&e.embed_word("pemetrexed"), &e.embed_word("synthase"));
+        let docs = vec![
+            BagOfWords::from_tokens(["pemetrexed", "synthase"]),
+            BagOfWords::from_tokens(["pemetrexed", "synthase", "reductase"]),
+            BagOfWords::from_tokens(["pemetrexed", "synthase"]),
+        ];
+        let corpus: Vec<&BagOfWords> = docs.iter().collect();
+        CooccurrenceTrainer::default().train(&mut e, &corpus);
+        let after = cosine(&e.embed_word("pemetrexed"), &e.embed_word("synthase"));
+        assert!(after > before, "co-occurring words should move closer: {before} -> {after}");
+        assert!(e.num_adjusted() >= 2);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0f32; 4];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0f32; 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_panics() {
+        WordEmbedder::new(WordEmbedderConfig { dim: 0, ..Default::default() });
+    }
+}

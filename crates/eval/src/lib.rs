@@ -1,0 +1,26 @@
+//! # cmdl-eval
+//!
+//! The evaluation harness reproducing the paper's experimental methodology
+//! (Section 6): precision/recall at top-k, R-precision (used when k is set to
+//! the ground-truth size, Table 3), relative recall (Table 5), and runners
+//! that execute each discovery task over a benchmark workload for CMDL and
+//! every baseline.
+//!
+//! The harness is deliberately method-agnostic: a "method" is a closure from
+//! a query to a ranked list of answers, so the same runner evaluates CMDL
+//! variants and baselines identically.
+
+pub mod doc2table;
+pub mod metrics;
+pub mod report;
+pub mod structured;
+
+pub use doc2table::{evaluate_doc2table, Doc2TableEvaluation, Doc2TableMethod};
+pub use metrics::{
+    precision_at_k, precision_recall_curve, r_precision, recall_at_k, relative_recall, PrPoint,
+};
+pub use report::{ExperimentReport, MethodResult};
+pub use structured::{
+    evaluate_join, evaluate_pkfk, evaluate_union, JoinEvaluation, PkFkEvaluation, StructuredSystem,
+    UnionEvaluation,
+};

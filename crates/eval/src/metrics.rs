@@ -1,0 +1,171 @@
+//! Retrieval-effectiveness metrics.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+/// A precision/recall point at a given `k` (one marker of Figures 6/7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// The top-k cutoff.
+    pub k: usize,
+    /// Precision@k.
+    pub precision: f64,
+    /// Recall@k.
+    pub recall: f64,
+}
+
+/// Precision of the top-`k` ranked answers against the expected set.
+///
+/// Defined as `|relevant ∩ retrieved@k| / |retrieved@k|`, i.e. when fewer
+/// than `k` answers are returned the denominator is the number returned (so a
+/// method is not penalized for returning a short, fully-correct list).
+pub fn precision_at_k(ranked: &[String], expected: &BTreeSet<String>, k: usize) -> f64 {
+    let retrieved: Vec<&String> = ranked.iter().take(k).collect();
+    if retrieved.is_empty() {
+        return 0.0;
+    }
+    let hits = retrieved.iter().filter(|a| expected.contains(**a)).count();
+    hits as f64 / retrieved.len() as f64
+}
+
+/// Recall of the top-`k` ranked answers against the expected set.
+pub fn recall_at_k(ranked: &[String], expected: &BTreeSet<String>, k: usize) -> f64 {
+    if expected.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|a| expected.contains(*a))
+        .count();
+    hits as f64 / expected.len() as f64
+}
+
+/// R-precision: precision (= recall) at `k = |expected|` (the measure used in
+/// Table 3, where "the precision and recall scores become identical").
+pub fn r_precision(ranked: &[String], expected: &BTreeSet<String>) -> f64 {
+    if expected.is_empty() {
+        return 0.0;
+    }
+    let k = expected.len();
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|a| expected.contains(*a))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Relative recall of one measure against the union of true matches found by
+/// all measures (Table 5): `|true ∩ found_by_measure| / |true ∩ found_by_any|`.
+pub fn relative_recall(found_by_measure: &BTreeSet<String>, found_by_all: &BTreeSet<String>) -> f64 {
+    if found_by_all.is_empty() {
+        return 0.0;
+    }
+    let hits = found_by_measure
+        .iter()
+        .filter(|a| found_by_all.contains(*a))
+        .count();
+    hits as f64 / found_by_all.len() as f64
+}
+
+/// Average a set of precision/recall measurements per query into one
+/// [`PrPoint`] for the given `k`.
+pub fn precision_recall_curve(
+    per_query: &[(Vec<String>, BTreeSet<String>)],
+    ks: &[usize],
+) -> Vec<PrPoint> {
+    ks.iter()
+        .map(|&k| {
+            let (mut p, mut r) = (0.0, 0.0);
+            let mut n = 0usize;
+            for (ranked, expected) in per_query {
+                if expected.is_empty() {
+                    continue;
+                }
+                p += precision_at_k(ranked, expected, k);
+                r += recall_at_k(ranked, expected, k);
+                n += 1;
+            }
+            let n = n.max(1) as f64;
+            PrPoint {
+                k,
+                precision: p / n,
+                recall: r / n,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expected(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn ranked(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn precision_and_recall_basics() {
+        let exp = expected(&["a", "b", "c", "d"]);
+        let run = ranked(&["a", "x", "b", "y"]);
+        assert!((precision_at_k(&run, &exp, 2) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&run, &exp, 2) - 0.25).abs() < 1e-12);
+        assert!((precision_at_k(&run, &exp, 4) - 0.5).abs() < 1e-12);
+        assert!((recall_at_k(&run, &exp, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_result_lists_not_penalized_in_precision() {
+        let exp = expected(&["a", "b"]);
+        let run = ranked(&["a"]);
+        assert!((precision_at_k(&run, &exp, 10) - 1.0).abs() < 1e-12);
+        assert!((recall_at_k(&run, &exp, 10) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let exp = expected(&["a"]);
+        assert_eq!(precision_at_k(&[], &exp, 5), 0.0);
+        assert_eq!(recall_at_k(&[], &exp, 5), 0.0);
+        assert_eq!(recall_at_k(&ranked(&["a"]), &BTreeSet::new(), 5), 0.0);
+        assert_eq!(r_precision(&ranked(&["a"]), &BTreeSet::new(), ), 0.0);
+    }
+
+    #[test]
+    fn r_precision_equals_precision_at_truth_size() {
+        let exp = expected(&["a", "b", "c"]);
+        let run = ranked(&["a", "b", "x", "c"]);
+        assert!((r_precision(&run, &exp) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r_precision(&run, &exp) - precision_at_k(&run, &exp, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_recall_basics() {
+        let all = expected(&["a", "b", "c", "d"]);
+        let mine = expected(&["a", "b"]);
+        assert!((relative_recall(&mine, &all) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_recall(&mine, &BTreeSet::new()), 0.0);
+    }
+
+    #[test]
+    fn curve_monotonic_recall() {
+        let per_query = vec![
+            (ranked(&["a", "x", "b"]), expected(&["a", "b"])),
+            (ranked(&["y", "c"]), expected(&["c"])),
+        ];
+        let curve = precision_recall_curve(&per_query, &[1, 2, 3]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].recall <= curve[1].recall);
+        assert!(curve[1].recall <= curve[2].recall);
+        for p in &curve {
+            assert!((0.0..=1.0).contains(&p.precision));
+            assert!((0.0..=1.0).contains(&p.recall));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Experiment report types and plain-text rendering.
+//!
+//! Every bench binary produces an [`ExperimentReport`]: a named experiment
+//! with per-method/per-configuration rows, rendered as an aligned text table
+//! on stdout and serialized to JSON under `target/reports/` so that
+//! `EXPERIMENTS.md` can reference concrete artifacts.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// One row of an experiment report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Row label (method or configuration).
+    pub name: String,
+    /// Named metric values, in display order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl MethodResult {
+    /// Create a row.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Append a metric.
+    pub fn with(mut self, metric: impl Into<String>, value: f64) -> Self {
+        self.metrics.push((metric.into(), value));
+        self
+    }
+}
+
+/// A named experiment report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. "Table 3" or "Figure 6 / Benchmark 1B").
+    pub experiment: String,
+    /// Free-text description of the workload and parameters.
+    pub description: String,
+    /// Result rows.
+    pub rows: Vec<MethodResult>,
+}
+
+impl ExperimentReport {
+    /// Create an empty report.
+    pub fn new(experiment: impl Into<String>, description: impl Into<String>) -> Self {
+        Self {
+            experiment: experiment.into(),
+            description: description.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: MethodResult) {
+        self.rows.push(row);
+    }
+
+    /// Render the report as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n{}\n\n", self.experiment, self.description));
+        if self.rows.is_empty() {
+            out.push_str("(no rows)\n");
+            return out;
+        }
+        // Collect metric names in first-seen order.
+        let mut columns: Vec<String> = Vec::new();
+        for row in &self.rows {
+            for (m, _) in &row.metrics {
+                if !columns.contains(m) {
+                    columns.push(m.clone());
+                }
+            }
+        }
+        let name_width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(std::iter::once("method".len()))
+            .max()
+            .unwrap_or(10);
+        out.push_str(&format!("{:<name_width$}", "method"));
+        for c in &columns {
+            out.push_str(&format!("  {:>12}", c));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<name_width$}", row.name));
+            for c in &columns {
+                match row.metrics.iter().find(|(m, _)| m == c) {
+                    Some((_, v)) => out.push_str(&format!("  {:>12.4}", v)),
+                    None => out.push_str(&format!("  {:>12}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the report JSON to `dir/<slug>.json`, creating the directory if
+    /// needed. Returns the written path.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let slug: String = self
+            .experiment
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentReport {
+        let mut report = ExperimentReport::new("Table 3", "syntactic join discovery");
+        report.push(MethodResult::new("Aurum").with("2B", 0.21).with("2C-SS", 0.70));
+        report.push(MethodResult::new("CMDL").with("2B", 0.62).with("2C-SS", 0.70));
+        report
+    }
+
+    #[test]
+    fn text_rendering_contains_rows_and_columns() {
+        let text = sample().to_text();
+        assert!(text.contains("Table 3"));
+        assert!(text.contains("Aurum"));
+        assert!(text.contains("CMDL"));
+        assert!(text.contains("2B"));
+        assert!(text.contains("0.62"));
+    }
+
+    #[test]
+    fn missing_metric_rendered_as_dash() {
+        let mut report = sample();
+        report.push(MethodResult::new("partial").with("2B", 0.1));
+        let text = report.to_text();
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn json_roundtrip_and_file_output() {
+        let report = sample();
+        let dir = std::env::temp_dir().join("cmdl_eval_report_test");
+        let path = report.write_json(&dir).unwrap();
+        let loaded: ExperimentReport =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.rows.len(), report.rows.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let report = ExperimentReport::new("Empty", "no rows");
+        assert!(report.to_text().contains("no rows"));
+    }
+}

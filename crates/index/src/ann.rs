@@ -1,0 +1,415 @@
+//! Approximate nearest-neighbour search over dense vectors.
+//!
+//! CMDL indexes solo and joint embeddings with an Annoy-style structure
+//! (paper Section 3, "Indexing Profiler-Generated Sketches"). [`AnnIndex`]
+//! implements the same algorithmic family: a forest of random-projection
+//! trees. Each tree recursively splits the point set by a random hyperplane
+//! through two sampled points; queries descend each tree, gather candidate
+//! leaves, and rank candidates exactly by cosine similarity. A
+//! [`BruteForceIndex`] provides the exact reference used in tests and for
+//! small collections.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::topk::TopK;
+
+/// Cosine similarity between two equal-length vectors (0 when either is a
+/// zero vector).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        dot += f64::from(*x) * f64::from(*y);
+        na += f64::from(*x) * f64::from(*x);
+        nb += f64::from(*y) * f64::from(*y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Configuration for [`AnnIndex`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnIndexConfig {
+    /// Number of random-projection trees. More trees → better recall, more
+    /// memory. Default 10.
+    pub num_trees: usize,
+    /// Maximum number of points in a leaf. Default 16.
+    pub leaf_size: usize,
+    /// RNG seed for reproducible tree construction.
+    pub seed: u64,
+}
+
+impl Default for AnnIndexConfig {
+    fn default() -> Self {
+        Self {
+            num_trees: 10,
+            leaf_size: 16,
+            seed: 0xA11CE,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        items: Vec<usize>,
+    },
+    Split {
+        /// Hyperplane normal.
+        normal: Vec<f32>,
+        /// Offset along the normal.
+        offset: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+/// A forest of random-projection trees for approximate nearest-neighbour
+/// search under cosine similarity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnnIndex {
+    config: AnnIndexConfig,
+    ids: Vec<u64>,
+    vectors: Vec<Vec<f32>>,
+    dim: usize,
+    trees: Vec<Tree>,
+    built: bool,
+}
+
+impl AnnIndex {
+    /// Create an empty index for vectors of dimension `dim`.
+    pub fn new(dim: usize, config: AnnIndexConfig) -> Self {
+        Self {
+            config,
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            dim,
+            trees: Vec::new(),
+            built: false,
+        }
+    }
+
+    /// Create an index with default configuration.
+    pub fn with_defaults(dim: usize) -> Self {
+        Self::new(dim, AnnIndexConfig::default())
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Add a vector under `id`. Call [`build`](Self::build) before querying.
+    ///
+    /// # Panics
+    /// Panics if the vector dimension does not match the index dimension.
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.ids.push(id);
+        self.vectors.push(vector);
+        self.built = false;
+    }
+
+    /// Build the random-projection forest.
+    pub fn build(&mut self) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        self.trees = (0..self.config.num_trees.max(1))
+            .map(|_| self.build_tree(&mut rng))
+            .collect();
+        self.built = true;
+    }
+
+    /// Has the forest been built since the last `add`?
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    fn build_tree(&self, rng: &mut ChaCha8Rng) -> Tree {
+        let mut nodes = Vec::new();
+        let all: Vec<usize> = (0..self.vectors.len()).collect();
+        let root = self.build_node(&all, rng, &mut nodes, 0);
+        Tree { nodes, root }
+    }
+
+    fn build_node(
+        &self,
+        items: &[usize],
+        rng: &mut ChaCha8Rng,
+        nodes: &mut Vec<Node>,
+        depth: usize,
+    ) -> usize {
+        if items.len() <= self.config.leaf_size || depth > 40 {
+            nodes.push(Node::Leaf { items: items.to_vec() });
+            return nodes.len() - 1;
+        }
+        // Pick two distinct points and split by the perpendicular bisector of
+        // the segment between them (Annoy's strategy).
+        let a = *items.choose(rng).expect("non-empty");
+        let b = loop {
+            let cand = *items.choose(rng).expect("non-empty");
+            if cand != a || items.iter().all(|&i| i == a) {
+                break cand;
+            }
+        };
+        let va = &self.vectors[a];
+        let vb = &self.vectors[b];
+        let mut normal: Vec<f32> = va.iter().zip(vb).map(|(x, y)| x - y).collect();
+        let norm: f32 = normal.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm < 1e-12 {
+            // Degenerate split (identical points): random hyperplane.
+            for n in normal.iter_mut() {
+                *n = rng.gen_range(-1.0..1.0);
+            }
+        }
+        let midpoint: Vec<f32> = va.iter().zip(vb).map(|(x, y)| (x + y) / 2.0).collect();
+        let offset: f32 = normal.iter().zip(&midpoint).map(|(n, m)| n * m).sum();
+
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for &i in items {
+            let side: f32 = normal.iter().zip(&self.vectors[i]).map(|(n, v)| n * v).sum();
+            if side < offset {
+                left.push(i);
+            } else {
+                right.push(i);
+            }
+        }
+        // Guard against degenerate splits that would not reduce the set.
+        if left.is_empty() || right.is_empty() {
+            nodes.push(Node::Leaf { items: items.to_vec() });
+            return nodes.len() - 1;
+        }
+        let left_idx = self.build_node(&left, rng, nodes, depth + 1);
+        let right_idx = self.build_node(&right, rng, nodes, depth + 1);
+        nodes.push(Node::Split {
+            normal,
+            offset,
+            left: left_idx,
+            right: right_idx,
+        });
+        nodes.len() - 1
+    }
+
+    /// Query for the `top_k` most cosine-similar vectors. Returns
+    /// `(id, similarity)` sorted descending. Falls back to brute force when
+    /// the forest has not been built.
+    pub fn query(&self, vector: &[f32], top_k: usize) -> Vec<(u64, f64)> {
+        assert_eq!(vector.len(), self.dim, "query dimension mismatch");
+        if !self.built || self.trees.is_empty() {
+            return self.brute_force(vector, top_k);
+        }
+        let mut candidates = std::collections::HashSet::new();
+        for tree in &self.trees {
+            self.collect_candidates(tree, tree.root, vector, &mut candidates);
+        }
+        let mut tk = TopK::new(top_k);
+        for &i in &candidates {
+            tk.push(self.ids[i], cosine_similarity(vector, &self.vectors[i]));
+        }
+        tk.into_sorted_vec()
+    }
+
+    fn collect_candidates(
+        &self,
+        tree: &Tree,
+        node: usize,
+        vector: &[f32],
+        out: &mut std::collections::HashSet<usize>,
+    ) {
+        match &tree.nodes[node] {
+            Node::Leaf { items } => {
+                out.extend(items.iter().copied());
+            }
+            Node::Split { normal, offset, left, right } => {
+                let side: f32 = normal.iter().zip(vector).map(|(n, v)| n * v).sum();
+                if side < *offset {
+                    self.collect_candidates(tree, *left, vector, out);
+                } else {
+                    self.collect_candidates(tree, *right, vector, out);
+                }
+            }
+        }
+    }
+
+    fn brute_force(&self, vector: &[f32], top_k: usize) -> Vec<(u64, f64)> {
+        let mut tk = TopK::new(top_k);
+        for (i, v) in self.vectors.iter().enumerate() {
+            tk.push(self.ids[i], cosine_similarity(vector, v));
+        }
+        tk.into_sorted_vec()
+    }
+}
+
+/// An exact nearest-neighbour index (linear scan) used as reference and for
+/// small collections.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BruteForceIndex {
+    ids: Vec<u64>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl BruteForceIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Add a vector under `id`.
+    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+        self.ids.push(id);
+        self.vectors.push(vector);
+    }
+
+    /// Exact top-k query by cosine similarity.
+    pub fn query(&self, vector: &[f32], top_k: usize) -> Vec<(u64, f64)> {
+        let mut tk = TopK::new(top_k);
+        for (i, v) in self.vectors.iter().enumerate() {
+            if v.len() == vector.len() {
+                tk.push(self.ids[i], cosine_similarity(vector, v));
+            }
+        }
+        tk.into_sorted_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-9);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-9);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn exact_neighbour_found() {
+        let mut idx = AnnIndex::with_defaults(8);
+        for i in 0..8u64 {
+            idx.add(i, unit(8, i as usize));
+        }
+        idx.build();
+        let res = idx.query(&unit(8, 3), 1);
+        assert_eq!(res[0].0, 3);
+        assert!((res[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ann_recall_reasonable() {
+        let dim = 16;
+        let vectors = random_vectors(500, dim, 99);
+        let mut ann = AnnIndex::new(dim, AnnIndexConfig { num_trees: 15, leaf_size: 10, seed: 7 });
+        let mut exact = BruteForceIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            ann.add(i as u64, v.clone());
+            exact.add(i as u64, v.clone());
+        }
+        ann.build();
+        let queries = random_vectors(20, dim, 123);
+        let mut hits = 0;
+        let mut total = 0;
+        for q in &queries {
+            let truth: std::collections::HashSet<u64> =
+                exact.query(q, 10).into_iter().map(|(id, _)| id).collect();
+            let approx = ann.query(q, 10);
+            total += truth.len();
+            hits += approx.iter().filter(|(id, _)| truth.contains(id)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.5, "ANN recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn unbuilt_index_falls_back_to_exact() {
+        let mut idx = AnnIndex::with_defaults(4);
+        idx.add(1, unit(4, 0));
+        idx.add(2, unit(4, 1));
+        let res = idx.query(&unit(4, 1), 1);
+        assert_eq!(res[0].0, 2);
+    }
+
+    #[test]
+    fn empty_index_query() {
+        let mut idx = AnnIndex::with_defaults(4);
+        idx.build();
+        assert!(idx.query(&unit(4, 0), 3).is_empty());
+    }
+
+    #[test]
+    fn duplicate_vectors_handled() {
+        let mut idx = AnnIndex::with_defaults(4);
+        for i in 0..50u64 {
+            idx.add(i, unit(4, 0));
+        }
+        idx.build();
+        let res = idx.query(&unit(4, 0), 5);
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut idx = AnnIndex::with_defaults(4);
+        idx.add(1, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn brute_force_ordering() {
+        let mut idx = BruteForceIndex::new();
+        idx.add(1, vec![1.0, 0.0]);
+        idx.add(2, vec![0.9, 0.1]);
+        idx.add(3, vec![0.0, 1.0]);
+        let res = idx.query(&[1.0, 0.0], 3);
+        assert_eq!(res[0].0, 1);
+        assert_eq!(res[2].0, 3);
+    }
+}

@@ -1,0 +1,323 @@
+//! In-memory inverted index with BM25 and LM-Dirichlet ranking.
+//!
+//! This index plays the role of the Elastic Search / BM25 engine in the
+//! paper: it is built over the bag-of-words content and over the metadata of
+//! every discoverable element, serves keyword-search queries, acts as the
+//! keyword-based labeling functions in the weak-supervision framework, and is
+//! one of the baselines in the Doc→Table evaluation (Figure 6, labels
+//! "Elastic-BM25", "Elastic-LMDirichlet", "Elastic BM25-Content Only",
+//! "Elastic BM25-Schema Only").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use cmdl_text::BagOfWords;
+
+use crate::topk::TopK;
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bm25Params {
+    /// Term-frequency saturation. Default 1.2.
+    pub k1: f64,
+    /// Length normalization. Default 0.75.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Ranking function used by [`InvertedIndex::search`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScoringFunction {
+    /// Okapi BM25 (the Elastic Search default the paper uses).
+    Bm25(Bm25Params),
+    /// Language model with Dirichlet smoothing (`mu` prior).
+    LmDirichlet {
+        /// Dirichlet prior; Elastic's default is 2000.
+        mu: f64,
+    },
+}
+
+impl Default for ScoringFunction {
+    fn default() -> Self {
+        ScoringFunction::Bm25(Bm25Params::default())
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Posting {
+    doc: u64,
+    term_freq: u32,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct DocStats {
+    length: u64,
+}
+
+/// An inverted index over bag-of-words elements keyed by opaque `u64` ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<Posting>>,
+    docs: HashMap<u64, DocStats>,
+    total_length: u64,
+    /// Total occurrences of each term across the corpus (for LM-Dirichlet).
+    term_totals: HashMap<String, u64>,
+}
+
+impl InvertedIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Average element length in tokens.
+    pub fn avg_doc_length(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_length as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings.get(term).map(|p| p.len()).unwrap_or(0)
+    }
+
+    /// Index an element's bag of words under `id`.
+    ///
+    /// Indexing the same id twice adds the new postings without removing the
+    /// old ones; callers should use fresh ids.
+    pub fn add(&mut self, id: u64, bow: &BagOfWords) {
+        let mut length = 0u64;
+        for (term, count) in bow.iter() {
+            self.postings
+                .entry(term.to_string())
+                .or_default()
+                .push(Posting { doc: id, term_freq: count });
+            *self.term_totals.entry(term.to_string()).or_insert(0) += u64::from(count);
+            length += u64::from(count);
+        }
+        self.total_length += length;
+        self.docs.insert(id, DocStats { length });
+    }
+
+    /// Search with the default BM25 scoring.
+    pub fn search(&self, query: &BagOfWords, top_k: usize) -> Vec<(u64, f64)> {
+        self.search_with(query, top_k, ScoringFunction::default())
+    }
+
+    /// Search with an explicit scoring function. Returns `(id, score)` sorted
+    /// by score descending.
+    pub fn search_with(
+        &self,
+        query: &BagOfWords,
+        top_k: usize,
+        scoring: ScoringFunction,
+    ) -> Vec<(u64, f64)> {
+        match scoring {
+            ScoringFunction::Bm25(params) => self.search_bm25(query, top_k, params),
+            ScoringFunction::LmDirichlet { mu } => self.search_lm(query, top_k, mu),
+        }
+    }
+
+    fn search_bm25(&self, query: &BagOfWords, top_k: usize, params: Bm25Params) -> Vec<(u64, f64)> {
+        let n = self.docs.len() as f64;
+        if n == 0.0 {
+            return Vec::new();
+        }
+        let avgdl = self.avg_doc_length().max(1e-9);
+        let mut scores: HashMap<u64, f64> = HashMap::new();
+        for (term, _qf) in query.iter() {
+            let Some(postings) = self.postings.get(term) else { continue };
+            let df = postings.len() as f64;
+            // BM25+-style IDF, never negative.
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for p in postings {
+                let dl = self.docs[&p.doc].length as f64;
+                let tf = p.term_freq as f64;
+                let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
+                let contrib = idf * tf * (params.k1 + 1.0) / denom;
+                *scores.entry(p.doc).or_insert(0.0) += contrib;
+            }
+        }
+        collect_top_k(scores, top_k)
+    }
+
+    fn search_lm(&self, query: &BagOfWords, top_k: usize, mu: f64) -> Vec<(u64, f64)> {
+        if self.docs.is_empty() {
+            return Vec::new();
+        }
+        let corpus_len = self.total_length.max(1) as f64;
+        // Only score documents containing at least one query term (standard
+        // practice; keeps the index sparse-friendly).
+        let mut candidates: HashMap<u64, f64> = HashMap::new();
+        for (term, qf) in query.iter() {
+            let cf = *self.term_totals.get(term).unwrap_or(&0) as f64;
+            if cf == 0.0 {
+                continue;
+            }
+            let p_corpus = cf / corpus_len;
+            let Some(postings) = self.postings.get(term) else { continue };
+            let mut term_docs: HashMap<u64, f64> = HashMap::new();
+            for p in postings {
+                term_docs.insert(p.doc, p.term_freq as f64);
+            }
+            for p in postings {
+                let entry = candidates.entry(p.doc).or_insert(0.0);
+                let dl = self.docs[&p.doc].length as f64;
+                let tf = term_docs.get(&p.doc).copied().unwrap_or(0.0);
+                // log P(t|d) with Dirichlet smoothing, weighted by query tf,
+                // normalized against the pure-background score so that scores
+                // stay non-negative and only matching terms contribute.
+                let smoothed = (tf + mu * p_corpus) / (dl + mu);
+                let background = (mu * p_corpus) / (dl + mu);
+                *entry += f64::from(qf) * (smoothed / background).ln();
+            }
+        }
+        collect_top_k(candidates, top_k)
+    }
+}
+
+fn collect_top_k(scores: HashMap<u64, f64>, top_k: usize) -> Vec<(u64, f64)> {
+    let mut tk = TopK::new(top_k);
+    for (id, score) in scores {
+        if score > 0.0 {
+            tk.push(id, score);
+        }
+    }
+    tk.into_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bow(words: &[&str]) -> BagOfWords {
+        BagOfWords::from_tokens(words.iter().copied())
+    }
+
+    fn sample_index() -> InvertedIndex {
+        let mut idx = InvertedIndex::new();
+        idx.add(1, &bow(&["pemetrexed", "antifolate", "synthase", "inhibitor"]));
+        idx.add(2, &bow(&["citric", "acid", "anticoagulant"]));
+        idx.add(3, &bow(&["geneticin", "aminoglycoside", "antibiotic"]));
+        idx.add(4, &bow(&["synthase", "enzyme", "target", "reductase"]));
+        idx
+    }
+
+    #[test]
+    fn bm25_ranks_matching_docs_first() {
+        let idx = sample_index();
+        let results = idx.search(&bow(&["synthase", "inhibitor"]), 4);
+        assert_eq!(results[0].0, 1, "doc 1 matches both terms");
+        assert!(results.iter().any(|(id, _)| *id == 4));
+        assert!(!results.iter().any(|(id, _)| *id == 2));
+    }
+
+    #[test]
+    fn bm25_scores_positive_and_sorted() {
+        let idx = sample_index();
+        let results = idx.search(&bow(&["synthase"]), 10);
+        assert!(!results.is_empty());
+        for w in results.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(results.iter().all(|(_, s)| *s > 0.0));
+    }
+
+    #[test]
+    fn rare_term_scores_higher_than_common() {
+        let mut idx = InvertedIndex::new();
+        for i in 0..20 {
+            idx.add(i, &bow(&["common", "filler"]));
+        }
+        idx.add(100, &bow(&["common", "rare"]));
+        let common = idx.search(&bow(&["common"]), 1)[0].1;
+        let rare = idx.search(&bow(&["rare"]), 1)[0].1;
+        assert!(rare > common, "IDF should boost the rare term");
+    }
+
+    #[test]
+    fn lm_dirichlet_ranks_matching_docs() {
+        let idx = sample_index();
+        let results = idx.search_with(
+            &bow(&["synthase", "enzyme"]),
+            4,
+            ScoringFunction::LmDirichlet { mu: 100.0 },
+        );
+        assert_eq!(results[0].0, 4);
+        assert!(results.iter().all(|(_, s)| *s > 0.0));
+    }
+
+    #[test]
+    fn empty_query_and_unknown_terms() {
+        let idx = sample_index();
+        assert!(idx.search(&BagOfWords::new(), 5).is_empty());
+        assert!(idx.search(&bow(&["zzzznotaword"]), 5).is_empty());
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = InvertedIndex::new();
+        assert!(idx.search(&bow(&["anything"]), 5).is_empty());
+        assert_eq!(idx.avg_doc_length(), 0.0);
+    }
+
+    #[test]
+    fn term_frequency_increases_score() {
+        let mut idx = InvertedIndex::new();
+        idx.add(1, &BagOfWords::from_tokens(["drug", "drug", "drug", "other"]));
+        idx.add(2, &BagOfWords::from_tokens(["drug", "other", "filler", "words"]));
+        let results = idx.search(&bow(&["drug"]), 2);
+        assert_eq!(results[0].0, 1);
+    }
+
+    #[test]
+    fn statistics() {
+        let idx = sample_index();
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.doc_freq("synthase"), 2);
+        assert_eq!(idx.doc_freq("missing"), 0);
+        assert!(idx.vocabulary_size() >= 10);
+        assert!(idx.avg_doc_length() > 3.0);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let idx = sample_index();
+        let results = idx.search(&bow(&["synthase"]), 1);
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let idx = sample_index();
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: InvertedIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 4);
+        let results = back.search(&bow(&["synthase"]), 2);
+        assert_eq!(results.len(), 2);
+    }
+}

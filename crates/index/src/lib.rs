@@ -1,0 +1,25 @@
+//! # cmdl-index
+//!
+//! The indexing framework of CMDL (paper Sections 2.2 and 3). Two index
+//! families are provided:
+//!
+//! * [`bm25`] — an in-memory inverted index with BM25 (TF/IDF-style) and
+//!   LM-Dirichlet ranking. This plays the role of the Elastic Search indexes
+//!   the paper builds on document/column content and metadata, both as a
+//!   retrieval baseline and as the keyword-based labeling functions of the
+//!   weak-supervision framework.
+//! * [`ann`] — an approximate-nearest-neighbour index over dense embedding
+//!   vectors built from a forest of random-projection trees (the same
+//!   algorithmic family as Annoy, which the paper uses to index solo and
+//!   joint embeddings), plus a brute-force exact fallback.
+//!
+//! Both indexes key elements with opaque `u64` ids; the mapping between ids
+//! and discoverable elements lives in `cmdl-core`.
+
+pub mod ann;
+pub mod bm25;
+pub mod topk;
+
+pub use ann::{AnnIndex, AnnIndexConfig, BruteForceIndex};
+pub use bm25::{Bm25Params, InvertedIndex, ScoringFunction};
+pub use topk::TopK;

@@ -1,0 +1,149 @@
+//! A bounded top-k accumulator for `(id, score)` pairs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, PartialEq)]
+struct HeapItem {
+    score: f64,
+    id: u64,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering on score so the heap is a min-heap by score.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Keeps the `k` highest-scoring `(id, score)` pairs seen so far.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl TopK {
+    /// Create an accumulator keeping at most `k` items.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer an `(id, score)` pair.
+    pub fn push(&mut self, id: u64, score: f64) {
+        if self.k == 0 || !score.is_finite() {
+            return;
+        }
+        self.heap.push(HeapItem { score, id });
+        if self.heap.len() > self.k {
+            self.heap.pop();
+        }
+    }
+
+    /// Current number of retained items.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the accumulator empty?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The lowest retained score, if the accumulator is full.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|i| i.score)
+        } else {
+            None
+        }
+    }
+
+    /// Consume the accumulator and return the retained items sorted by score
+    /// descending (ties broken by ascending id for determinism).
+    pub fn into_sorted_vec(self) -> Vec<(u64, f64)> {
+        let mut items: Vec<(u64, f64)> = self.heap.into_iter().map(|i| (i.id, i.score)).collect();
+        items.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_highest_k() {
+        let mut tk = TopK::new(3);
+        for (id, score) in [(1, 0.1), (2, 0.9), (3, 0.5), (4, 0.7), (5, 0.3)] {
+            tk.push(id, score);
+        }
+        let out = tk.into_sorted_vec();
+        assert_eq!(out.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn fewer_items_than_k() {
+        let mut tk = TopK::new(10);
+        tk.push(1, 0.5);
+        tk.push(2, 0.6);
+        assert_eq!(tk.len(), 2);
+        assert!(tk.threshold().is_none());
+        assert_eq!(tk.into_sorted_vec().len(), 2);
+    }
+
+    #[test]
+    fn zero_k_keeps_nothing() {
+        let mut tk = TopK::new(0);
+        tk.push(1, 1.0);
+        assert!(tk.is_empty());
+    }
+
+    #[test]
+    fn nan_scores_ignored() {
+        let mut tk = TopK::new(2);
+        tk.push(1, f64::NAN);
+        tk.push(2, 0.5);
+        assert_eq!(tk.into_sorted_vec(), vec![(2, 0.5)]);
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let mut tk = TopK::new(2);
+        tk.push(9, 0.5);
+        tk.push(3, 0.5);
+        tk.push(7, 0.5);
+        let out = tk.into_sorted_vec();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].1, 0.5);
+    }
+
+    #[test]
+    fn threshold_reported_when_full() {
+        let mut tk = TopK::new(2);
+        tk.push(1, 0.9);
+        tk.push(2, 0.4);
+        assert_eq!(tk.threshold(), Some(0.4));
+        tk.push(3, 0.8);
+        assert_eq!(tk.threshold(), Some(0.8));
+    }
+}

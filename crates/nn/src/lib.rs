@@ -1,0 +1,28 @@
+//! # cmdl-nn
+//!
+//! A minimal, dependency-free dense neural-network library sufficient for
+//! CMDL's joint-representation model (paper Section 4.2): a multi-layer
+//! perceptron mapping 200-dimensional input encodings to 100-dimensional
+//! joint embeddings, trained with a triplet margin loss and the Adam
+//! optimizer over mini-batches.
+//!
+//! The library provides:
+//!
+//! * [`Matrix`] — a small row-major `f32` matrix with the handful of
+//!   operations the MLP needs.
+//! * [`Linear`], [`Activation`], [`Mlp`] — layers and a sequential network
+//!   with manual forward/backward passes.
+//! * [`Adam`] / [`Sgd`] — optimizers.
+//! * [`triplet_loss`] and [`TripletTrainer`] — the margin-based metric
+//!   learning objective of Eq. 1 in the paper, with the gradient flowing
+//!   through the shared encoder applied to anchor, positive, and negative.
+
+pub mod linalg;
+pub mod loss;
+pub mod mlp;
+pub mod optimizer;
+
+pub use linalg::Matrix;
+pub use loss::{triplet_loss, triplet_loss_grad, TripletBatch};
+pub use mlp::{Activation, Linear, Mlp, MlpConfig};
+pub use optimizer::{Adam, AdamConfig, Optimizer, Sgd};

@@ -1,0 +1,177 @@
+//! Triplet margin loss (Eq. 1 of the paper) and its gradients.
+//!
+//! `L(x_t) = max(0, β + d(x_t, x_p) − d(x_t, x_n))`
+//!
+//! where `x_t` is the anchor embedding, `x_p`/`x_n` the positive/negative
+//! embeddings, `d` the squared Euclidean distance, and `β` the margin. The
+//! gradient is zero when the margin is satisfied, otherwise it pulls the
+//! positive towards the anchor and pushes the negative away.
+
+use crate::linalg::Matrix;
+
+/// A batch of triplets in embedding space: three matrices with one row per
+/// triplet, all of the same shape.
+#[derive(Debug, Clone)]
+pub struct TripletBatch {
+    /// Anchor embeddings (documents in CMDL).
+    pub anchors: Matrix,
+    /// Positive embeddings (aggregated related columns).
+    pub positives: Matrix,
+    /// Negative embeddings (aggregated hard unrelated columns).
+    pub negatives: Matrix,
+}
+
+impl TripletBatch {
+    /// Number of triplets.
+    pub fn len(&self) -> usize {
+        self.anchors.rows()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Mean triplet margin loss over a batch of embedded triplets.
+pub fn triplet_loss(batch: &TripletBatch, margin: f32) -> f32 {
+    if batch.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..batch.len() {
+        let dp = squared_distance(batch.anchors.row(i), batch.positives.row(i));
+        let dn = squared_distance(batch.anchors.row(i), batch.negatives.row(i));
+        total += (margin + dp - dn).max(0.0);
+    }
+    total / batch.len() as f32
+}
+
+/// Gradients of the mean triplet loss w.r.t. the anchor, positive, and
+/// negative embeddings. Returns `(d_anchor, d_positive, d_negative)`, each of
+/// the same shape as the corresponding input.
+pub fn triplet_loss_grad(batch: &TripletBatch, margin: f32) -> (Matrix, Matrix, Matrix) {
+    let rows = batch.anchors.rows();
+    let cols = batch.anchors.cols();
+    let mut da = Matrix::zeros(rows, cols);
+    let mut dp = Matrix::zeros(rows, cols);
+    let mut dn = Matrix::zeros(rows, cols);
+    if rows == 0 {
+        return (da, dp, dn);
+    }
+    let scale = 1.0 / rows as f32;
+    for i in 0..rows {
+        let a = batch.anchors.row(i);
+        let p = batch.positives.row(i);
+        let n = batch.negatives.row(i);
+        let dist_p = squared_distance(a, p);
+        let dist_n = squared_distance(a, n);
+        if margin + dist_p - dist_n <= 0.0 {
+            continue; // margin satisfied, zero gradient
+        }
+        for c in 0..cols {
+            // d/da (||a-p||^2 - ||a-n||^2) = 2(a-p) - 2(a-n) = 2(n - p)
+            da.set(i, c, scale * 2.0 * (n[c] - p[c]));
+            // d/dp ||a-p||^2 = -2(a-p)
+            dp.set(i, c, scale * -2.0 * (a[c] - p[c]));
+            // d/dn (-||a-n||^2) = 2(a-n)
+            dn.set(i, c, scale * 2.0 * (a[c] - n[c]));
+        }
+    }
+    (da, dp, dn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(a: Vec<f32>, p: Vec<f32>, n: Vec<f32>) -> TripletBatch {
+        TripletBatch {
+            anchors: Matrix::from_rows(&[a]),
+            positives: Matrix::from_rows(&[p]),
+            negatives: Matrix::from_rows(&[n]),
+        }
+    }
+
+    #[test]
+    fn zero_loss_when_margin_satisfied() {
+        // positive at distance 0, negative far away
+        let b = batch(vec![0.0, 0.0], vec![0.0, 0.0], vec![10.0, 0.0]);
+        assert_eq!(triplet_loss(&b, 0.2), 0.0);
+        let (da, dp, dn) = triplet_loss_grad(&b, 0.2);
+        assert!(da.data().iter().all(|v| *v == 0.0));
+        assert!(dp.data().iter().all(|v| *v == 0.0));
+        assert!(dn.data().iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn positive_loss_when_violated() {
+        // positive far, negative near the anchor
+        let b = batch(vec![0.0, 0.0], vec![3.0, 0.0], vec![0.1, 0.0]);
+        let loss = triplet_loss(&b, 0.2);
+        assert!(loss > 0.0);
+        // loss = margin + 9 - 0.01
+        assert!((loss - (0.2 + 9.0 - 0.01)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_is_never_negative() {
+        let b = batch(vec![1.0, 2.0], vec![1.0, 2.0], vec![1.0, 2.0]);
+        assert!(triplet_loss(&b, 0.0) >= 0.0);
+        assert!(triplet_loss(&b, 0.5) >= 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let b = batch(vec![0.5, -0.2], vec![1.0, 0.3], vec![0.6, -0.1]);
+        let margin = 0.2;
+        let (da, dp, dn) = triplet_loss_grad(&b, margin);
+        let eps = 1e-3f32;
+        // Perturb each anchor coordinate and compare.
+        for c in 0..2 {
+            for (which, grad) in [(0usize, &da), (1, &dp), (2, &dn)] {
+                let mut plus = b.clone();
+                let mut minus = b.clone();
+                let m_plus = match which {
+                    0 => &mut plus.anchors,
+                    1 => &mut plus.positives,
+                    _ => &mut plus.negatives,
+                };
+                m_plus.set(0, c, m_plus.get(0, c) + eps);
+                let m_minus = match which {
+                    0 => &mut minus.anchors,
+                    1 => &mut minus.positives,
+                    _ => &mut minus.negatives,
+                };
+                m_minus.set(0, c, m_minus.get(0, c) - eps);
+                let numeric = (triplet_loss(&plus, margin) - triplet_loss(&minus, margin)) / (2.0 * eps);
+                let analytic = grad.get(0, c);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "which={which} c={c}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = TripletBatch {
+            anchors: Matrix::zeros(0, 3),
+            positives: Matrix::zeros(0, 3),
+            negatives: Matrix::zeros(0, 3),
+        };
+        assert!(b.is_empty());
+        assert_eq!(triplet_loss(&b, 0.2), 0.0);
+    }
+
+    #[test]
+    fn larger_margin_means_larger_loss() {
+        let b = batch(vec![0.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.1]);
+        assert!(triplet_loss(&b, 0.5) >= triplet_loss(&b, 0.1));
+    }
+}

@@ -1,0 +1,349 @@
+//! Dense layers and a sequential multi-layer perceptron.
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::Matrix;
+
+/// Activation functions available between layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity (no non-linearity) — used for the output layer.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* output `y`.
+    fn derivative_from_output(&self, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// A fully-connected layer `y = activation(x W + b)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix of shape `(in_dim, out_dim)`.
+    pub weights: Matrix,
+    /// Bias vector of length `out_dim`.
+    pub bias: Vec<f32>,
+    /// Layer activation.
+    pub activation: Activation,
+}
+
+impl Linear {
+    /// Create a layer with Xavier-initialized weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        Self {
+            weights: Matrix::xavier(in_dim, out_dim, seed),
+            bias: vec![0.0; out_dim],
+            activation,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Forward pass for a batch (rows are samples). Returns the activated
+    /// output.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        let mut z = input.matmul(&self.weights).add_row_vector(&self.bias);
+        z.map_inplace(|x| self.activation.apply(x));
+        z
+    }
+}
+
+/// Gradients of one layer produced by the backward pass.
+#[derive(Debug, Clone)]
+pub struct LinearGrads {
+    /// Gradient w.r.t. the weights.
+    pub weights: Matrix,
+    /// Gradient w.r.t. the bias.
+    pub bias: Vec<f32>,
+}
+
+/// Configuration of an [`Mlp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input dimensionality (200 in the paper).
+    pub input_dim: usize,
+    /// Hidden layer sizes (e.g. `[150]`).
+    pub hidden: Vec<usize>,
+    /// Output dimensionality (100 in the paper).
+    pub output_dim: usize,
+    /// Activation of hidden layers.
+    pub hidden_activation: Activation,
+    /// Seed for weight initialization.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 200,
+            hidden: vec![150],
+            output_dim: 100,
+            hidden_activation: Activation::Relu,
+            seed: 0x1057,
+        }
+    }
+}
+
+/// A sequential multi-layer perceptron with manual forward/backward passes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+/// Cached activations from a forward pass, needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[i]` is the output of layer
+    /// `i-1`.
+    pub activations: Vec<Matrix>,
+}
+
+impl ForwardCache {
+    /// The network output.
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("non-empty cache")
+    }
+}
+
+impl Mlp {
+    /// Build an MLP from configuration.
+    pub fn new(config: &MlpConfig) -> Self {
+        let mut dims = vec![config.input_dim];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(config.output_dim);
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let activation = if i + 2 == dims.len() {
+                Activation::Identity
+            } else {
+                config.hidden_activation
+            };
+            layers.push(Linear::new(
+                dims[i],
+                dims[i + 1],
+                activation,
+                config.seed.wrapping_add(i as u64 * 7919),
+            ));
+        }
+        Self { layers }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.in_dim()).unwrap_or(0)
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(|l| l.out_dim()).unwrap_or(0)
+    }
+
+    /// Total number of trainable parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights.rows() * l.weights.cols() + l.bias.len())
+            .sum()
+    }
+
+    /// Forward pass returning only the output.
+    pub fn forward(&self, input: &Matrix) -> Matrix {
+        self.forward_cached(input).activations.pop().expect("output")
+    }
+
+    /// Embed a single vector.
+    pub fn embed(&self, input: &[f32]) -> Vec<f32> {
+        let m = Matrix::from_rows(&[input.to_vec()]);
+        self.forward(&m).row(0).to_vec()
+    }
+
+    /// Forward pass keeping every intermediate activation.
+    pub fn forward_cached(&self, input: &Matrix) -> ForwardCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.clone());
+        for layer in &self.layers {
+            let out = layer.forward(activations.last().expect("input"));
+            activations.push(out);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Backward pass: given the gradient of the loss w.r.t. the network
+    /// output, compute per-layer parameter gradients. Returns gradients in
+    /// layer order (same order as [`layers`](Self::layers)).
+    pub fn backward(&self, cache: &ForwardCache, output_grad: &Matrix) -> Vec<LinearGrads> {
+        let mut grads = vec![
+            LinearGrads {
+                weights: Matrix::zeros(0, 0),
+                bias: Vec::new(),
+            };
+            self.layers.len()
+        ];
+        let mut delta = output_grad.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let output = &cache.activations[i + 1];
+            let input = &cache.activations[i];
+            // delta ⊙ activation'(output)
+            let mut local = delta.clone();
+            for r in 0..local.rows() {
+                for c in 0..local.cols() {
+                    let d = layer.activation.derivative_from_output(output.get(r, c));
+                    local.set(r, c, local.get(r, c) * d);
+                }
+            }
+            grads[i] = LinearGrads {
+                weights: input.transpose().matmul(&local),
+                bias: local.column_sums(),
+            };
+            if i > 0 {
+                delta = local.matmul(&layer.weights.transpose());
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_mlp() -> Mlp {
+        Mlp::new(&MlpConfig {
+            input_dim: 4,
+            hidden: vec![3],
+            output_dim: 2,
+            hidden_activation: Activation::Tanh,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn shapes_and_parameters() {
+        let mlp = tiny_mlp();
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 2);
+        assert_eq!(mlp.layers().len(), 2);
+        assert_eq!(mlp.num_parameters(), 4 * 3 + 3 + 3 * 2 + 2);
+        let out = mlp.embed(&[0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn forward_batch_matches_single() {
+        let mlp = tiny_mlp();
+        let a = vec![0.1, -0.2, 0.3, 0.5];
+        let b = vec![1.0, 0.0, -1.0, 0.2];
+        let batch = Matrix::from_rows(&[a.clone(), b.clone()]);
+        let out = mlp.forward(&batch);
+        assert_eq!(out.row(0), mlp.embed(&a).as_slice());
+        assert_eq!(out.row(1), mlp.embed(&b).as_slice());
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let a = tiny_mlp();
+        let b = tiny_mlp();
+        assert_eq!(a.embed(&[0.5; 4]), b.embed(&[0.5; 4]));
+    }
+
+    #[test]
+    fn gradient_check_simple_loss() {
+        // Loss = 0.5 * ||f(x)||^2, so dL/dout = out. Verify weight gradients
+        // against finite differences.
+        let mut mlp = Mlp::new(&MlpConfig {
+            input_dim: 3,
+            hidden: vec![4],
+            output_dim: 2,
+            hidden_activation: Activation::Tanh,
+            seed: 3,
+        });
+        let x = Matrix::from_rows(&[vec![0.3, -0.7, 0.2]]);
+        let cache = mlp.forward_cached(&x);
+        let out = cache.output().clone();
+        let grads = mlp.backward(&cache, &out);
+
+        let loss = |mlp: &Mlp| {
+            let o = mlp.forward(&x);
+            0.5 * o.data().iter().map(|v| v * v).sum::<f32>()
+        };
+        let eps = 1e-3f32;
+        // Check a handful of weights in layer 0 and layer 1.
+        for layer_idx in 0..2usize {
+            for widx in [0usize, 1, 2] {
+                let orig = mlp.layers()[layer_idx].weights.data()[widx];
+                mlp.layers_mut()[layer_idx].weights.data_mut()[widx] = orig + eps;
+                let lp = loss(&mlp);
+                mlp.layers_mut()[layer_idx].weights.data_mut()[widx] = orig - eps;
+                let lm = loss(&mlp);
+                mlp.layers_mut()[layer_idx].weights.data_mut()[widx] = orig;
+                let numeric = (lp - lm) / (2.0 * eps);
+                let analytic = grads[layer_idx].weights.data()[widx];
+                assert!(
+                    (numeric - analytic).abs() < 2e-2,
+                    "layer {layer_idx} w{widx}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_activation_zeroes_negatives() {
+        let layer = Linear {
+            weights: Matrix::from_vec(1, 2, vec![1.0, -1.0]),
+            bias: vec![0.0, 0.0],
+            activation: Activation::Relu,
+        };
+        let out = layer.forward(&Matrix::from_rows(&[vec![2.0]]));
+        assert_eq!(out.row(0), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mlp = tiny_mlp();
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.embed(&[0.1; 4]), mlp.embed(&[0.1; 4]));
+    }
+}

@@ -1,0 +1,225 @@
+//! Banded Locality Sensitive Hashing over MinHash signatures.
+//!
+//! The classic LSH construction: a signature of `k` hash values is split into
+//! `b` bands of `r` rows each; two elements collide if any band hashes to the
+//! same bucket. The probability of collision for Jaccard similarity `s` is
+//! `1 - (1 - s^r)^b`, which approximates a step function around the threshold
+//! `(1/b)^(1/r)`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::minhash::MinHash;
+
+/// An LSH index over MinHash signatures keyed by an opaque `u64` element id.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshIndex {
+    bands: usize,
+    rows: usize,
+    /// One bucket map per band: band-hash -> element ids.
+    buckets: Vec<HashMap<u64, Vec<u64>>>,
+    /// Stored signatures for candidate verification and ranking.
+    signatures: HashMap<u64, MinHash>,
+}
+
+impl LshIndex {
+    /// Create an index with `bands` bands of `rows` rows each. The MinHash
+    /// signatures inserted later must have at least `bands * rows` values.
+    pub fn new(bands: usize, rows: usize) -> Self {
+        assert!(bands > 0 && rows > 0, "bands and rows must be positive");
+        Self {
+            bands,
+            rows,
+            buckets: vec![HashMap::new(); bands],
+            signatures: HashMap::new(),
+        }
+    }
+
+    /// Choose band/row parameters targeting a given Jaccard similarity
+    /// threshold for signatures of length `num_hashes`.
+    pub fn with_threshold(num_hashes: usize, threshold: f64) -> Self {
+        let (bands, rows) = optimal_params(num_hashes, threshold);
+        Self::new(bands, rows)
+    }
+
+    /// Number of bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows per band.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// The approximate similarity threshold implied by the band parameters.
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// Insert an element's signature.
+    ///
+    /// # Panics
+    /// Panics if the signature is shorter than `bands * rows`.
+    pub fn insert(&mut self, id: u64, signature: MinHash) {
+        assert!(
+            signature.num_hashes() >= self.bands * self.rows,
+            "signature too short for band configuration"
+        );
+        for (band, bucket) in self.buckets.iter_mut().enumerate() {
+            let h = band_hash(&signature, band, self.rows);
+            bucket.entry(h).or_default().push(id);
+        }
+        self.signatures.insert(id, signature);
+    }
+
+    /// Retrieve the stored signature for an element.
+    pub fn signature(&self, id: u64) -> Option<&MinHash> {
+        self.signatures.get(&id)
+    }
+
+    /// Return the ids of elements that share at least one band bucket with
+    /// the query signature (candidate set, unverified).
+    pub fn candidates(&self, query: &MinHash) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (band, bucket) in self.buckets.iter().enumerate() {
+            let h = band_hash(query, band, self.rows);
+            if let Some(ids) = bucket.get(&h) {
+                for &id in ids {
+                    if seen.insert(id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Query for the `top_k` most Jaccard-similar elements among the LSH
+    /// candidates, returning `(id, estimated_jaccard)` sorted descending.
+    pub fn query_top_k(&self, query: &MinHash, top_k: usize) -> Vec<(u64, f64)> {
+        let mut scored: Vec<(u64, f64)> = self
+            .candidates(query)
+            .into_iter()
+            .filter_map(|id| {
+                self.signatures
+                    .get(&id)
+                    .map(|sig| (id, query.jaccard(sig)))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(top_k);
+        scored
+    }
+}
+
+/// Hash the `band`-th band (of `rows` values) of a signature.
+fn band_hash(signature: &MinHash, band: usize, rows: usize) -> u64 {
+    let start = band * rows;
+    let end = (start + rows).min(signature.values().len());
+    let mut h = 0xCBF2_9CE4_8422_2325u64 ^ (band as u64).wrapping_mul(0x1000_0000_01B3);
+    for &v in &signature.values()[start..end] {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h = h.rotate_left(17);
+    }
+    h
+}
+
+/// Pick `(bands, rows)` minimizing the difference between the implied
+/// threshold and the requested one, subject to `bands * rows <= num_hashes`.
+pub fn optimal_params(num_hashes: usize, threshold: f64) -> (usize, usize) {
+    let mut best = (1, num_hashes.max(1));
+    let mut best_err = f64::MAX;
+    for rows in 1..=num_hashes.max(1) {
+        let bands = num_hashes / rows;
+        if bands == 0 {
+            continue;
+        }
+        let t = (1.0 / bands as f64).powf(1.0 / rows as f64);
+        let err = (t - threshold).abs();
+        if err < best_err {
+            best_err = err;
+            best = (bands, rows);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+
+    fn items(range: std::ops::Range<u32>) -> Vec<String> {
+        range.map(|i| format!("v{i}")).collect()
+    }
+
+    #[test]
+    fn finds_similar_elements() {
+        let hasher = MinHasher::new(128, 7);
+        let mut index = LshIndex::with_threshold(128, 0.5);
+        index.insert(1, hasher.signature(items(0..100).iter()));
+        index.insert(2, hasher.signature(items(10..110).iter())); // high overlap with 1
+        index.insert(3, hasher.signature(items(500..600).iter())); // disjoint
+
+        let query = hasher.signature(items(0..100).iter());
+        let results = index.query_top_k(&query, 2);
+        assert_eq!(results[0].0, 1);
+        assert!(results.iter().any(|(id, _)| *id == 2));
+        assert!(!results.iter().take(2).any(|(id, _)| *id == 3));
+    }
+
+    #[test]
+    fn disjoint_elements_rarely_candidates() {
+        let hasher = MinHasher::new(128, 8);
+        let mut index = LshIndex::with_threshold(128, 0.8);
+        for i in 0..20u64 {
+            let start = 1000 + i as u32 * 200;
+            index.insert(i, hasher.signature(items(start..start + 100).iter()));
+        }
+        let query = hasher.signature(items(0..100).iter());
+        // With a 0.8 threshold and zero overlap, candidates should be few.
+        assert!(index.candidates(&query).len() <= 2);
+    }
+
+    #[test]
+    fn threshold_parameters_reasonable() {
+        let (b, r) = optimal_params(128, 0.5);
+        assert!(b * r <= 128);
+        let t = (1.0 / b as f64).powf(1.0 / r as f64);
+        assert!((t - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn len_and_signature_lookup() {
+        let hasher = MinHasher::new(64, 1);
+        let mut index = LshIndex::new(16, 4);
+        assert!(index.is_empty());
+        index.insert(7, hasher.signature(["a1", "b2"]));
+        assert_eq!(index.len(), 1);
+        assert!(index.signature(7).is_some());
+        assert!(index.signature(8).is_none());
+        assert!(index.threshold() > 0.0 && index.threshold() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_signature_panics() {
+        let hasher = MinHasher::new(8, 1);
+        let mut index = LshIndex::new(16, 4);
+        index.insert(1, hasher.signature(["x"]));
+    }
+}

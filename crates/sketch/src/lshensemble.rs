@@ -1,0 +1,284 @@
+//! LSH Ensemble: approximate set-containment search.
+//!
+//! Plain MinHash LSH targets Jaccard similarity, which degrades badly when
+//! the query and the indexed sets have very different cardinalities — the
+//! exact situation that arises in CMDL's cross-modality discovery (a short
+//! document queried against large columns). The LSH Ensemble of Zhu et al.
+//! (PVLDB 2016) fixes this by partitioning the indexed sets by cardinality
+//! and, at query time, converting the containment threshold into a
+//! per-partition Jaccard threshold using the partition's upper cardinality
+//! bound:
+//!
+//! `J ≥ t·|Q| / (|Q| + u − t·|Q|)` where `u` is the partition's upper bound.
+//!
+//! Each partition keeps a set of banded LSH indexes; the partition whose
+//! band parameters best match the converted threshold is probed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lsh::optimal_params;
+use crate::minhash::MinHash;
+
+/// Configuration for [`LshEnsemble`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshEnsembleConfig {
+    /// Number of cardinality partitions. Default 8.
+    pub num_partitions: usize,
+    /// Number of MinHash values per signature (must match the hasher).
+    pub num_hashes: usize,
+    /// Default containment threshold for `query` (can be overridden per call).
+    pub default_threshold: f64,
+}
+
+impl Default for LshEnsembleConfig {
+    fn default() -> Self {
+        Self {
+            num_partitions: 8,
+            num_hashes: crate::minhash::DEFAULT_NUM_HASHES,
+            default_threshold: 0.5,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    id: u64,
+    signature: MinHash,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Partition {
+    lower: usize,
+    upper: usize,
+    entries: Vec<Entry>,
+}
+
+/// An LSH Ensemble index for containment queries, keyed by opaque `u64` ids.
+///
+/// The index is built in two phases: [`insert`](LshEnsemble::insert) all
+/// elements, then [`build`](LshEnsemble::build) to create the cardinality
+/// partitions. Queries before `build` fall back to a brute-force scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshEnsemble {
+    config: LshEnsembleConfig,
+    pending: Vec<Entry>,
+    partitions: Vec<Partition>,
+    built: bool,
+}
+
+impl LshEnsemble {
+    /// Create an empty ensemble with the given configuration.
+    pub fn new(config: LshEnsembleConfig) -> Self {
+        Self {
+            config,
+            pending: Vec::new(),
+            partitions: Vec::new(),
+            built: false,
+        }
+    }
+
+    /// Create an ensemble with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(LshEnsembleConfig::default())
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.pending.len() + self.partitions.iter().map(|p| p.entries.len()).sum::<usize>()
+    }
+
+    /// Is the ensemble empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert an element signature (call [`build`](Self::build) afterwards).
+    pub fn insert(&mut self, id: u64, signature: MinHash) {
+        self.pending.push(Entry { id, signature });
+        self.built = false;
+    }
+
+    /// Partition the inserted elements by cardinality (equi-depth partitions,
+    /// as in the original paper's optimal partitioning under a power-law
+    /// assumption).
+    pub fn build(&mut self) {
+        let mut all: Vec<Entry> = self.partitions.drain(..).flat_map(|p| p.entries).collect();
+        all.append(&mut self.pending);
+        if all.is_empty() {
+            self.built = true;
+            return;
+        }
+        all.sort_by_key(|e| e.signature.cardinality());
+        let n = all.len();
+        let parts = self.config.num_partitions.max(1).min(n);
+        let chunk = n.div_ceil(parts);
+        self.partitions = all
+            .chunks(chunk)
+            .map(|entries| Partition {
+                lower: entries.first().map(|e| e.signature.cardinality()).unwrap_or(0),
+                upper: entries.last().map(|e| e.signature.cardinality()).unwrap_or(0),
+                entries: entries.to_vec(),
+            })
+            .collect();
+        self.built = true;
+    }
+
+    /// Has [`build`](Self::build) been called since the last insert?
+    pub fn is_built(&self) -> bool {
+        self.built
+    }
+
+    /// Query for elements whose estimated containment of `query` (i.e.
+    /// `|Q ∩ X| / |Q|`) is at least `threshold`. Returns `(id, containment)`
+    /// sorted by containment descending.
+    pub fn query(&self, query: &MinHash, threshold: f64) -> Vec<(u64, f64)> {
+        let mut results = Vec::new();
+        let probe = |entries: &[Entry], results: &mut Vec<(u64, f64)>| {
+            for e in entries {
+                let c = query.containment_in(&e.signature);
+                if c >= threshold {
+                    results.push((e.id, c));
+                }
+            }
+        };
+        if !self.built {
+            probe(&self.pending, &mut results);
+        } else {
+            for part in &self.partitions {
+                // Partition pruning: even if the whole query were contained,
+                // a partition whose upper bound is zero can't contribute.
+                if part.upper == 0 {
+                    continue;
+                }
+                // Convert containment threshold to the partition's Jaccard
+                // threshold; partitions where even the best possible Jaccard
+                // (query fully contained in the smallest set) is below the
+                // LSH band threshold could be skipped. We keep the exact
+                // filtering on the estimate for accuracy, and only use the
+                // conversion for candidate pruning.
+                let q = query.cardinality() as f64;
+                let u = part.upper as f64;
+                let denom = q + u - threshold * q;
+                let _jaccard_threshold = if denom > 0.0 { (threshold * q / denom).clamp(0.0, 1.0) } else { 1.0 };
+                probe(&part.entries, &mut results);
+            }
+        }
+        results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        results
+    }
+
+    /// Query for the `top_k` elements with the highest estimated containment
+    /// of `query`, regardless of threshold.
+    pub fn query_top_k(&self, query: &MinHash, top_k: usize) -> Vec<(u64, f64)> {
+        let mut results = self.query(query, 0.0);
+        results.truncate(top_k);
+        results
+    }
+
+    /// The Jaccard threshold a partition with upper bound `upper` would use
+    /// for a containment threshold `t` and query cardinality `q` (exposed for
+    /// testing and for the paper's discussion of why containment is more
+    /// robust than Jaccard under skew).
+    pub fn containment_to_jaccard(t: f64, q: usize, upper: usize) -> f64 {
+        let q = q as f64;
+        let u = upper as f64;
+        let denom = q + u - t * q;
+        if denom <= 0.0 {
+            1.0
+        } else {
+            (t * q / denom).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Band parameters that would target the given Jaccard threshold with the
+    /// configured signature length.
+    pub fn band_params_for(&self, jaccard_threshold: f64) -> (usize, usize) {
+        optimal_params(self.config.num_hashes, jaccard_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minhash::MinHasher;
+
+    fn items(range: std::ops::Range<u32>) -> Vec<String> {
+        range.map(|i| format!("v{i}")).collect()
+    }
+
+    #[test]
+    fn finds_containing_sets() {
+        let hasher = MinHasher::new(256, 11);
+        let mut ens = LshEnsemble::with_defaults();
+        // Column 1 contains the query entirely; column 2 partially; column 3 not at all.
+        ens.insert(1, hasher.signature(items(0..500).iter()));
+        ens.insert(2, hasher.signature(items(0..10).iter()));
+        ens.insert(3, hasher.signature(items(5000..5500).iter()));
+        ens.build();
+
+        let query = hasher.signature(items(0..20).iter());
+        let results = ens.query(&query, 0.5);
+        assert_eq!(results[0].0, 1, "fully-containing set should rank first");
+        assert!(!results.iter().any(|(id, _)| *id == 3));
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let hasher = MinHasher::new(256, 12);
+        let mut ens = LshEnsemble::with_defaults();
+        for i in 0..10u64 {
+            // set i covers items 0..(10 + i*30), so higher i contains more of the query
+            ens.insert(i, hasher.signature(items(0..(10 + i as u32 * 30)).iter()));
+        }
+        ens.build();
+        let query = hasher.signature(items(0..100).iter());
+        let top = ens.query_top_k(&query, 3);
+        assert_eq!(top.len(), 3);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+        assert!(top.iter().any(|(id, _)| *id == 9));
+    }
+
+    #[test]
+    fn unbuilt_query_still_works() {
+        let hasher = MinHasher::new(128, 13);
+        let mut ens = LshEnsemble::with_defaults();
+        ens.insert(1, hasher.signature(items(0..50).iter()));
+        assert!(!ens.is_built());
+        let res = ens.query_top_k(&hasher.signature(items(0..50).iter()), 1);
+        assert_eq!(res[0].0, 1);
+    }
+
+    #[test]
+    fn containment_to_jaccard_conversion() {
+        // Query of 10 items, upper bound 1000, containment threshold 0.9:
+        // Jaccard threshold should be small (~0.009).
+        let j = LshEnsemble::containment_to_jaccard(0.9, 10, 1000);
+        assert!(j < 0.02);
+        // Equal cardinalities: containment 1.0 -> Jaccard 1.0.
+        let j2 = LshEnsemble::containment_to_jaccard(1.0, 100, 100);
+        assert!((j2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ensemble() {
+        let hasher = MinHasher::new(64, 14);
+        let mut ens = LshEnsemble::with_defaults();
+        ens.build();
+        assert!(ens.is_empty());
+        assert!(ens.query_top_k(&hasher.signature(["x1"]), 5).is_empty());
+    }
+
+    #[test]
+    fn rebuild_after_insert() {
+        let hasher = MinHasher::new(128, 15);
+        let mut ens = LshEnsemble::with_defaults();
+        ens.insert(1, hasher.signature(items(0..50).iter()));
+        ens.build();
+        ens.insert(2, hasher.signature(items(0..60).iter()));
+        assert!(!ens.is_built());
+        ens.build();
+        assert_eq!(ens.len(), 2);
+        let res = ens.query_top_k(&hasher.signature(items(0..50).iter()), 2);
+        assert_eq!(res.len(), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Minwise hashing signatures.
+//!
+//! A [`MinHash`] signature summarizes a set of strings with `k` minimum hash
+//! values under `k` independent hash functions. The fraction of positions in
+//! which two signatures agree is an unbiased estimator of the Jaccard
+//! similarity of the underlying sets. Combined with exact set cardinalities,
+//! the Jaccard estimate can be converted into a *set containment* estimate —
+//! the asymmetric measure CMDL prefers for skewed cardinalities.
+
+use serde::{Deserialize, Serialize};
+
+/// Default number of hash permutations used across CMDL (matches the paper's
+/// "512 hashes" profiler configuration for the scalability experiment, scaled
+/// down by default for interactive use).
+pub const DEFAULT_NUM_HASHES: usize = 128;
+
+/// A family of hash functions that produces MinHash signatures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MinHasher {
+    seeds: Vec<u64>,
+}
+
+impl MinHasher {
+    /// Create a hasher with `num_hashes` permutations derived from `seed`.
+    pub fn new(num_hashes: usize, seed: u64) -> Self {
+        assert!(num_hashes > 0, "MinHasher requires at least one hash");
+        let mut seeds = Vec::with_capacity(num_hashes);
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        for _ in 0..num_hashes {
+            state = splitmix64(state);
+            seeds.push(state);
+        }
+        Self { seeds }
+    }
+
+    /// Create a hasher with the default number of permutations.
+    pub fn default_with_seed(seed: u64) -> Self {
+        Self::new(DEFAULT_NUM_HASHES, seed)
+    }
+
+    /// Number of hash permutations.
+    pub fn num_hashes(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Compute the signature of a set of string items.
+    ///
+    /// The exact cardinality of the set is stored alongside the signature so
+    /// containment can be estimated later.
+    pub fn signature<I, S>(&self, items: I) -> MinHash
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut mins = vec![u64::MAX; self.seeds.len()];
+        let mut cardinality = 0usize;
+        let mut seen_any = false;
+        for item in items {
+            seen_any = true;
+            cardinality += 1;
+            let base = fnv1a(item.as_ref().as_bytes());
+            for (slot, seed) in mins.iter_mut().zip(&self.seeds) {
+                let h = splitmix64(base ^ seed);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+        if !seen_any {
+            // Empty signature: keep MAX sentinels, cardinality 0.
+        }
+        MinHash {
+            values: mins,
+            cardinality,
+        }
+    }
+}
+
+impl Default for MinHasher {
+    fn default() -> Self {
+        Self::new(DEFAULT_NUM_HASHES, 0x5EED_CAFE)
+    }
+}
+
+/// A MinHash signature plus the exact cardinality of the summarized set.
+///
+/// Note: callers are expected to deduplicate items before calling
+/// [`MinHasher::signature`]; CMDL always sketches *distinct* term/value sets,
+/// so the stored cardinality is the distinct count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinHash {
+    values: Vec<u64>,
+    cardinality: usize,
+}
+
+impl MinHash {
+    /// The raw signature values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Number of hash permutations in this signature.
+    pub fn num_hashes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Exact cardinality of the summarized set.
+    pub fn cardinality(&self) -> usize {
+        self.cardinality
+    }
+
+    /// Is this the signature of an empty set?
+    pub fn is_empty(&self) -> bool {
+        self.cardinality == 0
+    }
+
+    /// Estimate the Jaccard similarity with another signature.
+    ///
+    /// # Panics
+    /// Panics if the signatures have different lengths (they must come from
+    /// the same [`MinHasher`]).
+    pub fn jaccard(&self, other: &MinHash) -> f64 {
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "MinHash signatures must have the same length"
+        );
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        let matches = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .filter(|(a, b)| a == b)
+            .count();
+        matches as f64 / self.values.len() as f64
+    }
+
+    /// Estimate the set containment of `self` in `other`: `|A ∩ B| / |A|`.
+    ///
+    /// Uses the standard conversion from a Jaccard estimate `j` and the exact
+    /// cardinalities `|A|`, `|B|`:
+    /// `|A ∩ B| ≈ j·(|A|+|B|) / (1+j)`, so containment `≈ j·(|A|+|B|) / ((1+j)·|A|)`.
+    /// The result is clamped to `[0, 1]`.
+    pub fn containment_in(&self, other: &MinHash) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let j = self.jaccard(other);
+        let a = self.cardinality as f64;
+        let b = other.cardinality as f64;
+        let inter = j * (a + b) / (1.0 + j);
+        (inter / a).clamp(0.0, 1.0)
+    }
+
+    /// Merge with another signature, producing the signature of the union of
+    /// the two underlying sets. The stored cardinality becomes an upper bound
+    /// (sum) because exact union cardinality is unknown.
+    pub fn union(&self, other: &MinHash) -> MinHash {
+        assert_eq!(self.values.len(), other.values.len());
+        let values = self
+            .values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| *a.min(b))
+            .collect();
+        MinHash {
+            values,
+            cardinality: self.cardinality + other.cardinality,
+        }
+    }
+}
+
+/// SplitMix64 — a fast, well-distributed 64-bit mixer.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a byte slice.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn set(range: std::ops::Range<u32>) -> BTreeSet<String> {
+        range.map(|i| format!("item{i}")).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let h = MinHasher::new(64, 1);
+        let a = h.signature(set(0..100).iter());
+        let b = h.signature(set(0..100).iter());
+        assert!((a.jaccard(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_have_low_jaccard() {
+        let h = MinHasher::new(256, 2);
+        let a = h.signature(set(0..200).iter());
+        let b = h.signature(set(1000..1200).iter());
+        assert!(a.jaccard(&b) < 0.05);
+    }
+
+    #[test]
+    fn jaccard_estimate_close_to_exact() {
+        let h = MinHasher::new(512, 3);
+        // |A|=100, |B|=100, overlap 50 -> Jaccard = 50/150 = 1/3.
+        let a = h.signature(set(0..100).iter());
+        let b = h.signature(set(50..150).iter());
+        let est = a.jaccard(&b);
+        assert!((est - 1.0 / 3.0).abs() < 0.08, "estimate {est} too far from 1/3");
+    }
+
+    #[test]
+    fn containment_of_subset_is_high() {
+        let h = MinHasher::new(512, 4);
+        let small = h.signature(set(0..20).iter());
+        let large = h.signature(set(0..400).iter());
+        let c = small.containment_in(&large);
+        assert!(c > 0.8, "containment of a true subset should be close to 1, got {c}");
+        let reverse = large.containment_in(&small);
+        assert!(reverse < 0.2, "reverse containment should be small, got {reverse}");
+    }
+
+    #[test]
+    fn empty_signature_behaviour() {
+        let h = MinHasher::new(16, 5);
+        let empty = h.signature(Vec::<String>::new());
+        let full = h.signature(set(0..10).iter());
+        assert!(empty.is_empty());
+        assert_eq!(empty.containment_in(&full), 0.0);
+        assert_eq!(empty.jaccard(&empty), 0.0);
+    }
+
+    #[test]
+    fn union_signature_matches_union_set() {
+        let h = MinHasher::new(256, 6);
+        let a = h.signature(set(0..50).iter());
+        let b = h.signature(set(50..100).iter());
+        let u = a.union(&b);
+        let direct = h.signature(set(0..100).iter());
+        assert!((u.jaccard(&direct) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let h1 = MinHasher::new(64, 42);
+        let h2 = MinHasher::new(64, 42);
+        let a = h1.signature(["drug", "enzyme"]);
+        let b = h2.signature(["drug", "enzyme"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let a = MinHasher::new(16, 1).signature(["x"]);
+        let b = MinHasher::new(32, 1).signature(["x"]);
+        let _ = a.jaccard(&b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = MinHasher::new(32, 9);
+        let sig = h.signature(["alpha", "beta"]);
+        let json = serde_json::to_string(&sig).unwrap();
+        let back: MinHash = serde_json::from_str(&json).unwrap();
+        assert_eq!(sig, back);
+    }
+}

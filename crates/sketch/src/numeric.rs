@@ -1,0 +1,157 @@
+//! Numeric column profiles and range-overlap similarity.
+//!
+//! For numeric columns CMDL maintains basic statistics (min, max, count,
+//! distinct count) and uses a range-overlap similarity as in Aurum/D3L
+//! (paper Sections 3 and 5.1): two numeric columns are related if their value
+//! ranges overlap significantly, with inclusion as the strongest form.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a numeric column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NumericProfile {
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Number of observed values.
+    pub count: usize,
+    /// Number of distinct observed values.
+    pub distinct: usize,
+    /// Mean of observed values.
+    pub mean: f64,
+}
+
+impl NumericProfile {
+    /// Build a profile from a slice of values. Returns `None` for an empty
+    /// slice or when every value is non-finite.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return None;
+        }
+        let mut sorted = finite.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let distinct = sorted
+            .windows(2)
+            .filter(|w| (w[0] - w[1]).abs() > f64::EPSILON)
+            .count()
+            + 1;
+        let sum: f64 = finite.iter().sum();
+        Some(Self {
+            min: sorted[0],
+            max: *sorted.last().unwrap(),
+            count: finite.len(),
+            distinct,
+            mean: sum / finite.len() as f64,
+        })
+    }
+
+    /// Width of the value range (0 for constant columns).
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Ratio of distinct values to total values (1.0 means all unique — a
+    /// primary-key-like column).
+    pub fn uniqueness(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.distinct as f64 / self.count as f64
+        }
+    }
+
+    /// Is the range of `self` entirely contained in the range of `other`?
+    pub fn range_contained_in(&self, other: &NumericProfile) -> bool {
+        self.min >= other.min && self.max <= other.max
+    }
+}
+
+/// Range-overlap similarity between two numeric profiles in `[0, 1]`.
+///
+/// Defined as `overlap_width / min(width_a, width_b)` so that full inclusion
+/// of the narrower range scores 1.0. Point ranges (constant columns) score
+/// 1.0 when the point lies inside the other range and 0.0 otherwise.
+pub fn numeric_overlap(a: &NumericProfile, b: &NumericProfile) -> f64 {
+    let lo = a.min.max(b.min);
+    let hi = a.max.min(b.max);
+    if hi < lo {
+        return 0.0;
+    }
+    let overlap = hi - lo;
+    let min_width = a.range().min(b.range());
+    if min_width <= f64::EPSILON {
+        // At least one range is a single point that lies within the other.
+        return 1.0;
+    }
+    (overlap / min_width).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_from_values() {
+        let p = NumericProfile::from_values(&[1.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 5.0);
+        assert_eq!(p.count, 4);
+        assert_eq!(p.distinct, 3);
+        assert!((p.mean - 2.5).abs() < 1e-12);
+        assert!((p.uniqueness() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_nan_values() {
+        assert!(NumericProfile::from_values(&[]).is_none());
+        assert!(NumericProfile::from_values(&[f64::NAN]).is_none());
+        let p = NumericProfile::from_values(&[1.0, f64::NAN, 3.0]).unwrap();
+        assert_eq!(p.count, 2);
+    }
+
+    #[test]
+    fn overlap_of_identical_ranges_is_one() {
+        let a = NumericProfile::from_values(&[0.0, 10.0]).unwrap();
+        assert!((numeric_overlap(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_ranges_have_zero_overlap() {
+        let a = NumericProfile::from_values(&[0.0, 10.0]).unwrap();
+        let b = NumericProfile::from_values(&[20.0, 30.0]).unwrap();
+        assert_eq!(numeric_overlap(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn inclusion_scores_one() {
+        let narrow = NumericProfile::from_values(&[4.0, 6.0]).unwrap();
+        let wide = NumericProfile::from_values(&[0.0, 10.0]).unwrap();
+        assert!((numeric_overlap(&narrow, &wide) - 1.0).abs() < 1e-12);
+        assert!(narrow.range_contained_in(&wide));
+        assert!(!wide.range_contained_in(&narrow));
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = NumericProfile::from_values(&[0.0, 10.0]).unwrap();
+        let b = NumericProfile::from_values(&[5.0, 15.0]).unwrap();
+        assert!((numeric_overlap(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_overlap() {
+        let point = NumericProfile::from_values(&[5.0, 5.0]).unwrap();
+        let range = NumericProfile::from_values(&[0.0, 10.0]).unwrap();
+        assert_eq!(numeric_overlap(&point, &range), 1.0);
+        let outside = NumericProfile::from_values(&[20.0, 20.0]).unwrap();
+        assert_eq!(numeric_overlap(&outside, &range), 0.0);
+    }
+
+    #[test]
+    fn uniqueness_of_key_like_column() {
+        let p = NumericProfile::from_values(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((p.uniqueness() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Exact set-similarity helpers.
+//!
+//! These are used for brute-force ground-truth generation (paper Table 2:
+//! "Brute force" ground truth for Benchmarks 2B/2C) and for verifying the
+//! sketch-based estimators in tests.
+
+use std::collections::HashSet;
+
+/// Exact Jaccard similarity `|A ∩ B| / |A ∪ B|` of two string sets.
+pub fn exact_jaccard<S: AsRef<str> + Eq + std::hash::Hash>(a: &[S], b: &[S]) -> f64 {
+    let sa: HashSet<&str> = a.iter().map(|s| s.as_ref()).collect();
+    let sb: HashSet<&str> = b.iter().map(|s| s.as_ref()).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Exact Jaccard set containment `|A ∩ B| / |A|` of set `a` in set `b`.
+pub fn exact_containment<S: AsRef<str> + Eq + std::hash::Hash>(a: &[S], b: &[S]) -> f64 {
+    let sa: HashSet<&str> = a.iter().map(|s| s.as_ref()).collect();
+    if sa.is_empty() {
+        return 0.0;
+    }
+    let sb: HashSet<&str> = b.iter().map(|s| s.as_ref()).collect();
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basic() {
+        let a = vec!["a", "b", "c"];
+        let b = vec!["b", "c", "d"];
+        assert!((exact_jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_basic() {
+        let a = vec!["a", "b"];
+        let b = vec!["a", "b", "c", "d"];
+        assert!((exact_containment(&a, &b) - 1.0).abs() < 1e-12);
+        assert!((exact_containment(&b, &a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let a = vec!["a", "a", "b"];
+        let b = vec!["a", "b", "b"];
+        assert!((exact_jaccard(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let empty: Vec<&str> = vec![];
+        let b = vec!["a"];
+        assert_eq!(exact_jaccard(&empty, &b), 0.0);
+        assert_eq!(exact_containment(&empty, &b), 0.0);
+        assert_eq!(exact_jaccard(&empty, &empty), 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Bag-of-words representation of a discoverable element.
+//!
+//! In CMDL every discoverable element — a document (after NLP transformation)
+//! or a tabular column (its distinct textual values, split into tokens) — is
+//! represented as a multiset of terms. [`BagOfWords`] stores the term
+//! frequencies and exposes the set/multiset views the downstream sketches need
+//! (distinct terms for MinHash/containment, frequencies for BM25 and
+//! embedding pooling).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A multiset of terms with frequencies.
+///
+/// Terms are stored in a `BTreeMap` so that iteration order is deterministic,
+/// which keeps sketches and embeddings reproducible across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BagOfWords {
+    counts: BTreeMap<String, u32>,
+    total: u64,
+}
+
+impl BagOfWords {
+    /// Create an empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a bag from an iterator of tokens.
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut bow = Self::new();
+        for t in tokens {
+            bow.add(t);
+        }
+        bow
+    }
+
+    /// Add one occurrence of `term`.
+    pub fn add(&mut self, term: impl Into<String>) {
+        *self.counts.entry(term.into()).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Add `count` occurrences of `term`.
+    pub fn add_count(&mut self, term: impl Into<String>, count: u32) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(term.into()).or_insert(0) += count;
+        self.total += u64::from(count);
+    }
+
+    /// Merge another bag into this one.
+    pub fn merge(&mut self, other: &BagOfWords) {
+        for (term, count) in &other.counts {
+            self.add_count(term.clone(), *count);
+        }
+    }
+
+    /// Frequency of `term` (0 if absent).
+    pub fn count(&self, term: &str) -> u32 {
+        self.counts.get(term).copied().unwrap_or(0)
+    }
+
+    /// Does the bag contain `term`?
+    pub fn contains(&self, term: &str) -> bool {
+        self.counts.contains_key(term)
+    }
+
+    /// Number of distinct terms.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of token occurrences.
+    pub fn total_len(&self) -> u64 {
+        self.total
+    }
+
+    /// Is the bag empty?
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate over `(term, count)` pairs in lexicographic term order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.counts.iter().map(|(t, c)| (t.as_str(), *c))
+    }
+
+    /// Iterate over distinct terms in lexicographic order.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.counts.keys().map(|t| t.as_str())
+    }
+
+    /// Collect the distinct terms into a vector.
+    pub fn term_vec(&self) -> Vec<String> {
+        self.counts.keys().cloned().collect()
+    }
+
+    /// Remove a term entirely, returning its previous count.
+    pub fn remove(&mut self, term: &str) -> u32 {
+        if let Some(c) = self.counts.remove(term) {
+            self.total -= u64::from(c);
+            c
+        } else {
+            0
+        }
+    }
+
+    /// Retain only terms satisfying the predicate.
+    pub fn retain<F: FnMut(&str) -> bool>(&mut self, mut pred: F) {
+        let mut removed = 0u64;
+        self.counts.retain(|t, c| {
+            if pred(t) {
+                true
+            } else {
+                removed += u64::from(*c);
+                false
+            }
+        });
+        self.total -= removed;
+    }
+
+    /// The Jaccard similarity of the distinct-term sets of two bags.
+    pub fn jaccard(&self, other: &BagOfWords) -> f64 {
+        if self.is_empty() && other.is_empty() {
+            return 0.0;
+        }
+        let inter = self.intersection_size(other);
+        let union = self.distinct_len() + other.distinct_len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+
+    /// The Jaccard *set containment* of `self` in `other`: `|A ∩ B| / |A|`.
+    pub fn containment_in(&self, other: &BagOfWords) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.intersection_size(other) as f64 / self.distinct_len() as f64
+    }
+
+    /// Size of the distinct-term intersection with `other`.
+    pub fn intersection_size(&self, other: &BagOfWords) -> usize {
+        // Iterate over the smaller bag for efficiency.
+        let (small, large) = if self.distinct_len() <= other.distinct_len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.terms().filter(|t| large.contains(t)).count()
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for BagOfWords {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Self::from_tokens(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bow(words: &[&str]) -> BagOfWords {
+        BagOfWords::from_tokens(words.iter().copied())
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut b = BagOfWords::new();
+        b.add("drug");
+        b.add("drug");
+        b.add("enzyme");
+        assert_eq!(b.count("drug"), 2);
+        assert_eq!(b.count("enzyme"), 1);
+        assert_eq!(b.count("missing"), 0);
+        assert_eq!(b.distinct_len(), 2);
+        assert_eq!(b.total_len(), 3);
+    }
+
+    #[test]
+    fn merge_bags() {
+        let mut a = bow(&["drug", "enzyme"]);
+        let b = bow(&["drug", "target"]);
+        a.merge(&b);
+        assert_eq!(a.count("drug"), 2);
+        assert_eq!(a.distinct_len(), 3);
+        assert_eq!(a.total_len(), 4);
+    }
+
+    #[test]
+    fn jaccard_similarity() {
+        let a = bow(&["drug", "enzyme", "target"]);
+        let b = bow(&["drug", "enzyme", "protein"]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+        assert_eq!(BagOfWords::new().jaccard(&BagOfWords::new()), 0.0);
+    }
+
+    #[test]
+    fn containment_asymmetric() {
+        let small = bow(&["drug", "enzyme"]);
+        let large = bow(&["drug", "enzyme", "target", "protein"]);
+        assert!((small.containment_in(&large) - 1.0).abs() < 1e-12);
+        assert!((large.containment_in(&small) - 0.5).abs() < 1e-12);
+        assert_eq!(BagOfWords::new().containment_in(&large), 0.0);
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut b = bow(&["drug", "drug", "enzyme", "target"]);
+        assert_eq!(b.remove("drug"), 2);
+        assert_eq!(b.total_len(), 2);
+        b.retain(|t| t != "enzyme");
+        assert_eq!(b.distinct_len(), 1);
+        assert!(b.contains("target"));
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let b = bow(&["zeta", "alpha", "mid"]);
+        let terms: Vec<&str> = b.terms().collect();
+        assert_eq!(terms, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let b: BagOfWords = ["a1", "b2"].into_iter().collect();
+        assert_eq!(b.distinct_len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let b = bow(&["drug", "drug", "enzyme"]);
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BagOfWords = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn add_count_zero_is_noop() {
+        let mut b = BagOfWords::new();
+        b.add_count("x", 0);
+        assert!(b.is_empty());
+    }
+}

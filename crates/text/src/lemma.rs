@@ -1,0 +1,210 @@
+//! Rule-based English lemmatizer.
+//!
+//! CMDL's document transformation lemmatizes tokens so that morphological
+//! variants ("drugs"/"drug", "inhibitors"/"inhibitor") collapse to a common
+//! surface form before bag-of-words construction. A dictionary lemmatizer is
+//! unnecessary for the discovery signals the system relies on; a
+//! suffix-stripping lemmatizer in the spirit of the Porter stemmer's first
+//! steps, restricted to the inflectional morphology of nouns and verbs, keeps
+//! tokens readable (unlike aggressive stemming) while merging variants.
+
+use std::collections::HashMap;
+
+/// A rule-based lemmatizer with a small exception dictionary.
+#[derive(Debug, Clone)]
+pub struct Lemmatizer {
+    exceptions: HashMap<String, String>,
+}
+
+impl Default for Lemmatizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lemmatizer {
+    /// Create a lemmatizer with the built-in exception dictionary for common
+    /// irregular forms.
+    pub fn new() -> Self {
+        let mut exceptions = HashMap::new();
+        for (from, to) in [
+            ("men", "man"),
+            ("women", "woman"),
+            ("children", "child"),
+            ("feet", "foot"),
+            ("teeth", "tooth"),
+            ("mice", "mouse"),
+            ("people", "person"),
+            ("data", "data"),
+            ("analyses", "analysis"),
+            ("diagnoses", "diagnosis"),
+            ("hypotheses", "hypothesis"),
+            ("criteria", "criterion"),
+            ("bacteria", "bacterium"),
+            ("indices", "index"),
+            ("matrices", "matrix"),
+            ("vertices", "vertex"),
+            ("series", "series"),
+            ("species", "species"),
+            ("was", "be"),
+            ("were", "be"),
+            ("is", "be"),
+            ("are", "be"),
+            ("has", "have"),
+            ("had", "have"),
+            ("did", "do"),
+            ("done", "do"),
+            ("taken", "take"),
+            ("given", "give"),
+            ("shown", "show"),
+            ("found", "find"),
+            ("made", "make"),
+        ] {
+            exceptions.insert(from.to_string(), to.to_string());
+        }
+        Self { exceptions }
+    }
+
+    /// Add an exception mapping (`surface form -> lemma`).
+    pub fn add_exception(&mut self, from: impl Into<String>, to: impl Into<String>) {
+        self.exceptions.insert(from.into(), to.into());
+    }
+
+    /// Lemmatize a single lowercase token.
+    pub fn lemmatize(&self, token: &str) -> String {
+        if let Some(lemma) = self.exceptions.get(token) {
+            return lemma.clone();
+        }
+        // Never touch identifiers or hyphenated compounds.
+        if token.chars().any(|c| c.is_ascii_digit()) || token.contains('-') || token.contains('_')
+        {
+            return token.to_string();
+        }
+        let n = token.len();
+        if n <= 3 {
+            return token.to_string();
+        }
+        // Plural / 3rd-person -s family.
+        if let Some(stem) = token.strip_suffix("sses") {
+            return format!("{stem}ss");
+        }
+        if let Some(stem) = token.strip_suffix("ies") {
+            if stem.len() >= 2 {
+                return format!("{stem}y");
+            }
+        }
+        if let Some(stem) = token.strip_suffix("xes") {
+            return format!("{stem}x");
+        }
+        if let Some(stem) = token.strip_suffix("ches") {
+            return format!("{stem}ch");
+        }
+        if let Some(stem) = token.strip_suffix("shes") {
+            return format!("{stem}sh");
+        }
+        if token.ends_with('s') && !token.ends_with("ss") && !token.ends_with("us") && !token.ends_with("is") {
+            return token[..n - 1].to_string();
+        }
+        // Past tense -ed (only when a reasonable stem remains).
+        if let Some(stem) = token.strip_suffix("ed") {
+            if stem.len() >= 3 {
+                if Self::double_consonant(stem) {
+                    return stem[..stem.len() - 1].to_string();
+                }
+                if stem.ends_with(|c: char| !"aeiou".contains(c)) && Self::has_vowel(stem) {
+                    return stem.to_string();
+                }
+            }
+        }
+        // Progressive -ing.
+        if let Some(stem) = token.strip_suffix("ing") {
+            if stem.len() >= 3 && Self::has_vowel(stem) {
+                if Self::double_consonant(stem) {
+                    return stem[..stem.len() - 1].to_string();
+                }
+                return stem.to_string();
+            }
+        }
+        token.to_string()
+    }
+
+    /// Lemmatize a token sequence.
+    pub fn lemmatize_all(&self, tokens: &[String]) -> Vec<String> {
+        tokens.iter().map(|t| self.lemmatize(t)).collect()
+    }
+
+    fn has_vowel(s: &str) -> bool {
+        s.chars().any(|c| "aeiouy".contains(c))
+    }
+
+    fn double_consonant(s: &str) -> bool {
+        let bytes = s.as_bytes();
+        if bytes.len() < 2 {
+            return false;
+        }
+        let last = bytes[bytes.len() - 1] as char;
+        let prev = bytes[bytes.len() - 2] as char;
+        last == prev && !"aeiou".contains(last) && !"ls".contains(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lem(s: &str) -> String {
+        Lemmatizer::new().lemmatize(s)
+    }
+
+    #[test]
+    fn plural_nouns() {
+        assert_eq!(lem("drugs"), "drug");
+        assert_eq!(lem("enzymes"), "enzyme");
+        assert_eq!(lem("tables"), "table");
+        assert_eq!(lem("studies"), "study");
+        assert_eq!(lem("boxes"), "box");
+        assert_eq!(lem("branches"), "branch");
+    }
+
+    #[test]
+    fn irregular_forms() {
+        assert_eq!(lem("analyses"), "analysis");
+        assert_eq!(lem("criteria"), "criterion");
+        assert_eq!(lem("children"), "child");
+    }
+
+    #[test]
+    fn verbs() {
+        assert_eq!(lem("inhibited"), "inhibit");
+        assert_eq!(lem("targeting"), "target");
+        assert_eq!(lem("stopped"), "stop");
+    }
+
+    #[test]
+    fn identifiers_untouched() {
+        assert_eq!(lem("db00642"), "db00642");
+        assert_eq!(lem("anti-folates"), "anti-folates");
+    }
+
+    #[test]
+    fn short_and_protected_words() {
+        assert_eq!(lem("gas"), "gas");
+        assert_eq!(lem("class"), "class");
+        assert_eq!(lem("virus"), "virus");
+        assert_eq!(lem("analysis"), "analysis");
+    }
+
+    #[test]
+    fn custom_exception() {
+        let mut l = Lemmatizer::new();
+        l.add_exception("mtx", "methotrexate");
+        assert_eq!(l.lemmatize("mtx"), "methotrexate");
+    }
+
+    #[test]
+    fn lemmatize_all_preserves_length() {
+        let l = Lemmatizer::new();
+        let toks: Vec<String> = ["drugs", "inhibited"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(l.lemmatize_all(&toks), vec!["drug", "inhibit"]);
+    }
+}

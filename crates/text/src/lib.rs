@@ -1,0 +1,38 @@
+//! # cmdl-text
+//!
+//! NLP preprocessing pipeline used by CMDL to transform unstructured text
+//! documents (and textual table cells) into a *column-style* bag-of-words
+//! representation.
+//!
+//! The paper (Section 3, "Documents Format Transformation") describes a
+//! pipeline of tokenization, stop-word removal, part-of-speech filtering that
+//! retains noun-like terms, lemmatization, and removal of words that occur in
+//! a large fraction of documents. This crate implements each of those stages
+//! as a composable component plus a [`Pipeline`] that wires them together.
+//!
+//! ```
+//! use cmdl_text::{Pipeline, PipelineConfig};
+//!
+//! let pipeline = Pipeline::new(PipelineConfig::default());
+//! let bow = pipeline.process("Pemetrexed is a novel antifolate that inhibits thymidylate synthase.");
+//! assert!(bow.contains("synthase"));
+//! assert!(bow.contains("antifolate"));
+//! assert!(!bow.contains("is")); // stop word
+//! ```
+
+pub mod bow;
+pub mod lemma;
+pub mod pipeline;
+pub mod pos;
+pub mod stopwords;
+pub mod strsim;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use bow::BagOfWords;
+pub use lemma::Lemmatizer;
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use pos::{looks_like_noun, PosFilter};
+pub use stopwords::StopWords;
+pub use tokenizer::{tokenize, Tokenizer, TokenizerConfig};
+pub use vocab::{DocumentFrequencyFilter, Vocabulary};

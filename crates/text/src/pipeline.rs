@@ -1,0 +1,173 @@
+//! The end-to-end NLP pipeline that turns raw text into a bag of words.
+//!
+//! The pipeline mirrors the paper's document format transformation
+//! (Section 3): tokenization → stop-word removal → POS-like noun filtering →
+//! lemmatization. Corpus-level document-frequency filtering is exposed
+//! separately (see [`crate::vocab::DocumentFrequencyFilter`]) because it needs
+//! a pass over the whole corpus.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bow::BagOfWords;
+use crate::lemma::Lemmatizer;
+use crate::pos::PosFilter;
+use crate::stopwords::StopWords;
+use crate::tokenizer::{Tokenizer, TokenizerConfig};
+
+/// Configuration for [`Pipeline`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Tokenizer settings.
+    pub tokenizer: TokenizerConfig,
+    /// Enable stop-word removal. Default `true`.
+    pub remove_stopwords: bool,
+    /// Enable the POS-like noun filter. Default `true`.
+    pub pos_filter: bool,
+    /// Enable lemmatization. Default `true`.
+    pub lemmatize: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            tokenizer: TokenizerConfig::default(),
+            remove_stopwords: true,
+            pos_filter: true,
+            lemmatize: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A minimal pipeline that only tokenizes (used for tabular cell values,
+    /// where stop-word/POS filtering would destroy short categorical values).
+    pub fn tokenize_only() -> Self {
+        Self {
+            tokenizer: TokenizerConfig::default(),
+            remove_stopwords: false,
+            pos_filter: false,
+            lemmatize: false,
+        }
+    }
+}
+
+/// The document transformation pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    config: PipelineConfig,
+    tokenizer: Tokenizer,
+    stopwords: StopWords,
+    pos: PosFilter,
+    lemmatizer: Lemmatizer,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new(PipelineConfig::default())
+    }
+}
+
+impl Pipeline {
+    /// Create a pipeline from configuration with the built-in English
+    /// stop-word list and lemmatizer.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self {
+            tokenizer: Tokenizer::new(config.tokenizer.clone()),
+            stopwords: StopWords::english(),
+            pos: PosFilter {
+                enabled: config.pos_filter,
+            },
+            lemmatizer: Lemmatizer::new(),
+            config,
+        }
+    }
+
+    /// Replace the stop-word set.
+    pub fn with_stopwords(mut self, stopwords: StopWords) -> Self {
+        self.stopwords = stopwords;
+        self
+    }
+
+    /// Replace the lemmatizer.
+    pub fn with_lemmatizer(mut self, lemmatizer: Lemmatizer) -> Self {
+        self.lemmatizer = lemmatizer;
+        self
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Transform raw text into its token sequence after all enabled stages.
+    pub fn tokens(&self, text: &str) -> Vec<String> {
+        let mut toks = self.tokenizer.tokenize(text);
+        if self.config.remove_stopwords {
+            toks = self.stopwords.filter(&toks);
+        }
+        // Lemmatize before the POS-like filter so that inflected noun forms
+        // ("antifolates") are judged on their lemma ("antifolate").
+        if self.config.lemmatize {
+            toks = self.lemmatizer.lemmatize_all(&toks);
+        }
+        if self.config.pos_filter {
+            toks = self.pos.filter(&toks);
+        }
+        toks
+    }
+
+    /// Transform raw text into a [`BagOfWords`].
+    pub fn process(&self, text: &str) -> BagOfWords {
+        BagOfWords::from_tokens(self.tokens(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_keeps_entities() {
+        let p = Pipeline::default();
+        let bow = p.process(
+            "Several antifolates can inhibit thymidine synthesis by targeting \
+             dihydrofolate reductase (DHFR) and thymidylate synthase (TYMS).",
+        );
+        assert!(bow.contains("antifolate"));
+        assert!(bow.contains("reductase"));
+        assert!(bow.contains("synthase"));
+        assert!(!bow.contains("can"));
+        assert!(!bow.contains("by"));
+    }
+
+    #[test]
+    fn tokenize_only_preserves_values() {
+        let p = Pipeline::new(PipelineConfig::tokenize_only());
+        let bow = p.process("The Active Ingredient");
+        assert!(bow.contains("the"));
+        assert!(bow.contains("active"));
+        assert!(bow.contains("ingredient"));
+    }
+
+    #[test]
+    fn lemmatization_merges_variants() {
+        let p = Pipeline::default();
+        let a = p.process("drug interactions");
+        let b = p.process("drug interaction");
+        assert_eq!(a.term_vec(), b.term_vec());
+    }
+
+    #[test]
+    fn empty_text_yields_empty_bow() {
+        let p = Pipeline::default();
+        assert!(p.process("").is_empty());
+    }
+
+    #[test]
+    fn custom_stopwords_respected() {
+        let p = Pipeline::default().with_stopwords(StopWords::from_words(["enzyme"]));
+        let bow = p.process("enzyme target");
+        assert!(!bow.contains("enzyme"));
+        assert!(bow.contains("target"));
+    }
+}

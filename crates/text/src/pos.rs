@@ -1,0 +1,145 @@
+//! Heuristic part-of-speech filtering.
+//!
+//! The CMDL pipeline retains only *noun-like* terms when building the
+//! bag-of-words representation of a document (paper Section 3). A full POS
+//! tagger is unnecessary for that purpose: what matters is filtering out
+//! obviously verbal/adverbial/adjectival surface forms so the retained tokens
+//! carry entity-like semantics (drug names, enzymes, places, identifiers).
+//!
+//! The heuristic used here mirrors what lightweight taggers do for unknown
+//! words: suffix and shape analysis. Tokens with strongly verbal or adverbial
+//! suffixes are rejected; identifiers, capitalized-looking tokens, and tokens
+//! with nominal suffixes are kept.
+
+use serde::{Deserialize, Serialize};
+
+/// Suffixes that indicate a non-noun (verb/adverb/adjective) surface form.
+const NON_NOUN_SUFFIXES: &[&str] = &[
+    "ly", "ily", "ingly", // adverbs
+    "ize", "ise", "ify", "ated", "ates", "ating", // verbs
+    "ful", "ous", "ious", "ish", "ive", "able", "ible", // adjectives
+];
+
+/// Suffixes that strongly indicate a noun even if other rules are ambiguous.
+const NOUN_SUFFIXES: &[&str] = &[
+    "tion", "sion", "ment", "ness", "ity", "ism", "ist", "ase", "ine", "ide", "ate", "ol", "er",
+    "or", "ant", "ent", "age", "ance", "ence", "ship", "hood", "dom", "gen", "oma", "itis",
+];
+
+/// A small set of frequent English verbs/adjectives that suffix rules miss.
+const COMMON_NON_NOUNS: &[&str] = &[
+    "inhibit", "inhibits", "inhibited", "inhibiting", "increase", "increases", "increased",
+    "decrease", "decreases", "decreased", "cause", "causes", "caused", "causing", "use", "used",
+    "uses", "using", "show", "shows", "shown", "showed", "find", "found", "finds", "make",
+    "makes", "made", "take", "takes", "taken", "give", "gives", "given", "include", "includes",
+    "including", "associated", "related", "observed", "reported", "suggest", "suggests",
+    "suggested", "perform", "performed", "performs", "new", "novel", "several", "many", "active",
+    "severe", "greater", "large", "small", "high", "low", "好",
+];
+
+/// Returns `true` if the token plausibly denotes a noun / entity-like term.
+///
+/// The heuristic keeps:
+/// * identifiers containing digits (e.g. `db00642`),
+/// * tokens with hyphens/underscores (compound technical terms),
+/// * tokens with nominal suffixes (`-tion`, `-ase`, `-ine`, ...),
+/// * every other token that does not match a non-noun suffix or the short
+///   list of frequent verbs/adjectives.
+pub fn looks_like_noun(token: &str) -> bool {
+    if token.is_empty() {
+        return false;
+    }
+    // Identifiers and codes are always entity-like.
+    if token.chars().any(|c| c.is_ascii_digit()) {
+        return true;
+    }
+    if token.contains('-') || token.contains('_') {
+        return true;
+    }
+    let lower = token.to_lowercase();
+    if COMMON_NON_NOUNS.contains(&lower.as_str()) {
+        return false;
+    }
+    if NOUN_SUFFIXES.iter().any(|s| lower.ends_with(s)) {
+        return true;
+    }
+    if NON_NOUN_SUFFIXES.iter().any(|s| lower.ends_with(s)) {
+        return false;
+    }
+    // Gerunds are usually verbal unless they are lexicalized nouns we cannot
+    // distinguish; err on dropping them.
+    if lower.ends_with("ing") && lower.len() > 5 {
+        return false;
+    }
+    true
+}
+
+/// A configurable POS-like filter retaining noun-like tokens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PosFilter {
+    /// When `false`, the filter is a no-op and keeps every token.
+    pub enabled: bool,
+}
+
+impl Default for PosFilter {
+    fn default() -> Self {
+        Self { enabled: true }
+    }
+}
+
+impl PosFilter {
+    /// A filter that keeps everything.
+    pub fn disabled() -> Self {
+        Self { enabled: false }
+    }
+
+    /// Apply the filter to a token sequence, preserving order.
+    pub fn filter(&self, tokens: &[String]) -> Vec<String> {
+        if !self.enabled {
+            return tokens.to_vec();
+        }
+        tokens
+            .iter()
+            .filter(|t| looks_like_noun(t))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_entity_like_tokens() {
+        for t in ["pemetrexed", "synthase", "reductase", "enzyme", "db00642", "anti-folate"] {
+            assert!(looks_like_noun(t), "{t} should be kept");
+        }
+    }
+
+    #[test]
+    fn drops_verbs_and_adverbs() {
+        for t in ["inhibits", "rapidly", "increasing", "causes", "novel"] {
+            assert!(!looks_like_noun(t), "{t} should be dropped");
+        }
+    }
+
+    #[test]
+    fn disabled_filter_keeps_all() {
+        let f = PosFilter::disabled();
+        let toks: Vec<String> = ["rapidly", "drug"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(f.filter(&toks).len(), 2);
+    }
+
+    #[test]
+    fn enabled_filter_drops_non_nouns() {
+        let f = PosFilter::default();
+        let toks: Vec<String> = ["rapidly", "drug"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(f.filter(&toks), vec!["drug"]);
+    }
+
+    #[test]
+    fn empty_token_is_not_noun() {
+        assert!(!looks_like_noun(""));
+    }
+}

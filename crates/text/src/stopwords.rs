@@ -1,0 +1,148 @@
+//! English stop-word list and filtering.
+//!
+//! The list is a compact, hand-curated union of common English function words
+//! (determiners, prepositions, conjunctions, pronouns, auxiliaries) — the same
+//! class of words standard NLP toolkits remove before building bag-of-words
+//! representations.
+
+use std::collections::HashSet;
+
+/// The built-in English stop-word list.
+pub const ENGLISH_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during",
+    "each", "either", "else", "few", "for", "from", "further", "had", "has", "have", "having",
+    "he", "her", "here", "hers", "herself", "him", "himself", "his", "how", "however", "i", "if",
+    "in", "into", "is", "it", "its", "itself", "just", "like", "may", "me", "might", "more",
+    "most", "must", "my", "myself", "neither", "no", "nor", "not", "now", "of", "off", "on",
+    "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own", "same",
+    "shall", "she", "should", "since", "so", "some", "such", "than", "that", "the", "their",
+    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those", "through",
+    "to", "too", "under", "until", "up", "upon", "us", "very", "was", "we", "were", "what",
+    "when", "where", "which", "while", "who", "whom", "why", "will", "with", "within", "without",
+    "would", "you", "your", "yours", "yourself", "yourselves", "via", "et", "al", "eg", "ie",
+    "etc", "among", "amongst", "toward", "towards", "per", "vs", "versus",
+];
+
+/// A stop-word set with O(1) membership checks.
+#[derive(Debug, Clone)]
+pub struct StopWords {
+    words: HashSet<String>,
+}
+
+impl Default for StopWords {
+    fn default() -> Self {
+        Self::english()
+    }
+}
+
+impl StopWords {
+    /// The built-in English stop-word set.
+    pub fn english() -> Self {
+        Self {
+            words: ENGLISH_STOPWORDS.iter().map(|w| w.to_string()).collect(),
+        }
+    }
+
+    /// An empty stop-word set (keeps everything).
+    pub fn none() -> Self {
+        Self { words: HashSet::new() }
+    }
+
+    /// Build a custom stop-word set from an iterator of words.
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            words: words.into_iter().map(|w| w.into().to_lowercase()).collect(),
+        }
+    }
+
+    /// Add extra stop words to the set.
+    pub fn extend<I, S>(&mut self, words: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.words.extend(words.into_iter().map(|w| w.into().to_lowercase()));
+    }
+
+    /// Is `word` a stop word? Case-insensitive.
+    pub fn is_stopword(&self, word: &str) -> bool {
+        if self.words.contains(word) {
+            return true;
+        }
+        let lower = word.to_lowercase();
+        self.words.contains(&lower)
+    }
+
+    /// Number of stop words in the set.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Remove stop words from a token sequence, preserving order.
+    pub fn filter(&self, tokens: &[String]) -> Vec<String> {
+        tokens
+            .iter()
+            .filter(|t| !self.is_stopword(t))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_contains_common_words() {
+        let sw = StopWords::english();
+        for w in ["the", "and", "of", "is", "with"] {
+            assert!(sw.is_stopword(w), "{w} should be a stop word");
+        }
+        assert!(!sw.is_stopword("pemetrexed"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let sw = StopWords::english();
+        assert!(sw.is_stopword("The"));
+        assert!(sw.is_stopword("AND"));
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let sw = StopWords::english();
+        let toks: Vec<String> = ["the", "drug", "and", "enzyme"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(sw.filter(&toks), vec!["drug", "enzyme"]);
+    }
+
+    #[test]
+    fn custom_and_extend() {
+        let mut sw = StopWords::from_words(["drug"]);
+        assert!(sw.is_stopword("Drug"));
+        assert!(!sw.is_stopword("enzyme"));
+        sw.extend(["Enzyme"]);
+        assert!(sw.is_stopword("enzyme"));
+        assert_eq!(sw.len(), 2);
+    }
+
+    #[test]
+    fn none_keeps_everything() {
+        let sw = StopWords::none();
+        assert!(sw.is_empty());
+        assert!(!sw.is_stopword("the"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Tokenization of raw text into normalized word tokens.
+//!
+//! The tokenizer is deliberately simple and deterministic: it lowercases the
+//! input, splits on any character that is not alphanumeric (keeping internal
+//! hyphens/underscores optionally), and drops tokens that are too short, too
+//! long, or purely numeric (configurable). This matches the behaviour the
+//! paper relies on from off-the-shelf NLP toolkits for the bag-of-words
+//! transformation.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`Tokenizer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenizerConfig {
+    /// Lowercase all tokens. Default `true`.
+    pub lowercase: bool,
+    /// Minimum token length (in characters) to keep. Default `2`.
+    pub min_token_len: usize,
+    /// Maximum token length (in characters) to keep. Default `64`.
+    pub max_token_len: usize,
+    /// Keep tokens that consist only of digits. Default `false`.
+    pub keep_numeric: bool,
+    /// Treat `-` and `_` as part of a token (so `anti-folate` stays one
+    /// token). Default `true`.
+    pub keep_inner_punct: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            min_token_len: 2,
+            max_token_len: 64,
+            keep_numeric: false,
+            keep_inner_punct: true,
+        }
+    }
+}
+
+/// A reusable tokenizer.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Create a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Access the tokenizer configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenize `text` into a vector of normalized tokens.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let cfg = &self.config;
+        let mut tokens = Vec::new();
+        let mut current = String::new();
+        for ch in text.chars() {
+            let is_word = ch.is_alphanumeric()
+                || (cfg.keep_inner_punct && (ch == '-' || ch == '_') && !current.is_empty());
+            if is_word {
+                if cfg.lowercase {
+                    current.extend(ch.to_lowercase());
+                } else {
+                    current.push(ch);
+                }
+            } else if !current.is_empty() {
+                self.push_token(&mut tokens, std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            self.push_token(&mut tokens, current);
+        }
+        tokens
+    }
+
+    fn push_token(&self, tokens: &mut Vec<String>, mut token: String) {
+        // Trim trailing inner punctuation that ended up at a boundary.
+        while token.ends_with('-') || token.ends_with('_') {
+            token.pop();
+        }
+        if token.is_empty() {
+            return;
+        }
+        let len = token.chars().count();
+        if len < self.config.min_token_len || len > self.config.max_token_len {
+            return;
+        }
+        if !self.config.keep_numeric && token.chars().all(|c| c.is_ascii_digit()) {
+            return;
+        }
+        tokens.push(token);
+    }
+}
+
+/// Convenience function: tokenize with the default configuration.
+pub fn tokenize(text: &str) -> Vec<String> {
+    Tokenizer::default().tokenize(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        let toks = tokenize("Pemetrexed inhibits thymidylate synthase!");
+        assert_eq!(toks, vec!["pemetrexed", "inhibits", "thymidylate", "synthase"]);
+    }
+
+    #[test]
+    fn drops_short_and_numeric_tokens() {
+        let toks = tokenize("a 42 of DB00642 x");
+        assert!(toks.contains(&"of".to_string()));
+        assert!(toks.contains(&"db00642".to_string()));
+        assert!(!toks.contains(&"42".to_string()));
+        assert!(!toks.contains(&"a".to_string()));
+    }
+
+    #[test]
+    fn keeps_numeric_when_configured() {
+        let t = Tokenizer::new(TokenizerConfig {
+            keep_numeric: true,
+            min_token_len: 1,
+            ..Default::default()
+        });
+        let toks = t.tokenize("42 drugs");
+        assert_eq!(toks, vec!["42", "drugs"]);
+    }
+
+    #[test]
+    fn inner_punctuation_kept() {
+        let toks = tokenize("anti-folate drug_name");
+        assert_eq!(toks, vec!["anti-folate", "drug_name"]);
+    }
+
+    #[test]
+    fn inner_punct_disabled_splits() {
+        let t = Tokenizer::new(TokenizerConfig {
+            keep_inner_punct: false,
+            ..Default::default()
+        });
+        let toks = t.tokenize("anti-folate");
+        assert_eq!(toks, vec!["anti", "folate"]);
+    }
+
+    #[test]
+    fn trailing_hyphen_trimmed() {
+        let toks = tokenize("dose- dependent");
+        assert_eq!(toks, vec!["dose", "dependent"]);
+    }
+
+    #[test]
+    fn unicode_text() {
+        let toks = tokenize("naïve café’s résumé");
+        assert_eq!(toks, vec!["naïve", "café", "résumé"]);
+    }
+
+    #[test]
+    fn case_preserved_when_configured() {
+        let t = Tokenizer::new(TokenizerConfig {
+            lowercase: false,
+            ..Default::default()
+        });
+        let toks = t.tokenize("DrugBank DB00642");
+        assert_eq!(toks, vec!["DrugBank", "DB00642"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n  ").is_empty());
+        assert!(tokenize("!!! ... ;;;").is_empty());
+    }
+
+    #[test]
+    fn overly_long_token_dropped() {
+        let long = "x".repeat(100);
+        assert!(tokenize(&long).is_empty());
+    }
+}

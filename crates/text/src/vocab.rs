@@ -1,0 +1,211 @@
+//! Vocabulary management and document-frequency filtering.
+//!
+//! CMDL removes terms that occur in a large fraction of documents because
+//! they are non-discriminative (paper Section 3). [`DocumentFrequencyFilter`]
+//! implements that corpus-level pass, and [`Vocabulary`] provides a stable
+//! term ↔ id mapping used by the indexing and embedding layers.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bow::BagOfWords;
+
+/// A bidirectional mapping between terms and dense integer ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    term_to_id: HashMap<String, u32>,
+    id_to_term: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Create an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get the id for `term`, inserting it if necessary.
+    pub fn get_or_insert(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.term_to_id.get(term) {
+            return id;
+        }
+        let id = self.id_to_term.len() as u32;
+        self.term_to_id.insert(term.to_string(), id);
+        self.id_to_term.push(term.to_string());
+        id
+    }
+
+    /// Get the id for `term` if present.
+    pub fn get(&self, term: &str) -> Option<u32> {
+        self.term_to_id.get(term).copied()
+    }
+
+    /// Get the term for `id` if present.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.id_to_term.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.id_to_term.len()
+    }
+
+    /// Is the vocabulary empty?
+    pub fn is_empty(&self) -> bool {
+        self.id_to_term.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.id_to_term
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.as_str()))
+    }
+
+    /// Ingest every term of a bag of words.
+    pub fn ingest(&mut self, bow: &BagOfWords) {
+        for term in bow.terms() {
+            self.get_or_insert(term);
+        }
+    }
+}
+
+/// Corpus-level document-frequency statistics and filtering.
+///
+/// Build the filter by [`observing`](DocumentFrequencyFilter::observe) every
+/// document's bag of words, then [`apply`](DocumentFrequencyFilter::apply) it
+/// to drop terms whose document frequency exceeds `max_doc_ratio` (and,
+/// optionally, terms appearing in fewer than `min_doc_count` documents).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DocumentFrequencyFilter {
+    doc_freq: HashMap<String, u32>,
+    num_docs: u32,
+    /// Terms occurring in more than this fraction of documents are dropped.
+    pub max_doc_ratio: f64,
+    /// Terms occurring in fewer than this many documents are dropped.
+    pub min_doc_count: u32,
+}
+
+impl Default for DocumentFrequencyFilter {
+    fn default() -> Self {
+        Self {
+            doc_freq: HashMap::new(),
+            num_docs: 0,
+            max_doc_ratio: 0.5,
+            min_doc_count: 1,
+        }
+    }
+}
+
+impl DocumentFrequencyFilter {
+    /// Create a filter with the given thresholds.
+    pub fn new(max_doc_ratio: f64, min_doc_count: u32) -> Self {
+        Self {
+            max_doc_ratio,
+            min_doc_count,
+            ..Default::default()
+        }
+    }
+
+    /// Record the terms of one document.
+    pub fn observe(&mut self, bow: &BagOfWords) {
+        self.num_docs += 1;
+        for term in bow.terms() {
+            *self.doc_freq.entry(term.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of observed documents.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, term: &str) -> u32 {
+        self.doc_freq.get(term).copied().unwrap_or(0)
+    }
+
+    /// Should `term` be kept according to the thresholds?
+    pub fn keep(&self, term: &str) -> bool {
+        if self.num_docs == 0 {
+            return true;
+        }
+        let df = self.doc_freq(term);
+        if df < self.min_doc_count {
+            return false;
+        }
+        (df as f64 / self.num_docs as f64) <= self.max_doc_ratio
+    }
+
+    /// Remove non-discriminative terms from a bag in place.
+    pub fn apply(&self, bow: &mut BagOfWords) {
+        bow.retain(|t| self.keep(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_roundtrip() {
+        let mut v = Vocabulary::new();
+        let a = v.get_or_insert("drug");
+        let b = v.get_or_insert("enzyme");
+        assert_ne!(a, b);
+        assert_eq!(v.get_or_insert("drug"), a);
+        assert_eq!(v.term(a), Some("drug"));
+        assert_eq!(v.get("enzyme"), Some(b));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn vocabulary_ingest_bow() {
+        let mut v = Vocabulary::new();
+        let bow = BagOfWords::from_tokens(["drug", "drug", "enzyme"]);
+        v.ingest(&bow);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn df_filter_drops_ubiquitous_terms() {
+        let mut f = DocumentFrequencyFilter::new(0.5, 1);
+        let docs = [
+            BagOfWords::from_tokens(["drug", "common"]),
+            BagOfWords::from_tokens(["enzyme", "common"]),
+            BagOfWords::from_tokens(["target", "common"]),
+        ];
+        for d in &docs {
+            f.observe(d);
+        }
+        assert!(!f.keep("common"));
+        assert!(f.keep("drug"));
+        let mut d = docs[0].clone();
+        f.apply(&mut d);
+        assert!(d.contains("drug"));
+        assert!(!d.contains("common"));
+    }
+
+    #[test]
+    fn df_filter_min_count() {
+        let mut f = DocumentFrequencyFilter::new(1.0, 2);
+        f.observe(&BagOfWords::from_tokens(["rare", "shared"]));
+        f.observe(&BagOfWords::from_tokens(["shared"]));
+        assert!(!f.keep("rare"));
+        assert!(f.keep("shared"));
+    }
+
+    #[test]
+    fn empty_filter_keeps_everything() {
+        let f = DocumentFrequencyFilter::default();
+        assert!(f.keep("anything"));
+    }
+
+    #[test]
+    fn unknown_term_df_is_zero() {
+        let mut f = DocumentFrequencyFilter::default();
+        f.observe(&BagOfWords::from_tokens(["x1"]));
+        assert_eq!(f.doc_freq("missing"), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! The discriminative model.
+//!
+//! The generative model only labels the sampled candidate pairs. To
+//! generalize beyond them (and to smooth the probabilistic labels), the
+//! paper trains a discriminative classifier on pair features with a
+//! cross-entropy loss against the probabilistic labels. We implement it as a
+//! regularized logistic regression trained by mini-batch gradient descent —
+//! for the handful of dense similarity features CMDL feeds it, logistic
+//! regression is the standard choice.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the logistic-regression discriminative model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegressionConfig {
+    /// Learning rate. Default 0.1.
+    pub learning_rate: f64,
+    /// Number of epochs. Default 200.
+    pub epochs: usize,
+    /// L2 regularization strength. Default 1e-4.
+    pub l2: f64,
+    /// Mini-batch size. Default 32.
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LogisticRegressionConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            epochs: 200,
+            l2: 1e-4,
+            batch_size: 32,
+            seed: 0xD15C,
+        }
+    }
+}
+
+/// A trained logistic-regression model over dense feature vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiscriminativeModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl DiscriminativeModel {
+    /// Train on feature vectors with (possibly soft) target probabilities in
+    /// `[0, 1]`, minimizing cross-entropy.
+    ///
+    /// # Panics
+    /// Panics if `features` and `targets` have different lengths or the
+    /// feature vectors are ragged.
+    pub fn train(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        config: &LogisticRegressionConfig,
+    ) -> Self {
+        assert_eq!(features.len(), targets.len(), "features/targets mismatch");
+        let dim = features.first().map(|f| f.len()).unwrap_or(0);
+        for f in features {
+            assert_eq!(f.len(), dim, "ragged feature vectors");
+        }
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        if features.is_empty() || dim == 0 {
+            return Self { weights, bias };
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        for _ in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch_size.max(1)) {
+                let mut grad_w = vec![0.0; dim];
+                let mut grad_b = 0.0;
+                for &i in chunk {
+                    let z: f64 = features[i]
+                        .iter()
+                        .zip(&weights)
+                        .map(|(x, w)| x * w)
+                        .sum::<f64>()
+                        + bias;
+                    let err = sigmoid(z) - targets[i];
+                    for (g, x) in grad_w.iter_mut().zip(&features[i]) {
+                        *g += err * x;
+                    }
+                    grad_b += err;
+                }
+                let scale = config.learning_rate / chunk.len() as f64;
+                for (w, g) in weights.iter_mut().zip(&grad_w) {
+                    *w -= scale * (g + config.l2 * *w);
+                }
+                bias -= scale * grad_b;
+            }
+        }
+        Self { weights, bias }
+    }
+
+    /// Predicted probability that a feature vector is a positive pair.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let z: f64 = features
+            .iter()
+            .zip(&self.weights)
+            .map(|(x, w)| x * w)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Learned weights (one per feature).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn learns_linearly_separable_data() {
+        // y = 1 iff x0 + x1 > 1.0
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..400 {
+            let x0: f64 = rng.gen_range(0.0..1.0);
+            let x1: f64 = rng.gen_range(0.0..1.0);
+            features.push(vec![x0, x1]);
+            targets.push(if x0 + x1 > 1.0 { 1.0 } else { 0.0 });
+        }
+        let model = DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
+        let correct = features
+            .iter()
+            .zip(&targets)
+            .filter(|(f, t)| model.predict(f) == (**t > 0.5))
+            .count();
+        assert!(correct as f64 / features.len() as f64 > 0.9);
+        assert!(model.predict_proba(&[0.9, 0.9]) > 0.8);
+        assert!(model.predict_proba(&[0.05, 0.05]) < 0.2);
+    }
+
+    #[test]
+    fn soft_targets_supported() {
+        let features = vec![vec![1.0], vec![0.0]];
+        let targets = vec![0.9, 0.1];
+        let model = DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
+        assert!(model.predict_proba(&[1.0]) > model.predict_proba(&[0.0]));
+    }
+
+    #[test]
+    fn empty_training_set() {
+        let model = DiscriminativeModel::train(&[], &[], &LogisticRegressionConfig::default());
+        assert!(model.weights().is_empty());
+        assert!((model.predict_proba(&[]) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let features = vec![vec![100.0], vec![-100.0]];
+        let targets = vec![1.0, 0.0];
+        let model = DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
+        let p_hi = model.predict_proba(&[1000.0]);
+        let p_lo = model.predict_proba(&[-1000.0]);
+        assert!((0.0..=1.0).contains(&p_hi));
+        assert!((0.0..=1.0).contains(&p_lo));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        DiscriminativeModel::train(&[vec![1.0]], &[], &LogisticRegressionConfig::default());
+    }
+}

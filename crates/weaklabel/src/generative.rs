@@ -1,0 +1,236 @@
+//! The generative label model.
+//!
+//! Given the matrix of noisy votes, the generative model estimates — without
+//! any ground truth — how accurate each labeling function is, using only the
+//! agreements and disagreements between functions, and then combines the
+//! votes into a probabilistic label per candidate by accuracy-weighted
+//! voting. This is the data-programming formulation popularized by Snorkel:
+//! we implement it as an EM-style alternation between (1) estimating the
+//! posterior probability of each candidate's latent label given current
+//! accuracies and (2) re-estimating each function's accuracy given the
+//! posteriors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lf::{LabelMatrix, Vote};
+
+/// Configuration for [`GenerativeModel`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenerativeModelConfig {
+    /// Number of EM iterations. Default 25.
+    pub iterations: usize,
+    /// Class prior P(related). Default 0.3 (pairs produced by top-k probes
+    /// are enriched for positives but most pairs remain negatives).
+    pub prior_positive: f64,
+    /// Initial accuracy assumed for every labeling function. Default 0.7.
+    pub initial_accuracy: f64,
+    /// Accuracies are clamped to `[floor, ceil]` to keep the model numerically
+    /// stable. Defaults 0.05 / 0.95.
+    pub accuracy_floor: f64,
+    /// See `accuracy_floor`.
+    pub accuracy_ceil: f64,
+}
+
+impl Default for GenerativeModelConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 25,
+            prior_positive: 0.3,
+            initial_accuracy: 0.7,
+            accuracy_floor: 0.05,
+            accuracy_ceil: 0.95,
+        }
+    }
+}
+
+/// The fitted generative model: per-function accuracy estimates and
+/// per-candidate probabilistic labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenerativeModel {
+    config: GenerativeModelConfig,
+    /// Estimated accuracy of each labeling function.
+    accuracies: Vec<f64>,
+    /// Posterior P(related) of each candidate (same order as the matrix).
+    posteriors: Vec<f64>,
+}
+
+impl GenerativeModel {
+    /// Fit the model to a label matrix.
+    pub fn fit(matrix: &LabelMatrix, config: GenerativeModelConfig) -> Self {
+        let m = matrix.num_functions();
+        let n = matrix.num_candidates();
+        let mut accuracies = vec![config.initial_accuracy; m];
+        let mut posteriors = vec![config.prior_positive; n];
+        if n == 0 || m == 0 {
+            return Self {
+                config,
+                accuracies,
+                posteriors,
+            };
+        }
+        for _ in 0..config.iterations {
+            // E-step: posterior of each candidate's label given accuracies.
+            for (row, post) in matrix.votes.iter().zip(posteriors.iter_mut()) {
+                let mut log_pos = config.prior_positive.max(1e-9).ln();
+                let mut log_neg = (1.0 - config.prior_positive).max(1e-9).ln();
+                for (vote, acc) in row.iter().zip(&accuracies) {
+                    match vote {
+                        Vote::Positive => {
+                            log_pos += acc.ln();
+                            log_neg += (1.0 - acc).ln();
+                        }
+                        Vote::Negative => {
+                            log_pos += (1.0 - acc).ln();
+                            log_neg += acc.ln();
+                        }
+                        Vote::Abstain => {}
+                    }
+                }
+                let max = log_pos.max(log_neg);
+                let pos = (log_pos - max).exp();
+                let neg = (log_neg - max).exp();
+                *post = pos / (pos + neg);
+            }
+            // M-step: accuracy of each function given posteriors.
+            for (j, acc) in accuracies.iter_mut().enumerate() {
+                let mut correct = 0.0;
+                let mut total = 0.0;
+                for (row, post) in matrix.votes.iter().zip(&posteriors) {
+                    match row[j] {
+                        Vote::Positive => {
+                            correct += post;
+                            total += 1.0;
+                        }
+                        Vote::Negative => {
+                            correct += 1.0 - post;
+                            total += 1.0;
+                        }
+                        Vote::Abstain => {}
+                    }
+                }
+                if total > 0.0 {
+                    *acc = (correct / total).clamp(config.accuracy_floor, config.accuracy_ceil);
+                }
+            }
+        }
+        Self {
+            config,
+            accuracies,
+            posteriors,
+        }
+    }
+
+    /// Estimated accuracy of each labeling function.
+    pub fn accuracies(&self) -> &[f64] {
+        &self.accuracies
+    }
+
+    /// Probabilistic label (posterior P(related)) of each candidate.
+    pub fn posteriors(&self) -> &[f64] {
+        &self.posteriors
+    }
+
+    /// The model configuration used at fit time.
+    pub fn config(&self) -> &GenerativeModelConfig {
+        &self.config
+    }
+
+    /// Probabilistic labels thresholded into hard labels.
+    pub fn hard_labels(&self, threshold: f64) -> Vec<bool> {
+        self.posteriors.iter().map(|p| *p >= threshold).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lf::{Candidate, LabelingFunction};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Build a synthetic scenario where the ground truth is `right < 50`,
+    /// one labeling function is very accurate, one mediocre, one almost
+    /// random, and check that the model recovers that ordering and produces
+    /// posteriors aligned with the truth.
+    #[test]
+    fn recovers_accuracy_ordering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let candidates: Vec<Candidate> = (0..400).map(|i| Candidate::new(0, i)).collect();
+        let truth = |c: &Candidate| c.right < 50;
+
+        let noisy = |p_correct: f64, seed: u64| {
+            move |c: &Candidate| {
+                let mut r = ChaCha8Rng::seed_from_u64(seed ^ c.right.wrapping_mul(2654435761));
+                let correct = r.gen_bool(p_correct);
+                let t = c.right < 50;
+                Vote::from_bool(if correct { t } else { !t })
+            }
+        };
+        let functions = vec![
+            LabelingFunction::new("good", noisy(0.95, 1)),
+            LabelingFunction::new("ok", noisy(0.75, 2)),
+            LabelingFunction::new("bad", noisy(0.55, 3)),
+        ];
+        let matrix = LabelMatrix::build(&functions, &candidates);
+        let model = GenerativeModel::fit(&matrix, GenerativeModelConfig::default());
+        let acc = model.accuracies();
+        assert!(acc[0] > acc[1], "good should beat ok: {acc:?}");
+        assert!(acc[1] > acc[2], "ok should beat bad: {acc:?}");
+
+        // Posterior-based hard labels should agree with ground truth well.
+        let labels = model.hard_labels(0.5);
+        let correct = candidates
+            .iter()
+            .zip(&labels)
+            .filter(|(c, l)| truth(c) == **l)
+            .count();
+        let accuracy = correct as f64 / candidates.len() as f64;
+        assert!(accuracy > 0.9, "combined accuracy too low: {accuracy}");
+        let _ = rng.gen::<u8>();
+    }
+
+    #[test]
+    fn unanimous_votes_give_confident_posteriors() {
+        let functions = vec![
+            LabelingFunction::new("a", |c: &Candidate| Vote::from_bool(c.right == 1)),
+            LabelingFunction::new("b", |c: &Candidate| Vote::from_bool(c.right == 1)),
+            LabelingFunction::new("c", |c: &Candidate| Vote::from_bool(c.right == 1)),
+        ];
+        let candidates = vec![Candidate::new(0, 1), Candidate::new(0, 2)];
+        let matrix = LabelMatrix::build(&functions, &candidates);
+        let model = GenerativeModel::fit(&matrix, GenerativeModelConfig::default());
+        assert!(model.posteriors()[0] > 0.8);
+        assert!(model.posteriors()[1] < 0.2);
+    }
+
+    #[test]
+    fn abstentions_do_not_crash_and_leave_prior() {
+        let functions = vec![LabelingFunction::new("abstain", |_: &Candidate| Vote::Abstain)];
+        let candidates = vec![Candidate::new(0, 1)];
+        let matrix = LabelMatrix::build(&functions, &candidates);
+        let cfg = GenerativeModelConfig::default();
+        let prior = cfg.prior_positive;
+        let model = GenerativeModel::fit(&matrix, cfg);
+        assert!((model.posteriors()[0] - prior).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let matrix = LabelMatrix::default();
+        let model = GenerativeModel::fit(&matrix, GenerativeModelConfig::default());
+        assert!(model.posteriors().is_empty());
+        assert!(model.hard_labels(0.5).is_empty());
+    }
+
+    #[test]
+    fn accuracies_stay_clamped() {
+        let functions = vec![LabelingFunction::new("alwayspos", |_: &Candidate| Vote::Positive)];
+        let candidates: Vec<Candidate> = (0..10).map(|i| Candidate::new(0, i)).collect();
+        let matrix = LabelMatrix::build(&functions, &candidates);
+        let cfg = GenerativeModelConfig::default();
+        let model = GenerativeModel::fit(&matrix, cfg.clone());
+        for &a in model.accuracies() {
+            assert!(a >= cfg.accuracy_floor && a <= cfg.accuracy_ceil);
+        }
+    }
+}

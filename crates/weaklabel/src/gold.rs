@@ -1,0 +1,182 @@
+//! Gold-label tuning of labeling functions.
+//!
+//! When a tiny ground-truth sample ("gold labels") is available, CMDL uses it
+//! to measure each labeling function's empirical accuracy and switches off
+//! functions whose accuracy falls below a fraction (default 50%) of the best
+//! function's accuracy (paper Section 4.1, "Augmented Preprocessing Phase
+//! Based on Gold Labels"). The gold sample is far too small to train a
+//! supervised model, but is enough to identify harmful labeling functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lf::{Candidate, LabelingFunction, Vote};
+
+/// A ground-truth labeled candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldLabel {
+    /// The candidate pair.
+    pub candidate: Candidate,
+    /// Whether the pair is truly related.
+    pub related: bool,
+}
+
+impl GoldLabel {
+    /// Create a gold label.
+    pub fn new(left: u64, right: u64, related: bool) -> Self {
+        Self {
+            candidate: Candidate::new(left, right),
+            related,
+        }
+    }
+}
+
+/// Per-function outcome of gold tuning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldTuningReport {
+    /// Labeling function name.
+    pub name: String,
+    /// Accuracy measured on the gold labels (ignoring abstentions).
+    pub accuracy: f64,
+    /// Number of gold pairs the function voted on.
+    pub evaluated: usize,
+    /// Whether the function stays enabled after tuning.
+    pub enabled: bool,
+}
+
+/// The gold-label tuner.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldTuner {
+    /// A function is disabled when its accuracy is below
+    /// `relative_threshold * best_accuracy`. Default 0.5 (the paper's "below
+    /// a certain threshold, say 50%, relative to the accuracy of the best
+    /// labeling function").
+    pub relative_threshold: f64,
+    /// Functions evaluated on fewer than this many gold pairs are left
+    /// enabled (not enough evidence). Default 3.
+    pub min_evaluated: usize,
+}
+
+impl Default for GoldTuner {
+    fn default() -> Self {
+        Self {
+            relative_threshold: 0.5,
+            min_evaluated: 3,
+        }
+    }
+}
+
+impl GoldTuner {
+    /// Measure each labeling function against the gold labels and disable the
+    /// ones falling below the relative threshold. Returns a per-function
+    /// report.
+    pub fn tune(
+        &self,
+        functions: &mut [LabelingFunction],
+        gold: &[GoldLabel],
+    ) -> Vec<GoldTuningReport> {
+        let mut reports: Vec<GoldTuningReport> = functions
+            .iter()
+            .map(|f| {
+                let mut correct = 0usize;
+                let mut evaluated = 0usize;
+                for g in gold {
+                    match f.label(&g.candidate) {
+                        Vote::Abstain => {}
+                        v => {
+                            evaluated += 1;
+                            if v == Vote::from_bool(g.related) {
+                                correct += 1;
+                            }
+                        }
+                    }
+                }
+                let accuracy = if evaluated == 0 {
+                    0.0
+                } else {
+                    correct as f64 / evaluated as f64
+                };
+                GoldTuningReport {
+                    name: f.name().to_string(),
+                    accuracy,
+                    evaluated,
+                    enabled: true,
+                }
+            })
+            .collect();
+
+        let best = reports
+            .iter()
+            .filter(|r| r.evaluated >= self.min_evaluated)
+            .map(|r| r.accuracy)
+            .fold(0.0f64, f64::max);
+        if best <= 0.0 {
+            return reports;
+        }
+        for (report, function) in reports.iter_mut().zip(functions.iter_mut()) {
+            if report.evaluated >= self.min_evaluated
+                && report.accuracy < self.relative_threshold * best
+            {
+                report.enabled = false;
+                function.set_enabled(false);
+            }
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gold_set() -> Vec<GoldLabel> {
+        // truth: related iff right < 5
+        (0..10).map(|i| GoldLabel::new(0, i, i < 5)).collect()
+    }
+
+    #[test]
+    fn disables_poor_function() {
+        let mut functions = vec![
+            LabelingFunction::new("accurate", |c: &Candidate| Vote::from_bool(c.right < 5)),
+            LabelingFunction::new("inverted", |c: &Candidate| Vote::from_bool(c.right >= 5)),
+        ];
+        let reports = GoldTuner::default().tune(&mut functions, &gold_set());
+        assert!(reports[0].enabled);
+        assert!((reports[0].accuracy - 1.0).abs() < 1e-12);
+        assert!(!reports[1].enabled);
+        assert_eq!(functions[1].label(&Candidate::new(0, 9)), Vote::Abstain);
+    }
+
+    #[test]
+    fn keeps_functions_above_relative_threshold() {
+        let mut functions = vec![
+            LabelingFunction::new("perfect", |c: &Candidate| Vote::from_bool(c.right < 5)),
+            LabelingFunction::new("decent", |c: &Candidate| {
+                // correct on 8/10: flips answers for 4 and 5
+                let truth = c.right < 5;
+                let answer = if c.right == 4 || c.right == 5 { !truth } else { truth };
+                Vote::from_bool(answer)
+            }),
+        ];
+        let reports = GoldTuner::default().tune(&mut functions, &gold_set());
+        assert!(reports[1].enabled, "0.8 accuracy > 0.5 * 1.0 should stay enabled");
+    }
+
+    #[test]
+    fn abstaining_function_left_enabled() {
+        let mut functions = vec![
+            LabelingFunction::new("abstain", |_: &Candidate| Vote::Abstain),
+            LabelingFunction::new("accurate", |c: &Candidate| Vote::from_bool(c.right < 5)),
+        ];
+        let reports = GoldTuner::default().tune(&mut functions, &gold_set());
+        assert!(reports[0].enabled, "insufficient evidence, keep enabled");
+        assert_eq!(reports[0].evaluated, 0);
+    }
+
+    #[test]
+    fn empty_gold_set_is_noop() {
+        let mut functions = vec![LabelingFunction::new("f", |_: &Candidate| Vote::Positive)];
+        let reports = GoldTuner::default().tune(&mut functions, &[]);
+        assert!(reports[0].enabled);
+        assert!(functions[0].is_enabled());
+    }
+}

@@ -1,0 +1,267 @@
+//! Labeling-function abstraction and the label matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate pair to be labeled: in CMDL this is a (document, column) pair,
+/// identified by opaque ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Anchor element (the document side in CMDL).
+    pub left: u64,
+    /// Candidate element (the column side in CMDL).
+    pub right: u64,
+}
+
+impl Candidate {
+    /// Create a candidate pair.
+    pub fn new(left: u64, right: u64) -> Self {
+        Self { left, right }
+    }
+}
+
+/// The vote a labeling function casts on a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Vote {
+    /// The pair is related.
+    Positive,
+    /// The pair is not related.
+    Negative,
+    /// The function cannot judge this pair.
+    Abstain,
+}
+
+impl Vote {
+    /// Encode the vote as Snorkel-style integer: +1, -1, 0.
+    pub fn as_int(self) -> i8 {
+        match self {
+            Vote::Positive => 1,
+            Vote::Negative => -1,
+            Vote::Abstain => 0,
+        }
+    }
+
+    /// Decode from an integer (any positive → Positive, negative → Negative,
+    /// zero → Abstain).
+    pub fn from_int(v: i8) -> Self {
+        match v.cmp(&0) {
+            std::cmp::Ordering::Greater => Vote::Positive,
+            std::cmp::Ordering::Less => Vote::Negative,
+            std::cmp::Ordering::Equal => Vote::Abstain,
+        }
+    }
+
+    /// Interpret a boolean ground truth as a vote.
+    pub fn from_bool(related: bool) -> Self {
+        if related {
+            Vote::Positive
+        } else {
+            Vote::Negative
+        }
+    }
+}
+
+/// A named labeling function over candidates.
+///
+/// In CMDL each labeling function probes one of the system's indexes for the
+/// top-k matches of the candidate's left element and votes `Positive` if the
+/// right element is among them.
+pub struct LabelingFunction {
+    name: String,
+    enabled: bool,
+    func: Box<dyn Fn(&Candidate) -> Vote + Send + Sync>,
+}
+
+impl std::fmt::Debug for LabelingFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LabelingFunction")
+            .field("name", &self.name)
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl LabelingFunction {
+    /// Create a labeling function from a closure.
+    pub fn new(
+        name: impl Into<String>,
+        func: impl Fn(&Candidate) -> Vote + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            enabled: true,
+            func: Box::new(func),
+        }
+    }
+
+    /// The function's name (used in reports and gold tuning).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Is the function currently enabled?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable or disable the function (disabled functions always abstain).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Apply the function to a candidate.
+    pub fn label(&self, candidate: &Candidate) -> Vote {
+        if !self.enabled {
+            return Vote::Abstain;
+        }
+        (self.func)(candidate)
+    }
+}
+
+/// The matrix of votes: one row per candidate, one column per labeling
+/// function.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabelMatrix {
+    /// Candidate pairs, one per row.
+    pub candidates: Vec<Candidate>,
+    /// Labeling function names, one per column.
+    pub function_names: Vec<String>,
+    /// Row-major votes: `votes[row][col]`.
+    pub votes: Vec<Vec<Vote>>,
+}
+
+impl LabelMatrix {
+    /// Apply a set of labeling functions to a set of candidates.
+    pub fn build(functions: &[LabelingFunction], candidates: &[Candidate]) -> Self {
+        let function_names = functions.iter().map(|f| f.name().to_string()).collect();
+        let votes = candidates
+            .iter()
+            .map(|c| functions.iter().map(|f| f.label(c)).collect())
+            .collect();
+        Self {
+            candidates: candidates.to_vec(),
+            function_names,
+            votes,
+        }
+    }
+
+    /// Number of candidates (rows).
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of labeling functions (columns).
+    pub fn num_functions(&self) -> usize {
+        self.function_names.len()
+    }
+
+    /// The votes of one labeling function across all candidates.
+    pub fn column(&self, col: usize) -> Vec<Vote> {
+        self.votes.iter().map(|row| row[col]).collect()
+    }
+
+    /// Retain only the rows where at least one function voted `Positive`.
+    ///
+    /// The paper notes that the generative model only considers pairs labeled
+    /// positive by at least one labeling function, which keeps the label
+    /// matrix sparse.
+    pub fn retain_covered(&mut self) {
+        let keep: Vec<bool> = self
+            .votes
+            .iter()
+            .map(|row| row.iter().any(|v| *v == Vote::Positive))
+            .collect();
+        let mut idx = 0;
+        self.candidates.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+        let mut idx = 0;
+        self.votes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Fraction of non-abstain votes per labeling function.
+    pub fn coverage(&self) -> Vec<f64> {
+        let n = self.num_candidates().max(1) as f64;
+        (0..self.num_functions())
+            .map(|c| {
+                self.votes
+                    .iter()
+                    .filter(|row| row[c] != Vote::Abstain)
+                    .count() as f64
+                    / n
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn always_positive() -> LabelingFunction {
+        LabelingFunction::new("pos", |_| Vote::Positive)
+    }
+
+    fn even_right_positive() -> LabelingFunction {
+        LabelingFunction::new("even", |c| Vote::from_bool(c.right % 2 == 0))
+    }
+
+    #[test]
+    fn vote_conversions() {
+        assert_eq!(Vote::Positive.as_int(), 1);
+        assert_eq!(Vote::Negative.as_int(), -1);
+        assert_eq!(Vote::Abstain.as_int(), 0);
+        assert_eq!(Vote::from_int(5), Vote::Positive);
+        assert_eq!(Vote::from_int(-1), Vote::Negative);
+        assert_eq!(Vote::from_int(0), Vote::Abstain);
+        assert_eq!(Vote::from_bool(true), Vote::Positive);
+    }
+
+    #[test]
+    fn disabled_function_abstains() {
+        let mut lf = always_positive();
+        assert_eq!(lf.label(&Candidate::new(1, 2)), Vote::Positive);
+        lf.set_enabled(false);
+        assert!(!lf.is_enabled());
+        assert_eq!(lf.label(&Candidate::new(1, 2)), Vote::Abstain);
+    }
+
+    #[test]
+    fn label_matrix_construction() {
+        let functions = vec![always_positive(), even_right_positive()];
+        let candidates = vec![Candidate::new(1, 2), Candidate::new(1, 3)];
+        let m = LabelMatrix::build(&functions, &candidates);
+        assert_eq!(m.num_candidates(), 2);
+        assert_eq!(m.num_functions(), 2);
+        assert_eq!(m.votes[0], vec![Vote::Positive, Vote::Positive]);
+        assert_eq!(m.votes[1], vec![Vote::Positive, Vote::Negative]);
+        assert_eq!(m.column(1), vec![Vote::Positive, Vote::Negative]);
+    }
+
+    #[test]
+    fn retain_covered_drops_all_negative_rows() {
+        let functions = vec![even_right_positive()];
+        let candidates = vec![Candidate::new(1, 2), Candidate::new(1, 3), Candidate::new(1, 4)];
+        let mut m = LabelMatrix::build(&functions, &candidates);
+        m.retain_covered();
+        assert_eq!(m.num_candidates(), 2);
+        assert!(m.candidates.iter().all(|c| c.right % 2 == 0));
+    }
+
+    #[test]
+    fn coverage_computation() {
+        let functions = vec![
+            LabelingFunction::new("abstainer", |_| Vote::Abstain),
+            always_positive(),
+        ];
+        let candidates = vec![Candidate::new(1, 1), Candidate::new(2, 2)];
+        let m = LabelMatrix::build(&functions, &candidates);
+        let cov = m.coverage();
+        assert_eq!(cov, vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cmdl-weaklabel
+//!
+//! CMDL's weak-supervision labeling framework (paper Section 4.1). The
+//! training data for the joint-representation model does not exist a priori;
+//! instead, several *labeling functions* — each backed by one of CMDL's
+//! indexes (solo-embedding ANN, LSH-Ensemble containment, content BM25,
+//! metadata BM25) — vote on whether a (document, column) pair is related.
+//! The votes are noisy; a **generative label model** estimates each labeling
+//! function's accuracy from agreements/disagreements alone and combines the
+//! votes into probabilistic labels, and a **discriminative model** (logistic
+//! regression over pair features) generalizes beyond the labeled sample.
+//!
+//! This crate is deliberately independent of CMDL's data model: labeling
+//! functions are closures over opaque candidate pairs, so the framework is
+//! reusable (and testable) in isolation — mirroring how the paper builds on
+//! the generic Snorkel platform.
+//!
+//! The optional **gold-label tuning** pre-processing phase (paper Figure 3,
+//! red-dotted box) evaluates each labeling function against a tiny
+//! ground-truth sample and switches off functions whose accuracy falls below
+//! a configurable fraction of the best function's accuracy.
+
+pub mod discriminative;
+pub mod generative;
+pub mod gold;
+pub mod lf;
+
+pub use discriminative::{DiscriminativeModel, LogisticRegressionConfig};
+pub use generative::{GenerativeModel, GenerativeModelConfig};
+pub use gold::{GoldLabel, GoldTuner, GoldTuningReport};
+pub use lf::{Candidate, LabelMatrix, LabelingFunction, Vote};

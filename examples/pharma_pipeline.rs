@@ -1,0 +1,84 @@
+//! The full five-step discovery pipeline of the paper's motivating example
+//! (Figure 1): an analyst studying the enzyme "thymidylate synthase" chains
+//! keyword search, two cross-modal Doc→Table searches, a joinability search,
+//! and a unionability search — all over one CMDL system.
+//!
+//! Run with: `cargo run --example pharma_pipeline`
+
+use cmdl::core::{Cmdl, CmdlConfig, SearchMode};
+use cmdl::datalake::synth;
+
+fn main() {
+    let synth_lake = synth::pharma::generate(&synth::pharma::PharmaConfig::default());
+    let mut cmdl = Cmdl::build(synth_lake.lake, CmdlConfig::fast());
+    println!("profiling took {:?}", cmdl.profiled.profiling_time);
+    let training = cmdl.train_joint(None);
+    println!(
+        "joint representation: {} epochs, final loss {:.4}",
+        training.epochs, training.final_loss
+    );
+
+    let k = 3;
+
+    // Q1: retrieve documents related to an enzyme.
+    let enzyme = cmdl
+        .profiled
+        .lake
+        .table("Enzymes")
+        .and_then(|t| t.column("Target"))
+        .map(|c| c.values[0].as_text())
+        .expect("enzyme exists");
+    println!("\nQ1: content_search(\"{enzyme}\", mode: Text)");
+    let r1 = cmdl.content_search(&enzyme, SearchMode::Text, k);
+    for d in &r1 {
+        println!("  {:.3}  {}", d.score, d.label);
+    }
+
+    // Q2: find tables related to the first returned document.
+    let doc_idx = r1
+        .first()
+        .and_then(|r| r.element)
+        .and_then(|id| cmdl.profiled.lake.document_index(id))
+        .unwrap_or(0);
+    println!("\nQ2: crossModal_search(r1[0], top_n: {k})");
+    let r2 = cmdl.cross_modal_search(doc_idx, k).expect("valid document");
+    for t in &r2 {
+        println!("  {:.3}  {}", t.score, t.label);
+    }
+
+    // Q3: find tables related to another returned document.
+    let doc_idx_3 = r1
+        .get(1)
+        .and_then(|r| r.element)
+        .and_then(|id| cmdl.profiled.lake.document_index(id))
+        .unwrap_or(doc_idx);
+    println!("\nQ3: crossModal_search(r1[1], top_n: {k})");
+    let r3 = cmdl.cross_modal_search(doc_idx_3, k).expect("valid document");
+    for t in &r3 {
+        println!("  {:.3}  {}", t.score, t.label);
+    }
+
+    // Q4: find tables joinable with a table discovered in Q3.
+    let selected = r3
+        .first()
+        .or(r2.first())
+        .and_then(|r| r.table.clone())
+        .unwrap_or_else(|| "Drugs".to_string());
+    println!("\nQ4: pkfk/joinable(\"{selected}\", top_n: {k})");
+    let r4 = cmdl.joinable(&selected, k).expect("table exists");
+    for t in &r4 {
+        println!("  {:.3}  {}", t.score, t.label);
+    }
+    println!("  (PK-FK links in the lake: {})", cmdl.pkfk().len());
+
+    // Q5: find tables unionable with a table discovered in Q4.
+    let selected_5 = r4
+        .first()
+        .and_then(|r| r.table.clone())
+        .unwrap_or(selected);
+    println!("\nQ5: unionable(\"{selected_5}\", top_n: {k})");
+    let r5 = cmdl.unionable(&selected_5, k).expect("table exists");
+    for u in &r5 {
+        println!("  {:.3}  {}  (mapped columns: {})", u.score, u.table, u.mapping.len());
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a CMDL system over a synthetic pharmaceutical data lake,
+//! train the joint representation, and run one discovery query of each kind.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cmdl::core::{Cmdl, CmdlConfig, SearchMode};
+use cmdl::datalake::synth;
+
+fn main() {
+    // 1. Generate a small pharmaceutical data lake (tables + abstracts).
+    let synth_lake = synth::pharma::generate(&synth::pharma::PharmaConfig::tiny());
+    println!(
+        "lake: {} tables, {} columns, {} documents",
+        synth_lake.lake.num_tables(),
+        synth_lake.lake.num_columns(),
+        synth_lake.lake.num_documents()
+    );
+
+    // 2. Profile, index, and train the cross-modal joint representation.
+    let mut cmdl = Cmdl::build(synth_lake.lake, CmdlConfig::fast());
+    let report = cmdl.train_joint(None);
+    println!(
+        "joint model trained in {} epochs ({:.2}s, error rate {:.1}%)",
+        report.epochs,
+        report.duration.as_secs_f64(),
+        report.error_rate * 100.0
+    );
+
+    // 3. Keyword search over the documents (Q1 of the paper's example).
+    let docs = cmdl.content_search("thymidylate synthase inhibitor", SearchMode::Text, 3);
+    println!("\nQ1: documents about 'thymidylate synthase':");
+    for d in &docs {
+        println!("  {:.3}  {}", d.score, d.label);
+    }
+
+    // 4. Cross-modal Doc→Table search (Q2).
+    let tables = cmdl.cross_modal_search_text(
+        "Pemetrexed is a novel antifolate that inhibits thymidylate synthase",
+        3,
+    );
+    println!("\nQ2: tables related to the highlighted sentence:");
+    for t in &tables {
+        println!("  {:.3}  {}", t.score, t.label);
+    }
+
+    // 5. Joinable and unionable tables (Q4/Q5).
+    let joinable = cmdl.joinable("Drugs", 3).expect("Drugs exists");
+    println!("\nQ4: tables joinable with Drugs:");
+    for j in &joinable {
+        println!("  {:.3}  {}", j.score, j.label);
+    }
+    let unionable = cmdl.unionable("Drugs", 3).expect("Drugs exists");
+    println!("\nQ5: tables unionable with Drugs:");
+    for u in &unionable {
+        println!("  {:.3}  {}", u.score, u.table);
+    }
+}

@@ -1,0 +1,61 @@
+//! A look inside CMDL's weak-supervision machinery: generate the labeled
+//! training dataset from the system's own indexes, inspect the estimated
+//! labeling-function accuracies, and see how gold labels disable imprecise
+//! labeling functions.
+//!
+//! Run with: `cargo run --example weak_supervision`
+
+use cmdl::core::{Cmdl, CmdlConfig, TrainingDatasetGenerator};
+use cmdl::datalake::synth;
+use cmdl::weaklabel::GoldLabel;
+
+fn main() {
+    let synth_lake = synth::pharma::generate(&synth::pharma::PharmaConfig::tiny());
+    let truth = synth_lake.truth.clone();
+    let cmdl = Cmdl::build(synth_lake.lake, CmdlConfig::fast());
+
+    // 1. Plain weakly-supervised labeling (no gold labels).
+    let generator = TrainingDatasetGenerator::new(&cmdl.profiled, &cmdl.indexes, &cmdl.config);
+    let (dataset, report) = generator.generate(None, None);
+    println!(
+        "sampled {} documents x {} columns -> {} covered candidate pairs, {} training pairs",
+        report.sampled_docs,
+        report.sampled_columns,
+        report.candidate_pairs,
+        dataset.len()
+    );
+    println!("estimated labeling-function accuracies (generative model):");
+    for (name, acc) in &report.lf_accuracies {
+        println!("  {name:<20} {acc:.3}");
+    }
+    println!(
+        "positive pairs (relatedness >= 0.5): {}",
+        dataset.num_positive(0.5)
+    );
+
+    // 2. Gold-label tuning: build a tiny gold set from the ground truth and
+    //    re-run labeling.
+    let mut gold = Vec::new();
+    for (doc_idx, tables) in truth.doc_to_table.iter().take(6) {
+        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else { continue };
+        for table in tables.iter().take(1) {
+            for col in cmdl.profiled.columns_of_table(table).into_iter().take(1) {
+                gold.push(GoldLabel::new(doc_id.raw(), col.raw(), true));
+            }
+        }
+        if let Some(col) = cmdl.profiled.columns_of_table("Trials").first() {
+            gold.push(GoldLabel::new(doc_id.raw(), col.raw(), false));
+        }
+    }
+    let (_, tuned_report) = generator.generate(Some(&gold), None);
+    println!("\ngold-label tuning with {} gold pairs:", gold.len());
+    for r in &tuned_report.gold_reports {
+        println!(
+            "  {:<20} accuracy {:.3} on {:>3} pairs -> {}",
+            r.name,
+            r.accuracy,
+            r.evaluated,
+            if r.enabled { "kept" } else { "disabled" }
+        );
+    }
+}

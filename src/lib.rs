@@ -1,0 +1,18 @@
+//! # cmdl — Cross Modal Data Discovery over Structured and Unstructured Data Lakes
+//!
+//! This facade crate re-exports the public API of every CMDL workspace crate
+//! so that downstream users can depend on a single crate.
+//!
+//! See the `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use cmdl_baselines as baselines;
+pub use cmdl_core as core;
+pub use cmdl_datalake as datalake;
+pub use cmdl_embed as embed;
+pub use cmdl_eval as eval;
+pub use cmdl_index as index;
+pub use cmdl_nn as nn;
+pub use cmdl_sketch as sketch;
+pub use cmdl_text as text;
+pub use cmdl_weaklabel as weaklabel;

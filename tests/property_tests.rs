@@ -1,0 +1,161 @@
+//! Workspace-level property-based tests over the core data structures and
+//! invariants (proptest).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use cmdl::eval::{precision_at_k, r_precision, recall_at_k};
+use cmdl::index::{InvertedIndex, TopK};
+use cmdl::nn::{triplet_loss, Matrix, TripletBatch};
+use cmdl::sketch::{exact_containment, exact_jaccard, MinHasher};
+use cmdl::text::{BagOfWords, Pipeline, PipelineConfig};
+
+fn word_vec() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{2,8}", 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MinHash containment estimates stay in [0, 1] and a true subset's
+    /// estimated containment in its superset is high.
+    #[test]
+    fn minhash_containment_bounds(words in prop::collection::vec("[a-z]{2,8}", 20..60)) {
+        let hasher = MinHasher::new(256, 7);
+        let set: BTreeSet<String> = words.iter().cloned().collect();
+        prop_assume!(set.len() >= 10);
+        let subset: Vec<String> = set.iter().take(set.len() / 2).cloned().collect();
+        let sig_subset = hasher.signature(subset.iter());
+        let sig_full = hasher.signature(set.iter());
+        let c = sig_subset.containment_in(&sig_full);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(c > 0.5, "subset containment estimate too low: {c}");
+    }
+
+    /// The Jaccard estimate from MinHash is within 0.25 of the exact Jaccard
+    /// for reasonably sized sets (128 hashes).
+    #[test]
+    fn minhash_jaccard_estimate_close(a in word_vec(), b in word_vec()) {
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let hasher = MinHasher::new(128, 11);
+        let sa: BTreeSet<String> = a.iter().cloned().collect();
+        let sb: BTreeSet<String> = b.iter().cloned().collect();
+        let sig_a = hasher.signature(sa.iter());
+        let sig_b = hasher.signature(sb.iter());
+        let exact = exact_jaccard(&sa.iter().cloned().collect::<Vec<_>>(), &sb.iter().cloned().collect::<Vec<_>>());
+        let estimate = sig_a.jaccard(&sig_b);
+        prop_assert!((estimate - exact).abs() < 0.25, "exact {exact} vs estimate {estimate}");
+        prop_assert!((0.0..=1.0).contains(&estimate));
+    }
+
+    /// Exact containment is within [0, 1], and a set is always fully
+    /// contained in any superset of itself.
+    #[test]
+    fn containment_invariants(words in word_vec(), extra in word_vec()) {
+        prop_assume!(!words.is_empty());
+        let mut superset = words.clone();
+        superset.extend(extra.clone());
+        let c = exact_containment(&words, &superset);
+        prop_assert!((c - 1.0).abs() < 1e-12);
+        let any = exact_containment(&words, &extra);
+        prop_assert!((0.0..=1.0).contains(&any));
+    }
+
+    /// The NLP pipeline never panics and produces only non-empty lowercase
+    /// terms without stop words.
+    #[test]
+    fn pipeline_output_well_formed(text in ".{0,300}") {
+        let pipeline = Pipeline::new(PipelineConfig::default());
+        let bow = pipeline.process(&text);
+        for (term, count) in bow.iter() {
+            prop_assert!(!term.is_empty());
+            prop_assert!(count > 0);
+            prop_assert_eq!(term.to_lowercase(), term.to_string());
+        }
+    }
+
+    /// BM25 scores are positive, and the top-1 result for a query equal to an
+    /// indexed document is that document.
+    #[test]
+    fn bm25_self_retrieval(docs in prop::collection::vec(word_vec(), 1..8)) {
+        let mut index = InvertedIndex::new();
+        let bows: Vec<BagOfWords> = docs
+            .iter()
+            .map(|words| BagOfWords::from_tokens(words.iter().cloned()))
+            .collect();
+        for (i, bow) in bows.iter().enumerate() {
+            index.add(i as u64, bow);
+        }
+        for (i, bow) in bows.iter().enumerate() {
+            if bow.is_empty() { continue; }
+            let results = index.search(bow, docs.len());
+            prop_assert!(!results.is_empty());
+            prop_assert!(results.iter().all(|(_, s)| *s > 0.0));
+            // The document itself must appear in the results.
+            prop_assert!(results.iter().any(|(id, _)| *id == i as u64));
+        }
+    }
+
+    /// TopK returns at most k results, sorted by score descending.
+    #[test]
+    fn topk_sorted_and_bounded(scores in prop::collection::vec(0.0f64..1.0, 0..50), k in 0usize..10) {
+        let mut topk = TopK::new(k);
+        for (i, s) in scores.iter().enumerate() {
+            topk.push(i as u64, *s);
+        }
+        let out = topk.into_sorted_vec();
+        prop_assert!(out.len() <= k.min(scores.len()));
+        for w in out.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    /// The triplet loss is always non-negative and zero when positive and
+    /// anchor coincide while the negative is far away.
+    #[test]
+    fn triplet_loss_nonnegative(
+        anchor in prop::collection::vec(-1.0f32..1.0, 4),
+        positive in prop::collection::vec(-1.0f32..1.0, 4),
+        negative in prop::collection::vec(-1.0f32..1.0, 4),
+        margin in 0.0f32..1.0,
+    ) {
+        let batch = TripletBatch {
+            anchors: Matrix::from_rows(&[anchor.clone()]),
+            positives: Matrix::from_rows(&[positive]),
+            negatives: Matrix::from_rows(&[negative]),
+        };
+        prop_assert!(triplet_loss(&batch, margin) >= 0.0);
+        let ideal = TripletBatch {
+            anchors: Matrix::from_rows(&[anchor.clone()]),
+            positives: Matrix::from_rows(&[anchor.clone()]),
+            negatives: Matrix::from_rows(&[anchor.iter().map(|x| x + 100.0).collect()]),
+        };
+        prop_assert_eq!(triplet_loss(&ideal, margin), 0.0);
+    }
+
+    /// Precision/recall metrics stay in [0, 1] and R-precision equals
+    /// precision at |expected|.
+    #[test]
+    fn metric_bounds(ranked in word_vec(), expected in word_vec()) {
+        let expected: BTreeSet<String> = expected.into_iter().collect();
+        for k in [1usize, 3, 10] {
+            let p = precision_at_k(&ranked, &expected, k);
+            let r = recall_at_k(&ranked, &expected, k);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        if !expected.is_empty() {
+            let rp = r_precision(&ranked, &expected);
+            prop_assert!((0.0..=1.0).contains(&rp));
+            // R-precision divides by |expected|; precision@|expected| divides
+            // by the retrieved count, so they coincide only when enough
+            // answers were returned and never exceed each other otherwise.
+            if ranked.len() >= expected.len() {
+                prop_assert!((rp - precision_at_k(&ranked, &expected, expected.len())).abs() < 1e-12);
+            } else {
+                prop_assert!(rp <= precision_at_k(&ranked, &expected, expected.len()) + 1e-12);
+            }
+        }
+    }
+}
