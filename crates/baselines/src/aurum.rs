@@ -63,7 +63,9 @@ impl<'a> Aurum<'a> {
 
     /// Top-k joinable columns for a query column, by Jaccard similarity.
     pub fn joinable_columns(&self, column: DeId, top_k: usize) -> Vec<(DeId, f64)> {
-        let Some(query) = self.profiled.profile(column) else { return Vec::new() };
+        let Some(query) = self.profiled.profile(column) else {
+            return Vec::new();
+        };
         let mut scored: Vec<(DeId, f64)> = self
             .profiled
             .column_ids
@@ -89,7 +91,9 @@ impl<'a> Aurum<'a> {
     pub fn pkfk_links(&self) -> Vec<AurumPkFk> {
         let mut links = Vec::new();
         for &pk_id in &self.profiled.column_ids {
-            let Some(pk) = self.profiled.profile(pk_id) else { continue };
+            let Some(pk) = self.profiled.profile(pk_id) else {
+                continue;
+            };
             if !pk.tags.key_like || !pk.tags.join_candidate {
                 continue;
             }
@@ -97,7 +101,9 @@ impl<'a> Aurum<'a> {
                 if pk_id == fk_id {
                     continue;
                 }
-                let Some(fk) = self.profiled.profile(fk_id) else { continue };
+                let Some(fk) = self.profiled.profile(fk_id) else {
+                    continue;
+                };
                 if fk.table_name == pk.table_name || !fk.tags.join_candidate {
                     continue;
                 }
@@ -134,7 +140,11 @@ impl<'a> Aurum<'a> {
                 }
             }
         }
-        links.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        links.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         links
     }
 
@@ -148,10 +158,16 @@ impl<'a> Aurum<'a> {
         }
         let mut per_table: HashMap<String, Vec<f64>> = HashMap::new();
         for &qcol in &query_columns {
-            let Some(q) = self.profiled.profile(qcol) else { continue };
+            let Some(q) = self.profiled.profile(qcol) else {
+                continue;
+            };
             for &ccol in &self.profiled.column_ids {
-                let Some(c) = self.profiled.profile(ccol) else { continue };
-                let Some(ctable) = c.table_name.clone() else { continue };
+                let Some(c) = self.profiled.profile(ccol) else {
+                    continue;
+                };
+                let Some(ctable) = c.table_name.clone() else {
+                    continue;
+                };
                 if ctable == table_name {
                     continue;
                 }
@@ -166,7 +182,11 @@ impl<'a> Aurum<'a> {
         let mut out: Vec<TableAnswer> = per_table
             .into_iter()
             .map(|(table, scores)| {
-                let columns = self.profiled.columns_of_table(&table).len().max(query_columns.len());
+                let columns = self
+                    .profiled
+                    .columns_of_table(&table)
+                    .len()
+                    .max(query_columns.len());
                 let mut sorted = scores;
                 sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
                 sorted.truncate(columns);
@@ -205,7 +225,9 @@ mod tests {
             .iter()
             .map(|(c, _)| profiled.profile(*c).unwrap().qualified_name.clone())
             .collect();
-        assert!(names.iter().any(|n| n.contains("Drug_Key") || n.contains("Drug_1")));
+        assert!(names
+            .iter()
+            .any(|n| n.contains("Drug_Key") || n.contains("Drug_1")));
     }
 
     #[test]
@@ -215,7 +237,10 @@ mod tests {
         let cmdl_join = cmdl_core::JoinDiscovery::new(&profiled, &config);
         // Enzyme_Targets.Id values are a subset of Enzymes.Id (skewed overlap):
         // containment sees 1.0, Jaccard sees less.
-        let sub = profiled.lake.column_id_by_name("Enzyme_Targets", "Id").unwrap();
+        let sub = profiled
+            .lake
+            .column_id_by_name("Enzyme_Targets", "Id")
+            .unwrap();
         let sup = profiled.lake.column_id_by_name("Enzymes", "Id").unwrap();
         let a = profiled.profile(sub).unwrap();
         let b = profiled.profile(sup).unwrap();
@@ -246,7 +271,10 @@ mod tests {
             .count();
         // CMDL (containment-based) recovers at least as many true links as
         // Aurum (Jaccard-based) — the recall gap of Table 4.
-        assert!(cmdl_hits >= aurum_hits, "cmdl {cmdl_hits} vs aurum {aurum_hits}");
+        assert!(
+            cmdl_hits >= aurum_hits,
+            "cmdl {cmdl_hits} vs aurum {aurum_hits}"
+        );
         assert!(cmdl_hits > 0);
     }
 

@@ -36,7 +36,9 @@ impl ContainmentSearch {
         });
         let mut column_tables = HashMap::new();
         for &id in &profiled.column_ids {
-            let Some(profile) = profiled.profile(id) else { continue };
+            let Some(profile) = profiled.profile(id) else {
+                continue;
+            };
             ensemble.insert(id.raw(), profile.minhash.clone());
             if let Some(table) = &profile.table_name {
                 column_tables.insert(id.raw(), table.clone());
@@ -45,7 +47,14 @@ impl ContainmentSearch {
         ensemble.build();
         Self {
             ensemble,
-            hasher: MinHasher::new(config.minhash_hashes, config.seed),
+            // Must match the profiler's hasher exactly (scheme, seed, and
+            // length) or query signatures are incomparable with the stored
+            // ones.
+            hasher: MinHasher::with_scheme(
+                config.minhash_hashes,
+                config.seed,
+                config.sketch_scheme,
+            ),
             column_tables,
             threshold: 0.3,
         }
@@ -86,7 +95,14 @@ mod tests {
         let profiled = Profiler::new(&config)
             .profile_lake(synth::pharma::generate(&synth::PharmaConfig::tiny()).lake);
         let baseline = ContainmentSearch::build(&profiled, &config);
-        let drug = profiled.lake.table("Drugs").unwrap().column("Drug").unwrap().values[1].as_text();
+        let drug = profiled
+            .lake
+            .table("Drugs")
+            .unwrap()
+            .column("Drug")
+            .unwrap()
+            .values[1]
+            .as_text();
         let query = BagOfWords::from_tokens(drug.split_whitespace().map(|s| s.to_lowercase()));
         let results = baseline.doc_to_table(&query, 5);
         assert!(!results.is_empty());
@@ -98,8 +114,8 @@ mod tests {
     #[test]
     fn mismatched_hasher_is_not_an_issue_for_empty_query() {
         let config = CmdlConfig::fast();
-        let profiled = Profiler::new(&config)
-            .profile_lake(synth::mlopen(synth::MlOpenScale::Small).lake);
+        let profiled =
+            Profiler::new(&config).profile_lake(synth::mlopen(synth::MlOpenScale::Small).lake);
         let baseline = ContainmentSearch::build(&profiled, &config);
         let results = baseline.doc_to_table(&BagOfWords::new(), 5);
         assert!(results.len() <= 5);

@@ -110,7 +110,9 @@ impl<'a> D3l<'a> {
 
     /// Top-k joinable columns for a query column.
     pub fn joinable_columns(&self, column: DeId, top_k: usize) -> Vec<(DeId, f64)> {
-        let Some(query) = self.profiled.profile(column) else { return Vec::new() };
+        let Some(query) = self.profiled.profile(column) else {
+            return Vec::new();
+        };
         let mut scored: Vec<(DeId, f64)> = self
             .profiled
             .column_ids
@@ -143,7 +145,9 @@ impl<'a> D3l<'a> {
         }
         let mut per_table: HashMap<String, Vec<f64>> = HashMap::new();
         for &qcol in &query_columns {
-            let Some(q) = self.profiled.profile(qcol) else { continue };
+            let Some(q) = self.profiled.profile(qcol) else {
+                continue;
+            };
             // Candidate generation: most similar columns per signal.
             let mut candidates: Vec<(DeId, D3lDistances)> = self
                 .profiled

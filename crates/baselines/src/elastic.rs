@@ -58,7 +58,9 @@ impl ElasticBaseline {
         let mut index = InvertedIndex::new();
         let mut column_tables = HashMap::new();
         for &id in &profiled.column_ids {
-            let Some(profile) = profiled.profile(id) else { continue };
+            let Some(profile) = profiled.profile(id) else {
+                continue;
+            };
             if profile.kind != DeKind::Column {
                 continue;
             }
@@ -76,6 +78,7 @@ impl ElasticBaseline {
                 column_tables.insert(id.raw(), table.clone());
             }
         }
+        index.finalize();
         Self {
             variant,
             index,
@@ -97,18 +100,35 @@ impl ElasticBaseline {
             }
             _ => ScoringFunction::Bm25(Bm25Params::default()),
         };
-        let hits = self.index.search_with(query, top_k * 8, scoring);
+        // Aggregating columns to tables can consume many column hits per
+        // table, so a fixed over-fetch multiple can under-fill the answer.
+        // Double the fetch size until `top_k` distinct tables are covered
+        // or the index is exhausted.
+        let mut fetch = top_k * 4;
         let mut tables: HashMap<String, f64> = HashMap::new();
-        for (id, score) in hits {
-            if let Some(table) = self.column_tables.get(&id) {
-                let entry = tables.entry(table.clone()).or_insert(0.0);
-                if score > *entry {
-                    *entry = score;
+        loop {
+            let hits = self.index.search_with(query, fetch, scoring);
+            let exhausted = hits.len() < fetch;
+            tables.clear();
+            for (id, score) in hits {
+                if let Some(table) = self.column_tables.get(&id) {
+                    let entry = tables.entry(table.clone()).or_insert(0.0);
+                    if score > *entry {
+                        *entry = score;
+                    }
                 }
             }
+            if tables.len() >= top_k || exhausted {
+                break;
+            }
+            fetch *= 2;
         }
         let mut out: Vec<TableAnswer> = tables.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         out.truncate(top_k);
         out
     }
@@ -129,12 +149,22 @@ mod tests {
     fn content_variant_finds_drug_tables() {
         let profiled = profiled();
         let baseline = ElasticBaseline::build(&profiled, ElasticVariant::Bm25ContentAndSchema);
-        let drug = profiled.lake.table("Drugs").unwrap().column("Drug").unwrap().values[0].as_text();
+        let drug = profiled
+            .lake
+            .table("Drugs")
+            .unwrap()
+            .column("Drug")
+            .unwrap()
+            .values[0]
+            .as_text();
         let query = BagOfWords::from_tokens(drug.split_whitespace());
         let results = baseline.doc_to_table(&query, 5);
         assert!(!results.is_empty());
-        assert!(results.iter().any(|(t, _)| t == "Drugs" || t == "Compounds" || t.contains("proj")
-            || t == "Chemical_Entities" || t == "Drug_Interactions"));
+        assert!(results.iter().any(|(t, _)| t == "Drugs"
+            || t == "Compounds"
+            || t.contains("proj")
+            || t == "Chemical_Entities"
+            || t == "Drug_Interactions"));
     }
 
     #[test]
@@ -146,7 +176,9 @@ mod tests {
         // from values.
         let query = BagOfWords::from_tokens(["target", "action"]);
         let s = schema.doc_to_table(&query, 5);
-        assert!(s.iter().any(|(t, _)| t == "Enzyme_Targets" || t == "Enzymes" || t == "Assays"));
+        assert!(s
+            .iter()
+            .any(|(t, _)| t == "Enzyme_Targets" || t == "Enzymes" || t == "Assays"));
         let _ = content.doc_to_table(&query, 5);
     }
 

@@ -58,7 +58,9 @@ impl EntityMatcher {
         let mut domain_vocabulary = HashSet::new();
         if fine_tuned {
             for &id in &profiled.column_ids {
-                let Some(profile) = profiled.profile(id) else { continue };
+                let Some(profile) = profiled.profile(id) else {
+                    continue;
+                };
                 if profile.tags.text_searchable {
                     for v in &profile.distinct_values {
                         if v.len() >= 4 && v.split_whitespace().count() <= 3 {
@@ -131,7 +133,11 @@ fn extract_entities(text: &str, domain_vocabulary: &HashSet<String>) -> HashSet<
             continue;
         }
         let has_digit = cleaned.chars().any(|c| c.is_ascii_digit());
-        let starts_upper = cleaned.chars().next().map(|c| c.is_uppercase()).unwrap_or(false);
+        let starts_upper = cleaned
+            .chars()
+            .next()
+            .map(|c| c.is_uppercase())
+            .unwrap_or(false);
         if has_digit || starts_upper {
             entities.insert(cleaned.to_lowercase());
         }
@@ -197,7 +203,10 @@ mod tests {
         let tuned_found = tuned_hits.iter().any(|(t, _)| {
             t == "Drugs" || t == "Compounds" || t == "Chemical_Entities" || t == "Enzymes"
         });
-        assert!(tuned_found, "tuned matcher should find entity tables: {tuned_hits:?}");
+        assert!(
+            tuned_found,
+            "tuned matcher should find entity tables: {tuned_hits:?}"
+        );
         assert!(tuned_hits.len() >= generic_hits.len().min(1));
     }
 

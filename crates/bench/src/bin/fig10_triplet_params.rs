@@ -14,7 +14,8 @@ fn train_with(config: &CmdlConfig) -> (usize, f64, f64, usize) {
     let profiler = Profiler::new(config);
     let profiled = profiler.profile_lake(synth.lake);
     let indexes = IndexCatalog::build(&profiled, config);
-    let (dataset, _) = TrainingDatasetGenerator::new(&profiled, &indexes, config).generate(None, None);
+    let (dataset, _) =
+        TrainingDatasetGenerator::new(&profiled, &indexes, config).generate(None, None);
     let (_, report) = JointTrainer::new(config).train(&profiled, &dataset);
     (
         report.epochs,
@@ -88,8 +89,7 @@ fn main() {
         };
         let (_, _, error, _) = train_with(&config);
         report_c.push(
-            MethodResult::new(format!("beta = {margin}"))
-                .with("model_error_%", error * 100.0),
+            MethodResult::new(format!("beta = {margin}")).with("model_error_%", error * 100.0),
         );
     }
     emit(&report_c);

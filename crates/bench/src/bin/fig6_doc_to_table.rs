@@ -16,7 +16,9 @@ fn gold_labels(cmdl: &Cmdl, synth: &SyntheticLake, ratio: f64) -> Vec<GoldLabel>
     let mut gold = Vec::new();
     let take = ((synth.truth.doc_to_table.len() as f64 * ratio).ceil() as usize).max(1);
     for (doc_idx, tables) in synth.truth.doc_to_table.iter().take(take) {
-        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else { continue };
+        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else {
+            continue;
+        };
         for table in tables.iter().take(2) {
             for col in cmdl.profiled.columns_of_table(table).into_iter().take(1) {
                 gold.push(GoldLabel::new(doc_id.raw(), col.raw(), true));
@@ -72,7 +74,11 @@ fn run_benchmark(label: &str, id: BenchmarkId, synth: SyntheticLake, ks: &[usize
     let gold = gold_labels(&cmdl, &synth, 0.1);
     cmdl.train_joint(Some(&gold));
     let eval = evaluate_doc2table(&cmdl, &benchmark, Doc2TableMethod::CmdlJointGold, ks);
-    push_curve(&mut report, Doc2TableMethod::CmdlJointGold.label(), &eval.curve);
+    push_curve(
+        &mut report,
+        Doc2TableMethod::CmdlJointGold.label(),
+        &eval.curve,
+    );
 
     emit(&report);
 }
@@ -89,7 +95,12 @@ fn push_curve(report: &mut ExperimentReport, method: &str, curve: &[cmdl_eval::P
 
 fn main() {
     // Benchmark 1A: UK-Open, larger k sweep.
-    run_benchmark("1A (UK-Open)", BenchmarkId::B1A, ukopen_lake(), &[5, 15, 25]);
+    run_benchmark(
+        "1A (UK-Open)",
+        BenchmarkId::B1A,
+        ukopen_lake(),
+        &[5, 15, 25],
+    );
     // Benchmark 1B: Pharma.
     run_benchmark("1B (Pharma)", BenchmarkId::B1B, pharma_lake(), &[2, 6, 10]);
     // Benchmark 1C: ML-Open MS reviews.

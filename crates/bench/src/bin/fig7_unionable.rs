@@ -17,7 +17,11 @@ fn run(label: &str, synth: SyntheticLake, id: BenchmarkId, ks: &[usize]) {
             benchmark.num_queries()
         ),
     );
-    for system in [StructuredSystem::Aurum, StructuredSystem::D3l, StructuredSystem::Cmdl] {
+    for system in [
+        StructuredSystem::Aurum,
+        StructuredSystem::D3l,
+        StructuredSystem::Cmdl,
+    ] {
         let eval = evaluate_union(&cmdl, &benchmark, system, ks, "ensemble");
         let mut row = MethodResult::new(eval.system.clone());
         for point in &eval.curve {
@@ -31,6 +35,16 @@ fn run(label: &str, synth: SyntheticLake, id: BenchmarkId, ks: &[usize]) {
 }
 
 fn main() {
-    run("3A (UK-Open)", ukopen_lake(), BenchmarkId::B3A, &[1, 3, 5, 10]);
-    run("3B (DrugBank-Synthetic)", pharma_lake(), BenchmarkId::B3B, &[1, 3, 5, 10]);
+    run(
+        "3A (UK-Open)",
+        ukopen_lake(),
+        BenchmarkId::B3A,
+        &[1, 3, 5, 10],
+    );
+    run(
+        "3B (DrugBank-Synthetic)",
+        pharma_lake(),
+        BenchmarkId::B3B,
+        &[1, 3, 5, 10],
+    );
 }

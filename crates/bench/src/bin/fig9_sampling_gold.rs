@@ -67,11 +67,17 @@ fn main() {
     emit(&report_b);
 }
 
-fn build_gold(cmdl: &Cmdl, synth: &cmdl_datalake::synth::SyntheticLake, ratio: f64) -> Vec<GoldLabel> {
+fn build_gold(
+    cmdl: &Cmdl,
+    synth: &cmdl_datalake::synth::SyntheticLake,
+    ratio: f64,
+) -> Vec<GoldLabel> {
     let take = ((synth.truth.doc_to_table.len() as f64 * ratio).ceil() as usize).max(1);
     let mut gold = Vec::new();
     for (doc_idx, tables) in synth.truth.doc_to_table.iter().take(take) {
-        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else { continue };
+        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else {
+            continue;
+        };
         for table in tables.iter().take(2) {
             for col in cmdl.profiled.columns_of_table(table).into_iter().take(2) {
                 gold.push(GoldLabel::new(doc_id.raw(), col.raw(), true));

@@ -24,8 +24,17 @@ fn main() {
     };
     add("Pharma", LakeStats::compute(&pharma_lake().lake));
     add("UK-Open", LakeStats::compute(&ukopen_lake().lake));
-    add("ML-Open SS", LakeStats::compute(&mlopen_lake(MlOpenScale::Small).lake));
-    add("ML-Open MS", LakeStats::compute(&mlopen_lake(MlOpenScale::Medium).lake));
-    add("ML-Open LS", LakeStats::compute(&mlopen_lake(MlOpenScale::Large).lake));
+    add(
+        "ML-Open SS",
+        LakeStats::compute(&mlopen_lake(MlOpenScale::Small).lake),
+    );
+    add(
+        "ML-Open MS",
+        LakeStats::compute(&mlopen_lake(MlOpenScale::Medium).lake),
+    );
+    add(
+        "ML-Open LS",
+        LakeStats::compute(&mlopen_lake(MlOpenScale::Large).lake),
+    );
     emit(&report);
 }

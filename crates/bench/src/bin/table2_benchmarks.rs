@@ -30,16 +30,60 @@ fn main() {
         );
     };
 
-    add("1A Doc2Table UK-Open", doc_to_table_benchmark(BenchmarkId::B1A, &ukopen), &ukopen.lake);
-    add("1B Doc2Table Pharma", doc_to_table_benchmark(BenchmarkId::B1B, &pharma), &pharma.lake);
-    add("1C Doc2Table ML-Open", doc_to_table_benchmark(BenchmarkId::B1C, &mlopen), &mlopen.lake);
-    add("2A Join UK-Open", syntactic_join_benchmark(BenchmarkId::B2A, &ukopen), &ukopen.lake);
-    add("2B Join Pharma", syntactic_join_benchmark(BenchmarkId::B2B, &pharma), &pharma.lake);
-    add("2C Join ML-Open SS", syntactic_join_benchmark(BenchmarkId::B2C, &mlopen_ss), &mlopen_ss.lake);
-    add("2C Join ML-Open MS", syntactic_join_benchmark(BenchmarkId::B2C, &mlopen), &mlopen.lake);
-    add("2C Join ML-Open LS", syntactic_join_benchmark(BenchmarkId::B2C, &mlopen_ls), &mlopen_ls.lake);
-    add("2D PK-FK Pharma", pkfk_benchmark(BenchmarkId::B2D, &pharma), &pharma.lake);
-    add("3A Union UK-Open", unionable_benchmark(BenchmarkId::B3A, &ukopen), &ukopen.lake);
-    add("3B Union Pharma", unionable_benchmark(BenchmarkId::B3B, &pharma), &pharma.lake);
+    add(
+        "1A Doc2Table UK-Open",
+        doc_to_table_benchmark(BenchmarkId::B1A, &ukopen),
+        &ukopen.lake,
+    );
+    add(
+        "1B Doc2Table Pharma",
+        doc_to_table_benchmark(BenchmarkId::B1B, &pharma),
+        &pharma.lake,
+    );
+    add(
+        "1C Doc2Table ML-Open",
+        doc_to_table_benchmark(BenchmarkId::B1C, &mlopen),
+        &mlopen.lake,
+    );
+    add(
+        "2A Join UK-Open",
+        syntactic_join_benchmark(BenchmarkId::B2A, &ukopen),
+        &ukopen.lake,
+    );
+    add(
+        "2B Join Pharma",
+        syntactic_join_benchmark(BenchmarkId::B2B, &pharma),
+        &pharma.lake,
+    );
+    add(
+        "2C Join ML-Open SS",
+        syntactic_join_benchmark(BenchmarkId::B2C, &mlopen_ss),
+        &mlopen_ss.lake,
+    );
+    add(
+        "2C Join ML-Open MS",
+        syntactic_join_benchmark(BenchmarkId::B2C, &mlopen),
+        &mlopen.lake,
+    );
+    add(
+        "2C Join ML-Open LS",
+        syntactic_join_benchmark(BenchmarkId::B2C, &mlopen_ls),
+        &mlopen_ls.lake,
+    );
+    add(
+        "2D PK-FK Pharma",
+        pkfk_benchmark(BenchmarkId::B2D, &pharma),
+        &pharma.lake,
+    );
+    add(
+        "3A Union UK-Open",
+        unionable_benchmark(BenchmarkId::B3A, &ukopen),
+        &ukopen.lake,
+    );
+    add(
+        "3B Union Pharma",
+        unionable_benchmark(BenchmarkId::B3B, &pharma),
+        &pharma.lake,
+    );
     emit(&report);
 }

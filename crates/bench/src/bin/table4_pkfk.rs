@@ -31,7 +31,14 @@ fn main() {
     let databases: Vec<(&str, Vec<&str>)> = vec![
         (
             "DrugBank",
-            vec!["Drugs", "Enzymes", "Enzyme_Targets", "Drug_Interactions", "Dosages", "Trials"],
+            vec![
+                "Drugs",
+                "Enzymes",
+                "Enzyme_Targets",
+                "Drug_Interactions",
+                "Dosages",
+                "Trials",
+            ],
         ),
         ("ChEMBL", vec!["Compounds", "Assays", "Activities"]),
         ("ChEBI", vec!["Chemical_Entities", "Chemical_Relations"]),

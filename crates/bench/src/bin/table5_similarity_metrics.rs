@@ -23,7 +23,9 @@ fn run(label: &str, synth: SyntheticLake, id: BenchmarkId, k: usize) {
     let mut answered: Vec<usize> = vec![0; MEASURES.len()];
     let mut num_queries = 0usize;
     for query in &benchmark.queries {
-        let QueryInput::Table(table) = &query.input else { continue };
+        let QueryInput::Table(table) = &query.input else {
+            continue;
+        };
         if cmdl.profiled.lake.table(table).is_none() || query.expected.is_empty() {
             continue;
         }
@@ -58,16 +60,20 @@ fn run(label: &str, synth: SyntheticLake, id: BenchmarkId, k: usize) {
     );
     for (m, measure) in MEASURES.iter().enumerate() {
         report.push(
-            MethodResult::new(if *measure == "ensemble" { "CMDL ensemble" } else { measure })
-                .with("RR", relative_recall(&found[m], &all))
-                .with(
-                    "queries_answered_%",
-                    if num_queries == 0 {
-                        0.0
-                    } else {
-                        100.0 * answered[m] as f64 / num_queries as f64
-                    },
-                ),
+            MethodResult::new(if *measure == "ensemble" {
+                "CMDL ensemble"
+            } else {
+                measure
+            })
+            .with("RR", relative_recall(&found[m], &all))
+            .with(
+                "queries_answered_%",
+                if num_queries == 0 {
+                    0.0
+                } else {
+                    100.0 * answered[m] as f64 / num_queries as f64
+                },
+            ),
         );
     }
     emit(&report);
@@ -75,5 +81,10 @@ fn run(label: &str, synth: SyntheticLake, id: BenchmarkId, k: usize) {
 
 fn main() {
     run("3A (UK-Open)", ukopen_lake(), BenchmarkId::B3A, 10);
-    run("3B (DrugBank-Synthetic)", pharma_lake(), BenchmarkId::B3B, 10);
+    run(
+        "3B (DrugBank-Synthetic)",
+        pharma_lake(),
+        BenchmarkId::B3B,
+        10,
+    );
 }

@@ -1,11 +1,35 @@
 //! Table 6: query throughput (queries per second) of the three index types
 //! used as labeling functions — keyword search (BM25), containment (LSH
 //! Ensemble), and semantic nearest-neighbour (ANN).
+//!
+//! For the keyword and containment probes the binary measures both the
+//! optimized query path and an in-process reimplementation of the
+//! pre-optimization path (`search_exhaustive` — per-query `HashMap`
+//! scoring with `top_k × 4` over-fetch and post-filtering — and
+//! `query_top_k_brute` — full signature scan plus sort), so the speedup
+//! ratio is measured on the same data, same build, same machine.
 
 use std::time::Instant;
 
 use cmdl_bench::{bench_config, build_system, emit, pharma_lake};
+use cmdl_datalake::{DeId, DeKind};
 use cmdl_eval::{ExperimentReport, MethodResult};
+
+/// Best-of-N throughput measurement: runs `passes` timed passes of
+/// `probe` over the workload and returns the highest QPS observed.
+/// Best-of is robust against the CPU-steal spikes of shared machines.
+fn measure_qps(passes: usize, rounds: usize, workload: usize, mut probe: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for _ in 0..rounds {
+            probe();
+        }
+        let qps = (rounds * workload) as f64 / start.elapsed().as_secs_f64();
+        best = best.max(qps);
+    }
+    best
+}
 
 fn main() {
     let synth = pharma_lake();
@@ -19,69 +43,96 @@ fn main() {
         .iter()
         .filter_map(|id| cmdl.profiled.profile(*id))
         .collect();
-    let rounds = 5usize;
+    let rounds = 10usize;
+    let passes = 5usize;
+    let k = config.label_probe_top_k;
 
     let mut report = ExperimentReport::new(
         "Table 6",
         format!(
-            "Index probe throughput in queries/second (top-{} probes, {} query documents x {} rounds).",
-            config.label_probe_top_k,
+            "Index probe throughput in queries/second (top-{} probes, {} query documents x {} rounds). \
+             *_baseline rows re-run the pre-optimization algorithms in the same process.",
+            k,
             doc_profiles.len(),
             rounds
         ),
     );
 
-    // Content keyword search.
-    let start = Instant::now();
-    let mut count = 0usize;
-    for _ in 0..rounds {
+    // --- Keyword search (BM25 over content, restricted to columns). ---
+
+    // Pre-optimization path: exhaustive HashMap scoring, top_k*4 over-fetch,
+    // post-filter by kind (the seed's `filter_by_kind`).
+    let keyword_baseline_qps = measure_qps(passes, rounds, doc_profiles.len(), || {
+        for p in &doc_profiles {
+            let hits = cmdl.indexes.content.search_exhaustive(
+                &p.content,
+                k * 4,
+                cmdl_index::ScoringFunction::default(),
+            );
+            let _filtered: Vec<(DeId, f64)> = hits
+                .into_iter()
+                .map(|(id, score)| (DeId(id), score))
+                .filter(|(id, _)| {
+                    cmdl.profiled
+                        .profile(*id)
+                        .map(|p| p.kind == DeKind::Column)
+                        .unwrap_or(false)
+                })
+                .take(k)
+                .collect();
+        }
+    });
+
+    // Optimized path: heap-based scoring with the kind filter streamed
+    // through the top-k heap.
+    let keyword_qps = measure_qps(passes, rounds, doc_profiles.len(), || {
         for p in &doc_profiles {
             let _ = cmdl.indexes.content_search(
                 &cmdl.profiled,
                 &p.content,
-                Some(cmdl_datalake::DeKind::Column),
-                config.label_probe_top_k,
+                Some(DeKind::Column),
+                k,
                 cmdl_index::ScoringFunction::default(),
             );
-            count += 1;
         }
-    }
+    });
+
     report.push(
         MethodResult::new("Content search (BM25 inverted index)")
-            .with("Qps", count as f64 / start.elapsed().as_secs_f64()),
+            .with("Qps", keyword_qps)
+            .with("Baseline_qps", keyword_baseline_qps)
+            .with("Speedup", keyword_qps / keyword_baseline_qps),
     );
 
-    // Containment (LSH Ensemble).
-    let start = Instant::now();
-    let mut count = 0usize;
-    for _ in 0..rounds {
+    // --- Containment (LSH Ensemble). ---
+
+    let containment_baseline_qps = measure_qps(passes, rounds, doc_profiles.len(), || {
         for p in &doc_profiles {
-            let _ = cmdl
-                .indexes
-                .containment_search(&p.minhash, config.label_probe_top_k);
-            count += 1;
+            let _ = cmdl.indexes.containment.query_top_k_brute(&p.minhash, k);
         }
-    }
+    });
+
+    let containment_qps = measure_qps(passes, rounds, doc_profiles.len(), || {
+        for p in &doc_profiles {
+            let _ = cmdl.indexes.containment_search(&p.minhash, k);
+        }
+    });
+
     report.push(
         MethodResult::new("Containment (LSH Ensemble)")
-            .with("Qps", count as f64 / start.elapsed().as_secs_f64()),
+            .with("Qps", containment_qps)
+            .with("Baseline_qps", containment_baseline_qps)
+            .with("Speedup", containment_qps / containment_baseline_qps),
     );
 
-    // Semantic (ANN over solo embeddings).
-    let start = Instant::now();
-    let mut count = 0usize;
-    for _ in 0..rounds {
+    // --- Semantic (ANN over solo embeddings). ---
+
+    let ann_qps = measure_qps(passes, rounds, doc_profiles.len(), || {
         for p in &doc_profiles {
-            let _ = cmdl
-                .indexes
-                .solo_search(&p.solo.content, config.label_probe_top_k);
-            count += 1;
+            let _ = cmdl.indexes.solo_search(&p.solo.content, k);
         }
-    }
-    report.push(
-        MethodResult::new("Semantic (ANN random-projection forest)")
-            .with("Qps", count as f64 / start.elapsed().as_secs_f64()),
-    );
+    });
+    report.push(MethodResult::new("Semantic (ANN random-projection forest)").with("Qps", ann_qps));
 
     emit(&report);
 }

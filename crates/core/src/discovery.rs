@@ -154,7 +154,12 @@ impl Cmdl {
 
     /// Keyword search (Q1): find the `top_k` elements matching the query text
     /// in the requested scope.
-    pub fn content_search(&self, query: &str, mode: SearchMode, top_k: usize) -> Vec<DiscoveryResult> {
+    pub fn content_search(
+        &self,
+        query: &str,
+        mode: SearchMode,
+        top_k: usize,
+    ) -> Vec<DiscoveryResult> {
         let (bow, _) = self.profiler.profile_query_text(query);
         let kind = match mode {
             SearchMode::Text => Some(DeKind::Document),
@@ -162,7 +167,13 @@ impl Cmdl {
             SearchMode::All => None,
         };
         self.indexes
-            .content_search(&self.profiled, &bow, kind, top_k, ScoringFunction::default())
+            .content_search(
+                &self.profiled,
+                &bow,
+                kind,
+                top_k,
+                ScoringFunction::default(),
+            )
             .into_iter()
             .map(|(id, score)| self.element_result(id, score))
             .collect()
@@ -190,7 +201,12 @@ impl Cmdl {
         } else {
             CrossModalStrategy::SoloEmbedding
         };
-        Ok(self.doc_to_table_search(&profile.solo.clone(), &profile.content.clone(), strategy, top_k))
+        Ok(self.doc_to_table_search(
+            &profile.solo.clone(),
+            &profile.content.clone(),
+            strategy,
+            top_k,
+        ))
     }
 
     /// Cross-modal Doc→Table discovery for ad-hoc query text (e.g. a
@@ -235,17 +251,26 @@ impl Cmdl {
             .collect();
         let mut table_scores: HashMap<String, f64> = HashMap::new();
         for (id, score) in column_scores {
-            let Some(profile) = self.profiled.profile(id) else { continue };
-            let Some(table) = profile.table_name.clone() else { continue };
-            let combined = 0.7 * score.max(0.0) + 0.3 * containment.get(&id).copied().unwrap_or(0.0);
+            let Some(profile) = self.profiled.profile(id) else {
+                continue;
+            };
+            let Some(table) = profile.table_name.clone() else {
+                continue;
+            };
+            let combined =
+                0.7 * score.max(0.0) + 0.3 * containment.get(&id).copied().unwrap_or(0.0);
             let entry = table_scores.entry(table).or_insert(0.0);
             if combined > *entry {
                 *entry = combined;
             }
         }
         for (id, score) in &containment {
-            let Some(profile) = self.profiled.profile(*id) else { continue };
-            let Some(table) = profile.table_name.clone() else { continue };
+            let Some(profile) = self.profiled.profile(*id) else {
+                continue;
+            };
+            let Some(table) = profile.table_name.clone() else {
+                continue;
+            };
             let entry = table_scores.entry(table).or_insert(0.0);
             if 0.3 * score > *entry {
                 *entry = 0.3 * score;
@@ -260,7 +285,14 @@ impl Cmdl {
                 score,
             })
             .collect();
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        // Tie-break by label: `table_scores` is a HashMap, so equal-scored
+        // tables would otherwise surface in a run-dependent order.
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.label.cmp(&b.label))
+        });
         results.truncate(top_k);
         results
     }
@@ -345,17 +377,30 @@ impl Cmdl {
         }
         // PK-FK edges.
         for link in self.pkfk() {
-            self.ekg
-                .add_edge(NodeId::De(link.pk), NodeId::De(link.fk), RelationType::PkFk, link.score);
+            self.ekg.add_edge(
+                NodeId::De(link.pk),
+                NodeId::De(link.fk),
+                RelationType::PkFk,
+                link.score,
+            );
         }
         // Join and union edges at the table level.
-        let table_names: Vec<String> =
-            self.profiled.lake.tables().iter().map(|t| t.name.clone()).collect();
+        let table_names: Vec<String> = self
+            .profiled
+            .lake
+            .tables()
+            .iter()
+            .map(|t| t.name.clone())
+            .collect();
         for name in &table_names {
             let from = self.profiled.lake.table_index(name).expect("table exists");
             if let Ok(joins) = self.joinable(name, top_k) {
                 for j in joins {
-                    if let Some(to) = j.table.as_deref().and_then(|t| self.profiled.lake.table_index(t)) {
+                    if let Some(to) = j
+                        .table
+                        .as_deref()
+                        .and_then(|t| self.profiled.lake.table_index(t))
+                    {
                         self.ekg.add_edge(
                             NodeId::Table(from),
                             NodeId::Table(to),
@@ -394,8 +439,12 @@ impl Cmdl {
             })
             .collect();
         for (column, table) in memberships {
-            self.ekg
-                .add_undirected(NodeId::De(column), NodeId::Table(table), RelationType::BelongsTo, 1.0);
+            self.ekg.add_undirected(
+                NodeId::De(column),
+                NodeId::Table(table),
+                RelationType::BelongsTo,
+                1.0,
+            );
         }
     }
 
@@ -405,10 +454,7 @@ impl Cmdl {
             .profile(id)
             .map(|p| p.qualified_name.clone())
             .unwrap_or_else(|| format!("de-{}", id.raw()));
-        let table = self
-            .profiled
-            .profile(id)
-            .and_then(|p| p.table_name.clone());
+        let table = self.profiled.profile(id).and_then(|p| p.table_name.clone());
         DiscoveryResult {
             element: Some(id),
             table,
@@ -431,8 +477,8 @@ mod tests {
     #[test]
     fn build_profiles_and_indexes() {
         let cmdl = system();
-        assert!(cmdl.profiled.len() > 0);
-        assert!(cmdl.indexes.content.len() > 0);
+        assert!(!cmdl.profiled.is_empty());
+        assert!(!cmdl.indexes.content.is_empty());
         assert!(cmdl.ekg().num_edges() > 0, "structural EKG edges exist");
         assert!(cmdl.joint_model().is_none());
     }
@@ -451,12 +497,14 @@ mod tests {
             .as_text();
         let docs = cmdl.content_search(&drug, SearchMode::Text, 5);
         let cols = cmdl.content_search(&drug, SearchMode::Tables, 5);
-        assert!(docs
-            .iter()
-            .all(|r| matches!(cmdl.profiled.profile(r.element.unwrap()).unwrap().kind, DeKind::Document)));
-        assert!(cols
-            .iter()
-            .all(|r| matches!(cmdl.profiled.profile(r.element.unwrap()).unwrap().kind, DeKind::Column)));
+        assert!(docs.iter().all(|r| matches!(
+            cmdl.profiled.profile(r.element.unwrap()).unwrap().kind,
+            DeKind::Document
+        )));
+        assert!(cols.iter().all(|r| matches!(
+            cmdl.profiled.profile(r.element.unwrap()).unwrap().kind,
+            DeKind::Column
+        )));
         assert!(!cols.is_empty());
     }
 
@@ -467,8 +515,11 @@ mod tests {
         assert!(!results.is_empty());
         let tables: Vec<&str> = results.iter().filter_map(|r| r.table.as_deref()).collect();
         assert!(
-            tables.iter().any(|t| *t == "Drugs" || *t == "Enzyme_Targets" || *t == "Enzymes"
-                || t.contains("Drug") || t.contains("proj")),
+            tables.iter().any(|t| *t == "Drugs"
+                || *t == "Enzyme_Targets"
+                || *t == "Enzymes"
+                || t.contains("Drug")
+                || t.contains("proj")),
             "expected entity tables, got {tables:?}"
         );
     }
@@ -489,7 +540,7 @@ mod tests {
         assert!(report.epochs >= 1);
         assert!(cmdl.joint_model().is_some());
         assert!(cmdl.indexes.joint_ann.is_some());
-        assert!(cmdl.training_dataset.as_ref().unwrap().len() > 0);
+        assert!(!cmdl.training_dataset.as_ref().unwrap().is_empty());
         // Cross-modal search now uses the joint space without breaking.
         let results = cmdl.cross_modal_search(0, 3).unwrap();
         assert!(!results.is_empty());
@@ -511,7 +562,9 @@ mod tests {
 
         let unions = cmdl.unionable("Drugs", 3).unwrap();
         // Projections of Drugs exist in the synthetic lake.
-        assert!(unions.iter().any(|u| u.table.contains("proj") || !u.table.is_empty()));
+        assert!(unions
+            .iter()
+            .any(|u| u.table.contains("proj") || !u.table.is_empty()));
     }
 
     #[test]

@@ -87,7 +87,10 @@ impl Ekg {
 
     /// All outgoing edges of a node.
     pub fn edges(&self, from: NodeId) -> &[Edge] {
-        self.adjacency.get(&from).map(|v| v.as_slice()).unwrap_or(&[])
+        self.adjacency
+            .get(&from)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Outgoing edges of a node restricted to a relation type, sorted by
@@ -185,9 +188,24 @@ mod tests {
     #[test]
     fn edge_counts_by_relation() {
         let mut g = Ekg::new();
-        g.add_edge(NodeId::Table(0), NodeId::Table(1), RelationType::Unionable, 1.0);
-        g.add_edge(NodeId::Table(1), NodeId::Table(0), RelationType::Unionable, 1.0);
-        g.add_edge(NodeId::De(DeId(0)), NodeId::De(DeId(1)), RelationType::PkFk, 1.0);
+        g.add_edge(
+            NodeId::Table(0),
+            NodeId::Table(1),
+            RelationType::Unionable,
+            1.0,
+        );
+        g.add_edge(
+            NodeId::Table(1),
+            NodeId::Table(0),
+            RelationType::Unionable,
+            1.0,
+        );
+        g.add_edge(
+            NodeId::De(DeId(0)),
+            NodeId::De(DeId(1)),
+            RelationType::PkFk,
+            1.0,
+        );
         let counts = g.edge_counts_by_relation();
         assert_eq!(counts[&RelationType::Unionable], 2);
         assert_eq!(counts[&RelationType::PkFk], 1);

@@ -1,15 +1,13 @@
 //! Error types for the CMDL system.
 
-use thiserror::Error;
+use std::fmt;
 
 /// Errors produced by CMDL operations.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum CmdlError {
     /// A referenced table does not exist in the lake.
-    #[error("unknown table: {0}")]
     UnknownTable(String),
     /// A referenced column does not exist.
-    #[error("unknown column: {table}.{column}")]
     UnknownColumn {
         /// Table name.
         table: String,
@@ -17,15 +15,36 @@ pub enum CmdlError {
         column: String,
     },
     /// A referenced document does not exist.
-    #[error("unknown document index: {0}")]
     UnknownDocument(usize),
     /// The joint model has not been trained yet.
-    #[error("the joint representation model has not been trained; call train_joint first")]
     JointModelMissing,
     /// The training dataset was empty (e.g. sampling produced no pairs).
-    #[error("the weakly-supervised training dataset is empty: {0}")]
     EmptyTrainingData(String),
 }
+
+impl fmt::Display for CmdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmdlError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            CmdlError::UnknownColumn { table, column } => {
+                write!(f, "unknown column: {table}.{column}")
+            }
+            CmdlError::UnknownDocument(idx) => write!(f, "unknown document index: {idx}"),
+            CmdlError::JointModelMissing => write!(
+                f,
+                "the joint representation model has not been trained; call train_joint first"
+            ),
+            CmdlError::EmptyTrainingData(reason) => {
+                write!(
+                    f,
+                    "the weakly-supervised training dataset is empty: {reason}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CmdlError {}
 
 #[cfg(test)]
 mod tests {
@@ -35,8 +54,13 @@ mod tests {
     fn error_messages_are_descriptive() {
         let e = CmdlError::UnknownTable("Drugs".into());
         assert!(e.to_string().contains("Drugs"));
-        let e = CmdlError::UnknownColumn { table: "T".into(), column: "c".into() };
+        let e = CmdlError::UnknownColumn {
+            table: "T".into(),
+            column: "c".into(),
+        };
         assert!(e.to_string().contains("T.c"));
-        assert!(CmdlError::JointModelMissing.to_string().contains("train_joint"));
+        assert!(CmdlError::JointModelMissing
+            .to_string()
+            .contains("train_joint"));
     }
 }

@@ -8,6 +8,7 @@
 //! second ANN index (see [`crate::discovery::Cmdl::train_joint`]).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cmdl_datalake::{DeId, DeKind};
 use cmdl_index::{AnnIndex, AnnIndexConfig, InvertedIndex, ScoringFunction};
@@ -33,52 +34,88 @@ pub struct IndexCatalog {
     /// after joint training).
     pub joint_ann: Option<AnnIndex>,
     /// Joint embeddings of every element (documents and columns), present
-    /// after joint training.
-    pub joint_embeddings: HashMap<DeId, Vec<f32>>,
+    /// after joint training. Reference-counted: the joint ANN index shares
+    /// the same vectors.
+    pub joint_embeddings: HashMap<DeId, Arc<Vec<f32>>>,
 }
 
 impl IndexCatalog {
     /// Build the catalog from a profiled lake.
+    ///
+    /// The four indexes are independent, so they are constructed in
+    /// parallel (mirroring the profiler's use of the available
+    /// parallelism), and every sketch is shared with the profile via `Arc`
+    /// rather than deep-cloned.
     pub fn build(profiled: &ProfiledLake, config: &CmdlConfig) -> Self {
-        let mut content = InvertedIndex::new();
-        let mut metadata = InvertedIndex::new();
-        let mut containment = LshEnsemble::new(LshEnsembleConfig {
-            num_hashes: config.minhash_hashes,
-            default_threshold: config.containment_threshold,
-            ..Default::default()
-        });
-        let mut solo_ann = AnnIndex::new(
-            config.embedding_dim,
-            AnnIndexConfig {
-                num_trees: config.ann_trees,
-                seed: config.seed,
-                ..Default::default()
-            },
-        );
-
         // Iterate in the lake's deterministic element order (columns first,
         // then documents) so index construction — and thus ANN tree shapes —
         // is reproducible across runs.
-        let ordered_ids = profiled
+        let ordered: Vec<_> = profiled
             .column_ids
             .iter()
             .chain(profiled.doc_ids.iter())
-            .copied();
-        for id in ordered_ids {
-            let Some(profile) = profiled.profile(id) else { continue };
-            content.add(id.raw(), &profile.content);
-            metadata.add(id.raw(), &profile.metadata);
-            if profile.kind == DeKind::Column {
-                if profile.tags.text_searchable || profile.tags.join_candidate {
-                    containment.insert(id.raw(), profile.minhash.clone());
-                }
-                if profile.tags.text_searchable {
-                    solo_ann.add(id.raw(), profile.solo.content.clone());
-                }
-            }
-        }
-        containment.build();
-        solo_ann.build();
+            .filter_map(|&id| profiled.profile(id))
+            .collect();
+
+        let ((content, metadata), (containment, solo_ann)) = rayon::join(
+            || {
+                rayon::join(
+                    || {
+                        let mut content = InvertedIndex::new();
+                        for profile in &ordered {
+                            content.add(profile.id.raw(), &profile.content);
+                        }
+                        content.finalize();
+                        content
+                    },
+                    || {
+                        let mut metadata = InvertedIndex::new();
+                        for profile in &ordered {
+                            metadata.add(profile.id.raw(), &profile.metadata);
+                        }
+                        metadata.finalize();
+                        metadata
+                    },
+                )
+            },
+            || {
+                rayon::join(
+                    || {
+                        let mut containment = LshEnsemble::new(LshEnsembleConfig {
+                            num_hashes: config.minhash_hashes,
+                            default_threshold: config.containment_threshold,
+                            ..Default::default()
+                        });
+                        for profile in &ordered {
+                            if profile.kind == DeKind::Column
+                                && (profile.tags.text_searchable || profile.tags.join_candidate)
+                            {
+                                containment.insert(profile.id.raw(), Arc::clone(&profile.minhash));
+                            }
+                        }
+                        containment.build();
+                        containment
+                    },
+                    || {
+                        let mut solo_ann = AnnIndex::new(
+                            config.embedding_dim,
+                            AnnIndexConfig {
+                                num_trees: config.ann_trees,
+                                seed: config.seed,
+                                ..Default::default()
+                            },
+                        );
+                        for profile in &ordered {
+                            if profile.kind == DeKind::Column && profile.tags.text_searchable {
+                                solo_ann.add(profile.id.raw(), Arc::clone(&profile.solo.content));
+                            }
+                        }
+                        solo_ann.build();
+                        solo_ann
+                    },
+                )
+            },
+        );
 
         Self {
             content,
@@ -91,13 +128,18 @@ impl IndexCatalog {
     }
 
     /// Install joint embeddings (for all elements) and build the joint ANN
-    /// index over the column embeddings.
+    /// index over the column embeddings. The vectors are moved behind `Arc`s
+    /// and shared between the embedding table and the ANN index.
     pub fn install_joint(
         &mut self,
         profiled: &ProfiledLake,
         embeddings: HashMap<DeId, Vec<f32>>,
         config: &CmdlConfig,
     ) {
+        let embeddings: HashMap<DeId, Arc<Vec<f32>>> = embeddings
+            .into_iter()
+            .map(|(id, vector)| (id, Arc::new(vector)))
+            .collect();
         let mut ann = AnnIndex::new(
             config.joint_dim,
             AnnIndexConfig {
@@ -111,7 +153,7 @@ impl IndexCatalog {
                 continue;
             };
             if profile.kind == DeKind::Column && profile.tags.text_searchable {
-                ann.add(id.raw(), vector.clone());
+                ann.add(id.raw(), Arc::clone(vector));
             }
         }
         ann.build();
@@ -129,12 +171,7 @@ impl IndexCatalog {
         top_k: usize,
         scoring: ScoringFunction,
     ) -> Vec<(DeId, f64)> {
-        filter_by_kind(
-            self.content.search_with(query, top_k * 4, scoring),
-            profiled,
-            kind,
-            top_k,
-        )
+        search_by_kind(&self.content, profiled, query, kind, top_k, scoring)
     }
 
     /// Keyword search over metadata with BM25.
@@ -146,12 +183,7 @@ impl IndexCatalog {
         top_k: usize,
         scoring: ScoringFunction,
     ) -> Vec<(DeId, f64)> {
-        filter_by_kind(
-            self.metadata.search_with(query, top_k * 4, scoring),
-            profiled,
-            kind,
-            top_k,
-        )
+        search_by_kind(&self.metadata, profiled, query, kind, top_k, scoring)
     }
 
     /// Containment search: columns whose value sets contain the query token
@@ -184,20 +216,32 @@ impl IndexCatalog {
     }
 }
 
-fn filter_by_kind(
-    results: Vec<(u64, f64)>,
+/// Kind-restricted keyword search: the kind filter is evaluated *inside*
+/// the index's top-k heap, so the result holds up to `top_k` elements of
+/// the requested kind regardless of how selective the filter is. (The
+/// previous implementation over-fetched `top_k * 4` unfiltered results and
+/// post-filtered, which could return fewer than `top_k` hits even when more
+/// matching elements existed.)
+fn search_by_kind(
+    index: &InvertedIndex,
     profiled: &ProfiledLake,
+    query: &BagOfWords,
     kind: Option<DeKind>,
     top_k: usize,
+    scoring: ScoringFunction,
 ) -> Vec<(DeId, f64)> {
+    let results = match kind {
+        None => index.search_with(query, top_k, scoring),
+        Some(k) => index.search_filtered(query, top_k, scoring, |id| {
+            profiled
+                .profile(DeId(id))
+                .map(|p| p.kind == k)
+                .unwrap_or(false)
+        }),
+    };
     results
         .into_iter()
         .map(|(id, score)| (DeId(id), score))
-        .filter(|(id, _)| match kind {
-            None => true,
-            Some(k) => profiled.profile(*id).map(|p| p.kind == k).unwrap_or(false),
-        })
-        .take(top_k)
         .collect()
 }
 
@@ -221,8 +265,8 @@ mod tests {
         let (profiled, catalog, _) = build();
         assert_eq!(catalog.content.len(), profiled.len());
         assert_eq!(catalog.metadata.len(), profiled.len());
-        assert!(catalog.containment.len() > 0);
-        assert!(catalog.solo_ann.len() > 0);
+        assert!(!catalog.containment.is_empty());
+        assert!(!catalog.solo_ann.is_empty());
         assert!(catalog.joint_ann.is_none());
     }
 
@@ -231,7 +275,14 @@ mod tests {
         let (profiled, catalog, config) = build();
         let profiler = Profiler::new(&config);
         // Query with a drug name present in the Drugs table.
-        let drug = profiled.lake.table("Drugs").unwrap().column("Drug").unwrap().values[0].as_text();
+        let drug = profiled
+            .lake
+            .table("Drugs")
+            .unwrap()
+            .column("Drug")
+            .unwrap()
+            .values[0]
+            .as_text();
         let (query, _) = profiler.profile_query_text(&format!("study of {drug} dosing"));
         let results = catalog.content_search(
             &profiled,
@@ -246,8 +297,11 @@ mod tests {
             .filter_map(|(id, _)| profiled.profile(*id).and_then(|p| p.table_name.clone()))
             .collect();
         assert!(
-            tables.iter().any(|t| t == "Drugs" || t == "Compounds" || t == "Chemical_Entities"
-                || t == "Drug_Interactions" || t.contains("proj")),
+            tables.iter().any(|t| t == "Drugs"
+                || t == "Compounds"
+                || t == "Chemical_Entities"
+                || t == "Drug_Interactions"
+                || t.contains("proj")),
             "expected drug-bearing table, got {tables:?}"
         );
     }
@@ -282,8 +336,11 @@ mod tests {
             *score > 0.8
                 && profiled
                     .profile(*id)
-                    .map(|p| p.name.to_lowercase().contains("id") || p.name.to_lowercase().contains("key")
-                        || p.name.to_lowercase().contains("drug"))
+                    .map(|p| {
+                        p.name.to_lowercase().contains("id")
+                            || p.name.to_lowercase().contains("key")
+                            || p.name.to_lowercase().contains("drug")
+                    })
                     .unwrap_or(false)
         }));
         let _ = profiler;

@@ -124,7 +124,14 @@ impl<'a> JoinDiscovery<'a> {
             }
         }
         let mut out: Vec<(String, f64)> = best.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // Tie-break by table name: `best` is a HashMap, so without this the
+        // order of equal-scored tables (and thus the truncated result set)
+        // would vary from run to run.
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
         out.truncate(top_k);
         out
     }
@@ -195,7 +202,11 @@ impl<'a> JoinDiscovery<'a> {
                 });
             }
         }
-        links.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        links.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         links
     }
 }
@@ -273,7 +284,9 @@ mod tests {
             .map(|l| (l.pk_name.clone(), l.fk_name.clone()))
             .collect();
         assert!(
-            pairs.iter().any(|(pk, fk)| pk == "Drugs.Id" && fk == "Enzyme_Targets.Drug_Key"),
+            pairs
+                .iter()
+                .any(|(pk, fk)| pk == "Drugs.Id" && fk == "Enzyme_Targets.Drug_Key"),
             "expected Drugs.Id -> Enzyme_Targets.Drug_Key among {} links",
             pairs.len()
         );
@@ -294,7 +307,10 @@ mod tests {
         let (profiled, config) = setup();
         let discovery = JoinDiscovery::new(&profiled, &config);
         let text = profiled.lake.column_id_by_name("Drugs", "Drug").unwrap();
-        let numeric = profiled.lake.column_id_by_name("Dosages", "Dose_Mg").unwrap();
+        let numeric = profiled
+            .lake
+            .column_id_by_name("Dosages", "Dose_Mg")
+            .unwrap();
         let a = profiled.profile(text).unwrap();
         let b = profiled.profile(numeric).unwrap();
         assert_eq!(discovery.join_score(a, b), 0.0);

@@ -169,21 +169,29 @@ impl JointTrainer {
                 .chunks(batch_docs)
                 .zip(epoch_cols.chunks(batch_cols).cycle())
             {
-                let triplets =
-                    self.generate_triplets(doc_chunk, col_chunk, &related, &encoding);
+                let triplets = self.generate_triplets(doc_chunk, col_chunk, &related, &encoding);
                 if triplets.is_empty() {
                     continue;
                 }
                 epoch_triplets += triplets.len();
                 let batch = TripletBatch {
                     anchors: Matrix::from_rows(
-                        &triplets.iter().map(|t| t.anchor.clone()).collect::<Vec<_>>(),
+                        &triplets
+                            .iter()
+                            .map(|t| t.anchor.clone())
+                            .collect::<Vec<_>>(),
                     ),
                     positives: Matrix::from_rows(
-                        &triplets.iter().map(|t| t.positive.clone()).collect::<Vec<_>>(),
+                        &triplets
+                            .iter()
+                            .map(|t| t.positive.clone())
+                            .collect::<Vec<_>>(),
                     ),
                     negatives: Matrix::from_rows(
-                        &triplets.iter().map(|t| t.negative.clone()).collect::<Vec<_>>(),
+                        &triplets
+                            .iter()
+                            .map(|t| t.negative.clone())
+                            .collect::<Vec<_>>(),
                     ),
                 };
                 let loss = self.train_step(&mut mlp, &mut optimizer, &batch);
@@ -267,11 +275,15 @@ impl JointTrainer {
     ) -> Vec<EncodedTriplet> {
         let mut triplets = Vec::new();
         for &doc in doc_chunk {
-            let Some(anchor) = encoding.get(&doc) else { continue };
+            let Some(anchor) = encoding.get(&doc) else {
+                continue;
+            };
             let mut positives: Vec<&Vec<f32>> = Vec::new();
             let mut negatives: Vec<(&Vec<f32>, f32)> = Vec::new();
             for &col in col_chunk {
-                let Some(enc) = encoding.get(&col) else { continue };
+                let Some(enc) = encoding.get(&col) else {
+                    continue;
+                };
                 let score = related.get(&(doc, col)).copied().unwrap_or(0.0);
                 if score >= self.config.positive_threshold {
                     positives.push(enc);
@@ -351,14 +363,18 @@ impl JointTrainer {
         let mut total = 0usize;
         let mut violated = 0usize;
         for (doc, (pos, neg)) in per_doc {
-            let Some(anchor_enc) = encoding.get(&doc) else { continue };
+            let Some(anchor_enc) = encoding.get(&doc) else {
+                continue;
+            };
             if pos.is_empty() || neg.is_empty() {
                 continue;
             }
             let anchor = model.embed_encoding(anchor_enc);
             for p in pos.iter().take(5) {
                 for n in neg.iter().take(5) {
-                    let (Some(pe), Some(ne)) = (encoding.get(p), encoding.get(n)) else { continue };
+                    let (Some(pe), Some(ne)) = (encoding.get(p), encoding.get(n)) else {
+                        continue;
+                    };
                     let dp = squared(&anchor, &model.embed_encoding(pe));
                     let dn = squared(&anchor, &model.embed_encoding(ne));
                     total += 1;
@@ -435,7 +451,11 @@ mod tests {
         assert!(report.epochs >= 1 && report.epochs <= config.max_epochs);
         assert!(report.final_loss.is_finite());
         assert!(report.triplets_last_epoch > 0);
-        assert!(report.error_rate <= 0.7, "error rate too high: {}", report.error_rate);
+        assert!(
+            report.error_rate <= 0.7,
+            "error rate too high: {}",
+            report.error_rate
+        );
         assert_eq!(model.output_dim, config.joint_dim);
         assert_eq!(model.input_dim, 2 * config.embedding_dim);
         assert!(model.num_parameters() > 0);
@@ -457,7 +477,8 @@ mod tests {
         let (model, _) = JointTrainer::new(&config).train(&profiled, &dataset);
         // For strongly positive pairs, the joint distance should on average be
         // smaller than for zero-relatedness pairs.
-        let embed = |id: DeId| model.embed_encoding(&profiled.profile(id).unwrap().input_encoding());
+        let embed =
+            |id: DeId| model.embed_encoding(&profiled.profile(id).unwrap().input_encoding());
         let mut pos_dist = Vec::new();
         let mut neg_dist = Vec::new();
         for p in &dataset.pairs {
@@ -505,7 +526,8 @@ mod tests {
     #[test]
     fn empty_dataset_yields_model_without_training() {
         let (profiled, _, config) = setup();
-        let (model, report) = JointTrainer::new(&config).train(&profiled, &TrainingDataset::default());
+        let (model, report) =
+            JointTrainer::new(&config).train(&profiled, &TrainingDataset::default());
         assert_eq!(report.triplets_last_epoch, 0);
         assert_eq!(report.error_rate, 0.0);
         assert_eq!(model.output_dim, config.joint_dim);

@@ -34,14 +34,14 @@ pub mod config;
 pub mod discovery;
 pub mod ekg;
 pub mod error;
+pub mod indexes;
 pub mod join;
 pub mod joint;
 pub mod profile;
-pub mod indexes;
 pub mod training;
 pub mod union;
 
-pub use config::{CmdlConfig, CrossModalStrategy, HardSampling};
+pub use config::{CmdlConfig, CrossModalStrategy, HardSampling, SketchScheme};
 pub use discovery::{Cmdl, DiscoveryResult, SearchMode};
 pub use ekg::{Ekg, NodeId, RelationType};
 pub use error::CmdlError;

@@ -17,6 +17,7 @@
 //! parallelism in profiling the datasets" (Section 6.4).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
@@ -62,8 +63,10 @@ pub struct DeProfile {
     pub content: BagOfWords,
     /// Metadata bag of words.
     pub metadata: BagOfWords,
-    /// MinHash signature of the distinct content token set.
-    pub minhash: MinHash,
+    /// MinHash signature of the distinct content token set
+    /// (reference-counted so indexes share it with the profile instead of
+    /// deep-cloning it during catalog construction).
+    pub minhash: Arc<MinHash>,
     /// Distinct textual values (columns) or distinct tokens (documents).
     pub distinct_values: Vec<String>,
     /// Solo embeddings (content + metadata).
@@ -151,7 +154,11 @@ impl Profiler {
         Self {
             doc_pipeline: Pipeline::new(PipelineConfig::default()),
             cell_pipeline: Pipeline::new(PipelineConfig::tokenize_only()),
-            minhasher: MinHasher::new(config.minhash_hashes, config.seed),
+            minhasher: MinHasher::with_scheme(
+                config.minhash_hashes,
+                config.seed,
+                config.sketch_scheme,
+            ),
             solo: SoloEmbedder::new(word_embedder),
             config: config.clone(),
         }
@@ -261,7 +268,7 @@ impl Profiler {
         } else {
             None
         };
-        let minhash = self.minhasher.signature(content.terms());
+        let minhash = Arc::new(self.minhasher.signature(content.terms()));
         let solo = self.solo.embed_element(&content, &metadata);
 
         DeProfile {
@@ -286,7 +293,7 @@ impl Profiler {
         let mut metadata = BagOfWords::new();
         metadata.merge(&self.cell_pipeline.process(&doc.title));
         metadata.merge(&self.cell_pipeline.process(&doc.source));
-        let minhash = self.minhasher.signature(content.terms());
+        let minhash = Arc::new(self.minhasher.signature(content.terms()));
         let solo = self.solo.embed_element(&content, &metadata);
         let distinct_values = content.term_vec();
         DeProfile {
@@ -338,9 +345,9 @@ impl Profiler {
                 .sum::<usize>() as f64
                 / column.len() as f64
         };
-        let min_distinct = ((table_rows as f64) * self.config.min_categorical_ratio).ceil() as usize;
-        let text_searchable =
-            !numeric && !is_date && distinct >= min_distinct.max(2);
+        let min_distinct =
+            ((table_rows as f64) * self.config.min_categorical_ratio).ceil() as usize;
+        let text_searchable = !numeric && !is_date && distinct >= min_distinct.max(2);
         let join_candidate = !is_date && avg_len < 80.0;
         let key_like = uniqueness >= self.config.pk_uniqueness && distinct >= 2;
         ColumnTags {
@@ -445,7 +452,10 @@ mod tests {
         assert_eq!(p.kind, DeKind::Document);
         assert!(!p.content.is_empty());
         assert!(p.metadata.contains("pubmed"));
-        assert_eq!(p.input_encoding().len(), 2 * CmdlConfig::fast().embedding_dim);
+        assert_eq!(
+            p.input_encoding().len(),
+            2 * CmdlConfig::fast().embedding_dim
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ impl TrainingDataset {
 
     /// Number of positive pairs at a threshold.
     pub fn num_positive(&self, threshold: f64) -> usize {
-        self.pairs.iter().filter(|p| p.relatedness >= threshold).count()
+        self.pairs
+            .iter()
+            .filter(|p| p.relatedness >= threshold)
+            .count()
     }
 }
 
@@ -131,7 +134,9 @@ impl<'a> TrainingDatasetGenerator<'a> {
         gold: Option<&[GoldLabel]>,
         sample_ratio: Option<f64>,
     ) -> (TrainingDataset, TrainingGenerationReport) {
-        let ratio = sample_ratio.unwrap_or(self.config.sample_ratio).clamp(0.0, 1.0);
+        let ratio = sample_ratio
+            .unwrap_or(self.config.sample_ratio)
+            .clamp(0.0, 1.0);
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed ^ 0x7EA1);
 
         // ---- Sample documents and columns --------------------------------
@@ -150,9 +155,10 @@ impl<'a> TrainingDatasetGenerator<'a> {
             .collect();
         docs.shuffle(&mut rng);
         columns.shuffle(&mut rng);
-        let num_docs = ((docs.len() as f64 * ratio).ceil() as usize).clamp(1.min(docs.len()), docs.len());
-        let num_cols =
-            ((columns.len() as f64 * ratio).ceil() as usize).clamp(1.min(columns.len()), columns.len());
+        let num_docs =
+            ((docs.len() as f64 * ratio).ceil() as usize).clamp(1.min(docs.len()), docs.len());
+        let num_cols = ((columns.len() as f64 * ratio).ceil() as usize)
+            .clamp(1.min(columns.len()), columns.len());
         docs.truncate(num_docs);
         columns.truncate(num_cols);
         let column_set: HashSet<DeId> = columns.iter().copied().collect();
@@ -164,7 +170,9 @@ impl<'a> TrainingDatasetGenerator<'a> {
         let mut content_hits: HashMap<DeId, HashMap<DeId, f64>> = HashMap::new();
         let mut metadata_hits: HashMap<DeId, HashMap<DeId, f64>> = HashMap::new();
         for &doc in &docs {
-            let Some(profile) = self.profiled.profile(doc) else { continue };
+            let Some(profile) = self.profiled.profile(doc) else {
+                continue;
+            };
             semantic_hits.insert(
                 doc,
                 self.indexes
@@ -217,12 +225,10 @@ impl<'a> TrainingDatasetGenerator<'a> {
         // the probe is top-k bounded — so it should not be an explicit
         // negative vote). Explicit negatives are added after labeling.
         let lf_from_hits = |name: &str, hits: HashMap<DeId, HashMap<DeId, f64>>| {
-            LabelingFunction::new(name, move |c: &Candidate| {
-                match hits.get(&DeId(c.left)) {
-                    Some(cols) if cols.contains_key(&DeId(c.right)) => Vote::Positive,
-                    Some(_) => Vote::Abstain,
-                    None => Vote::Abstain,
-                }
+            LabelingFunction::new(name, move |c: &Candidate| match hits.get(&DeId(c.left)) {
+                Some(cols) if cols.contains_key(&DeId(c.right)) => Vote::Positive,
+                Some(_) => Vote::Abstain,
+                None => Vote::Abstain,
             })
         };
         let mut functions = vec![
@@ -241,7 +247,11 @@ impl<'a> TrainingDatasetGenerator<'a> {
         // ---- Label matrix over the Cartesian product ----------------------
         let candidates: Vec<Candidate> = docs
             .iter()
-            .flat_map(|d| columns.iter().map(move |c| Candidate::new(d.raw(), c.raw())))
+            .flat_map(|d| {
+                columns
+                    .iter()
+                    .map(move |c| Candidate::new(d.raw(), c.raw()))
+            })
             .collect();
         let mut matrix = LabelMatrix::build(&functions, &candidates);
         matrix.retain_covered();
@@ -381,7 +391,10 @@ mod tests {
         assert!(report.candidate_pairs > 0);
         assert_eq!(report.lf_accuracies.len(), 4);
         // Relatedness values stay in [0, 1].
-        assert!(dataset.pairs.iter().all(|p| (0.0..=1.0).contains(&p.relatedness)));
+        assert!(dataset
+            .pairs
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.relatedness)));
         // Both positives and negatives exist.
         assert!(dataset.num_positive(0.5) > 0);
         assert!(dataset.pairs.iter().any(|p| p.relatedness == 0.0));
@@ -399,14 +412,22 @@ mod tests {
             .pairs
             .iter()
             .filter(|p| p.relatedness >= 0.7)
-            .filter_map(|p| profiled.profile(p.column).and_then(|c| c.table_name.clone()))
+            .filter_map(|p| {
+                profiled
+                    .profile(p.column)
+                    .and_then(|c| c.table_name.clone())
+            })
             .collect();
         assert!(!positive_tables.is_empty());
         let relevant = positive_tables
             .iter()
             .filter(|t| {
-                t.contains("Drug") || t.contains("Enzyme") || t.contains("Compound")
-                    || t.contains("Chemical") || t.contains("Assay") || t.contains("Trial")
+                t.contains("Drug")
+                    || t.contains("Enzyme")
+                    || t.contains("Compound")
+                    || t.contains("Chemical")
+                    || t.contains("Assay")
+                    || t.contains("Trial")
             })
             .count();
         assert!(
@@ -454,9 +475,21 @@ mod tests {
     fn dataset_helpers() {
         let dataset = TrainingDataset {
             pairs: vec![
-                TrainingPair { doc: DeId(1), column: DeId(10), relatedness: 0.9 },
-                TrainingPair { doc: DeId(1), column: DeId(11), relatedness: 0.1 },
-                TrainingPair { doc: DeId(2), column: DeId(10), relatedness: 0.6 },
+                TrainingPair {
+                    doc: DeId(1),
+                    column: DeId(10),
+                    relatedness: 0.9,
+                },
+                TrainingPair {
+                    doc: DeId(1),
+                    column: DeId(11),
+                    relatedness: 0.1,
+                },
+                TrainingPair {
+                    doc: DeId(2),
+                    column: DeId(10),
+                    relatedness: 0.6,
+                },
             ],
         };
         assert_eq!(dataset.len(), 3);

@@ -132,16 +132,25 @@ impl<'a> UnionDiscovery<'a> {
         // pairwise score against some query column.
         let mut candidates: HashMap<String, Vec<(DeId, DeId, f64)>> = HashMap::new();
         for &qcol in &query_columns {
-            let Some(qprofile) = self.profiled.profile(qcol) else { continue };
+            let Some(qprofile) = self.profiled.profile(qcol) else {
+                continue;
+            };
             for &ccol in &self.profiled.column_ids {
-                let Some(cprofile) = self.profiled.profile(ccol) else { continue };
-                let Some(ctable) = cprofile.table_name.clone() else { continue };
+                let Some(cprofile) = self.profiled.profile(ccol) else {
+                    continue;
+                };
+                let Some(ctable) = cprofile.table_name.clone() else {
+                    continue;
+                };
                 if ctable == table_name {
                     continue;
                 }
                 let score = self.signals(qprofile, cprofile).by_name(measure);
                 if score > 0.15 {
-                    candidates.entry(ctable).or_default().push((qcol, ccol, score));
+                    candidates
+                        .entry(ctable)
+                        .or_default()
+                        .push((qcol, ccol, score));
                 }
             }
         }
@@ -161,8 +170,14 @@ impl<'a> UnionDiscovery<'a> {
                     .into_iter()
                     .map(|(q, c, s)| {
                         (
-                            self.profiled.profile(q).map(|p| p.name.clone()).unwrap_or_default(),
-                            self.profiled.profile(c).map(|p| p.name.clone()).unwrap_or_default(),
+                            self.profiled
+                                .profile(q)
+                                .map(|p| p.name.clone())
+                                .unwrap_or_default(),
+                            self.profiled
+                                .profile(c)
+                                .map(|p| p.name.clone())
+                                .unwrap_or_default(),
                             s,
                         )
                     })
@@ -174,7 +189,11 @@ impl<'a> UnionDiscovery<'a> {
                 })
             })
             .collect();
-        results.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         results.truncate(top_k);
         results
     }
@@ -225,7 +244,9 @@ mod tests {
             "family members should rank among {names:?}"
         );
         // Family members should outrank the unrelated reference table.
-        let family_rank = names.iter().position(|n| n.starts_with("education_spending_"));
+        let family_rank = names
+            .iter()
+            .position(|n| n.starts_with("education_spending_"));
         let councils_rank = names.iter().position(|n| *n == "councils");
         if let (Some(f), Some(c)) = (family_rank, councils_rank) {
             assert!(f < c, "family should rank above councils");
@@ -238,8 +259,10 @@ mod tests {
         let discovery = UnionDiscovery::new(&profiled, &config);
         let results = discovery.unionable_tables("education_spending_0", 3);
         for r in &results {
-            let lefts: std::collections::HashSet<&String> = r.mapping.iter().map(|(l, _, _)| l).collect();
-            let rights: std::collections::HashSet<&String> = r.mapping.iter().map(|(_, rr, _)| rr).collect();
+            let lefts: std::collections::HashSet<&String> =
+                r.mapping.iter().map(|(l, _, _)| l).collect();
+            let rights: std::collections::HashSet<&String> =
+                r.mapping.iter().map(|(_, rr, _)| rr).collect();
             assert_eq!(lefts.len(), r.mapping.len());
             assert_eq!(rights.len(), r.mapping.len());
             assert!(r.score >= 0.0 && r.score <= 1.0);

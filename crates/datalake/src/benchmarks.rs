@@ -233,10 +233,7 @@ pub fn syntactic_join_benchmark(id: BenchmarkId, synth: &SyntheticLake) -> Bench
                 table: key.0.clone(),
                 column: key.1.clone(),
             },
-            expected: answers
-                .iter()
-                .map(|(t, c)| column_answer(t, c))
-                .collect(),
+            expected: answers.iter().map(|(t, c)| column_answer(t, c)).collect(),
         })
         .collect();
     Benchmark {

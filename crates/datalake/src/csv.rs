@@ -5,29 +5,24 @@
 //! quoted fields, embedded commas, and escaped quotes) that converts files
 //! into [`Table`]s, plus a writer used by examples and tests.
 
+use std::fmt;
 use std::path::Path;
-
-use thiserror::Error;
 
 use crate::model::{Column, Table, Value};
 
 /// Errors raised while reading CSV data.
-#[derive(Debug, Error)]
+#[derive(Debug)]
 pub enum CsvError {
     /// Underlying I/O failure.
-    #[error("io error reading {path}: {source}")]
     Io {
         /// File path.
         path: String,
         /// Source error.
-        #[source]
         source: std::io::Error,
     },
     /// The input had no header row.
-    #[error("csv input is empty (no header row)")]
     Empty,
     /// A data row had more fields than the header.
-    #[error("row {row} has {found} fields but the header has {expected}")]
     RaggedRow {
         /// 1-based row number.
         row: usize,
@@ -36,6 +31,32 @@ pub enum CsvError {
         /// Fields expected.
         expected: usize,
     },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io { path, source } => write!(f, "io error reading {path}: {source}"),
+            CsvError::Empty => write!(f, "csv input is empty (no header row)"),
+            CsvError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => write!(
+                f,
+                "row {row} has {found} fields but the header has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
 }
 
 /// Parse CSV text into rows of string fields.
@@ -96,9 +117,9 @@ pub fn table_from_csv(name: impl Into<String>, text: &str) -> Result<Table, CsvE
                 expected: ncols,
             });
         }
-        for c in 0..ncols {
+        for (c, column) in columns.iter_mut().enumerate() {
             let raw = row.get(c).map(|s| s.as_str()).unwrap_or("");
-            columns[c].push(Value::parse(raw));
+            column.push(Value::parse(raw));
         }
     }
     Ok(Table::new(
@@ -168,21 +189,29 @@ mod tests {
         let table = table_from_csv("drugs", "id,name\nDB1,Pemetrexed\nDB2,Citric Acid\n").unwrap();
         assert_eq!(table.num_rows(), 2);
         assert_eq!(table.schema(), vec!["id", "name"]);
-        assert_eq!(table.column("name").unwrap().values[0].as_text(), "Pemetrexed");
+        assert_eq!(
+            table.column("name").unwrap().values[0].as_text(),
+            "Pemetrexed"
+        );
     }
 
     #[test]
     fn parses_quoted_fields() {
-        let table =
-            table_from_csv("t", "a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n").unwrap();
+        let table = table_from_csv("t", "a,b\n\"x, y\",\"he said \"\"hi\"\"\"\n").unwrap();
         assert_eq!(table.column("a").unwrap().values[0].as_text(), "x, y");
-        assert_eq!(table.column("b").unwrap().values[0].as_text(), "he said \"hi\"");
+        assert_eq!(
+            table.column("b").unwrap().values[0].as_text(),
+            "he said \"hi\""
+        );
     }
 
     #[test]
     fn numeric_columns_typed() {
         let table = table_from_csv("t", "id,dose\n1,0.5\n2,1.5\n").unwrap();
-        assert_eq!(table.column("dose").unwrap().infer_type(), ColumnType::Numeric);
+        assert_eq!(
+            table.column("dose").unwrap().infer_type(),
+            ColumnType::Numeric
+        );
     }
 
     #[test]
@@ -193,7 +222,14 @@ mod tests {
     #[test]
     fn ragged_row_is_error() {
         let err = table_from_csv("t", "a,b\n1,2,3\n").unwrap_err();
-        assert!(matches!(err, CsvError::RaggedRow { row: 2, found: 3, expected: 2 }));
+        assert!(matches!(
+            err,
+            CsvError::RaggedRow {
+                row: 2,
+                found: 3,
+                expected: 2
+            }
+        ));
     }
 
     #[test]
@@ -214,10 +250,7 @@ mod tests {
         let csv = table_to_csv(&original);
         let back = table_from_csv("t", &csv).unwrap();
         assert_eq!(back.num_rows(), original.num_rows());
-        assert_eq!(
-            back.column("name").unwrap().values[0].as_text(),
-            "a, b"
-        );
+        assert_eq!(back.column("name").unwrap().values[0].as_text(), "a, b");
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl GroundTruth {
 
     /// Record that document `doc` is related to table `table`.
     pub fn add_doc_table(&mut self, doc: usize, table: impl Into<String>) {
-        self.doc_to_table.entry(doc).or_default().insert(table.into());
+        self.doc_to_table
+            .entry(doc)
+            .or_default()
+            .insert(table.into());
     }
 
     /// Record a joinable column pair (stored symmetrically).
@@ -47,7 +50,10 @@ impl GroundTruth {
     ) {
         let a = (a.0.into(), a.1.into());
         let b = (b.0.into(), b.1.into());
-        self.joinable.entry(a.clone()).or_default().insert(b.clone());
+        self.joinable
+            .entry(a.clone())
+            .or_default()
+            .insert(b.clone());
         self.joinable.entry(b).or_default().insert(a);
     }
 
@@ -65,7 +71,10 @@ impl GroundTruth {
     pub fn add_unionable(&mut self, a: impl Into<String>, b: impl Into<String>) {
         let a = a.into();
         let b = b.into();
-        self.unionable.entry(a.clone()).or_default().insert(b.clone());
+        self.unionable
+            .entry(a.clone())
+            .or_default()
+            .insert(b.clone());
         self.unionable.entry(b).or_default().insert(a);
     }
 
@@ -147,8 +156,14 @@ mod tests {
     fn joinable_symmetric() {
         let mut gt = GroundTruth::new();
         gt.add_joinable(("Drugs", "Id"), ("Targets", "DrugKey"));
-        assert!(gt.joinable_for("Drugs", "Id").unwrap().contains(&("Targets".into(), "DrugKey".into())));
-        assert!(gt.joinable_for("Targets", "DrugKey").unwrap().contains(&("Drugs".into(), "Id".into())));
+        assert!(gt
+            .joinable_for("Drugs", "Id")
+            .unwrap()
+            .contains(&("Targets".into(), "DrugKey".into())));
+        assert!(gt
+            .joinable_for("Targets", "DrugKey")
+            .unwrap()
+            .contains(&("Drugs".into(), "Id".into())));
         assert_eq!(gt.num_join_queries(), 2);
     }
 

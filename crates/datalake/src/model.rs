@@ -439,7 +439,10 @@ impl DataLake {
         // Iterate tables/columns in order for determinism.
         self.tables.iter().enumerate().flat_map(move |(t, table)| {
             (0..table.columns.len()).map(move |c| {
-                let cref = ColumnRef { table: t, column: c };
+                let cref = ColumnRef {
+                    table: t,
+                    column: c,
+                };
                 (self.column_ids[&cref], cref)
             })
         })
@@ -468,7 +471,11 @@ mod tests {
             "Targets",
             vec![Column::from_texts("DrugKey", ["DB1", "DB1", "DB2"])],
         ));
-        lake.add_document(Document::new("abstract-1", "PubMed", "Pemetrexed inhibits TS."));
+        lake.add_document(Document::new(
+            "abstract-1",
+            "PubMed",
+            "Pemetrexed inhibits TS.",
+        ));
         lake
     }
 
@@ -512,7 +519,10 @@ mod tests {
     fn table_accessors() {
         let t = Table::new(
             "T",
-            vec![Column::from_texts("a", ["1"]), Column::from_texts("b", ["2"])],
+            vec![
+                Column::from_texts("a", ["1"]),
+                Column::from_texts("b", ["2"]),
+            ],
         );
         assert_eq!(t.num_rows(), 1);
         assert_eq!(t.num_columns(), 2);

@@ -133,13 +133,12 @@ pub fn generate(config: &MlOpenConfig) -> SyntheticLake {
             let split = splits[s % splits.len()];
             let name = format!("{dataset}_{split}");
             let rows = config.rows_per_table;
-            let ids: Vec<String> = (0..rows).map(|r| format!("{dataset}-{:05}", r + s * rows)).collect();
+            let ids: Vec<String> = (0..rows)
+                .map(|r| format!("{dataset}-{:05}", r + s * rows))
+                .collect();
             let mut columns = vec![
                 Column::from_texts("record_id", ids),
-                Column::from_texts(
-                    "dataset_name",
-                    (0..rows).map(|_| dataset.clone()),
-                ),
+                Column::from_texts("dataset_name", (0..rows).map(|_| dataset.clone())),
             ];
             for f in 0..config.features_per_table {
                 let base = (d * 31 + f * 7) as f64;
@@ -174,7 +173,8 @@ pub fn generate(config: &MlOpenConfig) -> SyntheticLake {
             Column::from_texts("dataset_name", dataset_names.clone()),
             Column::from_texts(
                 "task",
-                (0..config.num_datasets).map(|d| REVIEW_TOPICS[d % REVIEW_TOPICS.len()].to_string()),
+                (0..config.num_datasets)
+                    .map(|d| REVIEW_TOPICS[d % REVIEW_TOPICS.len()].to_string()),
             ),
             Column::from_numbers(
                 "num_rows",
@@ -182,7 +182,7 @@ pub fn generate(config: &MlOpenConfig) -> SyntheticLake {
             ),
         ],
     ));
-    for (_d, dataset) in dataset_names.iter().enumerate() {
+    for dataset in dataset_names.iter() {
         for s in 0..config.splits_per_dataset {
             let split = splits[s % splits.len()];
             truth.add_joinable(

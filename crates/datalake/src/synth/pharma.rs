@@ -102,8 +102,9 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
             Column::from_texts("Description", drug_descriptions),
             Column::from_texts(
                 "Type",
-                (0..config.num_drugs)
-                    .map(|i| ["small molecule", "biotech", "antibody", "peptide"][i % 4].to_string()),
+                (0..config.num_drugs).map(|i| {
+                    ["small molecule", "biotech", "antibody", "peptide"][i % 4].to_string()
+                }),
             ),
         ],
     ));
@@ -115,7 +116,8 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
             Column::from_texts("Target", enzyme_names.clone()),
             Column::from_texts(
                 "Organism",
-                (0..config.num_enzymes).map(|i| ["human", "mouse", "rat", "yeast"][i % 4].to_string()),
+                (0..config.num_enzymes)
+                    .map(|i| ["human", "mouse", "rat", "yeast"][i % 4].to_string()),
             ),
             Column::from_numbers(
                 "Molecular_Weight",
@@ -185,7 +187,8 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
             ),
             Column::from_texts(
                 "Route",
-                (0..config.num_drugs).map(|i| ["oral", "intravenous", "topical"][i % 3].to_string()),
+                (0..config.num_drugs)
+                    .map(|i| ["oral", "intravenous", "topical"][i % 3].to_string()),
             ),
         ],
     ));
@@ -198,7 +201,10 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
             ),
             Column::from_texts("Drug_Key", drug_ids.clone()),
             Column::from_numbers("Phase", (0..config.num_drugs).map(|i| (i % 4 + 1) as f64)),
-            Column::from_numbers("Year", (0..config.num_drugs).map(|i| 2005.0 + (i % 18) as f64)),
+            Column::from_numbers(
+                "Year",
+                (0..config.num_drugs).map(|i| 2005.0 + (i % 18) as f64),
+            ),
         ],
     ));
 
@@ -213,7 +219,10 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
                 "Molecular_Weight",
                 (0..config.num_drugs).map(|i| 150.0 + (i as f64) * 3.7),
             ),
-            Column::from_numbers("LogP", (0..config.num_drugs).map(|i| -2.0 + (i % 70) as f64 * 0.1)),
+            Column::from_numbers(
+                "LogP",
+                (0..config.num_drugs).map(|i| -2.0 + (i % 70) as f64 * 0.1),
+            ),
         ],
     ));
     lake.add_table(Table::new(
@@ -238,7 +247,10 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
                 "Assay_Id",
                 (0..config.num_drugs).map(|i| format!("ASSAY{:05}", (i % config.num_enzymes) + 10)),
             ),
-            Column::from_numbers("IC50_nM", (0..config.num_drugs).map(|i| 1.0 + (i as f64) * 13.0)),
+            Column::from_numbers(
+                "IC50_nM",
+                (0..config.num_drugs).map(|i| 1.0 + (i as f64) * 13.0),
+            ),
         ],
     ));
 
@@ -249,7 +261,10 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
         vec![
             Column::from_numbers("Chebi_Id", chebi_ids.clone()),
             Column::from_texts("Entity_Name", drug_names.clone()),
-            Column::from_numbers("Charge", (0..config.num_drugs).map(|i| ((i % 5) as f64) - 2.0)),
+            Column::from_numbers(
+                "Charge",
+                (0..config.num_drugs).map(|i| ((i % 5) as f64) - 2.0),
+            ),
         ],
     ));
     lake.add_table(Table::new(
@@ -277,7 +292,10 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
     truth.add_pkfk(("Enzymes", "Id"), ("Enzyme_Targets", "Id"));
     truth.add_pkfk(("Compounds", "Chembl_Id"), ("Activities", "Chembl_Id"));
     truth.add_pkfk(("Assays", "Assay_Id"), ("Activities", "Assay_Id"));
-    truth.add_pkfk(("Chemical_Entities", "Chebi_Id"), ("Chemical_Relations", "Chebi_Id"));
+    truth.add_pkfk(
+        ("Chemical_Entities", "Chebi_Id"),
+        ("Chemical_Relations", "Chebi_Id"),
+    );
     truth.add_pkfk(
         ("Chemical_Entities", "Chebi_Id"),
         ("Chemical_Relations", "Related_Chebi_Id"),
@@ -294,8 +312,16 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
             ("Dosages", "Drug_Key"),
             ("Trials", "Drug_Key"),
         ],
-        vec![("Drugs", "Drug"), ("Compounds", "Compound_Name"), ("Chemical_Entities", "Entity_Name")],
-        vec![("Enzymes", "Target"), ("Enzyme_Targets", "Target"), ("Assays", "Target_Name")],
+        vec![
+            ("Drugs", "Drug"),
+            ("Compounds", "Compound_Name"),
+            ("Chemical_Entities", "Entity_Name"),
+        ],
+        vec![
+            ("Enzymes", "Target"),
+            ("Enzyme_Targets", "Target"),
+            ("Assays", "Target_Name"),
+        ],
         vec![("Enzymes", "Id"), ("Enzyme_Targets", "Id")],
         vec![("Compounds", "Chembl_Id"), ("Activities", "Chembl_Id")],
         vec![("Assays", "Assay_Id"), ("Activities", "Assay_Id")],
@@ -333,7 +359,12 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
             drug_name = drug_names[drug],
             class = ["antifolate", "antibiotic", "kinase inhibitor", "antiviral"][d % 4],
             enzyme_name = enzyme_names[enzyme],
-            disease = ["pancreatic cancer", "lung carcinoma", "bacterial infection", "hepatitis"][d % 4],
+            disease = [
+                "pancreatic cancer",
+                "lung carcinoma",
+                "bacterial infection",
+                "hepatitis"
+            ][d % 4],
             other_name = drug_names[other_drug],
             effect = vocab::INTERACTION_EFFECTS[d % vocab::INTERACTION_EFFECTS.len()],
         );
@@ -380,7 +411,10 @@ pub fn generate(config: &PharmaConfig) -> SyntheticLake {
                 let src = &source.columns[c];
                 Column::new(
                     src.name.clone(),
-                    keep_rows.iter().map(|&r| src.values[r].clone()).collect::<Vec<Value>>(),
+                    keep_rows
+                        .iter()
+                        .map(|&r| src.values[r].clone())
+                        .collect::<Vec<Value>>(),
                 )
             })
             .collect();
@@ -435,8 +469,18 @@ mod tests {
         let b = generate(&PharmaConfig::tiny());
         assert_eq!(a.lake.num_tables(), b.lake.num_tables());
         assert_eq!(
-            a.lake.table("Drugs").unwrap().column("Drug").unwrap().distinct_texts(),
-            b.lake.table("Drugs").unwrap().column("Drug").unwrap().distinct_texts()
+            a.lake
+                .table("Drugs")
+                .unwrap()
+                .column("Drug")
+                .unwrap()
+                .distinct_texts(),
+            b.lake
+                .table("Drugs")
+                .unwrap()
+                .column("Drug")
+                .unwrap()
+                .distinct_texts()
         );
         assert_eq!(a.lake.documents()[0].text, b.lake.documents()[0].text);
     }
@@ -495,7 +539,11 @@ mod tests {
             .collect();
         assert!(!proj.is_empty());
         for t in proj {
-            assert!(truth.unionable_for(&t.name).is_some(), "{} should have union truth", t.name);
+            assert!(
+                truth.unionable_for(&t.name).is_some(),
+                "{} should have union truth",
+                t.name
+            );
         }
     }
 }

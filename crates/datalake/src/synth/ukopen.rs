@@ -71,7 +71,9 @@ pub fn generate(config: &UkOpenConfig) -> SyntheticLake {
     let mut truth = GroundTruth::new();
 
     let num_regions = REGIONS.len();
-    let region_codes: Vec<String> = (0..num_regions).map(|i| format!("E{:08}", 6_000_000 + i)).collect();
+    let region_codes: Vec<String> = (0..num_regions)
+        .map(|i| format!("E{:08}", 6_000_000 + i))
+        .collect();
     let council_names: Vec<String> = REGIONS
         .iter()
         .map(|r| format!("{r} county council"))
@@ -94,13 +96,20 @@ pub fn generate(config: &UkOpenConfig) -> SyntheticLake {
         vec![
             Column::from_texts("council_name", council_names.clone()),
             Column::from_texts("region_code", region_codes.clone()),
-            Column::from_numbers("budget_millions", (0..num_regions).map(|i| 10.0 + i as f64 * 3.5)),
+            Column::from_numbers(
+                "budget_millions",
+                (0..num_regions).map(|i| 10.0 + i as f64 * 3.5),
+            ),
         ],
     ));
     truth.add_joinable(("regions", "region_code"), ("councils", "region_code"));
     truth.add_pkfk(("regions", "region_code"), ("councils", "region_code"));
 
-    let categories: Vec<&str> = CATEGORIES.iter().take(config.num_categories).copied().collect();
+    let categories: Vec<&str> = CATEGORIES
+        .iter()
+        .take(config.num_categories)
+        .copied()
+        .collect();
 
     // Family tables: `<category>_spending_<k>` — unionable within a family and
     // joinable with the reference tables through `region_code`.
@@ -109,7 +118,8 @@ pub fn generate(config: &UkOpenConfig) -> SyntheticLake {
         for k in 0..config.tables_per_category {
             let name = format!("{category}_spending_{k}");
             let rows = config.rows_per_table;
-            let region_idx: Vec<usize> = (0..rows).map(|r| (r + k * 3 + ci) % num_regions).collect();
+            let region_idx: Vec<usize> =
+                (0..rows).map(|r| (r + k * 3 + ci) % num_regions).collect();
             let providers: Vec<String> = (0..rows)
                 .map(|r| format!("{} {} provider {}", REGIONS[region_idx[r]], category, r % 7))
                 .collect();
@@ -125,10 +135,7 @@ pub fn generate(config: &UkOpenConfig) -> SyntheticLake {
                         region_idx.iter().map(|&i| REGIONS[i].to_string()),
                     ),
                     Column::from_texts("provider", providers),
-                    Column::from_texts(
-                        "service_category",
-                        (0..rows).map(|_| category.to_string()),
-                    ),
+                    Column::from_texts("service_category", (0..rows).map(|_| category.to_string())),
                     Column::from_numbers(
                         "amount_gbp",
                         (0..rows).map(|r| 1_000.0 + rng.gen_range(0.0..50_000.0) + r as f64),
@@ -239,7 +246,10 @@ mod tests {
         assert!(truth
             .joinable_for("regions", "region_code")
             .unwrap()
-            .contains(&("education_spending_0".to_string(), "region_code".to_string())));
+            .contains(&(
+                "education_spending_0".to_string(),
+                "region_code".to_string()
+            )));
     }
 
     #[test]

@@ -22,14 +22,43 @@ const DRUG_SUFFIXES: &[&str] = &[
 
 /// Stems for enzyme / protein target names.
 const ENZYME_STEMS: &[&str] = &[
-    "thymidylate", "dihydrofolate", "ribonucleotide", "glucokinase", "aldolase", "catalase",
-    "peptidase", "kinase", "lipase", "amylase", "protease", "helicase", "polymerase", "synthase",
-    "reductase", "transferase", "oxidase", "hydrolase", "isomerase", "ligase", "mutase",
-    "carboxylase", "dehydrogenase", "phosphatase",
+    "thymidylate",
+    "dihydrofolate",
+    "ribonucleotide",
+    "glucokinase",
+    "aldolase",
+    "catalase",
+    "peptidase",
+    "kinase",
+    "lipase",
+    "amylase",
+    "protease",
+    "helicase",
+    "polymerase",
+    "synthase",
+    "reductase",
+    "transferase",
+    "oxidase",
+    "hydrolase",
+    "isomerase",
+    "ligase",
+    "mutase",
+    "carboxylase",
+    "dehydrogenase",
+    "phosphatase",
 ];
 const ENZYME_QUALIFIERS: &[&str] = &[
-    "alpha", "beta", "gamma", "delta", "mitochondrial", "cytosolic", "membrane", "nuclear",
-    "type-1", "type-2", "type-3",
+    "alpha",
+    "beta",
+    "gamma",
+    "delta",
+    "mitochondrial",
+    "cytosolic",
+    "membrane",
+    "nuclear",
+    "type-1",
+    "type-2",
+    "type-3",
 ];
 
 /// Effect phrases for drug interactions.
@@ -46,25 +75,72 @@ pub const INTERACTION_EFFECTS: &[&str] = &[
 
 /// Region names for the UK-Open lake.
 pub const REGIONS: &[&str] = &[
-    "northshire", "eastvale", "westbrook", "southmoor", "highland", "midlands", "lakeside",
-    "riverton", "stonebridge", "ashford", "claymont", "dunwich", "elmswell", "farleigh",
-    "greenfield", "harrowgate", "kingsport", "larkspur", "marlow", "norwood",
+    "northshire",
+    "eastvale",
+    "westbrook",
+    "southmoor",
+    "highland",
+    "midlands",
+    "lakeside",
+    "riverton",
+    "stonebridge",
+    "ashford",
+    "claymont",
+    "dunwich",
+    "elmswell",
+    "farleigh",
+    "greenfield",
+    "harrowgate",
+    "kingsport",
+    "larkspur",
+    "marlow",
+    "norwood",
 ];
 
 /// Service categories for UK-Open tables.
 pub const CATEGORIES: &[&str] = &[
-    "education", "transport", "housing", "health", "environment", "planning", "waste",
-    "culture", "libraries", "parks", "roads", "social-care", "licensing", "procurement",
+    "education",
+    "transport",
+    "housing",
+    "health",
+    "environment",
+    "planning",
+    "waste",
+    "culture",
+    "libraries",
+    "parks",
+    "roads",
+    "social-care",
+    "licensing",
+    "procurement",
 ];
 
 /// Vocabulary for ML-Open review documents.
 pub const REVIEW_TOPICS: &[&str] = &[
-    "classification", "regression", "clustering", "anomaly", "forecasting", "recommendation",
-    "segmentation", "ranking", "imputation", "calibration",
+    "classification",
+    "regression",
+    "clustering",
+    "anomaly",
+    "forecasting",
+    "recommendation",
+    "segmentation",
+    "ranking",
+    "imputation",
+    "calibration",
 ];
 pub const REVIEW_DOMAINS: &[&str] = &[
-    "housing", "credit", "churn", "weather", "retail", "traffic", "energy", "genomics",
-    "sensor", "marketing", "insurance", "telemetry",
+    "housing",
+    "credit",
+    "churn",
+    "weather",
+    "retail",
+    "traffic",
+    "energy",
+    "genomics",
+    "sensor",
+    "marketing",
+    "insurance",
+    "telemetry",
 ];
 
 /// Generate `n` distinct pseudo-drug names.

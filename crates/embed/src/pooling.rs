@@ -8,20 +8,15 @@
 use serde::{Deserialize, Serialize};
 
 /// Pooling strategy for aggregating word vectors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum Pooling {
     /// Element-wise mean (CMDL's default).
+    #[default]
     Mean,
     /// Element-wise maximum.
     Max,
     /// Element-wise minimum.
     Min,
-}
-
-impl Default for Pooling {
-    fn default() -> Self {
-        Pooling::Mean
-    }
 }
 
 impl Pooling {

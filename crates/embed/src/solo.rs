@@ -7,6 +7,8 @@
 //! way (each 100-dimensional); the concatenation of the two forms the 200-dim
 //! input encoding of the joint-representation model.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use cmdl_text::BagOfWords;
@@ -15,13 +17,17 @@ use crate::pooling::Pooling;
 use crate::word::{normalize, WordEmbedder};
 
 /// A DE-level embedding pair: content vector and metadata vector.
+///
+/// The vectors are reference-counted so downstream consumers (the ANN
+/// indexes of the catalog) can share them with the profile instead of
+/// deep-cloning every embedding during index construction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SoloEmbedding {
     /// Mean-pooled embedding of the element's content terms.
-    pub content: Vec<f32>,
+    pub content: Arc<Vec<f32>>,
     /// Mean-pooled embedding of the element's metadata terms (name, title,
     /// schema context).
-    pub metadata: Vec<f32>,
+    pub metadata: Arc<Vec<f32>>,
 }
 
 impl SoloEmbedding {
@@ -104,8 +110,8 @@ impl SoloEmbedder {
     /// Embed an element's content and metadata bags into a [`SoloEmbedding`].
     pub fn embed_element(&self, content: &BagOfWords, metadata: &BagOfWords) -> SoloEmbedding {
         SoloEmbedding {
-            content: self.embed_bow(content),
-            metadata: self.embed_bow(metadata),
+            content: Arc::new(self.embed_bow(content)),
+            metadata: Arc::new(self.embed_bow(metadata)),
         }
     }
 }
@@ -136,8 +142,16 @@ mod tests {
     #[test]
     fn similar_bags_have_similar_embeddings() {
         let e = embedder();
-        let a = e.embed_bow(&BagOfWords::from_tokens(["pemetrexed", "synthase", "enzyme"]));
-        let b = e.embed_bow(&BagOfWords::from_tokens(["pemetrexed", "synthase", "target"]));
+        let a = e.embed_bow(&BagOfWords::from_tokens([
+            "pemetrexed",
+            "synthase",
+            "enzyme",
+        ]));
+        let b = e.embed_bow(&BagOfWords::from_tokens([
+            "pemetrexed",
+            "synthase",
+            "target",
+        ]));
         let c = e.embed_bow(&BagOfWords::from_tokens(["council", "region", "budget"]));
         assert!(cosine(&a, &b) > cosine(&a, &c));
     }

@@ -73,20 +73,68 @@ impl WordEmbedder {
     }
 
     /// Compute the embedding of a single word.
+    ///
+    /// Deterministic, so results for unadjusted embedders are memoized in a
+    /// thread-local cache keyed by the embedder's configuration — across a
+    /// lake, the same tokens (FK values, shared vocabulary, schema words)
+    /// are embedded over and over, and profiling is dominated by this
+    /// function. Embedders with learned adjustments bypass the cache.
     pub fn embed_word(&self, word: &str) -> Vec<f32> {
+        if !self.adjustments.is_empty() {
+            return self.embed_word_uncached(word);
+        }
+        let fingerprint = self.config_fingerprint();
+        WORD_VECTOR_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if cache.fingerprint != fingerprint {
+                cache.fingerprint = fingerprint;
+                cache.vectors.clear();
+            } else if let Some(hit) = cache.vectors.get(word) {
+                return hit.clone();
+            }
+            let vector = self.embed_word_uncached(word);
+            if cache.vectors.len() >= WORD_CACHE_CAPACITY {
+                cache.vectors.clear();
+            }
+            cache.vectors.insert(word.to_string(), vector.clone());
+            vector
+        })
+    }
+
+    /// Identity of the deterministic (adjustment-free) embedding function.
+    fn config_fingerprint(&self) -> u64 {
+        let c = &self.config;
+        c.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((c.dim as u64) << 40)
+            .wrapping_add((c.buckets as u64) << 16)
+            .wrapping_add((c.min_ngram as u64) << 8)
+            .wrapping_add(c.max_ngram as u64)
+    }
+
+    fn embed_word_uncached(&self, word: &str) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.config.dim];
-        let marked: Vec<char> = std::iter::once('<')
-            .chain(word.chars())
-            .chain(std::iter::once('>'))
+        // `<word>` with n-gram windows taken over characters; hashing works
+        // directly on the marked string's byte spans, so no per-gram
+        // allocation happens.
+        let mut marked = String::with_capacity(word.len() + 2);
+        marked.push('<');
+        marked.push_str(word);
+        marked.push('>');
+        let char_offsets: Vec<usize> = marked
+            .char_indices()
+            .map(|(offset, _)| offset)
+            .chain(std::iter::once(marked.len()))
             .collect();
+        let num_chars = char_offsets.len() - 1;
         let mut count = 0usize;
         for n in self.config.min_ngram..=self.config.max_ngram {
-            if marked.len() < n {
+            if num_chars < n {
                 continue;
             }
-            for start in 0..=(marked.len() - n) {
-                let gram: String = marked[start..start + n].iter().collect();
-                let bucket = hash_str(&gram, self.config.seed) % self.config.buckets as u64;
+            for start in 0..=(num_chars - n) {
+                let gram = &marked[char_offsets[start]..char_offsets[start + n]];
+                let bucket = hash_str(gram, self.config.seed) % self.config.buckets as u64;
                 add_bucket_vector(&mut acc, bucket, self.config.seed, self.config.dim);
                 count += 1;
             }
@@ -119,6 +167,22 @@ impl WordEmbedder {
     pub fn num_adjusted(&self) -> usize {
         self.adjustments.len()
     }
+}
+
+/// Per-thread memo of word → vector for adjustment-free embedders.
+#[derive(Default)]
+struct WordVectorCache {
+    fingerprint: u64,
+    vectors: HashMap<String, Vec<f32>>,
+}
+
+/// Entry cap for the thread-local word-vector cache; the cache is cleared
+/// wholesale when it fills (profiling vocabularies are far smaller).
+const WORD_CACHE_CAPACITY: usize = 1 << 16;
+
+thread_local! {
+    static WORD_VECTOR_CACHE: std::cell::RefCell<WordVectorCache> =
+        std::cell::RefCell::new(WordVectorCache::default());
 }
 
 /// L2-normalize a vector in place (no-op on the zero vector).
@@ -205,8 +269,7 @@ impl CooccurrenceTrainer {
                 }
                 // Context centroid of the element.
                 let mut centroid = vec![0.0f32; dim];
-                let vectors: Vec<Vec<f32>> =
-                    terms.iter().map(|t| embedder.embed_word(t)).collect();
+                let vectors: Vec<Vec<f32>> = terms.iter().map(|t| embedder.embed_word(t)).collect();
                 for v in &vectors {
                     for (c, x) in centroid.iter_mut().zip(v) {
                         *c += x;
@@ -283,15 +346,21 @@ mod tests {
 
     #[test]
     fn custom_dimension() {
-        let e = WordEmbedder::new(WordEmbedderConfig { dim: 32, ..Default::default() });
+        let e = WordEmbedder::new(WordEmbedderConfig {
+            dim: 32,
+            ..Default::default()
+        });
         assert_eq!(e.embed_word("drug").len(), 32);
     }
 
     #[test]
     fn cooccurrence_training_pulls_words_together() {
-        let mut e = WordEmbedder::new(WordEmbedderConfig { dim: 50, ..Default::default() });
+        let mut e = WordEmbedder::new(WordEmbedderConfig {
+            dim: 50,
+            ..Default::default()
+        });
         let before = cosine(&e.embed_word("pemetrexed"), &e.embed_word("synthase"));
-        let docs = vec![
+        let docs = [
             BagOfWords::from_tokens(["pemetrexed", "synthase"]),
             BagOfWords::from_tokens(["pemetrexed", "synthase", "reductase"]),
             BagOfWords::from_tokens(["pemetrexed", "synthase"]),
@@ -299,7 +368,10 @@ mod tests {
         let corpus: Vec<&BagOfWords> = docs.iter().collect();
         CooccurrenceTrainer::default().train(&mut e, &corpus);
         let after = cosine(&e.embed_word("pemetrexed"), &e.embed_word("synthase"));
-        assert!(after > before, "co-occurring words should move closer: {before} -> {after}");
+        assert!(
+            after > before,
+            "co-occurring words should move closer: {before} -> {after}"
+        );
         assert!(e.num_adjusted() >= 2);
     }
 
@@ -313,6 +385,9 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_dim_panics() {
-        WordEmbedder::new(WordEmbedderConfig { dim: 0, ..Default::default() });
+        WordEmbedder::new(WordEmbedderConfig {
+            dim: 0,
+            ..Default::default()
+        });
     }
 }

@@ -8,7 +8,9 @@ use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 
-use cmdl_baselines::{ContainmentSearch, ElasticBaseline, ElasticVariant, EntityMatcher, EntityMetric};
+use cmdl_baselines::{
+    ContainmentSearch, ElasticBaseline, ElasticVariant, EntityMatcher, EntityMetric,
+};
 use cmdl_core::{Cmdl, CrossModalStrategy};
 use cmdl_datalake::{Benchmark, BenchmarkKind, QueryInput};
 
@@ -89,7 +91,11 @@ pub fn evaluate_doc2table(
     method: Doc2TableMethod,
     ks: &[usize],
 ) -> Doc2TableEvaluation {
-    assert_eq!(benchmark.kind, BenchmarkKind::DocToTable, "wrong benchmark kind");
+    assert_eq!(
+        benchmark.kind,
+        BenchmarkKind::DocToTable,
+        "wrong benchmark kind"
+    );
     let max_k = ks.iter().copied().max().unwrap_or(10);
 
     // Build baseline indexes lazily per method.
@@ -98,33 +104,58 @@ pub fn evaluate_doc2table(
         .queries
         .iter()
         .filter_map(|query| {
-            let QueryInput::Document(doc_idx) = &query.input else { return None };
+            let QueryInput::Document(doc_idx) = &query.input else {
+                return None;
+            };
             let doc_id = cmdl.profiled.lake.document_id(*doc_idx)?;
             let profile = cmdl.profiled.profile(doc_id)?;
             let text = &cmdl.profiled.lake.documents()[*doc_idx].text;
             let ranked: Vec<String> = match method {
                 Doc2TableMethod::CmdlSolo => cmdl
-                    .doc_to_table_search(&profile.solo, &profile.content, CrossModalStrategy::SoloEmbedding, max_k)
+                    .doc_to_table_search(
+                        &profile.solo,
+                        &profile.content,
+                        CrossModalStrategy::SoloEmbedding,
+                        max_k,
+                    )
                     .into_iter()
                     .filter_map(|r| r.table)
                     .collect(),
                 Doc2TableMethod::CmdlJoint | Doc2TableMethod::CmdlJointGold => cmdl
-                    .doc_to_table_search(&profile.solo, &profile.content, CrossModalStrategy::JointEmbedding, max_k)
+                    .doc_to_table_search(
+                        &profile.solo,
+                        &profile.content,
+                        CrossModalStrategy::JointEmbedding,
+                        max_k,
+                    )
                     .into_iter()
                     .filter_map(|r| r.table)
                     .collect(),
-                Doc2TableMethod::ElasticBm25 => answers(elastic(ElasticVariant::Bm25ContentAndSchema).doc_to_table(&profile.content, max_k)),
-                Doc2TableMethod::ElasticLmDirichlet => answers(elastic(ElasticVariant::LmDirichletContentAndSchema).doc_to_table(&profile.content, max_k)),
-                Doc2TableMethod::ElasticContentOnly => answers(elastic(ElasticVariant::Bm25ContentOnly).doc_to_table(&profile.content, max_k)),
-                Doc2TableMethod::ElasticSchemaOnly => answers(elastic(ElasticVariant::Bm25SchemaOnly).doc_to_table(&profile.content, max_k)),
+                Doc2TableMethod::ElasticBm25 => answers(
+                    elastic(ElasticVariant::Bm25ContentAndSchema)
+                        .doc_to_table(&profile.content, max_k),
+                ),
+                Doc2TableMethod::ElasticLmDirichlet => answers(
+                    elastic(ElasticVariant::LmDirichletContentAndSchema)
+                        .doc_to_table(&profile.content, max_k),
+                ),
+                Doc2TableMethod::ElasticContentOnly => answers(
+                    elastic(ElasticVariant::Bm25ContentOnly).doc_to_table(&profile.content, max_k),
+                ),
+                Doc2TableMethod::ElasticSchemaOnly => answers(
+                    elastic(ElasticVariant::Bm25SchemaOnly).doc_to_table(&profile.content, max_k),
+                ),
                 Doc2TableMethod::Containment => answers(
-                    ContainmentSearch::build(&cmdl.profiled, &cmdl.config).doc_to_table(&profile.content, max_k),
+                    ContainmentSearch::build(&cmdl.profiled, &cmdl.config)
+                        .doc_to_table(&profile.content, max_k),
                 ),
                 Doc2TableMethod::EntityJaccard => answers(
-                    EntityMatcher::build(&cmdl.profiled, EntityMetric::Jaccard).doc_to_table(text, max_k),
+                    EntityMatcher::build(&cmdl.profiled, EntityMetric::Jaccard)
+                        .doc_to_table(text, max_k),
                 ),
                 Doc2TableMethod::EntityJaro => answers(
-                    EntityMatcher::build_fine_tuned(&cmdl.profiled, EntityMetric::Jaro).doc_to_table(text, max_k),
+                    EntityMatcher::build_fine_tuned(&cmdl.profiled, EntityMetric::Jaro)
+                        .doc_to_table(text, max_k),
                 ),
             };
             Some((ranked, query.expected.clone()))

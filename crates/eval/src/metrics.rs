@@ -59,7 +59,10 @@ pub fn r_precision(ranked: &[String], expected: &BTreeSet<String>) -> f64 {
 
 /// Relative recall of one measure against the union of true matches found by
 /// all measures (Table 5): `|true ∩ found_by_measure| / |true ∩ found_by_any|`.
-pub fn relative_recall(found_by_measure: &BTreeSet<String>, found_by_all: &BTreeSet<String>) -> f64 {
+pub fn relative_recall(
+    found_by_measure: &BTreeSet<String>,
+    found_by_all: &BTreeSet<String>,
+) -> f64 {
     if found_by_all.is_empty() {
         return 0.0;
     }
@@ -134,7 +137,7 @@ mod tests {
         assert_eq!(precision_at_k(&[], &exp, 5), 0.0);
         assert_eq!(recall_at_k(&[], &exp, 5), 0.0);
         assert_eq!(recall_at_k(&ranked(&["a"]), &BTreeSet::new(), 5), 0.0);
-        assert_eq!(r_precision(&ranked(&["a"]), &BTreeSet::new(), ), 0.0);
+        assert_eq!(r_precision(&ranked(&["a"]), &BTreeSet::new(),), 0.0);
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl ExperimentReport {
     /// Render the report as an aligned plain-text table.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("== {} ==\n{}\n\n", self.experiment, self.description));
+        out.push_str(&format!(
+            "== {} ==\n{}\n\n",
+            self.experiment, self.description
+        ));
         if self.rows.is_empty() {
             out.push_str("(no rows)\n");
             return out;
@@ -114,7 +117,10 @@ impl ExperimentReport {
             .map(|c| if c.is_alphanumeric() { c } else { '_' })
             .collect();
         let path = dir.join(format!("{slug}.json"));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )?;
         Ok(path)
     }
 }
@@ -125,8 +131,16 @@ mod tests {
 
     fn sample() -> ExperimentReport {
         let mut report = ExperimentReport::new("Table 3", "syntactic join discovery");
-        report.push(MethodResult::new("Aurum").with("2B", 0.21).with("2C-SS", 0.70));
-        report.push(MethodResult::new("CMDL").with("2B", 0.62).with("2C-SS", 0.70));
+        report.push(
+            MethodResult::new("Aurum")
+                .with("2B", 0.21)
+                .with("2C-SS", 0.70),
+        );
+        report.push(
+            MethodResult::new("CMDL")
+                .with("2B", 0.62)
+                .with("2C-SS", 0.70),
+        );
         report
     }
 

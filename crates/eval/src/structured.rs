@@ -46,8 +46,16 @@ pub struct JoinEvaluation {
 }
 
 /// Evaluate syntactic-join discovery for a system on a benchmark.
-pub fn evaluate_join(cmdl: &Cmdl, benchmark: &Benchmark, system: StructuredSystem) -> JoinEvaluation {
-    assert_eq!(benchmark.kind, BenchmarkKind::SyntacticJoin, "wrong benchmark kind");
+pub fn evaluate_join(
+    cmdl: &Cmdl,
+    benchmark: &Benchmark,
+    system: StructuredSystem,
+) -> JoinEvaluation {
+    assert_eq!(
+        benchmark.kind,
+        BenchmarkKind::SyntacticJoin,
+        "wrong benchmark kind"
+    );
     let aurum = Aurum::new(&cmdl.profiled, &cmdl.config);
     let d3l = D3l::new(&cmdl.profiled, &cmdl.config);
     let join = JoinDiscovery::new(&cmdl.profiled, &cmdl.config);
@@ -55,8 +63,12 @@ pub fn evaluate_join(cmdl: &Cmdl, benchmark: &Benchmark, system: StructuredSyste
     let mut total = 0.0;
     let mut n = 0usize;
     for query in &benchmark.queries {
-        let QueryInput::Column { table, column } = &query.input else { continue };
-        let Some(id) = cmdl.profiled.lake.column_id_by_name(table, column) else { continue };
+        let QueryInput::Column { table, column } = &query.input else {
+            continue;
+        };
+        let Some(id) = cmdl.profiled.lake.column_id_by_name(table, column) else {
+            continue;
+        };
         if query.expected.is_empty() {
             continue;
         }
@@ -69,11 +81,7 @@ pub fn evaluate_join(cmdl: &Cmdl, benchmark: &Benchmark, system: StructuredSyste
         };
         let ranked: Vec<String> = ranked_ids
             .into_iter()
-            .filter_map(|(cid, _)| {
-                cmdl.profiled
-                    .profile(cid)
-                    .map(|p| p.qualified_name.clone())
-            })
+            .filter_map(|(cid, _)| cmdl.profiled.profile(cid).map(|p| p.qualified_name.clone()))
             .collect();
         total += r_precision(&ranked, &query.expected);
         n += 1;
@@ -102,7 +110,11 @@ pub struct PkFkEvaluation {
 
 /// Evaluate PK-FK discovery for CMDL and Aurum (D3L does not compute PK-FK
 /// links, as noted in the paper).
-pub fn evaluate_pkfk(cmdl: &Cmdl, benchmark: &Benchmark, system: StructuredSystem) -> PkFkEvaluation {
+pub fn evaluate_pkfk(
+    cmdl: &Cmdl,
+    benchmark: &Benchmark,
+    system: StructuredSystem,
+) -> PkFkEvaluation {
     assert_eq!(benchmark.kind, BenchmarkKind::PkFk, "wrong benchmark kind");
     let expected: &BTreeSet<String> = &benchmark.queries[0].expected;
     let reported: Vec<String> = match system {
@@ -121,8 +133,16 @@ pub fn evaluate_pkfk(cmdl: &Cmdl, benchmark: &Benchmark, system: StructuredSyste
     let hits = reported.iter().filter(|r| expected.contains(*r)).count();
     PkFkEvaluation {
         system: system.label().to_string(),
-        precision: if reported.is_empty() { 0.0 } else { hits as f64 / reported.len() as f64 },
-        recall: if expected.is_empty() { 0.0 } else { hits as f64 / expected.len() as f64 },
+        precision: if reported.is_empty() {
+            0.0
+        } else {
+            hits as f64 / reported.len() as f64
+        },
+        recall: if expected.is_empty() {
+            0.0
+        } else {
+            hits as f64 / expected.len() as f64
+        },
         reported: reported.len(),
         known: expected.len(),
     }
@@ -148,7 +168,11 @@ pub fn evaluate_union(
     ks: &[usize],
     measure: &str,
 ) -> UnionEvaluation {
-    assert_eq!(benchmark.kind, BenchmarkKind::Unionable, "wrong benchmark kind");
+    assert_eq!(
+        benchmark.kind,
+        BenchmarkKind::Unionable,
+        "wrong benchmark kind"
+    );
     let aurum = Aurum::new(&cmdl.profiled, &cmdl.config);
     let d3l = D3l::new(&cmdl.profiled, &cmdl.config);
     let union = UnionDiscovery::new(&cmdl.profiled, &cmdl.config);
@@ -158,7 +182,9 @@ pub fn evaluate_union(
         .queries
         .iter()
         .filter_map(|query| {
-            let QueryInput::Table(table) = &query.input else { return None };
+            let QueryInput::Table(table) = &query.input else {
+                return None;
+            };
             if cmdl.profiled.lake.table(table).is_none() || query.expected.is_empty() {
                 return None;
             }
@@ -225,7 +251,11 @@ mod tests {
             c.r_precision,
             a.r_precision
         );
-        assert!(c.r_precision > 0.2, "CMDL join accuracy too low: {}", c.r_precision);
+        assert!(
+            c.r_precision > 0.2,
+            "CMDL join accuracy too low: {}",
+            c.r_precision
+        );
     }
 
     #[test]
@@ -235,7 +265,12 @@ mod tests {
         let c = evaluate_pkfk(&cmdl, &benchmark, StructuredSystem::Cmdl);
         let a = evaluate_pkfk(&cmdl, &benchmark, StructuredSystem::Aurum);
         assert!(c.known > 0);
-        assert!(c.recall >= a.recall, "CMDL recall {} vs Aurum {}", c.recall, a.recall);
+        assert!(
+            c.recall >= a.recall,
+            "CMDL recall {} vs Aurum {}",
+            c.recall,
+            a.recall
+        );
         assert!(c.recall > 0.3);
         assert!((0.0..=1.0).contains(&c.precision));
     }
@@ -245,7 +280,11 @@ mod tests {
         let (cmdl, synth_lake) = pharma_system();
         let benchmark = unionable_benchmark(BenchmarkId::B3B, &synth_lake);
         let ks = [1, 3, 5];
-        for system in [StructuredSystem::Cmdl, StructuredSystem::Aurum, StructuredSystem::D3l] {
+        for system in [
+            StructuredSystem::Cmdl,
+            StructuredSystem::Aurum,
+            StructuredSystem::D3l,
+        ] {
             let eval = evaluate_union(&cmdl, &benchmark, system, &ks, "ensemble");
             assert_eq!(eval.curve.len(), ks.len());
             for p in &eval.curve {

@@ -9,6 +9,8 @@
 //! [`BruteForceIndex`] provides the exact reference used in tests and for
 //! small collections.
 
+use std::sync::Arc;
+
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -84,7 +86,9 @@ struct Tree {
 pub struct AnnIndex {
     config: AnnIndexConfig,
     ids: Vec<u64>,
-    vectors: Vec<Vec<f32>>,
+    /// Indexed vectors, reference-counted so callers can share embeddings
+    /// with the index instead of deep-cloning them.
+    vectors: Vec<Arc<Vec<f32>>>,
     dim: usize,
     trees: Vec<Tree>,
     built: bool,
@@ -125,9 +129,13 @@ impl AnnIndex {
 
     /// Add a vector under `id`. Call [`build`](Self::build) before querying.
     ///
+    /// Accepts either an owned `Vec<f32>` or an `Arc<Vec<f32>>`; passing the
+    /// `Arc` shares the caller's vector without copying it.
+    ///
     /// # Panics
     /// Panics if the vector dimension does not match the index dimension.
-    pub fn add(&mut self, id: u64, vector: Vec<f32>) {
+    pub fn add(&mut self, id: u64, vector: impl Into<Arc<Vec<f32>>>) {
+        let vector = vector.into();
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
         self.ids.push(id);
         self.vectors.push(vector);
@@ -163,7 +171,9 @@ impl AnnIndex {
         depth: usize,
     ) -> usize {
         if items.len() <= self.config.leaf_size || depth > 40 {
-            nodes.push(Node::Leaf { items: items.to_vec() });
+            nodes.push(Node::Leaf {
+                items: items.to_vec(),
+            });
             return nodes.len() - 1;
         }
         // Pick two distinct points and split by the perpendicular bisector of
@@ -175,8 +185,8 @@ impl AnnIndex {
                 break cand;
             }
         };
-        let va = &self.vectors[a];
-        let vb = &self.vectors[b];
+        let va: &[f32] = &self.vectors[a];
+        let vb: &[f32] = &self.vectors[b];
         let mut normal: Vec<f32> = va.iter().zip(vb).map(|(x, y)| x - y).collect();
         let norm: f32 = normal.iter().map(|x| x * x).sum::<f32>().sqrt();
         if norm < 1e-12 {
@@ -191,7 +201,11 @@ impl AnnIndex {
         let mut left = Vec::new();
         let mut right = Vec::new();
         for &i in items {
-            let side: f32 = normal.iter().zip(&self.vectors[i]).map(|(n, v)| n * v).sum();
+            let side: f32 = normal
+                .iter()
+                .zip(self.vectors[i].iter())
+                .map(|(n, v)| n * v)
+                .sum();
             if side < offset {
                 left.push(i);
             } else {
@@ -200,7 +214,9 @@ impl AnnIndex {
         }
         // Guard against degenerate splits that would not reduce the set.
         if left.is_empty() || right.is_empty() {
-            nodes.push(Node::Leaf { items: items.to_vec() });
+            nodes.push(Node::Leaf {
+                items: items.to_vec(),
+            });
             return nodes.len() - 1;
         }
         let left_idx = self.build_node(&left, rng, nodes, depth + 1);
@@ -244,7 +260,12 @@ impl AnnIndex {
             Node::Leaf { items } => {
                 out.extend(items.iter().copied());
             }
-            Node::Split { normal, offset, left, right } => {
+            Node::Split {
+                normal,
+                offset,
+                left,
+                right,
+            } => {
                 let side: f32 = normal.iter().zip(vector).map(|(n, v)| n * v).sum();
                 if side < *offset {
                     self.collect_candidates(tree, *left, vector, out);
@@ -347,7 +368,14 @@ mod tests {
     fn ann_recall_reasonable() {
         let dim = 16;
         let vectors = random_vectors(500, dim, 99);
-        let mut ann = AnnIndex::new(dim, AnnIndexConfig { num_trees: 15, leaf_size: 10, seed: 7 });
+        let mut ann = AnnIndex::new(
+            dim,
+            AnnIndexConfig {
+                num_trees: 15,
+                leaf_size: 10,
+                seed: 7,
+            },
+        );
         let mut exact = BruteForceIndex::new();
         for (i, v) in vectors.iter().enumerate() {
             ann.add(i as u64, v.clone());

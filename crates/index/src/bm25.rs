@@ -7,6 +7,18 @@
 //! one of the baselines in the Doc→Table evaluation (Figure 6, labels
 //! "Elastic-BM25", "Elastic-LMDirichlet", "Elastic BM25-Content Only",
 //! "Elastic BM25-Schema Only").
+//!
+//! ## Layout
+//!
+//! Terms are interned to dense `u32` ids, postings reference documents by a
+//! dense `u32` index (the external `u64` id is resolved only when a result
+//! is emitted), and document lengths live in a flat `Vec`. Scoring walks the
+//! query's posting lists document-at-a-time with a small cursor heap and
+//! accumulates results in a bounded [`TopK`] heap, so a query performs no
+//! per-document hashing and no `HashMap` allocation. Per-term BM25 IDF is
+//! precomputed by [`InvertedIndex::finalize`] (called automatically by the
+//! index catalog after bulk loading) and recomputed on the fly only when
+//! the index has been mutated since.
 
 use std::collections::HashMap;
 
@@ -51,23 +63,32 @@ impl Default for ScoringFunction {
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Posting {
-    doc: u64,
+    /// Dense document index (position in `doc_ids` / `doc_lengths`).
+    doc: u32,
     term_freq: u32,
-}
-
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct DocStats {
-    length: u64,
 }
 
 /// An inverted index over bag-of-words elements keyed by opaque `u64` ids.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct InvertedIndex {
-    postings: HashMap<String, Vec<Posting>>,
-    docs: HashMap<u64, DocStats>,
+    /// Term → dense term id.
+    term_ids: HashMap<String, u32>,
+    /// Posting lists by term id, each sorted by dense doc index.
+    postings: Vec<Vec<Posting>>,
+    /// Total corpus occurrences by term id (for LM-Dirichlet).
+    term_totals: Vec<u64>,
+    /// Dense doc index → external id.
+    doc_ids: Vec<u64>,
+    /// Token count by dense doc index.
+    doc_lengths: Vec<u64>,
+    /// Sum of all document lengths.
     total_length: u64,
-    /// Total occurrences of each term across the corpus (for LM-Dirichlet).
-    term_totals: HashMap<String, u64>,
+    /// Precomputed BM25 IDF by term id (valid when `idf_docs == doc_ids.len()`).
+    #[serde(skip)]
+    idf_cache: Vec<f64>,
+    /// Document count the IDF cache was computed for.
+    #[serde(skip)]
+    idf_docs: usize,
 }
 
 impl InvertedIndex {
@@ -78,12 +99,12 @@ impl InvertedIndex {
 
     /// Number of indexed elements.
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.doc_ids.len()
     }
 
     /// Is the index empty?
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.doc_ids.is_empty()
     }
 
     /// Number of distinct terms.
@@ -93,16 +114,19 @@ impl InvertedIndex {
 
     /// Average element length in tokens.
     pub fn avg_doc_length(&self) -> f64 {
-        if self.docs.is_empty() {
+        if self.doc_ids.is_empty() {
             0.0
         } else {
-            self.total_length as f64 / self.docs.len() as f64
+            self.total_length as f64 / self.doc_ids.len() as f64
         }
     }
 
     /// Document frequency of a term.
     pub fn doc_freq(&self, term: &str) -> usize {
-        self.postings.get(term).map(|p| p.len()).unwrap_or(0)
+        self.term_ids
+            .get(term)
+            .map(|&tid| self.postings[tid as usize].len())
+            .unwrap_or(0)
     }
 
     /// Index an element's bag of words under `id`.
@@ -110,17 +134,47 @@ impl InvertedIndex {
     /// Indexing the same id twice adds the new postings without removing the
     /// old ones; callers should use fresh ids.
     pub fn add(&mut self, id: u64, bow: &BagOfWords) {
+        let dense = self.doc_ids.len() as u32;
+        self.doc_ids.push(id);
         let mut length = 0u64;
         for (term, count) in bow.iter() {
-            self.postings
-                .entry(term.to_string())
-                .or_default()
-                .push(Posting { doc: id, term_freq: count });
-            *self.term_totals.entry(term.to_string()).or_insert(0) += u64::from(count);
+            let tid = match self.term_ids.get(term) {
+                Some(&tid) => tid,
+                None => {
+                    let tid = self.postings.len() as u32;
+                    self.term_ids.insert(term.to_string(), tid);
+                    self.postings.push(Vec::new());
+                    self.term_totals.push(0);
+                    tid
+                }
+            };
+            self.postings[tid as usize].push(Posting {
+                doc: dense,
+                term_freq: count,
+            });
+            self.term_totals[tid as usize] += u64::from(count);
             length += u64::from(count);
         }
         self.total_length += length;
-        self.docs.insert(id, DocStats { length });
+        self.doc_lengths.push(length);
+    }
+
+    /// Precompute the per-term BM25 IDF table. Queries work without calling
+    /// this (they fall back to computing IDF per query term), but bulk
+    /// loaders should call it once after their final [`add`](Self::add).
+    pub fn finalize(&mut self) {
+        let n = self.doc_ids.len() as f64;
+        self.idf_cache = self
+            .postings
+            .iter()
+            .map(|postings| bm25_idf(n, postings.len() as f64))
+            .collect();
+        self.idf_docs = self.doc_ids.len();
+    }
+
+    /// Is the precomputed IDF table in sync with the index contents?
+    pub fn is_finalized(&self) -> bool {
+        self.idf_docs == self.doc_ids.len() && self.idf_cache.len() == self.postings.len()
     }
 
     /// Search with the default BM25 scoring.
@@ -136,78 +190,264 @@ impl InvertedIndex {
         top_k: usize,
         scoring: ScoringFunction,
     ) -> Vec<(u64, f64)> {
-        match scoring {
-            ScoringFunction::Bm25(params) => self.search_bm25(query, top_k, params),
-            ScoringFunction::LmDirichlet { mu } => self.search_lm(query, top_k, mu),
+        self.search_filtered(query, top_k, scoring, |_| true)
+    }
+
+    /// Search restricted to documents accepted by `filter` (called with the
+    /// external document id). The filter is applied *while* streaming
+    /// candidates into the top-k heap, so the result contains up to `top_k`
+    /// accepted documents no matter how selective the filter is — callers
+    /// never need to over-fetch.
+    pub fn search_filtered(
+        &self,
+        query: &BagOfWords,
+        top_k: usize,
+        scoring: ScoringFunction,
+        filter: impl Fn(u64) -> bool,
+    ) -> Vec<(u64, f64)> {
+        if self.doc_ids.is_empty() || top_k == 0 {
+            return Vec::new();
+        }
+        let cursors = match scoring {
+            ScoringFunction::Bm25(params) => self.bm25_cursors(query, params),
+            ScoringFunction::LmDirichlet { mu } => self.lm_cursors(query, mu),
+        };
+        if self.doc_ids.len() <= TAAT_MAX_DOCS {
+            self.scan_taat(cursors, top_k, scoring, filter)
+        } else {
+            self.scan_daat(cursors, top_k, scoring, filter)
         }
     }
 
-    fn search_bm25(&self, query: &BagOfWords, top_k: usize, params: Bm25Params) -> Vec<(u64, f64)> {
-        let n = self.docs.len() as f64;
-        if n == 0.0 {
+    /// Build one scoring cursor per query term that the index knows.
+    fn bm25_cursors(&self, query: &BagOfWords, _params: Bm25Params) -> Vec<Cursor<'_>> {
+        let n = self.doc_ids.len() as f64;
+        let finalized = self.is_finalized();
+        query
+            .iter()
+            .filter_map(|(term, _qf)| {
+                let &tid = self.term_ids.get(term)?;
+                let postings = &self.postings[tid as usize];
+                if postings.is_empty() {
+                    return None;
+                }
+                let idf = if finalized {
+                    self.idf_cache[tid as usize]
+                } else {
+                    bm25_idf(n, postings.len() as f64)
+                };
+                Some(Cursor {
+                    postings,
+                    pos: 0,
+                    weight: idf,
+                    background: 0.0,
+                })
+            })
+            .collect()
+    }
+
+    fn lm_cursors(&self, query: &BagOfWords, mu: f64) -> Vec<Cursor<'_>> {
+        let corpus_len = self.total_length.max(1) as f64;
+        query
+            .iter()
+            .filter_map(|(term, qf)| {
+                let &tid = self.term_ids.get(term)?;
+                let postings = &self.postings[tid as usize];
+                let cf = self.term_totals[tid as usize] as f64;
+                if postings.is_empty() || cf == 0.0 {
+                    return None;
+                }
+                Some(Cursor {
+                    postings,
+                    pos: 0,
+                    weight: f64::from(qf),
+                    background: mu * (cf / corpus_len),
+                })
+            })
+            .collect()
+    }
+
+    /// Reference implementation of the pre-optimization query path: score
+    /// every touched document into a `HashMap`, then sort. Kept for the
+    /// estimator-parity tests and as the in-process baseline of the
+    /// throughput benchmarks; production queries use
+    /// [`search_with`](Self::search_with).
+    pub fn search_exhaustive(
+        &self,
+        query: &BagOfWords,
+        top_k: usize,
+        scoring: ScoringFunction,
+    ) -> Vec<(u64, f64)> {
+        if self.doc_ids.is_empty() {
             return Vec::new();
         }
         let avgdl = self.avg_doc_length().max(1e-9);
+        let cursors = match scoring {
+            ScoringFunction::Bm25(params) => self.bm25_cursors(query, params),
+            ScoringFunction::LmDirichlet { mu } => self.lm_cursors(query, mu),
+        };
         let mut scores: HashMap<u64, f64> = HashMap::new();
-        for (term, _qf) in query.iter() {
-            let Some(postings) = self.postings.get(term) else { continue };
-            let df = postings.len() as f64;
-            // BM25+-style IDF, never negative.
-            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
-            for p in postings {
-                let dl = self.docs[&p.doc].length as f64;
-                let tf = p.term_freq as f64;
-                let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
-                let contrib = idf * tf * (params.k1 + 1.0) / denom;
-                *scores.entry(p.doc).or_insert(0.0) += contrib;
+        for cursor in &cursors {
+            for posting in cursor.postings {
+                let doc = posting.doc as usize;
+                let dl = self.doc_lengths[doc] as f64;
+                let tf = f64::from(posting.term_freq);
+                let contribution = match scoring {
+                    ScoringFunction::Bm25(params) => {
+                        let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
+                        cursor.weight * tf * (params.k1 + 1.0) / denom
+                    }
+                    ScoringFunction::LmDirichlet { mu } => {
+                        let smoothed = (tf + cursor.background) / (dl + mu);
+                        let background = cursor.background / (dl + mu);
+                        cursor.weight * (smoothed / background).ln()
+                    }
+                };
+                *scores.entry(self.doc_ids[doc]).or_insert(0.0) += contribution;
             }
         }
-        collect_top_k(scores, top_k)
+        let mut tk = TopK::new(top_k);
+        for (id, score) in scores {
+            if score > 0.0 {
+                tk.push(id, score);
+            }
+        }
+        tk.into_sorted_vec()
     }
 
-    fn search_lm(&self, query: &BagOfWords, top_k: usize, mu: f64) -> Vec<(u64, f64)> {
-        if self.docs.is_empty() {
-            return Vec::new();
+    /// Term-at-a-time scan: accumulate every term's contributions into a
+    /// dense per-document score array, then stream the touched documents
+    /// into the top-k heap. One branch-free addition per posting — the
+    /// fastest strategy while the score array fits comfortably in memory
+    /// (up to [`TAAT_MAX_DOCS`] documents); larger corpora use the
+    /// document-at-a-time merge instead.
+    fn scan_taat(
+        &self,
+        cursors: Vec<Cursor<'_>>,
+        top_k: usize,
+        scoring: ScoringFunction,
+        filter: impl Fn(u64) -> bool,
+    ) -> Vec<(u64, f64)> {
+        let avgdl = self.avg_doc_length().max(1e-9);
+        let mut scores = vec![0.0f64; self.doc_ids.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        for cursor in &cursors {
+            for posting in cursor.postings {
+                let doc = posting.doc as usize;
+                let dl = self.doc_lengths[doc] as f64;
+                let tf = f64::from(posting.term_freq);
+                let contribution = match scoring {
+                    ScoringFunction::Bm25(params) => {
+                        let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
+                        cursor.weight * tf * (params.k1 + 1.0) / denom
+                    }
+                    ScoringFunction::LmDirichlet { mu } => {
+                        let smoothed = (tf + cursor.background) / (dl + mu);
+                        let background = cursor.background / (dl + mu);
+                        cursor.weight * (smoothed / background).ln()
+                    }
+                };
+                // Both scoring functions only produce positive
+                // contributions, so a zero score means "untouched".
+                if scores[doc] == 0.0 {
+                    touched.push(posting.doc);
+                }
+                scores[doc] += contribution;
+            }
         }
-        let corpus_len = self.total_length.max(1) as f64;
-        // Only score documents containing at least one query term (standard
-        // practice; keeps the index sparse-friendly).
-        let mut candidates: HashMap<u64, f64> = HashMap::new();
-        for (term, qf) in query.iter() {
-            let cf = *self.term_totals.get(term).unwrap_or(&0) as f64;
-            if cf == 0.0 {
-                continue;
-            }
-            let p_corpus = cf / corpus_len;
-            let Some(postings) = self.postings.get(term) else { continue };
-            let mut term_docs: HashMap<u64, f64> = HashMap::new();
-            for p in postings {
-                term_docs.insert(p.doc, p.term_freq as f64);
-            }
-            for p in postings {
-                let entry = candidates.entry(p.doc).or_insert(0.0);
-                let dl = self.docs[&p.doc].length as f64;
-                let tf = term_docs.get(&p.doc).copied().unwrap_or(0.0);
-                // log P(t|d) with Dirichlet smoothing, weighted by query tf,
-                // normalized against the pure-background score so that scores
-                // stay non-negative and only matching terms contribute.
-                let smoothed = (tf + mu * p_corpus) / (dl + mu);
-                let background = (mu * p_corpus) / (dl + mu);
-                *entry += f64::from(qf) * (smoothed / background).ln();
+        let mut tk = TopK::new(top_k);
+        for &doc in &touched {
+            let score = scores[doc as usize];
+            if score > 0.0 && tk.would_accept(score) {
+                let id = self.doc_ids[doc as usize];
+                if filter(id) {
+                    tk.push(id, score);
+                }
             }
         }
-        collect_top_k(candidates, top_k)
+        tk.into_sorted_vec()
+    }
+
+    /// Document-at-a-time scan: merge the posting cursors in dense-doc
+    /// order, score each touched document once, and keep the best `top_k`.
+    fn scan_daat(
+        &self,
+        mut cursors: Vec<Cursor<'_>>,
+        top_k: usize,
+        scoring: ScoringFunction,
+        filter: impl Fn(u64) -> bool,
+    ) -> Vec<(u64, f64)> {
+        let avgdl = self.avg_doc_length().max(1e-9);
+        let mut tk = TopK::new(top_k);
+        // Min-heap of (dense doc, cursor index) — postings are sorted by
+        // dense doc, so repeatedly draining the minimum visits each touched
+        // document exactly once, in order.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, usize)>> = cursors
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| std::cmp::Reverse((c.postings[c.pos].doc, ci)))
+            .collect();
+        while let Some(&std::cmp::Reverse((doc, _))) = heap.peek() {
+            let dl = self.doc_lengths[doc as usize] as f64;
+            let mut score = 0.0;
+            while let Some(&std::cmp::Reverse((d, ci))) = heap.peek() {
+                if d != doc {
+                    break;
+                }
+                heap.pop();
+                let cursor = &mut cursors[ci];
+                let tf = f64::from(cursor.postings[cursor.pos].term_freq);
+                score += match scoring {
+                    ScoringFunction::Bm25(params) => {
+                        let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
+                        cursor.weight * tf * (params.k1 + 1.0) / denom
+                    }
+                    ScoringFunction::LmDirichlet { mu } => {
+                        // log P(t|d) with Dirichlet smoothing, weighted by
+                        // query tf and normalized against the pure-background
+                        // score so only matching terms contribute.
+                        let smoothed = (tf + cursor.background) / (dl + mu);
+                        let background = cursor.background / (dl + mu);
+                        cursor.weight * (smoothed / background).ln()
+                    }
+                };
+                cursor.pos += 1;
+                if cursor.pos < cursor.postings.len() {
+                    heap.push(std::cmp::Reverse((cursor.postings[cursor.pos].doc, ci)));
+                }
+            }
+            if score > 0.0 {
+                let id = self.doc_ids[doc as usize];
+                if tk.would_accept(score) && filter(id) {
+                    tk.push(id, score);
+                }
+            }
+        }
+        tk.into_sorted_vec()
     }
 }
 
-fn collect_top_k(scores: HashMap<u64, f64>, top_k: usize) -> Vec<(u64, f64)> {
-    let mut tk = TopK::new(top_k);
-    for (id, score) in scores {
-        if score > 0.0 {
-            tk.push(id, score);
-        }
-    }
-    tk.into_sorted_vec()
+/// Largest corpus for which queries use the dense term-at-a-time score
+/// array (8 bytes per document, allocated per query). Above this the index
+/// switches to the allocation-light document-at-a-time merge.
+const TAAT_MAX_DOCS: usize = 1 << 16;
+
+/// BM25+-style IDF, never negative.
+#[inline]
+fn bm25_idf(n: f64, df: f64) -> f64 {
+    ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+}
+
+/// A scoring cursor over one query term's posting list.
+///
+/// `weight` is the term's precomputed query-independent factor (IDF for
+/// BM25, query term frequency for LM-Dirichlet); `background` is the
+/// LM-Dirichlet `mu·P(t|corpus)` term (unused by BM25).
+struct Cursor<'a> {
+    postings: &'a [Posting],
+    pos: usize,
+    weight: f64,
+    background: f64,
 }
 
 #[cfg(test)]
@@ -220,7 +460,10 @@ mod tests {
 
     fn sample_index() -> InvertedIndex {
         let mut idx = InvertedIndex::new();
-        idx.add(1, &bow(&["pemetrexed", "antifolate", "synthase", "inhibitor"]));
+        idx.add(
+            1,
+            &bow(&["pemetrexed", "antifolate", "synthase", "inhibitor"]),
+        );
         idx.add(2, &bow(&["citric", "acid", "anticoagulant"]));
         idx.add(3, &bow(&["geneticin", "aminoglycoside", "antibiotic"]));
         idx.add(4, &bow(&["synthase", "enzyme", "target", "reductase"]));
@@ -288,8 +531,14 @@ mod tests {
     #[test]
     fn term_frequency_increases_score() {
         let mut idx = InvertedIndex::new();
-        idx.add(1, &BagOfWords::from_tokens(["drug", "drug", "drug", "other"]));
-        idx.add(2, &BagOfWords::from_tokens(["drug", "other", "filler", "words"]));
+        idx.add(
+            1,
+            &BagOfWords::from_tokens(["drug", "drug", "drug", "other"]),
+        );
+        idx.add(
+            2,
+            &BagOfWords::from_tokens(["drug", "other", "filler", "words"]),
+        );
         let results = idx.search(&bow(&["drug"]), 2);
         assert_eq!(results[0].0, 1);
     }
@@ -319,5 +568,97 @@ mod tests {
         assert_eq!(back.len(), 4);
         let results = back.search(&bow(&["synthase"]), 2);
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn finalize_does_not_change_scores() {
+        let mut idx = sample_index();
+        let before = idx.search(&bow(&["synthase", "inhibitor"]), 4);
+        idx.finalize();
+        assert!(idx.is_finalized());
+        let after = idx.search(&bow(&["synthase", "inhibitor"]), 4);
+        assert_eq!(before, after);
+        // Adding after finalize invalidates the cache but keeps correctness.
+        idx.add(9, &bow(&["synthase"]));
+        assert!(!idx.is_finalized());
+        assert!(idx
+            .search(&bow(&["synthase"]), 5)
+            .iter()
+            .any(|(id, _)| *id == 9));
+    }
+
+    #[test]
+    fn filtered_search_fills_top_k() {
+        // 30 even docs about "alpha", 5 odd docs about "alpha" with lower
+        // term frequency: a filter for odd ids must still return all 5 odd
+        // matches even though the top of the unfiltered ranking is even.
+        let mut idx = InvertedIndex::new();
+        for i in 0..30u64 {
+            idx.add(i * 2, &BagOfWords::from_tokens(["alpha", "alpha", "alpha"]));
+        }
+        for i in 0..5u64 {
+            idx.add(
+                i * 2 + 1,
+                &BagOfWords::from_tokens(["alpha", "pad", "pad", "pad"]),
+            );
+        }
+        let odd = idx.search_filtered(&bow(&["alpha"]), 5, ScoringFunction::default(), |id| {
+            id % 2 == 1
+        });
+        assert_eq!(odd.len(), 5, "filter-aware search must fill top_k");
+        assert!(odd.iter().all(|(id, _)| id % 2 == 1));
+    }
+
+    #[test]
+    fn taat_and_daat_strategies_agree() {
+        let mut idx = InvertedIndex::new();
+        for i in 0..50u64 {
+            let mut words = vec!["common"];
+            if i % 3 == 0 {
+                words.push("fizz");
+            }
+            if i % 5 == 0 {
+                words.push("buzz");
+            }
+            if i % 7 == 0 {
+                words.extend(["rare", "rare"]);
+            }
+            idx.add(i, &BagOfWords::from_tokens(words));
+        }
+        idx.finalize();
+        for scoring in [
+            ScoringFunction::default(),
+            ScoringFunction::LmDirichlet { mu: 50.0 },
+        ] {
+            let query = bow(&["common", "fizz", "rare"]);
+            let taat = idx.scan_taat(idx_cursors(&idx, &query, scoring), 8, scoring, |_| true);
+            let daat = idx.scan_daat(idx_cursors(&idx, &query, scoring), 8, scoring, |_| true);
+            assert_eq!(taat, daat, "scan strategies must rank identically");
+        }
+    }
+
+    fn idx_cursors<'a>(
+        idx: &'a InvertedIndex,
+        query: &BagOfWords,
+        scoring: ScoringFunction,
+    ) -> Vec<Cursor<'a>> {
+        match scoring {
+            ScoringFunction::Bm25(params) => idx.bm25_cursors(query, params),
+            ScoringFunction::LmDirichlet { mu } => idx.lm_cursors(query, mu),
+        }
+    }
+
+    #[test]
+    fn filtered_matches_postfilter_of_exhaustive() {
+        let idx = sample_index();
+        let all = idx.search(&bow(&["synthase", "enzyme", "acid"]), 10);
+        let filtered = idx.search_filtered(
+            &bow(&["synthase", "enzyme", "acid"]),
+            10,
+            ScoringFunction::default(),
+            |id| id != 2,
+        );
+        let expected: Vec<(u64, f64)> = all.into_iter().filter(|(id, _)| *id != 2).collect();
+        assert_eq!(filtered, expected);
     }
 }

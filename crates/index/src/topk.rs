@@ -55,6 +55,24 @@ impl TopK {
         }
     }
 
+    /// Would a pair with this score enter the accumulator right now?
+    ///
+    /// Lets scoring loops skip more expensive admission work (e.g. filter
+    /// predicates or id resolution) for scores that cannot make the cut.
+    /// Note ties: a score equal to the current threshold is rejected by
+    /// `push` in effect (it enters and immediately displaces an equal item),
+    /// so `would_accept` treats it as acceptable only when it beats the
+    /// threshold.
+    pub fn would_accept(&self, score: f64) -> bool {
+        if self.k == 0 || !score.is_finite() {
+            return false;
+        }
+        match self.threshold() {
+            Some(threshold) => score > threshold,
+            None => true,
+        }
+    }
+
     /// Current number of retained items.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -98,7 +116,10 @@ mod tests {
             tk.push(id, score);
         }
         let out = tk.into_sorted_vec();
-        assert_eq!(out.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![2, 4, 3]);
+        assert_eq!(
+            out.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![2, 4, 3]
+        );
     }
 
     #[test]

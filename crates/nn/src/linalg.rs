@@ -122,7 +122,12 @@ impl Matrix {
     /// Element-wise addition (same shape).
     pub fn add(&self, other: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -137,8 +142,8 @@ impl Matrix {
         assert_eq!(bias.len(), self.cols);
         let mut out = self.clone();
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[r * self.cols + c] += bias[c];
+            for (c, b) in bias.iter().enumerate() {
+                out.data[r * self.cols + c] += b;
             }
         }
         out
@@ -149,8 +154,8 @@ impl Matrix {
     pub fn column_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0; self.cols];
         for r in 0..self.rows {
-            for c in 0..self.cols {
-                sums[c] += self.get(r, c);
+            for (c, sum) in sums.iter_mut().enumerate() {
+                *sum += self.get(r, c);
             }
         }
         sums

@@ -148,7 +148,8 @@ mod tests {
                     _ => &mut minus.negatives,
                 };
                 m_minus.set(0, c, m_minus.get(0, c) - eps);
-                let numeric = (triplet_loss(&plus, margin) - triplet_loss(&minus, margin)) / (2.0 * eps);
+                let numeric =
+                    (triplet_loss(&plus, margin) - triplet_loss(&minus, margin)) / (2.0 * eps);
                 let analytic = grad.get(0, c);
                 assert!(
                     (numeric - analytic).abs() < 1e-2,

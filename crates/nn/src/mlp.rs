@@ -190,7 +190,10 @@ impl Mlp {
 
     /// Forward pass returning only the output.
     pub fn forward(&self, input: &Matrix) -> Matrix {
-        self.forward_cached(input).activations.pop().expect("output")
+        self.forward_cached(input)
+            .activations
+            .pop()
+            .expect("output")
     }
 
     /// Embed a single vector.
@@ -310,6 +313,7 @@ mod tests {
         };
         let eps = 1e-3f32;
         // Check a handful of weights in layer 0 and layer 1.
+        #[allow(clippy::needless_range_loop)]
         for layer_idx in 0..2usize {
             for widx in [0usize, 1, 2] {
                 let orig = mlp.layers()[layer_idx].weights.data()[widx];

@@ -233,7 +233,10 @@ mod tests {
     #[test]
     fn adam_reduces_loss() {
         let (initial, final_loss) = train_regression(Adam::with_learning_rate(0.01));
-        assert!(final_loss < initial * 0.1, "Adam: {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial * 0.1,
+            "Adam: {initial} -> {final_loss}"
+        );
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod similarity;
 
 pub use lsh::LshIndex;
 pub use lshensemble::{LshEnsemble, LshEnsembleConfig};
-pub use minhash::{MinHash, MinHasher};
+pub use minhash::{MinHash, MinHasher, SketchScheme};
 pub use numeric::{numeric_overlap, NumericProfile};
 pub use similarity::{exact_containment, exact_jaccard};

@@ -113,11 +113,7 @@ impl LshIndex {
         let mut scored: Vec<(u64, f64)> = self
             .candidates(query)
             .into_iter()
-            .filter_map(|id| {
-                self.signatures
-                    .get(&id)
-                    .map(|sig| (id, query.jaccard(sig)))
-            })
+            .filter_map(|id| self.signatures.get(&id).map(|sig| (id, query.jaccard(sig))))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(top_k);

@@ -76,8 +76,7 @@ impl Lemmatizer {
             return lemma.clone();
         }
         // Never touch identifiers or hyphenated compounds.
-        if token.chars().any(|c| c.is_ascii_digit()) || token.contains('-') || token.contains('_')
-        {
+        if token.chars().any(|c| c.is_ascii_digit()) || token.contains('-') || token.contains('_') {
             return token.to_string();
         }
         let n = token.len();
@@ -102,7 +101,11 @@ impl Lemmatizer {
         if let Some(stem) = token.strip_suffix("shes") {
             return format!("{stem}sh");
         }
-        if token.ends_with('s') && !token.ends_with("ss") && !token.ends_with("us") && !token.ends_with("is") {
+        if token.ends_with('s')
+            && !token.ends_with("ss")
+            && !token.ends_with("us")
+            && !token.ends_with("is")
+        {
             return token[..n - 1].to_string();
         }
         // Past tense -ed (only when a reasonable stem remains).
@@ -204,7 +207,10 @@ mod tests {
     #[test]
     fn lemmatize_all_preserves_length() {
         let l = Lemmatizer::new();
-        let toks: Vec<String> = ["drugs", "inhibited"].iter().map(|s| s.to_string()).collect();
+        let toks: Vec<String> = ["drugs", "inhibited"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(l.lemmatize_all(&toks), vec!["drug", "inhibit"]);
     }
 }

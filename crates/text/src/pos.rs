@@ -28,13 +28,65 @@ const NOUN_SUFFIXES: &[&str] = &[
 
 /// A small set of frequent English verbs/adjectives that suffix rules miss.
 const COMMON_NON_NOUNS: &[&str] = &[
-    "inhibit", "inhibits", "inhibited", "inhibiting", "increase", "increases", "increased",
-    "decrease", "decreases", "decreased", "cause", "causes", "caused", "causing", "use", "used",
-    "uses", "using", "show", "shows", "shown", "showed", "find", "found", "finds", "make",
-    "makes", "made", "take", "takes", "taken", "give", "gives", "given", "include", "includes",
-    "including", "associated", "related", "observed", "reported", "suggest", "suggests",
-    "suggested", "perform", "performed", "performs", "new", "novel", "several", "many", "active",
-    "severe", "greater", "large", "small", "high", "low", "好",
+    "inhibit",
+    "inhibits",
+    "inhibited",
+    "inhibiting",
+    "increase",
+    "increases",
+    "increased",
+    "decrease",
+    "decreases",
+    "decreased",
+    "cause",
+    "causes",
+    "caused",
+    "causing",
+    "use",
+    "used",
+    "uses",
+    "using",
+    "show",
+    "shows",
+    "shown",
+    "showed",
+    "find",
+    "found",
+    "finds",
+    "make",
+    "makes",
+    "made",
+    "take",
+    "takes",
+    "taken",
+    "give",
+    "gives",
+    "given",
+    "include",
+    "includes",
+    "including",
+    "associated",
+    "related",
+    "observed",
+    "reported",
+    "suggest",
+    "suggests",
+    "suggested",
+    "perform",
+    "performed",
+    "performs",
+    "new",
+    "novel",
+    "several",
+    "many",
+    "active",
+    "severe",
+    "greater",
+    "large",
+    "small",
+    "high",
+    "low",
+    "好",
 ];
 
 /// Returns `true` if the token plausibly denotes a noun / entity-like term.
@@ -112,7 +164,14 @@ mod tests {
 
     #[test]
     fn keeps_entity_like_tokens() {
-        for t in ["pemetrexed", "synthase", "reductase", "enzyme", "db00642", "anti-folate"] {
+        for t in [
+            "pemetrexed",
+            "synthase",
+            "reductase",
+            "enzyme",
+            "db00642",
+            "anti-folate",
+        ] {
             assert!(looks_like_noun(t), "{t} should be kept");
         }
     }

@@ -9,20 +9,162 @@ use std::collections::HashSet;
 
 /// The built-in English stop-word list.
 pub const ENGLISH_STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
-    "are", "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between",
-    "both", "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during",
-    "each", "either", "else", "few", "for", "from", "further", "had", "has", "have", "having",
-    "he", "her", "here", "hers", "herself", "him", "himself", "his", "how", "however", "i", "if",
-    "in", "into", "is", "it", "its", "itself", "just", "like", "may", "me", "might", "more",
-    "most", "must", "my", "myself", "neither", "no", "nor", "not", "now", "of", "off", "on",
-    "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own", "same",
-    "shall", "she", "should", "since", "so", "some", "such", "than", "that", "the", "their",
-    "theirs", "them", "themselves", "then", "there", "these", "they", "this", "those", "through",
-    "to", "too", "under", "until", "up", "upon", "us", "very", "was", "we", "were", "what",
-    "when", "where", "which", "while", "who", "whom", "why", "will", "with", "within", "without",
-    "would", "you", "your", "yours", "yourself", "yourselves", "via", "et", "al", "eg", "ie",
-    "etc", "among", "amongst", "toward", "towards", "per", "vs", "versus",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "also",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "aren",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "did",
+    "do",
+    "does",
+    "doing",
+    "down",
+    "during",
+    "each",
+    "either",
+    "else",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "has",
+    "have",
+    "having",
+    "he",
+    "her",
+    "here",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "however",
+    "i",
+    "if",
+    "in",
+    "into",
+    "is",
+    "it",
+    "its",
+    "itself",
+    "just",
+    "like",
+    "may",
+    "me",
+    "might",
+    "more",
+    "most",
+    "must",
+    "my",
+    "myself",
+    "neither",
+    "no",
+    "nor",
+    "not",
+    "now",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "shall",
+    "she",
+    "should",
+    "since",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "these",
+    "they",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "upon",
+    "us",
+    "very",
+    "was",
+    "we",
+    "were",
+    "what",
+    "when",
+    "where",
+    "which",
+    "while",
+    "who",
+    "whom",
+    "why",
+    "will",
+    "with",
+    "within",
+    "without",
+    "would",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+    "via",
+    "et",
+    "al",
+    "eg",
+    "ie",
+    "etc",
+    "among",
+    "amongst",
+    "toward",
+    "towards",
+    "per",
+    "vs",
+    "versus",
 ];
 
 /// A stop-word set with O(1) membership checks.
@@ -47,7 +189,9 @@ impl StopWords {
 
     /// An empty stop-word set (keeps everything).
     pub fn none() -> Self {
-        Self { words: HashSet::new() }
+        Self {
+            words: HashSet::new(),
+        }
     }
 
     /// Build a custom stop-word set from an iterator of words.
@@ -67,7 +211,8 @@ impl StopWords {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.words.extend(words.into_iter().map(|w| w.into().to_lowercase()));
+        self.words
+            .extend(words.into_iter().map(|w| w.into().to_lowercase()));
     }
 
     /// Is `word` a stop word? Case-insensitive.

@@ -169,6 +169,8 @@ mod tests {
     fn name_similarity_matches_related_names() {
         assert!(name_similarity("Drug_Key", "drug_key") > 0.9);
         assert!(name_similarity("Drug_Key", "DrugId") > 0.3);
-        assert!(name_similarity("Drug_Key", "region_code") < name_similarity("Drug_Key", "drug_id"));
+        assert!(
+            name_similarity("Drug_Key", "region_code") < name_similarity("Drug_Key", "drug_id")
+        );
     }
 }

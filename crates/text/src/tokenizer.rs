@@ -109,7 +109,10 @@ mod tests {
     #[test]
     fn basic_tokenization() {
         let toks = tokenize("Pemetrexed inhibits thymidylate synthase!");
-        assert_eq!(toks, vec!["pemetrexed", "inhibits", "thymidylate", "synthase"]);
+        assert_eq!(
+            toks,
+            vec!["pemetrexed", "inhibits", "thymidylate", "synthase"]
+        );
     }
 
     #[test]

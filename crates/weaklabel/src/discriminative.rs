@@ -147,7 +147,8 @@ mod tests {
             features.push(vec![x0, x1]);
             targets.push(if x0 + x1 > 1.0 { 1.0 } else { 0.0 });
         }
-        let model = DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
+        let model =
+            DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
         let correct = features
             .iter()
             .zip(&targets)
@@ -162,7 +163,8 @@ mod tests {
     fn soft_targets_supported() {
         let features = vec![vec![1.0], vec![0.0]];
         let targets = vec![0.9, 0.1];
-        let model = DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
+        let model =
+            DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
         assert!(model.predict_proba(&[1.0]) > model.predict_proba(&[0.0]));
     }
 
@@ -177,7 +179,8 @@ mod tests {
     fn probabilities_in_unit_interval() {
         let features = vec![vec![100.0], vec![-100.0]];
         let targets = vec![1.0, 0.0];
-        let model = DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
+        let model =
+            DiscriminativeModel::train(&features, &targets, &LogisticRegressionConfig::default());
         let p_hi = model.predict_proba(&[1000.0]);
         let p_lo = model.predict_proba(&[-1000.0]);
         assert!((0.0..=1.0).contains(&p_hi));

@@ -205,7 +205,9 @@ mod tests {
 
     #[test]
     fn abstentions_do_not_crash_and_leave_prior() {
-        let functions = vec![LabelingFunction::new("abstain", |_: &Candidate| Vote::Abstain)];
+        let functions = vec![LabelingFunction::new("abstain", |_: &Candidate| {
+            Vote::Abstain
+        })];
         let candidates = vec![Candidate::new(0, 1)];
         let matrix = LabelMatrix::build(&functions, &candidates);
         let cfg = GenerativeModelConfig::default();
@@ -224,7 +226,9 @@ mod tests {
 
     #[test]
     fn accuracies_stay_clamped() {
-        let functions = vec![LabelingFunction::new("alwayspos", |_: &Candidate| Vote::Positive)];
+        let functions = vec![LabelingFunction::new("alwayspos", |_: &Candidate| {
+            Vote::Positive
+        })];
         let candidates: Vec<Candidate> = (0..10).map(|i| Candidate::new(0, i)).collect();
         let matrix = LabelMatrix::build(&functions, &candidates);
         let cfg = GenerativeModelConfig::default();

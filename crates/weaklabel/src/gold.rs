@@ -153,12 +153,19 @@ mod tests {
             LabelingFunction::new("decent", |c: &Candidate| {
                 // correct on 8/10: flips answers for 4 and 5
                 let truth = c.right < 5;
-                let answer = if c.right == 4 || c.right == 5 { !truth } else { truth };
+                let answer = if c.right == 4 || c.right == 5 {
+                    !truth
+                } else {
+                    truth
+                };
                 Vote::from_bool(answer)
             }),
         ];
         let reports = GoldTuner::default().tune(&mut functions, &gold_set());
-        assert!(reports[1].enabled, "0.8 accuracy > 0.5 * 1.0 should stay enabled");
+        assert!(
+            reports[1].enabled,
+            "0.8 accuracy > 0.5 * 1.0 should stay enabled"
+        );
     }
 
     #[test]

@@ -168,7 +168,7 @@ impl LabelMatrix {
         let keep: Vec<bool> = self
             .votes
             .iter()
-            .map(|row| row.iter().any(|v| *v == Vote::Positive))
+            .map(|row| row.contains(&Vote::Positive))
             .collect();
         let mut idx = 0;
         self.candidates.retain(|_| {
@@ -246,7 +246,11 @@ mod tests {
     #[test]
     fn retain_covered_drops_all_negative_rows() {
         let functions = vec![even_right_positive()];
-        let candidates = vec![Candidate::new(1, 2), Candidate::new(1, 3), Candidate::new(1, 4)];
+        let candidates = vec![
+            Candidate::new(1, 2),
+            Candidate::new(1, 3),
+            Candidate::new(1, 4),
+        ];
         let mut m = LabelMatrix::build(&functions, &candidates);
         m.retain_covered();
         assert_eq!(m.num_candidates(), 2);

@@ -53,7 +53,9 @@ fn main() {
         .and_then(|id| cmdl.profiled.lake.document_index(id))
         .unwrap_or(doc_idx);
     println!("\nQ3: crossModal_search(r1[1], top_n: {k})");
-    let r3 = cmdl.cross_modal_search(doc_idx_3, k).expect("valid document");
+    let r3 = cmdl
+        .cross_modal_search(doc_idx_3, k)
+        .expect("valid document");
     for t in &r3 {
         println!("  {:.3}  {}", t.score, t.label);
     }
@@ -72,13 +74,15 @@ fn main() {
     println!("  (PK-FK links in the lake: {})", cmdl.pkfk().len());
 
     // Q5: find tables unionable with a table discovered in Q4.
-    let selected_5 = r4
-        .first()
-        .and_then(|r| r.table.clone())
-        .unwrap_or(selected);
+    let selected_5 = r4.first().and_then(|r| r.table.clone()).unwrap_or(selected);
     println!("\nQ5: unionable(\"{selected_5}\", top_n: {k})");
     let r5 = cmdl.unionable(&selected_5, k).expect("table exists");
     for u in &r5 {
-        println!("  {:.3}  {}  (mapped columns: {})", u.score, u.table, u.mapping.len());
+        println!(
+            "  {:.3}  {}  (mapped columns: {})",
+            u.score,
+            u.table,
+            u.mapping.len()
+        );
     }
 }

@@ -37,7 +37,9 @@ fn main() {
     //    re-run labeling.
     let mut gold = Vec::new();
     for (doc_idx, tables) in truth.doc_to_table.iter().take(6) {
-        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else { continue };
+        let Some(doc_id) = cmdl.profiled.lake.document_id(*doc_idx) else {
+            continue;
+        };
         for table in tables.iter().take(1) {
             for col in cmdl.profiled.columns_of_table(table).into_iter().take(1) {
                 gold.push(GoldLabel::new(doc_id.raw(), col.raw(), true));

@@ -49,7 +49,9 @@ fn full_pipeline_q1_to_q5_returns_planted_answers() {
     assert!(!tables.is_empty(), "Q2 should return tables");
     let expected = synth_lake.truth.tables_for_doc(doc_idx).unwrap();
     assert!(
-        tables.iter().any(|t| expected.contains(t.table.as_deref().unwrap_or(""))),
+        tables
+            .iter()
+            .any(|t| expected.contains(t.table.as_deref().unwrap_or(""))),
         "Q2 should hit at least one ground-truth table: got {:?}, expected {:?}",
         tables.iter().map(|t| &t.label).collect::<Vec<_>>(),
         expected
@@ -59,8 +61,9 @@ fn full_pipeline_q1_to_q5_returns_planted_answers() {
     let joins = cmdl.joinable("Drugs", 4).unwrap();
     let join_names: Vec<&str> = joins.iter().map(|j| j.label.as_str()).collect();
     assert!(
-        join_names.iter().any(|n| ["Enzyme_Targets", "Drug_Interactions", "Dosages", "Trials"]
-            .contains(n)),
+        join_names
+            .iter()
+            .any(|n| ["Enzyme_Targets", "Drug_Interactions", "Dosages", "Trials"].contains(n)),
         "Q4 should find a drug-key table, got {join_names:?}"
     );
 
@@ -81,7 +84,8 @@ fn cmdl_outperforms_schema_only_keyword_baseline_on_doc_to_table() {
     let benchmark = doc_to_table_benchmark(BenchmarkId::B1B, &synth_lake);
     let ks = [4, 8];
     let cmdl_eval = evaluate_doc2table(&cmdl, &benchmark, Doc2TableMethod::CmdlSolo, &ks);
-    let schema_eval = evaluate_doc2table(&cmdl, &benchmark, Doc2TableMethod::ElasticSchemaOnly, &ks);
+    let schema_eval =
+        evaluate_doc2table(&cmdl, &benchmark, Doc2TableMethod::ElasticSchemaOnly, &ks);
     let cmdl_recall: f64 = cmdl_eval.curve.iter().map(|p| p.recall).sum();
     let schema_recall: f64 = schema_eval.curve.iter().map(|p| p.recall).sum();
     assert!(
@@ -114,7 +118,11 @@ fn syntactic_join_containment_beats_jaccard_under_skew() {
     let d3l = evaluate_join(&cmdl, &benchmark, StructuredSystem::D3l);
     assert!(ours.r_precision >= aurum.r_precision - 1e-9);
     assert!(ours.r_precision >= d3l.r_precision - 1e-9);
-    assert!(ours.r_precision > 0.3, "CMDL join R-precision: {}", ours.r_precision);
+    assert!(
+        ours.r_precision > 0.3,
+        "CMDL join R-precision: {}",
+        ours.r_precision
+    );
 }
 
 #[test]
@@ -124,12 +132,20 @@ fn pkfk_recall_shape_matches_table_4() {
     let ours = evaluate_pkfk(&cmdl, &benchmark, StructuredSystem::Cmdl);
     let aurum = evaluate_pkfk(&cmdl, &benchmark, StructuredSystem::Aurum);
     assert!(ours.recall >= aurum.recall);
-    assert!(ours.recall > 0.4, "CMDL PK-FK recall too low: {}", ours.recall);
+    assert!(
+        ours.recall > 0.4,
+        "CMDL PK-FK recall too low: {}",
+        ours.recall
+    );
     // The paper reports CMDL trading precision for recall on DrugBank
     // (Table 4: 0.33 precision, 0.91 recall); symmetric 1:1 key coverage in
     // the synthetic lake produces reverse-direction false positives, so only
     // a loose lower bound is asserted here.
-    assert!(ours.precision > 0.1, "CMDL PK-FK precision too low: {}", ours.precision);
+    assert!(
+        ours.precision > 0.1,
+        "CMDL PK-FK precision too low: {}",
+        ours.precision
+    );
 }
 
 #[test]
@@ -150,6 +166,98 @@ fn unionability_cmdl_and_d3l_beat_aurum_on_ukopen() {
 }
 
 #[test]
+fn bm25_heap_matches_exhaustive_on_pharma_lake() {
+    // The optimized query path must return the same ranked set as the
+    // pre-optimization exhaustive scorer over the real (synthetic pharma)
+    // catalog, for every document-profile query.
+    use cmdl::index::ScoringFunction;
+    let (cmdl, _) = pharma_system();
+    for doc_id in &cmdl.profiled.doc_ids {
+        let profile = cmdl.profiled.profile(*doc_id).unwrap();
+        for scoring in [
+            ScoringFunction::default(),
+            ScoringFunction::LmDirichlet { mu: 2000.0 },
+        ] {
+            let heap = cmdl
+                .indexes
+                .content
+                .search_with(&profile.content, 10, scoring);
+            let exhaustive = cmdl
+                .indexes
+                .content
+                .search_exhaustive(&profile.content, 10, scoring);
+            assert_eq!(heap.len(), exhaustive.len());
+            for (h, e) in heap.iter().zip(exhaustive.iter()) {
+                assert!(
+                    (h.1 - e.1).abs() < 1e-9,
+                    "ranked scores diverge for doc {doc_id:?}: {h:?} vs {e:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn containment_probe_matches_brute_force_on_pharma_lake() {
+    let (cmdl, _) = pharma_system();
+    for doc_id in cmdl.profiled.doc_ids.iter().take(20) {
+        let profile = cmdl.profiled.profile(*doc_id).unwrap();
+        let probe = cmdl.indexes.containment.query_top_k(&profile.minhash, 10);
+        let brute = cmdl
+            .indexes
+            .containment
+            .query_top_k_brute(&profile.minhash, 10);
+        assert_eq!(probe.len(), brute.len());
+        for (p, b) in probe.iter().zip(brute.iter()) {
+            assert!(
+                (p.1 - b.1).abs() < 1e-9,
+                "containment scores diverge for doc {doc_id:?}: {p:?} vs {b:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn kind_filtered_search_fills_top_k() {
+    // The streaming kind filter must deliver `top_k` results whenever that
+    // many elements of the kind match — the seed's over-fetch post-filter
+    // could come up short under heavy filters.
+    use cmdl::index::ScoringFunction;
+    let (cmdl, _) = pharma_system();
+    let doc_id = cmdl.profiled.doc_ids[0];
+    let profile = cmdl.profiled.profile(doc_id).unwrap();
+    let k = 15;
+    let filtered = cmdl.indexes.content_search(
+        &cmdl.profiled,
+        &profile.content,
+        Some(DeKind::Column),
+        k,
+        ScoringFunction::default(),
+    );
+    // Reference: exhaustively score everything, post-filter by kind.
+    let all = cmdl.indexes.content.search_exhaustive(
+        &profile.content,
+        100_000,
+        ScoringFunction::default(),
+    );
+    let expected = all
+        .iter()
+        .filter(|(id, _)| {
+            cmdl.profiled
+                .profile(cmdl::datalake::DeId(*id))
+                .map(|p| p.kind == DeKind::Column)
+                .unwrap_or(false)
+        })
+        .count()
+        .min(k);
+    assert_eq!(
+        filtered.len(),
+        expected,
+        "kind-filtered search must fill top_k when enough columns match"
+    );
+}
+
+#[test]
 fn mlopen_lake_end_to_end_smoke() {
     let synth_lake = synth::mlopen(synth::MlOpenScale::Small);
     let cmdl = Cmdl::build(synth_lake.lake, CmdlConfig::fast());
@@ -159,7 +267,9 @@ fn mlopen_lake_end_to_end_smoke() {
     assert!(!results.is_empty());
     let links = cmdl.pkfk();
     assert!(
-        links.iter().any(|l| l.pk_name.starts_with("dataset_catalog")),
+        links
+            .iter()
+            .any(|l| l.pk_name.starts_with("dataset_catalog")),
         "catalog PK-FK links should be discovered"
     );
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use cmdl::eval::{precision_at_k, r_precision, recall_at_k};
-use cmdl::index::{InvertedIndex, TopK};
+use cmdl::index::{InvertedIndex, ScoringFunction, TopK};
 use cmdl::nn::{triplet_loss, Matrix, TripletBatch};
 use cmdl::sketch::{exact_containment, exact_jaccard, MinHasher};
 use cmdl::text::{BagOfWords, Pipeline, PipelineConfig};
@@ -121,17 +121,78 @@ proptest! {
         margin in 0.0f32..1.0,
     ) {
         let batch = TripletBatch {
-            anchors: Matrix::from_rows(&[anchor.clone()]),
+            anchors: Matrix::from_rows(std::slice::from_ref(&anchor)),
             positives: Matrix::from_rows(&[positive]),
             negatives: Matrix::from_rows(&[negative]),
         };
         prop_assert!(triplet_loss(&batch, margin) >= 0.0);
         let ideal = TripletBatch {
-            anchors: Matrix::from_rows(&[anchor.clone()]),
-            positives: Matrix::from_rows(&[anchor.clone()]),
+            anchors: Matrix::from_rows(std::slice::from_ref(&anchor)),
+            positives: Matrix::from_rows(std::slice::from_ref(&anchor)),
             negatives: Matrix::from_rows(&[anchor.iter().map(|x| x + 100.0).collect()]),
         };
         prop_assert_eq!(triplet_loss(&ideal, margin), 0.0);
+    }
+
+    /// Estimator parity: the one-permutation (densified) scheme and the
+    /// classic k-independent scheme estimate the same Jaccard similarity
+    /// and containment, each within tolerance of the exact value.
+    #[test]
+    fn oph_and_classic_estimates_agree(a in prop::collection::vec("[a-z]{2,6}", 10..60), b in prop::collection::vec("[a-z]{2,6}", 10..60)) {
+        let sa: BTreeSet<String> = a.iter().cloned().collect();
+        let sb: BTreeSet<String> = b.iter().cloned().collect();
+        prop_assume!(sa.len() >= 5 && sb.len() >= 5);
+        let classic = MinHasher::new(512, 77);
+        let oph = MinHasher::one_permutation(512, 77);
+        let exact_j = exact_jaccard(
+            &sa.iter().cloned().collect::<Vec<_>>(),
+            &sb.iter().cloned().collect::<Vec<_>>(),
+        );
+        let exact_c = exact_containment(
+            &sa.iter().cloned().collect::<Vec<_>>(),
+            &sb.iter().cloned().collect::<Vec<_>>(),
+        );
+        let jc = classic.signature(sa.iter()).jaccard(&classic.signature(sb.iter()));
+        let jo = oph.signature(sa.iter()).jaccard(&oph.signature(sb.iter()));
+        prop_assert!((jc - exact_j).abs() < 0.12, "classic jaccard {jc} vs exact {exact_j}");
+        prop_assert!((jo - exact_j).abs() < 0.12, "oph jaccard {jo} vs exact {exact_j}");
+        prop_assert!((jc - jo).abs() < 0.2, "schemes diverge: classic {jc} vs oph {jo}");
+        let cc = classic.signature(sa.iter()).containment_in(&classic.signature(sb.iter()));
+        let co = oph.signature(sa.iter()).containment_in(&oph.signature(sb.iter()));
+        prop_assert!((cc - exact_c).abs() < 0.25, "classic containment {cc} vs exact {exact_c}");
+        prop_assert!((co - exact_c).abs() < 0.25, "oph containment {co} vs exact {exact_c}");
+    }
+
+    /// The heap-based top-k BM25 search returns the same ranked set as
+    /// exhaustive scoring: same length, same scores in the same order, and
+    /// every returned id carries its exhaustive score.
+    #[test]
+    fn bm25_heap_matches_exhaustive(docs in prop::collection::vec(word_vec(), 2..10), k in 1usize..8) {
+        let mut index = InvertedIndex::new();
+        for (i, words) in docs.iter().enumerate() {
+            index.add(i as u64, &BagOfWords::from_tokens(words.iter().cloned()));
+        }
+        index.finalize();
+        for words in &docs {
+            if words.is_empty() { continue; }
+            let query = BagOfWords::from_tokens(words.iter().cloned());
+            for scoring in [ScoringFunction::default(), ScoringFunction::LmDirichlet { mu: 200.0 }] {
+                let heap = index.search_with(&query, k, scoring);
+                let exhaustive = index.search_exhaustive(&query, k, scoring);
+                prop_assert_eq!(heap.len(), exhaustive.len());
+                for (h, e) in heap.iter().zip(exhaustive.iter()) {
+                    prop_assert!((h.1 - e.1).abs() < 1e-9, "score order diverges: {:?} vs {:?}", h, e);
+                }
+                // Ids may legitimately differ only within exact ties; every
+                // returned id must carry its exhaustive score.
+                let full = index.search_exhaustive(&query, docs.len(), scoring);
+                for (id, score) in &heap {
+                    let reference = full.iter().find(|(fid, _)| fid == id);
+                    prop_assert!(reference.is_some(), "id {} missing from exhaustive scoring", id);
+                    prop_assert!((reference.unwrap().1 - score).abs() < 1e-9);
+                }
+            }
+        }
     }
 
     /// Precision/recall metrics stay in [0, 1] and R-precision equals

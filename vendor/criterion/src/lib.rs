@@ -1,0 +1,180 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Provides the macros and types the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::bench_function`,
+//! `Bencher::iter` / `iter_batched`, `BatchSize`, `black_box`) backed by a
+//! simple wall-clock timer: each benchmark runs a short warm-up, then
+//! `sample_size` timed samples, and prints mean/min per-iteration times.
+//! No statistical analysis, plots, or baselines — just honest numbers for
+//! quick regression eyeballing in an offline environment.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim only uses
+/// them to pick how many setup/run pairs share one timing sample.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input: many iterations per batch.
+    SmallInput,
+    /// Large input: one iteration per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        // Warm-up pass (not recorded).
+        let mut bencher = Bencher {
+            per_iter_seconds: 0.0,
+        };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher {
+                per_iter_seconds: 0.0,
+            };
+            f(&mut bencher);
+            samples.push(bencher.per_iter_seconds);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{id:<40} mean {:>12}  min {:>12}  ({} samples)",
+            format_seconds(mean),
+            format_seconds(min),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    per_iter_seconds: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, auto-scaling the iteration count to ≥ ~5 ms.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                self.per_iter_seconds = elapsed.as_secs_f64() / iters as f64;
+                return;
+            }
+            iters *= 4;
+        }
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < Duration::from_millis(5) && iters < 1000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.per_iter_seconds = total.as_secs_f64() / iters.max(1) as f64;
+    }
+}
+
+/// Declare a benchmark group. Supports both the positional and the
+/// `name/config/targets` forms used by criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs = runs.wrapping_add(1)));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

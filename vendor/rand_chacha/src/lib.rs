@@ -1,0 +1,141 @@
+//! Vendored minimal stand-in for the `rand_chacha` crate.
+//!
+//! Provides a [`ChaCha8Rng`] type with the `seed_from_u64` constructor the
+//! CMDL sources use. The implementation is a genuine 8-round ChaCha core
+//! keyed by expanding the 64-bit seed with SplitMix64, so streams are
+//! deterministic, well distributed, and independent across seeds. It is not
+//! bit-compatible with upstream `rand_chacha` (nothing in this workspace
+//! depends on upstream streams).
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic ChaCha-based generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    state: [u32; 16],
+    buffer: [u32; 16],
+    index: usize,
+    counter: u64,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.state[12] = self.counter as u32;
+        self.state[13] = (self.counter >> 32) as u32;
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, out) in self.buffer.iter_mut().enumerate() {
+            *out = working[i].wrapping_add(self.state[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let word = splitmix64(&mut sm);
+            state[4 + 2 * i] = word as u32;
+            state[4 + 2 * i + 1] = (word >> 32) as u32;
+        }
+        // Words 12/13 are the block counter; 14/15 the nonce.
+        let nonce = splitmix64(&mut sm);
+        state[14] = nonce as u32;
+        state[15] = (nonce >> 32) as u32;
+        Self {
+            state,
+            buffer: [0; 16],
+            index: 16,
+            counter: 0,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.index + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buffer[self.index] as u64;
+        let hi = self.buffer[self.index + 1] as u64;
+        self.index += 2;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_produce_distinct_streams() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn output_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64000 bits, expect ~32000 ones.
+        assert!((30_000..34_000).contains(&ones), "bit bias: {ones}");
+    }
+
+    #[test]
+    fn works_with_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let x: usize = rng.gen_range(0..10);
+        assert!(x < 10);
+    }
+}

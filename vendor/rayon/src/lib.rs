@@ -1,0 +1,184 @@
+//! Vendored minimal stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! slice of the rayon API that CMDL uses — `par_iter().map(..).collect()`
+//! and [`join`] — backed by real OS threads (`std::thread::scope`), not a
+//! work-stealing pool. Inputs are split into one contiguous chunk per
+//! available core; results are reassembled in order, so `collect` is
+//! deterministic regardless of scheduling.
+
+use std::thread;
+
+pub mod prelude {
+    //! The rayon prelude: parallel-iterator entry-point traits.
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// How many worker threads a parallel call may use.
+fn max_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+fn par_map_slice<'a, T, R, F>(items: &'a [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = max_threads().min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out
+}
+
+/// Entry point: `.par_iter()` over a borrowed collection.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator.
+#[derive(Debug)]
+pub struct ParIter<'data, T: Sync> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Map each element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the iterator empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`]; terminate with [`ParMap::collect`].
+pub struct ParMap<'data, T: Sync, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T, F> ParMap<'data, T, F>
+where
+    T: Sync,
+{
+    /// Execute the map in parallel and collect the results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+        C: From<Vec<R>>,
+    {
+        C::from(par_map_slice(self.items, &self.f))
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|scope| {
+        let b = scope.spawn(oper_b);
+        let ra = oper_a();
+        (ra, b.join().expect("rayon-shim join worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_on_empty_and_small() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_map_actually_runs_closures_once_each() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let input: Vec<u32> = (0..503).collect();
+        let _: Vec<u32> = input
+            .par_iter()
+            .map(|x| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                *x
+            })
+            .collect();
+        assert_eq!(counter.load(Ordering::Relaxed), 503);
+    }
+}

@@ -1,0 +1,506 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small serialization framework with serde's *user-facing* shape — a
+//! [`Serialize`] / [`Deserialize`] trait pair plus same-named derive macros
+//! re-exported from `serde_derive` — but a much simpler data model: values
+//! serialize to an in-memory [`Json`] tree, which the companion
+//! `serde_json` stand-in renders to and parses from text.
+//!
+//! Integer values round-trip exactly (the tree distinguishes `U64`/`I64`
+//! from `F64`), which matters for MinHash signatures whose `u64` values use
+//! the full 64-bit range.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// An in-memory JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Non-negative integer (exact).
+    U64(u64),
+    /// Negative integer (exact).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Create an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted to a [`Json`] tree.
+pub trait Serialize {
+    /// Convert to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be reconstructed from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct from a JSON value.
+    fn from_json(value: &Json) -> Result<Self, Error>;
+}
+
+/// Derive-macro helper: fetch and deserialize an object field.
+///
+/// Missing keys deserialize from `Json::Null`, so `Option` fields tolerate
+/// absence exactly as upstream serde-json does.
+pub fn __field<T: Deserialize>(value: &Json, name: &str) -> Result<T, Error> {
+    match value {
+        Json::Obj(entries) => {
+            for (key, val) in entries {
+                if key == name {
+                    return T::from_json(val)
+                        .map_err(|e| Error::msg(format!("field `{name}`: {e}")));
+                }
+            }
+            T::from_json(&Json::Null).map_err(|_| Error::msg(format!("missing field `{name}`")))
+        }
+        other => Err(Error::msg(format!(
+            "expected object with field `{name}`, got {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+/// Derive-macro helper: fetch and deserialize an array element.
+pub fn __element<T: Deserialize>(value: &Json, index: usize) -> Result<T, Error> {
+    match value {
+        Json::Arr(items) => items
+            .get(index)
+            .ok_or_else(|| Error::msg(format!("missing tuple element {index}")))
+            .and_then(T::from_json),
+        other => Err(Error::msg(format!(
+            "expected array, got {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+fn kind_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::U64(_) | Json::I64(_) | Json::F64(_) => "number",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Json) -> Result<Self, Error> {
+                match value {
+                    Json::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Json::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Json::F64(f) if f.fract() == 0.0 && *f >= 0.0 => Ok(*f as $t),
+                    other => Err(Error::msg(format!(
+                        "expected unsigned integer, got {}", kind_name(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let v = *self as i64;
+                if v >= 0 { Json::U64(v as u64) } else { Json::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(value: &Json) -> Result<Self, Error> {
+                match value {
+                    Json::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Json::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::msg(format!("{n} out of range for {}", stringify!($t)))),
+                    Json::F64(f) if f.fract() == 0.0 => Ok(*f as $t),
+                    other => Err(Error::msg(format!(
+                        "expected integer, got {}", kind_name(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::F64(f) => Ok(*f),
+            Json::U64(n) => Ok(*n as f64),
+            Json::I64(n) => Ok(*n as f64),
+            Json::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!(
+                "expected number, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        f64::from_json(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!(
+                "expected bool, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!(
+                "expected string, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!(
+                "expected single-char string, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        T::from_json(value).map(Arc::new)
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json(_: &Json) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(value: &Json) -> Result<Self, Error> {
+                Ok(($(__element::<$name>(value, $idx)?,)+))
+            }
+        }
+    )+};
+}
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+// Maps serialize as arrays of `[key, value]` pairs so that arbitrary
+// (non-string) key types work — upstream serde does the same for
+// non-string-keyed maps in self-describing formats. `BTreeMap` output is
+// ordered by key; `HashMap` output is sorted by the serialized key text so
+// that serialization is deterministic.
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Arr(
+            self.iter()
+                .map(|(k, v)| Json::Arr(vec![k.to_json(), v.to_json()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        map_entries::<K, V>(value)?.into_iter().map(Ok).collect()
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        let mut entries: Vec<Json> = self
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![k.to_json(), v.to_json()]))
+            .collect();
+        entries.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Json::Arr(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        map_entries::<K, V>(value)?.into_iter().map(Ok).collect()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
+    fn to_json(&self) -> Json {
+        let mut items: Vec<Json> = self.iter().map(Serialize::to_json).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        Json::Arr(items)
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_json(value: &Json) -> Result<Self, Error> {
+        match value {
+            Json::Arr(items) => items.iter().map(T::from_json).collect(),
+            other => Err(Error::msg(format!(
+                "expected array, got {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+fn map_entries<K: Deserialize, V: Deserialize>(value: &Json) -> Result<Vec<(K, V)>, Error> {
+    match value {
+        Json::Arr(items) => items
+            .iter()
+            .map(|pair| Ok((__element::<K>(pair, 0)?, __element::<V>(pair, 1)?)))
+            .collect(),
+        other => Err(Error::msg(format!(
+            "expected array of map entries, got {}",
+            kind_name(other)
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_roundtrip_exactly() {
+        let v = u64::MAX;
+        assert_eq!(u64::from_json(&v.to_json()).unwrap(), v);
+        let n: i64 = -42;
+        assert_eq!(i64::from_json(&n.to_json()).unwrap(), n);
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_json(), Json::Null);
+        assert_eq!(Option::<u32>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&Json::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn missing_field_errors_except_option() {
+        let obj = Json::Obj(vec![("a".into(), Json::U64(1))]);
+        assert!(__field::<u32>(&obj, "b").is_err());
+        assert_eq!(__field::<Option<u32>>(&obj, "b").unwrap(), None);
+        assert_eq!(__field::<u32>(&obj, "a").unwrap(), 1);
+    }
+
+    #[test]
+    fn maps_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), 1u32);
+        m.insert("y".to_string(), 2);
+        let back = BTreeMap::<String, u32>::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+
+        let mut h = HashMap::new();
+        h.insert(7u64, vec![1.5f64]);
+        let back = HashMap::<u64, Vec<f64>>::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+}
