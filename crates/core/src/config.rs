@@ -76,6 +76,17 @@ pub struct CmdlConfig {
     pub pkfk_containment: f64,
     /// Number of ANN trees for embedding indexes.
     pub ann_trees: usize,
+    /// Incremental ingestion: IDF staleness bound for the inverted indexes.
+    /// After a delta mutation, the precomputed IDF table is refreshed once
+    /// the number of mutations since the last refresh exceeds this fraction
+    /// of the live corpus (instead of running a full `finalize()` per
+    /// batch).
+    pub idf_refresh_ratio: f64,
+    /// Incremental ingestion: automatic compaction trigger. When the delta
+    /// state of any index (pending inserts + tombstones) exceeds this
+    /// fraction of its total entries, the catalog is compacted back to the
+    /// dense layout.
+    pub compaction_ratio: f64,
     /// Random seed used across the system.
     pub seed: u64,
 }
@@ -102,6 +113,8 @@ impl Default for CmdlConfig {
             pkfk_name_similarity: 0.35,
             pkfk_containment: 0.85,
             ann_trees: 10,
+            idf_refresh_ratio: 0.1,
+            compaction_ratio: 0.25,
             seed: 0xC3D1,
         }
     }

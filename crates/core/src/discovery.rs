@@ -16,24 +16,42 @@
 //! Results are returned as [`DiscoveryResult`] sets carrying scores, so they
 //! can be chained: the output of one primitive can be fed as the input of
 //! the next, exactly like the pipeline of Figure 1.
+//!
+//! ## Incremental ingestion and snapshot isolation
+//!
+//! The lake is *not* frozen at build time: [`ingest_table`](Cmdl::ingest_table),
+//! [`ingest_document`](Cmdl::ingest_document),
+//! [`remove_table`](Cmdl::remove_table) and
+//! [`remove_document`](Cmdl::remove_document) profile only the delta and
+//! apply it to every index in place (postings appends with lazily-refreshed
+//! IDF, LSH delta inserts with tombstoned removals, ANN delta-tail inserts,
+//! EKG edge patching). All catalog state lives behind `Arc`s: a reader takes
+//! a [`CatalogSnapshot`](crate::snapshot::CatalogSnapshot) via
+//! [`snapshot`](Cmdl::snapshot) and keeps a consistent generation while
+//! writers apply batches copy-on-write. [`compact`](Cmdl::compact) folds
+//! tombstones and deltas back into the dense layouts, after which the
+//! catalog is structurally identical to a batch build over the surviving
+//! elements (the `incremental-parity` CI job holds this equality forever).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use cmdl_datalake::{DataLake, DeId, DeKind};
-use cmdl_index::ScoringFunction;
+use cmdl_datalake::{DataLake, DeId, Document, Table};
+use cmdl_text::BagOfWords;
 use cmdl_weaklabel::GoldLabel;
 
-use crate::config::{CmdlConfig, CrossModalStrategy};
+use crate::config::CmdlConfig;
 use crate::ekg::{Ekg, NodeId, RelationType};
 use crate::error::CmdlError;
 use crate::indexes::IndexCatalog;
-use crate::join::{JoinDiscovery, PkFkLink};
+use crate::join::PkFkLink;
 use crate::joint::{JointModel, JointTrainer, JointTrainingReport};
-use crate::profile::{ProfiledLake, Profiler};
+use crate::profile::{ElementData, ProfiledLake, Profiler};
+use crate::snapshot::CatalogSnapshot;
 use crate::training::{TrainingDataset, TrainingDatasetGenerator, TrainingGenerationReport};
-use crate::union::{UnionDiscovery, UnionScore};
+use crate::union::UnionScore;
 
 /// The search scope of [`Cmdl::content_search`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,16 +80,22 @@ pub struct DiscoveryResult {
 }
 
 /// The CMDL system.
+///
+/// All catalog state is reference-counted: readers pin a consistent
+/// generation with [`snapshot`](Cmdl::snapshot), and the ingestion methods
+/// mutate copy-on-write, so an outstanding snapshot is never disturbed by a
+/// concurrent batch.
 pub struct Cmdl {
     /// System configuration.
     pub config: CmdlConfig,
-    /// The profiled lake.
-    pub profiled: ProfiledLake,
-    /// The index catalog.
-    pub indexes: IndexCatalog,
-    profiler: Profiler,
-    joint: Option<JointModel>,
-    ekg: Ekg,
+    /// The profiled lake (current generation).
+    pub profiled: Arc<ProfiledLake>,
+    /// The index catalog (current generation).
+    pub indexes: Arc<IndexCatalog>,
+    profiler: Arc<Profiler>,
+    joint: Option<Arc<JointModel>>,
+    ekg: Arc<Ekg>,
+    generation: u64,
     /// The last weak-supervision training dataset (kept for inspection).
     pub training_dataset: Option<TrainingDataset>,
     /// The last training-generation report.
@@ -86,11 +110,12 @@ impl Cmdl {
         let indexes = IndexCatalog::build(&profiled, &config);
         let mut system = Self {
             config,
-            profiled,
-            indexes,
-            profiler,
+            profiled: Arc::new(profiled),
+            indexes: Arc::new(indexes),
+            profiler: Arc::new(profiler),
             joint: None,
-            ekg: Ekg::new(),
+            ekg: Arc::new(Ekg::new()),
+            generation: 0,
             training_dataset: None,
             training_report: None,
         };
@@ -105,12 +130,34 @@ impl Cmdl {
 
     /// The trained joint model, if any.
     pub fn joint_model(&self) -> Option<&JointModel> {
-        self.joint.as_ref()
+        self.joint.as_deref()
     }
 
     /// The profiler (exposed for query-text transformation).
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
+    }
+
+    /// The current catalog generation (bumped once per ingestion batch and
+    /// per compaction).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Pin the current generation: a cheap, immutable, internally consistent
+    /// view of the lake, profiles, indexes, joint model, and EKG. Readers
+    /// holding a snapshot are unaffected by later ingestion batches (writers
+    /// mutate copy-on-write).
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            generation: self.generation,
+            config: self.config.clone(),
+            profiled: Arc::clone(&self.profiled),
+            indexes: Arc::clone(&self.indexes),
+            joint: self.joint.clone(),
+            ekg: Arc::clone(&self.ekg),
+            profiler: Arc::clone(&self.profiler),
+        }
     }
 
     /// Generate the weakly-supervised training dataset, train the joint
@@ -140,16 +187,16 @@ impl Cmdl {
             .iter()
             .map(|(&id, profile)| (id, model.embed(&profile.solo)))
             .collect();
-        self.indexes
-            .install_joint(&self.profiled, embeddings, &self.config);
-        self.joint = Some(model);
+        Arc::make_mut(&mut self.indexes).install_joint(&self.profiled, embeddings, &self.config);
+        self.joint = Some(Arc::new(model));
         self.training_dataset = Some(dataset);
         self.training_report = Some(gen_report);
+        self.generation += 1;
         report
     }
 
     // ------------------------------------------------------------------
-    // Discovery primitives
+    // Discovery primitives (delegating to the current-generation snapshot)
     // ------------------------------------------------------------------
 
     /// Keyword search (Q1): find the `top_k` elements matching the query text
@@ -160,23 +207,7 @@ impl Cmdl {
         mode: SearchMode,
         top_k: usize,
     ) -> Vec<DiscoveryResult> {
-        let (bow, _) = self.profiler.profile_query_text(query);
-        let kind = match mode {
-            SearchMode::Text => Some(DeKind::Document),
-            SearchMode::Tables => Some(DeKind::Column),
-            SearchMode::All => None,
-        };
-        self.indexes
-            .content_search(
-                &self.profiled,
-                &bow,
-                kind,
-                top_k,
-                ScoringFunction::default(),
-            )
-            .into_iter()
-            .map(|(id, score)| self.element_result(id, score))
-            .collect()
+        self.snapshot().content_search(query, mode, top_k)
     }
 
     /// Cross-modal Doc→Table discovery (Q2/Q3) for a document already in the
@@ -187,38 +218,13 @@ impl Cmdl {
         document: usize,
         top_k: usize,
     ) -> Result<Vec<DiscoveryResult>, CmdlError> {
-        let doc_id = self
-            .profiled
-            .lake
-            .document_id(document)
-            .ok_or(CmdlError::UnknownDocument(document))?;
-        let profile = self
-            .profiled
-            .profile(doc_id)
-            .ok_or(CmdlError::UnknownDocument(document))?;
-        let strategy = if self.joint.is_some() {
-            CrossModalStrategy::JointEmbedding
-        } else {
-            CrossModalStrategy::SoloEmbedding
-        };
-        Ok(self.doc_to_table_search(
-            &profile.solo.clone(),
-            &profile.content.clone(),
-            strategy,
-            top_k,
-        ))
+        self.snapshot().cross_modal_search(document, top_k)
     }
 
     /// Cross-modal Doc→Table discovery for ad-hoc query text (e.g. a
     /// highlighted sentence, as in Figure 1).
     pub fn cross_modal_search_text(&self, text: &str, top_k: usize) -> Vec<DiscoveryResult> {
-        let (bow, solo) = self.profiler.profile_query_text(text);
-        let strategy = if self.joint.is_some() {
-            CrossModalStrategy::JointEmbedding
-        } else {
-            CrossModalStrategy::SoloEmbedding
-        };
-        self.doc_to_table_search(&solo, &bow, strategy, top_k)
+        self.snapshot().cross_modal_search_text(text, top_k)
     }
 
     /// Doc→Table discovery with an explicit strategy (used by the Figure 6
@@ -227,92 +233,16 @@ impl Cmdl {
         &self,
         solo: &cmdl_embed::SoloEmbedding,
         content: &cmdl_text::BagOfWords,
-        strategy: CrossModalStrategy,
+        strategy: crate::config::CrossModalStrategy,
         top_k: usize,
     ) -> Vec<DiscoveryResult> {
-        let probe_k = (top_k * 6).max(20);
-        let column_scores: Vec<(DeId, f64)> = match (strategy, &self.joint) {
-            (CrossModalStrategy::JointEmbedding, Some(model)) => {
-                let query = model.embed(solo);
-                self.indexes
-                    .joint_search(&query, probe_k)
-                    .unwrap_or_default()
-            }
-            _ => self.indexes.solo_search(&solo.content, probe_k),
-        };
-        // Blend in a containment signal so exact identifier matches are not
-        // lost (the embeddings capture semantics; containment captures value
-        // overlap), then aggregate column scores to table level.
-        let minhash = self.profiler.minhasher().signature(content.terms());
-        let containment: HashMap<DeId, f64> = self
-            .indexes
-            .containment_search(&minhash, probe_k)
-            .into_iter()
-            .collect();
-        let mut table_scores: HashMap<String, f64> = HashMap::new();
-        for (id, score) in column_scores {
-            let Some(profile) = self.profiled.profile(id) else {
-                continue;
-            };
-            let Some(table) = profile.table_name.clone() else {
-                continue;
-            };
-            let combined =
-                0.7 * score.max(0.0) + 0.3 * containment.get(&id).copied().unwrap_or(0.0);
-            let entry = table_scores.entry(table).or_insert(0.0);
-            if combined > *entry {
-                *entry = combined;
-            }
-        }
-        for (id, score) in &containment {
-            let Some(profile) = self.profiled.profile(*id) else {
-                continue;
-            };
-            let Some(table) = profile.table_name.clone() else {
-                continue;
-            };
-            let entry = table_scores.entry(table).or_insert(0.0);
-            if 0.3 * score > *entry {
-                *entry = 0.3 * score;
-            }
-        }
-        let mut results: Vec<DiscoveryResult> = table_scores
-            .into_iter()
-            .map(|(table, score)| DiscoveryResult {
-                element: None,
-                label: table.clone(),
-                table: Some(table),
-                score,
-            })
-            .collect();
-        // Tie-break by label: `table_scores` is a HashMap, so equal-scored
-        // tables would otherwise surface in a run-dependent order.
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.label.cmp(&b.label))
-        });
-        results.truncate(top_k);
-        results
+        self.snapshot()
+            .doc_to_table_search(solo, content, strategy, top_k)
     }
 
     /// Table-level joinability discovery (Q4).
     pub fn joinable(&self, table: &str, top_k: usize) -> Result<Vec<DiscoveryResult>, CmdlError> {
-        if self.profiled.lake.table(table).is_none() {
-            return Err(CmdlError::UnknownTable(table.to_string()));
-        }
-        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
-        Ok(discovery
-            .joinable_tables(table, top_k)
-            .into_iter()
-            .map(|(name, score)| DiscoveryResult {
-                element: None,
-                label: name.clone(),
-                table: Some(name),
-                score,
-            })
-            .collect())
+        self.snapshot().joinable(table, top_k)
     }
 
     /// Column-level joinability discovery.
@@ -322,53 +252,297 @@ impl Cmdl {
         column: &str,
         top_k: usize,
     ) -> Result<Vec<DiscoveryResult>, CmdlError> {
-        let id = self
-            .profiled
-            .lake
-            .column_id_by_name(table, column)
-            .ok_or_else(|| CmdlError::UnknownColumn {
-                table: table.to_string(),
-                column: column.to_string(),
-            })?;
-        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
-        Ok(discovery
-            .joinable_columns(id, top_k)
-            .into_iter()
-            .map(|(cid, score)| self.element_result(cid, score))
-            .collect())
+        self.snapshot().joinable_columns(table, column, top_k)
     }
 
     /// PK-FK discovery over the whole lake.
     pub fn pkfk(&self) -> Vec<PkFkLink> {
-        JoinDiscovery::new(&self.profiled, &self.config).pkfk_links()
+        self.snapshot().pkfk()
     }
 
     /// Unionable-table discovery (Q5).
     pub fn unionable(&self, table: &str, top_k: usize) -> Result<Vec<UnionScore>, CmdlError> {
-        if self.profiled.lake.table(table).is_none() {
-            return Err(CmdlError::UnknownTable(table.to_string()));
+        self.snapshot().unionable(table, top_k)
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental ingestion
+    // ------------------------------------------------------------------
+
+    /// Ingest a new table: profile only its columns and apply the delta to
+    /// every index in place (no rebuild). Structural `BelongsTo` EKG edges
+    /// are patched in, and — when the joint model is trained — the new
+    /// columns are embedded into the joint space immediately. Returns the
+    /// table index.
+    ///
+    /// Table names address tables throughout the discovery API, so ingesting
+    /// a name that is already live is rejected (remove the old table first;
+    /// reusing the name of a *removed* table is fine).
+    pub fn ingest_table(&mut self, table: Table) -> Result<usize, CmdlError> {
+        if self.profiled.lake.table(&table.name).is_some() {
+            return Err(CmdlError::DuplicateTable(table.name));
         }
-        Ok(UnionDiscovery::new(&self.profiled, &self.config).unionable_tables(table, top_k))
+        let profiled = Arc::make_mut(&mut self.profiled);
+        let table_idx = profiled.lake.add_table(table);
+        let new_profiles: Vec<crate::profile::DeProfile> = {
+            let table_ref = &profiled.lake.tables()[table_idx];
+            (0..table_ref.num_columns())
+                .map(|c| {
+                    let id = profiled
+                        .lake
+                        .column_id(table_idx, c)
+                        .expect("freshly added column has an id");
+                    self.profiler.profile_element(
+                        id,
+                        ElementData::Column {
+                            table_name: &table_ref.name,
+                            column: &table_ref.columns[c],
+                            table_rows: table_ref.num_rows(),
+                        },
+                    )
+                })
+                .collect()
+        };
+        let indexes = Arc::make_mut(&mut self.indexes);
+        let ekg = Arc::make_mut(&mut self.ekg);
+        for profile in new_profiles {
+            indexes.ingest_profile(&profile);
+            if let Some(model) = &self.joint {
+                indexes.ingest_joint(&profile, model.embed(&profile.solo));
+            }
+            ekg.add_undirected(
+                NodeId::De(profile.id),
+                NodeId::Table(table_idx),
+                RelationType::BelongsTo,
+                1.0,
+            );
+            profiled.column_ids.push(profile.id);
+            profiled.profiles.insert(profile.id, profile);
+        }
+        self.generation += 1;
+        self.maybe_compact();
+        Ok(table_idx)
+    }
+
+    /// Ingest a new document: profile only the new element and apply the
+    /// delta to every index in place. The corpus document-frequency
+    /// statistics are updated incrementally, and any document whose
+    /// filtered content is affected by a keep-status flip is re-derived
+    /// from its raw bag and re-indexed — so the profiles always match what
+    /// a batch rebuild over the full corpus would produce. Returns the
+    /// document index.
+    pub fn ingest_document(&mut self, document: Document) -> usize {
+        let raw = self.profiler.doc_pipeline().process(&document.text);
+        let profiled = Arc::make_mut(&mut self.profiled);
+        // Which terms flip keep-status under the corpus update? (Every
+        // term's ratio shifts when the document count changes, so the whole
+        // df table is examined — it only holds document vocabulary.)
+        let flipped: HashSet<String> = {
+            let df = &profiled.doc_df;
+            let n_old = df.num_docs();
+            let n_new = n_old + 1;
+            df.iter()
+                .filter(|(term, dfc)| {
+                    let dfc_new = dfc + u32::from(raw.contains(term));
+                    df.would_keep(*dfc, n_old) != df.would_keep(dfc_new, n_new)
+                })
+                .map(|(term, _)| term.to_string())
+                .collect()
+        };
+        profiled.doc_df.observe(&raw);
+
+        let doc_idx = profiled.lake.add_document(document);
+        let id = profiled
+            .lake
+            .document_id(doc_idx)
+            .expect("freshly added document has an id");
+        let profile = self.profiler.profile_element(
+            id,
+            ElementData::Document {
+                document: &profiled.lake.documents()[doc_idx],
+                raw,
+                df: &profiled.doc_df,
+            },
+        );
+
+        let indexes = Arc::make_mut(&mut self.indexes);
+        Self::patch_flipped_documents(
+            profiled,
+            indexes,
+            &self.profiler,
+            self.joint.as_deref(),
+            &flipped,
+        );
+        indexes.ingest_profile(&profile);
+        if let Some(model) = &self.joint {
+            indexes.ingest_joint(&profile, model.embed(&profile.solo));
+        }
+        profiled.doc_ids.push(id);
+        profiled.profiles.insert(id, profile);
+        self.generation += 1;
+        self.maybe_compact();
+        doc_idx
+    }
+
+    /// Remove a table: its columns are tombstoned in every index (space is
+    /// reclaimed by the next [`compact`](Self::compact)), their profiles
+    /// dropped, and the affected EKG neighborhood patched. Returns the
+    /// number of removed elements.
+    pub fn remove_table(&mut self, name: &str) -> Result<usize, CmdlError> {
+        let profiled = Arc::make_mut(&mut self.profiled);
+        let table_idx = profiled
+            .lake
+            .table_index(name)
+            .ok_or_else(|| CmdlError::UnknownTable(name.to_string()))?;
+        let removed = profiled
+            .lake
+            .remove_table(name)
+            .expect("table exists and is live");
+        let indexes = Arc::make_mut(&mut self.indexes);
+        let ekg = Arc::make_mut(&mut self.ekg);
+        let removed_set: HashSet<DeId> = removed.iter().copied().collect();
+        for id in &removed {
+            if let Some(profile) = profiled.profiles.remove(id) {
+                indexes.remove_element(&profile);
+            }
+            ekg.remove_node(NodeId::De(*id));
+        }
+        ekg.remove_node(NodeId::Table(table_idx));
+        profiled.column_ids.retain(|id| !removed_set.contains(id));
+        self.generation += 1;
+        self.maybe_compact();
+        Ok(removed.len())
+    }
+
+    /// Remove a document by index: the element is tombstoned in every
+    /// index, the corpus document-frequency statistics are retracted (with
+    /// the same flip-patching as ingestion), and its EKG neighborhood is
+    /// patched.
+    pub fn remove_document(&mut self, index: usize) -> Result<(), CmdlError> {
+        let profiled = Arc::make_mut(&mut self.profiled);
+        let id = profiled
+            .lake
+            .document_id(index)
+            .ok_or(CmdlError::UnknownDocument(index))?;
+        let profile = profiled
+            .profiles
+            .remove(&id)
+            .ok_or(CmdlError::UnknownDocument(index))?;
+        profiled.lake.remove_document(index);
+        profiled.doc_ids.retain(|d| *d != id);
+
+        let raw = profile.raw_content.clone().unwrap_or_else(BagOfWords::new);
+        let flipped: HashSet<String> = {
+            let df = &profiled.doc_df;
+            let n_old = df.num_docs();
+            let n_new = n_old.saturating_sub(1);
+            df.iter()
+                .filter(|(term, dfc)| {
+                    let dfc_new = dfc - u32::from(raw.contains(term));
+                    df.would_keep(*dfc, n_old) != df.would_keep(dfc_new, n_new)
+                })
+                .map(|(term, _)| term.to_string())
+                .collect()
+        };
+        profiled.doc_df.unobserve(&raw);
+
+        let indexes = Arc::make_mut(&mut self.indexes);
+        indexes.remove_element(&profile);
+        Self::patch_flipped_documents(
+            profiled,
+            indexes,
+            &self.profiler,
+            self.joint.as_deref(),
+            &flipped,
+        );
+        Arc::make_mut(&mut self.ekg).remove_node(NodeId::De(id));
+        self.generation += 1;
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Re-derive and re-index every live document whose raw content bag
+    /// contains a term whose keep-status flipped under a corpus update.
+    fn patch_flipped_documents(
+        profiled: &mut ProfiledLake,
+        indexes: &mut IndexCatalog,
+        profiler: &Profiler,
+        joint: Option<&JointModel>,
+        flipped: &HashSet<String>,
+    ) {
+        if flipped.is_empty() {
+            return;
+        }
+        let affected: Vec<DeId> = profiled
+            .doc_ids
+            .iter()
+            .copied()
+            .filter(|id| {
+                profiled
+                    .profiles
+                    .get(id)
+                    .and_then(|p| p.raw_content.as_ref())
+                    .map(|raw| flipped.iter().any(|t| raw.contains(t)))
+                    .unwrap_or(false)
+            })
+            .collect();
+        if affected.is_empty() {
+            return;
+        }
+        // Clone the statistics once so the per-profile mutation below does
+        // not alias the borrow (flips are rare; this is off the hot path).
+        let df = profiled.doc_df.clone();
+        for id in affected {
+            let Some(profile) = profiled.profiles.get_mut(&id) else {
+                continue;
+            };
+            profiler.refresh_document_content(profile, &df);
+            indexes.reindex_document_content(profile);
+            if let Some(model) = joint {
+                indexes.ingest_joint(profile, model.embed(&profile.solo));
+            }
+        }
+    }
+
+    /// Fold all delta state (tombstones, pending LSH inserts, ANN delta
+    /// tails, stale IDF) back into the dense layouts. After `compact`, the
+    /// catalog is structurally identical to a batch build over the surviving
+    /// elements.
+    pub fn compact(&mut self) {
+        Arc::make_mut(&mut self.indexes).compact(&self.profiled, &self.config);
+        self.generation += 1;
+    }
+
+    /// Run [`compact`](Self::compact) if any index's delta state exceeds the
+    /// configured `compaction_ratio` (the periodic-compaction policy).
+    fn maybe_compact(&mut self) {
+        if self.indexes.delta_pressure() > self.config.compaction_ratio {
+            self.compact();
+        }
     }
 
     /// Materialize the higher-order relationships (Doc→Table, joinability,
     /// PK-FK, unionability) into the EKG. Expensive on large lakes; intended
     /// to be called after training.
     pub fn materialize_ekg(&mut self, top_k: usize) {
+        // Discover all edges against the pinned snapshot, then apply them in
+        // one mutation (so the snapshot's Arc is released before the
+        // copy-on-write borrow of the EKG).
+        let snap = self.snapshot();
+        let mut edges: Vec<(NodeId, NodeId, RelationType, f64)> = Vec::new();
         // Doc→Table edges.
-        let doc_ids = self.profiled.doc_ids.clone();
-        for doc_id in doc_ids {
-            if let Some(idx) = self.profiled.lake.document_index(doc_id) {
-                if let Ok(results) = self.cross_modal_search(idx, top_k) {
+        for &doc_id in &snap.profiled.doc_ids {
+            if let Some(idx) = snap.profiled.lake.document_index(doc_id) {
+                if let Ok(results) = snap.cross_modal_search(idx, top_k) {
                     for r in results {
                         if let Some(table) = &r.table {
-                            if let Some(t_idx) = self.profiled.lake.table_index(table) {
-                                self.ekg.add_edge(
+                            if let Some(t_idx) = snap.profiled.lake.table_index(table) {
+                                edges.push((
                                     NodeId::De(doc_id),
                                     NodeId::Table(t_idx),
                                     RelationType::DocToTable,
                                     r.score,
-                                );
+                                ));
                             }
                         }
                     }
@@ -376,52 +550,59 @@ impl Cmdl {
             }
         }
         // PK-FK edges.
-        for link in self.pkfk() {
-            self.ekg.add_edge(
+        for link in snap.pkfk() {
+            edges.push((
                 NodeId::De(link.pk),
                 NodeId::De(link.fk),
                 RelationType::PkFk,
                 link.score,
-            );
+            ));
         }
         // Join and union edges at the table level.
-        let table_names: Vec<String> = self
+        let table_names: Vec<String> = snap
             .profiled
             .lake
             .tables()
             .iter()
-            .map(|t| t.name.clone())
+            .enumerate()
+            .filter(|&(i, _)| !snap.profiled.lake.is_table_removed(i))
+            .map(|(_, t)| t.name.clone())
             .collect();
         for name in &table_names {
-            let from = self.profiled.lake.table_index(name).expect("table exists");
-            if let Ok(joins) = self.joinable(name, top_k) {
+            let from = snap.profiled.lake.table_index(name).expect("table exists");
+            if let Ok(joins) = snap.joinable(name, top_k) {
                 for j in joins {
                     if let Some(to) = j
                         .table
                         .as_deref()
-                        .and_then(|t| self.profiled.lake.table_index(t))
+                        .and_then(|t| snap.profiled.lake.table_index(t))
                     {
-                        self.ekg.add_edge(
+                        edges.push((
                             NodeId::Table(from),
                             NodeId::Table(to),
                             RelationType::Joinable,
                             j.score,
-                        );
+                        ));
                     }
                 }
             }
-            if let Ok(unions) = self.unionable(name, top_k) {
+            if let Ok(unions) = snap.unionable(name, top_k) {
                 for u in unions {
-                    if let Some(to) = self.profiled.lake.table_index(&u.table) {
-                        self.ekg.add_edge(
+                    if let Some(to) = snap.profiled.lake.table_index(&u.table) {
+                        edges.push((
                             NodeId::Table(from),
                             NodeId::Table(to),
                             RelationType::Unionable,
                             u.score,
-                        );
+                        ));
                     }
                 }
             }
+        }
+        drop(snap);
+        let ekg = Arc::make_mut(&mut self.ekg);
+        for (from, to, relation, weight) in edges {
+            ekg.add_edge(from, to, relation, weight);
         }
     }
 
@@ -438,8 +619,9 @@ impl Cmdl {
                     .map(|cref| (id, cref.table))
             })
             .collect();
+        let ekg = Arc::make_mut(&mut self.ekg);
         for (column, table) in memberships {
-            self.ekg.add_undirected(
+            ekg.add_undirected(
                 NodeId::De(column),
                 NodeId::Table(table),
                 RelationType::BelongsTo,
@@ -447,27 +629,12 @@ impl Cmdl {
             );
         }
     }
-
-    fn element_result(&self, id: DeId, score: f64) -> DiscoveryResult {
-        let label = self
-            .profiled
-            .profile(id)
-            .map(|p| p.qualified_name.clone())
-            .unwrap_or_else(|| format!("de-{}", id.raw()));
-        let table = self.profiled.profile(id).and_then(|p| p.table_name.clone());
-        DiscoveryResult {
-            element: Some(id),
-            table,
-            label,
-            score,
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmdl_datalake::synth;
+    use cmdl_datalake::{synth, DeKind};
 
     fn system() -> Cmdl {
         let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
@@ -565,6 +732,200 @@ mod tests {
         assert!(unions
             .iter()
             .any(|u| u.table.contains("proj") || !u.table.is_empty()));
+    }
+
+    #[test]
+    fn ingest_table_serves_queries_without_rebuild() {
+        let mut cmdl = system();
+        let gen0 = cmdl.generation();
+        let columns_before = cmdl.profiled.column_ids.len();
+        let edges_before = cmdl.ekg().num_edges();
+        let idx = cmdl
+            .ingest_table(cmdl_datalake::Table::new(
+                "Trial_Sites",
+                vec![
+                    cmdl_datalake::Column::from_texts(
+                        "Site",
+                        [
+                            "Boston General",
+                            "Lyon Institute",
+                            "Osaka Center",
+                            "Tucson Labs",
+                        ],
+                    ),
+                    cmdl_datalake::Column::from_texts(
+                        "Principal_Investigator",
+                        ["Dr. Alvarez", "Dr. Benoit", "Dr. Chen", "Dr. Drummond"],
+                    ),
+                ],
+            ))
+            .unwrap();
+        // A live-name collision is rejected instead of silently conflating
+        // two tables under one name.
+        assert!(matches!(
+            cmdl.ingest_table(cmdl_datalake::Table::new("Trial_Sites", vec![])),
+            Err(CmdlError::DuplicateTable(_))
+        ));
+        assert!(cmdl.generation() > gen0);
+        assert_eq!(cmdl.profiled.column_ids.len(), columns_before + 2);
+        assert!(
+            cmdl.ekg().num_edges() > edges_before,
+            "BelongsTo patched in"
+        );
+        assert!(cmdl.profiled.lake.table("Trial_Sites").is_some());
+        assert_eq!(cmdl.profiled.lake.tables()[idx].name, "Trial_Sites");
+        // The new columns are discoverable right away.
+        let hits = cmdl.content_search("Lyon Institute", SearchMode::Tables, 5);
+        assert!(
+            hits.iter()
+                .any(|r| r.table.as_deref() == Some("Trial_Sites")),
+            "expected Trial_Sites among {hits:?}"
+        );
+    }
+
+    #[test]
+    fn ingest_document_updates_corpus_statistics() {
+        let mut cmdl = system();
+        let docs_before = cmdl.profiled.doc_ids.len();
+        let df_docs_before = cmdl.profiled.doc_df.num_docs();
+        let idx = cmdl.ingest_document(cmdl_datalake::Document::new(
+            "xanthine-oxidase-note",
+            "PubMed",
+            "Febuxostat potently inhibits xanthine oxidase in hyperuricemia patients.",
+        ));
+        assert_eq!(cmdl.profiled.doc_ids.len(), docs_before + 1);
+        assert_eq!(cmdl.profiled.doc_df.num_docs(), df_docs_before + 1);
+        let id = cmdl.profiled.lake.document_id(idx).unwrap();
+        let profile = cmdl.profiled.profile(id).unwrap();
+        assert!(profile.raw_content.is_some());
+        let hits = cmdl.content_search("febuxostat xanthine", SearchMode::Text, 5);
+        assert!(
+            hits.iter().any(|r| r.element == Some(id)),
+            "new document must be searchable, got {hits:?}"
+        );
+    }
+
+    #[test]
+    fn remove_table_and_document_tombstone_everywhere() {
+        let mut cmdl = system();
+        assert!(matches!(
+            cmdl.remove_table("NoSuch"),
+            Err(CmdlError::UnknownTable(_))
+        ));
+        let removed = cmdl.remove_table("Enzymes").unwrap();
+        assert!(removed > 0);
+        assert!(cmdl.profiled.lake.table("Enzymes").is_none());
+        assert!(cmdl.joinable("Enzymes", 3).is_err());
+        for r in cmdl.content_search("enzyme", SearchMode::Tables, 20) {
+            assert_ne!(r.table.as_deref(), Some("Enzymes"));
+        }
+
+        let doc0 = cmdl.profiled.doc_ids[0];
+        cmdl.remove_document(0).unwrap();
+        assert!(matches!(
+            cmdl.remove_document(0),
+            Err(CmdlError::UnknownDocument(0))
+        ));
+        assert!(cmdl.profiled.profile(doc0).is_none());
+        assert!(!cmdl.profiled.doc_ids.contains(&doc0));
+        for r in cmdl.content_search("drug", SearchMode::Text, 50) {
+            assert_ne!(r.element, Some(doc0));
+        }
+        // Compaction folds everything back and keeps queries working.
+        cmdl.compact();
+        assert_eq!(
+            cmdl.indexes.delta_stats(),
+            crate::indexes::DeltaStats::default()
+        );
+        assert!(!cmdl.content_search("drug", SearchMode::All, 5).is_empty());
+    }
+
+    #[test]
+    fn removed_table_name_can_be_reingested() {
+        let mut cmdl = system();
+        cmdl.remove_table("Dosages").unwrap();
+        cmdl.ingest_table(cmdl_datalake::Table::new(
+            "Dosages",
+            vec![cmdl_datalake::Column::from_texts(
+                "Dose_Label",
+                ["low", "medium", "high"],
+            )],
+        ))
+        .unwrap();
+        // The dead slot must not shadow the live replacement anywhere.
+        assert!(cmdl.profiled.lake.table("Dosages").is_some());
+        assert!(cmdl.joinable("Dosages", 3).is_ok());
+        assert!(cmdl.unionable("Dosages", 3).is_ok());
+        // materialize_ekg walks every live table name; it must not panic on
+        // the reused name.
+        cmdl.materialize_ekg(2);
+    }
+
+    #[test]
+    fn snapshot_isolated_from_writer() {
+        let mut cmdl = system();
+        let snap = cmdl.snapshot();
+        let before = snap.content_search("drug", SearchMode::All, 10);
+        let tables_before = snap.profiled.lake.num_tables();
+
+        cmdl.ingest_table(cmdl_datalake::Table::new(
+            "Drug_Recalls",
+            vec![cmdl_datalake::Column::from_texts(
+                "Recalled_Drug",
+                ["Pemetrexed", "Citric Acid", "Geneticin"],
+            )],
+        ))
+        .unwrap();
+        cmdl.remove_table("Dosages").unwrap();
+        cmdl.compact();
+
+        // The reader's pinned generation is untouched.
+        assert_eq!(snap.profiled.lake.num_tables(), tables_before);
+        assert!(snap.profiled.lake.table("Dosages").is_some());
+        assert!(snap.profiled.lake.table("Drug_Recalls").is_none());
+        assert_eq!(snap.content_search("drug", SearchMode::All, 10), before);
+        // The writer sees the new generation.
+        assert!(cmdl.generation() > snap.generation);
+        assert!(cmdl.profiled.lake.table("Drug_Recalls").is_some());
+        assert!(cmdl.profiled.lake.table("Dosages").is_none());
+    }
+
+    #[test]
+    fn snapshot_readable_from_another_thread() {
+        let mut cmdl = system();
+        let snap = cmdl.snapshot();
+        let reader = std::thread::spawn(move || {
+            let hits = snap.content_search("drug", SearchMode::All, 5);
+            (snap.generation, hits.len())
+        });
+        cmdl.ingest_document(cmdl_datalake::Document::new(
+            "note",
+            "PubMed",
+            "A short pharmacology note.",
+        ));
+        let (gen, hits) = reader.join().expect("reader thread");
+        assert_eq!(gen, 0);
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn ingest_after_training_embeds_into_joint_space() {
+        let mut cmdl = system();
+        cmdl.train_joint(None);
+        let joint_before = cmdl.indexes.joint_embeddings.len();
+        cmdl.ingest_table(cmdl_datalake::Table::new(
+            "Adverse_Events",
+            vec![cmdl_datalake::Column::from_texts(
+                "Event",
+                ["nausea", "headache", "fatigue", "dizziness"],
+            )],
+        ))
+        .unwrap();
+        assert!(cmdl.indexes.joint_embeddings.len() > joint_before);
+        // Cross-modal search still works over the grown joint space.
+        assert!(!cmdl.cross_modal_search(0, 3).unwrap().is_empty());
+        cmdl.compact();
+        assert!(!cmdl.cross_modal_search(0, 3).unwrap().is_empty());
     }
 
     #[test]

@@ -85,6 +85,25 @@ impl Ekg {
         self.add_edge(b, a, relation, weight);
     }
 
+    /// Remove a node and every edge touching it (outgoing and incoming).
+    /// Used by the incremental-ingestion path to patch the affected
+    /// neighborhood when an element or table leaves the lake. Returns the
+    /// number of directed edges dropped.
+    pub fn remove_node(&mut self, node: NodeId) -> usize {
+        let mut dropped = 0;
+        if let Some(out) = self.adjacency.remove(&node) {
+            dropped += out.len();
+        }
+        self.adjacency.retain(|_, edges| {
+            let before = edges.len();
+            edges.retain(|e| e.to != node);
+            dropped += before - edges.len();
+            !edges.is_empty()
+        });
+        self.edge_count -= dropped;
+        dropped
+    }
+
     /// All outgoing edges of a node.
     pub fn edges(&self, from: NodeId) -> &[Edge] {
         self.adjacency
@@ -160,6 +179,25 @@ mod tests {
         assert_eq!(g.neighbors(a, RelationType::Containment), vec![(b, 0.8)]);
         assert!(g.neighbors(a, RelationType::Unionable).is_empty());
         assert_eq!(g.neighbors(t, RelationType::BelongsTo), vec![(b, 1.0)]);
+    }
+
+    #[test]
+    fn remove_node_patches_neighborhood() {
+        let mut g = Ekg::new();
+        let a = NodeId::De(DeId(1));
+        let b = NodeId::De(DeId(2));
+        let t = NodeId::Table(0);
+        g.add_edge(a, b, RelationType::Containment, 0.8);
+        g.add_edge(b, a, RelationType::Containment, 0.8);
+        g.add_undirected(b, t, RelationType::BelongsTo, 1.0);
+        assert_eq!(g.num_edges(), 4);
+
+        let dropped = g.remove_node(b);
+        assert_eq!(dropped, 4);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.edges(b).is_empty());
+        assert!(g.edges(a).is_empty());
+        assert_eq!(g.remove_node(b), 0, "double removal is a no-op");
     }
 
     #[test]

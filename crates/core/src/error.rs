@@ -7,6 +7,8 @@ use std::fmt;
 pub enum CmdlError {
     /// A referenced table does not exist in the lake.
     UnknownTable(String),
+    /// An ingested table's name collides with a live table.
+    DuplicateTable(String),
     /// A referenced column does not exist.
     UnknownColumn {
         /// Table name.
@@ -26,6 +28,9 @@ impl fmt::Display for CmdlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CmdlError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            CmdlError::DuplicateTable(name) => {
+                write!(f, "a live table named {name} already exists in the lake")
+            }
             CmdlError::UnknownColumn { table, column } => {
                 write!(f, "unknown column: {table}.{column}")
             }

@@ -16,7 +16,97 @@ use cmdl_sketch::{LshEnsemble, LshEnsembleConfig, MinHash};
 use cmdl_text::BagOfWords;
 
 use crate::config::CmdlConfig;
-use crate::profile::ProfiledLake;
+use crate::profile::{DeProfile, ProfiledLake};
+
+/// Does a profile participate in the containment (LSH Ensemble) index?
+/// Shared by the batch build and the delta-ingestion path so the two can
+/// never disagree about eligibility.
+fn containment_eligible(profile: &DeProfile) -> bool {
+    profile.kind == DeKind::Column && (profile.tags.text_searchable || profile.tags.join_candidate)
+}
+
+/// Does a profile participate in the embedding (ANN) indexes?
+fn embedding_eligible(profile: &DeProfile) -> bool {
+    profile.kind == DeKind::Column && profile.tags.text_searchable
+}
+
+/// Profiles in the lake's canonical element order (columns first, then
+/// documents) — the construction order every index build uses, so tree
+/// shapes and partition layouts are reproducible.
+fn ordered_profiles(profiled: &ProfiledLake) -> Vec<&DeProfile> {
+    profiled
+        .column_ids
+        .iter()
+        .chain(profiled.doc_ids.iter())
+        .filter_map(|&id| profiled.profile(id))
+        .collect()
+}
+
+/// Canonical containment-ensemble construction. Shared verbatim by
+/// [`IndexCatalog::build`] and [`IndexCatalog::compact`]: the
+/// compacted-equals-batch-built parity guarantee requires the two to be one
+/// code path.
+fn build_containment(ordered: &[&DeProfile], config: &CmdlConfig) -> LshEnsemble {
+    let mut containment = LshEnsemble::new(LshEnsembleConfig {
+        num_hashes: config.minhash_hashes,
+        default_threshold: config.containment_threshold,
+        ..Default::default()
+    });
+    for profile in ordered {
+        if containment_eligible(profile) {
+            containment.insert(profile.id.raw(), Arc::clone(&profile.minhash));
+        }
+    }
+    containment.build();
+    containment
+}
+
+/// Canonical solo-embedding ANN construction (shared by build and compact,
+/// like [`build_containment`]).
+fn build_solo_ann(ordered: &[&DeProfile], config: &CmdlConfig) -> AnnIndex {
+    let mut solo_ann = AnnIndex::new(
+        config.embedding_dim,
+        AnnIndexConfig {
+            num_trees: config.ann_trees,
+            seed: config.seed,
+            ..Default::default()
+        },
+    );
+    for profile in ordered {
+        if embedding_eligible(profile) {
+            solo_ann.add(profile.id.raw(), Arc::clone(&profile.solo.content));
+        }
+    }
+    solo_ann.build();
+    solo_ann
+}
+
+/// An empty joint-space ANN index (shared by [`IndexCatalog::install_joint`]
+/// and [`IndexCatalog::compact`] so the tree seed cannot drift).
+fn new_joint_ann(config: &CmdlConfig) -> AnnIndex {
+    AnnIndex::new(
+        config.joint_dim,
+        AnnIndexConfig {
+            num_trees: config.ann_trees,
+            seed: config.seed ^ 0xBEEF,
+            ..Default::default()
+        },
+    )
+}
+
+/// Delta-state statistics of the catalog (pending inserts + tombstones per
+/// index), used to drive the periodic-compaction policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeltaStats {
+    /// Tombstoned entries in the content inverted index.
+    pub content_tombstoned: usize,
+    /// Pending + tombstoned entries in the containment ensemble.
+    pub containment_delta: usize,
+    /// Delta-tail + tombstoned vectors in the solo ANN index.
+    pub solo_delta: usize,
+    /// Delta-tail + tombstoned vectors in the joint ANN index.
+    pub joint_delta: usize,
+}
 
 /// All indexes built over a profiled lake.
 #[derive(Debug, Clone)]
@@ -50,12 +140,7 @@ impl IndexCatalog {
         // Iterate in the lake's deterministic element order (columns first,
         // then documents) so index construction — and thus ANN tree shapes —
         // is reproducible across runs.
-        let ordered: Vec<_> = profiled
-            .column_ids
-            .iter()
-            .chain(profiled.doc_ids.iter())
-            .filter_map(|&id| profiled.profile(id))
-            .collect();
+        let ordered = ordered_profiles(profiled);
 
         let ((content, metadata), (containment, solo_ann)) = rayon::join(
             || {
@@ -80,50 +165,162 @@ impl IndexCatalog {
             },
             || {
                 rayon::join(
-                    || {
-                        let mut containment = LshEnsemble::new(LshEnsembleConfig {
-                            num_hashes: config.minhash_hashes,
-                            default_threshold: config.containment_threshold,
-                            ..Default::default()
-                        });
-                        for profile in &ordered {
-                            if profile.kind == DeKind::Column
-                                && (profile.tags.text_searchable || profile.tags.join_candidate)
-                            {
-                                containment.insert(profile.id.raw(), Arc::clone(&profile.minhash));
-                            }
-                        }
-                        containment.build();
-                        containment
-                    },
-                    || {
-                        let mut solo_ann = AnnIndex::new(
-                            config.embedding_dim,
-                            AnnIndexConfig {
-                                num_trees: config.ann_trees,
-                                seed: config.seed,
-                                ..Default::default()
-                            },
-                        );
-                        for profile in &ordered {
-                            if profile.kind == DeKind::Column && profile.tags.text_searchable {
-                                solo_ann.add(profile.id.raw(), Arc::clone(&profile.solo.content));
-                            }
-                        }
-                        solo_ann.build();
-                        solo_ann
-                    },
+                    || build_containment(&ordered, config),
+                    || build_solo_ann(&ordered, config),
                 )
             },
         );
 
-        Self {
+        let mut catalog = Self {
             content,
             metadata,
             containment,
             solo_ann,
             joint_ann: None,
             joint_embeddings: HashMap::new(),
+        };
+        // Arm the lazy IDF-refresh policy for the incremental delta path.
+        catalog
+            .content
+            .set_idf_refresh_ratio(Some(config.idf_refresh_ratio));
+        catalog
+            .metadata
+            .set_idf_refresh_ratio(Some(config.idf_refresh_ratio));
+        catalog
+    }
+
+    /// Apply the delta of one freshly profiled element to every index in
+    /// place (postings appends, LSH delta insert, ANN delta-tail insert) —
+    /// no index is rebuilt. Eligibility uses the same predicates as
+    /// [`build`](Self::build).
+    pub fn ingest_profile(&mut self, profile: &DeProfile) {
+        self.content.add(profile.id.raw(), &profile.content);
+        self.metadata.add(profile.id.raw(), &profile.metadata);
+        if containment_eligible(profile) {
+            self.containment
+                .insert(profile.id.raw(), Arc::clone(&profile.minhash));
+        }
+        if embedding_eligible(profile) {
+            self.solo_ann
+                .add(profile.id.raw(), Arc::clone(&profile.solo.content));
+        }
+    }
+
+    /// Install (or replace) one element's joint embedding after the joint
+    /// model has been trained: updates the embedding table and the joint
+    /// ANN delta.
+    pub fn ingest_joint(&mut self, profile: &DeProfile, vector: Vec<f32>) {
+        let vector = Arc::new(vector);
+        if let Some(ann) = &mut self.joint_ann {
+            if embedding_eligible(profile) {
+                ann.remove(profile.id.raw());
+                ann.add(profile.id.raw(), Arc::clone(&vector));
+            }
+        }
+        self.joint_embeddings.insert(profile.id, vector);
+    }
+
+    /// Tombstone one element in every index. The space is reclaimed by the
+    /// next [`compact`](Self::compact).
+    pub fn remove_element(&mut self, profile: &DeProfile) {
+        self.content.remove(profile.id.raw());
+        self.metadata.remove(profile.id.raw());
+        if containment_eligible(profile) {
+            self.containment.remove(profile.id.raw());
+        }
+        if embedding_eligible(profile) {
+            self.solo_ann.remove(profile.id.raw());
+        }
+        if let Some(ann) = &mut self.joint_ann {
+            ann.remove(profile.id.raw());
+        }
+        self.joint_embeddings.remove(&profile.id);
+    }
+
+    /// Re-index a document profile whose *content* was re-derived (the
+    /// corpus document-frequency statistics shifted): replaces its content
+    /// postings; metadata is untouched.
+    pub fn reindex_document_content(&mut self, profile: &DeProfile) {
+        self.content.remove(profile.id.raw());
+        self.content.add(profile.id.raw(), &profile.content);
+    }
+
+    /// Delta-state statistics across the catalog.
+    pub fn delta_stats(&self) -> DeltaStats {
+        DeltaStats {
+            content_tombstoned: self.content.num_tombstoned(),
+            containment_delta: self.containment.num_pending() + self.containment.num_tombstoned(),
+            solo_delta: self.solo_ann.num_delta() + self.solo_ann.num_tombstoned(),
+            joint_delta: self
+                .joint_ann
+                .as_ref()
+                .map(|a| a.num_delta() + a.num_tombstoned())
+                .unwrap_or(0),
+        }
+    }
+
+    /// The largest delta fraction (pending inserts + tombstones over total
+    /// entries) across the catalog's indexes — the signal the periodic-
+    /// compaction policy thresholds on.
+    pub fn delta_pressure(&self) -> f64 {
+        let stats = self.delta_stats();
+        let frac = |delta: usize, total: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                delta as f64 / total as f64
+            }
+        };
+        // Note the denominators: `len()` already *includes* pending /
+        // delta-tail entries for the sketch indexes (they are live), so
+        // only tombstones are added back to form the total entry count.
+        let mut pressure = frac(
+            stats.content_tombstoned,
+            self.content.len() + self.content.num_tombstoned(),
+        );
+        pressure = pressure.max(frac(
+            stats.containment_delta,
+            self.containment.len() + self.containment.num_tombstoned(),
+        ));
+        pressure = pressure.max(frac(
+            stats.solo_delta,
+            self.solo_ann.len() + self.solo_ann.num_tombstoned(),
+        ));
+        if let Some(ann) = &self.joint_ann {
+            pressure = pressure.max(frac(stats.joint_delta, ann.len() + ann.num_tombstoned()));
+        }
+        pressure
+    }
+
+    /// Fold all delta state back into the dense layouts: the inverted
+    /// indexes compact in place (tombstones dropped, IDF re-finalized), and
+    /// the sketch indexes are rebuilt from the profiles in the lake's
+    /// canonical element order — so a compacted catalog is structurally
+    /// identical to one batch-built over the surviving elements (identical
+    /// partitions, identical ANN trees, identical scores).
+    pub fn compact(&mut self, profiled: &ProfiledLake, config: &CmdlConfig) {
+        self.content.compact();
+        self.metadata.compact();
+
+        let ordered = ordered_profiles(profiled);
+        self.containment = build_containment(&ordered, config);
+        self.solo_ann = build_solo_ann(&ordered, config);
+
+        if self.joint_ann.is_some() {
+            // Prune embeddings of departed elements, then rebuild the joint
+            // forest canonically.
+            self.joint_embeddings
+                .retain(|id, _| profiled.profile(*id).is_some());
+            let mut ann = new_joint_ann(config);
+            for profile in &ordered {
+                if embedding_eligible(profile) {
+                    if let Some(vector) = self.joint_embeddings.get(&profile.id) {
+                        ann.add(profile.id.raw(), Arc::clone(vector));
+                    }
+                }
+            }
+            ann.build();
+            self.joint_ann = Some(ann);
         }
     }
 
@@ -140,19 +337,12 @@ impl IndexCatalog {
             .into_iter()
             .map(|(id, vector)| (id, Arc::new(vector)))
             .collect();
-        let mut ann = AnnIndex::new(
-            config.joint_dim,
-            AnnIndexConfig {
-                num_trees: config.ann_trees,
-                seed: config.seed ^ 0xBEEF,
-                ..Default::default()
-            },
-        );
+        let mut ann = new_joint_ann(config);
         for &id in &profiled.column_ids {
             let (Some(profile), Some(vector)) = (profiled.profile(id), embeddings.get(&id)) else {
                 continue;
             };
-            if profile.kind == DeKind::Column && profile.tags.text_searchable {
+            if embedding_eligible(profile) {
                 ann.add(id.raw(), Arc::clone(vector));
             }
         }

@@ -38,6 +38,7 @@ pub mod indexes;
 pub mod join;
 pub mod joint;
 pub mod profile;
+pub mod snapshot;
 pub mod training;
 pub mod union;
 
@@ -45,9 +46,10 @@ pub use config::{CmdlConfig, CrossModalStrategy, HardSampling, SketchScheme};
 pub use discovery::{Cmdl, DiscoveryResult, SearchMode};
 pub use ekg::{Ekg, NodeId, RelationType};
 pub use error::CmdlError;
-pub use indexes::IndexCatalog;
+pub use indexes::{DeltaStats, IndexCatalog};
 pub use join::{JoinDiscovery, PkFkLink};
 pub use joint::{JointModel, JointTrainer, JointTrainingReport};
-pub use profile::{ColumnTags, DeProfile, ProfiledLake, Profiler};
+pub use profile::{ColumnTags, DeProfile, ElementData, ProfiledLake, Profiler};
+pub use snapshot::CatalogSnapshot;
 pub use training::{TrainingDataset, TrainingDatasetGenerator, TrainingPair};
 pub use union::{UnionDiscovery, UnionScore};

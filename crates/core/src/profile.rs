@@ -61,6 +61,11 @@ pub struct DeProfile {
     pub table_name: Option<String>,
     /// Content bag of words.
     pub content: BagOfWords,
+    /// For documents: the raw content bag *before* the corpus-level
+    /// document-frequency filter, kept so the incremental-ingestion path can
+    /// re-derive `content` when the corpus statistics shift. `None` for
+    /// columns (whose content is never DF-filtered).
+    pub raw_content: Option<BagOfWords>,
     /// Metadata bag of words.
     pub metadata: BagOfWords,
     /// MinHash signature of the distinct content token set
@@ -97,6 +102,10 @@ pub struct ProfiledLake {
     pub doc_ids: Vec<DeId>,
     /// Column element ids in lake order.
     pub column_ids: Vec<DeId>,
+    /// Corpus-level document-frequency statistics over the live documents,
+    /// maintained incrementally by the ingestion path so delta-profiled
+    /// documents see exactly the statistics a batch rebuild would.
+    pub doc_df: DocumentFrequencyFilter,
     /// Wall-clock time spent profiling.
     pub profiling_time: Duration,
 }
@@ -131,6 +140,30 @@ impl ProfiledLake {
             })
             .collect()
     }
+}
+
+/// The source data of one discoverable element, as consumed by
+/// [`Profiler::profile_element`] — the single profiling entry point shared
+/// by the batch build and the incremental ingestion path.
+pub enum ElementData<'a> {
+    /// A tabular column.
+    Column {
+        /// Owning table name.
+        table_name: &'a str,
+        /// The column itself.
+        column: &'a Column,
+        /// Row count of the owning table (for tagging thresholds).
+        table_rows: usize,
+    },
+    /// A text document.
+    Document {
+        /// The document itself.
+        document: &'a Document,
+        /// The raw (pipeline-processed, unfiltered) content bag.
+        raw: BagOfWords,
+        /// Corpus document-frequency statistics to filter against.
+        df: &'a DocumentFrequencyFilter,
+    },
 }
 
 /// The CMDL profiler.
@@ -179,19 +212,30 @@ impl Profiler {
         &self.minhasher
     }
 
+    /// The corpus-level document-frequency filter the profiler pairs with
+    /// (fresh, with no observations). Both the batch build and the
+    /// incremental ingestion path start from this template so their
+    /// statistics cannot drift apart.
+    pub fn new_df_filter(&self) -> DocumentFrequencyFilter {
+        DocumentFrequencyFilter::new(0.6, 1)
+    }
+
     /// Profile an entire lake.
     pub fn profile_lake(&self, lake: DataLake) -> ProfiledLake {
         let start = Instant::now();
 
-        // Corpus-level document-frequency filter over the documents.
-        let mut df = DocumentFrequencyFilter::new(0.6, 1);
+        // Raw document bags (computed for every document slot; removed slots
+        // yield empty bags and are skipped below).
         let doc_bows: Vec<BagOfWords> = lake
             .documents()
             .par_iter()
             .map(|d| self.doc_pipeline.process(&d.text))
             .collect();
-        for bow in &doc_bows {
-            df.observe(bow);
+        // Corpus-level document-frequency statistics over the live documents.
+        let mut df = self.new_df_filter();
+        let doc_work: Vec<(DeId, usize)> = lake.document_ids().collect();
+        for &(_, idx) in &doc_work {
+            df.observe(&doc_bows[idx]);
         }
 
         let column_work: Vec<(DeId, usize, usize)> = lake
@@ -202,17 +246,28 @@ impl Profiler {
             .par_iter()
             .map(|&(id, t, c)| {
                 let table = &lake.tables()[t];
-                self.profile_column(id, &table.name, &table.columns[c], table.num_rows())
+                self.profile_element(
+                    id,
+                    ElementData::Column {
+                        table_name: &table.name,
+                        column: &table.columns[c],
+                        table_rows: table.num_rows(),
+                    },
+                )
             })
             .collect();
 
-        let doc_work: Vec<(DeId, usize)> = lake.document_ids().collect();
         let doc_profiles: Vec<DeProfile> = doc_work
             .par_iter()
             .map(|&(id, idx)| {
-                let mut bow = doc_bows[idx].clone();
-                df.apply(&mut bow);
-                self.profile_document(id, &lake.documents()[idx], bow)
+                self.profile_element(
+                    id,
+                    ElementData::Document {
+                        document: &lake.documents()[idx],
+                        raw: doc_bows[idx].clone(),
+                        df: &df,
+                    },
+                )
             })
             .collect();
 
@@ -228,7 +283,25 @@ impl Profiler {
             profiles,
             doc_ids,
             column_ids,
+            doc_df: df,
             profiling_time: start.elapsed(),
+        }
+    }
+
+    /// Profile one discoverable element. This is the *single* profiling code
+    /// path: the batch [`profile_lake`](Self::profile_lake) and the
+    /// incremental ingestion path both go through it, so delta-profiled
+    /// elements carry exactly the statistics a batch rebuild would produce.
+    pub fn profile_element(&self, id: DeId, data: ElementData<'_>) -> DeProfile {
+        match data {
+            ElementData::Column {
+                table_name,
+                column,
+                table_rows,
+            } => self.profile_column(id, table_name, column, table_rows),
+            ElementData::Document { document, raw, df } => {
+                self.profile_document(id, document, raw, df)
+            }
         }
     }
 
@@ -278,6 +351,7 @@ impl Profiler {
             qualified_name: format!("{table_name}.{}", column.name),
             table_name: Some(table_name.to_string()),
             content,
+            raw_content: None,
             metadata,
             minhash,
             distinct_values,
@@ -288,8 +362,19 @@ impl Profiler {
         }
     }
 
-    /// Profile a single document given its (already filtered) bag of words.
-    pub fn profile_document(&self, id: DeId, doc: &Document, content: BagOfWords) -> DeProfile {
+    /// Profile a single document from its raw (unfiltered) bag of words and
+    /// the current corpus document-frequency statistics. The raw bag is kept
+    /// on the profile so the filtered content can be re-derived when the
+    /// corpus statistics shift.
+    pub fn profile_document(
+        &self,
+        id: DeId,
+        doc: &Document,
+        raw: BagOfWords,
+        df: &DocumentFrequencyFilter,
+    ) -> DeProfile {
+        let mut content = raw.clone();
+        df.apply(&mut content);
         let mut metadata = BagOfWords::new();
         metadata.merge(&self.cell_pipeline.process(&doc.title));
         metadata.merge(&self.cell_pipeline.process(&doc.source));
@@ -303,6 +388,7 @@ impl Profiler {
             qualified_name: doc.title.clone(),
             table_name: None,
             content,
+            raw_content: Some(raw),
             metadata,
             minhash,
             distinct_values,
@@ -311,6 +397,22 @@ impl Profiler {
             tags: ColumnTags::default(),
             uniqueness: 0.0,
         }
+    }
+
+    /// Re-derive a document profile's filtered content (and the sketches
+    /// depending on it) from its stored raw bag under the given corpus
+    /// statistics. Used by the ingestion path when a term's keep-status
+    /// flips. No-op for columns.
+    pub fn refresh_document_content(&self, profile: &mut DeProfile, df: &DocumentFrequencyFilter) {
+        let Some(raw) = profile.raw_content.clone() else {
+            return;
+        };
+        let mut content = raw;
+        df.apply(&mut content);
+        profile.minhash = Arc::new(self.minhasher.signature(content.terms()));
+        profile.solo = self.solo.embed_element(&content, &profile.metadata);
+        profile.distinct_values = content.term_vec();
+        profile.content = content;
     }
 
     /// Transform free query text into a query profile-like pair

@@ -1,0 +1,290 @@
+//! Generation snapshots of the CMDL catalog.
+//!
+//! [`CatalogSnapshot`] is an immutable, reference-counted view of everything
+//! a discovery query needs: the profiled lake, the index catalog, the
+//! (optionally trained) joint model, the EKG, and the profiler. The [`Cmdl`]
+//! façade hands out snapshots cheaply (a handful of `Arc` clones); writers
+//! apply ingestion batches copy-on-write, so a reader holding a snapshot
+//! keeps a fully consistent view — lake, profiles, and all four indexes from
+//! the same generation — no matter how many batches land after it was taken.
+//!
+//! Every read-side discovery primitive lives here; [`Cmdl`]'s query methods
+//! are thin delegations, so "query the live system" and "query a pinned
+//! generation" are the same code path.
+//!
+//! [`Cmdl`]: crate::discovery::Cmdl
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cmdl_datalake::{DeId, DeKind};
+use cmdl_index::ScoringFunction;
+
+use crate::config::{CmdlConfig, CrossModalStrategy};
+use crate::discovery::{DiscoveryResult, SearchMode};
+use crate::ekg::Ekg;
+use crate::error::CmdlError;
+use crate::indexes::IndexCatalog;
+use crate::join::{JoinDiscovery, PkFkLink};
+use crate::joint::JointModel;
+use crate::profile::{ProfiledLake, Profiler};
+use crate::union::{UnionDiscovery, UnionScore};
+
+/// A consistent, immutable view of one catalog generation.
+#[derive(Clone)]
+pub struct CatalogSnapshot {
+    /// The generation this snapshot pins (bumped per ingestion batch).
+    pub generation: u64,
+    /// System configuration at snapshot time.
+    pub config: CmdlConfig,
+    /// The profiled lake.
+    pub profiled: Arc<ProfiledLake>,
+    /// The index catalog.
+    pub indexes: Arc<IndexCatalog>,
+    /// The trained joint model, if any.
+    pub joint: Option<Arc<JointModel>>,
+    /// The Enterprise Knowledge Graph.
+    pub ekg: Arc<Ekg>,
+    /// The profiler (for query-text transformation).
+    pub profiler: Arc<Profiler>,
+}
+
+impl CatalogSnapshot {
+    /// Keyword search (Q1): find the `top_k` elements matching the query
+    /// text in the requested scope.
+    pub fn content_search(
+        &self,
+        query: &str,
+        mode: SearchMode,
+        top_k: usize,
+    ) -> Vec<DiscoveryResult> {
+        let (bow, _) = self.profiler.profile_query_text(query);
+        let kind = match mode {
+            SearchMode::Text => Some(DeKind::Document),
+            SearchMode::Tables => Some(DeKind::Column),
+            SearchMode::All => None,
+        };
+        self.indexes
+            .content_search(
+                &self.profiled,
+                &bow,
+                kind,
+                top_k,
+                ScoringFunction::default(),
+            )
+            .into_iter()
+            .map(|(id, score)| self.element_result(id, score))
+            .collect()
+    }
+
+    /// Cross-modal Doc→Table discovery (Q2/Q3) for a document already in the
+    /// lake, using the configured strategy (joint embeddings when trained,
+    /// otherwise solo embeddings).
+    pub fn cross_modal_search(
+        &self,
+        document: usize,
+        top_k: usize,
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        let doc_id = self
+            .profiled
+            .lake
+            .document_id(document)
+            .ok_or(CmdlError::UnknownDocument(document))?;
+        let profile = self
+            .profiled
+            .profile(doc_id)
+            .ok_or(CmdlError::UnknownDocument(document))?;
+        let strategy = if self.joint.is_some() {
+            CrossModalStrategy::JointEmbedding
+        } else {
+            CrossModalStrategy::SoloEmbedding
+        };
+        Ok(self.doc_to_table_search(
+            &profile.solo.clone(),
+            &profile.content.clone(),
+            strategy,
+            top_k,
+        ))
+    }
+
+    /// Cross-modal Doc→Table discovery for ad-hoc query text (e.g. a
+    /// highlighted sentence, as in Figure 1).
+    pub fn cross_modal_search_text(&self, text: &str, top_k: usize) -> Vec<DiscoveryResult> {
+        let (bow, solo) = self.profiler.profile_query_text(text);
+        let strategy = if self.joint.is_some() {
+            CrossModalStrategy::JointEmbedding
+        } else {
+            CrossModalStrategy::SoloEmbedding
+        };
+        self.doc_to_table_search(&solo, &bow, strategy, top_k)
+    }
+
+    /// Doc→Table discovery with an explicit strategy (used by the Figure 6
+    /// comparison of CMDL variants).
+    pub fn doc_to_table_search(
+        &self,
+        solo: &cmdl_embed::SoloEmbedding,
+        content: &cmdl_text::BagOfWords,
+        strategy: CrossModalStrategy,
+        top_k: usize,
+    ) -> Vec<DiscoveryResult> {
+        let probe_k = (top_k * 6).max(20);
+        let column_scores: Vec<(DeId, f64)> = match (strategy, &self.joint) {
+            (CrossModalStrategy::JointEmbedding, Some(model)) => {
+                let query = model.embed(solo);
+                self.indexes
+                    .joint_search(&query, probe_k)
+                    .unwrap_or_default()
+            }
+            _ => self.indexes.solo_search(&solo.content, probe_k),
+        };
+        // Blend in a containment signal so exact identifier matches are not
+        // lost (the embeddings capture semantics; containment captures value
+        // overlap), then aggregate column scores to table level.
+        let minhash = self.profiler.minhasher().signature(content.terms());
+        let containment: HashMap<DeId, f64> = self
+            .indexes
+            .containment_search(&minhash, probe_k)
+            .into_iter()
+            .collect();
+        let mut table_scores: HashMap<String, f64> = HashMap::new();
+        for (id, score) in column_scores {
+            let Some(profile) = self.profiled.profile(id) else {
+                continue;
+            };
+            let Some(table) = profile.table_name.clone() else {
+                continue;
+            };
+            let combined =
+                0.7 * score.max(0.0) + 0.3 * containment.get(&id).copied().unwrap_or(0.0);
+            let entry = table_scores.entry(table).or_insert(0.0);
+            if combined > *entry {
+                *entry = combined;
+            }
+        }
+        for (id, score) in &containment {
+            let Some(profile) = self.profiled.profile(*id) else {
+                continue;
+            };
+            let Some(table) = profile.table_name.clone() else {
+                continue;
+            };
+            let entry = table_scores.entry(table).or_insert(0.0);
+            if 0.3 * score > *entry {
+                *entry = 0.3 * score;
+            }
+        }
+        let mut results: Vec<DiscoveryResult> = table_scores
+            .into_iter()
+            .map(|(table, score)| DiscoveryResult {
+                element: None,
+                label: table.clone(),
+                table: Some(table),
+                score,
+            })
+            .collect();
+        // Tie-break by label: `table_scores` is a HashMap, so equal-scored
+        // tables would otherwise surface in a run-dependent order.
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        results.truncate(top_k);
+        results
+    }
+
+    /// Table-level joinability discovery (Q4).
+    pub fn joinable(&self, table: &str, top_k: usize) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        if self.profiled.lake.table(table).is_none() {
+            return Err(CmdlError::UnknownTable(table.to_string()));
+        }
+        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
+        Ok(discovery
+            .joinable_tables(table, top_k)
+            .into_iter()
+            .map(|(name, score)| DiscoveryResult {
+                element: None,
+                label: name.clone(),
+                table: Some(name),
+                score,
+            })
+            .collect())
+    }
+
+    /// Column-level joinability discovery.
+    pub fn joinable_columns(
+        &self,
+        table: &str,
+        column: &str,
+        top_k: usize,
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        let id = self
+            .profiled
+            .lake
+            .column_id_by_name(table, column)
+            .ok_or_else(|| CmdlError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
+        Ok(discovery
+            .joinable_columns(id, top_k)
+            .into_iter()
+            .map(|(cid, score)| self.element_result(cid, score))
+            .collect())
+    }
+
+    /// PK-FK discovery over the whole lake.
+    pub fn pkfk(&self) -> Vec<PkFkLink> {
+        JoinDiscovery::new(&self.profiled, &self.config).pkfk_links()
+    }
+
+    /// Unionable-table discovery (Q5).
+    pub fn unionable(&self, table: &str, top_k: usize) -> Result<Vec<UnionScore>, CmdlError> {
+        if self.profiled.lake.table(table).is_none() {
+            return Err(CmdlError::UnknownTable(table.to_string()));
+        }
+        Ok(UnionDiscovery::new(&self.profiled, &self.config).unionable_tables(table, top_k))
+    }
+
+    /// Wrap an element id and score as a [`DiscoveryResult`].
+    pub(crate) fn element_result(&self, id: DeId, score: f64) -> DiscoveryResult {
+        let label = self
+            .profiled
+            .profile(id)
+            .map(|p| p.qualified_name.clone())
+            .unwrap_or_else(|| format!("de-{}", id.raw()));
+        let table = self.profiled.profile(id).and_then(|p| p.table_name.clone());
+        DiscoveryResult {
+            element: Some(id),
+            table,
+            label,
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use cmdl_datalake::synth;
+
+    use crate::config::CmdlConfig;
+    use crate::discovery::{Cmdl, SearchMode};
+
+    #[test]
+    fn snapshot_queries_match_live_system() {
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        let cmdl = Cmdl::build(lake, CmdlConfig::fast());
+        let snap = cmdl.snapshot();
+        assert_eq!(snap.generation, cmdl.generation());
+        let live = cmdl.content_search("drug", SearchMode::All, 5);
+        let pinned = snap.content_search("drug", SearchMode::All, 5);
+        assert_eq!(live, pinned);
+        assert_eq!(
+            cmdl.joinable("Drugs", 3).unwrap(),
+            snap.joinable("Drugs", 3).unwrap()
+        );
+    }
+}

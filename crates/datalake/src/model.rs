@@ -298,6 +298,11 @@ pub struct DataLake {
     document_ids: Vec<DeId>,
     id_to_column: HashMap<DeId, ColumnRef>,
     id_to_document: HashMap<DeId, usize>,
+    /// Indices of removed tables. Slots are kept (emptied of data) so table
+    /// indices — used by `ColumnRef` and by EKG nodes — stay stable.
+    removed_tables: std::collections::HashSet<usize>,
+    /// Indices of removed documents (slots kept for the same reason).
+    removed_documents: std::collections::HashSet<usize>,
     next_id: u64,
 }
 
@@ -340,39 +345,99 @@ impl DataLake {
         idx
     }
 
-    /// All tables.
+    /// Remove a table by name. The table's slot is kept (so table indices
+    /// remain stable) but its data is dropped and its columns lose their
+    /// ids. Returns the removed column ids, or `None` for unknown (or
+    /// already removed) tables.
+    pub fn remove_table(&mut self, name: &str) -> Option<Vec<DeId>> {
+        let table_idx = self.table_index(name)?;
+        let num_columns = self.tables[table_idx].num_columns();
+        let mut removed = Vec::with_capacity(num_columns);
+        for column_idx in 0..num_columns {
+            let cref = ColumnRef {
+                table: table_idx,
+                column: column_idx,
+            };
+            if let Some(id) = self.column_ids.remove(&cref) {
+                self.id_to_column.remove(&id);
+                removed.push(id);
+            }
+        }
+        // Empty the slot completely (name included) so the dead slot can
+        // never shadow a later re-ingested table of the same name.
+        self.tables[table_idx].columns.clear();
+        self.tables[table_idx].name = String::new();
+        self.removed_tables.insert(table_idx);
+        Some(removed)
+    }
+
+    /// Remove a document by index. The slot is kept (indices stay stable)
+    /// but the text is dropped and the id unregistered. Returns the removed
+    /// id, or `None` for unknown (or already removed) documents.
+    pub fn remove_document(&mut self, index: usize) -> Option<DeId> {
+        if index >= self.documents.len() || self.removed_documents.contains(&index) {
+            return None;
+        }
+        let id = self.document_ids[index];
+        self.id_to_document.remove(&id);
+        self.removed_documents.insert(index);
+        self.documents[index].text = String::new();
+        Some(id)
+    }
+
+    /// Is the table at `index` removed?
+    pub fn is_table_removed(&self, index: usize) -> bool {
+        self.removed_tables.contains(&index)
+    }
+
+    /// Is the document at `index` removed?
+    pub fn is_document_removed(&self, index: usize) -> bool {
+        self.removed_documents.contains(&index)
+    }
+
+    /// All table slots, including removed (emptied) ones — indices in this
+    /// slice are the stable table indices. Use
+    /// [`table`](Self::table)/[`table_index`](Self::table_index) for
+    /// live-only lookups.
     pub fn tables(&self) -> &[Table] {
         &self.tables
     }
 
-    /// All documents.
+    /// All document slots, including removed (emptied) ones. Use
+    /// [`document_ids`](Self::document_ids) to iterate only live documents.
     pub fn documents(&self) -> &[Document] {
         &self.documents
     }
 
-    /// Number of tables.
+    /// Number of live tables.
     pub fn num_tables(&self) -> usize {
-        self.tables.len()
+        self.tables.len() - self.removed_tables.len()
     }
 
-    /// Number of documents.
+    /// Number of live documents.
     pub fn num_documents(&self) -> usize {
-        self.documents.len()
+        self.documents.len() - self.removed_documents.len()
     }
 
-    /// Total number of columns across all tables.
+    /// Total number of columns across all live tables.
     pub fn num_columns(&self) -> usize {
         self.tables.iter().map(|t| t.num_columns()).sum()
     }
 
-    /// Look up a table index by name.
+    /// Look up a live table's index by name. Removed slots are skipped
+    /// during the search, so a dead slot never shadows a live table that
+    /// re-uses its name.
     pub fn table_index(&self, name: &str) -> Option<usize> {
-        self.tables.iter().position(|t| t.name == name)
+        self.tables
+            .iter()
+            .enumerate()
+            .find(|(i, t)| !self.removed_tables.contains(i) && t.name == name)
+            .map(|(i, _)| i)
     }
 
-    /// Look up a table by name.
+    /// Look up a live table by name.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.iter().find(|t| t.name == name)
+        self.table_index(name).map(|i| &self.tables[i])
     }
 
     /// The id of a column.
@@ -390,8 +455,11 @@ impl DataLake {
         self.column_id(table_idx, column_idx)
     }
 
-    /// The id of a document by index.
+    /// The id of a live document by index.
     pub fn document_id(&self, index: usize) -> Option<DeId> {
+        if self.removed_documents.contains(&index) {
+            return None;
+        }
         self.document_ids.get(index).copied()
     }
 
@@ -448,9 +516,13 @@ impl DataLake {
         })
     }
 
-    /// Iterate over all document ids with their indexes.
+    /// Iterate over all live document ids with their indexes.
     pub fn document_ids(&self) -> impl Iterator<Item = (DeId, usize)> + '_ {
-        self.document_ids.iter().enumerate().map(|(i, id)| (*id, i))
+        self.document_ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.removed_documents.contains(i))
+            .map(|(i, id)| (*id, i))
     }
 }
 
@@ -558,6 +630,63 @@ mod tests {
         let set: std::collections::HashSet<DeId> = ids.iter().copied().collect();
         assert_eq!(set.len(), ids.len());
         assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn remove_table_keeps_indices_stable() {
+        let mut lake = sample_lake();
+        let targets_idx = lake.table_index("Targets").unwrap();
+        let drugs_name_id = lake.column_id_by_name("Drugs", "Name").unwrap();
+        let removed = lake.remove_table("Drugs").unwrap();
+        assert_eq!(removed.len(), 2);
+        assert!(removed.contains(&drugs_name_id));
+        assert!(lake.remove_table("Drugs").is_none(), "double removal");
+        assert!(lake.remove_table("NoSuch").is_none());
+
+        assert_eq!(lake.num_tables(), 1);
+        assert_eq!(lake.num_columns(), 1);
+        assert!(lake.table("Drugs").is_none());
+        assert!(lake.is_table_removed(0));
+        // The surviving table keeps its index and ids.
+        assert_eq!(lake.table_index("Targets"), Some(targets_idx));
+        assert!(lake.column_id_by_name("Targets", "DrugKey").is_some());
+        assert_eq!(lake.kind(drugs_name_id), None);
+        assert_eq!(lake.column_ids().count(), 1);
+    }
+
+    #[test]
+    fn removed_table_name_can_be_reused() {
+        let mut lake = sample_lake();
+        lake.remove_table("Drugs").unwrap();
+        let new_idx = lake.add_table(Table::new("Drugs", vec![Column::from_texts("Id", ["DB9"])]));
+        // The dead slot must not shadow the live replacement.
+        assert_eq!(lake.table_index("Drugs"), Some(new_idx));
+        assert_eq!(lake.table("Drugs").unwrap().num_columns(), 1);
+        assert!(lake.column_id_by_name("Drugs", "Id").is_some());
+    }
+
+    #[test]
+    fn remove_document_keeps_indices_stable() {
+        let mut lake = sample_lake();
+        lake.add_document(Document::new("abstract-2", "PubMed", "Citric acid."));
+        let id0 = lake.document_id(0).unwrap();
+        assert_eq!(lake.remove_document(0), Some(id0));
+        assert_eq!(lake.remove_document(0), None, "double removal");
+        assert_eq!(lake.remove_document(9), None);
+
+        assert_eq!(lake.num_documents(), 1);
+        assert!(lake.document_id(0).is_none());
+        assert!(lake.is_document_removed(0));
+        assert_eq!(lake.kind(id0), None);
+        // The surviving document keeps its index.
+        let live: Vec<usize> = lake.document_ids().map(|(_, i)| i).collect();
+        assert_eq!(live, vec![1]);
+        assert_eq!(
+            lake.document_by_id(lake.document_id(1).unwrap())
+                .unwrap()
+                .title,
+            "abstract-2"
+        );
     }
 
     #[test]

@@ -8,6 +8,15 @@
 //! leaves, and rank candidates exactly by cosine similarity. A
 //! [`BruteForceIndex`] provides the exact reference used in tests and for
 //! small collections.
+//!
+//! ## Incremental maintenance
+//!
+//! Vectors added after [`build`](AnnIndex::build) land in a *delta tail*
+//! that queries scan exactly (every delta vector is a candidate), so the
+//! forest keeps serving without a rebuild while the tail stays small.
+//! [`remove`](AnnIndex::remove) tombstones a vector in place, and
+//! [`compact`](AnnIndex::compact) drops tombstoned vectors, folds the delta
+//! tail into the forest, and rebuilds the trees.
 
 use std::sync::Arc;
 
@@ -92,6 +101,18 @@ pub struct AnnIndex {
     dim: usize,
     trees: Vec<Tree>,
     built: bool,
+    /// Number of leading vectors covered by the built forest; vectors at
+    /// positions `built_len..` form the exactly-scanned delta tail.
+    built_len: usize,
+    /// Tombstone flags by position (`true` = removed). May be shorter than
+    /// `ids` (older entries are implicitly live).
+    dead: Vec<bool>,
+    /// Number of tombstoned vectors.
+    num_dead: usize,
+    /// External id → position, for removal. Rebuilt lazily after
+    /// deserialization.
+    #[serde(skip)]
+    id_to_pos: std::collections::HashMap<u64, u32>,
 }
 
 impl AnnIndex {
@@ -104,6 +125,10 @@ impl AnnIndex {
             dim,
             trees: Vec::new(),
             built: false,
+            built_len: 0,
+            dead: Vec::new(),
+            num_dead: 0,
+            id_to_pos: std::collections::HashMap::new(),
         }
     }
 
@@ -117,17 +142,43 @@ impl AnnIndex {
         self.dim
     }
 
-    /// Number of indexed vectors.
+    /// Number of live (non-tombstoned) vectors.
     pub fn len(&self) -> usize {
-        self.ids.len()
+        self.ids.len() - self.num_dead
     }
 
-    /// Is the index empty?
+    /// Is the index empty (of live vectors)?
     pub fn is_empty(&self) -> bool {
-        self.ids.is_empty()
+        self.len() == 0
     }
 
-    /// Add a vector under `id`. Call [`build`](Self::build) before querying.
+    /// Number of live vectors in the exactly-scanned delta tail (a
+    /// tombstoned tail vector is counted by
+    /// [`num_tombstoned`](Self::num_tombstoned) only, so the two never
+    /// double-count).
+    pub fn num_delta(&self) -> usize {
+        (self.built_len..self.ids.len())
+            .filter(|&pos| !self.is_dead(pos))
+            .count()
+    }
+
+    /// Number of tombstoned vectors awaiting [`compact`](Self::compact).
+    pub fn num_tombstoned(&self) -> usize {
+        self.num_dead
+    }
+
+    /// Is the vector at `pos` tombstoned?
+    #[inline]
+    fn is_dead(&self, pos: usize) -> bool {
+        self.dead.get(pos).copied().unwrap_or(false)
+    }
+
+    /// Add a vector under `id`.
+    ///
+    /// Before the first [`build`](Self::build) the index serves queries by
+    /// brute force. After a build, added vectors join the delta tail: the
+    /// forest keeps serving and the tail is scanned exactly, so no rebuild
+    /// is needed until [`compact`](Self::compact).
     ///
     /// Accepts either an owned `Vec<f32>` or an `Arc<Vec<f32>>`; passing the
     /// `Arc` shares the caller's vector without copying it.
@@ -137,28 +188,85 @@ impl AnnIndex {
     pub fn add(&mut self, id: u64, vector: impl Into<Arc<Vec<f32>>>) {
         let vector = vector.into();
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.ensure_id_map();
+        self.id_to_pos.insert(id, self.ids.len() as u32);
         self.ids.push(id);
         self.vectors.push(vector);
-        self.built = false;
     }
 
-    /// Build the random-projection forest.
+    /// Tombstone the vector indexed under `id`. Returns `false` if the id is
+    /// unknown (or already removed).
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.ensure_id_map();
+        let Some(pos) = self.id_to_pos.remove(&id) else {
+            return false;
+        };
+        let pos = pos as usize;
+        if self.dead.len() <= pos {
+            self.dead.resize(self.ids.len(), false);
+        }
+        if self.dead[pos] {
+            return false;
+        }
+        self.dead[pos] = true;
+        self.num_dead += 1;
+        true
+    }
+
+    fn ensure_id_map(&mut self) {
+        if self.id_to_pos.is_empty() && !self.ids.is_empty() {
+            self.id_to_pos = self
+                .ids
+                .iter()
+                .enumerate()
+                .filter(|&(pos, _)| !self.dead.get(pos).copied().unwrap_or(false))
+                .map(|(pos, &id)| (id, pos as u32))
+                .collect();
+        }
+    }
+
+    /// Build the random-projection forest over the live vectors.
     pub fn build(&mut self) {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         self.trees = (0..self.config.num_trees.max(1))
             .map(|_| self.build_tree(&mut rng))
             .collect();
         self.built = true;
+        self.built_len = self.ids.len();
     }
 
-    /// Has the forest been built since the last `add`?
+    /// Drop tombstoned vectors, fold the delta tail into the forest, and
+    /// rebuild the trees.
+    pub fn compact(&mut self) {
+        if self.num_dead > 0 {
+            let mut ids = Vec::with_capacity(self.len());
+            let mut vectors = Vec::with_capacity(self.len());
+            for pos in 0..self.ids.len() {
+                if !self.is_dead(pos) {
+                    ids.push(self.ids[pos]);
+                    vectors.push(Arc::clone(&self.vectors[pos]));
+                }
+            }
+            self.ids = ids;
+            self.vectors = vectors;
+            self.dead.clear();
+            self.num_dead = 0;
+            self.id_to_pos.clear();
+            self.ensure_id_map();
+        }
+        self.build();
+    }
+
+    /// Has the forest been built (the delta tail may still be non-empty)?
     pub fn is_built(&self) -> bool {
         self.built
     }
 
     fn build_tree(&self, rng: &mut ChaCha8Rng) -> Tree {
         let mut nodes = Vec::new();
-        let all: Vec<usize> = (0..self.vectors.len()).collect();
+        let all: Vec<usize> = (0..self.vectors.len())
+            .filter(|&i| !self.is_dead(i))
+            .collect();
         let root = self.build_node(&all, rng, &mut nodes, 0);
         Tree { nodes, root }
     }
@@ -232,7 +340,8 @@ impl AnnIndex {
 
     /// Query for the `top_k` most cosine-similar vectors. Returns
     /// `(id, similarity)` sorted descending. Falls back to brute force when
-    /// the forest has not been built.
+    /// the forest has not been built; vectors in the delta tail are always
+    /// scanned exactly.
     pub fn query(&self, vector: &[f32], top_k: usize) -> Vec<(u64, f64)> {
         assert_eq!(vector.len(), self.dim, "query dimension mismatch");
         if !self.built || self.trees.is_empty() {
@@ -242,9 +351,14 @@ impl AnnIndex {
         for tree in &self.trees {
             self.collect_candidates(tree, tree.root, vector, &mut candidates);
         }
+        // The delta tail is not in any tree: every live tail vector is a
+        // candidate, keeping post-build inserts exact.
+        candidates.extend(self.built_len..self.ids.len());
         let mut tk = TopK::new(top_k);
         for &i in &candidates {
-            tk.push(self.ids[i], cosine_similarity(vector, &self.vectors[i]));
+            if !self.is_dead(i) {
+                tk.push(self.ids[i], cosine_similarity(vector, &self.vectors[i]));
+            }
         }
         tk.into_sorted_vec()
     }
@@ -279,7 +393,9 @@ impl AnnIndex {
     fn brute_force(&self, vector: &[f32], top_k: usize) -> Vec<(u64, f64)> {
         let mut tk = TopK::new(top_k);
         for (i, v) in self.vectors.iter().enumerate() {
-            tk.push(self.ids[i], cosine_similarity(vector, v));
+            if !self.is_dead(i) {
+                tk.push(self.ids[i], cosine_similarity(vector, v));
+            }
         }
         tk.into_sorted_vec()
     }
@@ -421,6 +537,65 @@ mod tests {
         idx.build();
         let res = idx.query(&unit(4, 0), 5);
         assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn delta_tail_is_exact_after_build() {
+        let mut idx = AnnIndex::with_defaults(8);
+        for i in 0..6u64 {
+            idx.add(i, unit(8, i as usize));
+        }
+        idx.build();
+        // Post-build inserts are served exactly without a rebuild.
+        idx.add(7, unit(8, 7));
+        assert!(idx.is_built());
+        assert_eq!(idx.num_delta(), 1);
+        let res = idx.query(&unit(8, 7), 1);
+        assert_eq!(res[0].0, 7);
+        assert!((res[0].1 - 1.0).abs() < 1e-9);
+        // Compact folds the tail into the forest.
+        idx.compact();
+        assert_eq!(idx.num_delta(), 0);
+        assert_eq!(idx.query(&unit(8, 7), 1)[0].0, 7);
+    }
+
+    #[test]
+    fn remove_tombstones_until_compact() {
+        let mut idx = AnnIndex::with_defaults(4);
+        idx.add(1, unit(4, 0));
+        idx.add(2, unit(4, 1));
+        idx.add(3, unit(4, 2));
+        idx.build();
+        assert!(idx.remove(2));
+        assert!(!idx.remove(2));
+        assert!(!idx.remove(99));
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.num_tombstoned(), 1);
+        let res = idx.query(&unit(4, 1), 3);
+        assert!(!res.iter().any(|(id, _)| *id == 2));
+        idx.compact();
+        assert_eq!(idx.num_tombstoned(), 0);
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.query(&unit(4, 1), 3).iter().any(|(id, _)| *id == 2));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_delta_state() {
+        let mut idx = AnnIndex::with_defaults(4);
+        idx.add(1, unit(4, 0));
+        idx.add(2, unit(4, 1));
+        idx.build();
+        idx.add(3, unit(4, 2));
+        idx.remove(1);
+        let json = serde_json::to_string(&idx).unwrap();
+        let mut back: AnnIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.num_delta(), 1);
+        assert!(!back.query(&unit(4, 0), 3).iter().any(|(id, _)| *id == 1));
+        assert_eq!(back.query(&unit(4, 2), 1)[0].0, 3);
+        // The id map is rebuilt lazily: removing after a roundtrip works.
+        assert!(back.remove(3));
+        assert!(back.query(&unit(4, 2), 3).iter().all(|(id, _)| *id != 3));
     }
 
     #[test]

@@ -19,6 +19,22 @@
 //! precomputed by [`InvertedIndex::finalize`] (called automatically by the
 //! index catalog after bulk loading) and recomputed on the fly only when
 //! the index has been mutated since.
+//!
+//! ## Incremental maintenance
+//!
+//! The index supports in-place deltas for the incremental-ingestion path:
+//! [`add`](InvertedIndex::add) appends postings without re-finalizing, and
+//! [`remove`](InvertedIndex::remove) tombstones an element (its postings stay
+//! in place but are skipped by every scan). Instead of running a full
+//! `finalize()` per mutation, the index keeps a mutation epoch and refreshes
+//! the IDF table lazily: with
+//! [`set_idf_refresh_ratio`](InvertedIndex::set_idf_refresh_ratio) a bulk
+//! loader opts into automatic refresh once the number of mutations since the
+//! last refresh exceeds the given fraction of the live corpus, which bounds
+//! how stale any cached IDF can get. [`compact`](InvertedIndex::compact)
+//! folds tombstones back into the dense layout and re-finalizes, after which
+//! scores are identical to a freshly built index over the surviving
+//! elements.
 
 use std::collections::HashMap;
 
@@ -83,12 +99,31 @@ pub struct InvertedIndex {
     doc_lengths: Vec<u64>,
     /// Sum of all document lengths.
     total_length: u64,
+    /// Tombstone flags by dense doc index (`true` = removed). May be shorter
+    /// than `doc_ids` (older entries are implicitly live).
+    tombstones: Vec<bool>,
+    /// Number of tombstoned documents.
+    dead_docs: usize,
+    /// Sum of tombstoned document lengths.
+    dead_length: u64,
+    /// External id → dense doc index for removal. Rebuilt lazily after
+    /// deserialization.
+    #[serde(skip)]
+    id_to_dense: HashMap<u64, u32>,
     /// Precomputed BM25 IDF by term id (valid when `idf_docs == doc_ids.len()`).
     #[serde(skip)]
     idf_cache: Vec<f64>,
     /// Document count the IDF cache was computed for.
     #[serde(skip)]
     idf_docs: usize,
+    /// Mutations (adds/removes) since the last IDF refresh.
+    #[serde(skip)]
+    stale_ops: usize,
+    /// Automatic IDF refresh policy: refresh once `stale_ops` exceeds this
+    /// fraction of the live corpus. `None` (the default) never refreshes
+    /// automatically, preserving the classic add-then-`finalize` behaviour.
+    #[serde(skip)]
+    idf_refresh_ratio: Option<f64>,
 }
 
 impl InvertedIndex {
@@ -97,14 +132,19 @@ impl InvertedIndex {
         Self::default()
     }
 
-    /// Number of indexed elements.
+    /// Number of live (non-tombstoned) elements.
     pub fn len(&self) -> usize {
-        self.doc_ids.len()
+        self.doc_ids.len() - self.dead_docs
     }
 
-    /// Is the index empty?
+    /// Is the index empty (of live elements)?
     pub fn is_empty(&self) -> bool {
-        self.doc_ids.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of tombstoned elements awaiting [`compact`](Self::compact).
+    pub fn num_tombstoned(&self) -> usize {
+        self.dead_docs
     }
 
     /// Number of distinct terms.
@@ -112,21 +152,38 @@ impl InvertedIndex {
         self.postings.len()
     }
 
-    /// Average element length in tokens.
+    /// Average live element length in tokens.
     pub fn avg_doc_length(&self) -> f64 {
-        if self.doc_ids.is_empty() {
+        let live = self.len();
+        if live == 0 {
             0.0
         } else {
-            self.total_length as f64 / self.doc_ids.len() as f64
+            (self.total_length - self.dead_length) as f64 / live as f64
         }
     }
 
-    /// Document frequency of a term.
+    /// Document frequency of a term among live elements.
     pub fn doc_freq(&self, term: &str) -> usize {
         self.term_ids
             .get(term)
-            .map(|&tid| self.postings[tid as usize].len())
+            .map(|&tid| {
+                let postings = &self.postings[tid as usize];
+                if self.dead_docs == 0 {
+                    postings.len()
+                } else {
+                    postings.iter().filter(|p| !self.is_dead(p.doc)).count()
+                }
+            })
             .unwrap_or(0)
+    }
+
+    /// Is the dense doc index tombstoned?
+    #[inline]
+    fn is_dead(&self, dense: u32) -> bool {
+        self.tombstones
+            .get(dense as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Index an element's bag of words under `id`.
@@ -134,8 +191,13 @@ impl InvertedIndex {
     /// Indexing the same id twice adds the new postings without removing the
     /// old ones; callers should use fresh ids.
     pub fn add(&mut self, id: u64, bow: &BagOfWords) {
+        // Rebuild the (serde-skipped) id map before the first mutation after
+        // deserialization — inserting into a stale-empty map would leave
+        // every pre-existing document unremovable.
+        self.ensure_id_map();
         let dense = self.doc_ids.len() as u32;
         self.doc_ids.push(id);
+        self.id_to_dense.insert(id, dense);
         let mut length = 0u64;
         for (term, count) in bow.iter() {
             let tid = match self.term_ids.get(term) {
@@ -157,24 +219,137 @@ impl InvertedIndex {
         }
         self.total_length += length;
         self.doc_lengths.push(length);
+        self.note_mutation();
+    }
+
+    /// Tombstone the element indexed under `id`. Its postings stay in place
+    /// but every scan skips them; [`compact`](Self::compact) reclaims the
+    /// space. Returns `false` if the id is unknown (or already removed).
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.ensure_id_map();
+        let Some(dense) = self.id_to_dense.remove(&id) else {
+            return false;
+        };
+        let dense = dense as usize;
+        if self.tombstones.len() <= dense {
+            self.tombstones.resize(self.doc_ids.len(), false);
+        }
+        if self.tombstones[dense] {
+            return false;
+        }
+        self.tombstones[dense] = true;
+        self.dead_docs += 1;
+        self.dead_length += self.doc_lengths[dense];
+        self.note_mutation();
+        true
+    }
+
+    fn ensure_id_map(&mut self) {
+        if self.id_to_dense.is_empty() && !self.doc_ids.is_empty() {
+            self.rebuild_id_map();
+        }
+    }
+
+    fn rebuild_id_map(&mut self) {
+        self.id_to_dense = self
+            .doc_ids
+            .iter()
+            .enumerate()
+            .filter(|&(dense, _)| !self.is_dead(dense as u32))
+            .map(|(dense, &id)| (id, dense as u32))
+            .collect();
+    }
+
+    /// Record a mutation and refresh the IDF table if the configured
+    /// staleness bound has been exceeded.
+    fn note_mutation(&mut self) {
+        self.stale_ops += 1;
+        if let Some(ratio) = self.idf_refresh_ratio {
+            if self.stale_ops as f64 > ratio * self.len().max(1) as f64 {
+                self.finalize();
+            }
+        }
+    }
+
+    /// Opt into automatic lazy IDF refresh: after a mutation, the IDF table
+    /// is re-finalized once the number of mutations since the last refresh
+    /// exceeds `ratio × live elements` (a ratio of `0.0` refreshes on every
+    /// mutation; `None` — the default — never refreshes automatically).
+    pub fn set_idf_refresh_ratio(&mut self, ratio: Option<f64>) {
+        self.idf_refresh_ratio = ratio;
+    }
+
+    /// Mutations since the last IDF refresh (the staleness the scorer is
+    /// currently operating under).
+    pub fn idf_staleness(&self) -> usize {
+        self.stale_ops
     }
 
     /// Precompute the per-term BM25 IDF table. Queries work without calling
     /// this (they fall back to computing IDF per query term), but bulk
     /// loaders should call it once after their final [`add`](Self::add).
     pub fn finalize(&mut self) {
-        let n = self.doc_ids.len() as f64;
+        let n = self.len() as f64;
         self.idf_cache = self
             .postings
             .iter()
-            .map(|postings| bm25_idf(n, postings.len() as f64))
+            .map(|postings| {
+                let df = if self.dead_docs == 0 {
+                    postings.len()
+                } else {
+                    postings.iter().filter(|p| !self.is_dead(p.doc)).count()
+                };
+                bm25_idf(n, df as f64)
+            })
             .collect();
         self.idf_docs = self.doc_ids.len();
+        self.stale_ops = 0;
     }
 
     /// Is the precomputed IDF table in sync with the index contents?
     pub fn is_finalized(&self) -> bool {
-        self.idf_docs == self.doc_ids.len() && self.idf_cache.len() == self.postings.len()
+        self.idf_docs == self.doc_ids.len()
+            && self.idf_cache.len() == self.postings.len()
+            && self.stale_ops == 0
+    }
+
+    /// Fold tombstones back into the dense layout: drop dead postings,
+    /// remap dense indices (preserving the surviving order), recompute
+    /// corpus statistics, and re-finalize. After `compact`, scores are
+    /// identical to a freshly built index over the surviving elements.
+    pub fn compact(&mut self) {
+        if self.dead_docs > 0 {
+            let mut remap: Vec<u32> = vec![u32::MAX; self.doc_ids.len()];
+            let mut doc_ids = Vec::with_capacity(self.len());
+            let mut doc_lengths = Vec::with_capacity(self.len());
+            for (dense, slot) in remap.iter_mut().enumerate() {
+                if !self.tombstones.get(dense).copied().unwrap_or(false) {
+                    *slot = doc_ids.len() as u32;
+                    doc_ids.push(self.doc_ids[dense]);
+                    doc_lengths.push(self.doc_lengths[dense]);
+                }
+            }
+            for (tid, postings) in self.postings.iter_mut().enumerate() {
+                postings.retain_mut(|p| {
+                    let to = remap[p.doc as usize];
+                    if to == u32::MAX {
+                        false
+                    } else {
+                        p.doc = to;
+                        true
+                    }
+                });
+                self.term_totals[tid] = postings.iter().map(|p| u64::from(p.term_freq)).sum();
+            }
+            self.doc_ids = doc_ids;
+            self.doc_lengths = doc_lengths;
+            self.total_length = self.doc_lengths.iter().sum();
+            self.tombstones.clear();
+            self.dead_docs = 0;
+            self.dead_length = 0;
+            self.rebuild_id_map();
+        }
+        self.finalize();
     }
 
     /// Search with the default BM25 scoring.
@@ -205,7 +380,7 @@ impl InvertedIndex {
         scoring: ScoringFunction,
         filter: impl Fn(u64) -> bool,
     ) -> Vec<(u64, f64)> {
-        if self.doc_ids.is_empty() || top_k == 0 {
+        if self.is_empty() || top_k == 0 {
             return Vec::new();
         }
         let cursors = match scoring {
@@ -220,9 +395,16 @@ impl InvertedIndex {
     }
 
     /// Build one scoring cursor per query term that the index knows.
+    ///
+    /// IDF comes from the precomputed table when it is fresh, or — in the
+    /// incremental-ingestion mode (an automatic refresh ratio is set) — from
+    /// the *stale* table for terms it covers: the refresh policy bounds how
+    /// far the cached values can drift, and terms added since the last
+    /// refresh fall back to an exact on-the-fly computation.
     fn bm25_cursors(&self, query: &BagOfWords, _params: Bm25Params) -> Vec<Cursor<'_>> {
-        let n = self.doc_ids.len() as f64;
+        let n = self.len() as f64;
         let finalized = self.is_finalized();
+        let use_stale = self.idf_refresh_ratio.is_some();
         query
             .iter()
             .filter_map(|(term, _qf)| {
@@ -231,10 +413,18 @@ impl InvertedIndex {
                 if postings.is_empty() {
                     return None;
                 }
-                let idf = if finalized {
+                let idf = if finalized || (use_stale && (tid as usize) < self.idf_cache.len()) {
                     self.idf_cache[tid as usize]
                 } else {
-                    bm25_idf(n, postings.len() as f64)
+                    let df = if self.dead_docs == 0 {
+                        postings.len()
+                    } else {
+                        postings.iter().filter(|p| !self.is_dead(p.doc)).count()
+                    };
+                    if df == 0 {
+                        return None;
+                    }
+                    bm25_idf(n, df as f64)
                 };
                 Some(Cursor {
                     postings,
@@ -247,7 +437,10 @@ impl InvertedIndex {
     }
 
     fn lm_cursors(&self, query: &BagOfWords, mu: f64) -> Vec<Cursor<'_>> {
-        let corpus_len = self.total_length.max(1) as f64;
+        // `term_totals` still includes tombstoned occurrences until the next
+        // `compact()`; the background model is therefore as stale as the
+        // tombstone count, which the compaction policy bounds.
+        let corpus_len = (self.total_length - self.dead_length).max(1) as f64;
         query
             .iter()
             .filter_map(|(term, qf)| {
@@ -278,7 +471,7 @@ impl InvertedIndex {
         top_k: usize,
         scoring: ScoringFunction,
     ) -> Vec<(u64, f64)> {
-        if self.doc_ids.is_empty() {
+        if self.is_empty() {
             return Vec::new();
         }
         let avgdl = self.avg_doc_length().max(1e-9);
@@ -289,6 +482,9 @@ impl InvertedIndex {
         let mut scores: HashMap<u64, f64> = HashMap::new();
         for cursor in &cursors {
             for posting in cursor.postings {
+                if self.is_dead(posting.doc) {
+                    continue;
+                }
                 let doc = posting.doc as usize;
                 let dl = self.doc_lengths[doc] as f64;
                 let tf = f64::from(posting.term_freq);
@@ -357,6 +553,9 @@ impl InvertedIndex {
         }
         let mut tk = TopK::new(top_k);
         for &doc in &touched {
+            if self.is_dead(doc) {
+                continue;
+            }
             let score = scores[doc as usize];
             if score > 0.0 && tk.would_accept(score) {
                 let id = self.doc_ids[doc as usize];
@@ -416,7 +615,7 @@ impl InvertedIndex {
                     heap.push(std::cmp::Reverse((cursor.postings[cursor.pos].doc, ci)));
                 }
             }
-            if score > 0.0 {
+            if score > 0.0 && !self.is_dead(doc) {
                 let id = self.doc_ids[doc as usize];
                 if tk.would_accept(score) && filter(id) {
                     tk.push(id, score);
@@ -646,6 +845,128 @@ mod tests {
             ScoringFunction::Bm25(params) => idx.bm25_cursors(query, params),
             ScoringFunction::LmDirichlet { mu } => idx.lm_cursors(query, mu),
         }
+    }
+
+    #[test]
+    fn remove_tombstones_until_compact() {
+        let mut idx = sample_index();
+        idx.finalize();
+        assert!(idx.remove(4));
+        assert!(!idx.remove(4), "double removal is a no-op");
+        assert!(!idx.remove(99), "unknown id is a no-op");
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.num_tombstoned(), 1);
+        // Doc 4 no longer surfaces, for any scan strategy.
+        let results = idx.search(&bow(&["synthase"]), 10);
+        assert!(!results.iter().any(|(id, _)| *id == 4));
+        assert!(results.iter().any(|(id, _)| *id == 1));
+        let exhaustive = idx.search_exhaustive(&bow(&["synthase"]), 10, ScoringFunction::default());
+        assert!(!exhaustive.iter().any(|(id, _)| *id == 4));
+        // Live document frequency excludes the tombstoned doc.
+        assert_eq!(idx.doc_freq("synthase"), 1);
+        idx.compact();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.num_tombstoned(), 0);
+        assert!(idx.is_finalized());
+        assert!(!idx.search(&bow(&["synthase"]), 10).is_empty());
+    }
+
+    #[test]
+    fn compact_matches_fresh_build_of_survivors() {
+        // Incremental adds + removes, then compact: scores must be
+        // identical to an index built over only the surviving elements.
+        let mut incremental = InvertedIndex::new();
+        let corpora: Vec<(u64, Vec<&str>)> = vec![
+            (1, vec!["alpha", "beta", "gamma"]),
+            (2, vec!["beta", "beta", "delta"]),
+            (3, vec!["alpha", "delta", "epsilon"]),
+            (4, vec!["gamma", "gamma", "zeta"]),
+            (5, vec!["alpha", "zeta"]),
+        ];
+        for (id, words) in &corpora {
+            incremental.add(*id, &BagOfWords::from_tokens(words.iter().copied()));
+        }
+        incremental.remove(2);
+        incremental.remove(4);
+        incremental.compact();
+
+        let mut fresh = InvertedIndex::new();
+        for (id, words) in &corpora {
+            if *id != 2 && *id != 4 {
+                fresh.add(*id, &BagOfWords::from_tokens(words.iter().copied()));
+            }
+        }
+        fresh.finalize();
+
+        for query in [&["alpha"][..], &["beta", "delta"], &["zeta", "gamma"]] {
+            for scoring in [
+                ScoringFunction::default(),
+                ScoringFunction::LmDirichlet { mu: 100.0 },
+            ] {
+                let a = incremental.search_with(&bow(query), 5, scoring);
+                let b = fresh.search_with(&bow(query), 5, scoring);
+                assert_eq!(a.len(), b.len(), "query {query:?}");
+                for (x, y) in a.iter().zip(b.iter()) {
+                    assert_eq!(x.0, y.0, "query {query:?}");
+                    assert!((x.1 - y.1).abs() < 1e-12, "query {query:?}: {x:?} vs {y:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_idf_refresh_bounds_staleness() {
+        let mut idx = sample_index();
+        idx.set_idf_refresh_ratio(Some(0.3));
+        idx.finalize();
+        assert_eq!(idx.idf_staleness(), 0);
+        // One mutation: 1 <= 0.3 * 5 live docs, so the cache stays stale.
+        idx.add(10, &bow(&["synthase", "novel"]));
+        assert_eq!(idx.idf_staleness(), 1);
+        assert!(!idx.is_finalized());
+        // Queries still see the new doc (stale IDF, exact postings).
+        assert!(idx
+            .search(&bow(&["synthase"]), 10)
+            .iter()
+            .any(|(id, _)| *id == 10));
+        // Crossing the ratio (2 > 0.3 × 6) triggers the automatic refresh.
+        idx.add(11, &bow(&["synthase"]));
+        assert!(idx.is_finalized(), "refresh should have fired");
+        assert_eq!(idx.idf_staleness(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_tombstones() {
+        let mut idx = sample_index();
+        idx.remove(2);
+        let json = serde_json::to_string(&idx).unwrap();
+        let back: InvertedIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.num_tombstoned(), 1);
+        assert!(!back
+            .search(&bow(&["citric", "acid"]), 5)
+            .iter()
+            .any(|(id, _)| *id == 2));
+        // The id map is rebuilt lazily: removing after a roundtrip works.
+        let mut back = back;
+        assert!(back.remove(3));
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn remove_preexisting_doc_after_roundtrip_and_add() {
+        // `add` must rebuild the serde-skipped id map before inserting, or
+        // pre-roundtrip documents become unremovable once anything new has
+        // been indexed.
+        let idx = sample_index();
+        let json = serde_json::to_string(&idx).unwrap();
+        let mut back: InvertedIndex = serde_json::from_str(&json).unwrap();
+        back.add(50, &bow(&["fresh", "doc"]));
+        assert!(back.remove(1), "pre-roundtrip doc must be removable");
+        assert!(!back
+            .search(&bow(&["pemetrexed"]), 5)
+            .iter()
+            .any(|(id, _)| *id == 1));
     }
 
     #[test]

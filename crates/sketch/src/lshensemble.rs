@@ -25,6 +25,17 @@
 //! truncations of the values; a truncation collision has probability 2⁻³²
 //! per position, far below the estimator's own error), so `query` and
 //! `query_top_k` return exactly what the brute-force path would.
+//!
+//! ## Incremental maintenance
+//!
+//! Inserts after [`build`](LshEnsemble::build) accumulate in an
+//! update-optimized *pending delta*: queries keep probing the radix-bucketed
+//! postings over the built rows and scan the (small) delta exactly, so the
+//! accelerator never disarms during ingestion. [`remove`](LshEnsemble::remove)
+//! tombstones built rows in place (pending entries are dropped directly), and
+//! [`compact`](LshEnsemble::compact) folds tombstones and the delta back into
+//! the partitioned dense layout ([`needs_compaction`](LshEnsemble::needs_compaction)
+//! implements the periodic-compaction policy).
 
 use std::sync::Arc;
 
@@ -176,6 +187,9 @@ pub struct LshEnsemble {
     pending: Vec<Entry>,
     partitions: Vec<Partition>,
     built: bool,
+    /// Tombstoned external ids (still present in `partitions` until the next
+    /// [`compact`](Self::compact)).
+    dead: std::collections::HashSet<u64>,
     /// Probe accelerator over all partitioned entries, in partition order.
     #[serde(skip)]
     postings: PositionPostings,
@@ -185,6 +199,12 @@ pub struct LshEnsemble {
     /// Row → set cardinality.
     #[serde(skip)]
     row_cards: Vec<u32>,
+    /// Row → tombstone flag, parallel to `row_ids`.
+    #[serde(skip)]
+    row_dead: Vec<bool>,
+    /// External id → row, for tombstoning built rows.
+    #[serde(skip)]
+    id_to_row: std::collections::HashMap<u64, u32>,
 }
 
 impl LshEnsemble {
@@ -195,9 +215,12 @@ impl LshEnsemble {
             pending: Vec::new(),
             partitions: Vec::new(),
             built: false,
+            dead: std::collections::HashSet::new(),
             postings: PositionPostings::default(),
             row_ids: Vec::new(),
             row_cards: Vec::new(),
+            row_dead: Vec::new(),
+            id_to_row: std::collections::HashMap::new(),
         }
     }
 
@@ -206,7 +229,7 @@ impl LshEnsemble {
         Self::new(LshEnsembleConfig::default())
     }
 
-    /// Number of indexed elements.
+    /// Number of live indexed elements.
     pub fn len(&self) -> usize {
         self.pending.len()
             + self
@@ -214,14 +237,31 @@ impl LshEnsemble {
                 .iter()
                 .map(|p| p.entries.len())
                 .sum::<usize>()
+            - self.dead.len()
     }
 
-    /// Is the ensemble empty?
+    /// Is the ensemble empty (of live elements)?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Insert an element signature (call [`build`](Self::build) afterwards).
+    /// Number of entries in the pending (unpartitioned) delta.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of tombstoned entries awaiting [`compact`](Self::compact).
+    pub fn num_tombstoned(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// Insert an element signature.
+    ///
+    /// Before the first [`build`](Self::build), inserted entries wait in the
+    /// pending list and queries fall back to a full scan. After a build,
+    /// inserts land in the pending *delta*: the radix-bucket probe keeps
+    /// serving the built rows and the delta is scanned exactly, so no
+    /// rebuild is needed until [`compact`](Self::compact).
     ///
     /// Accepts either an owned `MinHash` or an `Arc<MinHash>`; passing the
     /// `Arc` shares the profiler's signature without copying its values.
@@ -230,7 +270,49 @@ impl LshEnsemble {
             id,
             signature: signature.into(),
         });
-        self.built = false;
+    }
+
+    /// Tombstone the element indexed under `id`: pending entries are dropped
+    /// directly, built rows are skipped by every probe until the next
+    /// [`compact`](Self::compact). Returns `false` for unknown ids.
+    pub fn remove(&mut self, id: u64) -> bool {
+        if let Some(pos) = self.pending.iter().position(|e| e.id == id) {
+            self.pending.remove(pos);
+            return true;
+        }
+        if self.dead.contains(&id) {
+            return false;
+        }
+        let known = if let Some(&row) = self.id_to_row.get(&id) {
+            if let Some(flag) = self.row_dead.get_mut(row as usize) {
+                *flag = true;
+            }
+            true
+        } else {
+            // No probe structure (e.g. after deserialization): fall back to
+            // scanning the partitions.
+            self.partitions
+                .iter()
+                .any(|p| p.entries.iter().any(|e| e.id == id))
+        };
+        if known {
+            self.dead.insert(id);
+        }
+        known
+    }
+
+    /// Does the delta state (pending inserts + tombstones) exceed `ratio` of
+    /// the total entry count? The ingestion layer uses this as the periodic
+    /// compaction trigger.
+    pub fn needs_compaction(&self, ratio: f64) -> bool {
+        let total = self.len() + self.dead.len();
+        total > 0 && (self.pending.len() + self.dead.len()) as f64 > ratio * total as f64
+    }
+
+    /// Fold tombstones and the pending delta back into the partitioned dense
+    /// layout (equivalent to [`build`](Self::build)).
+    pub fn compact(&mut self) {
+        self.build();
     }
 
     /// Partition the inserted elements by cardinality (equi-depth partitions,
@@ -239,9 +321,15 @@ impl LshEnsemble {
     pub fn build(&mut self) {
         let mut all: Vec<Entry> = self.partitions.drain(..).flat_map(|p| p.entries).collect();
         all.append(&mut self.pending);
+        if !self.dead.is_empty() {
+            all.retain(|e| !self.dead.contains(&e.id));
+            self.dead.clear();
+        }
         self.postings = PositionPostings::default();
         self.row_ids.clear();
         self.row_cards.clear();
+        self.row_dead.clear();
+        self.id_to_row.clear();
         if all.is_empty() {
             self.built = true;
             return;
@@ -279,19 +367,33 @@ impl LshEnsemble {
             .iter()
             .map(|e| e.signature.cardinality() as u32)
             .collect();
+        // `dead` is non-empty here only on the standalone re-arm path (a
+        // deserialized ensemble whose tombstones were serialized); `build`
+        // clears it before calling in, so this lookup is all-false there.
+        self.row_dead = self
+            .row_ids
+            .iter()
+            .map(|id| self.dead.contains(id))
+            .collect();
+        self.id_to_row = self
+            .row_ids
+            .iter()
+            .enumerate()
+            .map(|(row, &id)| (id, row as u32))
+            .collect();
     }
 
-    /// Has [`build`](Self::build) been called since the last insert?
+    /// Is the index fully folded (built, with no pending delta)?
     pub fn is_built(&self) -> bool {
-        self.built
+        self.built && self.pending.is_empty()
     }
 
-    /// Can queries use the postings accelerator?
+    /// Can queries use the postings accelerator (over the built rows)?
     fn probe_ready(&self) -> bool {
         self.built
-            && self.pending.is_empty()
             && self.postings.matches_rows()
             && self.postings.rows == self.row_ids.len()
+            && self.postings.rows == self.row_dead.len()
             && self.postings.rows
                 == self
                     .partitions
@@ -300,12 +402,19 @@ impl LshEnsemble {
                     .sum::<usize>()
     }
 
-    /// All entries, partitioned first then pending, for fallback scans.
+    /// All live entries, partitioned first then pending, for fallback scans.
     fn all_entries(&self) -> impl Iterator<Item = &Entry> {
         self.partitions
             .iter()
             .flat_map(|p| &p.entries)
             .chain(self.pending.iter())
+            .filter(|e| !self.dead.contains(&e.id))
+    }
+
+    /// Is a built row tombstoned?
+    #[inline]
+    fn is_row_dead(&self, row: usize) -> bool {
+        self.row_dead.get(row).copied().unwrap_or(false)
     }
 
     /// Query for elements whose estimated containment of `query` (i.e.
@@ -327,6 +436,9 @@ impl LshEnsemble {
                     // therefore zero estimated containment: only touched
                     // rows can qualify.
                     for &row in touched.iter() {
+                        if ensemble.is_row_dead(row as usize) {
+                            continue;
+                        }
                         let c = ensemble.row_containment(query, row as usize, counts[row as usize]);
                         if c >= threshold {
                             results.push((ensemble.row_ids[row as usize], c));
@@ -334,8 +446,18 @@ impl LshEnsemble {
                     }
                 } else {
                     for (row, &count) in counts.iter().enumerate().take(ensemble.postings.rows) {
+                        if ensemble.is_row_dead(row) {
+                            continue;
+                        }
                         let c = ensemble.row_containment(query, row, count);
                         results.push((ensemble.row_ids[row], c));
+                    }
+                }
+                // Exact scan of the pending delta.
+                for e in &ensemble.pending {
+                    let c = query.containment_in(&e.signature);
+                    if threshold <= 0.0 || c >= threshold {
+                        results.push((e.id, c));
                     }
                 }
             });
@@ -368,18 +490,25 @@ impl LshEnsemble {
         let mut heap = BoundedMinHeap::new(top_k);
         self.probe(query, |ensemble, counts, touched| {
             for &row in touched.iter() {
+                if ensemble.is_row_dead(row as usize) {
+                    continue;
+                }
                 let c = ensemble.row_containment(query, row as usize, counts[row as usize]);
                 heap.offer(c, ensemble.row_ids[row as usize]);
             }
+            // Exact scan of the pending delta.
+            for e in &ensemble.pending {
+                heap.offer(query.containment_in(&e.signature), e.id);
+            }
             if heap.len() < top_k {
-                // Fewer touched rows than requested: pad with
+                // Fewer scored rows than requested: pad with
                 // zero-containment rows in deterministic (partition) order,
                 // as a full scan would.
                 for (row, &count) in counts.iter().enumerate().take(ensemble.postings.rows) {
                     if heap.len() >= top_k {
                         break;
                     }
-                    if count == 0 {
+                    if count == 0 && !ensemble.is_row_dead(row) {
                         heap.offer(0.0, ensemble.row_ids[row]);
                     }
                 }
@@ -664,6 +793,89 @@ mod tests {
         assert_eq!(ens.len(), 2);
         let res = ens.query_top_k(&hasher.signature(items(0..50).iter()), 2);
         assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn pending_delta_served_without_rebuild() {
+        let hasher = MinHasher::one_permutation(128, 31);
+        let mut ens = LshEnsemble::with_defaults();
+        let mut signatures = Vec::new();
+        for i in 0..30u64 {
+            let lo = (i as u32 * 9) % 50;
+            let sig = hasher.signature(items(lo..lo + 25).iter());
+            ens.insert(i, sig.clone());
+            signatures.push((i, sig));
+        }
+        ens.build();
+        // Post-build inserts: the probe stays armed, the delta is scanned
+        // exactly, and results still match brute force over everything.
+        for i in 30..40u64 {
+            let lo = (i as u32 * 9) % 50;
+            let sig = hasher.signature(items(lo..lo + 25).iter());
+            ens.insert(i, sig.clone());
+            signatures.push((i, sig));
+        }
+        assert_eq!(ens.num_pending(), 10);
+        assert!(!ens.is_built());
+        let query = hasher.signature(items(10..45).iter());
+        let got = ens.query_top_k(&query, 6);
+        let mut want: Vec<(u64, f64)> = signatures
+            .iter()
+            .map(|(id, sig)| (*id, query.containment_in(sig)))
+            .collect();
+        want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        assert_eq!(got.len(), 6);
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g.1 - w.1).abs() < 1e-12, "{g:?} vs {w:?}");
+        }
+        // Thresholded queries merge the delta too.
+        let got = ens.query(&query, 0.3);
+        let want_len = signatures
+            .iter()
+            .filter(|(_, sig)| query.containment_in(sig) >= 0.3)
+            .count();
+        assert_eq!(got.len(), want_len);
+        // Compaction folds the delta into the dense layout.
+        ens.compact();
+        assert_eq!(ens.num_pending(), 0);
+        assert!(ens.is_built());
+        let folded = ens.query_top_k(&query, 6);
+        for (g, w) in folded.iter().zip(want.iter()) {
+            assert!((g.1 - w.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn remove_tombstones_until_compact() {
+        let hasher = MinHasher::one_permutation(128, 32);
+        let mut ens = LshEnsemble::with_defaults();
+        for i in 0..12u64 {
+            ens.insert(i, hasher.signature(items(0..20 + i as u32).iter()));
+        }
+        ens.build();
+        // Pending entries are dropped physically.
+        ens.insert(100, hasher.signature(items(0..25).iter()));
+        assert!(ens.remove(100));
+        assert_eq!(ens.num_pending(), 0);
+        // Built rows are tombstoned.
+        assert!(ens.remove(3));
+        assert!(!ens.remove(3), "double removal is a no-op");
+        assert!(!ens.remove(999), "unknown id is a no-op");
+        assert_eq!(ens.len(), 11);
+        assert_eq!(ens.num_tombstoned(), 1);
+        let query = hasher.signature(items(0..20).iter());
+        assert!(!ens
+            .query_top_k(&query, 12)
+            .iter()
+            .any(|(id, _)| *id == 3 || *id == 100));
+        assert!(!ens.query(&query, 0.0).iter().any(|(id, _)| *id == 3));
+        // The compaction policy flags heavy delta state.
+        assert!(!ens.needs_compaction(0.5));
+        assert!(ens.needs_compaction(0.05));
+        ens.compact();
+        assert_eq!(ens.num_tombstoned(), 0);
+        assert_eq!(ens.len(), 11);
+        assert!(!ens.query_top_k(&query, 12).iter().any(|(id, _)| *id == 3));
     }
 
     #[test]

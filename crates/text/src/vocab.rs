@@ -116,6 +116,42 @@ impl DocumentFrequencyFilter {
         }
     }
 
+    /// Retract one previously [`observe`](Self::observe)d document (used when
+    /// a document is removed from the corpus incrementally).
+    pub fn unobserve(&mut self, bow: &BagOfWords) {
+        if self.num_docs == 0 {
+            return;
+        }
+        self.num_docs -= 1;
+        for term in bow.terms() {
+            if let Some(df) = self.doc_freq.get_mut(term) {
+                *df = df.saturating_sub(1);
+                if *df == 0 {
+                    self.doc_freq.remove(term);
+                }
+            }
+        }
+    }
+
+    /// Iterate over `(term, document frequency)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.doc_freq.iter().map(|(t, &df)| (t.as_str(), df))
+    }
+
+    /// Would a term with document frequency `df` be kept in a corpus of
+    /// `num_docs` documents under this filter's thresholds? (The pure
+    /// decision function behind [`keep`](Self::keep), exposed so callers can
+    /// compute keep-status flips across corpus updates.)
+    pub fn would_keep(&self, df: u32, num_docs: u32) -> bool {
+        if num_docs == 0 {
+            return true;
+        }
+        if df < self.min_doc_count {
+            return false;
+        }
+        (df as f64 / num_docs as f64) <= self.max_doc_ratio
+    }
+
     /// Number of observed documents.
     pub fn num_docs(&self) -> u32 {
         self.num_docs
@@ -128,14 +164,7 @@ impl DocumentFrequencyFilter {
 
     /// Should `term` be kept according to the thresholds?
     pub fn keep(&self, term: &str) -> bool {
-        if self.num_docs == 0 {
-            return true;
-        }
-        let df = self.doc_freq(term);
-        if df < self.min_doc_count {
-            return false;
-        }
-        (df as f64 / self.num_docs as f64) <= self.max_doc_ratio
+        self.would_keep(self.doc_freq(term), self.num_docs)
     }
 
     /// Remove non-discriminative terms from a bag in place.
@@ -200,6 +229,29 @@ mod tests {
     fn empty_filter_keeps_everything() {
         let f = DocumentFrequencyFilter::default();
         assert!(f.keep("anything"));
+    }
+
+    #[test]
+    fn unobserve_reverses_observe() {
+        let mut f = DocumentFrequencyFilter::new(0.5, 1);
+        let a = BagOfWords::from_tokens(["drug", "common"]);
+        let b = BagOfWords::from_tokens(["enzyme", "common"]);
+        let c = BagOfWords::from_tokens(["target", "common"]);
+        for d in [&a, &b, &c] {
+            f.observe(d);
+        }
+        assert!(!f.keep("common"));
+        f.unobserve(&c);
+        assert_eq!(f.num_docs(), 2);
+        assert_eq!(f.doc_freq("target"), 0);
+        assert!(!f.keep("common"), "2/2 still exceeds the ratio");
+        assert!(f.keep("drug"), "1/2 is within the ratio");
+        // Iteration exposes the remaining statistics.
+        let terms: std::collections::HashMap<&str, u32> = f.iter().collect();
+        assert_eq!(terms.get("drug"), Some(&1));
+        assert!(!terms.contains_key("target"));
+        // The pure decision function agrees with `keep`.
+        assert!(f.would_keep(f.doc_freq("drug"), f.num_docs()));
     }
 
     #[test]

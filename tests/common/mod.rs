@@ -1,0 +1,60 @@
+//! Shared helpers for the workspace integration tests.
+
+use std::collections::BTreeMap;
+
+/// Assert that two ranked `(label, score)` result lists are identical modulo
+/// reordering *within* exact score ties.
+///
+/// Scores are compared at 1e-9 resolution and must match pairwise. Labels
+/// must match exactly within every tie group except the lowest-scoring one:
+/// when `top_k` cuts through a group of exactly equal scores, which of the
+/// tied elements survive is an arbitrary (but score-correct) choice, so only
+/// the group's size is compared there.
+pub fn assert_result_parity(tag: &str, a: &[(String, f64)], b: &[(String, f64)]) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{tag}: result counts differ ({} vs {})\n  a: {a:?}\n  b: {b:?}",
+        a.len(),
+        b.len()
+    );
+    let group = |list: &[(String, f64)]| -> BTreeMap<i64, Vec<String>> {
+        let mut grouped: BTreeMap<i64, Vec<String>> = BTreeMap::new();
+        for (label, score) in list {
+            grouped
+                .entry((score * 1e9).round() as i64)
+                .or_default()
+                .push(label.clone());
+        }
+        for labels in grouped.values_mut() {
+            labels.sort();
+        }
+        grouped
+    };
+    let grouped_a = group(a);
+    let grouped_b = group(b);
+    let keys_a: Vec<i64> = grouped_a.keys().copied().collect();
+    let keys_b: Vec<i64> = grouped_b.keys().copied().collect();
+    assert_eq!(
+        keys_a, keys_b,
+        "{tag}: score sequences differ\n  a: {a:?}\n  b: {b:?}"
+    );
+    let boundary = keys_a.first().copied();
+    for (score, labels_a) in &grouped_a {
+        let labels_b = &grouped_b[score];
+        assert_eq!(
+            labels_a.len(),
+            labels_b.len(),
+            "{tag}: tie-group size differs at score {}",
+            *score as f64 / 1e9
+        );
+        if Some(*score) != boundary {
+            assert_eq!(
+                labels_a,
+                labels_b,
+                "{tag}: labels differ at score {}",
+                *score as f64 / 1e9
+            );
+        }
+    }
+}

@@ -1,10 +1,14 @@
 //! Workspace-level property-based tests over the core data structures and
 //! invariants (proptest).
 
+mod common;
+
 use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 
+use cmdl::core::{Cmdl, CmdlConfig, SearchMode};
+use cmdl::datalake::{Column, DataLake, Document, Table};
 use cmdl::eval::{precision_at_k, r_precision, recall_at_k};
 use cmdl::index::{InvertedIndex, ScoringFunction, TopK};
 use cmdl::nn::{triplet_loss, Matrix, TripletBatch};
@@ -217,6 +221,212 @@ proptest! {
             } else {
                 prop_assert!(rp <= precision_at_k(&ranked, &expected, expected.len()) + 1e-12);
             }
+        }
+    }
+}
+
+/// A random miniature lake: tables of random textual columns over a small
+/// shared vocabulary, plus a few free-text documents.
+fn mini_tables() -> impl Strategy<Value = Vec<Vec<Vec<String>>>> {
+    prop::collection::vec(
+        prop::collection::vec(prop::collection::vec("[a-z]{3,7}", 3..8), 1..3),
+        2..5,
+    )
+}
+
+fn mini_docs() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(prop::collection::vec("[a-z]{3,8}", 4..12), 1..4)
+}
+
+fn build_mini_lake(tables: &[Table], docs: &[Document]) -> DataLake {
+    let mut lake = DataLake::new("mini");
+    for t in tables {
+        lake.add_table(t.clone());
+    }
+    for d in docs {
+        lake.add_document(d.clone());
+    }
+    lake
+}
+
+fn mini_config() -> CmdlConfig {
+    CmdlConfig {
+        // Refresh the IDF cache on every mutation: with a zero staleness
+        // bound, BM25 scores under ingestion are *exact*, so the delta path
+        // must match the batch build even before compaction.
+        idf_refresh_ratio: 0.0,
+        ..CmdlConfig::fast()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any interleaving of table/document ingestion and removal, applied to
+    /// a seed subset of a random miniature lake, yields the same discovery
+    /// results as a fresh batch build of the surviving elements: BM25
+    /// results agree even before compaction (zero IDF staleness bound,
+    /// tombstones skipped exactly), and the full discovery surface agrees
+    /// after compaction.
+    #[test]
+    fn interleaved_ingest_matches_batch_build(
+        raw_tables in mini_tables(),
+        raw_docs in mini_docs(),
+        mask in 0u32..u32::MAX,
+    ) {
+        let tables: Vec<Table> = raw_tables
+            .iter()
+            .enumerate()
+            .map(|(ti, columns)| {
+                Table::new(
+                    format!("t{ti}"),
+                    columns
+                        .iter()
+                        .enumerate()
+                        .map(|(ci, values)| Column::from_texts(format!("c{ci}"), values.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let docs: Vec<Document> = raw_docs
+            .iter()
+            .enumerate()
+            .map(|(di, words)| Document::new(format!("d{di}"), "synthetic", words.join(" ")))
+            .collect();
+
+        // Seed subset sizes and removal sets, all derived from `mask`.
+        let table_seed = 1 + (mask as usize) % tables.len();
+        let doc_seed = ((mask >> 4) as usize) % (docs.len() + 1);
+        let removed_tables: Vec<usize> = (0..tables.len())
+            .filter(|i| (mask >> (8 + i)) & 1 == 1)
+            .take(tables.len() - 1) // keep at least one table
+            .collect();
+        let removed_docs: Vec<usize> = (0..docs.len())
+            .filter(|i| (mask >> (16 + i)) & 1 == 1)
+            .collect();
+
+        // Incremental: seed build, interleaved ingest, then removals.
+        let config = mini_config();
+        let mut incremental = Cmdl::build(
+            build_mini_lake(&tables[..table_seed], &docs[..doc_seed]),
+            config.clone(),
+        );
+        let mut pending_tables = tables[table_seed..].iter();
+        let mut pending_docs = docs[doc_seed..].iter();
+        loop {
+            match (pending_tables.next(), pending_docs.next()) {
+                (None, None) => break,
+                (t, d) => {
+                    if let Some(t) = t {
+                        incremental.ingest_table(t.clone()).unwrap();
+                    }
+                    if let Some(d) = d {
+                        incremental.ingest_document(d.clone());
+                    }
+                }
+            }
+        }
+        for &ti in &removed_tables {
+            incremental.remove_table(&format!("t{ti}")).unwrap();
+        }
+        for &di in &removed_docs {
+            incremental.remove_document(di).unwrap();
+        }
+
+        // Batch build over the survivors only.
+        let surviving_tables: Vec<Table> = tables
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed_tables.contains(i))
+            .map(|(_, t)| t.clone())
+            .collect();
+        let surviving_docs: Vec<Document> = docs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed_docs.contains(i))
+            .map(|(_, d)| d.clone())
+            .collect();
+        let batch = Cmdl::build(build_mini_lake(&surviving_tables, &surviving_docs), config);
+
+        prop_assert_eq!(batch.profiled.len(), incremental.profiled.len());
+
+        // Query workload: vocabulary drawn from the surviving data.
+        let mut queries: Vec<String> = surviving_tables
+            .iter()
+            .take(2)
+            .flat_map(|t| t.columns.first())
+            .flat_map(|c| c.values.first())
+            .map(|v| v.as_text())
+            .collect();
+        queries.extend(surviving_docs.first().map(|d| d.text.clone()));
+
+        // Tombstone correctness + exact BM25 parity *before* compaction.
+        for (qi, query) in queries.iter().enumerate() {
+            let delta: Vec<(String, f64)> = incremental
+                .content_search(query, SearchMode::All, 10)
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            for (label, _) in &delta {
+                for &ti in &removed_tables {
+                    prop_assert!(
+                        !label.starts_with(&format!("t{ti}.")),
+                        "tombstoned column surfaced: {label}"
+                    );
+                }
+                for &di in &removed_docs {
+                    prop_assert!(label != &format!("d{di}"), "tombstoned document surfaced");
+                }
+            }
+            let fresh: Vec<(String, f64)> = batch
+                .content_search(query, SearchMode::All, 10)
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            common::assert_result_parity(&format!("pre-compact content[{qi}]"), &fresh, &delta);
+        }
+
+        // Full-surface parity after compaction.
+        incremental.compact();
+        for (qi, query) in queries.iter().enumerate() {
+            let delta: Vec<(String, f64)> = incremental
+                .content_search(query, SearchMode::All, 10)
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            let fresh: Vec<(String, f64)> = batch
+                .content_search(query, SearchMode::All, 10)
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            common::assert_result_parity(&format!("post-compact content[{qi}]"), &fresh, &delta);
+
+            let delta_cm: Vec<(String, f64)> = incremental
+                .cross_modal_search_text(query, 5)
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            let fresh_cm: Vec<(String, f64)> = batch
+                .cross_modal_search_text(query, 5)
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            common::assert_result_parity(&format!("cross_modal[{qi}]"), &fresh_cm, &delta_cm);
+        }
+        for table in &surviving_tables {
+            let delta: Vec<(String, f64)> = incremental
+                .joinable(&table.name, 5)
+                .unwrap()
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            let fresh: Vec<(String, f64)> = batch
+                .joinable(&table.name, 5)
+                .unwrap()
+                .into_iter()
+                .map(|r| (r.label, r.score))
+                .collect();
+            common::assert_result_parity(&format!("joinable[{}]", table.name), &fresh, &delta);
         }
     }
 }
