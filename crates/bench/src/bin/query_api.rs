@@ -1,0 +1,176 @@
+//! Unified-query-API throughput: batched `execute_many` over one pinned
+//! snapshot versus sequential legacy per-kind calls (each of which pins its
+//! own snapshot), on a mixed Q1–Q5 workload over the bench-scale pharma
+//! lake.
+//!
+//! Emits `target/reports/query_api.json`; the CI bench-smoke step publishes
+//! it as `BENCH_query_api.json` and enforces the no-regression floor
+//! (batched QPS ≥ sequential legacy QPS).
+
+use std::time::Instant;
+
+use cmdl_bench::{build_system, emit, pharma_lake};
+use cmdl_core::{Cmdl, DiscoveryQuery, QueryBuilder, SearchMode};
+use cmdl_eval::{ExperimentReport, MethodResult};
+
+/// Run one query through the legacy per-kind surface (the pre-redesign call
+/// pattern: one method per kind, one snapshot per call).
+fn legacy_dispatch(cmdl: &Cmdl, query: &DiscoveryQuery) {
+    match query {
+        DiscoveryQuery::Keyword {
+            text,
+            mode,
+            options,
+        } => {
+            let _ = cmdl.content_search(text, *mode, options.top_k);
+        }
+        DiscoveryQuery::CrossModalText { text, options } => {
+            let _ = cmdl.cross_modal_search_text(text, options.top_k);
+        }
+        DiscoveryQuery::CrossModalDoc { document, options } => {
+            let _ = cmdl.cross_modal_search(*document, options.top_k);
+        }
+        DiscoveryQuery::JoinableTable { table, options } => {
+            let _ = cmdl.joinable(table, options.top_k);
+        }
+        DiscoveryQuery::JoinableColumn {
+            table,
+            column,
+            options,
+        } => {
+            let _ = cmdl.joinable_columns(table, column, options.top_k);
+        }
+        DiscoveryQuery::Unionable { table, options } => {
+            let _ = cmdl.unionable(table, options.top_k);
+        }
+        DiscoveryQuery::PkFk { options } => {
+            let _ = cmdl.pkfk_top(options.top_k, 0.0);
+        }
+        DiscoveryQuery::DocToTable { .. } => {}
+    }
+}
+
+/// The mixed discovery workload: keyword searches over drug values and
+/// document titles, cross-modal probes, join/union lookups, and a few PK-FK
+/// sweeps — roughly the shape of a discovery-service request stream.
+fn workload(cmdl: &Cmdl) -> Vec<DiscoveryQuery> {
+    let lake = &cmdl.profiled.lake;
+    let mut queries = Vec::new();
+
+    let keyword_texts: Vec<String> = lake
+        .tables()
+        .iter()
+        .take(12)
+        .flat_map(|t| t.columns.first())
+        .flat_map(|c| c.values.iter().take(16))
+        .map(|v| v.as_text())
+        .collect();
+    for (i, text) in keyword_texts.iter().enumerate() {
+        let mode = match i % 3 {
+            0 => SearchMode::All,
+            1 => SearchMode::Text,
+            _ => SearchMode::Tables,
+        };
+        queries.push(QueryBuilder::keyword(text).mode(mode).top_k(10).build());
+    }
+
+    for doc in lake.documents().iter().take(40) {
+        queries.push(QueryBuilder::cross_modal_text(&doc.title).top_k(5).build());
+    }
+    for index in 0..lake.num_documents().min(20) {
+        queries.push(QueryBuilder::cross_modal_doc(index).top_k(5).build());
+    }
+
+    let table_names: Vec<String> = lake.tables().iter().map(|t| t.name.clone()).collect();
+    for name in table_names.iter().take(15) {
+        queries.push(QueryBuilder::joinable(name).top_k(5).build());
+    }
+    for name in table_names.iter().take(15) {
+        if let Some(column) = lake.table(name).and_then(|t| t.columns.first()) {
+            queries.push(
+                QueryBuilder::joinable_column(name, &column.name)
+                    .top_k(5)
+                    .build(),
+            );
+        }
+    }
+    for name in table_names.iter().take(8) {
+        queries.push(QueryBuilder::unionable(name).top_k(5).build());
+    }
+    queries.push(QueryBuilder::pkfk().top_k(20).build());
+    queries.push(QueryBuilder::pkfk().top_k(20).min_score(0.6).build());
+    queries
+}
+
+fn main() {
+    let cmdl = build_system(pharma_lake().lake);
+    let queries = workload(&cmdl);
+    let rounds = 5usize;
+
+    // Warm both paths once (thread-local caches, lazy IDF).
+    for query in &queries {
+        legacy_dispatch(&cmdl, query);
+    }
+    let _ = cmdl.snapshot().execute_many(&queries);
+
+    // Interleave the three measurements round-robin (best-of-`rounds` each)
+    // so thermal/frequency drift hits all paths evenly instead of
+    // penalizing whichever runs last.
+    let snapshot = cmdl.snapshot();
+    let mut legacy_secs = f64::MAX;
+    let mut unified_secs = f64::MAX;
+    let mut batched_secs = f64::MAX;
+    let mut errors = 0usize;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for query in &queries {
+            legacy_dispatch(&cmdl, query);
+        }
+        legacy_secs = legacy_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for query in &queries {
+            let _ = snapshot.execute(query);
+        }
+        unified_secs = unified_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let outcomes = snapshot.execute_many(&queries);
+        batched_secs = batched_secs.min(start.elapsed().as_secs_f64());
+        errors = outcomes.iter().filter(|o| o.is_err()).count();
+    }
+    let legacy_qps = queries.len() as f64 / legacy_secs;
+    let unified_qps = queries.len() as f64 / unified_secs;
+    let batched_qps = queries.len() as f64 / batched_secs;
+    assert_eq!(errors, 0, "the bench workload only issues valid queries");
+
+    let mut report = ExperimentReport::new(
+        "Query Api",
+        format!(
+            "Mixed Q1-Q5 workload of {} queries over the bench-scale pharma lake \
+             ({} tables, {} documents): sequential legacy per-kind calls (one snapshot \
+             per call) vs the unified DiscoveryQuery path, sequential and batched \
+             (execute_many, rayon). Best of {rounds} rounds.",
+            queries.len(),
+            cmdl.profiled.lake.num_tables(),
+            cmdl.profiled.lake.num_documents(),
+        ),
+    );
+    report.push(
+        MethodResult::new("Sequential legacy calls")
+            .with("Seconds", legacy_secs)
+            .with("Qps", legacy_qps),
+    );
+    report.push(
+        MethodResult::new("Sequential execute")
+            .with("Seconds", unified_secs)
+            .with("Qps", unified_qps),
+    );
+    report.push(
+        MethodResult::new("Batched execute_many")
+            .with("Seconds", batched_secs)
+            .with("Qps", batched_qps)
+            .with("Speedup_vs_legacy", batched_qps / legacy_qps),
+    );
+    emit(&report);
+}

@@ -74,6 +74,18 @@ pub struct CmdlConfig {
     pub pkfk_name_similarity: f64,
     /// Containment threshold used by the PK-FK discovery.
     pub pkfk_containment: f64,
+    /// Weight of the embedding-cosine signal in the cross-modal (Doc→Table)
+    /// score blend. Overridable per query via
+    /// [`SignalWeights`](crate::query::SignalWeights).
+    pub cross_modal_embed_weight: f64,
+    /// Weight of the containment signal in the cross-modal score blend.
+    pub cross_modal_containment_weight: f64,
+    /// Weight of the containment signal in the PK-FK link score.
+    pub pkfk_containment_weight: f64,
+    /// Weight of the name-similarity signal in the PK-FK link score.
+    pub pkfk_name_weight: f64,
+    /// Weight of the PK-uniqueness signal in the PK-FK link score.
+    pub pkfk_uniqueness_weight: f64,
     /// Number of ANN trees for embedding indexes.
     pub ann_trees: usize,
     /// Incremental ingestion: IDF staleness bound for the inverted indexes.
@@ -112,6 +124,11 @@ impl Default for CmdlConfig {
             pk_uniqueness: 0.95,
             pkfk_name_similarity: 0.35,
             pkfk_containment: 0.85,
+            cross_modal_embed_weight: 0.7,
+            cross_modal_containment_weight: 0.3,
+            pkfk_containment_weight: 0.5,
+            pkfk_name_weight: 0.3,
+            pkfk_uniqueness_weight: 0.2,
             ann_trees: 10,
             idf_refresh_ratio: 0.1,
             compaction_ratio: 0.25,

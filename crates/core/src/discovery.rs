@@ -1,8 +1,15 @@
 //! The CMDL discovery interface (paper Section 5.2).
 //!
 //! [`Cmdl`] is the system façade: it owns the profiled lake, the index
-//! catalog, the (optionally trained) joint model, and the EKG, and exposes
-//! SRQL-style discovery primitives:
+//! catalog, the (optionally trained) joint model, and the EKG. Discovery
+//! runs through the unified [`DiscoveryQuery`](crate::query::DiscoveryQuery)
+//! API: build a query with [`QueryBuilder`](crate::query::QueryBuilder) and
+//! run it with [`execute`](Cmdl::execute) (or batch it with
+//! [`execute_many`](Cmdl::execute_many)); every kind returns the same
+//! [`QueryResponse`](crate::query::QueryResponse) envelope with per-signal
+//! score provenance.
+//!
+//! The SRQL-style per-kind methods are kept as thin shims over that path:
 //!
 //! * [`content_search`](Cmdl::content_search) — keyword search over either
 //!   modality (Q1 in the motivating example);
@@ -49,6 +56,7 @@ use crate::indexes::IndexCatalog;
 use crate::join::PkFkLink;
 use crate::joint::{JointModel, JointTrainer, JointTrainingReport};
 use crate::profile::{ElementData, ProfiledLake, Profiler};
+use crate::query::{DiscoveryQuery, DocQuery, QueryResponse};
 use crate::snapshot::CatalogSnapshot;
 use crate::training::{TrainingDataset, TrainingDatasetGenerator, TrainingGenerationReport};
 use crate::union::UnionScore;
@@ -196,11 +204,26 @@ impl Cmdl {
     }
 
     // ------------------------------------------------------------------
-    // Discovery primitives (delegating to the current-generation snapshot)
+    // Discovery (delegating to the current-generation snapshot)
     // ------------------------------------------------------------------
 
+    /// Execute one typed [`DiscoveryQuery`] against the current generation.
+    /// Equivalent to `self.snapshot().execute(query)`.
+    pub fn execute(&self, query: &DiscoveryQuery) -> Result<QueryResponse, CmdlError> {
+        self.snapshot().execute(query)
+    }
+
+    /// Execute a batch of queries in parallel against one pinned generation
+    /// (all queries see the same consistent catalog).
+    pub fn execute_many(
+        &self,
+        queries: &[DiscoveryQuery],
+    ) -> Vec<Result<QueryResponse, CmdlError>> {
+        self.snapshot().execute_many(queries)
+    }
+
     /// Keyword search (Q1): find the `top_k` elements matching the query text
-    /// in the requested scope.
+    /// in the requested scope. Legacy shim over [`execute`](Cmdl::execute).
     pub fn content_search(
         &self,
         query: &str,
@@ -212,7 +235,8 @@ impl Cmdl {
 
     /// Cross-modal Doc→Table discovery (Q2/Q3) for a document already in the
     /// lake, using the configured strategy (joint embeddings when trained,
-    /// otherwise solo embeddings).
+    /// otherwise solo embeddings). Legacy shim over
+    /// [`execute`](Cmdl::execute).
     pub fn cross_modal_search(
         &self,
         document: usize,
@@ -222,30 +246,37 @@ impl Cmdl {
     }
 
     /// Cross-modal Doc→Table discovery for ad-hoc query text (e.g. a
-    /// highlighted sentence, as in Figure 1).
-    pub fn cross_modal_search_text(&self, text: &str, top_k: usize) -> Vec<DiscoveryResult> {
+    /// highlighted sentence, as in Figure 1). Legacy shim over
+    /// [`execute`](Cmdl::execute).
+    pub fn cross_modal_search_text(
+        &self,
+        text: &str,
+        top_k: usize,
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
         self.snapshot().cross_modal_search_text(text, top_k)
     }
 
     /// Doc→Table discovery with an explicit strategy (used by the Figure 6
-    /// comparison of CMDL variants).
+    /// comparison of CMDL variants). Takes an opaque [`DocQuery`] — plain
+    /// text or a lake document — instead of internal sketch types. Legacy
+    /// shim over [`execute`](Cmdl::execute).
     pub fn doc_to_table_search(
         &self,
-        solo: &cmdl_embed::SoloEmbedding,
-        content: &cmdl_text::BagOfWords,
+        query: &DocQuery,
         strategy: crate::config::CrossModalStrategy,
         top_k: usize,
-    ) -> Vec<DiscoveryResult> {
-        self.snapshot()
-            .doc_to_table_search(solo, content, strategy, top_k)
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        self.snapshot().doc_to_table_search(query, strategy, top_k)
     }
 
-    /// Table-level joinability discovery (Q4).
+    /// Table-level joinability discovery (Q4). Legacy shim over
+    /// [`execute`](Cmdl::execute).
     pub fn joinable(&self, table: &str, top_k: usize) -> Result<Vec<DiscoveryResult>, CmdlError> {
         self.snapshot().joinable(table, top_k)
     }
 
-    /// Column-level joinability discovery.
+    /// Column-level joinability discovery. Legacy shim over
+    /// [`execute`](Cmdl::execute).
     pub fn joinable_columns(
         &self,
         table: &str,
@@ -255,12 +286,20 @@ impl Cmdl {
         self.snapshot().joinable_columns(table, column, top_k)
     }
 
-    /// PK-FK discovery over the whole lake.
-    pub fn pkfk(&self) -> Vec<PkFkLink> {
+    /// PK-FK discovery over the whole lake (every link, ranked). Legacy shim
+    /// over [`execute`](Cmdl::execute).
+    pub fn pkfk(&self) -> Result<Vec<PkFkLink>, CmdlError> {
         self.snapshot().pkfk()
     }
 
-    /// Unionable-table discovery (Q5).
+    /// PK-FK discovery bounded to the `top_k` strongest links at or above
+    /// `min_score`. Legacy shim over [`execute`](Cmdl::execute).
+    pub fn pkfk_top(&self, top_k: usize, min_score: f64) -> Result<Vec<PkFkLink>, CmdlError> {
+        self.snapshot().pkfk_top(top_k, min_score)
+    }
+
+    /// Unionable-table discovery (Q5). Legacy shim over
+    /// [`execute`](Cmdl::execute).
     pub fn unionable(&self, table: &str, top_k: usize) -> Result<Vec<UnionScore>, CmdlError> {
         self.snapshot().unionable(table, top_k)
     }
@@ -550,7 +589,7 @@ impl Cmdl {
             }
         }
         // PK-FK edges.
-        for link in snap.pkfk() {
+        for link in snap.pkfk().unwrap_or_default() {
             edges.push((
                 NodeId::De(link.pk),
                 NodeId::De(link.fk),
@@ -724,8 +763,13 @@ mod tests {
         assert!(!cols.is_empty());
         assert!(cmdl.joinable_columns("Drugs", "NoCol", 5).is_err());
 
-        let links = cmdl.pkfk();
+        let links = cmdl.pkfk().unwrap();
         assert!(!links.is_empty());
+        // Bounded PK-FK discovery: a prefix of the full ranking, thresholded.
+        let top = cmdl.pkfk_top(1, 0.0).unwrap();
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0], links[0]);
+        assert!(cmdl.pkfk_top(usize::MAX, 2.0).unwrap().is_empty());
 
         let unions = cmdl.unionable("Drugs", 3).unwrap();
         // Projections of Drugs exist in the synthetic lake.

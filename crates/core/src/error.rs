@@ -20,6 +20,9 @@ pub enum CmdlError {
     UnknownDocument(usize),
     /// The joint model has not been trained yet.
     JointModelMissing,
+    /// A [`DiscoveryQuery`](crate::query::DiscoveryQuery) is malformed (e.g.
+    /// a zero `top_k`).
+    InvalidQuery(String),
     /// The training dataset was empty (e.g. sampling produced no pairs).
     EmptyTrainingData(String),
 }
@@ -39,6 +42,7 @@ impl fmt::Display for CmdlError {
                 f,
                 "the joint representation model has not been trained; call train_joint first"
             ),
+            CmdlError::InvalidQuery(reason) => write!(f, "invalid discovery query: {reason}"),
             CmdlError::EmptyTrainingData(reason) => {
                 write!(
                     f,

@@ -35,6 +35,12 @@ pub struct PkFkLink {
     pub fk_name: String,
     /// Combined link score.
     pub score: f64,
+    /// The raw containment signal (FK values ⊂ PK values).
+    pub containment: f64,
+    /// The raw column-name-similarity signal.
+    pub name_sim: f64,
+    /// The raw PK-uniqueness signal.
+    pub uniqueness: f64,
 }
 
 /// Joinability discovery over a profiled lake.
@@ -112,7 +118,11 @@ impl<'a> JoinDiscovery<'a> {
         let columns = self.profiled.columns_of_table(table_name);
         let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
         for col in columns {
-            for (other, score) in self.joinable_columns(col, top_k * 4) {
+            // Aggregate over *all* scored partners (the per-column scan is
+            // linear anyway): the per-table best score is exact and does not
+            // depend on `top_k`, so paginated fetches of different depths
+            // rank tables identically.
+            for (other, score) in self.joinable_columns(col, usize::MAX) {
                 if let Some(profile) = self.profiled.profile(other) {
                     if let Some(other_table) = &profile.table_name {
                         let entry = best.entry(other_table.clone()).or_insert(0.0);
@@ -136,13 +146,32 @@ impl<'a> JoinDiscovery<'a> {
         out
     }
 
-    /// Discover all PK-FK links in the lake.
+    /// Discover all PK-FK links in the lake with the configured signal
+    /// weights.
     ///
     /// A pair `(p, f)` is reported when `p` is key-like, `f`'s values are
     /// contained in `p`'s values above the configured containment threshold,
     /// the columns have similar names (schema similarity filter), and they
     /// live in different tables.
     pub fn pkfk_links(&self) -> Vec<PkFkLink> {
+        self.pkfk_links_weighted(
+            self.config.pkfk_containment_weight,
+            self.config.pkfk_name_weight,
+            self.config.pkfk_uniqueness_weight,
+        )
+    }
+
+    /// [`pkfk_links`](Self::pkfk_links) with explicit signal weights (the
+    /// per-query override path of the unified
+    /// [`DiscoveryQuery`](crate::query::DiscoveryQuery) API). The candidate
+    /// *filters* (containment and name-similarity thresholds) stay as
+    /// configured; only the score blend changes.
+    pub fn pkfk_links_weighted(
+        &self,
+        w_containment: f64,
+        w_name: f64,
+        w_uniqueness: f64,
+    ) -> Vec<PkFkLink> {
         let pk_candidates: Vec<&DeProfile> = self
             .profiled
             .column_ids
@@ -198,14 +227,23 @@ impl<'a> JoinDiscovery<'a> {
                     fk: fk.id,
                     pk_name: pk.qualified_name.clone(),
                     fk_name: fk.qualified_name.clone(),
-                    score: 0.5 * containment + 0.3 * name_sim + 0.2 * pk.uniqueness,
+                    score: w_containment * containment
+                        + w_name * name_sim
+                        + w_uniqueness * pk.uniqueness,
+                    containment,
+                    name_sim,
+                    uniqueness: pk.uniqueness,
                 });
             }
         }
+        // Tie-break on the qualified names so equal-scored links (and thus
+        // any truncated prefix) surface in a run-independent order.
         links.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.pk_name.cmp(&b.pk_name))
+                .then_with(|| a.fk_name.cmp(&b.fk_name))
         });
         links
     }

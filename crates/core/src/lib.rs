@@ -17,17 +17,24 @@
 //!                 EKG builder + Discovery interface (Cmdl)
 //! ```
 //!
-//! The [`Cmdl`] façade wires all stages together:
+//! The [`Cmdl`] façade wires all stages together; discovery runs through
+//! the unified typed-query API (see [`query`]):
 //!
 //! ```no_run
-//! use cmdl_core::{Cmdl, CmdlConfig};
+//! use cmdl_core::{Cmdl, CmdlConfig, QueryBuilder};
 //! use cmdl_datalake::synth;
 //!
 //! let lake = synth::pharma();
 //! let mut system = Cmdl::build(lake.lake, CmdlConfig::fast());
 //! system.train_joint(None);
-//! let tables = system.cross_modal_search_text("pemetrexed inhibits thymidylate synthase", 3);
-//! println!("{tables:?}");
+//! let response = system
+//!     .execute(
+//!         &QueryBuilder::cross_modal_text("pemetrexed inhibits thymidylate synthase")
+//!             .top_k(3)
+//!             .build(),
+//!     )
+//!     .unwrap();
+//! println!("{:?}", response.hits);
 //! ```
 
 pub mod config;
@@ -38,6 +45,7 @@ pub mod indexes;
 pub mod join;
 pub mod joint;
 pub mod profile;
+pub mod query;
 pub mod snapshot;
 pub mod training;
 pub mod union;
@@ -50,6 +58,10 @@ pub use indexes::{DeltaStats, IndexCatalog};
 pub use join::{JoinDiscovery, PkFkLink};
 pub use joint::{JointModel, JointTrainer, JointTrainingReport};
 pub use profile::{ColumnTags, DeProfile, ElementData, ProfiledLake, Profiler};
+pub use query::{
+    DiscoveryQuery, DocQuery, Hit, QueryBuilder, QueryOptions, QueryResponse, ScoreBreakdown,
+    Signal, SignalContribution, SignalWeights,
+};
 pub use snapshot::CatalogSnapshot;
 pub use training::{TrainingDataset, TrainingDatasetGenerator, TrainingPair};
 pub use union::{UnionDiscovery, UnionScore};

@@ -8,27 +8,29 @@
 //! keeps a fully consistent view — lake, profiles, and all four indexes from
 //! the same generation — no matter how many batches land after it was taken.
 //!
-//! Every read-side discovery primitive lives here; [`Cmdl`]'s query methods
-//! are thin delegations, so "query the live system" and "query a pinned
-//! generation" are the same code path.
+//! The snapshot is the single query boundary of the system: every discovery
+//! query executes through [`execute`](CatalogSnapshot::execute) (defined in
+//! [`crate::query`]) against a pinned generation. The per-kind methods on
+//! this type are legacy-shaped shims over that unified path, kept so
+//! existing call sites read naturally; they are parity-tested against
+//! `execute` and return exactly its hits.
 //!
 //! [`Cmdl`]: crate::discovery::Cmdl
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use cmdl_datalake::{DeId, DeKind};
-use cmdl_index::ScoringFunction;
+use cmdl_datalake::DeId;
 
 use crate::config::{CmdlConfig, CrossModalStrategy};
 use crate::discovery::{DiscoveryResult, SearchMode};
 use crate::ekg::Ekg;
 use crate::error::CmdlError;
 use crate::indexes::IndexCatalog;
-use crate::join::{JoinDiscovery, PkFkLink};
+use crate::join::PkFkLink;
 use crate::joint::JointModel;
 use crate::profile::{ProfiledLake, Profiler};
-use crate::union::{UnionDiscovery, UnionScore};
+use crate::query::{DocQuery, QueryBuilder, QueryResponse};
+use crate::union::UnionScore;
 
 /// A consistent, immutable view of one catalog generation.
 #[derive(Clone)]
@@ -51,202 +53,178 @@ pub struct CatalogSnapshot {
 
 impl CatalogSnapshot {
     /// Keyword search (Q1): find the `top_k` elements matching the query
-    /// text in the requested scope.
+    /// text in the requested scope. Shim over
+    /// [`execute`](CatalogSnapshot::execute).
     pub fn content_search(
         &self,
         query: &str,
         mode: SearchMode,
         top_k: usize,
     ) -> Vec<DiscoveryResult> {
-        let (bow, _) = self.profiler.profile_query_text(query);
-        let kind = match mode {
-            SearchMode::Text => Some(DeKind::Document),
-            SearchMode::Tables => Some(DeKind::Column),
-            SearchMode::All => None,
-        };
-        self.indexes
-            .content_search(
-                &self.profiled,
-                &bow,
-                kind,
-                top_k,
-                ScoringFunction::default(),
-            )
-            .into_iter()
-            .map(|(id, score)| self.element_result(id, score))
-            .collect()
+        if top_k == 0 {
+            return Vec::new();
+        }
+        self.execute(&QueryBuilder::keyword(query).mode(mode).top_k(top_k).build())
+            .map(QueryResponse::into_results)
+            .unwrap_or_default()
     }
 
     /// Cross-modal Doc→Table discovery (Q2/Q3) for a document already in the
-    /// lake, using the configured strategy (joint embeddings when trained,
-    /// otherwise solo embeddings).
+    /// lake, using the joint space when trained and the solo space
+    /// otherwise. Shim over [`execute`](CatalogSnapshot::execute).
     pub fn cross_modal_search(
         &self,
         document: usize,
         top_k: usize,
     ) -> Result<Vec<DiscoveryResult>, CmdlError> {
-        let doc_id = self
-            .profiled
-            .lake
-            .document_id(document)
-            .ok_or(CmdlError::UnknownDocument(document))?;
-        let profile = self
-            .profiled
-            .profile(doc_id)
-            .ok_or(CmdlError::UnknownDocument(document))?;
-        let strategy = if self.joint.is_some() {
-            CrossModalStrategy::JointEmbedding
-        } else {
-            CrossModalStrategy::SoloEmbedding
-        };
-        Ok(self.doc_to_table_search(
-            &profile.solo.clone(),
-            &profile.content.clone(),
-            strategy,
-            top_k,
-        ))
+        if top_k == 0 {
+            self.require_document(document)?;
+            return Ok(Vec::new());
+        }
+        let response =
+            self.execute(&QueryBuilder::cross_modal_doc(document).top_k(top_k).build())?;
+        Ok(response.into_results())
     }
 
     /// Cross-modal Doc→Table discovery for ad-hoc query text (e.g. a
-    /// highlighted sentence, as in Figure 1).
-    pub fn cross_modal_search_text(&self, text: &str, top_k: usize) -> Vec<DiscoveryResult> {
-        let (bow, solo) = self.profiler.profile_query_text(text);
-        let strategy = if self.joint.is_some() {
-            CrossModalStrategy::JointEmbedding
-        } else {
-            CrossModalStrategy::SoloEmbedding
-        };
-        self.doc_to_table_search(&solo, &bow, strategy, top_k)
+    /// highlighted sentence, as in Figure 1). Shim over
+    /// [`execute`](CatalogSnapshot::execute).
+    pub fn cross_modal_search_text(
+        &self,
+        text: &str,
+        top_k: usize,
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        if top_k == 0 {
+            return Ok(Vec::new());
+        }
+        let response = self.execute(&QueryBuilder::cross_modal_text(text).top_k(top_k).build())?;
+        Ok(response.into_results())
     }
 
     /// Doc→Table discovery with an explicit strategy (used by the Figure 6
-    /// comparison of CMDL variants).
+    /// comparison of CMDL variants). Takes an opaque [`DocQuery`] — plain
+    /// text or a lake document — instead of internal sketch types. Shim over
+    /// [`execute`](CatalogSnapshot::execute).
     pub fn doc_to_table_search(
         &self,
-        solo: &cmdl_embed::SoloEmbedding,
-        content: &cmdl_text::BagOfWords,
+        query: &DocQuery,
         strategy: CrossModalStrategy,
         top_k: usize,
-    ) -> Vec<DiscoveryResult> {
-        let probe_k = (top_k * 6).max(20);
-        let column_scores: Vec<(DeId, f64)> = match (strategy, &self.joint) {
-            (CrossModalStrategy::JointEmbedding, Some(model)) => {
-                let query = model.embed(solo);
-                self.indexes
-                    .joint_search(&query, probe_k)
-                    .unwrap_or_default()
+    ) -> Result<Vec<DiscoveryResult>, CmdlError> {
+        if top_k == 0 {
+            if let DocQuery::Document(index) = query {
+                self.require_document(*index)?;
             }
-            _ => self.indexes.solo_search(&solo.content, probe_k),
-        };
-        // Blend in a containment signal so exact identifier matches are not
-        // lost (the embeddings capture semantics; containment captures value
-        // overlap), then aggregate column scores to table level.
-        let minhash = self.profiler.minhasher().signature(content.terms());
-        let containment: HashMap<DeId, f64> = self
-            .indexes
-            .containment_search(&minhash, probe_k)
-            .into_iter()
-            .collect();
-        let mut table_scores: HashMap<String, f64> = HashMap::new();
-        for (id, score) in column_scores {
-            let Some(profile) = self.profiled.profile(id) else {
-                continue;
-            };
-            let Some(table) = profile.table_name.clone() else {
-                continue;
-            };
-            let combined =
-                0.7 * score.max(0.0) + 0.3 * containment.get(&id).copied().unwrap_or(0.0);
-            let entry = table_scores.entry(table).or_insert(0.0);
-            if combined > *entry {
-                *entry = combined;
-            }
+            return Ok(Vec::new());
         }
-        for (id, score) in &containment {
-            let Some(profile) = self.profiled.profile(*id) else {
-                continue;
-            };
-            let Some(table) = profile.table_name.clone() else {
-                continue;
-            };
-            let entry = table_scores.entry(table).or_insert(0.0);
-            if 0.3 * score > *entry {
-                *entry = 0.3 * score;
-            }
-        }
-        let mut results: Vec<DiscoveryResult> = table_scores
-            .into_iter()
-            .map(|(table, score)| DiscoveryResult {
-                element: None,
-                label: table.clone(),
-                table: Some(table),
-                score,
-            })
-            .collect();
-        // Tie-break by label: `table_scores` is a HashMap, so equal-scored
-        // tables would otherwise surface in a run-dependent order.
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.label.cmp(&b.label))
-        });
-        results.truncate(top_k);
-        results
+        let response = self.execute(
+            &QueryBuilder::doc_to_table(query.clone(), strategy)
+                .top_k(top_k)
+                .build(),
+        )?;
+        Ok(response.into_results())
     }
 
-    /// Table-level joinability discovery (Q4).
+    /// Table-level joinability discovery (Q4). Shim over
+    /// [`execute`](CatalogSnapshot::execute).
     pub fn joinable(&self, table: &str, top_k: usize) -> Result<Vec<DiscoveryResult>, CmdlError> {
-        if self.profiled.lake.table(table).is_none() {
-            return Err(CmdlError::UnknownTable(table.to_string()));
+        if top_k == 0 {
+            self.require_table(table)?;
+            return Ok(Vec::new());
         }
-        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
-        Ok(discovery
-            .joinable_tables(table, top_k)
-            .into_iter()
-            .map(|(name, score)| DiscoveryResult {
-                element: None,
-                label: name.clone(),
-                table: Some(name),
-                score,
-            })
-            .collect())
+        let response = self.execute(&QueryBuilder::joinable(table).top_k(top_k).build())?;
+        Ok(response.into_results())
     }
 
-    /// Column-level joinability discovery.
+    /// Column-level joinability discovery. Shim over
+    /// [`execute`](CatalogSnapshot::execute).
     pub fn joinable_columns(
         &self,
         table: &str,
         column: &str,
         top_k: usize,
     ) -> Result<Vec<DiscoveryResult>, CmdlError> {
-        let id = self
-            .profiled
-            .lake
-            .column_id_by_name(table, column)
-            .ok_or_else(|| CmdlError::UnknownColumn {
-                table: table.to_string(),
-                column: column.to_string(),
-            })?;
-        let discovery = JoinDiscovery::new(&self.profiled, &self.config);
-        Ok(discovery
-            .joinable_columns(id, top_k)
+        if top_k == 0 {
+            self.require_column(table, column)?;
+            return Ok(Vec::new());
+        }
+        let response = self.execute(
+            &QueryBuilder::joinable_column(table, column)
+                .top_k(top_k)
+                .build(),
+        )?;
+        Ok(response.into_results())
+    }
+
+    /// PK-FK discovery over the whole lake (every link, ranked). Shim over
+    /// [`execute`](CatalogSnapshot::execute); see
+    /// [`pkfk_top`](CatalogSnapshot::pkfk_top) for bounded variants.
+    pub fn pkfk(&self) -> Result<Vec<PkFkLink>, CmdlError> {
+        self.pkfk_top(usize::MAX, 0.0)
+    }
+
+    /// PK-FK discovery bounded to the `top_k` strongest links at or above
+    /// `min_score`. Shim over [`execute`](CatalogSnapshot::execute).
+    pub fn pkfk_top(&self, top_k: usize, min_score: f64) -> Result<Vec<PkFkLink>, CmdlError> {
+        if top_k == 0 {
+            return Ok(Vec::new());
+        }
+        let response = self.execute(
+            &QueryBuilder::pkfk()
+                .top_k(top_k)
+                .min_score(min_score)
+                .build(),
+        )?;
+        Ok(response
+            .hits
             .into_iter()
-            .map(|(cid, score)| self.element_result(cid, score))
+            .filter_map(|hit| hit.pkfk)
             .collect())
     }
 
-    /// PK-FK discovery over the whole lake.
-    pub fn pkfk(&self) -> Vec<PkFkLink> {
-        JoinDiscovery::new(&self.profiled, &self.config).pkfk_links()
+    /// Unionable-table discovery (Q5). Shim over
+    /// [`execute`](CatalogSnapshot::execute).
+    pub fn unionable(&self, table: &str, top_k: usize) -> Result<Vec<UnionScore>, CmdlError> {
+        if top_k == 0 {
+            self.require_table(table)?;
+            return Ok(Vec::new());
+        }
+        let response = self.execute(&QueryBuilder::unionable(table).top_k(top_k).build())?;
+        Ok(response
+            .hits
+            .into_iter()
+            .filter_map(|hit| hit.union)
+            .collect())
     }
 
-    /// Unionable-table discovery (Q5).
-    pub fn unionable(&self, table: &str, top_k: usize) -> Result<Vec<UnionScore>, CmdlError> {
+    /// Validate that a table is live (the `top_k == 0` shims keep the same
+    /// error behavior as a real execution without paying for the scan).
+    fn require_table(&self, table: &str) -> Result<(), CmdlError> {
         if self.profiled.lake.table(table).is_none() {
             return Err(CmdlError::UnknownTable(table.to_string()));
         }
-        Ok(UnionDiscovery::new(&self.profiled, &self.config).unionable_tables(table, top_k))
+        Ok(())
+    }
+
+    /// Validate that a column exists (see [`require_table`](Self::require_table)).
+    fn require_column(&self, table: &str, column: &str) -> Result<(), CmdlError> {
+        self.profiled
+            .lake
+            .column_id_by_name(table, column)
+            .map(|_| ())
+            .ok_or_else(|| CmdlError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })
+    }
+
+    /// Validate that a document exists (see [`require_table`](Self::require_table)).
+    fn require_document(&self, index: usize) -> Result<(), CmdlError> {
+        self.profiled
+            .lake
+            .document_id(index)
+            .map(|_| ())
+            .ok_or(CmdlError::UnknownDocument(index))
     }
 
     /// Wrap an element id and score as a [`DiscoveryResult`].
@@ -286,5 +264,18 @@ mod tests {
             cmdl.joinable("Drugs", 3).unwrap(),
             snap.joinable("Drugs", 3).unwrap()
         );
+    }
+
+    #[test]
+    fn zero_top_k_shims_return_empty() {
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        let cmdl = Cmdl::build(lake, CmdlConfig::fast());
+        let snap = cmdl.snapshot();
+        assert!(snap.content_search("drug", SearchMode::All, 0).is_empty());
+        assert!(snap.cross_modal_search(0, 0).unwrap().is_empty());
+        assert!(snap.joinable("Drugs", 0).unwrap().is_empty());
+        assert!(snap.unionable("Drugs", 0).unwrap().is_empty());
+        // Unknown references still error, exactly like the bounded calls.
+        assert!(snap.joinable("NoSuch", 0).is_err());
     }
 }

@@ -66,6 +66,10 @@ pub struct UnionScore {
     pub score: f64,
     /// The matched column pairs `(query column, candidate column, score)`.
     pub mapping: Vec<(String, String, f64)>,
+    /// The matched column pairs as element ids, parallel to `mapping`
+    /// (heaviest pair first). Lets callers recover the per-pair similarity
+    /// signals without a name lookup.
+    pub id_mapping: Vec<(DeId, DeId)>,
 }
 
 /// Unionability discovery over a profiled lake.
@@ -166,6 +170,8 @@ impl<'a> UnionDiscovery<'a> {
                 let matched_weight: f64 = mapping.iter().map(|(_, _, s)| s).sum();
                 let denom = query_columns.len().max(candidate_columns.len()) as f64;
                 let score = (matched_weight / denom).clamp(0.0, 1.0);
+                let id_mapping: Vec<(DeId, DeId)> =
+                    mapping.iter().map(|&(q, c, _)| (q, c)).collect();
                 let named_mapping = mapping
                     .into_iter()
                     .map(|(q, c, s)| {
@@ -186,13 +192,18 @@ impl<'a> UnionDiscovery<'a> {
                     table,
                     score,
                     mapping: named_mapping,
+                    id_mapping,
                 })
             })
             .collect();
+        // Tie-break by table name: candidates come out of a HashMap, so
+        // equal-scored tables (and any truncated prefix) would otherwise
+        // surface in a run-dependent order.
         results.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.table.cmp(&b.table))
         });
         results.truncate(top_k);
         results

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use cmdl_baselines::{
     ContainmentSearch, ElasticBaseline, ElasticVariant, EntityMatcher, EntityMetric,
 };
-use cmdl_core::{Cmdl, CrossModalStrategy};
+use cmdl_core::{Cmdl, CrossModalStrategy, DocQuery};
 use cmdl_datalake::{Benchmark, BenchmarkKind, QueryInput};
 
 use crate::metrics::{precision_recall_curve, PrPoint};
@@ -113,21 +113,21 @@ pub fn evaluate_doc2table(
             let ranked: Vec<String> = match method {
                 Doc2TableMethod::CmdlSolo => cmdl
                     .doc_to_table_search(
-                        &profile.solo,
-                        &profile.content,
+                        &DocQuery::Document(*doc_idx),
                         CrossModalStrategy::SoloEmbedding,
                         max_k,
                     )
+                    .unwrap_or_default()
                     .into_iter()
                     .filter_map(|r| r.table)
                     .collect(),
                 Doc2TableMethod::CmdlJoint | Doc2TableMethod::CmdlJointGold => cmdl
                     .doc_to_table_search(
-                        &profile.solo,
-                        &profile.content,
+                        &DocQuery::Document(*doc_idx),
                         CrossModalStrategy::JointEmbedding,
                         max_k,
                     )
+                    .unwrap_or_default()
                     .into_iter()
                     .filter_map(|r| r.table)
                     .collect(),

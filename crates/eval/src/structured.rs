@@ -120,6 +120,7 @@ pub fn evaluate_pkfk(
     let reported: Vec<String> = match system {
         StructuredSystem::Cmdl => cmdl
             .pkfk()
+            .unwrap_or_default()
             .into_iter()
             .map(|l| format!("{}->{}", l.pk_name, l.fk_name))
             .collect(),

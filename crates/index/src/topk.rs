@@ -13,12 +13,17 @@ impl Eq for HeapItem {}
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering on score so the heap is a min-heap by score.
+        // Reverse ordering on score so the heap is a min-heap by score; ties
+        // orient so the heap's maximum (the evicted item) is the *largest*
+        // id of the lowest tie group — the last element of the ranking
+        // (score desc, id asc) that `into_sorted_vec` emits. Eviction and
+        // ranking agreeing on one total order is what keeps the retained
+        // set independent of `k` and of arrival order.
         other
             .score
             .partial_cmp(&self.score)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| other.id.cmp(&self.id))
+            .then_with(|| self.id.cmp(&other.id))
     }
 }
 
@@ -38,9 +43,12 @@ pub struct TopK {
 impl TopK {
     /// Create an accumulator keeping at most `k` items.
     pub fn new(k: usize) -> Self {
+        // `k` may be usize::MAX ("fetch everything" in the query API), so
+        // the pre-allocation is saturated and capped; the heap still grows
+        // to whatever is actually pushed.
         Self {
             k,
-            heap: BinaryHeap::with_capacity(k + 1),
+            heap: BinaryHeap::with_capacity(k.saturating_add(1).min(4096)),
         }
     }
 
@@ -59,16 +67,18 @@ impl TopK {
     ///
     /// Lets scoring loops skip more expensive admission work (e.g. filter
     /// predicates or id resolution) for scores that cannot make the cut.
-    /// Note ties: a score equal to the current threshold is rejected by
-    /// `push` in effect (it enters and immediately displaces an equal item),
-    /// so `would_accept` treats it as acceptable only when it beats the
-    /// threshold.
+    /// A score *equal* to the current threshold is accepted: `push` resolves
+    /// the tie by id (the largest id among the lowest-scoring tie group is
+    /// evicted), so the retained set is always the top `k` under the total
+    /// order (score desc, id asc) — independent of arrival order and of `k`.
+    /// That k-independence is what makes paginated fetches of different
+    /// depths consistent.
     pub fn would_accept(&self, score: f64) -> bool {
         if self.k == 0 || !score.is_finite() {
             return false;
         }
         match self.threshold() {
-            Some(threshold) => score > threshold,
+            Some(threshold) => score >= threshold,
             None => true,
         }
     }
@@ -156,6 +166,28 @@ mod tests {
         let out = tk.into_sorted_vec();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].1, 0.5);
+    }
+
+    #[test]
+    fn boundary_ties_resolve_by_id_regardless_of_arrival_order() {
+        // The retained set must be the top k under (score desc, id asc) no
+        // matter the insertion order — otherwise paginated fetches with
+        // different probe depths disagree inside tie groups.
+        let items = [(7, 0.5), (3, 0.5), (9, 0.5), (1, 0.5), (5, 0.9)];
+        for rotation in 0..items.len() {
+            let mut tk = TopK::new(3);
+            for i in 0..items.len() {
+                let (id, score) = items[(i + rotation) % items.len()];
+                if tk.would_accept(score) {
+                    tk.push(id, score);
+                }
+            }
+            assert_eq!(
+                tk.into_sorted_vec(),
+                vec![(5, 0.9), (1, 0.5), (3, 0.5)],
+                "rotation {rotation}"
+            );
+        }
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The full five-step discovery pipeline of the paper's motivating example
 //! (Figure 1): an analyst studying the enzyme "thymidylate synthase" chains
 //! keyword search, two cross-modal Doc→Table searches, a joinability search,
-//! and a unionability search — all over one CMDL system.
+//! and a unionability search — all expressed as typed `DiscoveryQuery`
+//! values executed against one pinned snapshot of the CMDL system.
 //!
 //! Run with: `cargo run --example pharma_pipeline`
 
-use cmdl::core::{Cmdl, CmdlConfig, SearchMode};
+use cmdl::core::{Cmdl, CmdlConfig, QueryBuilder, SearchMode};
 use cmdl::datalake::synth;
 
 fn main() {
@@ -19,70 +20,97 @@ fn main() {
     );
 
     let k = 3;
+    // Pin one generation: every step of the pipeline sees the same catalog.
+    let snapshot = cmdl.snapshot();
 
     // Q1: retrieve documents related to an enzyme.
-    let enzyme = cmdl
+    let enzyme = snapshot
         .profiled
         .lake
         .table("Enzymes")
         .and_then(|t| t.column("Target"))
         .map(|c| c.values[0].as_text())
         .expect("enzyme exists");
-    println!("\nQ1: content_search(\"{enzyme}\", mode: Text)");
-    let r1 = cmdl.content_search(&enzyme, SearchMode::Text, k);
-    for d in &r1 {
-        println!("  {:.3}  {}", d.score, d.label);
+    println!("\nQ1: keyword(\"{enzyme}\", mode: Text)");
+    let r1 = QueryBuilder::keyword(&enzyme)
+        .mode(SearchMode::Text)
+        .top_k(k)
+        .execute(&snapshot)
+        .expect("valid query");
+    for hit in &r1.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
     }
 
     // Q2: find tables related to the first returned document.
     let doc_idx = r1
+        .hits
         .first()
-        .and_then(|r| r.element)
-        .and_then(|id| cmdl.profiled.lake.document_index(id))
+        .and_then(|hit| hit.element)
+        .and_then(|id| snapshot.profiled.lake.document_index(id))
         .unwrap_or(0);
-    println!("\nQ2: crossModal_search(r1[0], top_n: {k})");
-    let r2 = cmdl.cross_modal_search(doc_idx, k).expect("valid document");
-    for t in &r2 {
-        println!("  {:.3}  {}", t.score, t.label);
+    println!("\nQ2: cross_modal_doc({doc_idx}, top_k: {k})");
+    let r2 = QueryBuilder::cross_modal_doc(doc_idx)
+        .top_k(k)
+        .execute(&snapshot)
+        .expect("valid document");
+    for hit in &r2.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
     }
 
     // Q3: find tables related to another returned document.
     let doc_idx_3 = r1
+        .hits
         .get(1)
-        .and_then(|r| r.element)
-        .and_then(|id| cmdl.profiled.lake.document_index(id))
+        .and_then(|hit| hit.element)
+        .and_then(|id| snapshot.profiled.lake.document_index(id))
         .unwrap_or(doc_idx);
-    println!("\nQ3: crossModal_search(r1[1], top_n: {k})");
-    let r3 = cmdl
-        .cross_modal_search(doc_idx_3, k)
+    println!("\nQ3: cross_modal_doc({doc_idx_3}, top_k: {k})");
+    let r3 = QueryBuilder::cross_modal_doc(doc_idx_3)
+        .top_k(k)
+        .execute(&snapshot)
         .expect("valid document");
-    for t in &r3 {
-        println!("  {:.3}  {}", t.score, t.label);
+    for hit in &r3.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
     }
 
     // Q4: find tables joinable with a table discovered in Q3.
     let selected = r3
+        .hits
         .first()
-        .or(r2.first())
-        .and_then(|r| r.table.clone())
+        .or(r2.hits.first())
+        .and_then(|hit| hit.table.clone())
         .unwrap_or_else(|| "Drugs".to_string());
-    println!("\nQ4: pkfk/joinable(\"{selected}\", top_n: {k})");
-    let r4 = cmdl.joinable(&selected, k).expect("table exists");
-    for t in &r4 {
-        println!("  {:.3}  {}", t.score, t.label);
+    println!("\nQ4: joinable(\"{selected}\", top_k: {k})");
+    let r4 = QueryBuilder::joinable(&selected)
+        .top_k(k)
+        .execute(&snapshot)
+        .expect("table exists");
+    for hit in &r4.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
     }
-    println!("  (PK-FK links in the lake: {})", cmdl.pkfk().len());
+    let pkfk = QueryBuilder::pkfk()
+        .top_k(usize::MAX)
+        .execute(&snapshot)
+        .expect("valid query");
+    println!("  (PK-FK links in the lake: {})", pkfk.hits.len());
 
     // Q5: find tables unionable with a table discovered in Q4.
-    let selected_5 = r4.first().and_then(|r| r.table.clone()).unwrap_or(selected);
-    println!("\nQ5: unionable(\"{selected_5}\", top_n: {k})");
-    let r5 = cmdl.unionable(&selected_5, k).expect("table exists");
-    for u in &r5 {
+    let selected_5 = r4
+        .hits
+        .first()
+        .and_then(|hit| hit.table.clone())
+        .unwrap_or(selected);
+    println!("\nQ5: unionable(\"{selected_5}\", top_k: {k})");
+    let r5 = QueryBuilder::unionable(&selected_5)
+        .top_k(k)
+        .execute(&snapshot)
+        .expect("table exists");
+    for hit in &r5.hits {
         println!(
             "  {:.3}  {}  (mapped columns: {})",
-            u.score,
-            u.table,
-            u.mapping.len()
+            hit.score,
+            hit.label,
+            hit.union.as_ref().map(|u| u.mapping.len()).unwrap_or(0)
         );
     }
 }

@@ -1,9 +1,10 @@
 //! Quickstart: build a CMDL system over a synthetic pharmaceutical data lake,
-//! train the joint representation, and run one discovery query of each kind.
+//! train the joint representation, and run one discovery query of each kind
+//! through the unified `DiscoveryQuery` API.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cmdl::core::{Cmdl, CmdlConfig, SearchMode};
+use cmdl::core::{Cmdl, CmdlConfig, QueryBuilder, SearchMode};
 use cmdl::datalake::synth;
 
 fn main() {
@@ -27,31 +28,68 @@ fn main() {
     );
 
     // 3. Keyword search over the documents (Q1 of the paper's example).
-    let docs = cmdl.content_search("thymidylate synthase inhibitor", SearchMode::Text, 3);
-    println!("\nQ1: documents about 'thymidylate synthase':");
-    for d in &docs {
-        println!("  {:.3}  {}", d.score, d.label);
-    }
-
-    // 4. Cross-modal Doc→Table search (Q2).
-    let tables = cmdl.cross_modal_search_text(
-        "Pemetrexed is a novel antifolate that inhibits thymidylate synthase",
-        3,
+    //    Every query kind goes through the same typed builder + envelope.
+    let docs = cmdl
+        .execute(
+            &QueryBuilder::keyword("thymidylate synthase inhibitor")
+                .mode(SearchMode::Text)
+                .top_k(3)
+                .build(),
+        )
+        .expect("valid query");
+    println!(
+        "\nQ1: documents about 'thymidylate synthase' (generation {}, {}us):",
+        docs.generation, docs.elapsed_micros
     );
-    println!("\nQ2: tables related to the highlighted sentence:");
-    for t in &tables {
-        println!("  {:.3}  {}", t.score, t.label);
+    for hit in &docs.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
     }
 
-    // 5. Joinable and unionable tables (Q4/Q5).
-    let joinable = cmdl.joinable("Drugs", 3).expect("Drugs exists");
+    // 4. Cross-modal Doc→Table search (Q2). The score breakdown explains
+    //    which signals produced each hit.
+    let tables = cmdl
+        .execute(
+            &QueryBuilder::cross_modal_text(
+                "Pemetrexed is a novel antifolate that inhibits thymidylate synthase",
+            )
+            .top_k(3)
+            .build(),
+        )
+        .expect("valid query");
+    println!("\nQ2: tables related to the highlighted sentence:");
+    for hit in &tables.hits {
+        let signals: Vec<String> = hit
+            .breakdown
+            .signals
+            .iter()
+            .map(|c| format!("{:?}={:.3}x{:.1}", c.signal, c.value, c.weight))
+            .collect();
+        println!(
+            "  {:.3}  {}  [{}]",
+            hit.score,
+            hit.label,
+            signals.join(", ")
+        );
+    }
+
+    // 5. Joinable and unionable tables (Q4/Q5), batched in one parallel call
+    //    against a single pinned snapshot.
+    let batch = cmdl.execute_many(&[
+        QueryBuilder::joinable("Drugs").top_k(3).build(),
+        QueryBuilder::unionable("Drugs").top_k(3).build(),
+    ]);
+    let joinable = batch[0].as_ref().expect("Drugs exists");
     println!("\nQ4: tables joinable with Drugs:");
-    for j in &joinable {
-        println!("  {:.3}  {}", j.score, j.label);
+    for hit in &joinable.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
     }
-    let unionable = cmdl.unionable("Drugs", 3).expect("Drugs exists");
+    let unionable = batch[1].as_ref().expect("Drugs exists");
     println!("\nQ5: tables unionable with Drugs:");
-    for u in &unionable {
-        println!("  {:.3}  {}", u.score, u.table);
+    for hit in &unionable.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
     }
+
+    // 6. The response envelope is wire-ready: serialize a whole response.
+    let json = serde_json::to_string(&tables).expect("serializable envelope");
+    println!("\nQ2 response envelope: {} bytes of JSON", json.len());
 }

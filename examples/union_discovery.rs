@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example union_discovery`
 
 use cmdl::baselines::{Aurum, D3l};
-use cmdl::core::{Cmdl, CmdlConfig, UnionDiscovery};
+use cmdl::core::{Cmdl, CmdlConfig, QueryBuilder, UnionDiscovery};
 use cmdl::datalake::synth;
 
 fn main() {
@@ -47,9 +47,38 @@ fn main() {
         println!("  {hit} {score:.3}  {table}");
     }
 
-    // Joinability through the shared region_code columns.
+    // Joinability through the shared region_code columns, via the unified
+    // typed-query API (the `UnionDiscovery` calls above use the low-level
+    // engine directly; production queries go through `execute`).
     println!("\nCMDL joinable tables for `regions`:");
-    for j in cmdl.joinable("regions", 5).expect("table exists") {
-        println!("  {:.3}  {}", j.score, j.label);
+    let joinable = cmdl
+        .execute(&QueryBuilder::joinable("regions").top_k(5).build())
+        .expect("table exists");
+    for hit in &joinable.hits {
+        println!("  {:.3}  {}", hit.score, hit.label);
+    }
+
+    // The same query again as unionability, with score provenance: the
+    // breakdown names the ensemble signal that anchored each mapping.
+    println!("\nCMDL unionable tables for `{query_table}` (with provenance):");
+    let unionable = cmdl
+        .execute(&QueryBuilder::unionable(query_table).top_k(3).build())
+        .expect("table exists");
+    for hit in &unionable.hits {
+        let dominant = hit
+            .breakdown
+            .signals
+            .iter()
+            .max_by(|a, b| {
+                (a.value * a.weight)
+                    .partial_cmp(&(b.value * b.weight))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|c| format!("{:?}", c.signal))
+            .unwrap_or_default();
+        println!(
+            "  {:.3}  {}  (dominant signal: {dominant})",
+            hit.score, hit.label
+        );
     }
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --example weak_supervision`
 
-use cmdl::core::{Cmdl, CmdlConfig, TrainingDatasetGenerator};
+use cmdl::core::{Cmdl, CmdlConfig, QueryBuilder, SearchMode, TrainingDatasetGenerator};
 use cmdl::datalake::synth;
 use cmdl::weaklabel::GoldLabel;
 
@@ -58,6 +58,31 @@ fn main() {
             r.accuracy,
             r.evaluated,
             if r.enabled { "kept" } else { "disabled" }
+        );
+    }
+
+    // 3. The indexes that powered the labeling functions serve discovery
+    //    queries too — one typed query over the same system, with the BM25
+    //    signal visible in the score breakdown.
+    let response = cmdl
+        .execute(
+            &QueryBuilder::keyword("inhibitor")
+                .mode(SearchMode::Text)
+                .top_k(3)
+                .build(),
+        )
+        .expect("valid query");
+    println!("\nkeyword(\"inhibitor\") over the same indexes:");
+    for hit in &response.hits {
+        println!(
+            "  {:.3}  {}  (signals: {:?})",
+            hit.score,
+            hit.label,
+            hit.breakdown
+                .signals
+                .iter()
+                .map(|c| c.signal)
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -265,7 +265,7 @@ fn mlopen_lake_end_to_end_smoke() {
     // split tables or the catalog.
     let results = cmdl.cross_modal_search(0, 3).unwrap();
     assert!(!results.is_empty());
-    let links = cmdl.pkfk();
+    let links = cmdl.pkfk().unwrap();
     assert!(
         links
             .iter()

@@ -96,6 +96,7 @@ fn discovery_surface(cmdl: &Cmdl, queries: &[String]) -> Vec<(String, Vec<(Strin
         }
         let results = cmdl
             .cross_modal_search_text(query, 5)
+            .unwrap()
             .into_iter()
             .map(|r| (r.label, r.score))
             .collect();
@@ -129,6 +130,7 @@ fn discovery_surface(cmdl: &Cmdl, queries: &[String]) -> Vec<(String, Vec<(Strin
     }
     let pkfk = cmdl
         .pkfk()
+        .unwrap()
         .into_iter()
         .map(|l| (format!("{}->{}", l.pk_name, l.fk_name), l.score))
         .collect();

@@ -403,11 +403,13 @@ proptest! {
 
             let delta_cm: Vec<(String, f64)> = incremental
                 .cross_modal_search_text(query, 5)
+                .unwrap()
                 .into_iter()
                 .map(|r| (r.label, r.score))
                 .collect();
             let fresh_cm: Vec<(String, f64)> = batch
                 .cross_modal_search_text(query, 5)
+                .unwrap()
                 .into_iter()
                 .map(|r| (r.label, r.score))
                 .collect();
