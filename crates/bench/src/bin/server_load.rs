@@ -1,0 +1,146 @@
+//! Service-layer overhead: a closed-loop load generator driving the
+//! in-process `CmdlService` and comparing it against direct
+//! `snapshot.execute_many` on the same mixed Q1–Q5 workload — so the cost
+//! of the envelope (JSON parse, routing, JSON serialize) is *measured*,
+//! not guessed.
+//!
+//! Three paths over the bench-scale pharma lake:
+//!
+//! 1. **Direct batched** — `snapshot.execute_many(&queries)`, no envelope
+//!    (the in-crate ceiling).
+//! 2. **Service single** — one `{"Query": …}` JSON request per query
+//!    through `handle_json_bytes` (the per-request wire cost).
+//! 3. **Service batched** — one `{"QueryBatch": […]}` JSON request for the
+//!    whole workload (amortizing the envelope like a real serving batch).
+//!
+//! Emits `target/reports/server_load.json`; the CI `server-smoke` job
+//! publishes it as `BENCH_server.json` and enforces the no-regression
+//! floors.
+
+use std::time::Instant;
+
+use cmdl_bench::{build_system, emit, pharma_lake};
+use cmdl_core::{DiscoveryQuery, QueryBuilder, SearchMode};
+use cmdl_eval::{ExperimentReport, MethodResult};
+use cmdl_server::{CmdlService, ServiceRequest};
+
+/// The mixed discovery workload (same shape as the query_api bench).
+fn workload(snapshot: &cmdl_core::CatalogSnapshot) -> Vec<DiscoveryQuery> {
+    let lake = &snapshot.profiled.lake;
+    let mut queries = Vec::new();
+    let keyword_texts: Vec<String> = lake
+        .tables()
+        .iter()
+        .take(10)
+        .flat_map(|t| t.columns.first())
+        .flat_map(|c| c.values.iter().take(12))
+        .map(|v| v.as_text())
+        .collect();
+    for (i, text) in keyword_texts.iter().enumerate() {
+        let mode = match i % 3 {
+            0 => SearchMode::All,
+            1 => SearchMode::Text,
+            _ => SearchMode::Tables,
+        };
+        queries.push(QueryBuilder::keyword(text).mode(mode).top_k(10).build());
+    }
+    for doc in lake.documents().iter().take(25) {
+        queries.push(QueryBuilder::cross_modal_text(&doc.title).top_k(5).build());
+    }
+    let table_names: Vec<String> = lake.tables().iter().map(|t| t.name.clone()).collect();
+    for name in table_names.iter().take(12) {
+        queries.push(QueryBuilder::joinable(name).top_k(5).build());
+    }
+    for name in table_names.iter().take(6) {
+        queries.push(QueryBuilder::unionable(name).top_k(5).build());
+    }
+    queries.push(QueryBuilder::pkfk().top_k(20).build());
+    queries
+}
+
+fn main() {
+    let cmdl = build_system(pharma_lake().lake);
+    let service = CmdlService::new(cmdl);
+    let snapshot = service.snapshot();
+    let queries = workload(&snapshot);
+    let rounds = 5usize;
+
+    // Pre-serialize the wire requests (a closed-loop client would reuse
+    // buffers the same way; we are measuring the service, not the client).
+    let single_requests: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| {
+            serde_json::to_string(&ServiceRequest::Query(q.clone()))
+                .expect("query serializes")
+                .into_bytes()
+        })
+        .collect();
+    let batch_request: Vec<u8> =
+        serde_json::to_string(&ServiceRequest::QueryBatch(queries.clone()))
+            .expect("batch serializes")
+            .into_bytes();
+
+    // Warm every path once.
+    let _ = snapshot.execute_many(&queries);
+    for request in &single_requests {
+        let _ = service.handle_json_bytes(request);
+    }
+    let _ = service.handle_json_bytes(&batch_request);
+
+    let mut direct_secs = f64::MAX;
+    let mut single_secs = f64::MAX;
+    let mut batched_secs = f64::MAX;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let outcomes = snapshot.execute_many(&queries);
+        direct_secs = direct_secs.min(start.elapsed().as_secs_f64());
+        assert!(outcomes.iter().all(|o| o.is_ok()));
+
+        let start = Instant::now();
+        for request in &single_requests {
+            let response = service.handle_json_bytes(request);
+            assert!(!response.is_empty());
+        }
+        single_secs = single_secs.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        let response = service.handle_json_bytes(&batch_request);
+        batched_secs = batched_secs.min(start.elapsed().as_secs_f64());
+        assert!(!response.is_empty());
+    }
+
+    let n = queries.len() as f64;
+    let direct_qps = n / direct_secs;
+    let single_qps = n / single_secs;
+    let batched_qps = n / batched_secs;
+
+    let mut report = ExperimentReport::new(
+        "Server Load",
+        format!(
+            "Closed-loop mixed Q1-Q5 workload of {} queries over the bench-scale pharma \
+             lake: direct snapshot.execute_many vs the in-process CmdlService JSON wire \
+             (per-query envelopes and one QueryBatch envelope). Best of {rounds} rounds; \
+             the gap between Direct and Service is the measured envelope/routing cost.",
+            queries.len(),
+        ),
+    );
+    report.push(
+        MethodResult::new("Direct execute_many")
+            .with("Seconds", direct_secs)
+            .with("Qps", direct_qps),
+    );
+    report.push(
+        MethodResult::new("Service single requests")
+            .with("Seconds", single_secs)
+            .with("Qps", single_qps)
+            .with("Overhead_vs_direct", direct_qps / single_qps),
+    );
+    report.push(
+        MethodResult::new("Service batched request")
+            .with("Seconds", batched_secs)
+            .with("Qps", batched_qps)
+            .with("Overhead_vs_direct", direct_qps / batched_qps)
+            .with("Speedup_vs_single", batched_qps / single_qps),
+    );
+    emit(&report);
+}

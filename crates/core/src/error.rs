@@ -2,6 +2,88 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
+/// Stable machine-readable error codes — the *wire contract* of the service
+/// layer. Every [`CmdlError`] maps to exactly one code via
+/// [`CmdlError::code`]; transports serialize the code (plus the offending
+/// identifier), never the human-readable [`Display`](fmt::Display) string,
+/// so clients can match on codes while the prose stays free to improve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// A referenced table does not exist ([`CmdlError::UnknownTable`]).
+    UnknownTable,
+    /// An ingested table name collides with a live table
+    /// ([`CmdlError::DuplicateTable`]).
+    DuplicateTable,
+    /// A referenced column does not exist ([`CmdlError::UnknownColumn`]).
+    UnknownColumn,
+    /// A referenced document does not exist ([`CmdlError::UnknownDocument`]).
+    UnknownDocument,
+    /// The joint model has not been trained
+    /// ([`CmdlError::JointModelMissing`]).
+    JointModelMissing,
+    /// A discovery query is malformed ([`CmdlError::InvalidQuery`]).
+    InvalidQuery,
+    /// The weak-supervision dataset was empty
+    /// ([`CmdlError::EmptyTrainingData`]).
+    EmptyTrainingData,
+    /// A service request could not be parsed (transport-level; no
+    /// [`CmdlError`] counterpart).
+    MalformedRequest,
+    /// The service shed the request under admission control
+    /// (transport-level 429 equivalent).
+    Overloaded,
+    /// An unclassified internal failure (transport-level).
+    Internal,
+    /// No endpoint matches the requested method + path (transport-level
+    /// 404 equivalent).
+    UnknownRoute,
+}
+
+impl ErrorCode {
+    /// Every code, in a stable order (metrics labels iterate this).
+    pub const ALL: [ErrorCode; 11] = [
+        ErrorCode::UnknownTable,
+        ErrorCode::DuplicateTable,
+        ErrorCode::UnknownColumn,
+        ErrorCode::UnknownDocument,
+        ErrorCode::JointModelMissing,
+        ErrorCode::InvalidQuery,
+        ErrorCode::EmptyTrainingData,
+        ErrorCode::MalformedRequest,
+        ErrorCode::Overloaded,
+        ErrorCode::Internal,
+        ErrorCode::UnknownRoute,
+    ];
+
+    /// The snake_case label of the code (metrics and logs).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::UnknownTable => "unknown_table",
+            ErrorCode::DuplicateTable => "duplicate_table",
+            ErrorCode::UnknownColumn => "unknown_column",
+            ErrorCode::UnknownDocument => "unknown_document",
+            ErrorCode::JointModelMissing => "joint_model_missing",
+            ErrorCode::InvalidQuery => "invalid_query",
+            ErrorCode::EmptyTrainingData => "empty_training_data",
+            ErrorCode::MalformedRequest => "malformed_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Internal => "internal",
+            ErrorCode::UnknownRoute => "unknown_route",
+        }
+    }
+
+    /// The position of the code in [`ALL`](Self::ALL) (metrics counters
+    /// index by this).
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every code is listed in ALL")
+    }
+}
+
 /// Errors produced by CMDL operations.
 #[derive(Debug)]
 pub enum CmdlError {
@@ -25,6 +107,39 @@ pub enum CmdlError {
     InvalidQuery(String),
     /// The training dataset was empty (e.g. sampling produced no pairs).
     EmptyTrainingData(String),
+}
+
+impl CmdlError {
+    /// The stable wire code of this error (see [`ErrorCode`]).
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            CmdlError::UnknownTable(_) => ErrorCode::UnknownTable,
+            CmdlError::DuplicateTable(_) => ErrorCode::DuplicateTable,
+            CmdlError::UnknownColumn { .. } => ErrorCode::UnknownColumn,
+            CmdlError::UnknownDocument(_) => ErrorCode::UnknownDocument,
+            CmdlError::JointModelMissing => ErrorCode::JointModelMissing,
+            CmdlError::InvalidQuery(_) => ErrorCode::InvalidQuery,
+            CmdlError::EmptyTrainingData(_) => ErrorCode::EmptyTrainingData,
+        }
+    }
+
+    /// The offending identifier (table name, qualified column, document
+    /// index), when the error concerns one. This — not the `Display`
+    /// string — is what the service serializes next to the code. For
+    /// `InvalidQuery`/`EmptyTrainingData` the subject is a free-form
+    /// diagnostic detail: only [`code`](Self::code) is stable; clients
+    /// must never match on subject text.
+    pub fn subject(&self) -> Option<String> {
+        match self {
+            CmdlError::UnknownTable(name) | CmdlError::DuplicateTable(name) => Some(name.clone()),
+            CmdlError::UnknownColumn { table, column } => Some(format!("{table}.{column}")),
+            CmdlError::UnknownDocument(index) => Some(index.to_string()),
+            CmdlError::JointModelMissing => None,
+            CmdlError::InvalidQuery(reason) | CmdlError::EmptyTrainingData(reason) => {
+                Some(reason.clone())
+            }
+        }
+    }
 }
 
 impl fmt::Display for CmdlError {
@@ -71,5 +186,69 @@ mod tests {
         assert!(CmdlError::JointModelMissing
             .to_string()
             .contains("train_joint"));
+    }
+
+    #[test]
+    fn every_error_maps_to_a_code_with_subject() {
+        let cases = [
+            (
+                CmdlError::UnknownTable("T".into()),
+                ErrorCode::UnknownTable,
+                Some("T"),
+            ),
+            (
+                CmdlError::DuplicateTable("T".into()),
+                ErrorCode::DuplicateTable,
+                Some("T"),
+            ),
+            (
+                CmdlError::UnknownColumn {
+                    table: "T".into(),
+                    column: "c".into(),
+                },
+                ErrorCode::UnknownColumn,
+                Some("T.c"),
+            ),
+            (
+                CmdlError::UnknownDocument(7),
+                ErrorCode::UnknownDocument,
+                Some("7"),
+            ),
+            (
+                CmdlError::JointModelMissing,
+                ErrorCode::JointModelMissing,
+                None,
+            ),
+            (
+                CmdlError::InvalidQuery("why".into()),
+                ErrorCode::InvalidQuery,
+                Some("why"),
+            ),
+            (
+                CmdlError::EmptyTrainingData("why".into()),
+                ErrorCode::EmptyTrainingData,
+                Some("why"),
+            ),
+        ];
+        for (error, code, subject) in cases {
+            assert_eq!(error.code(), code);
+            assert_eq!(error.subject().as_deref(), subject);
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip_through_serde_and_index_stably() {
+        for (i, code) in ErrorCode::ALL.into_iter().enumerate() {
+            assert_eq!(code.index(), i);
+            let json = serde_json::to_string(&code).unwrap();
+            // Unit variants serialize as bare strings — the stable wire form.
+            assert_eq!(json, format!("\"{code:?}\""));
+            let back: ErrorCode = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, code);
+        }
+        // Labels are unique (metrics rely on this).
+        let labels: std::collections::HashSet<&str> =
+            ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(labels.len(), ErrorCode::ALL.len());
     }
 }

@@ -95,8 +95,9 @@ fn new_joint_ann(config: &CmdlConfig) -> AnnIndex {
 }
 
 /// Delta-state statistics of the catalog (pending inserts + tombstones per
-/// index), used to drive the periodic-compaction policy.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// index), used to drive the periodic-compaction policy and reported by
+/// [`CmdlStats`](crate::stats::CmdlStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct DeltaStats {
     /// Tombstoned entries in the content inverted index.
     pub content_tombstoned: usize,

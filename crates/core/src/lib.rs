@@ -47,13 +47,14 @@ pub mod joint;
 pub mod profile;
 pub mod query;
 pub mod snapshot;
+pub mod stats;
 pub mod training;
 pub mod union;
 
 pub use config::{CmdlConfig, CrossModalStrategy, HardSampling, SketchScheme};
 pub use discovery::{Cmdl, DiscoveryResult, SearchMode};
 pub use ekg::{Ekg, NodeId, RelationType};
-pub use error::CmdlError;
+pub use error::{CmdlError, ErrorCode};
 pub use indexes::{DeltaStats, IndexCatalog};
 pub use join::{JoinDiscovery, PkFkLink};
 pub use joint::{JointModel, JointTrainer, JointTrainingReport};
@@ -63,5 +64,6 @@ pub use query::{
     Signal, SignalContribution, SignalWeights,
 };
 pub use snapshot::CatalogSnapshot;
+pub use stats::{CmdlStats, IndexSizes};
 pub use training::{TrainingDataset, TrainingDatasetGenerator, TrainingPair};
 pub use union::{UnionDiscovery, UnionScore};

@@ -72,7 +72,7 @@ pub enum ColumnType {
 }
 
 /// A column of a table: the basic structured discoverable element.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Column {
     /// Column name (metadata).
     pub name: String,
@@ -192,7 +192,7 @@ fn looks_like_date(s: &str) -> bool {
 }
 
 /// A table: an ordered collection of columns sharing row count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
     /// Table name (metadata).
     pub name: String,
@@ -232,7 +232,7 @@ impl Table {
 
 /// An unstructured text document: the basic unstructured discoverable
 /// element.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Document {
     /// Document title (metadata).
     pub title: String,

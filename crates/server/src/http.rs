@@ -1,0 +1,474 @@
+//! A std-only HTTP/1.1 adapter over [`CmdlService`].
+//!
+//! No async runtime: a [`std::net::TcpListener`] accept loop hands
+//! connections to a fixed pool of worker threads through a *bounded* queue.
+//! When the queue is full the accept thread sheds the connection
+//! immediately with a `429` + `Overloaded` envelope instead of queueing
+//! unboundedly — admission control happens before a worker is ever
+//! occupied. Workers speak a minimal HTTP/1.1 with keep-alive and
+//! `Content-Length` framing (no chunked encoding; every body is JSON).
+//!
+//! Endpoints (all bodies JSON, responses are [`ServiceResponse`]
+//! envelopes):
+//!
+//! | Route                   | Request body        | Envelope built            |
+//! |-------------------------|---------------------|---------------------------|
+//! | `POST /query`           | `DiscoveryQuery`    | `{"Query": …}`            |
+//! | `POST /batch`           | `[DiscoveryQuery]`  | `{"QueryBatch": …}`       |
+//! | `POST /ingest/table`    | `Table`             | `{"IngestTable": …}`      |
+//! | `POST /ingest/document` | `Document`          | `{"IngestDocument": …}`   |
+//! | `POST /remove/table`    | `{"name": …}`       | `{"RemoveTable": …}`      |
+//! | `POST /remove/document` | `{"index": …}`      | `{"RemoveDocument": …}`   |
+//! | `POST /compact`         | (none)              | `"Compact"`               |
+//! | `GET /stats`            | (none)              | `"Stats"`                 |
+//! | `GET /healthz`          | (none)              | `"Health"`                |
+//! | `GET /metrics`          | (none)              | text exposition           |
+//!
+//! The adapter does no interpretation of its own: each route splices the
+//! body into the externally-tagged [`ServiceRequest`] envelope and calls
+//! [`CmdlService::handle_json`] — the same bytes-in/bytes-out path the
+//! in-process tests exercise, so HTTP cannot drift from the service
+//! contract.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cmdl_core::ErrorCode;
+
+use crate::api::{http_status, ServiceError, ServiceResponse};
+use crate::service::{serialize_response, CmdlService};
+
+/// Configuration of the HTTP adapter.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral loopback port).
+    pub addr: String,
+    /// Fixed number of worker threads.
+    pub threads: usize,
+    /// Bounded pending-connection queue; connections beyond this are shed
+    /// with `429`.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout (idle keep-alive connections are
+    /// released back to the pool when it elapses).
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The bounded connection queue the accept loop feeds and workers drain.
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+impl ConnQueue {
+    /// Push a connection; a full queue hands the stream back so the caller
+    /// can shed it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        if pending.len() >= self.capacity {
+            return Err(stream);
+        }
+        pending.push_back(stream);
+        drop(pending);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop a connection, blocking until one arrives or shutdown.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(stream) = pending.pop_front() {
+                return Some(stream);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            pending = self
+                .ready
+                .wait_timeout(pending, Duration::from_millis(100))
+                .unwrap_or_else(|p| p.into_inner())
+                .0;
+        }
+    }
+}
+
+/// A running HTTP adapter. Dropping the handle without calling
+/// [`shutdown`](HttpHandle::shutdown) leaves the threads running for the
+/// process lifetime.
+pub struct HttpHandle {
+    addr: SocketAddr,
+    queue: Arc<ConnQueue>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the workers, and join all threads.
+    pub fn shutdown(mut self) {
+        self.queue.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.queue.ready.notify_all();
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Bind and serve a [`CmdlService`] over HTTP/1.1.
+pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<HttpHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let queue = Arc::new(ConnQueue {
+        pending: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        capacity: config.queue_capacity.max(1),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let mut workers = Vec::with_capacity(config.threads.max(1));
+    for _ in 0..config.threads.max(1) {
+        let queue = Arc::clone(&queue);
+        let service = Arc::clone(&service);
+        let read_timeout = config.read_timeout;
+        workers.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop() {
+                let _ = stream.set_read_timeout(Some(read_timeout));
+                // Writes are bounded too: a client that sends requests but
+                // never drains responses must not pin a pool worker in
+                // write_all forever.
+                let _ = stream.set_write_timeout(Some(read_timeout));
+                let _ = stream.set_nodelay(true);
+                // Panic isolation: a panicking request must cost one
+                // connection, not permanently shrink the fixed pool (the
+                // service's own locks already recover from poisoning).
+                let service = Arc::clone(&service);
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    serve_connection(stream, &service);
+                }));
+            }
+        }));
+    }
+
+    let accept_queue = Arc::clone(&queue);
+    let accept_service = Arc::clone(&service);
+    let accept_thread = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_queue.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if let Err(rejected) = accept_queue.push(stream) {
+                // Admission control: answer 429 from the accept thread and
+                // close, instead of queueing unboundedly.
+                accept_service
+                    .metrics()
+                    .record_transport("shed", Some(ErrorCode::Overloaded));
+                shed_connection(rejected);
+            }
+        }
+    });
+
+    Ok(HttpHandle {
+        addr,
+        queue,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// Serve one connection: HTTP/1.1 requests with keep-alive until the peer
+/// closes, asks to close, times out, or sends something unframeable.
+fn serve_connection(stream: TcpStream, service: &CmdlService) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader, &mut writer) {
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive;
+                let (status, content_type, body) = route(service, &request);
+                if write_response(&mut writer, status, content_type, &body, keep_alive).is_err()
+                    || !keep_alive
+                {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF between requests
+            Err(_) => return,   // timeout or malformed framing
+        }
+    }
+}
+
+/// One parsed HTTP request.
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+    /// The request declared `Transfer-Encoding` (chunked bodies are not
+    /// framed by this adapter): answer 400 and close instead of letting
+    /// the unread payload desync the keep-alive stream.
+    unsupported_encoding: bool,
+}
+
+/// The largest accepted start line / header line. Framing reads are
+/// bounded so a peer streaming bytes without newlines cannot grow memory
+/// past this (the body has its own cap, enforced against
+/// `Content-Length`).
+const MAX_LINE_BYTES: u64 = 8 * 1024;
+
+/// Maximum headers per request.
+const MAX_HEADERS: usize = 100;
+
+/// `read_line` bounded to [`MAX_LINE_BYTES`]: a line that hits the cap
+/// without a newline is an error, not an ever-growing buffer.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<usize> {
+    let read = reader.take(MAX_LINE_BYTES).read_line(line)?;
+    if read as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "line too long",
+        ));
+    }
+    Ok(read)
+}
+
+/// Read one request (start line, headers, `Content-Length` body). `Ok(None)`
+/// is a clean EOF before a start line. `writer` is needed for the
+/// `Expect: 100-continue` handshake (curl sends it for bodies over ~1 KiB
+/// and stalls ~1 s if nobody answers).
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+) -> std::io::Result<Option<HttpRequest>> {
+    let mut line = String::new();
+    if read_line_bounded(reader, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed start line",
+        ));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut expect_continue = false;
+    let mut unsupported_encoding = false;
+    for header_count in 0.. {
+        if header_count > MAX_HEADERS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        let mut header = String::new();
+        if read_line_bounded(reader, &mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "EOF inside headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("expect") {
+                expect_continue = value.eq_ignore_ascii_case("100-continue");
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                unsupported_encoding = true;
+            }
+        }
+    }
+    if unsupported_encoding {
+        // Do not attempt to read the chunked payload; the caller answers
+        // 400 and closes before the unread bytes can be misparsed as the
+        // next request.
+        return Ok(Some(HttpRequest {
+            method,
+            path,
+            body: Vec::new(),
+            keep_alive: false,
+            unsupported_encoding: true,
+        }));
+    }
+
+    // Cap bodies at 64 MiB — far beyond any legitimate ingest payload.
+    if content_length > 64 * 1024 * 1024 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "body too large",
+        ));
+    }
+    if expect_continue && content_length > 0 {
+        writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        writer.flush()?;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+        unsupported_encoding: false,
+    }))
+}
+
+/// The externally-tagged [`ServiceRequest`](crate::api::ServiceRequest)
+/// envelope a route splices its body into, or `None` when no endpoint
+/// matches the method + path. Public so alternate transports — and the
+/// smoke test's in-process fallback — reuse the exact same table instead
+/// of copying it (copies could drift from the adapter).
+pub fn route_envelope(method: &str, path: &str, body: &str) -> Option<String> {
+    Some(match (method, path) {
+        ("POST", "/query") => format!("{{\"Query\":{body}}}"),
+        ("POST", "/batch") => format!("{{\"QueryBatch\":{body}}}"),
+        ("POST", "/ingest/table") => format!("{{\"IngestTable\":{body}}}"),
+        ("POST", "/ingest/document") => format!("{{\"IngestDocument\":{body}}}"),
+        ("POST", "/remove/table") => format!("{{\"RemoveTable\":{body}}}"),
+        ("POST", "/remove/document") => format!("{{\"RemoveDocument\":{body}}}"),
+        ("POST", "/compact") => "\"Compact\"".to_string(),
+        ("GET", "/stats") => "\"Stats\"".to_string(),
+        ("GET", "/healthz") => "\"Health\"".to_string(),
+        _ => return None,
+    })
+}
+
+/// Route a request: splice the body into the envelope and run it through
+/// the service's JSON path. Returns (status, content-type, body). Every
+/// outcome — including the transport-level ones that never reach a
+/// handler — is recorded in the service metrics, so the labeled request
+/// counters always sum to the total.
+fn route(service: &CmdlService, request: &HttpRequest) -> (u16, &'static str, Vec<u8>) {
+    if request.unsupported_encoding {
+        let response = ServiceResponse::failure(ServiceError::with_subject(
+            ErrorCode::MalformedRequest,
+            "transfer-encoding is not supported; frame bodies with content-length",
+        ));
+        service
+            .metrics()
+            .record_transport("malformed", Some(ErrorCode::MalformedRequest));
+        return (400, "application/json", serialize_response(&response));
+    }
+    if (request.method.as_str(), request.path.as_str()) == ("GET", "/metrics") {
+        let text = service.render_metrics();
+        service.metrics().record_transport("metrics", None);
+        return (200, "text/plain; version=0.0.4", text.into_bytes());
+    }
+    let body = String::from_utf8_lossy(&request.body);
+    let Some(envelope) = route_envelope(&request.method, &request.path, &body) else {
+        let response = ServiceResponse::failure(ServiceError::with_subject(
+            ErrorCode::UnknownRoute,
+            format!("{} {}", request.method, request.path),
+        ));
+        service
+            .metrics()
+            .record_transport("unknown_route", Some(ErrorCode::UnknownRoute));
+        let status = http_status(ErrorCode::UnknownRoute);
+        return (status, "application/json", serialize_response(&response));
+    };
+    let response = service.handle_json(envelope.as_bytes());
+    let status = response.error_code().map(http_status).unwrap_or(200);
+    (status, "application/json", serialize_response(&response))
+}
+
+/// Write one framed response.
+fn write_response(
+    writer: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// The response written to a shed connection (admission control).
+fn shed_connection(mut stream: TcpStream) {
+    let response = ServiceResponse::failure(ServiceError::with_subject(
+        ErrorCode::Overloaded,
+        "request queue full",
+    ));
+    let body = serialize_response(&response);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(50)));
+    if write_response(&mut stream, 429, "application/json", &body, false).is_ok() {
+        // Half-close and drain the in-flight request bytes: closing with
+        // unread data in the receive buffer would turn into a TCP RST
+        // that can destroy the 429 before the client reads it. This runs
+        // on the accept thread, so the drain is strictly bounded (≤ 4
+        // reads × 50 ms); an honest client's request is already buffered
+        // and drains in one immediate read.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = [0u8; 4096];
+        for _ in 0..4 {
+            match stream.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    }
+}

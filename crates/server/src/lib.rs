@@ -1,0 +1,49 @@
+//! # cmdl-server
+//!
+//! The CMDL service layer: the public surface redesigned from "library of
+//! methods" to "service of requests".
+//!
+//! * [`api`] — the wire contract: a typed [`ServiceRequest`] enum (query +
+//!   ingest + admin) answered by one [`ServiceResponse`] envelope carrying
+//!   either a payload or a stable machine-readable
+//!   [`ErrorCode`](cmdl_core::ErrorCode).
+//! * [`service`] — [`CmdlService`]: reads pin published snapshots and never
+//!   block behind writers; mutations serialize through a flat-combining
+//!   queue behind a single writer gate, with `delta_pressure`-triggered
+//!   compaction inside the gate.
+//! * [`metrics`] — lock-free counters and latency quantiles with a text
+//!   exposition.
+//! * [`http`] — a std-only HTTP/1.1 adapter (no tokio): a
+//!   `TcpListener` accept loop, a fixed worker-thread pool, and a bounded
+//!   admission queue that sheds load with `429` instead of queueing
+//!   unboundedly.
+//!
+//! In-process use needs no sockets at all:
+//!
+//! ```no_run
+//! use cmdl_core::{Cmdl, CmdlConfig};
+//! use cmdl_datalake::synth;
+//! use cmdl_server::CmdlService;
+//!
+//! let service = CmdlService::new(Cmdl::build(synth::pharma().lake, CmdlConfig::fast()));
+//! let response = service.handle_json_bytes(
+//!     br#"{"Query": {"Keyword": {"text": "pemetrexed", "mode": "All",
+//!          "options": {"top_k": 5, "offset": 0, "min_score": 0.0,
+//!                      "weights": {"embedding": null, "containment": null,
+//!                                  "name": null, "uniqueness": null}}}}}"#,
+//! );
+//! println!("{}", String::from_utf8_lossy(&response));
+//! ```
+
+pub mod api;
+pub mod http;
+pub mod metrics;
+pub mod service;
+
+pub use api::{
+    http_status, BatchOutcome, HealthReport, ResponsePayload, ServiceError, ServiceRequest,
+    ServiceResponse,
+};
+pub use http::{route_envelope, serve, HttpConfig, HttpHandle};
+pub use metrics::ServiceMetrics;
+pub use service::CmdlService;

@@ -1,0 +1,231 @@
+//! Service counters and latency tracking, rendered in a Prometheus-style
+//! text format by [`ServiceMetrics::render`].
+//!
+//! Everything is lock-free (`AtomicU64`): requests and errors are counted
+//! per kind/code, and request latencies land in a fixed log₂-bucketed
+//! histogram from which p50/p99 are estimated at scrape time. The snapshot
+//! generation and delta pressure are *not* stored here — they are read from
+//! the published snapshot at render time so `/metrics` is always current.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cmdl_core::ErrorCode;
+
+/// Number of log₂ latency buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` microseconds, with the last bucket open-ended
+/// (≥ ~34 seconds — effectively "timeout").
+const LATENCY_BUCKETS: usize = 36;
+
+/// Request kinds tracked per-counter: the `ServiceRequest::kind` values
+/// plus the transport-level pseudo-kinds — `malformed` (unparseable or
+/// unframeable request), `shed` (admission control), `unknown_route`, and
+/// `metrics` scrapes — so the labeled counters always sum to
+/// `cmdl_requests_total`.
+const KINDS: [&str; 13] = [
+    "query",
+    "query_batch",
+    "ingest_table",
+    "ingest_document",
+    "remove_table",
+    "remove_document",
+    "compact",
+    "stats",
+    "health",
+    "malformed",
+    "shed",
+    "unknown_route",
+    "metrics",
+];
+
+/// Lock-free service counters.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    requests_total: AtomicU64,
+    requests_by_kind: [AtomicU64; KINDS.len()],
+    errors_total: AtomicU64,
+    errors_by_code: [AtomicU64; ErrorCode::ALL.len()],
+    shed_total: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self {
+            requests_total: AtomicU64::new(0),
+            requests_by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors_total: AtomicU64::new(0),
+            errors_by_code: std::array::from_fn(|_| AtomicU64::new(0)),
+            shed_total: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServiceMetrics {
+    /// Record one handled request: its kind, latency, and error code (if it
+    /// failed).
+    pub fn record(&self, kind: &str, elapsed_micros: u64, error: Option<ErrorCode>) {
+        self.count(kind, error);
+        let bucket =
+            (64 - elapsed_micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a transport-level pseudo-request (metrics scrape, shed
+    /// connection, unroutable or unframeable request). Counted, but kept
+    /// *out* of the latency histogram — near-zero transport samples would
+    /// otherwise drag the exported p50/p99 down to nothing on a
+    /// low-traffic service.
+    pub fn record_transport(&self, kind: &str, error: Option<ErrorCode>) {
+        self.count(kind, error);
+    }
+
+    fn count(&self, kind: &str, error: Option<ErrorCode>) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        if let Some(i) = KINDS.iter().position(|k| *k == kind) {
+            self.requests_by_kind[i].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(code) = error {
+            self.errors_total.fetch_add(1, Ordering::Relaxed);
+            self.errors_by_code[code.index()].fetch_add(1, Ordering::Relaxed);
+            if code == ErrorCode::Overloaded {
+                self.shed_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total requests handled.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Total failed requests.
+    pub fn errors_total(&self) -> u64 {
+        self.errors_total.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed under admission control.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// Estimate a latency quantile (0.0..=1.0) from the histogram, in
+    /// microseconds. Returns the *upper edge* of the bucket the quantile
+    /// falls in (a conservative estimate); 0 when nothing was recorded.
+    pub fn latency_quantile_micros(&self, quantile: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .latency
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * quantile.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Render the text exposition: counters, per-code errors, latency
+    /// quantiles, plus the caller-supplied snapshot gauges.
+    ///
+    /// The request and error counters are emitted *only* in labeled form —
+    /// the per-kind/per-code series sum exactly to the totals, and mixing
+    /// a bare series under the same name would double-count in any
+    /// label-aggregating query.
+    pub fn render(&self, generation: u64, delta_pressure: f64) -> String {
+        let mut out = String::with_capacity(1024);
+        for (i, kind) in KINDS.iter().enumerate() {
+            out.push_str(&format!(
+                "cmdl_requests_total{{kind=\"{kind}\"}} {}\n",
+                self.requests_by_kind[i].load(Ordering::Relaxed)
+            ));
+        }
+        for code in ErrorCode::ALL {
+            out.push_str(&format!(
+                "cmdl_errors_total{{code=\"{}\"}} {}\n",
+                code.as_str(),
+                self.errors_by_code[code.index()].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!("cmdl_shed_total {}\n", self.shed_total()));
+        out.push_str(&format!(
+            "cmdl_latency_p50_micros {}\n",
+            self.latency_quantile_micros(0.50)
+        ));
+        out.push_str(&format!(
+            "cmdl_latency_p99_micros {}\n",
+            self.latency_quantile_micros(0.99)
+        ));
+        out.push_str(&format!("cmdl_snapshot_generation {generation}\n"));
+        out.push_str(&format!("cmdl_delta_pressure {delta_pressure}\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_renders_counters() {
+        let metrics = ServiceMetrics::default();
+        metrics.record("query", 100, None);
+        metrics.record("query", 200, None);
+        metrics.record("remove_table", 50, Some(ErrorCode::UnknownTable));
+        metrics.record("query", 10, Some(ErrorCode::Overloaded));
+        metrics.record_transport("malformed", Some(ErrorCode::MalformedRequest));
+        metrics.record_transport("shed", Some(ErrorCode::Overloaded));
+        assert_eq!(metrics.requests_total(), 6);
+        assert_eq!(metrics.errors_total(), 4);
+        assert_eq!(metrics.shed_total(), 2);
+        // Every recorded kind has a label, so the labeled counters sum to
+        // the total.
+        let by_kind: u64 = metrics
+            .requests_by_kind
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(by_kind, metrics.requests_total());
+        let text = metrics.render(7, 0.125);
+        // Only labeled request/error series are exposed (a bare series
+        // under the same name would double-count in label aggregations).
+        for line in text.lines() {
+            for name in ["cmdl_requests_total", "cmdl_errors_total"] {
+                if let Some(rest) = line.strip_prefix(name) {
+                    assert!(rest.starts_with('{'), "bare series leaked: {line}");
+                }
+            }
+        }
+        assert!(text.contains("cmdl_requests_total{kind=\"query\"} 3"));
+        assert!(text.contains("cmdl_requests_total{kind=\"malformed\"} 1"));
+        assert!(text.contains("cmdl_requests_total{kind=\"shed\"} 1"));
+        assert!(text.contains("cmdl_errors_total{code=\"unknown_table\"} 1"));
+        assert!(text.contains("cmdl_errors_total{code=\"overloaded\"} 2"));
+        assert!(text.contains("cmdl_snapshot_generation 7"));
+        assert!(text.contains("cmdl_delta_pressure 0.125"));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bucketed() {
+        let metrics = ServiceMetrics::default();
+        assert_eq!(metrics.latency_quantile_micros(0.5), 0);
+        for _ in 0..99 {
+            metrics.record("query", 100, None); // bucket [64, 128)
+        }
+        metrics.record("query", 1_000_000, None); // ~1s outlier
+        let p50 = metrics.latency_quantile_micros(0.50);
+        let p99 = metrics.latency_quantile_micros(0.99);
+        let p100 = metrics.latency_quantile_micros(1.0);
+        assert_eq!(p50, 128, "p50 reports the [64,128) bucket's upper edge");
+        assert!(p50 <= p99 && p99 <= p100);
+        assert!(p100 >= 1_048_576, "the outlier lands in a >=2^20 bucket");
+    }
+}

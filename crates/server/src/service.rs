@@ -1,0 +1,390 @@
+//! The transport-agnostic CMDL service.
+//!
+//! [`CmdlService`] owns a [`Cmdl`] behind a writer gate and routes every
+//! [`ServiceRequest`] to a [`ServiceResponse`]:
+//!
+//! * **Reads never block behind writers.** The service keeps a *published*
+//!   [`CatalogSnapshot`] under a lock that is only ever held for a handful
+//!   of `Arc` clones. Query execution happens entirely outside any lock,
+//!   against the pinned generation — a reader mid-query is unaffected by
+//!   however many ingestion batches land after its snapshot was taken.
+//! * **Writes are serialized through a single mutation queue.** Mutations
+//!   enqueue and then compete for the writer gate; whichever thread wins
+//!   drains the *whole* queue (its own mutation plus everything that piled
+//!   up behind it — flat combining), applies the deltas in arrival order,
+//!   and publishes one fresh snapshot per drained batch. [`Cmdl`]'s own
+//!   `delta_pressure` policy triggers `compact()` inside the gate, so
+//!   compaction is likewise serialized and invisible to readers.
+//!
+//! The wire contract is bytes-in/bytes-out JSON
+//! ([`handle_json_bytes`](CmdlService::handle_json_bytes)), so every
+//! handler is testable in-process without sockets and the HTTP adapter in
+//! [`crate::http`] is nothing but framing.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use cmdl_core::{CatalogSnapshot, Cmdl, ErrorCode};
+use cmdl_datalake::{Document, Table};
+
+use crate::api::{
+    BatchOutcome, HealthReport, ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
+};
+use crate::metrics::ServiceMetrics;
+
+/// One queued mutation, paired with the slot its result lands in.
+struct PendingMutation {
+    request: ServiceRequest,
+    result: Arc<Mutex<Option<ServiceResponse>>>,
+}
+
+/// The transport-agnostic service façade over one [`Cmdl`] catalog.
+pub struct CmdlService {
+    /// The writer gate: the catalog is only ever mutated while this lock is
+    /// held, so mutations (and the compactions they trigger) are serialized.
+    writer: Mutex<Cmdl>,
+    /// The published snapshot readers pin. Held only for `Arc` clones —
+    /// never across query execution — so readers do not block behind
+    /// writers applying a batch.
+    published: RwLock<CatalogSnapshot>,
+    /// The mutation queue drained (flat-combining) by whichever writer
+    /// holds the gate.
+    queue: Mutex<VecDeque<PendingMutation>>,
+    metrics: Arc<ServiceMetrics>,
+}
+
+impl CmdlService {
+    /// Wrap a built catalog as a service.
+    pub fn new(cmdl: Cmdl) -> Self {
+        let published = RwLock::new(cmdl.snapshot());
+        Self {
+            writer: Mutex::new(cmdl),
+            published,
+            queue: Mutex::new(VecDeque::new()),
+            metrics: Arc::new(ServiceMetrics::default()),
+        }
+    }
+
+    /// Pin the currently published generation (cheap: a few `Arc` clones).
+    pub fn snapshot(&self) -> CatalogSnapshot {
+        self.published
+            .read()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .clone()
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Render the metrics text exposition (counters plus the published
+    /// snapshot's generation and delta pressure).
+    pub fn render_metrics(&self) -> String {
+        let snapshot = self.snapshot();
+        self.metrics
+            .render(snapshot.generation, snapshot.indexes.delta_pressure())
+    }
+
+    /// Route one typed request. Reads execute against a pinned snapshot;
+    /// mutations go through the writer gate.
+    pub fn handle(&self, request: ServiceRequest) -> ServiceResponse {
+        let started = Instant::now();
+        let kind = request.kind();
+        let response = if request.is_mutation() {
+            self.submit_mutation(request)
+        } else {
+            self.handle_read(request)
+        };
+        self.metrics.record(
+            kind,
+            started.elapsed().as_micros() as u64,
+            response.error_code(),
+        );
+        response
+    }
+
+    /// Parse a [`ServiceRequest`] from JSON bytes and route it.
+    /// Unparseable input yields a `MalformedRequest` envelope (also counted
+    /// in the metrics).
+    pub fn handle_json(&self, request: &[u8]) -> ServiceResponse {
+        match std::str::from_utf8(request)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<ServiceRequest>(text).map_err(|e| e.to_string())
+            }) {
+            Ok(request) => self.handle(request),
+            Err(detail) => {
+                let response = ServiceResponse::failure(ServiceError::with_subject(
+                    ErrorCode::MalformedRequest,
+                    detail,
+                ));
+                self.metrics
+                    .record_transport("malformed", response.error_code());
+                response
+            }
+        }
+    }
+
+    /// The bytes-in/bytes-out wire contract:
+    /// [`handle_json`](Self::handle_json) with the envelope serialized back
+    /// to JSON bytes.
+    pub fn handle_json_bytes(&self, request: &[u8]) -> Vec<u8> {
+        serialize_response(&self.handle_json(request))
+    }
+
+    fn handle_read(&self, request: ServiceRequest) -> ServiceResponse {
+        let snapshot = self.snapshot();
+        match request {
+            ServiceRequest::Query(query) => match snapshot.execute(&query) {
+                Ok(response) => ServiceResponse::success(ResponsePayload::Query(response)),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
+            ServiceRequest::QueryBatch(queries) => {
+                let outcomes = snapshot
+                    .execute_many(&queries)
+                    .into_iter()
+                    .map(|outcome| match outcome {
+                        Ok(response) => BatchOutcome {
+                            response: Some(response),
+                            error: None,
+                        },
+                        Err(error) => BatchOutcome {
+                            response: None,
+                            error: Some(error.into()),
+                        },
+                    })
+                    .collect();
+                ServiceResponse::success(ResponsePayload::QueryBatch(outcomes))
+            }
+            ServiceRequest::Stats => {
+                ServiceResponse::success(ResponsePayload::Stats(snapshot.stats()))
+            }
+            ServiceRequest::Health => {
+                ServiceResponse::success(ResponsePayload::Health(HealthReport {
+                    status: "ok".to_string(),
+                    generation: snapshot.generation,
+                }))
+            }
+            mutation => {
+                // Unreachable through `handle` (routed by `is_mutation`);
+                // keep a defensive envelope rather than a panic.
+                debug_assert!(false, "mutation {} routed to read path", mutation.kind());
+                ServiceResponse::failure(ServiceError::new(ErrorCode::Internal))
+            }
+        }
+    }
+
+    /// Enqueue a mutation, then compete for the writer gate. The winner
+    /// drains the whole queue (flat combining) and publishes one snapshot
+    /// for the batch; losers find their result already filled in.
+    fn submit_mutation(&self, request: ServiceRequest) -> ServiceResponse {
+        let slot = Arc::new(Mutex::new(None));
+        self.queue
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .push_back(PendingMutation {
+                request,
+                result: Arc::clone(&slot),
+            });
+
+        {
+            let mut cmdl = self
+                .writer
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            // A previous gate holder may have drained our mutation already.
+            let already_done = slot
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .is_some();
+            if !already_done {
+                self.drain_queue(&mut cmdl);
+                let snapshot = cmdl.snapshot();
+                *self
+                    .published
+                    .write()
+                    .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
+            }
+        }
+
+        let response = slot
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .take();
+        response.unwrap_or_else(|| ServiceResponse::failure(ServiceError::new(ErrorCode::Internal)))
+    }
+
+    /// Apply every queued mutation in arrival order (including mutations
+    /// that enqueue *while* we drain — they join this batch instead of
+    /// waiting a full gate cycle).
+    fn drain_queue(&self, cmdl: &mut Cmdl) {
+        loop {
+            let Some(pending) = self
+                .queue
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .pop_front()
+            else {
+                return;
+            };
+            let response = Self::apply_mutation(cmdl, pending.request);
+            *pending
+                .result
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner()) = Some(response);
+        }
+    }
+
+    fn apply_mutation(cmdl: &mut Cmdl, request: ServiceRequest) -> ServiceResponse {
+        match request {
+            ServiceRequest::IngestTable(table) => Self::apply_ingest_table(cmdl, table),
+            ServiceRequest::IngestDocument(document) => {
+                let document = cmdl.ingest_document(document);
+                ServiceResponse::success(ResponsePayload::IngestedDocument {
+                    document,
+                    generation: cmdl.generation(),
+                })
+            }
+            ServiceRequest::RemoveTable { name } => match cmdl.remove_table(&name) {
+                Ok(elements) => ServiceResponse::success(ResponsePayload::RemovedTable {
+                    elements,
+                    generation: cmdl.generation(),
+                }),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
+            ServiceRequest::RemoveDocument { index } => match cmdl.remove_document(index) {
+                Ok(()) => ServiceResponse::success(ResponsePayload::RemovedDocument {
+                    generation: cmdl.generation(),
+                }),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
+            ServiceRequest::Compact => {
+                cmdl.compact();
+                ServiceResponse::success(ResponsePayload::Compacted {
+                    generation: cmdl.generation(),
+                })
+            }
+            other => {
+                debug_assert!(false, "read {} routed to writer gate", other.kind());
+                ServiceResponse::failure(ServiceError::new(ErrorCode::Internal))
+            }
+        }
+    }
+
+    fn apply_ingest_table(cmdl: &mut Cmdl, table: Table) -> ServiceResponse {
+        match cmdl.ingest_table(table) {
+            Ok(table) => ServiceResponse::success(ResponsePayload::IngestedTable {
+                table,
+                generation: cmdl.generation(),
+            }),
+            Err(error) => ServiceResponse::failure(error.into()),
+        }
+    }
+
+    /// Convenience: ingest a document without building an envelope (used by
+    /// tests and benches; routes through the same writer gate).
+    pub fn ingest_document(&self, document: Document) -> ServiceResponse {
+        self.handle(ServiceRequest::IngestDocument(document))
+    }
+
+    /// Convenience: ingest a table through the service envelope.
+    pub fn ingest_table(&self, table: Table) -> ServiceResponse {
+        self.handle(ServiceRequest::IngestTable(table))
+    }
+}
+
+/// Serialize an envelope, falling back to a hand-rolled `Internal` envelope
+/// if serialization itself fails (it cannot for these types, but the wire
+/// must never be left empty).
+pub(crate) fn serialize_response(response: &ServiceResponse) -> Vec<u8> {
+    serde_json::to_string(response)
+        .map(String::into_bytes)
+        .unwrap_or_else(|_| {
+            br#"{"ok":false,"payload":null,"error":{"code":"Internal","subject":null}}"#.to_vec()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmdl_core::{CmdlConfig, QueryBuilder};
+    use cmdl_datalake::{synth, Column};
+
+    fn service() -> CmdlService {
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        CmdlService::new(Cmdl::build(lake, CmdlConfig::fast()))
+    }
+
+    #[test]
+    fn reads_pin_published_snapshot() {
+        let service = service();
+        let snap = service.snapshot();
+        service.ingest_document(Document::new("n", "s", "a note about pharmacology"));
+        assert!(service.snapshot().generation > snap.generation);
+        // The earlier pin is untouched.
+        assert_eq!(snap.generation, 0);
+    }
+
+    #[test]
+    fn query_routes_to_envelope() {
+        let service = service();
+        let response = service.handle(ServiceRequest::Query(QueryBuilder::keyword("drug").build()));
+        assert!(response.ok);
+        match response.payload {
+            Some(ResponsePayload::Query(inner)) => assert!(!inner.hits.is_empty()),
+            other => panic!("wrong payload: {other:?}"),
+        }
+        assert_eq!(service.metrics().requests_total(), 1);
+    }
+
+    #[test]
+    fn mutations_publish_new_generations_in_order() {
+        let service = service();
+        let r1 = service.ingest_table(Table::new(
+            "Gate_A",
+            vec![Column::from_texts("v", ["x", "y"])],
+        ));
+        let r2 = service.ingest_table(Table::new(
+            "Gate_B",
+            vec![Column::from_texts("v", ["p", "q"])],
+        ));
+        let (g1, g2) = match (r1.payload, r2.payload) {
+            (
+                Some(ResponsePayload::IngestedTable { generation: g1, .. }),
+                Some(ResponsePayload::IngestedTable { generation: g2, .. }),
+            ) => (g1, g2),
+            other => panic!("wrong payloads: {other:?}"),
+        };
+        assert!(g2 > g1);
+        assert_eq!(service.snapshot().generation, g2);
+        let stats = service.snapshot().stats();
+        assert!(stats.tables >= 2);
+    }
+
+    #[test]
+    fn duplicate_table_surfaces_stable_code() {
+        let service = service();
+        let table = Table::new("Dup", vec![Column::from_texts("v", ["x"])]);
+        assert!(service.ingest_table(table.clone()).ok);
+        let response = service.ingest_table(table);
+        assert!(!response.ok);
+        assert_eq!(response.error_code(), Some(ErrorCode::DuplicateTable));
+        assert_eq!(
+            response.error.unwrap().subject.as_deref(),
+            Some("Dup"),
+            "subject carries the identifier, not prose"
+        );
+    }
+
+    #[test]
+    fn malformed_bytes_yield_malformed_request() {
+        let service = service();
+        let out = service.handle_json_bytes(b"{not json");
+        let response: ServiceResponse =
+            serde_json::from_str(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(response.error_code(), Some(ErrorCode::MalformedRequest));
+        assert!(service.metrics().errors_total() >= 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Stress test: N reader threads issue `QueryBatch` requests against
+//! pinned snapshots while writer threads ingest and remove tables and
+//! documents through the mutation queue. Asserts:
+//!
+//! * no reader ever observes a *torn* generation — every response in one
+//!   batch carries the same generation (the whole batch ran against one
+//!   pinned snapshot);
+//! * generations are immutable — two observations of the same generation
+//!   (across readers and time) always return identical hits;
+//! * each reader observes generations monotonically (published order);
+//! * after the writers quiesce, the last observed generation's results
+//!   match a sequential replay against the final snapshot.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cmdl_core::{Cmdl, CmdlConfig, DiscoveryQuery, Hit, QueryBuilder, SearchMode};
+use cmdl_datalake::{synth, Column, Document, Table};
+use cmdl_server::{CmdlService, ResponsePayload, ServiceRequest};
+
+/// The fixed reader workload. `Drugs` stays live throughout; the writers
+/// only churn their own `Stress_*` tables, so every query here is valid at
+/// every generation.
+fn reader_queries() -> Vec<DiscoveryQuery> {
+    vec![
+        QueryBuilder::keyword("drug")
+            .mode(SearchMode::Tables)
+            .top_k(8)
+            .build(),
+        QueryBuilder::keyword("stress probe value")
+            .mode(SearchMode::All)
+            .top_k(8)
+            .build(),
+        QueryBuilder::joinable("Drugs").top_k(5).build(),
+        QueryBuilder::unionable("Drugs").top_k(5).build(),
+        QueryBuilder::pkfk().top_k(5).build(),
+    ]
+}
+
+/// The observable result of one batch: per-query ranked hits.
+type BatchHits = Vec<Option<Vec<Hit>>>;
+
+fn run_batch(service: &CmdlService) -> (u64, BatchHits) {
+    let response = service.handle(ServiceRequest::QueryBatch(reader_queries()));
+    let outcomes = match response.payload {
+        Some(ResponsePayload::QueryBatch(outcomes)) => outcomes,
+        other => panic!("wrong payload: {other:?}"),
+    };
+    let generations: Vec<u64> = outcomes
+        .iter()
+        .filter_map(|o| o.response.as_ref())
+        .map(|r| r.generation)
+        .collect();
+    assert!(
+        !generations.is_empty(),
+        "the fixed workload always has successful queries"
+    );
+    // Torn-generation check: one pinned snapshot for the whole batch.
+    assert!(
+        generations.windows(2).all(|w| w[0] == w[1]),
+        "torn batch: generations {generations:?}"
+    );
+    let hits = outcomes
+        .into_iter()
+        .map(|o| o.response.map(|r| r.hits))
+        .collect();
+    (generations[0], hits)
+}
+
+#[test]
+fn readers_never_observe_torn_generations_under_writes() {
+    let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+    let service = Arc::new(CmdlService::new(Cmdl::build(lake, CmdlConfig::fast())));
+    let done = Arc::new(AtomicBool::new(false));
+    let observed: Arc<Mutex<HashMap<u64, BatchHits>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    // Two writer threads churn disjoint table families and documents
+    // through the mutation queue (two, so flat combining actually
+    // combines).
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for i in 0..12 {
+                    let name = format!("Stress_{w}_{i}");
+                    let response = service.handle(ServiceRequest::IngestTable(Table::new(
+                        &name,
+                        vec![Column::from_texts(
+                            "Probe",
+                            [format!("stress probe value {w} {i}"), "filler".to_string()],
+                        )],
+                    )));
+                    assert!(response.ok, "ingest {name}: {:?}", response.error);
+                    let doc = service.handle(ServiceRequest::IngestDocument(Document::new(
+                        format!("stress-note-{w}-{i}"),
+                        "Stress",
+                        format!("a stress probe document number {i} from writer {w}"),
+                    )));
+                    let doc_index = match doc.payload {
+                        Some(ResponsePayload::IngestedDocument { document, .. }) => document,
+                        other => panic!("wrong payload: {other:?}"),
+                    };
+                    if i % 2 == 0 {
+                        let removed = service.handle(ServiceRequest::RemoveTable { name });
+                        assert!(removed.ok, "{:?}", removed.error);
+                        let removed =
+                            service.handle(ServiceRequest::RemoveDocument { index: doc_index });
+                        assert!(removed.ok, "{:?}", removed.error);
+                    }
+                    if i % 5 == 4 {
+                        assert!(service.handle(ServiceRequest::Compact).ok);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Four readers hammer batches against pinned snapshots.
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let service = Arc::clone(&service);
+            let done = Arc::clone(&done);
+            let observed = Arc::clone(&observed);
+            std::thread::spawn(move || {
+                let mut last_generation = 0u64;
+                let mut batches = 0usize;
+                while !done.load(Ordering::Acquire) || batches == 0 {
+                    let (generation, hits) = run_batch(&service);
+                    assert!(
+                        generation >= last_generation,
+                        "generation went backwards: {generation} < {last_generation}"
+                    );
+                    last_generation = generation;
+                    let mut observed = observed.lock().unwrap();
+                    if let Some(previous) = observed.get(&generation) {
+                        assert_eq!(
+                            previous, &hits,
+                            "generation {generation} answered differently on re-read"
+                        );
+                    } else {
+                        observed.insert(generation, hits);
+                    }
+                    drop(observed);
+                    batches += 1;
+                }
+                batches
+            })
+        })
+        .collect();
+
+    for writer in writers {
+        writer.join().expect("writer thread");
+    }
+    done.store(true, Ordering::Release);
+    let total_batches: usize = readers
+        .into_iter()
+        .map(|r| r.join().expect("reader thread"))
+        .sum();
+    assert!(
+        total_batches >= 4,
+        "every reader completed at least a batch"
+    );
+
+    // Quiesced replay: the final published snapshot must answer exactly
+    // like the last thing any reader could have seen at that generation.
+    let (final_generation, final_hits) = run_batch(&service);
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.generation, final_generation);
+    let replay: BatchHits = snapshot
+        .execute_many(&reader_queries())
+        .into_iter()
+        .map(|outcome| outcome.ok().map(|r| r.hits))
+        .collect();
+    assert_eq!(final_hits, replay, "quiesced replay diverged");
+    if let Some(observed_final) = observed.lock().unwrap().get(&final_generation) {
+        assert_eq!(
+            observed_final, &replay,
+            "recorded final generation diverged"
+        );
+    }
+
+    // The service stayed coherent: stats reflect the writer arithmetic
+    // (12 tables per writer, half removed again).
+    let stats = snapshot.stats();
+    assert_eq!(
+        stats.tables,
+        synth::pharma::generate(&synth::PharmaConfig::tiny())
+            .lake
+            .num_tables()
+            + 2 * 6
+    );
+    assert!(service.metrics().requests_total() > 0);
+}

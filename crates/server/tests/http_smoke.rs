@@ -1,0 +1,306 @@
+//! HTTP adapter smoke test: boots the std-only adapter on an ephemeral
+//! loopback port and exercises every endpoint (status mapping, keep-alive,
+//! metrics, admission control). When the sandbox denies loopback sockets,
+//! the same request sequence runs through the in-process JSON transport
+//! instead, so the wire contract is exercised either way.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cmdl_core::{Cmdl, CmdlConfig, QueryBuilder};
+use cmdl_datalake::synth;
+use cmdl_server::{serve, CmdlService, HttpConfig, ServiceRequest, ServiceResponse};
+
+fn service() -> Arc<CmdlService> {
+    let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+    Arc::new(CmdlService::new(Cmdl::build(lake, CmdlConfig::fast())))
+}
+
+/// Send one request on an open connection and read the framed response.
+fn send(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    read_response(stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String)> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn parse(body: &str) -> ServiceResponse {
+    serde_json::from_str(body).expect("body is a ServiceResponse envelope")
+}
+
+/// The endpoint sequence both transports run: (method, path, body,
+/// expected status, expect_ok).
+fn endpoint_script() -> Vec<(&'static str, &'static str, String, u16, bool)> {
+    let query = serde_json::to_string(&QueryBuilder::keyword("drug").top_k(5).build()).unwrap();
+    let batch = serde_json::to_string(&vec![
+        QueryBuilder::keyword("enzyme").top_k(3).build(),
+        QueryBuilder::pkfk().top_k(3).build(),
+    ])
+    .unwrap();
+    let table = serde_json::to_string(&cmdl_datalake::Table::new(
+        "Http_Trials",
+        vec![cmdl_datalake::Column::from_texts(
+            "Site",
+            ["Boston", "Lyon"],
+        )],
+    ))
+    .unwrap();
+    let document = serde_json::to_string(&cmdl_datalake::Document::new(
+        "http-note",
+        "PubMed",
+        "A note ingested over HTTP.",
+    ))
+    .unwrap();
+    vec![
+        ("GET", "/healthz", String::new(), 200, true),
+        ("GET", "/stats", String::new(), 200, true),
+        ("POST", "/query", query, 200, true),
+        ("POST", "/batch", batch, 200, true),
+        ("POST", "/ingest/table", table, 200, true),
+        ("POST", "/ingest/document", document, 200, true),
+        (
+            "POST",
+            "/remove/table",
+            r#"{"name": "Http_Trials"}"#.to_string(),
+            200,
+            true,
+        ),
+        (
+            "POST",
+            "/remove/table",
+            r#"{"name": "Http_Trials"}"#.to_string(),
+            404,
+            false,
+        ),
+        (
+            "POST",
+            "/remove/document",
+            r#"{"index": 999}"#.to_string(),
+            404,
+            false,
+        ),
+        ("POST", "/compact", String::new(), 200, true),
+        ("POST", "/query", "{not json".to_string(), 400, false),
+        ("GET", "/no/such/route", String::new(), 404, false),
+    ]
+}
+
+#[test]
+fn every_endpoint_answers_with_the_envelope() {
+    let service = service();
+    let handle = match serve(
+        Arc::clone(&service),
+        HttpConfig {
+            threads: 2,
+            queue_capacity: 16,
+            read_timeout: Duration::from_secs(2),
+            ..HttpConfig::default()
+        },
+    ) {
+        Ok(handle) => handle,
+        Err(err) => {
+            // Sandbox denied loopback sockets: exercise the same script
+            // through the in-process transport instead.
+            eprintln!("loopback bind denied ({err}); falling back to in-process transport");
+            for (method, path, body, _status, expect_ok) in endpoint_script() {
+                // The adapter's own splice table, so the fallback cannot
+                // drift from what HTTP would have exercised.
+                let Some(envelope) = cmdl_server::route_envelope(method, path, &body) else {
+                    continue; // the unknown-route case is HTTP-only
+                };
+                let response = service.handle_json(envelope.as_bytes());
+                assert_eq!(response.ok, expect_ok, "{method} {path}: {response:?}");
+            }
+            assert!(service.metrics().requests_total() > 0);
+            return;
+        }
+    };
+    let addr = handle.addr();
+
+    // Keep-alive: the whole script runs over one connection.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for (method, path, body, expected_status, expect_ok) in endpoint_script() {
+        let (status, response_body) =
+            send(&mut stream, method, path, &body).expect("request round-trip");
+        assert_eq!(status, expected_status, "{method} {path}: {response_body}");
+        let response = parse(&response_body);
+        assert_eq!(response.ok, expect_ok, "{method} {path}: {response_body}");
+    }
+
+    // Wrong method on a real path is an UnknownRoute, mapped to 404.
+    let (status, body) = send(&mut stream, "PUT", "/query", "").expect("wrong method");
+    assert_eq!(status, 404);
+    assert_eq!(
+        parse(&body).error_code(),
+        Some(cmdl_core::ErrorCode::UnknownRoute)
+    );
+
+    // `Expect: 100-continue` (curl sends it for large bodies) gets the
+    // interim response instead of a ~1 s stall.
+    let doc_body = serde_json::to_string(&cmdl_datalake::Document::new(
+        "continue-note",
+        "PubMed",
+        "x".repeat(2048),
+    ))
+    .unwrap();
+    let request = format!(
+        "POST /ingest/document HTTP/1.1\r\nHost: localhost\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n{doc_body}",
+        doc_body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .expect("expect request");
+    stream.flush().expect("flush");
+    let (interim, _) = read_response(&mut stream).expect("interim response");
+    assert_eq!(
+        interim, 100,
+        "server must answer the 100-continue handshake"
+    );
+    let (status, body) = read_response(&mut stream).expect("final response");
+    assert_eq!(status, 200, "{body}");
+    assert!(parse(&body).ok);
+
+    // /metrics is the one non-envelope endpoint.
+    let (status, metrics) = send(&mut stream, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("cmdl_requests_total"), "{metrics}");
+    assert!(metrics.contains("cmdl_latency_p99_micros"), "{metrics}");
+    assert!(metrics.contains("cmdl_snapshot_generation"), "{metrics}");
+    drop(stream);
+
+    // A fresh connection still works (the pool outlives connections).
+    let mut fresh = TcpStream::connect(addr).expect("reconnect");
+    fresh
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let (status, body) = send(&mut fresh, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    assert!(parse(&body).ok);
+
+    // Chunked bodies are not framed by this adapter: clean 400 + close
+    // instead of letting the payload desync the keep-alive stream.
+    fresh
+        .write_all(
+            b"POST /query HTTP/1.1\r\nHost: localhost\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+        )
+        .expect("chunked request");
+    fresh.flush().expect("flush");
+    let (status, body) = read_response(&mut fresh).expect("chunked rejection");
+    assert_eq!(status, 400, "{body}");
+    assert_eq!(
+        parse(&body).error_code(),
+        Some(cmdl_core::ErrorCode::MalformedRequest)
+    );
+    drop(fresh);
+
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_429() {
+    let service = service();
+    let handle = match serve(
+        Arc::clone(&service),
+        HttpConfig {
+            threads: 1,
+            queue_capacity: 1,
+            // Generous: the shed sequence below must land while the single
+            // worker still holds the busy connection, even on a loaded CI
+            // runner. Dropping the connections at the end wakes the worker
+            // immediately (EOF), so shutdown does not wait this long.
+            read_timeout: Duration::from_secs(5),
+            ..HttpConfig::default()
+        },
+    ) {
+        Ok(handle) => handle,
+        Err(err) => {
+            // No sockets: admission control is transport-level; exercise
+            // the Overloaded code through the envelope instead.
+            eprintln!("loopback bind denied ({err}); asserting Overloaded code mapping only");
+            assert_eq!(
+                cmdl_server::http_status(cmdl_core::ErrorCode::Overloaded),
+                429
+            );
+            return;
+        }
+    };
+    let addr = handle.addr();
+
+    // Occupy the single worker with a keep-alive connection...
+    let mut busy = TcpStream::connect(addr).expect("connect busy");
+    busy.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let (status, _) = send(&mut busy, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(status, 200);
+    // ...fill the queue with an idle connection...
+    let idle = TcpStream::connect(addr).expect("connect idle");
+    std::thread::sleep(Duration::from_millis(100));
+    // ...and watch the next one get shed by the accept thread.
+    let mut shed = TcpStream::connect(addr).expect("connect shed");
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let (status, body) = read_response(&mut shed).expect("shed response");
+    assert_eq!(status, 429, "{body}");
+    let response = parse(&body);
+    assert_eq!(
+        response.error_code(),
+        Some(cmdl_core::ErrorCode::Overloaded)
+    );
+    assert!(service.metrics().shed_total() >= 1);
+
+    drop(idle);
+    drop(busy);
+    handle.shutdown();
+}
+
+#[test]
+fn in_process_transport_needs_no_sockets() {
+    // The contract itself is transport-free: this runs everywhere,
+    // including sandboxes with no network at all.
+    let service = service();
+    let response = service.handle_json(
+        serde_json::to_string(&ServiceRequest::Health)
+            .unwrap()
+            .as_bytes(),
+    );
+    assert!(response.ok);
+}

@@ -1,0 +1,82 @@
+//! Service quickstart: stand up the transport-agnostic `CmdlService` over a
+//! synthetic pharma lake, drive it in-process through the bytes-in/bytes-out
+//! JSON contract, then boot the std-only HTTP adapter on a loopback port and
+//! issue the same requests over a socket (skipped gracefully when the
+//! environment denies loopback binds).
+//!
+//! Run with: `cargo run --example service_quickstart`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cmdl::core::{Cmdl, CmdlConfig, QueryBuilder};
+use cmdl::datalake::{synth, Column, Table};
+use cmdl::server::{serve, CmdlService, HttpConfig, ServiceRequest};
+
+fn main() {
+    // 1. Build the catalog and wrap it as a service.
+    let lake = synth::pharma::generate(&synth::pharma::PharmaConfig::tiny()).lake;
+    let service = Arc::new(CmdlService::new(Cmdl::build(lake, CmdlConfig::fast())));
+
+    // 2. In-process transport: JSON bytes in, JSON bytes out. This is the
+    //    whole wire contract — HTTP below is nothing but framing.
+    let query = ServiceRequest::Query(QueryBuilder::keyword("enzyme inhibitor").top_k(3).build());
+    let request = serde_json::to_string(&query).expect("request serializes");
+    let response = service.handle_json_bytes(request.as_bytes());
+    println!("query -> {}", String::from_utf8_lossy(&response));
+
+    // 3. Mutations route through the writer gate; reads keep pinning the
+    //    previously published snapshot until the batch lands.
+    let ingest = ServiceRequest::IngestTable(Table::new(
+        "Trial_Sites",
+        vec![Column::from_texts(
+            "Site",
+            ["Boston General", "Lyon Institute"],
+        )],
+    ));
+    let request = serde_json::to_string(&ingest).expect("request serializes");
+    let response = service.handle_json_bytes(request.as_bytes());
+    println!("ingest -> {}", String::from_utf8_lossy(&response));
+
+    let stats = service.handle_json_bytes(br#""Stats""#);
+    println!("stats -> {}", String::from_utf8_lossy(&stats));
+
+    // 4. The HTTP adapter: std-only (TcpListener + a fixed thread pool with
+    //    a bounded admission queue) — no async runtime.
+    let handle = match serve(Arc::clone(&service), HttpConfig::default()) {
+        Ok(handle) => handle,
+        Err(err) => {
+            println!("(loopback bind denied: {err}; in-process transport shown above is the same contract)");
+            return;
+        }
+    };
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    let body = serde_json::to_string(&QueryBuilder::keyword("Lyon").top_k(3).build())
+        .expect("query serializes");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    write!(
+        stream,
+        "POST /query HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request written");
+    let mut http_response = String::new();
+    stream
+        .read_to_string(&mut http_response)
+        .expect("response read");
+    let body = http_response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or(&http_response);
+    println!("POST /query -> {body}");
+
+    handle.shutdown();
+    println!("done.");
+}

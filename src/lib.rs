@@ -13,6 +13,7 @@ pub use cmdl_embed as embed;
 pub use cmdl_eval as eval;
 pub use cmdl_index as index;
 pub use cmdl_nn as nn;
+pub use cmdl_server as server;
 pub use cmdl_sketch as sketch;
 pub use cmdl_text as text;
 pub use cmdl_weaklabel as weaklabel;
