@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the wire serializer: the zero-DOM
+//! streaming encoder (reusable buffer) against the build-the-`Json`-tree
+//! DOM path, on a realistic `QueryBatch` service envelope.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cmdl_bench::build_system;
+use cmdl_core::QueryBuilder;
+use cmdl_datalake::synth::{self, PharmaConfig};
+use cmdl_server::{CmdlService, ServiceRequest, ServiceResponse};
+
+fn batch_envelope() -> ServiceResponse {
+    let cmdl = build_system(synth::pharma::generate(&PharmaConfig::tiny()).lake);
+    let service = CmdlService::new(cmdl);
+    let snapshot = service.snapshot();
+    let queries = snapshot
+        .profiled
+        .lake
+        .tables()
+        .iter()
+        .take(12)
+        .flat_map(|t| {
+            [
+                QueryBuilder::keyword(&t.name).top_k(8).build(),
+                QueryBuilder::joinable(&t.name).top_k(5).build(),
+            ]
+        })
+        .collect();
+    let response = service.handle(ServiceRequest::QueryBatch(queries));
+    assert!(response.ok);
+    response
+}
+
+fn serializer_benches(c: &mut Criterion) {
+    let response = batch_envelope();
+    // Sanity: both encoders agree byte-for-byte before timing anything.
+    let dom = serde_json::to_string(&response).unwrap();
+    let mut streamed = String::new();
+    serde_json::write_to_string(&response, &mut streamed);
+    assert_eq!(streamed, dom);
+
+    c.bench_function("serialize_envelope_dom", |b| {
+        b.iter(|| black_box(serde_json::to_string(black_box(&response)).unwrap()))
+    });
+
+    let mut buffer = String::with_capacity(dom.len());
+    c.bench_function("serialize_envelope_streaming", |b| {
+        b.iter(|| {
+            buffer.clear();
+            serde_json::write_to_string(black_box(&response), &mut buffer);
+            black_box(buffer.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = serializer_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,257 @@
+//! Hot-path kernel benchmarks: the three storage/serialization layouts this
+//! repo's query path rides on, each measured against its exact pre-overhaul
+//! baseline **with a result-parity assertion inline** — a speedup only
+//! counts if the fast path returns bit-identical output.
+//!
+//! 1. **BM25 block-max pruning** — top-k keyword probes over a corpus large
+//!    enough to engage the document-at-a-time scan (> 2^16 docs), with a
+//!    heavy-tailed term-frequency distribution (the realistic regime where
+//!    most blocks cannot beat the top-k threshold). Pruned
+//!    `search_with` vs the unpruned DAAT baseline.
+//! 2. **ANN i8 pre-rank** — exhaustive cosine top-k over a large embedding
+//!    store: `i8` scalar-quantized pre-rank + exact `f32` rerank vs the
+//!    pure `f32` scan.
+//! 3. **Wire serialization** — streaming zero-DOM encoding of a real
+//!    `QueryBatch` service envelope (bench pharma lake, the mixed Q1–Q5
+//!    workload) vs the build-the-`Json`-tree DOM path, in bytes/sec.
+//!
+//! Baseline and fast phases are interleaved round by round (best-of-7),
+//! so shared-box load spikes hit both sides of each ratio.
+//!
+//! Emits `target/reports/hot_path.json`; the CI bench-smoke job publishes it
+//! as `BENCH_hotpath.json` and enforces the ≥1.3× floors.
+
+use std::time::Instant;
+
+use cmdl_bench::{build_system, emit, pharma_lake};
+use cmdl_core::{DiscoveryQuery, QueryBuilder, SearchMode};
+use cmdl_eval::{ExperimentReport, MethodResult};
+use cmdl_index::{AnnIndex, AnnIndexConfig, InvertedIndex, ScoringFunction};
+use cmdl_server::{CmdlService, ServiceRequest};
+use cmdl_text::BagOfWords;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const ROUNDS: usize = 7;
+
+/// Best-of-`ROUNDS` wall-clock seconds of a (baseline, fast) pair, with
+/// the two phases *interleaved* round by round: on a shared box a load
+/// spike then hits both sides of the ratio instead of skewing whichever
+/// phase it landed on.
+fn best_of_pair(mut baseline: impl FnMut(), mut fast: impl FnMut()) -> (f64, f64) {
+    let (mut best_baseline, mut best_fast) = (f64::MAX, f64::MAX);
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        baseline();
+        best_baseline = best_baseline.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        fast();
+        best_fast = best_fast.min(start.elapsed().as_secs_f64());
+    }
+    (best_baseline, best_fast)
+}
+
+/// A synthetic corpus big enough for the DAAT scan (> 2^16 docs) with a
+/// heavy-tailed tf distribution and varied document lengths.
+fn bm25_corpus(rng: &mut ChaCha8Rng) -> InvertedIndex {
+    let mut idx = InvertedIndex::new();
+    for doc in 0..80_000u64 {
+        let mut tokens: Vec<String> = Vec::new();
+        // The hot term everyone matches, with a heavy tf tail.
+        let tf = match doc % 1000 {
+            0 => 16,
+            n if n % 211 == 0 => 8,
+            n if n % 47 == 0 => 3,
+            _ => 1 + (doc % 2) as usize,
+        };
+        tokens.extend(std::iter::repeat_n("common".to_string(), tf));
+        // A medium-frequency topic term.
+        tokens.push(format!("topic{}", doc % 200));
+        // Filler for doc-length variety.
+        for f in 0..(doc % 7) {
+            tokens.push(format!("filler{}_{f}", doc % 5000));
+        }
+        idx.add(
+            doc,
+            &BagOfWords::from_tokens(tokens.iter().map(String::as_str)),
+        );
+    }
+    idx.finalize();
+    let _ = rng;
+    idx
+}
+
+fn bm25_row() -> MethodResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB10C);
+    let idx = bm25_corpus(&mut rng);
+    let queries: Vec<BagOfWords> = (0..120)
+        .map(|i| match i % 3 {
+            0 => BagOfWords::from_tokens(["common"]),
+            1 => {
+                let topic = format!("topic{}", (i * 7) % 200);
+                BagOfWords::from_tokens(["common", topic.as_str()])
+            }
+            _ => {
+                let topic = format!("topic{}", (i * 13) % 200);
+                BagOfWords::from_tokens([topic.as_str()])
+            }
+        })
+        .collect();
+    let scoring = ScoringFunction::default();
+
+    // Parity first: the pruned scan must match the unpruned baseline
+    // bit-for-bit on every query before any timing counts.
+    for (qi, q) in queries.iter().enumerate() {
+        assert_eq!(
+            idx.search_with(q, 10, scoring),
+            idx.search_unpruned(q, 10, scoring),
+            "block-max pruning diverged on query {qi}"
+        );
+    }
+
+    let (baseline_secs, pruned_secs) = best_of_pair(
+        || {
+            for q in &queries {
+                std::hint::black_box(idx.search_unpruned(q, 10, scoring));
+            }
+        },
+        || {
+            for q in &queries {
+                std::hint::black_box(idx.search_with(q, 10, scoring));
+            }
+        },
+    );
+    let n = queries.len() as f64;
+    MethodResult::new("BM25 block-max pruned probes")
+        .with("Qps", n / pruned_secs)
+        .with("Baseline_qps", n / baseline_secs)
+        .with("Speedup", baseline_secs / pruned_secs)
+}
+
+fn ann_row() -> MethodResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xE5B);
+    // The production default embedding dimensionality.
+    let dim = 100;
+    let vectors: Vec<Vec<f32>> = (0..20_000)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    // Unbuilt indexes serve by exhaustive scan — exactly the kernel under
+    // test (candidate generation is identical either way).
+    let mut exact = AnnIndex::with_defaults(dim);
+    let mut quantized = AnnIndex::new(
+        dim,
+        AnnIndexConfig {
+            quantize: true,
+            rerank_factor: 4,
+            ..AnnIndexConfig::default()
+        },
+    );
+    for (i, v) in vectors.iter().enumerate() {
+        exact.add(i as u64, v);
+        quantized.add(i as u64, v);
+    }
+    let queries: Vec<Vec<f32>> = (0..60)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+
+    for (qi, q) in queries.iter().enumerate() {
+        assert_eq!(
+            exact.query(q, 10),
+            quantized.query(q, 10),
+            "i8 pre-rank + f32 rerank diverged on query {qi}"
+        );
+    }
+
+    let (exact_secs, quant_secs) = best_of_pair(
+        || {
+            for q in &queries {
+                std::hint::black_box(exact.query(q, 10));
+            }
+        },
+        || {
+            for q in &queries {
+                std::hint::black_box(quantized.query(q, 10));
+            }
+        },
+    );
+    let n = queries.len() as f64;
+    MethodResult::new("ANN i8 pre-rank + f32 rerank")
+        .with("Qps", n / quant_secs)
+        .with("Exact_qps", n / exact_secs)
+        .with("Speedup", exact_secs / quant_secs)
+}
+
+fn serializer_row() -> MethodResult {
+    let cmdl = build_system(pharma_lake().lake);
+    let service = CmdlService::new(cmdl);
+    let snapshot = service.snapshot();
+    let lake = &snapshot.profiled.lake;
+    let mut queries: Vec<DiscoveryQuery> = Vec::new();
+    for (i, table) in lake.tables().iter().take(20).enumerate() {
+        queries.push(
+            QueryBuilder::keyword(&table.name)
+                .mode(if i % 2 == 0 {
+                    SearchMode::All
+                } else {
+                    SearchMode::Tables
+                })
+                .top_k(10)
+                .build(),
+        );
+        queries.push(QueryBuilder::joinable(&table.name).top_k(5).build());
+    }
+    for doc in lake.documents().iter().take(20) {
+        queries.push(QueryBuilder::cross_modal_text(&doc.title).top_k(5).build());
+    }
+    let response = service.handle(ServiceRequest::QueryBatch(queries));
+    assert!(response.ok, "bench workload must succeed");
+
+    // Byte parity between the two encoders before timing.
+    let dom = serde_json::to_string(&response).expect("DOM serialization");
+    let mut streamed = String::new();
+    serde_json::write_to_string(&response, &mut streamed);
+    assert_eq!(streamed, dom, "streaming encoder must match the DOM bytes");
+    let bytes = dom.len() as f64;
+
+    let iters = 40usize;
+    let mut buffer = String::with_capacity(dom.len());
+    let (dom_secs, stream_secs) = best_of_pair(
+        || {
+            for _ in 0..iters {
+                std::hint::black_box(
+                    serde_json::to_string(&response)
+                        .expect("DOM serialization")
+                        .len(),
+                );
+            }
+        },
+        || {
+            for _ in 0..iters {
+                buffer.clear();
+                serde_json::write_to_string(&response, &mut buffer);
+                std::hint::black_box(buffer.len());
+            }
+        },
+    );
+    let volume = bytes * iters as f64;
+    MethodResult::new("Streaming wire serializer")
+        .with("Bytes_per_sec", volume / stream_secs)
+        .with("Dom_bytes_per_sec", volume / dom_secs)
+        .with("Envelope_bytes", bytes)
+        .with("Speedup", dom_secs / stream_secs)
+}
+
+fn main() {
+    let mut report = ExperimentReport::new(
+        "Hot Path",
+        "Query hot-path kernels vs their exact pre-overhaul baselines, parity-asserted \
+         inline: BM25 block-max-pruned DAAT probes vs the unpruned scan (80k-doc synthetic \
+         corpus, heavy-tailed tf), i8-quantized ANN pre-rank + f32 rerank vs the pure-f32 \
+         exhaustive scan (20k x 100 vectors), and zero-DOM streaming serialization of a real \
+         QueryBatch envelope vs the Json-tree DOM path. Interleaved best-of-7 rounds per pair.",
+    );
+    report.push(bm25_row());
+    report.push(ann_row());
+    report.push(serializer_row());
+    emit(&report);
+}

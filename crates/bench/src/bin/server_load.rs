@@ -63,7 +63,7 @@ fn main() {
     let service = CmdlService::new(cmdl);
     let snapshot = service.snapshot();
     let queries = workload(&snapshot);
-    let rounds = 5usize;
+    let rounds = 9usize;
 
     // Pre-serialize the wire requests (a closed-loop client would reuse
     // buffers the same way; we are measuring the service, not the client).

@@ -88,6 +88,15 @@ pub struct CmdlConfig {
     pub pkfk_uniqueness_weight: f64,
     /// Number of ANN trees for embedding indexes.
     pub ann_trees: usize,
+    /// Keep an `i8` scalar-quantized mirror of the embedding stores and
+    /// pre-rank ANN candidates with it before an exact `f32` rerank of the
+    /// survivors. Cheaper probes at identical top-k results in practice
+    /// (the hot-path parity suite asserts exact agreement on the bench
+    /// lake); off by default.
+    pub ann_quantize: bool,
+    /// Rerank pool size as a multiple of `top_k` when `ann_quantize` is
+    /// set.
+    pub ann_rerank_factor: usize,
     /// Incremental ingestion: IDF staleness bound for the inverted indexes.
     /// After a delta mutation, the precomputed IDF table is refreshed once
     /// the number of mutations since the last refresh exceeds this fraction
@@ -130,6 +139,8 @@ impl Default for CmdlConfig {
             pkfk_name_weight: 0.3,
             pkfk_uniqueness_weight: 0.2,
             ann_trees: 10,
+            ann_quantize: false,
+            ann_rerank_factor: 4,
             idf_refresh_ratio: 0.1,
             compaction_ratio: 0.25,
             seed: 0xC3D1,

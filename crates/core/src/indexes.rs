@@ -69,12 +69,14 @@ fn build_solo_ann(ordered: &[&DeProfile], config: &CmdlConfig) -> AnnIndex {
         AnnIndexConfig {
             num_trees: config.ann_trees,
             seed: config.seed,
+            quantize: config.ann_quantize,
+            rerank_factor: config.ann_rerank_factor,
             ..Default::default()
         },
     );
     for profile in ordered {
         if embedding_eligible(profile) {
-            solo_ann.add(profile.id.raw(), Arc::clone(&profile.solo.content));
+            solo_ann.add(profile.id.raw(), &profile.solo.content);
         }
     }
     solo_ann.build();
@@ -89,6 +91,8 @@ fn new_joint_ann(config: &CmdlConfig) -> AnnIndex {
         AnnIndexConfig {
             num_trees: config.ann_trees,
             seed: config.seed ^ 0xBEEF,
+            quantize: config.ann_quantize,
+            rerank_factor: config.ann_rerank_factor,
             ..Default::default()
         },
     )
@@ -202,8 +206,7 @@ impl IndexCatalog {
                 .insert(profile.id.raw(), Arc::clone(&profile.minhash));
         }
         if embedding_eligible(profile) {
-            self.solo_ann
-                .add(profile.id.raw(), Arc::clone(&profile.solo.content));
+            self.solo_ann.add(profile.id.raw(), &profile.solo.content);
         }
     }
 
@@ -215,7 +218,7 @@ impl IndexCatalog {
         if let Some(ann) = &mut self.joint_ann {
             if embedding_eligible(profile) {
                 ann.remove(profile.id.raw());
-                ann.add(profile.id.raw(), Arc::clone(&vector));
+                ann.add(profile.id.raw(), &vector);
             }
         }
         self.joint_embeddings.insert(profile.id, vector);
@@ -316,7 +319,7 @@ impl IndexCatalog {
             for profile in &ordered {
                 if embedding_eligible(profile) {
                     if let Some(vector) = self.joint_embeddings.get(&profile.id) {
-                        ann.add(profile.id.raw(), Arc::clone(vector));
+                        ann.add(profile.id.raw(), vector);
                     }
                 }
             }
@@ -344,7 +347,7 @@ impl IndexCatalog {
                 continue;
             };
             if embedding_eligible(profile) {
-                ann.add(id.raw(), Arc::clone(vector));
+                ann.add(id.raw(), vector);
             }
         }
         ann.build();

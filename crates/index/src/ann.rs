@@ -9,6 +9,18 @@
 //! [`BruteForceIndex`] provides the exact reference used in tests and for
 //! small collections.
 //!
+//! ## Storage layout
+//!
+//! Vectors live in a contiguous row-major [`EmbeddingStore`] (norms
+//! precomputed at insert time), so ranking a candidate run is a streak of
+//! cache-local dot products. With
+//! [`AnnIndexConfig::quantize`] the store keeps an `i8` scalar-quantized
+//! mirror: candidate ranking then *pre-ranks* with the cheap integer
+//! kernel, keeps `top_k × rerank_factor` survivors, and reranks those
+//! exactly in `f32` — with a wide-enough rerank pool the returned top-k is
+//! identical to the pure-`f32` scan (asserted by the parity tests on the
+//! bench lake).
+//!
 //! ## Incremental maintenance
 //!
 //! Vectors added after [`build`](AnnIndex::build) land in a *delta tail*
@@ -18,31 +30,30 @@
 //! [`compact`](AnnIndex::compact) drops tombstoned vectors, folds the delta
 //! tail into the forest, and rebuilds the trees.
 
-use std::sync::Arc;
+use std::cell::RefCell;
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use cmdl_nn::{dot_f32, norm_f32};
+
+use crate::embedding_store::EmbeddingStore;
 use crate::topk::TopK;
 
 /// Cosine similarity between two equal-length vectors (0 when either is a
-/// zero vector).
+/// zero vector; panics on a length mismatch — the old implementation
+/// silently truncated). Chunked 8-lane kernels, auto-vectorized; the denominator
+/// is `sqrt(|a|²·|b|²)` in `f64`, which keeps the self-similarity of a
+/// vector exactly `1.0` (callers compare against sharp thresholds).
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    let mut dot = 0.0f64;
-    let mut na = 0.0f64;
-    let mut nb = 0.0f64;
-    for (x, y) in a.iter().zip(b) {
-        dot += f64::from(*x) * f64::from(*y);
-        na += f64::from(*x) * f64::from(*x);
-        nb += f64::from(*y) * f64::from(*y);
-    }
+    let (na, nb) = (dot_f32(a, a), dot_f32(b, b));
     if na == 0.0 || nb == 0.0 {
         0.0
     } else {
-        dot / (na.sqrt() * nb.sqrt())
+        f64::from(dot_f32(a, b)) / (f64::from(na) * f64::from(nb)).sqrt()
     }
 }
 
@@ -56,6 +67,12 @@ pub struct AnnIndexConfig {
     pub leaf_size: usize,
     /// RNG seed for reproducible tree construction.
     pub seed: u64,
+    /// Keep an `i8` scalar-quantized mirror and pre-rank candidates with it
+    /// before the exact `f32` rerank. Default off (pure `f32` scoring).
+    pub quantize: bool,
+    /// Rerank pool size as a multiple of `top_k` when `quantize` is on.
+    /// Default 4.
+    pub rerank_factor: usize,
 }
 
 impl Default for AnnIndexConfig {
@@ -64,6 +81,8 @@ impl Default for AnnIndexConfig {
             num_trees: 10,
             leaf_size: 16,
             seed: 0xA11CE,
+            quantize: false,
+            rerank_factor: 4,
         }
     }
 }
@@ -89,15 +108,32 @@ struct Tree {
     root: usize,
 }
 
+thread_local! {
+    /// Reusable per-thread query scratch: a seen-bitmap (cleared back to
+    /// zero after every query), the deduplicated candidate list, and the
+    /// quantized-query buffer. `execute_many`'s rayon workers each reuse
+    /// their own copy, so batched serving allocates nothing here in steady
+    /// state.
+    static QUERY_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::default());
+}
+
+#[derive(Default)]
+struct QueryScratch {
+    /// One bit per vector position ("already a candidate").
+    seen: Vec<u64>,
+    candidates: Vec<usize>,
+    quantized_query: Vec<i8>,
+}
+
 /// A forest of random-projection trees for approximate nearest-neighbour
 /// search under cosine similarity.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AnnIndex {
     config: AnnIndexConfig,
     ids: Vec<u64>,
-    /// Indexed vectors, reference-counted so callers can share embeddings
-    /// with the index instead of deep-cloning them.
-    vectors: Vec<Arc<Vec<f32>>>,
+    /// Indexed vectors: contiguous row-major storage with precomputed
+    /// norms (and the optional `i8` mirror).
+    vectors: EmbeddingStore,
     dim: usize,
     trees: Vec<Tree>,
     built: bool,
@@ -118,10 +154,11 @@ pub struct AnnIndex {
 impl AnnIndex {
     /// Create an empty index for vectors of dimension `dim`.
     pub fn new(dim: usize, config: AnnIndexConfig) -> Self {
+        let vectors = EmbeddingStore::new(dim, config.quantize);
         Self {
             config,
             ids: Vec::new(),
-            vectors: Vec::new(),
+            vectors,
             dim,
             trees: Vec::new(),
             built: false,
@@ -173,20 +210,16 @@ impl AnnIndex {
         self.dead.get(pos).copied().unwrap_or(false)
     }
 
-    /// Add a vector under `id`.
+    /// Add a vector under `id` (copied into the contiguous store).
     ///
     /// Before the first [`build`](Self::build) the index serves queries by
     /// brute force. After a build, added vectors join the delta tail: the
     /// forest keeps serving and the tail is scanned exactly, so no rebuild
     /// is needed until [`compact`](Self::compact).
     ///
-    /// Accepts either an owned `Vec<f32>` or an `Arc<Vec<f32>>`; passing the
-    /// `Arc` shares the caller's vector without copying it.
-    ///
     /// # Panics
     /// Panics if the vector dimension does not match the index dimension.
-    pub fn add(&mut self, id: u64, vector: impl Into<Arc<Vec<f32>>>) {
-        let vector = vector.into();
+    pub fn add(&mut self, id: u64, vector: &[f32]) {
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
         self.ensure_id_map();
         self.id_to_pos.insert(id, self.ids.len() as u32);
@@ -240,11 +273,11 @@ impl AnnIndex {
     pub fn compact(&mut self) {
         if self.num_dead > 0 {
             let mut ids = Vec::with_capacity(self.len());
-            let mut vectors = Vec::with_capacity(self.len());
+            let mut vectors = EmbeddingStore::new(self.dim, self.config.quantize);
             for pos in 0..self.ids.len() {
                 if !self.is_dead(pos) {
                     ids.push(self.ids[pos]);
-                    vectors.push(Arc::clone(&self.vectors[pos]));
+                    vectors.push(self.vectors.row(pos));
                 }
             }
             self.ids = ids;
@@ -293,10 +326,10 @@ impl AnnIndex {
                 break cand;
             }
         };
-        let va: &[f32] = &self.vectors[a];
-        let vb: &[f32] = &self.vectors[b];
+        let va: &[f32] = self.vectors.row(a);
+        let vb: &[f32] = self.vectors.row(b);
         let mut normal: Vec<f32> = va.iter().zip(vb).map(|(x, y)| x - y).collect();
-        let norm: f32 = normal.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let norm: f32 = norm_f32(&normal);
         if norm < 1e-12 {
             // Degenerate split (identical points): random hyperplane.
             for n in normal.iter_mut() {
@@ -304,16 +337,12 @@ impl AnnIndex {
             }
         }
         let midpoint: Vec<f32> = va.iter().zip(vb).map(|(x, y)| (x + y) / 2.0).collect();
-        let offset: f32 = normal.iter().zip(&midpoint).map(|(n, m)| n * m).sum();
+        let offset: f32 = dot_f32(&normal, &midpoint);
 
         let mut left = Vec::new();
         let mut right = Vec::new();
         for &i in items {
-            let side: f32 = normal
-                .iter()
-                .zip(self.vectors[i].iter())
-                .map(|(n, v)| n * v)
-                .sum();
+            let side: f32 = dot_f32(&normal, self.vectors.row(i));
             if side < offset {
                 left.push(i);
             } else {
@@ -344,20 +373,150 @@ impl AnnIndex {
     /// scanned exactly.
     pub fn query(&self, vector: &[f32], top_k: usize) -> Vec<(u64, f64)> {
         assert_eq!(vector.len(), self.dim, "query dimension mismatch");
-        if !self.built || self.trees.is_empty() {
-            return self.brute_force(vector, top_k);
+        QUERY_SCRATCH.with_borrow_mut(|scratch| {
+            scratch.candidates.clear();
+            if !self.built || self.trees.is_empty() {
+                // Exhaustive scan: every live row is a candidate, so use
+                // the full-scan scorers (no per-row index arithmetic).
+                if self.dim > 0 {
+                    return self.rank_all(vector, top_k, &mut scratch.quantized_query);
+                }
+                scratch.candidates.extend(0..self.ids.len());
+            } else {
+                let words = self.ids.len().div_ceil(64);
+                if scratch.seen.len() < words {
+                    scratch.seen.resize(words, 0);
+                }
+                for tree in &self.trees {
+                    self.collect_candidates(tree, tree.root, vector, scratch);
+                }
+                // The delta tail is not in any tree: every live tail vector
+                // is a candidate, keeping post-build inserts exact. (Tail
+                // positions cannot appear in tree leaves, so no dedup is
+                // needed against the bitmap.)
+                scratch.candidates.extend(self.built_len..self.ids.len());
+                // Restore the all-zeros bitmap invariant for the next query.
+                for &pos in &scratch.candidates {
+                    if pos < self.built_len {
+                        scratch.seen[pos / 64] &= !(1u64 << (pos % 64));
+                    }
+                }
+            }
+            self.rank_candidates(
+                &scratch.candidates,
+                vector,
+                top_k,
+                &mut scratch.quantized_query,
+            )
+        })
+    }
+
+    /// Rank *every* stored vector (the exhaustive/brute-force path) with
+    /// the streaming full-scan scorers: same pre-rank/rerank policy as
+    /// [`Self::rank_candidates`], but the hot loop walks the matrix with
+    /// `chunks_exact` instead of per-row index arithmetic.
+    fn rank_all(
+        &self,
+        vector: &[f32],
+        top_k: usize,
+        quantized_query: &mut Vec<i8>,
+    ) -> Vec<(u64, f64)> {
+        let inv_qnorm = EmbeddingStore::inv_query_norm(vector);
+        let pool = top_k.saturating_mul(self.config.rerank_factor.max(1));
+        if pool < self.vectors.len() {
+            if let Some(q_scale) = self.vectors.quantize_query(vector, quantized_query) {
+                let q_factor = q_scale * inv_qnorm;
+                let scorer = self
+                    .vectors
+                    .quantized_scorer()
+                    .expect("quantize_query succeeded");
+                let mut pre = TopK::new(pool);
+                if self.num_dead == 0 {
+                    for (pos, score) in scorer.approx_cosines(quantized_query, q_factor).enumerate()
+                    {
+                        if pre.would_accept(score) {
+                            pre.push(pos as u64, score);
+                        }
+                    }
+                } else {
+                    for (pos, score) in scorer.approx_cosines(quantized_query, q_factor).enumerate()
+                    {
+                        if !self.is_dead(pos) && pre.would_accept(score) {
+                            pre.push(pos as u64, score);
+                        }
+                    }
+                }
+                let mut tk = TopK::new(top_k);
+                for (pos, _) in pre.into_sorted_vec() {
+                    let pos = pos as usize;
+                    tk.push(self.ids[pos], self.vectors.cosine(pos, vector, inv_qnorm));
+                }
+                return tk.into_sorted_vec();
+            }
         }
-        let mut candidates = std::collections::HashSet::new();
-        for tree in &self.trees {
-            self.collect_candidates(tree, tree.root, vector, &mut candidates);
-        }
-        // The delta tail is not in any tree: every live tail vector is a
-        // candidate, keeping post-build inserts exact.
-        candidates.extend(self.built_len..self.ids.len());
         let mut tk = TopK::new(top_k);
-        for &i in &candidates {
-            if !self.is_dead(i) {
-                tk.push(self.ids[i], cosine_similarity(vector, &self.vectors[i]));
+        if self.num_dead == 0 {
+            for (pos, score) in self.vectors.cosines(vector, inv_qnorm).enumerate() {
+                if tk.would_accept(score) {
+                    tk.push(self.ids[pos], score);
+                }
+            }
+        } else {
+            for (pos, score) in self.vectors.cosines(vector, inv_qnorm).enumerate() {
+                if !self.is_dead(pos) && tk.would_accept(score) {
+                    tk.push(self.ids[pos], score);
+                }
+            }
+        }
+        tk.into_sorted_vec()
+    }
+
+    /// Rank deduplicated candidate positions: quantized pre-rank + exact
+    /// rerank when the store keeps an `i8` mirror (and the pool is actually
+    /// smaller than the candidate set), pure `f32` scoring otherwise.
+    fn rank_candidates(
+        &self,
+        candidates: &[usize],
+        vector: &[f32],
+        top_k: usize,
+        quantized_query: &mut Vec<i8>,
+    ) -> Vec<(u64, f64)> {
+        let inv_qnorm = EmbeddingStore::inv_query_norm(vector);
+        let pool = top_k.saturating_mul(self.config.rerank_factor.max(1));
+        if pool < candidates.len() {
+            if let Some(q_scale) = self.vectors.quantize_query(vector, quantized_query) {
+                // Pre-rank every candidate with the integer kernel, keeping
+                // a pool of `top_k * rerank_factor` positions...
+                let q_factor = q_scale * inv_qnorm;
+                let scorer = self
+                    .vectors
+                    .quantized_scorer()
+                    .expect("quantize_query succeeded");
+                let mut pre = TopK::new(pool);
+                for &pos in candidates {
+                    if !self.is_dead(pos) {
+                        let score = scorer.approx_cosine(pos, quantized_query, q_factor);
+                        if pre.would_accept(score) {
+                            pre.push(pos as u64, score);
+                        }
+                    }
+                }
+                // ...then rerank the pool exactly in f32.
+                let mut tk = TopK::new(top_k);
+                for (pos, _) in pre.into_sorted_vec() {
+                    let pos = pos as usize;
+                    tk.push(self.ids[pos], self.vectors.cosine(pos, vector, inv_qnorm));
+                }
+                return tk.into_sorted_vec();
+            }
+        }
+        let mut tk = TopK::new(top_k);
+        for &pos in candidates {
+            if !self.is_dead(pos) {
+                let score = self.vectors.cosine(pos, vector, inv_qnorm);
+                if tk.would_accept(score) {
+                    tk.push(self.ids[pos], score);
+                }
             }
         }
         tk.into_sorted_vec()
@@ -368,11 +527,17 @@ impl AnnIndex {
         tree: &Tree,
         node: usize,
         vector: &[f32],
-        out: &mut std::collections::HashSet<usize>,
+        scratch: &mut QueryScratch,
     ) {
         match &tree.nodes[node] {
             Node::Leaf { items } => {
-                out.extend(items.iter().copied());
+                for &pos in items {
+                    let (word, bit) = (pos / 64, 1u64 << (pos % 64));
+                    if scratch.seen[word] & bit == 0 {
+                        scratch.seen[word] |= bit;
+                        scratch.candidates.push(pos);
+                    }
+                }
             }
             Node::Split {
                 normal,
@@ -380,24 +545,14 @@ impl AnnIndex {
                 left,
                 right,
             } => {
-                let side: f32 = normal.iter().zip(vector).map(|(n, v)| n * v).sum();
+                let side: f32 = dot_f32(normal, vector);
                 if side < *offset {
-                    self.collect_candidates(tree, *left, vector, out);
+                    self.collect_candidates(tree, *left, vector, scratch);
                 } else {
-                    self.collect_candidates(tree, *right, vector, out);
+                    self.collect_candidates(tree, *right, vector, scratch);
                 }
             }
         }
-    }
-
-    fn brute_force(&self, vector: &[f32], top_k: usize) -> Vec<(u64, f64)> {
-        let mut tk = TopK::new(top_k);
-        for (i, v) in self.vectors.iter().enumerate() {
-            if !self.is_dead(i) {
-                tk.push(self.ids[i], cosine_similarity(vector, v));
-            }
-        }
-        tk.into_sorted_vec()
     }
 }
 
@@ -472,12 +627,12 @@ mod tests {
     fn exact_neighbour_found() {
         let mut idx = AnnIndex::with_defaults(8);
         for i in 0..8u64 {
-            idx.add(i, unit(8, i as usize));
+            idx.add(i, &unit(8, i as usize));
         }
         idx.build();
         let res = idx.query(&unit(8, 3), 1);
         assert_eq!(res[0].0, 3);
-        assert!((res[0].1 - 1.0).abs() < 1e-9);
+        assert!((res[0].1 - 1.0).abs() < 1e-6);
     }
 
     #[test]
@@ -490,11 +645,12 @@ mod tests {
                 num_trees: 15,
                 leaf_size: 10,
                 seed: 7,
+                ..AnnIndexConfig::default()
             },
         );
         let mut exact = BruteForceIndex::new();
         for (i, v) in vectors.iter().enumerate() {
-            ann.add(i as u64, v.clone());
+            ann.add(i as u64, v);
             exact.add(i as u64, v.clone());
         }
         ann.build();
@@ -515,8 +671,8 @@ mod tests {
     #[test]
     fn unbuilt_index_falls_back_to_exact() {
         let mut idx = AnnIndex::with_defaults(4);
-        idx.add(1, unit(4, 0));
-        idx.add(2, unit(4, 1));
+        idx.add(1, &unit(4, 0));
+        idx.add(2, &unit(4, 1));
         let res = idx.query(&unit(4, 1), 1);
         assert_eq!(res[0].0, 2);
     }
@@ -532,7 +688,7 @@ mod tests {
     fn duplicate_vectors_handled() {
         let mut idx = AnnIndex::with_defaults(4);
         for i in 0..50u64 {
-            idx.add(i, unit(4, 0));
+            idx.add(i, &unit(4, 0));
         }
         idx.build();
         let res = idx.query(&unit(4, 0), 5);
@@ -543,16 +699,16 @@ mod tests {
     fn delta_tail_is_exact_after_build() {
         let mut idx = AnnIndex::with_defaults(8);
         for i in 0..6u64 {
-            idx.add(i, unit(8, i as usize));
+            idx.add(i, &unit(8, i as usize));
         }
         idx.build();
         // Post-build inserts are served exactly without a rebuild.
-        idx.add(7, unit(8, 7));
+        idx.add(7, &unit(8, 7));
         assert!(idx.is_built());
         assert_eq!(idx.num_delta(), 1);
         let res = idx.query(&unit(8, 7), 1);
         assert_eq!(res[0].0, 7);
-        assert!((res[0].1 - 1.0).abs() < 1e-9);
+        assert!((res[0].1 - 1.0).abs() < 1e-6);
         // Compact folds the tail into the forest.
         idx.compact();
         assert_eq!(idx.num_delta(), 0);
@@ -562,9 +718,9 @@ mod tests {
     #[test]
     fn remove_tombstones_until_compact() {
         let mut idx = AnnIndex::with_defaults(4);
-        idx.add(1, unit(4, 0));
-        idx.add(2, unit(4, 1));
-        idx.add(3, unit(4, 2));
+        idx.add(1, &unit(4, 0));
+        idx.add(2, &unit(4, 1));
+        idx.add(3, &unit(4, 2));
         idx.build();
         assert!(idx.remove(2));
         assert!(!idx.remove(2));
@@ -582,10 +738,10 @@ mod tests {
     #[test]
     fn serde_roundtrip_preserves_delta_state() {
         let mut idx = AnnIndex::with_defaults(4);
-        idx.add(1, unit(4, 0));
-        idx.add(2, unit(4, 1));
+        idx.add(1, &unit(4, 0));
+        idx.add(2, &unit(4, 1));
         idx.build();
-        idx.add(3, unit(4, 2));
+        idx.add(3, &unit(4, 2));
         idx.remove(1);
         let json = serde_json::to_string(&idx).unwrap();
         let mut back: AnnIndex = serde_json::from_str(&json).unwrap();
@@ -602,7 +758,7 @@ mod tests {
     #[should_panic]
     fn dimension_mismatch_panics() {
         let mut idx = AnnIndex::with_defaults(4);
-        idx.add(1, vec![0.0; 3]);
+        idx.add(1, &[0.0; 3]);
     }
 
     #[test]
@@ -614,5 +770,47 @@ mod tests {
         let res = idx.query(&[1.0, 0.0], 3);
         assert_eq!(res[0].0, 1);
         assert_eq!(res[2].0, 3);
+    }
+
+    #[test]
+    fn quantized_prerank_matches_exact_on_random_vectors() {
+        let dim = 32;
+        let vectors = random_vectors(400, dim, 21);
+        let mut exact = AnnIndex::new(
+            dim,
+            AnnIndexConfig {
+                num_trees: 8,
+                seed: 5,
+                ..AnnIndexConfig::default()
+            },
+        );
+        let mut quantized = AnnIndex::new(
+            dim,
+            AnnIndexConfig {
+                num_trees: 8,
+                seed: 5,
+                quantize: true,
+                rerank_factor: 4,
+                ..AnnIndexConfig::default()
+            },
+        );
+        for (i, v) in vectors.iter().enumerate() {
+            exact.add(i as u64, v);
+            quantized.add(i as u64, v);
+        }
+        exact.build();
+        quantized.build();
+        for q in random_vectors(25, dim, 77) {
+            let a = exact.query(&q, 10);
+            let b = quantized.query(&q, 10);
+            assert_eq!(a, b, "i8 pre-rank + f32 rerank must match pure f32");
+        }
+        // Tombstones and the delta tail go through the same rank path.
+        assert!(exact.remove(3) && quantized.remove(3));
+        exact.add(1000, &vectors[0]);
+        quantized.add(1000, &vectors[0]);
+        for q in random_vectors(10, dim, 78) {
+            assert_eq!(exact.query(&q, 7), quantized.query(&q, 7));
+        }
     }
 }

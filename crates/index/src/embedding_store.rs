@@ -1,0 +1,316 @@
+//! Contiguous storage for dense embedding vectors.
+//!
+//! [`EmbeddingStore`] replaces the former `Vec<Arc<Vec<f32>>>` layout of the
+//! ANN index: all vectors live in **one row-major `f32` matrix**, so a
+//! query that scores a run of candidates walks flat cache-local memory
+//! instead of chasing a pointer per vector. Per-row Euclidean norms are
+//! precomputed at insert time — a cosine similarity then costs one dot
+//! product instead of three.
+//!
+//! Optionally the store keeps an **`i8` scalar-quantized mirror** (per-row
+//! symmetric max-abs scaling). The mirror supports a cheap approximate
+//! cosine — integer multiply-accumulate at 4× the element throughput of
+//! `f32`, and a quarter the memory traffic — used by the ANN index to
+//! *pre-rank* candidates before an exact `f32` rerank of the survivors.
+
+use serde::{Deserialize, Serialize};
+
+use cmdl_nn::{dot_f32, dot_i8, norm_f32};
+
+/// The `i8` scalar-quantized mirror of a store (row-major). Instead of the
+/// raw de-quantization scale, each row stores `scale / ‖row‖` — the one
+/// factor the approximate-cosine kernel needs, so scoring a row is a
+/// single multiply with no division.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct QuantizedMirror {
+    data: Vec<i8>,
+    scale_over_norm: Vec<f32>,
+}
+
+/// A contiguous row-major store of equal-dimension `f32` vectors with
+/// precomputed norms and an optional `i8` quantized mirror.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EmbeddingStore {
+    dim: usize,
+    /// Row-major vector data (`len * dim` floats).
+    data: Vec<f32>,
+    /// Per-row *inverse* Euclidean norm (`0` for a zero row, which makes a
+    /// zero row score 0 with no branch). Stored inverted so a cosine is a
+    /// dot product and two multiplies — no per-row division.
+    inv_norms: Vec<f32>,
+    /// The quantized mirror, if enabled at construction.
+    quantized: Option<QuantizedMirror>,
+}
+
+impl EmbeddingStore {
+    /// An empty store for vectors of dimension `dim`; `quantize` enables
+    /// the `i8` mirror.
+    pub fn new(dim: usize, quantize: bool) -> Self {
+        Self {
+            dim,
+            data: Vec::new(),
+            inv_norms: Vec::new(),
+            quantized: quantize.then(QuantizedMirror::default),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.inv_norms.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.inv_norms.is_empty()
+    }
+
+    /// Does the store keep an `i8` mirror?
+    pub fn is_quantized(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    /// Append a vector (copied into the contiguous matrix; the norm and —
+    /// if enabled — the quantized row are computed here).
+    ///
+    /// # Panics
+    /// Panics if the vector dimension does not match the store dimension.
+    pub fn push(&mut self, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.data.extend_from_slice(vector);
+        let norm = norm_f32(vector);
+        let inv_norm = if norm == 0.0 { 0.0 } else { 1.0 / norm };
+        self.inv_norms.push(inv_norm);
+        if let Some(mirror) = &mut self.quantized {
+            let scale = quantize_append(vector, &mut mirror.data);
+            mirror.scale_over_norm.push(scale * inv_norm);
+        }
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The precomputed inverse norm of row `i` (`0` for a zero row).
+    #[inline]
+    pub fn inv_norm(&self, i: usize) -> f32 {
+        self.inv_norms[i]
+    }
+
+    /// Exact cosine similarity between row `i` and a query whose *inverse*
+    /// norm the caller computed once (see [`Self::inv_query_norm`]). Zero
+    /// vectors score 0 through the zero inverse norm — no branch.
+    #[inline]
+    pub fn cosine(&self, i: usize, query: &[f32], inv_query_norm: f32) -> f64 {
+        f64::from(dot_f32(self.row(i), query))
+            * f64::from(self.inv_norms[i])
+            * f64::from(inv_query_norm)
+    }
+
+    /// Stream the exact cosine of *every* row in order — the full-scan
+    /// form of [`Self::cosine`]: `chunks_exact` walks the matrix with no
+    /// per-row bounds arithmetic. Requires `dim > 0` (callers with an
+    /// empty dimension use the indexed form).
+    #[inline]
+    pub fn cosines<'q>(
+        &'q self,
+        query: &'q [f32],
+        inv_query_norm: f32,
+    ) -> impl Iterator<Item = f64> + 'q {
+        self.data
+            .chunks_exact(self.dim.max(1))
+            .zip(&self.inv_norms)
+            .map(move |(row, &inv_norm)| {
+                f64::from(dot_f32(row, query)) * f64::from(inv_norm) * f64::from(inv_query_norm)
+            })
+    }
+
+    /// The inverse norm of a query vector (`0` for the zero query).
+    pub fn inv_query_norm(query: &[f32]) -> f32 {
+        let norm = norm_f32(query);
+        if norm == 0.0 {
+            0.0
+        } else {
+            1.0 / norm
+        }
+    }
+
+    /// Quantize a query vector against this store's mirror. Returns `None`
+    /// when the store keeps no mirror — or when the query is the zero
+    /// vector: a zero dequantization scale would make every approximate
+    /// score 0.0, so the pre-rank pool would be selected by store position
+    /// instead of similarity; callers fall back to the exact path, which
+    /// handles the all-ties case with its id tie-break.
+    pub fn quantize_query(&self, query: &[f32], out: &mut Vec<i8>) -> Option<f32> {
+        self.quantized.as_ref()?;
+        out.clear();
+        let scale = quantize_append(query, out);
+        (scale != 0.0).then_some(scale)
+    }
+
+    /// Approximate cosine similarity between row `i` and a pre-quantized
+    /// query. Convenience wrapper over [`Self::quantized_scorer`] (which a
+    /// scoring loop should hoist out of its per-row body).
+    #[inline]
+    pub fn approx_cosine(&self, i: usize, q: &[i8], q_factor: f32) -> f64 {
+        self.quantized_scorer()
+            .expect("quantized mirror present")
+            .approx_cosine(i, q, q_factor)
+    }
+
+    /// Borrow the `i8` pre-ranking kernel, resolving the mirror option and
+    /// layout once so the per-row scoring body is just one integer dot
+    /// product and two multiplies.
+    pub fn quantized_scorer(&self) -> Option<QuantizedScorer<'_>> {
+        self.quantized.as_ref().map(|mirror| QuantizedScorer {
+            dim: self.dim,
+            data: &mirror.data,
+            scale_over_norm: &mirror.scale_over_norm,
+        })
+    }
+}
+
+/// The borrowed `i8` pre-ranking kernel of an [`EmbeddingStore`] mirror.
+pub struct QuantizedScorer<'a> {
+    dim: usize,
+    data: &'a [i8],
+    scale_over_norm: &'a [f32],
+}
+
+impl QuantizedScorer<'_> {
+    /// Approximate cosine similarity between row `i` and a pre-quantized
+    /// query. `q_factor` is the query-constant `q_scale · inv_query_norm`.
+    /// Only relative order matters; the exact rerank recomputes survivors
+    /// in `f32`.
+    #[inline]
+    pub fn approx_cosine(&self, i: usize, q: &[i8], q_factor: f32) -> f64 {
+        let dot = dot_i8(&self.data[i * self.dim..(i + 1) * self.dim], q) as f32;
+        f64::from(dot * self.scale_over_norm[i] * q_factor)
+    }
+
+    /// Stream the approximate cosine of *every* row in order — the
+    /// full-scan form: `chunks_exact` walks the mirror with no per-row
+    /// bounds arithmetic, so the loop body is the integer dot product and
+    /// two multiplies. Requires `dim > 0` (callers with an empty dimension
+    /// use the indexed form).
+    #[inline]
+    pub fn approx_cosines<'q>(
+        &'q self,
+        q: &'q [i8],
+        q_factor: f32,
+    ) -> impl Iterator<Item = f64> + 'q {
+        self.data
+            .chunks_exact(self.dim.max(1))
+            .zip(self.scale_over_norm)
+            .map(move |(row, &scale_over_norm)| {
+                f64::from(dot_i8(row, q) as f32 * scale_over_norm * q_factor)
+            })
+    }
+}
+
+/// Symmetric max-abs scalar quantization of one vector, appended to `out`;
+/// returns the de-quantization scale (`0` for the zero vector).
+fn quantize_append(vector: &[f32], out: &mut Vec<i8>) -> f32 {
+    let max_abs = vector.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        out.extend(std::iter::repeat_n(0i8, vector.len()));
+        return 0.0;
+    }
+    let scale = max_abs / 127.0;
+    out.extend(
+        vector
+            .iter()
+            .map(|v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+    );
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_norms() {
+        let mut store = EmbeddingStore::new(3, false);
+        store.push(&[3.0, 0.0, 4.0]);
+        store.push(&[0.0, 0.0, 0.0]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.row(0), &[3.0, 0.0, 4.0]);
+        assert!((store.inv_norm(0) - 0.2).abs() < 1e-6);
+        // Zero rows score 0 against anything (zero inverse norm).
+        assert_eq!(store.cosine(1, &[1.0, 0.0, 0.0], 1.0), 0.0);
+        let inv_qn = EmbeddingStore::inv_query_norm(&[3.0, 0.0, 4.0]);
+        assert!((store.cosine(0, &[3.0, 0.0, 4.0], inv_qn) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut store = EmbeddingStore::new(3, false);
+        store.push(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantized_mirror_tracks_rows() {
+        let mut store = EmbeddingStore::new(4, true);
+        store.push(&[1.0, -0.5, 0.25, 0.0]);
+        store.push(&[0.0; 4]);
+        assert!(store.is_quantized());
+        let mut q = Vec::new();
+        let scale = store
+            .quantize_query(&[1.0, -0.5, 0.25, 0.0], &mut q)
+            .unwrap();
+        assert!(scale > 0.0);
+        let q_factor = scale * EmbeddingStore::inv_query_norm(&[1.0, -0.5, 0.25, 0.0]);
+        let approx = store.approx_cosine(0, &q, q_factor);
+        assert!(
+            (approx - 1.0).abs() < 0.02,
+            "approx self-similarity: {approx}"
+        );
+        assert_eq!(store.approx_cosine(1, &q, q_factor), 0.0);
+    }
+
+    #[test]
+    fn approx_cosine_close_to_exact() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let dim = 48;
+        let mut store = EmbeddingStore::new(dim, true);
+        let rows: Vec<Vec<f32>> = (0..50)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        for row in &rows {
+            store.push(row);
+        }
+        let query: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let inv_qn = EmbeddingStore::inv_query_norm(&query);
+        let mut q = Vec::new();
+        let scale = store.quantize_query(&query, &mut q).unwrap();
+        for i in 0..rows.len() {
+            let exact = store.cosine(i, &query, inv_qn);
+            let approx = store.approx_cosine(i, &q, scale * inv_qn);
+            assert!(
+                (exact - approx).abs() < 0.02,
+                "row {i}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_keeps_mirror() {
+        let mut store = EmbeddingStore::new(2, true);
+        store.push(&[0.5, -1.5]);
+        let json = serde_json::to_string(&store).unwrap();
+        let back: EmbeddingStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.is_quantized());
+        assert_eq!(back.row(0), store.row(0));
+        assert_eq!(back.inv_norm(0), store.inv_norm(0));
+    }
+}

@@ -18,8 +18,10 @@
 
 pub mod ann;
 pub mod bm25;
+pub mod embedding_store;
 pub mod topk;
 
 pub use ann::{AnnIndex, AnnIndexConfig, BruteForceIndex};
 pub use bm25::{Bm25Params, InvertedIndex, ScoringFunction};
+pub use embedding_store::EmbeddingStore;
 pub use topk::TopK;

@@ -53,6 +53,7 @@ impl TopK {
     }
 
     /// Offer an `(id, score)` pair.
+    #[inline]
     pub fn push(&mut self, id: u64, score: f64) {
         if self.k == 0 || !score.is_finite() {
             return;
@@ -73,6 +74,7 @@ impl TopK {
     /// order (score desc, id asc) — independent of arrival order and of `k`.
     /// That k-independence is what makes paginated fetches of different
     /// depths consistent.
+    #[inline]
     pub fn would_accept(&self, score: f64) -> bool {
         if self.k == 0 || !score.is_finite() {
             return false;
@@ -94,6 +96,7 @@ impl TopK {
     }
 
     /// The lowest retained score, if the accumulator is full.
+    #[inline]
     pub fn threshold(&self) -> Option<f64> {
         if self.heap.len() == self.k {
             self.heap.peek().map(|i| i.score)

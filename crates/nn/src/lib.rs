@@ -22,7 +22,7 @@ pub mod loss;
 pub mod mlp;
 pub mod optimizer;
 
-pub use linalg::Matrix;
+pub use linalg::{dot_f32, dot_i8, norm_f32, Matrix};
 pub use loss::{triplet_loss, triplet_loss_grad, TripletBatch};
 pub use mlp::{Activation, Linear, Mlp, MlpConfig};
 pub use optimizer::{Adam, AdamConfig, Optimizer, Sgd};

@@ -1,8 +1,68 @@
-//! A small row-major matrix type.
+//! A small row-major matrix type and the dense-vector kernels of the query
+//! hot path.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+
+/// Dot product of two equal-length `f32` slices, accumulated in 8
+/// independent lanes so the compiler can keep the loop in vector registers
+/// (a single running sum would serialize on the add latency and defeats
+/// auto-vectorization under strict float semantics).
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_f32 requires equal-length slices");
+    let mut lanes = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for c in 0..chunks {
+        let (xa, xb) = (&a[c * 8..c * 8 + 8], &b[c * 8..c * 8 + 8]);
+        for l in 0..8 {
+            lanes[l] += xa[l] * xb[l];
+        }
+    }
+    let mut sum = (lanes[0] + lanes[4]) + (lanes[1] + lanes[5]);
+    sum += (lanes[2] + lanes[6]) + (lanes[3] + lanes[7]);
+    for i in chunks * 8..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Euclidean norm of an `f32` slice (8-lane accumulation, like
+/// [`dot_f32`]).
+#[inline]
+pub fn norm_f32(a: &[f32]) -> f32 {
+    dot_f32(a, a).sqrt()
+}
+
+/// Dot product of two equal-length `i8` slices, widened to `i32`. The
+/// widening multiply-accumulate vectorizes to integer lanes — roughly 4×
+/// the element throughput of the `f32` kernel — which is what makes the
+/// scalar-quantized pre-ranking pass cheap.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 requires equal-length slices");
+    // The product of two i8 values fits i16 (|x| ≤ 127 ⇒ |x·y| ≤ 16129),
+    // so multiplying in i16 before widening lets the compiler use the
+    // packed 16-bit multiply-accumulate forms; 16 lanes keep two vector
+    // registers busy.
+    let mut lanes = [0i32; 16];
+    let chunks = a.len() / 16;
+    for c in 0..chunks {
+        let (xa, xb) = (&a[c * 16..c * 16 + 16], &b[c * 16..c * 16 + 16]);
+        for l in 0..16 {
+            lanes[l] += i32::from(i16::from(xa[l]) * i16::from(xb[l]));
+        }
+    }
+    let mut sum = 0i32;
+    for lane in lanes {
+        sum += lane;
+    }
+    for i in chunks * 16..a.len() {
+        sum += i32::from(a[i]) * i32::from(b[i]);
+    }
+    sum
+}
 
 /// A dense row-major `f32` matrix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -182,6 +242,32 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dot_kernels_match_naive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for len in [0usize, 1, 7, 8, 9, 48, 100, 257] {
+            let a: Vec<f32> = (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot_f32(&a, &b) - naive).abs() < 1e-3, "len {len}");
+            let naive_norm = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((norm_f32(&a) - naive_norm).abs() < 1e-3, "len {len}");
+
+            let qa: Vec<i8> = (0..len)
+                .map(|_| rng.gen_range(-127i32..=127) as i8)
+                .collect();
+            let qb: Vec<i8> = (0..len)
+                .map(|_| rng.gen_range(-127i32..=127) as i8)
+                .collect();
+            let naive_i: i32 = qa
+                .iter()
+                .zip(&qb)
+                .map(|(x, y)| i32::from(*x) * i32::from(*y))
+                .sum();
+            assert_eq!(dot_i8(&qa, &qb), naive_i, "len {len}");
+        }
+    }
 
     #[test]
     fn construction_and_access() {

@@ -41,7 +41,7 @@ use std::time::Duration;
 use cmdl_core::ErrorCode;
 
 use crate::api::{http_status, ServiceError, ServiceResponse};
-use crate::service::{serialize_response, CmdlService};
+use crate::service::{serialize_response, serialize_response_into, CmdlService};
 
 /// Configuration of the HTTP adapter.
 #[derive(Debug, Clone)]
@@ -211,15 +211,34 @@ fn serve_connection(stream: TcpStream, service: &CmdlService) {
     };
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
+    // One response buffer per connection, reused across keep-alive
+    // requests: the streaming serializer writes every envelope straight
+    // into it, so a serving loop in steady state allocates neither a `Json`
+    // tree nor a fresh output buffer.
+    let mut body = String::new();
     loop {
         match read_request(&mut reader, &mut writer) {
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive;
-                let (status, content_type, body) = route(service, &request);
-                if write_response(&mut writer, status, content_type, &body, keep_alive).is_err()
+                body.clear();
+                let (status, content_type) = route(service, &request, &mut body);
+                if write_response(
+                    &mut writer,
+                    status,
+                    content_type,
+                    body.as_bytes(),
+                    keep_alive,
+                )
+                .is_err()
                     || !keep_alive
                 {
                     return;
+                }
+                // One oversized response (e.g. a huge /batch) must not pin
+                // its peak capacity on this pool worker for the rest of the
+                // keep-alive connection.
+                if body.capacity() > MAX_RETAINED_BODY_BYTES {
+                    body.shrink_to(MAX_RETAINED_BODY_BYTES);
                 }
             }
             Ok(None) => return, // clean EOF between requests
@@ -248,6 +267,10 @@ const MAX_LINE_BYTES: u64 = 8 * 1024;
 
 /// Maximum headers per request.
 const MAX_HEADERS: usize = 100;
+
+/// Largest response-buffer capacity a keep-alive connection retains
+/// between requests.
+const MAX_RETAINED_BODY_BYTES: usize = 1024 * 1024;
 
 /// `read_line` bounded to [`MAX_LINE_BYTES`]: a line that hits the cap
 /// without a newline is an error, not an ever-growing buffer.
@@ -382,11 +405,12 @@ pub fn route_envelope(method: &str, path: &str, body: &str) -> Option<String> {
 }
 
 /// Route a request: splice the body into the envelope and run it through
-/// the service's JSON path. Returns (status, content-type, body). Every
-/// outcome — including the transport-level ones that never reach a
-/// handler — is recorded in the service metrics, so the labeled request
-/// counters always sum to the total.
-fn route(service: &CmdlService, request: &HttpRequest) -> (u16, &'static str, Vec<u8>) {
+/// the service's JSON path, streaming the response into the connection's
+/// reusable `out` buffer. Returns (status, content-type). Every outcome —
+/// including the transport-level ones that never reach a handler — is
+/// recorded in the service metrics, so the labeled request counters always
+/// sum to the total.
+fn route(service: &CmdlService, request: &HttpRequest, out: &mut String) -> (u16, &'static str) {
     if request.unsupported_encoding {
         let response = ServiceResponse::failure(ServiceError::with_subject(
             ErrorCode::MalformedRequest,
@@ -395,12 +419,13 @@ fn route(service: &CmdlService, request: &HttpRequest) -> (u16, &'static str, Ve
         service
             .metrics()
             .record_transport("malformed", Some(ErrorCode::MalformedRequest));
-        return (400, "application/json", serialize_response(&response));
+        serialize_response_into(&response, out);
+        return (400, "application/json");
     }
     if (request.method.as_str(), request.path.as_str()) == ("GET", "/metrics") {
-        let text = service.render_metrics();
+        out.push_str(&service.render_metrics());
         service.metrics().record_transport("metrics", None);
-        return (200, "text/plain; version=0.0.4", text.into_bytes());
+        return (200, "text/plain; version=0.0.4");
     }
     let body = String::from_utf8_lossy(&request.body);
     let Some(envelope) = route_envelope(&request.method, &request.path, &body) else {
@@ -412,11 +437,13 @@ fn route(service: &CmdlService, request: &HttpRequest) -> (u16, &'static str, Ve
             .metrics()
             .record_transport("unknown_route", Some(ErrorCode::UnknownRoute));
         let status = http_status(ErrorCode::UnknownRoute);
-        return (status, "application/json", serialize_response(&response));
+        serialize_response_into(&response, out);
+        return (status, "application/json");
     };
     let response = service.handle_json(envelope.as_bytes());
     let status = response.error_code().map(http_status).unwrap_or(200);
-    (status, "application/json", serialize_response(&response))
+    serialize_response_into(&response, out);
+    (status, "application/json")
 }
 
 /// Write one framed response.

@@ -131,7 +131,18 @@ impl CmdlService {
     /// [`handle_json`](Self::handle_json) with the envelope serialized back
     /// to JSON bytes.
     pub fn handle_json_bytes(&self, request: &[u8]) -> Vec<u8> {
-        serialize_response(&self.handle_json(request))
+        let mut out = String::new();
+        self.handle_json_into(request, &mut out);
+        out.into_bytes()
+    }
+
+    /// [`handle_json`](Self::handle_json) streaming the response envelope
+    /// into a caller-owned buffer (appended, not cleared) — the
+    /// allocation-free form of the wire contract a per-connection serving
+    /// loop reuses its buffer with. The envelope is written by the zero-DOM
+    /// streaming serializer; no intermediate `Json` tree is built.
+    pub fn handle_json_into(&self, request: &[u8], out: &mut String) {
+        serialize_response_into(&self.handle_json(request), out);
     }
 
     fn handle_read(&self, request: ServiceRequest) -> ServiceResponse {
@@ -295,15 +306,18 @@ impl CmdlService {
     }
 }
 
-/// Serialize an envelope, falling back to a hand-rolled `Internal` envelope
-/// if serialization itself fails (it cannot for these types, but the wire
-/// must never be left empty).
+/// Serialize an envelope with the zero-DOM streaming serializer.
 pub(crate) fn serialize_response(response: &ServiceResponse) -> Vec<u8> {
-    serde_json::to_string(response)
-        .map(String::into_bytes)
-        .unwrap_or_else(|_| {
-            br#"{"ok":false,"payload":null,"error":{"code":"Internal","subject":null}}"#.to_vec()
-        })
+    let mut out = String::new();
+    serialize_response_into(response, &mut out);
+    out.into_bytes()
+}
+
+/// Stream an envelope into a reusable buffer (appended). The streaming
+/// serializer is infallible and byte-identical to the DOM path, which the
+/// round-trip fuzz suite asserts.
+pub(crate) fn serialize_response_into(response: &ServiceResponse, out: &mut String) {
+    serde_json::write_to_string(response, out);
 }
 
 #[cfg(test)]

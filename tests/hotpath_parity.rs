@@ -1,0 +1,165 @@
+//! Hot-path parity suite: the fast layouts must be *bit-identical* to
+//! their exact baselines.
+//!
+//! * Block-max-pruned BM25/LM top-k == the unpruned DAAT heap scan == the
+//!   pre-optimization exhaustive HashMap scan, over randomized corpora
+//!   including tombstoned documents and post-finalize delta tails.
+//! * `i8` scalar-quantized ANN pre-rank + `f32` rerank == the pure-`f32`
+//!   path, both at the index level and through the full cross-modal query
+//!   path on the pharma lake (set `HOTPATH_SCALE=bench` for the
+//!   benchmark-scale lake; the default is the fast tiny lake so plain
+//!   `cargo test` stays quick).
+
+use proptest::prelude::*;
+
+use cmdl::core::{Cmdl, CmdlConfig, QueryBuilder};
+use cmdl::datalake::synth::{self, PharmaConfig};
+use cmdl::index::{Bm25Params, InvertedIndex, ScoringFunction};
+use cmdl::text::BagOfWords;
+
+/// Turn term indexes into a bag of words over the shared tiny vocabulary.
+fn bow_of(terms: &[usize]) -> BagOfWords {
+    BagOfWords::from_tokens(terms.iter().map(|t| VOCAB[t % VOCAB.len()]))
+}
+
+const VOCAB: [&str; 12] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+    "lambda", "mu",
+];
+
+const SCORINGS: [ScoringFunction; 3] = [
+    ScoringFunction::Bm25(Bm25Params { k1: 1.2, b: 0.75 }),
+    ScoringFunction::Bm25(Bm25Params { k1: 0.6, b: 0.3 }),
+    ScoringFunction::LmDirichlet { mu: 150.0 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pruned top-k (ids *and* scores) must equal the unpruned DAAT scan
+    /// and the exhaustive reference exactly — including under tombstones
+    /// and a delta tail, where the block bounds must stay conservative.
+    #[test]
+    fn blockmax_pruned_matches_exhaustive(
+        docs in prop::collection::vec(prop::collection::vec(0usize..12, 1..24), 40..300),
+        removals in prop::collection::vec(0usize..300, 0..25),
+        delta in prop::collection::vec(prop::collection::vec(0usize..12, 1..16), 0..20),
+        query in prop::collection::vec(0usize..12, 1..5),
+        k in 1usize..12,
+    ) {
+        let mut idx = InvertedIndex::new();
+        for (i, terms) in docs.iter().enumerate() {
+            idx.add(i as u64, &bow_of(terms));
+        }
+        idx.finalize();
+        for &r in &removals {
+            // Unknown ids are no-ops, which is part of the contract.
+            idx.remove(r as u64);
+        }
+        // Post-finalize adds land in the per-term delta tails.
+        for (i, terms) in delta.iter().enumerate() {
+            idx.add(10_000 + i as u64, &bow_of(terms));
+        }
+        let query = bow_of(&query);
+        for scoring in SCORINGS {
+            let pruned = idx.search_pruned(&query, k, scoring);
+            let unpruned = idx.search_unpruned(&query, k, scoring);
+            prop_assert_eq!(&pruned, &unpruned);
+            let exhaustive = idx.search_exhaustive(&query, k, scoring);
+            prop_assert_eq!(&pruned, &exhaustive);
+        }
+    }
+
+    /// Compaction preserves the pruned/unpruned agreement (block metadata
+    /// is rebuilt from scratch).
+    #[test]
+    fn blockmax_parity_survives_compaction(
+        docs in prop::collection::vec(prop::collection::vec(0usize..12, 1..20), 150..400),
+        removals in prop::collection::vec(0usize..400, 5..60),
+        query in prop::collection::vec(0usize..12, 1..4),
+        k in 1usize..10,
+    ) {
+        let mut idx = InvertedIndex::new();
+        for (i, terms) in docs.iter().enumerate() {
+            idx.add(i as u64, &bow_of(terms));
+        }
+        idx.finalize();
+        for &r in &removals {
+            idx.remove(r as u64);
+        }
+        idx.compact();
+        let query = bow_of(&query);
+        for scoring in SCORINGS {
+            let pruned = idx.search_pruned(&query, k, scoring);
+            let unpruned = idx.search_unpruned(&query, k, scoring);
+            prop_assert_eq!(&pruned, &unpruned);
+        }
+    }
+}
+
+/// The pharma lake the quantization parity runs on: tiny by default, the
+/// benchmark-scale lake under `HOTPATH_SCALE=bench` (the CI bench-smoke
+/// job sets it; release builds make it cheap).
+fn pharma_config() -> PharmaConfig {
+    if std::env::var("HOTPATH_SCALE").as_deref() == Ok("bench") {
+        PharmaConfig {
+            num_drugs: 60,
+            num_enzymes: 30,
+            num_documents: 80,
+            num_interactions: 120,
+            num_synthetic_tables: 10,
+            ..Default::default()
+        }
+    } else {
+        PharmaConfig::tiny()
+    }
+}
+
+/// `i8` pre-rank + `f32` rerank must return the identical top-k (ids and
+/// scores) as the pure-`f32` path, across the whole cross-modal surface of
+/// the pharma lake.
+///
+/// This is an *empirical* contract on the pinned lake/seed/config — scalar
+/// quantization has no mathematical exactness guarantee; the rerank pool
+/// (`ann_rerank_factor × top_k`) is what absorbs the ~1/127 per-row
+/// quantization error in practice. If a legitimate future change to
+/// embedding training or lake synthesis trips this assert with no ANN code
+/// change, widen `ann_rerank_factor` here (and in the bench) rather than
+/// weakening the equality.
+#[test]
+fn quantized_ann_matches_exact_on_pharma_lake() {
+    let lake = synth::pharma::generate(&pharma_config()).lake;
+    let exact_cfg = CmdlConfig {
+        ann_quantize: false,
+        ..CmdlConfig::fast()
+    };
+    let quant_cfg = CmdlConfig {
+        ann_quantize: true,
+        ann_rerank_factor: 4,
+        ..CmdlConfig::fast()
+    };
+    let exact = Cmdl::build(lake.clone(), exact_cfg);
+    let quant = Cmdl::build(lake, quant_cfg);
+    let (snap_exact, snap_quant) = (exact.snapshot(), quant.snapshot());
+
+    // Index-level parity: every profiled embedding queried against both
+    // solo ANN indexes (identical trees — the seed and the insertion order
+    // are the same — so any divergence is the pre-rank).
+    let mut probes = 0usize;
+    for (_, profile) in snap_exact.profiled.profiles.iter() {
+        let a = snap_exact.indexes.solo_search(&profile.solo.content, 10);
+        let b = snap_quant.indexes.solo_search(&profile.solo.content, 10);
+        assert_eq!(a, b, "solo ANN diverged for {:?}", profile.id);
+        probes += 1;
+    }
+    assert!(probes > 20, "expected a real probe workload, got {probes}");
+
+    // Query-level parity: the blended cross-modal hits must match exactly
+    // (the embedding signal is the only path through the ANN index).
+    for doc in 0..snap_exact.profiled.lake.num_documents() {
+        let query = QueryBuilder::cross_modal_doc(doc).top_k(8).build();
+        let a = snap_exact.execute(&query).expect("exact");
+        let b = snap_quant.execute(&query).expect("quantized");
+        assert_eq!(a.hits, b.hits, "cross-modal hits diverged for doc {doc}");
+    }
+}

@@ -62,6 +62,220 @@ impl std::error::Error for Error {}
 pub trait Serialize {
     /// Convert to a JSON value.
     fn to_json(&self) -> Json;
+
+    /// Stream this value as *compact* JSON text into `out` without
+    /// materializing the intermediate [`Json`] tree. The output is
+    /// byte-identical to rendering [`to_json`](Self::to_json) compactly.
+    ///
+    /// The default implementation falls back through the tree; primitives,
+    /// the std containers, and `#[derive(Serialize)]` types override it
+    /// with a direct streaming encoder — the query-serving wire path uses
+    /// this to serialize straight into a reusable per-connection buffer.
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.dom(&self.to_json());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer
+// ---------------------------------------------------------------------------
+
+/// A streaming compact-JSON writer appending to a caller-owned `String`.
+///
+/// Containers are written with `begin_*`/`end_*` pairs; call
+/// [`element`](JsonWriter::element) before every array element and
+/// [`key`](JsonWriter::key) before every object value so commas land in the
+/// right places. All scalar methods format directly into the output buffer
+/// (no per-value allocation; floats use the same shortest-round-trip `{:?}`
+/// rendering as the DOM writer).
+pub struct JsonWriter<'a> {
+    out: &'a mut String,
+    /// One flag per open container: `true` until its first element.
+    first: Vec<bool>,
+}
+
+impl<'a> JsonWriter<'a> {
+    /// Wrap an output buffer (appended to, never cleared).
+    pub fn new(out: &'a mut String) -> Self {
+        Self {
+            out,
+            first: Vec::new(),
+        }
+    }
+
+    /// `null`
+    pub fn null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// `true` / `false`
+    pub fn boolean(&mut self, b: bool) {
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    /// An unsigned integer.
+    pub fn unsigned(&mut self, n: u64) {
+        write_u64(n, self.out);
+    }
+
+    /// A signed integer.
+    pub fn signed(&mut self, n: i64) {
+        write_i64(n, self.out);
+    }
+
+    /// A float (non-finite values render as `null`, like the DOM writer).
+    pub fn float(&mut self, f: f64) {
+        write_f64(f, self.out);
+    }
+
+    /// An escaped string.
+    pub fn string(&mut self, s: &str) {
+        write_escaped(s, self.out);
+    }
+
+    /// Open an array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.first.push(true);
+    }
+
+    /// Close an array.
+    pub fn end_array(&mut self) {
+        self.first.pop();
+        self.out.push(']');
+    }
+
+    /// Open an object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.first.push(true);
+    }
+
+    /// Close an object.
+    pub fn end_object(&mut self) {
+        self.first.pop();
+        self.out.push('}');
+    }
+
+    /// Mark the start of the next array element (writes the separator).
+    pub fn element(&mut self) {
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+    }
+
+    /// Write the next object key (separator + escaped key + `:`).
+    pub fn key(&mut self, k: &str) {
+        self.element();
+        write_escaped(k, self.out);
+        self.out.push(':');
+    }
+
+    /// Render a pre-built [`Json`] tree compactly (the fallback the default
+    /// [`Serialize::write_json`] uses, and the escape hatch for types whose
+    /// encoding needs the tree, e.g. sorted `HashMap` output).
+    pub fn dom(&mut self, value: &Json) {
+        write_compact(value, self.out);
+    }
+}
+
+/// Render a [`Json`] tree as compact JSON text (the canonical compact
+/// encoding both the DOM path and [`JsonWriter`] produce).
+pub fn write_compact(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(n) => write_u64(*n, out),
+        Json::I64(n) => write_i64(*n, out),
+        Json::F64(f) => write_f64(*f, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(entries) => {
+            out.push('{');
+            for (i, (key, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(key, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Append the decimal digits of `n` (no `format!`, no allocation).
+fn write_u64(n: u64, out: &mut String) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    let mut n = n;
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // The buffer holds only ASCII digits.
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+fn write_i64(n: i64, out: &mut String) {
+    if n < 0 {
+        out.push('-');
+        write_u64(n.unsigned_abs(), out);
+    } else {
+        write_u64(n as u64, out);
+    }
+}
+
+/// `{:?}` prints the shortest representation that round-trips — written
+/// straight into the buffer, not through a fresh String. Non-finite values
+/// render as `null`, like the DOM writer.
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        use std::fmt::Write;
+        let _ = write!(out, "{f:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Write a JSON string literal (quotes + escapes) for `s`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Types that can be reconstructed from a [`Json`] tree.
@@ -125,6 +339,7 @@ macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn to_json(&self) -> Json { Json::U64(*self as u64) }
+            fn write_json(&self, out: &mut JsonWriter<'_>) { out.unsigned(*self as u64) }
         }
         impl Deserialize for $t {
             fn from_json(value: &Json) -> Result<Self, Error> {
@@ -151,6 +366,7 @@ macro_rules! impl_signed {
                 let v = *self as i64;
                 if v >= 0 { Json::U64(v as u64) } else { Json::I64(v) }
             }
+            fn write_json(&self, out: &mut JsonWriter<'_>) { out.signed(*self as i64) }
         }
         impl Deserialize for $t {
             fn from_json(value: &Json) -> Result<Self, Error> {
@@ -174,6 +390,10 @@ impl Serialize for f64 {
     fn to_json(&self) -> Json {
         Json::F64(*self)
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.float(*self);
+    }
 }
 
 impl Deserialize for f64 {
@@ -195,6 +415,10 @@ impl Serialize for f32 {
     fn to_json(&self) -> Json {
         Json::F64(f64::from(*self))
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.float(f64::from(*self));
+    }
 }
 
 impl Deserialize for f32 {
@@ -206,6 +430,10 @@ impl Deserialize for f32 {
 impl Serialize for bool {
     fn to_json(&self) -> Json {
         Json::Bool(*self)
+    }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.boolean(*self);
     }
 }
 
@@ -225,6 +453,10 @@ impl Serialize for String {
     fn to_json(&self) -> Json {
         Json::Str(self.clone())
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.string(self);
+    }
 }
 
 impl Deserialize for String {
@@ -243,11 +475,20 @@ impl Serialize for str {
     fn to_json(&self) -> Json {
         Json::Str(self.to_string())
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.string(self);
+    }
 }
 
 impl Serialize for char {
     fn to_json(&self) -> Json {
         Json::Str(self.to_string())
+    }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        let mut buf = [0u8; 4];
+        out.string(self.encode_utf8(&mut buf));
     }
 }
 
@@ -267,6 +508,10 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_json(&self) -> Json {
         (**self).to_json()
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        (**self).write_json(out);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -276,6 +521,10 @@ impl<T: Serialize + ?Sized> Serialize for &T {
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json(&self) -> Json {
         Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        self.as_slice().write_json(out);
     }
 }
 
@@ -295,6 +544,15 @@ impl<T: Serialize> Serialize for [T] {
     fn to_json(&self) -> Json {
         Json::Arr(self.iter().map(Serialize::to_json).collect())
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.begin_array();
+        for item in self {
+            out.element();
+            item.write_json(out);
+        }
+        out.end_array();
+    }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
@@ -302,6 +560,13 @@ impl<T: Serialize> Serialize for Option<T> {
         match self {
             Some(v) => v.to_json(),
             None => Json::Null,
+        }
+    }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.null(),
         }
     }
 }
@@ -319,6 +584,10 @@ impl<T: Serialize> Serialize for Box<T> {
     fn to_json(&self) -> Json {
         (**self).to_json()
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        (**self).write_json(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Box<T> {
@@ -331,6 +600,10 @@ impl<T: Serialize> Serialize for Arc<T> {
     fn to_json(&self) -> Json {
         (**self).to_json()
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        (**self).write_json(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Arc<T> {
@@ -342,6 +615,10 @@ impl<T: Deserialize> Deserialize for Arc<T> {
 impl Serialize for () {
     fn to_json(&self) -> Json {
         Json::Null
+    }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.null();
     }
 }
 
@@ -356,6 +633,14 @@ macro_rules! impl_tuple {
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn to_json(&self) -> Json {
                 Json::Arr(vec![$(self.$idx.to_json()),+])
+            }
+            fn write_json(&self, out: &mut JsonWriter<'_>) {
+                out.begin_array();
+                $(
+                    out.element();
+                    self.$idx.write_json(out);
+                )+
+                out.end_array();
             }
         }
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
@@ -386,6 +671,20 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
                 .collect(),
         )
     }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.begin_array();
+        for (k, v) in self {
+            out.element();
+            out.begin_array();
+            out.element();
+            k.write_json(out);
+            out.element();
+            v.write_json(out);
+            out.end_array();
+        }
+        out.end_array();
+    }
 }
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
@@ -414,6 +713,15 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
 impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
     fn to_json(&self) -> Json {
         Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+
+    fn write_json(&self, out: &mut JsonWriter<'_>) {
+        out.begin_array();
+        for item in self {
+            out.element();
+            item.write_json(out);
+        }
+        out.end_array();
     }
 }
 

@@ -332,9 +332,110 @@ fn generate_serialize(item: &Item) -> String {
             format!("match self {{\n{arms}}}")
         }
     };
+    let stream_body = generate_write_json(item);
     format!(
-        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{\n{body}\n    }}\n}}\n"
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{\n{body}\n    }}\n    fn write_json(&self, __out: &mut ::serde::JsonWriter<'_>) {{\n{stream_body}\n    }}\n}}\n"
     )
+}
+
+/// The body of the generated streaming `write_json` — byte-identical output
+/// to compact-rendering the `to_json` tree, without building the tree.
+fn generate_write_json(item: &Item) -> String {
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("__out.begin_object();\n");
+            for field in fields.iter().filter(|f| !f.skip) {
+                code.push_str(&format!(
+                    "__out.key(\"{f}\");\n::serde::Serialize::write_json(&self.{f}, __out);\n",
+                    f = field.name
+                ));
+            }
+            code.push_str("__out.end_object();");
+            code
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::write_json(&self.0, __out);".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut code = String::from("__out.begin_array();\n");
+            for i in 0..*n {
+                code.push_str(&format!(
+                    "__out.element();\n::serde::Serialize::write_json(&self.{i}, __out);\n"
+                ));
+            }
+            code.push_str("__out.end_array();");
+            code
+        }
+        Shape::UnitStruct => "__out.null();".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!("Self::{vname} => __out.string(\"{vname}\"),\n"))
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "Self::{vname}(__f0) => {{\n\
+                         __out.begin_object();\n\
+                         __out.key(\"{vname}\");\n\
+                         ::serde::Serialize::write_json(__f0, __out);\n\
+                         __out.end_object();\n\
+                         }}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut writes = String::new();
+                        for b in &binds {
+                            writes.push_str(&format!(
+                                "__out.element();\n::serde::Serialize::write_json({b}, __out);\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vname}({binds}) => {{\n\
+                             __out.begin_object();\n\
+                             __out.key(\"{vname}\");\n\
+                             __out.begin_array();\n\
+                             {writes}\
+                             __out.end_array();\n\
+                             __out.end_object();\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let names: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut writes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            writes.push_str(&format!(
+                                "__out.key(\"{f}\");\n::serde::Serialize::write_json({f}, __out);\n",
+                                f = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {names} }} => {{\n\
+                             __out.begin_object();\n\
+                             __out.key(\"{vname}\");\n\
+                             __out.begin_object();\n\
+                             {writes}\
+                             __out.end_object();\n\
+                             __out.end_object();\n\
+                             }}\n",
+                            names = names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
 }
 
 fn generate_deserialize(item: &Item) -> String {

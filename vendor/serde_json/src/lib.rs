@@ -4,26 +4,51 @@
 //! Supports the full JSON grammar (objects, arrays, strings with escapes,
 //! integers, floats, booleans, null) plus exact `u64`/`i64` round-trips.
 
-use serde::{Deserialize, Json, Serialize};
+use serde::{write_compact, write_escaped, Deserialize, Json, Serialize};
 
 pub use serde::Error;
 
-/// Serialize a value to a compact JSON string.
+/// Serialize a value to a compact JSON string **through the [`Json`] tree**
+/// (the DOM path). Kept as the reference/baseline encoder; the hot wire
+/// path uses the zero-DOM [`to_vec`] / [`write_to_string`] instead.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_json(&value.to_json(), &mut out, None, 0);
+    write_compact(&value.to_json(), &mut out);
     Ok(out)
+}
+
+/// Streaming serializer: append `value` as compact JSON to `out` without
+/// materializing the intermediate [`Json`] tree. Byte-identical to
+/// [`to_string`]; the reusable buffer makes this the allocation-free wire
+/// encoder for per-connection serving loops.
+pub fn write_to_string<T: Serialize>(value: &T, out: &mut String) {
+    let mut writer = serde::JsonWriter::new(out);
+    value.write_json(&mut writer);
+}
+
+/// Streaming serializer into fresh bytes (compact, zero-DOM).
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = String::new();
+    write_to_string(value, &mut out);
+    Ok(out.into_bytes())
 }
 
 /// Serialize a value to a 2-space-indented JSON string.
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_json(&value.to_json(), &mut out, Some(2), 0);
+    write_pretty(&value.to_json(), &mut out, 2, 0);
     Ok(out)
 }
 
 /// Deserialize a value from a JSON string.
 pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_json(&from_str_value(text)?)
+}
+
+/// Parse a JSON document into the raw [`Json`] tree (the structural form
+/// typed deserialization reads from; exposed for encoder-equivalence
+/// tests and generic tooling).
+pub fn from_str_value(text: &str) -> Result<Json, Error> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -37,28 +62,18 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
             parser.pos
         )));
     }
-    T::from_json(&value)
+    Ok(value)
 }
 
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
 
-fn write_json(value: &Json, out: &mut String, indent: Option<usize>, level: usize) {
+/// Pretty renderer (2-space default). Scalars and escaping delegate to the
+/// canonical compact helpers in `serde` — there is exactly one escape
+/// table and one number formatter, shared with the streaming encoder.
+fn write_pretty(value: &Json, out: &mut String, width: usize, level: usize) {
     match value {
-        Json::Null => out.push_str("null"),
-        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Json::U64(n) => out.push_str(&n.to_string()),
-        Json::I64(n) => out.push_str(&n.to_string()),
-        Json::F64(f) => {
-            if f.is_finite() {
-                // `{:?}` prints the shortest representation that round-trips.
-                out.push_str(&format!("{f:?}"));
-            } else {
-                out.push_str("null");
-            }
-        }
-        Json::Str(s) => write_string(s, out),
         Json::Arr(items) => {
             if items.is_empty() {
                 out.push_str("[]");
@@ -69,10 +84,10 @@ fn write_json(value: &Json, out: &mut String, indent: Option<usize>, level: usiz
                 if i > 0 {
                     out.push(',');
                 }
-                newline_indent(out, indent, level + 1);
-                write_json(item, out, indent, level + 1);
+                newline_indent(out, width, level + 1);
+                write_pretty(item, out, width, level + 1);
             }
-            newline_indent(out, indent, level);
+            newline_indent(out, width, level);
             out.push(']');
         }
         Json::Obj(entries) => {
@@ -85,47 +100,23 @@ fn write_json(value: &Json, out: &mut String, indent: Option<usize>, level: usiz
                 if i > 0 {
                     out.push(',');
                 }
-                newline_indent(out, indent, level + 1);
-                write_string(key, out);
-                out.push(':');
-                if indent.is_some() {
-                    out.push(' ');
-                }
-                write_json(val, out, indent, level + 1);
+                newline_indent(out, width, level + 1);
+                write_escaped(key, out);
+                out.push_str(": ");
+                write_pretty(val, out, width, level + 1);
             }
-            newline_indent(out, indent, level);
+            newline_indent(out, width, level);
             out.push('}');
         }
+        scalar => write_compact(scalar, out),
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
-    if let Some(width) = indent {
-        out.push('\n');
-        for _ in 0..(width * level) {
-            out.push(' ');
-        }
+fn newline_indent(out: &mut String, width: usize, level: usize) {
+    out.push('\n');
+    for _ in 0..(width * level) {
+        out.push(' ');
     }
-}
-
-fn write_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 // ---------------------------------------------------------------------------
@@ -273,12 +264,22 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume a maximal run of plain bytes in one step.
+                    // (The previous per-character loop re-validated the
+                    // *entire remaining input* as UTF-8 for every character
+                    // — quadratic in document size, which is what made
+                    // large QueryBatch envelopes slower than the sum of
+                    // their parts.)
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::msg("invalid utf8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -403,6 +404,33 @@ mod tests {
             from_str::<String>("\"\\ud83d\\ude00\"").unwrap(),
             "\u{1F600}"
         );
+    }
+
+    #[test]
+    fn streaming_matches_dom_bytes() {
+        let values: Vec<Vec<(String, f64)>> = vec![
+            vec![("a\nb".into(), 1.5), ("\u{1F600}".into(), -0.0)],
+            vec![],
+            vec![("x".into(), 1.0 / 3.0)],
+        ];
+        for v in &values {
+            let mut streamed = String::new();
+            write_to_string(v, &mut streamed);
+            assert_eq!(streamed, to_string(v).unwrap());
+        }
+        assert_eq!(to_vec(&42u64).unwrap(), b"42");
+        let nested: Vec<Option<Vec<i32>>> = vec![None, Some(vec![-1, 2]), Some(vec![])];
+        assert_eq!(
+            String::from_utf8(to_vec(&nested).unwrap()).unwrap(),
+            to_string(&nested).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_appends_to_reusable_buffer() {
+        let mut buf = String::from("prefix:");
+        write_to_string(&vec![1u8, 2], &mut buf);
+        assert_eq!(buf, "prefix:[1,2]");
     }
 
     #[test]
