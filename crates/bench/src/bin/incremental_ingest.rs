@@ -90,7 +90,9 @@ fn main() {
     }
     for doc in delta_docs {
         let start = Instant::now();
-        system.ingest_document(doc.clone());
+        system
+            .ingest_document(doc.clone())
+            .expect("in-memory ingest cannot fail");
         ingest_time += start.elapsed();
         run_queries(&system, &mut query_time, &mut queries_run);
     }

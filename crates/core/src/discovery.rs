@@ -41,6 +41,7 @@
 //! elements (the `incremental-parity` CI job holds this equality forever).
 
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,10 @@ use crate::error::CmdlError;
 use crate::indexes::IndexCatalog;
 use crate::join::PkFkLink;
 use crate::joint::{JointModel, JointTrainer, JointTrainingReport};
+use crate::persist::{
+    decode_profiled, encode_profiled, load_segment, Io, LoadedSegment, PersistError, PersistHandle,
+    RecoveryReport, WalRecord,
+};
 use crate::profile::{ElementData, ProfiledLake, Profiler};
 use crate::query::{DiscoveryQuery, DocQuery, QueryResponse};
 use crate::snapshot::CatalogSnapshot;
@@ -108,6 +113,11 @@ pub struct Cmdl {
     pub training_dataset: Option<TrainingDataset>,
     /// The last training-generation report.
     pub training_report: Option<TrainingGenerationReport>,
+    /// The durability handle (WAL + checkpoint directory), present when the
+    /// catalog was opened with [`open`](Cmdl::open).
+    persist: Option<PersistHandle>,
+    /// How a persistent catalog came up (see [`recovery_report`](Cmdl::recovery_report)).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Cmdl {
@@ -126,9 +136,224 @@ impl Cmdl {
             generation: 0,
             training_dataset: None,
             training_report: None,
+            persist: None,
+            recovery: None,
         };
         system.build_structural_ekg();
         system
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: open / recover / checkpoint
+    // ------------------------------------------------------------------
+
+    /// Open a durable catalog at `dir`: load the newest valid segment,
+    /// verify every section checksum, replay the WAL tail (skipping a torn
+    /// final record), and keep the directory live — every subsequent
+    /// `ingest_*`/`remove_*` appends a checksummed WAL record and fsyncs
+    /// *before* returning, and [`compact`](Cmdl::compact) writes a new
+    /// segment generation then truncates the WAL.
+    ///
+    /// `source` supplies the lake only when it is actually needed: on a
+    /// fresh directory, or when the segment/manifest turns out to be
+    /// corrupted (the catalog then degrades to rebuild-from-source with the
+    /// reason logged and recorded in [`recovery_report`](Cmdl::recovery_report)
+    /// rather than panicking). `config` likewise applies only to those
+    /// rebuild paths — a loaded segment carries its own configuration,
+    /// which must match the serialized index layouts.
+    pub fn open(
+        dir: &Path,
+        config: CmdlConfig,
+        source: impl FnOnce() -> DataLake,
+    ) -> Result<Self, CmdlError> {
+        Self::open_with_io(&Io::real(), dir, config, source)
+    }
+
+    /// [`open`](Cmdl::open) with an explicit io layer — the entry point the
+    /// crash-fault-injection harness uses to kill the "process" at every
+    /// fsync boundary.
+    pub fn open_with_io(
+        io: &Io,
+        dir: &Path,
+        config: CmdlConfig,
+        source: impl FnOnce() -> DataLake,
+    ) -> Result<Self, CmdlError> {
+        io.create_dir_all(dir).map_err(persist_err)?;
+        let loaded = match load_segment(io, dir) {
+            Ok(loaded) => loaded,
+            Err(PersistError::Crashed) => return Err(persist_err(PersistError::Crashed)),
+            Err(reason) => {
+                // Corrupted manifest or segment: degrade to rebuild.
+                return Self::rebuild_at(io, dir, config, source(), Some(reason.to_string()));
+            }
+        };
+        let Some(segment) = loaded else {
+            // Fresh directory.
+            return Self::rebuild_at(io, dir, config, source(), None);
+        };
+        match Self::restore_from_segment(&segment) {
+            Ok(mut system) => {
+                let floor = segment.manifest.last_applied_lsn;
+                let (handle, records, discarded_bytes) =
+                    PersistHandle::open(io, dir, floor).map_err(persist_err)?;
+                let replayed = records.len();
+                // Replay with the handle not yet installed, so the replay
+                // does not re-append the records it is applying.
+                for (_lsn, record) in records {
+                    system.apply_wal_record(record)?;
+                }
+                system.persist = Some(handle);
+                system.recovery = Some(RecoveryReport::Loaded {
+                    generation: segment.manifest.generation,
+                    replayed,
+                    discarded_bytes,
+                });
+                Ok(system)
+            }
+            Err(PersistError::Crashed) => Err(persist_err(PersistError::Crashed)),
+            Err(reason) => Self::rebuild_at(io, dir, config, source(), Some(reason.to_string())),
+        }
+    }
+
+    /// How this catalog came up, when it was opened with
+    /// [`open`](Cmdl::open): loaded from a segment (with the WAL replay
+    /// count), rebuilt from source over a damaged directory (with the
+    /// reason), or fresh. `None` for a purely in-memory
+    /// [`build`](Cmdl::build).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Is this catalog persistent (opened with [`open`](Cmdl::open))?
+    pub fn is_persistent(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Build from source into `dir`, write the initial checkpoint (which
+    /// also truncates any stale WAL left by a damaged directory), and
+    /// record why.
+    fn rebuild_at(
+        io: &Io,
+        dir: &Path,
+        config: CmdlConfig,
+        lake: DataLake,
+        reason: Option<String>,
+    ) -> Result<Self, CmdlError> {
+        if let Some(reason) = &reason {
+            eprintln!(
+                "cmdl: persistent catalog at {} is damaged ({reason}); rebuilding from source",
+                dir.display()
+            );
+        }
+        let mut system = Self::build(lake, config);
+        let (handle, _stale, _discarded) = PersistHandle::open(io, dir, 0).map_err(persist_err)?;
+        system.persist = Some(handle);
+        system
+            .checkpoint()
+            .map_err(|e| CmdlError::Persist(format!("initial checkpoint failed: {e}")))?;
+        system.recovery = Some(match reason {
+            Some(reason) => RecoveryReport::Rebuilt { reason },
+            None => RecoveryReport::Fresh,
+        });
+        Ok(system)
+    }
+
+    /// Deserialize every section of a verified segment back into a catalog
+    /// and re-arm the runtime-only state the serialization skips.
+    fn restore_from_segment(segment: &LoadedSegment) -> Result<Self, PersistError> {
+        fn section<'a>(segment: &'a LoadedSegment, name: &str) -> Result<&'a [u8], PersistError> {
+            segment
+                .sections
+                .get(name)
+                .map(Vec::as_slice)
+                .ok_or_else(|| PersistError::Corrupt(format!("segment missing section '{name}'")))
+        }
+        fn parse<T: Deserialize>(name: &str, bytes: &[u8]) -> Result<T, PersistError> {
+            serde::from_bin_bytes(bytes).map_err(|e| {
+                PersistError::Corrupt(format!("section '{name}' failed to decode: {e}"))
+            })
+        }
+        // The profiled lake and index catalog dwarf the other sections
+        // (token bags and posting lists scale with the corpus), so they
+        // decode concurrently — the profiled section fanning its shards
+        // out across the rayon pool (see `persist::codec`).
+        let (profiled, indexes) = rayon::join(
+            || decode_profiled(section(segment, "profiled")?),
+            || parse::<IndexCatalog>("indexes", section(segment, "indexes")?),
+        );
+        let config: CmdlConfig = parse("config", section(segment, "config")?)?;
+        let profiled = profiled?;
+        let mut indexes = indexes?;
+        let ekg: Ekg = parse("ekg", section(segment, "ekg")?)?;
+        let joint: Option<JointModel> = parse("joint", section(segment, "joint")?)?;
+        indexes.restore_runtime_state(&config);
+        let profiler = Profiler::new(&config);
+        Ok(Self {
+            config,
+            profiled: Arc::new(profiled),
+            indexes: Arc::new(indexes),
+            profiler: Arc::new(profiler),
+            joint: joint.map(Arc::new),
+            ekg: Arc::new(ekg),
+            generation: segment.manifest.generation,
+            training_dataset: None,
+            training_report: None,
+            persist: None,
+            recovery: None,
+        })
+    }
+
+    /// Re-apply one WAL record through the ordinary mutation path (the
+    /// persist handle is not yet installed, so nothing is re-logged).
+    fn apply_wal_record(&mut self, record: WalRecord) -> Result<(), CmdlError> {
+        match record {
+            WalRecord::IngestTable(table) => self.ingest_table(table).map(|_| ()),
+            WalRecord::IngestDocument(document) => self.ingest_document(document).map(|_| ()),
+            WalRecord::RemoveTable { name } => self.remove_table(&name).map(|_| ()),
+            WalRecord::RemoveDocument { index } => self.remove_document(index),
+        }
+        .map_err(|e| CmdlError::Persist(format!("wal replay diverged: {e}")))
+    }
+
+    /// Append one mutation record to the WAL and fsync (no-op for an
+    /// in-memory catalog). Called *after* validation and *before* the
+    /// in-memory apply, so an acknowledged mutation is durable and a
+    /// crashed one is at worst replayed as a no-op-to-the-caller redo.
+    fn wal_append(&mut self, record: &WalRecord) -> Result<(), CmdlError> {
+        if let Some(handle) = self.persist.as_mut() {
+            handle.append(record).map_err(persist_err)?;
+        }
+        Ok(())
+    }
+
+    /// Serialize the catalog into a new segment generation, atomically
+    /// swap the manifest, and truncate the WAL. No-op for an in-memory
+    /// catalog.
+    pub fn checkpoint(&mut self) -> Result<(), CmdlError> {
+        if self.persist.is_none() {
+            return Ok(());
+        }
+        let sections = [
+            ("config", serde::to_bin_bytes(&self.config)),
+            ("profiled", encode_profiled(&self.profiled)),
+            ("indexes", serde::to_bin_bytes(&*self.indexes)),
+            ("ekg", serde::to_bin_bytes(&*self.ekg)),
+            ("joint", serde::to_bin_bytes(&self.joint)),
+        ];
+        let generation = self.generation;
+        let handle = self.persist.as_mut().expect("checked above");
+        handle
+            .checkpoint(generation, &sections)
+            .map_err(persist_err)
+    }
+
+    /// Checkpoint, logging (not propagating) a failure: the WAL already
+    /// holds every acknowledged mutation, so a failed checkpoint costs
+    /// replay time on the next open, never durability.
+    fn checkpoint_best_effort(&mut self) {
+        if let Err(e) = self.checkpoint() {
+            eprintln!("cmdl: checkpoint failed (durability unaffected, WAL retained): {e}");
+        }
     }
 
     /// The Enterprise Knowledge Graph.
@@ -200,6 +425,9 @@ impl Cmdl {
         self.training_dataset = Some(dataset);
         self.training_report = Some(gen_report);
         self.generation += 1;
+        // The joint model is not WAL-covered (it is not a queue mutation),
+        // so persist it eagerly via a checkpoint.
+        self.checkpoint_best_effort();
         report
     }
 
@@ -321,26 +549,29 @@ impl Cmdl {
         if self.profiled.lake.table(&table.name).is_some() {
             return Err(CmdlError::DuplicateTable(table.name));
         }
+        self.wal_append(&WalRecord::IngestTable(table.clone()))?;
         let profiled = Arc::make_mut(&mut self.profiled);
         let table_idx = profiled.lake.add_table(table);
         let new_profiles: Vec<crate::profile::DeProfile> = {
             let table_ref = &profiled.lake.tables()[table_idx];
             (0..table_ref.num_columns())
                 .map(|c| {
-                    let id = profiled
-                        .lake
-                        .column_id(table_idx, c)
-                        .expect("freshly added column has an id");
-                    self.profiler.profile_element(
+                    let id = profiled.lake.column_id(table_idx, c).ok_or_else(|| {
+                        CmdlError::Internal(format!(
+                            "freshly added column {c} of table {} has no id",
+                            table_ref.name
+                        ))
+                    })?;
+                    Ok(self.profiler.profile_element(
                         id,
                         ElementData::Column {
                             table_name: &table_ref.name,
                             column: &table_ref.columns[c],
                             table_rows: table_ref.num_rows(),
                         },
-                    )
+                    ))
                 })
-                .collect()
+                .collect::<Result<_, CmdlError>>()?
         };
         let indexes = Arc::make_mut(&mut self.indexes);
         let ekg = Arc::make_mut(&mut self.ekg);
@@ -370,7 +601,8 @@ impl Cmdl {
     /// from its raw bag and re-indexed — so the profiles always match what
     /// a batch rebuild over the full corpus would produce. Returns the
     /// document index.
-    pub fn ingest_document(&mut self, document: Document) -> usize {
+    pub fn ingest_document(&mut self, document: Document) -> Result<usize, CmdlError> {
+        self.wal_append(&WalRecord::IngestDocument(document.clone()))?;
         let raw = self.profiler.doc_pipeline().process(&document.text);
         let profiled = Arc::make_mut(&mut self.profiled);
         // Which terms flip keep-status under the corpus update? (Every
@@ -391,10 +623,9 @@ impl Cmdl {
         profiled.doc_df.observe(&raw);
 
         let doc_idx = profiled.lake.add_document(document);
-        let id = profiled
-            .lake
-            .document_id(doc_idx)
-            .expect("freshly added document has an id");
+        let id = profiled.lake.document_id(doc_idx).ok_or_else(|| {
+            CmdlError::Internal(format!("freshly added document {doc_idx} has no id"))
+        })?;
         let profile = self.profiler.profile_element(
             id,
             ElementData::Document {
@@ -420,7 +651,7 @@ impl Cmdl {
         profiled.profiles.insert(id, profile);
         self.generation += 1;
         self.maybe_compact();
-        doc_idx
+        Ok(doc_idx)
     }
 
     /// Remove a table: its columns are tombstoned in every index (space is
@@ -428,15 +659,21 @@ impl Cmdl {
     /// dropped, and the affected EKG neighborhood patched. Returns the
     /// number of removed elements.
     pub fn remove_table(&mut self, name: &str) -> Result<usize, CmdlError> {
+        if self.profiled.lake.table_index(name).is_none() {
+            return Err(CmdlError::UnknownTable(name.to_string()));
+        }
+        self.wal_append(&WalRecord::RemoveTable {
+            name: name.to_string(),
+        })?;
         let profiled = Arc::make_mut(&mut self.profiled);
         let table_idx = profiled
             .lake
             .table_index(name)
-            .ok_or_else(|| CmdlError::UnknownTable(name.to_string()))?;
+            .ok_or_else(|| CmdlError::Internal(format!("table {name} vanished mid-removal")))?;
         let removed = profiled
             .lake
             .remove_table(name)
-            .expect("table exists and is live");
+            .ok_or_else(|| CmdlError::Internal(format!("table {name} was not live on removal")))?;
         let indexes = Arc::make_mut(&mut self.indexes);
         let ekg = Arc::make_mut(&mut self.ekg);
         let removed_set: HashSet<DeId> = removed.iter().copied().collect();
@@ -458,6 +695,11 @@ impl Cmdl {
     /// the same flip-patching as ingestion), and its EKG neighborhood is
     /// patched.
     pub fn remove_document(&mut self, index: usize) -> Result<(), CmdlError> {
+        match self.profiled.lake.document_id(index) {
+            Some(id) if self.profiled.profiles.contains_key(&id) => {}
+            _ => return Err(CmdlError::UnknownDocument(index)),
+        }
+        self.wal_append(&WalRecord::RemoveDocument { index })?;
         let profiled = Arc::make_mut(&mut self.profiled);
         let id = profiled
             .lake
@@ -547,9 +789,16 @@ impl Cmdl {
     /// tails, stale IDF) back into the dense layouts. After `compact`, the
     /// catalog is structurally identical to a batch build over the surviving
     /// elements.
+    ///
+    /// On a persistent catalog, compaction also writes a new segment
+    /// generation and truncates the WAL. A checkpoint failure is logged
+    /// and never propagated: every acknowledged mutation is already
+    /// fsynced in the WAL, so a failed checkpoint costs replay time on the
+    /// next open, not durability.
     pub fn compact(&mut self) {
         Arc::make_mut(&mut self.indexes).compact(&self.profiled, &self.config);
         self.generation += 1;
+        self.checkpoint_best_effort();
     }
 
     /// Run [`compact`](Self::compact) if any index's delta state exceeds the
@@ -608,7 +857,9 @@ impl Cmdl {
             .map(|(_, t)| t.name.clone())
             .collect();
         for name in &table_names {
-            let from = snap.profiled.lake.table_index(name).expect("table exists");
+            let Some(from) = snap.profiled.lake.table_index(name) else {
+                continue;
+            };
             if let Ok(joins) = snap.joinable(name, top_k) {
                 for j in joins {
                     if let Some(to) = j
@@ -643,6 +894,8 @@ impl Cmdl {
         for (from, to, relation, weight) in edges {
             ekg.add_edge(from, to, relation, weight);
         }
+        // Materialized edges are not WAL-covered; persist them eagerly.
+        self.checkpoint_best_effort();
     }
 
     fn build_structural_ekg(&mut self) {
@@ -668,6 +921,11 @@ impl Cmdl {
             );
         }
     }
+}
+
+/// Classify a [`PersistError`] into the typed error surface.
+fn persist_err(e: PersistError) -> CmdlError {
+    CmdlError::Persist(e.to_string())
 }
 
 #[cfg(test)]
@@ -832,11 +1090,13 @@ mod tests {
         let mut cmdl = system();
         let docs_before = cmdl.profiled.doc_ids.len();
         let df_docs_before = cmdl.profiled.doc_df.num_docs();
-        let idx = cmdl.ingest_document(cmdl_datalake::Document::new(
-            "xanthine-oxidase-note",
-            "PubMed",
-            "Febuxostat potently inhibits xanthine oxidase in hyperuricemia patients.",
-        ));
+        let idx = cmdl
+            .ingest_document(cmdl_datalake::Document::new(
+                "xanthine-oxidase-note",
+                "PubMed",
+                "Febuxostat potently inhibits xanthine oxidase in hyperuricemia patients.",
+            ))
+            .unwrap();
         assert_eq!(cmdl.profiled.doc_ids.len(), docs_before + 1);
         assert_eq!(cmdl.profiled.doc_df.num_docs(), df_docs_before + 1);
         let id = cmdl.profiled.lake.document_id(idx).unwrap();
@@ -946,7 +1206,8 @@ mod tests {
             "note",
             "PubMed",
             "A short pharmacology note.",
-        ));
+        ))
+        .unwrap();
         let (gen, hits) = reader.join().expect("reader thread");
         assert_eq!(gen, 0);
         assert!(hits > 0);

@@ -39,11 +39,18 @@ pub enum ErrorCode {
     /// No endpoint matches the requested method + path (transport-level
     /// 404 equivalent).
     UnknownRoute,
+    /// A durability operation failed: the write-ahead log or a segment
+    /// checkpoint could not be written, or the catalog's persistence layer
+    /// is unusable after a simulated or real crash
+    /// ([`CmdlError::Persist`]).
+    Persist,
 }
 
 impl ErrorCode {
-    /// Every code, in a stable order (metrics labels iterate this).
-    pub const ALL: [ErrorCode; 11] = [
+    /// Every code, in a stable order (metrics labels iterate this). New
+    /// codes are appended, never inserted, so existing positions — which
+    /// metrics counters index by — stay stable.
+    pub const ALL: [ErrorCode; 12] = [
         ErrorCode::UnknownTable,
         ErrorCode::DuplicateTable,
         ErrorCode::UnknownColumn,
@@ -55,6 +62,7 @@ impl ErrorCode {
         ErrorCode::Overloaded,
         ErrorCode::Internal,
         ErrorCode::UnknownRoute,
+        ErrorCode::Persist,
     ];
 
     /// The snake_case label of the code (metrics and logs).
@@ -71,6 +79,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Internal => "internal",
             ErrorCode::UnknownRoute => "unknown_route",
+            ErrorCode::Persist => "persist",
         }
     }
 
@@ -107,6 +116,15 @@ pub enum CmdlError {
     InvalidQuery(String),
     /// The training dataset was empty (e.g. sampling produced no pairs).
     EmptyTrainingData(String),
+    /// A durability operation failed (WAL append/fsync, segment checkpoint,
+    /// or the persistence layer is dead after a crash). The payload is a
+    /// free-form diagnostic detail.
+    Persist(String),
+    /// An internal invariant did not hold on a mutation path. Returned as a
+    /// typed error (the one request fails) instead of panicking (which
+    /// would poison the writer gate). The payload is a free-form
+    /// diagnostic detail.
+    Internal(String),
 }
 
 impl CmdlError {
@@ -120,6 +138,8 @@ impl CmdlError {
             CmdlError::JointModelMissing => ErrorCode::JointModelMissing,
             CmdlError::InvalidQuery(_) => ErrorCode::InvalidQuery,
             CmdlError::EmptyTrainingData(_) => ErrorCode::EmptyTrainingData,
+            CmdlError::Persist(_) => ErrorCode::Persist,
+            CmdlError::Internal(_) => ErrorCode::Internal,
         }
     }
 
@@ -135,9 +155,10 @@ impl CmdlError {
             CmdlError::UnknownColumn { table, column } => Some(format!("{table}.{column}")),
             CmdlError::UnknownDocument(index) => Some(index.to_string()),
             CmdlError::JointModelMissing => None,
-            CmdlError::InvalidQuery(reason) | CmdlError::EmptyTrainingData(reason) => {
-                Some(reason.clone())
-            }
+            CmdlError::InvalidQuery(reason)
+            | CmdlError::EmptyTrainingData(reason)
+            | CmdlError::Persist(reason)
+            | CmdlError::Internal(reason) => Some(reason.clone()),
         }
     }
 }
@@ -164,6 +185,8 @@ impl fmt::Display for CmdlError {
                     "the weakly-supervised training dataset is empty: {reason}"
                 )
             }
+            CmdlError::Persist(reason) => write!(f, "persistence failure: {reason}"),
+            CmdlError::Internal(reason) => write!(f, "internal invariant violated: {reason}"),
         }
     }
 }
@@ -228,6 +251,16 @@ mod tests {
                 CmdlError::EmptyTrainingData("why".into()),
                 ErrorCode::EmptyTrainingData,
                 Some("why"),
+            ),
+            (
+                CmdlError::Persist("wal fsync failed".into()),
+                ErrorCode::Persist,
+                Some("wal fsync failed"),
+            ),
+            (
+                CmdlError::Internal("missing id".into()),
+                ErrorCode::Internal,
+                Some("missing id"),
             ),
         ];
         for (error, code, subject) in cases {

@@ -114,7 +114,7 @@ pub struct DeltaStats {
 }
 
 /// All indexes built over a profiled lake.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct IndexCatalog {
     /// BM25/LM inverted index over the *content* of every element.
     pub content: InvertedIndex,
@@ -326,6 +326,21 @@ impl IndexCatalog {
             ann.build();
             self.joint_ann = Some(ann);
         }
+    }
+
+    /// Re-arm the runtime-only state that `#[serde(skip)]` drops across a
+    /// segment round-trip: IDF caches and the lazy-refresh policy on the
+    /// inverted indexes, and the LSH probe accelerator (the ANN id maps
+    /// rebuild themselves lazily). Deserialization + this call restores a
+    /// catalog that answers queries identically to the one serialized.
+    pub fn restore_runtime_state(&mut self, config: &CmdlConfig) {
+        self.content.finalize();
+        self.metadata.finalize();
+        self.content
+            .set_idf_refresh_ratio(Some(config.idf_refresh_ratio));
+        self.metadata
+            .set_idf_refresh_ratio(Some(config.idf_refresh_ratio));
+        self.containment.rebuild_postings();
     }
 
     /// Install joint embeddings (for all elements) and build the joint ANN

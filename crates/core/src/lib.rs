@@ -44,6 +44,7 @@ pub mod error;
 pub mod indexes;
 pub mod join;
 pub mod joint;
+pub mod persist;
 pub mod profile;
 pub mod query;
 pub mod snapshot;
@@ -58,6 +59,7 @@ pub use error::{CmdlError, ErrorCode};
 pub use indexes::{DeltaStats, IndexCatalog};
 pub use join::{JoinDiscovery, PkFkLink};
 pub use joint::{JointModel, JointTrainer, JointTrainingReport};
+pub use persist::{Fault, FaultPlan, Io, PersistError, RecoveryReport, WalRecord};
 pub use profile::{ColumnTags, DeProfile, ElementData, ProfiledLake, Profiler};
 pub use query::{
     DiscoveryQuery, DocQuery, Hit, QueryBuilder, QueryOptions, QueryResponse, ScoreBreakdown,

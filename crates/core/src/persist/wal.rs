@@ -1,0 +1,246 @@
+//! The write-ahead log: checksummed, length-prefixed mutation records with
+//! fsync-before-ack and torn-tail-tolerant replay.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! [u32 payload_len][u64 lsn][u64 xxh64(lsn_le ‖ payload)][payload]
+//! ```
+//!
+//! The checksum covers the LSN so a frame can never be replayed under the
+//! wrong sequence number. Replay on open scans frames until the first
+//! framing or checksum violation and keeps the longest valid prefix — a
+//! torn final record (the crash window between append and fsync) is
+//! *skipped*, not fatal, and the file is truncated back to the valid
+//! prefix so the next append starts clean.
+//!
+//! LSNs are monotone across the catalog's life, and the manifest records
+//! `last_applied_lsn` at every checkpoint: replay filters to
+//! `lsn > last_applied_lsn`, which makes the checkpoint → WAL-truncate
+//! window crash-safe without double-applying mutations.
+
+use serde::{Deserialize, Serialize};
+
+use cmdl_datalake::{Document, Table};
+
+use super::checksum::xxh64;
+use super::io::{DurableFile, Io, PersistError};
+
+/// One logged catalog mutation — the redo record replayed on recovery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// `Cmdl::ingest_table`.
+    IngestTable(Table),
+    /// `Cmdl::ingest_document`.
+    IngestDocument(Document),
+    /// `Cmdl::remove_table`.
+    RemoveTable {
+        /// The table name.
+        name: String,
+    },
+    /// `Cmdl::remove_document`.
+    RemoveDocument {
+        /// The document index.
+        index: usize,
+    },
+}
+
+/// Encode one frame: length prefix, LSN, checksum, payload.
+pub fn encode_frame(lsn: u64, payload: &[u8]) -> Vec<u8> {
+    let mut hashed = Vec::with_capacity(8 + payload.len());
+    hashed.extend_from_slice(&lsn.to_le_bytes());
+    hashed.extend_from_slice(payload);
+    let checksum = xxh64(&hashed, 0);
+    let mut frame = Vec::with_capacity(20 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&lsn.to_le_bytes());
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Scan `bytes` for valid frames. Returns `(frames, valid_prefix_len)`:
+/// every `(lsn, payload)` up to the first framing/checksum violation, and
+/// the byte length of that valid prefix (the truncation point). Public so
+/// the proptest corpus can drive it directly.
+pub fn decode_frames(bytes: &[u8]) -> (Vec<(u64, Vec<u8>)>, usize) {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.len() < 20 {
+            break;
+        }
+        let payload_len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        if rest.len() < 20 + payload_len {
+            break;
+        }
+        let lsn = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+        let expected = u64::from_le_bytes(rest[12..20].try_into().expect("8 bytes"));
+        let payload = &rest[20..20 + payload_len];
+        let mut hashed = Vec::with_capacity(8 + payload_len);
+        hashed.extend_from_slice(&lsn.to_le_bytes());
+        hashed.extend_from_slice(payload);
+        if xxh64(&hashed, 0) != expected {
+            break;
+        }
+        frames.push((lsn, payload.to_vec()));
+        offset += 20 + payload_len;
+    }
+    (frames, offset)
+}
+
+/// The open write-ahead log of a catalog directory.
+#[derive(Debug)]
+pub struct Wal {
+    file: DurableFile,
+    next_lsn: u64,
+}
+
+/// What [`Wal::open`] found on disk.
+pub struct WalOpen {
+    /// The log, positioned after the valid prefix.
+    pub wal: Wal,
+    /// Every valid `(lsn, record)` in the log, in order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Bytes of torn/corrupt tail that were discarded.
+    pub discarded_bytes: usize,
+}
+
+impl Wal {
+    /// File name of the log inside a catalog directory.
+    pub const FILE_NAME: &'static str = "wal";
+
+    /// Open (or create) the log at `path`, replay-scan it, truncate any
+    /// torn tail, and seed `next_lsn` past the highest valid record and
+    /// `floor_lsn` (the manifest's `last_applied_lsn`).
+    pub fn open(io: &Io, path: &std::path::Path, floor_lsn: u64) -> Result<WalOpen, PersistError> {
+        let mut file = DurableFile::open(io, path)?;
+        let bytes = file.durable_bytes()?;
+        let (frames, valid_len) = decode_frames(&bytes);
+        let discarded_bytes = bytes.len() - valid_len;
+        if discarded_bytes > 0 {
+            file.truncate(valid_len as u64)?;
+        }
+        let mut records = Vec::with_capacity(frames.len());
+        let mut max_lsn = floor_lsn;
+        for (lsn, payload) in frames {
+            max_lsn = max_lsn.max(lsn);
+            let record: WalRecord = serde::from_bin_bytes(&payload).map_err(|e| {
+                PersistError::Corrupt(format!("wal record {lsn} failed to decode: {e}"))
+            })?;
+            records.push((lsn, record));
+        }
+        Ok(WalOpen {
+            wal: Wal {
+                file,
+                next_lsn: max_lsn + 1,
+            },
+            records,
+            discarded_bytes,
+        })
+    }
+
+    /// Append `record`, fsync, and return its LSN. The writer gate must
+    /// not acknowledge the mutation until this returns `Ok`.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, PersistError> {
+        let payload = serde::to_bin_bytes(record);
+        let lsn = self.next_lsn;
+        let frame = encode_frame(lsn, &payload);
+        self.file.append(&frame)?;
+        self.file.sync("wal.append.sync")?;
+        self.next_lsn = lsn + 1;
+        Ok(lsn)
+    }
+
+    /// Durably drop every record (after a checkpoint made them redundant).
+    /// LSNs keep counting up — they are never reused.
+    pub fn reset(&mut self) -> Result<(), PersistError> {
+        self.file.truncate(0)
+    }
+
+    /// The LSN the next append will get.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cmdl-wal-test-{}-{tag}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal")
+    }
+
+    fn sample_record(i: usize) -> WalRecord {
+        WalRecord::RemoveDocument { index: i }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let path = temp_path("replay");
+        let io = Io::real();
+        let mut open = Wal::open(&io, &path, 0).unwrap();
+        assert!(open.records.is_empty());
+        for i in 0..5 {
+            open.wal.append(&sample_record(i)).unwrap();
+        }
+        let reopened = Wal::open(&io, &path, 0).unwrap();
+        assert_eq!(reopened.records.len(), 5);
+        assert_eq!(reopened.discarded_bytes, 0);
+        assert_eq!(reopened.wal.next_lsn(), open.wal.next_lsn());
+        for (i, (lsn, record)) in reopened.records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert!(matches!(record, WalRecord::RemoveDocument { index } if *index == i));
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_truncated() {
+        let path = temp_path("torn");
+        let io = Io::real();
+        let mut open = Wal::open(&io, &path, 0).unwrap();
+        for i in 0..3 {
+            open.wal.append(&sample_record(i)).unwrap();
+        }
+        drop(open);
+        // Tear the file mid-way through the last frame.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let reopened = Wal::open(&io, &path, 0).unwrap();
+        assert_eq!(reopened.records.len(), 2, "torn record skipped");
+        assert_eq!(
+            reopened.discarded_bytes,
+            bytes.len() / 3 - 7 + bytes.len() % 3
+        );
+        // The file was truncated to the valid prefix and appends continue.
+        let mut wal = reopened.wal;
+        wal.append(&sample_record(99)).unwrap();
+        let again = Wal::open(&io, &path, 0).unwrap();
+        assert_eq!(again.records.len(), 3);
+        assert!(matches!(
+            again.records[2].1,
+            WalRecord::RemoveDocument { index: 99 }
+        ));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn floor_lsn_advances_next_lsn_past_checkpoint() {
+        let path = temp_path("floor");
+        let io = Io::real();
+        let open = Wal::open(&io, &path, 41).unwrap();
+        assert_eq!(open.wal.next_lsn(), 42);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+}

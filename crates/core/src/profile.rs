@@ -92,7 +92,7 @@ impl DeProfile {
 }
 
 /// A profiled data lake: the lake plus per-element profiles.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ProfiledLake {
     /// The underlying lake.
     pub lake: DataLake,
@@ -106,7 +106,9 @@ pub struct ProfiledLake {
     /// maintained incrementally by the ingestion path so delta-profiled
     /// documents see exactly the statistics a batch rebuild would.
     pub doc_df: DocumentFrequencyFilter,
-    /// Wall-clock time spent profiling.
+    /// Wall-clock time spent profiling (not persisted — a segment load
+    /// restores it as zero).
+    #[serde(skip)]
     pub profiling_time: Duration,
 }
 

@@ -154,7 +154,8 @@ mod tests {
             "note",
             "PubMed",
             "A short pharmacology note.",
-        ));
+        ))
+        .unwrap();
         assert_eq!(snap.stats().documents + 1, cmdl.stats().documents);
         assert!(snap.stats().generation < cmdl.stats().generation);
     }

@@ -242,7 +242,7 @@ pub fn http_status(code: ErrorCode) -> u16 {
         ErrorCode::InvalidQuery | ErrorCode::MalformedRequest => 400,
         ErrorCode::JointModelMissing | ErrorCode::EmptyTrainingData => 422,
         ErrorCode::Overloaded => 429,
-        ErrorCode::Internal => 500,
+        ErrorCode::Internal | ErrorCode::Persist => 500,
     }
 }
 

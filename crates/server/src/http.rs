@@ -118,6 +118,7 @@ pub struct HttpHandle {
     queue: Arc<ConnQueue>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    service: Arc<CmdlService>,
 }
 
 impl HttpHandle {
@@ -126,8 +127,28 @@ impl HttpHandle {
         self.addr
     }
 
-    /// Stop accepting, drain the workers, and join all threads.
-    pub fn shutdown(mut self) {
+    /// Graceful shutdown with a 30-second worker-join bound: see
+    /// [`shutdown_within`](HttpHandle::shutdown_within).
+    pub fn shutdown(self) {
+        self.shutdown_within(Duration::from_secs(30));
+    }
+
+    /// Gracefully stop serving:
+    ///
+    /// 1. stop accepting (new connections are refused, already-queued ones
+    ///    are still served);
+    /// 2. drain in-flight connections — each worker finishes the request it
+    ///    is on, answers it with `Connection: close`, and exits instead of
+    ///    holding the keep-alive session;
+    /// 3. join the workers, bounded by `timeout` (a worker stuck on a
+    ///    misbehaving peer is detached rather than hanging shutdown);
+    /// 4. flush the writer queue — every still-queued mutation is applied,
+    ///    WAL-appended, and fsynced before this returns, so an acknowledged
+    ///    mutation can never be lost to process exit.
+    ///
+    /// Returns `true` when every thread joined within the bound.
+    pub fn shutdown_within(mut self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
         self.queue.shutdown.store(true, Ordering::Release);
         // Wake the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -135,9 +156,27 @@ impl HttpHandle {
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
+        let mut all_joined = true;
         for worker in self.workers.drain(..) {
-            let _ = worker.join();
+            loop {
+                if worker.is_finished() {
+                    let _ = worker.join();
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    // Detach the straggler (it exits with the process)
+                    // instead of hanging shutdown on a slow peer.
+                    all_joined = false;
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
         }
+        // With the workers quiesced, apply whatever mutations are still
+        // queued (each appends + fsyncs its WAL record) and publish the
+        // final snapshot.
+        self.service.flush();
+        all_joined
     }
 }
 
@@ -169,8 +208,9 @@ pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<H
                 // connection, not permanently shrink the fixed pool (the
                 // service's own locks already recover from poisoning).
                 let service = Arc::clone(&service);
+                let queue = Arc::clone(&queue);
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                    serve_connection(stream, &service);
+                    serve_connection(stream, &service, &queue.shutdown);
                 }));
             }
         }));
@@ -200,12 +240,15 @@ pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<H
         queue,
         accept_thread: Some(accept_thread),
         workers,
+        service,
     })
 }
 
 /// Serve one connection: HTTP/1.1 requests with keep-alive until the peer
-/// closes, asks to close, times out, or sends something unframeable.
-fn serve_connection(stream: TcpStream, service: &CmdlService) {
+/// closes, asks to close, times out, sends something unframeable, or the
+/// adapter starts draining (the current request is still answered, with
+/// `Connection: close`).
+fn serve_connection(stream: TcpStream, service: &CmdlService, draining: &AtomicBool) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -217,11 +260,17 @@ fn serve_connection(stream: TcpStream, service: &CmdlService) {
     // tree nor a fresh output buffer.
     let mut body = String::new();
     loop {
+        if draining.load(Ordering::Acquire) {
+            return;
+        }
         match read_request(&mut reader, &mut writer) {
             Ok(Some(request)) => {
-                let keep_alive = request.keep_alive;
                 body.clear();
                 let (status, content_type) = route(service, &request, &mut body);
+                // Re-check after routing: a shutdown that began while this
+                // request executed still gets its response, but the
+                // keep-alive session ends here.
+                let keep_alive = request.keep_alive && !draining.load(Ordering::Acquire);
                 if write_response(
                     &mut writer,
                     status,

@@ -167,7 +167,7 @@ fn batch_and_incremental_builds_agree() {
         incremental.ingest_table(table.clone()).unwrap();
     }
     for doc in &documents[doc_seed..] {
-        incremental.ingest_document(doc.clone());
+        incremental.ingest_document(doc.clone()).unwrap();
     }
     incremental.compact();
 

@@ -321,7 +321,7 @@ proptest! {
                         incremental.ingest_table(t.clone()).unwrap();
                     }
                     if let Some(d) = d {
-                        incremental.ingest_document(d.clone());
+                        incremental.ingest_document(d.clone()).unwrap();
                     }
                 }
             }

@@ -74,6 +74,23 @@ pub trait Serialize {
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         out.dom(&self.to_json());
     }
+
+    /// Append this value's compact *binary* encoding to `out` (see
+    /// [`to_bin_bytes`]): little-endian fixed-width numbers, `u32`
+    /// length-prefixed strings and collections, positional struct fields,
+    /// `u32`-tagged enum variants. No text formatting, no [`Json`] tree —
+    /// the persistence layer uses this for catalog segment sections, where
+    /// float/token-heavy payloads make JSON decoding the cold-start
+    /// bottleneck.
+    ///
+    /// The default implementation encodes the [`to_json`](Self::to_json)
+    /// tree (tagged values, same primitive encodings); primitives, std
+    /// containers, and `#[derive(Serialize)]` types override it with the
+    /// direct field-order encoder. Each type's `write_bin` and `read_bin`
+    /// are symmetric whichever path it uses.
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        write_json_tree(&self.to_json(), out);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -282,6 +299,210 @@ pub fn write_escaped(s: &str, out: &mut String) {
 pub trait Deserialize: Sized {
     /// Reconstruct from a JSON value.
     fn from_json(value: &Json) -> Result<Self, Error>;
+
+    /// Reconstruct from the binary encoding written by
+    /// [`Serialize::write_bin`]. All reads are bounds-checked: malformed
+    /// input yields `Err`, never a panic or unbounded allocation.
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        let tree = read_json_tree(input, 0)?;
+        Self::from_json(&tree)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------------
+
+/// Encode `value` with the zero-DOM binary codec ([`Serialize::write_bin`]).
+pub fn to_bin_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.write_bin(&mut out);
+    out
+}
+
+/// Decode a value written by [`to_bin_bytes`], requiring that every input
+/// byte is consumed.
+pub fn from_bin_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut input = BinReader::new(bytes);
+    let value = T::read_bin(&mut input)?;
+    if input.remaining() != 0 {
+        return Err(Error::msg(format!(
+            "{} trailing bytes after binary value",
+            input.remaining()
+        )));
+    }
+    Ok(value)
+}
+
+/// A bounds-checked cursor over binary-encoded input.
+pub struct BinReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    /// Wrap an input buffer.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::msg(format!(
+                "binary input truncated: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn byte(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32` (the length/count/variant-tag width).
+    pub fn u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a `u32`-prefixed UTF-8 string slice.
+    pub fn str_slice(&mut self) -> Result<&'a str, Error> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| Error::msg("binary string is not UTF-8"))
+    }
+
+    /// Read a collection count, capping the usable pre-allocation at what
+    /// the remaining input could possibly hold.
+    fn count(&mut self) -> Result<usize, Error> {
+        Ok(self.u32()? as usize)
+    }
+
+    /// A safe `Vec` pre-allocation for `count` elements: garbage counts
+    /// must not trigger huge allocations before element reads fail.
+    fn capacity_for(&self, count: usize) -> usize {
+        count.min(self.remaining())
+    }
+}
+
+/// Append a `u32` length prefix (saturating on >4GiB, which a later
+/// element write would catch as corruption — workspace payloads are far
+/// smaller).
+fn write_count(n: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(
+        &u32::try_from(n)
+            .expect("collection too large for u32 count")
+            .to_le_bytes(),
+    );
+}
+
+/// Tags of the binary-encoded [`Json`] tree (the default
+/// `write_bin`/`read_bin` path for types without a direct encoder).
+mod tree_tag {
+    pub const NULL: u8 = 0;
+    pub const FALSE: u8 = 1;
+    pub const TRUE: u8 = 2;
+    pub const U64: u8 = 3;
+    pub const I64: u8 = 4;
+    pub const F64: u8 = 5;
+    pub const STR: u8 = 6;
+    pub const ARR: u8 = 7;
+    pub const OBJ: u8 = 8;
+}
+
+/// Binary-encode a [`Json`] tree (tagged; same primitive encodings as the
+/// direct path).
+pub fn write_json_tree(value: &Json, out: &mut Vec<u8>) {
+    match value {
+        Json::Null => out.push(tree_tag::NULL),
+        Json::Bool(false) => out.push(tree_tag::FALSE),
+        Json::Bool(true) => out.push(tree_tag::TRUE),
+        Json::U64(n) => {
+            out.push(tree_tag::U64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Json::I64(n) => {
+            out.push(tree_tag::I64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Json::F64(f) => {
+            out.push(tree_tag::F64);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Json::Str(s) => {
+            out.push(tree_tag::STR);
+            write_count(s.len(), out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            out.push(tree_tag::ARR);
+            write_count(items.len(), out);
+            for item in items {
+                write_json_tree(item, out);
+            }
+        }
+        Json::Obj(entries) => {
+            out.push(tree_tag::OBJ);
+            write_count(entries.len(), out);
+            for (key, val) in entries {
+                write_count(key.len(), out);
+                out.extend_from_slice(key.as_bytes());
+                write_json_tree(val, out);
+            }
+        }
+    }
+}
+
+/// Decode a binary-encoded [`Json`] tree (depth-capped against malformed
+/// deeply-nested input).
+pub fn read_json_tree(input: &mut BinReader<'_>, depth: usize) -> Result<Json, Error> {
+    if depth > 512 {
+        return Err(Error::msg("binary Json tree nested too deeply"));
+    }
+    Ok(match input.byte()? {
+        tree_tag::NULL => Json::Null,
+        tree_tag::FALSE => Json::Bool(false),
+        tree_tag::TRUE => Json::Bool(true),
+        tree_tag::U64 => Json::U64(input.u64()?),
+        tree_tag::I64 => Json::I64(input.u64()? as i64),
+        tree_tag::F64 => Json::F64(f64::from_bits(input.u64()?)),
+        tree_tag::STR => Json::Str(input.str_slice()?.to_owned()),
+        tree_tag::ARR => {
+            let count = input.count()?;
+            let mut items = Vec::with_capacity(input.capacity_for(count));
+            for _ in 0..count {
+                items.push(read_json_tree(input, depth + 1)?);
+            }
+            Json::Arr(items)
+        }
+        tree_tag::OBJ => {
+            let count = input.count()?;
+            let mut entries = Vec::with_capacity(input.capacity_for(count));
+            for _ in 0..count {
+                let key = input.str_slice()?.to_owned();
+                entries.push((key, read_json_tree(input, depth + 1)?));
+            }
+            Json::Obj(entries)
+        }
+        other => return Err(Error::msg(format!("unknown Json tree tag {other}"))),
+    })
 }
 
 /// Derive-macro helper: fetch and deserialize an object field.
@@ -335,11 +556,17 @@ fn kind_name(v: &Json) -> &'static str {
 // Primitive impls
 // ---------------------------------------------------------------------------
 
+// Binary widths: every integer type encodes at a fixed declared width,
+// with `usize`/`isize` pinned to 8 bytes so the encoding is identical
+// across platforms.
 macro_rules! impl_unsigned {
-    ($($t:ty),*) => {$(
+    ($($t:ty as $w:ty),*) => {$(
         impl Serialize for $t {
             fn to_json(&self) -> Json { Json::U64(*self as u64) }
             fn write_json(&self, out: &mut JsonWriter<'_>) { out.unsigned(*self as u64) }
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&(*self as $w).to_le_bytes());
+            }
         }
         impl Deserialize for $t {
             fn from_json(value: &Json) -> Result<Self, Error> {
@@ -354,19 +581,29 @@ macro_rules! impl_unsigned {
                     ))),
                 }
             }
+            fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+                let raw = <$w>::from_le_bytes(
+                    input.take(std::mem::size_of::<$w>())?.try_into().expect("sized read"),
+                );
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
         }
     )*};
 }
-impl_unsigned!(u8, u16, u32, u64, usize);
+impl_unsigned!(u8 as u8, u16 as u16, u32 as u32, u64 as u64, usize as u64);
 
 macro_rules! impl_signed {
-    ($($t:ty),*) => {$(
+    ($($t:ty as $w:ty),*) => {$(
         impl Serialize for $t {
             fn to_json(&self) -> Json {
                 let v = *self as i64;
                 if v >= 0 { Json::U64(v as u64) } else { Json::I64(v) }
             }
             fn write_json(&self, out: &mut JsonWriter<'_>) { out.signed(*self as i64) }
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&(*self as $w).to_le_bytes());
+            }
         }
         impl Deserialize for $t {
             fn from_json(value: &Json) -> Result<Self, Error> {
@@ -381,10 +618,17 @@ macro_rules! impl_signed {
                     ))),
                 }
             }
+            fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+                let raw = <$w>::from_le_bytes(
+                    input.take(std::mem::size_of::<$w>())?.try_into().expect("sized read"),
+                );
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::msg(format!("{raw} out of range for {}", stringify!($t))))
+            }
         }
     )*};
 }
-impl_signed!(i8, i16, i32, i64, isize);
+impl_signed!(i8 as i8, i16 as i16, i32 as i32, i64 as i64, isize as i64);
 
 impl Serialize for f64 {
     fn to_json(&self) -> Json {
@@ -393,6 +637,10 @@ impl Serialize for f64 {
 
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         out.float(*self);
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
     }
 }
 
@@ -409,6 +657,10 @@ impl Deserialize for f64 {
             ))),
         }
     }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        Ok(f64::from_bits(input.u64()?))
+    }
 }
 
 impl Serialize for f32 {
@@ -419,11 +671,19 @@ impl Serialize for f32 {
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         out.float(f64::from(*self));
     }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
 }
 
 impl Deserialize for f32 {
     fn from_json(value: &Json) -> Result<Self, Error> {
         f64::from_json(value).map(|f| f as f32)
+    }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        Ok(f32::from_bits(input.u32()?))
     }
 }
 
@@ -434,6 +694,10 @@ impl Serialize for bool {
 
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         out.boolean(*self);
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
     }
 }
 
@@ -447,6 +711,14 @@ impl Deserialize for bool {
             ))),
         }
     }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        match input.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::msg(format!("invalid bool byte {other}"))),
+        }
+    }
 }
 
 impl Serialize for String {
@@ -456,6 +728,10 @@ impl Serialize for String {
 
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         out.string(self);
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.as_str().write_bin(out);
     }
 }
 
@@ -469,6 +745,10 @@ impl Deserialize for String {
             ))),
         }
     }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        input.str_slice().map(str::to_owned)
+    }
 }
 
 impl Serialize for str {
@@ -478,6 +758,11 @@ impl Serialize for str {
 
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         out.string(self);
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        write_count(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
     }
 }
 
@@ -489,6 +774,10 @@ impl Serialize for char {
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         let mut buf = [0u8; 4];
         out.string(self.encode_utf8(&mut buf));
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(*self as u32).to_le_bytes());
     }
 }
 
@@ -502,6 +791,11 @@ impl Deserialize for char {
             ))),
         }
     }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        let raw = input.u32()?;
+        char::from_u32(raw).ok_or_else(|| Error::msg(format!("invalid char scalar {raw}")))
+    }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
@@ -511,6 +805,10 @@ impl<T: Serialize + ?Sized> Serialize for &T {
 
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         (**self).write_json(out);
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        (**self).write_bin(out);
     }
 }
 
@@ -526,6 +824,10 @@ impl<T: Serialize> Serialize for Vec<T> {
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         self.as_slice().write_json(out);
     }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        self.as_slice().write_bin(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Vec<T> {
@@ -537,6 +839,15 @@ impl<T: Deserialize> Deserialize for Vec<T> {
                 kind_name(other)
             ))),
         }
+    }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        let count = input.count()?;
+        let mut items = Vec::with_capacity(input.capacity_for(count));
+        for _ in 0..count {
+            items.push(T::read_bin(input)?);
+        }
+        Ok(items)
     }
 }
 
@@ -552,6 +863,13 @@ impl<T: Serialize> Serialize for [T] {
             item.write_json(out);
         }
         out.end_array();
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        write_count(self.len(), out);
+        for item in self {
+            item.write_bin(out);
+        }
     }
 }
 
@@ -569,6 +887,19 @@ impl<T: Serialize> Serialize for Option<T> {
             None => out.null(),
         }
     }
+
+    // Unlike the JSON encoding (which flattens `Some(v)` to `v`), the
+    // binary encoding needs an explicit presence tag: without
+    // self-describing values there is no `null` to distinguish `None`.
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        match self {
+            Some(v) => {
+                out.push(1);
+                v.write_bin(out);
+            }
+            None => out.push(0),
+        }
+    }
 }
 
 impl<T: Deserialize> Deserialize for Option<T> {
@@ -576,6 +907,14 @@ impl<T: Deserialize> Deserialize for Option<T> {
         match value {
             Json::Null => Ok(None),
             other => T::from_json(other).map(Some),
+        }
+    }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        match input.byte()? {
+            0 => Ok(None),
+            1 => T::read_bin(input).map(Some),
+            other => Err(Error::msg(format!("invalid Option tag {other}"))),
         }
     }
 }
@@ -588,11 +927,19 @@ impl<T: Serialize> Serialize for Box<T> {
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         (**self).write_json(out);
     }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        (**self).write_bin(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Box<T> {
     fn from_json(value: &Json) -> Result<Self, Error> {
         T::from_json(value).map(Box::new)
+    }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        T::read_bin(input).map(Box::new)
     }
 }
 
@@ -604,11 +951,19 @@ impl<T: Serialize> Serialize for Arc<T> {
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         (**self).write_json(out);
     }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        (**self).write_bin(out);
+    }
 }
 
 impl<T: Deserialize> Deserialize for Arc<T> {
     fn from_json(value: &Json) -> Result<Self, Error> {
         T::from_json(value).map(Arc::new)
+    }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        T::read_bin(input).map(Arc::new)
     }
 }
 
@@ -620,10 +975,16 @@ impl Serialize for () {
     fn write_json(&self, out: &mut JsonWriter<'_>) {
         out.null();
     }
+
+    fn write_bin(&self, _out: &mut Vec<u8>) {}
 }
 
 impl Deserialize for () {
     fn from_json(_: &Json) -> Result<Self, Error> {
+        Ok(())
+    }
+
+    fn read_bin(_: &mut BinReader<'_>) -> Result<Self, Error> {
         Ok(())
     }
 }
@@ -642,10 +1003,16 @@ macro_rules! impl_tuple {
                 )+
                 out.end_array();
             }
+            fn write_bin(&self, out: &mut Vec<u8>) {
+                $(self.$idx.write_bin(out);)+
+            }
         }
         impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
             fn from_json(value: &Json) -> Result<Self, Error> {
                 Ok(($(__element::<$name>(value, $idx)?,)+))
+            }
+            fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+                Ok(($(<$name>::read_bin(input)?,)+))
             }
         }
     )+};
@@ -685,11 +1052,32 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
         }
         out.end_array();
     }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        write_count(self.len(), out);
+        for (k, v) in self {
+            k.write_bin(out);
+            v.write_bin(out);
+        }
+    }
 }
 
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_json(value: &Json) -> Result<Self, Error> {
         map_entries::<K, V>(value)?.into_iter().map(Ok).collect()
+    }
+
+    // The writer emits entries in key order, so collecting into a Vec
+    // first lets `from_iter` take the sorted bulk-build path instead of
+    // paying a tree insert per entry.
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        let count = input.count()?;
+        let mut entries = Vec::with_capacity(input.capacity_for(count));
+        for _ in 0..count {
+            let key = K::read_bin(input)?;
+            entries.push((key, V::read_bin(input)?));
+        }
+        Ok(entries.into_iter().collect())
     }
 }
 
@@ -702,11 +1090,40 @@ impl<K: Serialize + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
         entries.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         Json::Arr(entries)
     }
+
+    // Entries sort by their encoded bytes so the output is deterministic
+    // across hasher seeds, like the sorted JSON encoding.
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        let mut entries: Vec<Vec<u8>> = self
+            .iter()
+            .map(|(k, v)| {
+                let mut pair = Vec::new();
+                k.write_bin(&mut pair);
+                v.write_bin(&mut pair);
+                pair
+            })
+            .collect();
+        entries.sort_unstable();
+        write_count(entries.len(), out);
+        for pair in entries {
+            out.extend_from_slice(&pair);
+        }
+    }
 }
 
 impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     fn from_json(value: &Json) -> Result<Self, Error> {
         map_entries::<K, V>(value)?.into_iter().map(Ok).collect()
+    }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        let count = input.count()?;
+        let mut map = HashMap::with_capacity(input.capacity_for(count));
+        for _ in 0..count {
+            let key = K::read_bin(input)?;
+            map.insert(key, V::read_bin(input)?);
+        }
+        Ok(map)
     }
 }
 
@@ -723,6 +1140,13 @@ impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
         }
         out.end_array();
     }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        write_count(self.len(), out);
+        for item in self {
+            item.write_bin(out);
+        }
+    }
 }
 
 impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
@@ -735,6 +1159,16 @@ impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
             ))),
         }
     }
+
+    // Same sorted bulk-build trick as the BTreeMap decode above.
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        let count = input.count()?;
+        let mut items = Vec::with_capacity(input.capacity_for(count));
+        for _ in 0..count {
+            items.push(T::read_bin(input)?);
+        }
+        Ok(items.into_iter().collect())
+    }
 }
 
 impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
@@ -742,6 +1176,22 @@ impl<T: Serialize + Eq + Hash> Serialize for HashSet<T> {
         let mut items: Vec<Json> = self.iter().map(Serialize::to_json).collect();
         items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
         Json::Arr(items)
+    }
+
+    fn write_bin(&self, out: &mut Vec<u8>) {
+        let mut items: Vec<Vec<u8>> = self
+            .iter()
+            .map(|item| {
+                let mut bytes = Vec::new();
+                item.write_bin(&mut bytes);
+                bytes
+            })
+            .collect();
+        items.sort_unstable();
+        write_count(items.len(), out);
+        for bytes in items {
+            out.extend_from_slice(&bytes);
+        }
     }
 }
 
@@ -754,6 +1204,15 @@ impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
                 kind_name(other)
             ))),
         }
+    }
+
+    fn read_bin(input: &mut BinReader<'_>) -> Result<Self, Error> {
+        let count = input.count()?;
+        let mut set = HashSet::with_capacity(input.capacity_for(count));
+        for _ in 0..count {
+            set.insert(T::read_bin(input)?);
+        }
+        Ok(set)
     }
 }
 
@@ -796,6 +1255,75 @@ mod tests {
         assert!(__field::<u32>(&obj, "b").is_err());
         assert_eq!(__field::<Option<u32>>(&obj, "b").unwrap(), None);
         assert_eq!(__field::<u32>(&obj, "a").unwrap(), 1);
+    }
+
+    #[test]
+    fn binary_roundtrip_primitives_and_containers() {
+        fn roundtrip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(value: T) {
+            let bytes = to_bin_bytes(&value);
+            assert_eq!(from_bin_bytes::<T>(&bytes).unwrap(), value);
+        }
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(usize::MAX);
+        roundtrip(3.5f64);
+        roundtrip(true);
+        roundtrip("héllo\nworld".to_string());
+        roundtrip('→');
+        roundtrip(Option::<String>::None);
+        roundtrip(Some("x".to_string()));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip((7u8, "k".to_string(), -1i64));
+        roundtrip(BTreeMap::from([
+            ("a".to_string(), 1u32),
+            ("b".to_string(), 2),
+        ]));
+        roundtrip(HashMap::from([(3u64, vec![1.5f64]), (9, vec![])]));
+        roundtrip(BTreeSet::from([1u16, 5]));
+        roundtrip(HashSet::from(["q".to_string()]));
+    }
+
+    #[test]
+    fn binary_rejects_truncation_and_trailing_bytes() {
+        let bytes = to_bin_bytes(&vec![1u32, 2, 3]);
+        assert!(from_bin_bytes::<Vec<u32>>(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(from_bin_bytes::<Vec<u32>>(&padded).is_err());
+        // A garbage count must fail cleanly, not allocate unboundedly.
+        let garbage = u32::MAX.to_le_bytes();
+        assert!(from_bin_bytes::<Vec<u64>>(&garbage).is_err());
+    }
+
+    #[test]
+    fn binary_default_path_encodes_json_tree() {
+        // A type without a direct encoder goes through the tagged tree and
+        // must still roundtrip via from_json.
+        struct TreeOnly(Vec<Option<String>>);
+        impl Serialize for TreeOnly {
+            fn to_json(&self) -> Json {
+                self.0.to_json()
+            }
+        }
+        impl Deserialize for TreeOnly {
+            fn from_json(value: &Json) -> Result<Self, Error> {
+                Vec::from_json(value).map(TreeOnly)
+            }
+        }
+        let value = TreeOnly(vec![Some("a".into()), None]);
+        let back = from_bin_bytes::<TreeOnly>(&to_bin_bytes(&value)).unwrap();
+        assert_eq!(back.0, value.0);
+    }
+
+    #[test]
+    fn hashmap_binary_encoding_is_deterministic() {
+        let mut m = HashMap::new();
+        for i in 0..64u64 {
+            m.insert(i, i * 3);
+        }
+        let a = to_bin_bytes(&m);
+        let b = to_bin_bytes(&m.clone());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -333,9 +333,86 @@ fn generate_serialize(item: &Item) -> String {
         }
     };
     let stream_body = generate_write_json(item);
+    let bin_body = generate_write_bin(item);
     format!(
-        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{\n{body}\n    }}\n    fn write_json(&self, __out: &mut ::serde::JsonWriter<'_>) {{\n{stream_body}\n    }}\n}}\n"
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn to_json(&self) -> ::serde::Json {{\n{body}\n    }}\n    fn write_json(&self, __out: &mut ::serde::JsonWriter<'_>) {{\n{stream_body}\n    }}\n    #[allow(unused_variables)]\n    fn write_bin(&self, __out: &mut ::std::vec::Vec<u8>) {{\n{bin_body}\n    }}\n}}\n"
     )
+}
+
+/// The body of the generated `write_bin` — positional fields in declaration
+/// order, `u32` little-endian variant tags, skipped fields omitted (the
+/// reader restores them with `Default::default()`).
+fn generate_write_bin(item: &Item) -> String {
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut code = String::new();
+            for field in fields.iter().filter(|f| !f.skip) {
+                code.push_str(&format!(
+                    "::serde::Serialize::write_bin(&self.{f}, __out);\n",
+                    f = field.name
+                ));
+            }
+            code
+        }
+        Shape::TupleStruct(n) => {
+            let mut code = String::new();
+            for i in 0..*n {
+                code.push_str(&format!(
+                    "::serde::Serialize::write_bin(&self.{i}, __out);\n"
+                ));
+            }
+            code
+        }
+        Shape::UnitStruct => String::new(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                let tag = format!("__out.extend_from_slice(&{idx}u32.to_le_bytes());\n");
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!("Self::{vname} => {{\n{tag}}}\n"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut writes = tag;
+                        for b in &binds {
+                            writes
+                                .push_str(&format!("::serde::Serialize::write_bin({b}, __out);\n"));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vname}({binds}) => {{\n{writes}}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let names: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut writes = tag;
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            writes.push_str(&format!(
+                                "::serde::Serialize::write_bin({f}, __out);\n",
+                                f = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {names} }} => {{\n{writes}}}\n",
+                            names = names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
 }
 
 /// The body of the generated streaming `write_json` — byte-identical output
@@ -527,7 +604,86 @@ fn generate_deserialize(item: &Item) -> String {
             )
         }
     };
+    let bin_body = generate_read_bin(item);
     format!(
-        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n    }}\n}}\n"
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn from_json(__v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n    }}\n    #[allow(unused_variables)]\n    fn read_bin(__in: &mut ::serde::BinReader<'_>) -> ::std::result::Result<Self, ::serde::Error> {{\n{bin_body}\n    }}\n}}\n"
     )
+}
+
+/// The body of the generated `read_bin` — mirrors `generate_write_bin`:
+/// positional fields in declaration order (struct-literal initializers
+/// evaluate left-to-right, so reads happen in write order), `u32` variant
+/// tags, skipped fields restored with `Default::default()`.
+fn generate_read_bin(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for field in fields {
+                if field.skip {
+                    inits.push_str(&format!(
+                        "{f}: ::std::default::Default::default(),\n",
+                        f = field.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{f}: ::serde::Deserialize::read_bin(__in)?,\n",
+                        f = field.name
+                    ));
+                }
+            }
+            format!("::std::result::Result::Ok(Self {{\n{inits}}})")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|_| "::serde::Deserialize::read_bin(__in)?".to_string())
+                .collect();
+            format!("::std::result::Result::Ok(Self({}))", items.join(", "))
+        }
+        Shape::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{idx}u32 => ::std::result::Result::Ok(Self::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|_| "::serde::Deserialize::read_bin(__in)?".to_string())
+                            .collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::std::result::Result::Ok(Self::{vname}({})),\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{f}: ::std::default::Default::default()", f = f.name)
+                                } else {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::read_bin(__in)?",
+                                        f = f.name
+                                    )
+                                }
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{idx}u32 => ::std::result::Result::Ok(Self::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __in.u32()? {{\n{arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(format!(\"unknown variant tag {{__other}} of {name}\"))),\n\
+                 }}"
+            )
+        }
+    }
 }
