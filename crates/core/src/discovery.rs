@@ -57,8 +57,8 @@ use crate::indexes::IndexCatalog;
 use crate::join::PkFkLink;
 use crate::joint::{JointModel, JointTrainer, JointTrainingReport};
 use crate::persist::{
-    decode_profiled, encode_profiled, load_segment, Io, LoadedSegment, PersistError, PersistHandle,
-    RecoveryReport, WalRecord,
+    decode_frames, decode_profiled, encode_profiled, load_segment, Io, LoadedSegment, PersistError,
+    PersistHandle, RecoveryReport, Wal, WalRecord,
 };
 use crate::profile::{ElementData, ProfiledLake, Profiler};
 use crate::query::{DiscoveryQuery, DocQuery, QueryResponse};
@@ -194,13 +194,39 @@ impl Cmdl {
         match Self::restore_from_segment(&segment) {
             Ok(mut system) => {
                 let floor = segment.manifest.last_applied_lsn;
-                let (handle, records, discarded_bytes) =
-                    PersistHandle::open(io, dir, floor).map_err(persist_err)?;
+                // A WAL that will not open (a checksum-valid frame whose
+                // payload no longer decodes) or a record that will not
+                // re-apply degrades to rebuild-from-source like any other
+                // corruption — never a permanently unopenable directory.
+                // `rebuild_at` sets the log aside first, so the failed
+                // records stay on disk for inspection.
+                let (handle, records, discarded_bytes) = match PersistHandle::open(io, dir, floor) {
+                    Ok(opened) => opened,
+                    Err(PersistError::Crashed) => return Err(persist_err(PersistError::Crashed)),
+                    Err(reason) => {
+                        return Self::rebuild_at(
+                            io,
+                            dir,
+                            config,
+                            source(),
+                            Some(reason.to_string()),
+                        )
+                    }
+                };
                 let replayed = records.len();
                 // Replay with the handle not yet installed, so the replay
                 // does not re-append the records it is applying.
-                for (_lsn, record) in records {
-                    system.apply_wal_record(record)?;
+                for (lsn, record) in records {
+                    if let Err(e) = system.apply_wal_record(record) {
+                        drop(handle);
+                        return Self::rebuild_at(
+                            io,
+                            dir,
+                            config,
+                            source(),
+                            Some(format!("wal replay failed at lsn {lsn}: {e}")),
+                        );
+                    }
                 }
                 system.persist = Some(handle);
                 system.recovery = Some(RecoveryReport::Loaded {
@@ -229,9 +255,11 @@ impl Cmdl {
         self.persist.is_some()
     }
 
-    /// Build from source into `dir`, write the initial checkpoint (which
-    /// also truncates any stale WAL left by a damaged directory), and
-    /// record why.
+    /// Build from source into `dir`, write the initial checkpoint, and
+    /// record why. Any non-empty WAL in the damaged directory is set
+    /// aside first (never truncated): it may hold acknowledged mutations
+    /// whose segment rotted beneath them, and destroying their only
+    /// durable evidence would contradict the no-acked-loss contract.
     fn rebuild_at(
         io: &Io,
         dir: &Path,
@@ -245,6 +273,7 @@ impl Cmdl {
                 dir.display()
             );
         }
+        Self::salvage_wal(io, dir).map_err(persist_err)?;
         let mut system = Self::build(lake, config);
         let (handle, _stale, _discarded) = PersistHandle::open(io, dir, 0).map_err(persist_err)?;
         system.persist = Some(handle);
@@ -256,6 +285,36 @@ impl Cmdl {
             None => RecoveryReport::Fresh,
         });
         Ok(system)
+    }
+
+    /// Set a non-empty WAL aside as `wal.salvaged-N` before a rebuild
+    /// wipes the directory's logical state, and log what it held. The
+    /// salvaged records cannot be replayed (the segment beneath them is
+    /// gone or undecodable), but they are the only durable evidence of
+    /// the mutations they carry — preserved for inspection, never
+    /// silently destroyed.
+    fn salvage_wal(io: &Io, dir: &Path) -> Result<(), PersistError> {
+        let wal_path = dir.join(Wal::FILE_NAME);
+        if !io.exists(&wal_path) {
+            return Ok(());
+        }
+        let bytes = io.read(&wal_path)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let (frames, _) = decode_frames(&bytes);
+        let salvage = (0..)
+            .map(|n| dir.join(format!("{}.salvaged-{n}", Wal::FILE_NAME)))
+            .find(|path| !io.exists(path))
+            .expect("unbounded salvage-name space");
+        io.rename(&wal_path, &salvage)?;
+        eprintln!(
+            "cmdl: set aside unreplayable WAL ({} decodable records, {} bytes) at {}",
+            frames.len(),
+            bytes.len(),
+            salvage.display()
+        );
+        Ok(())
     }
 
     /// Deserialize every section of a verified segment back into a catalog
@@ -311,6 +370,10 @@ impl Cmdl {
             WalRecord::IngestDocument(document) => self.ingest_document(document).map(|_| ()),
             WalRecord::RemoveTable { name } => self.remove_table(&name).map(|_| ()),
             WalRecord::RemoveDocument { index } => self.remove_document(index),
+            // Compensation markers are filtered out before replay; one
+            // reaching here (e.g. through a hand-built record list) is a
+            // no-op by definition.
+            WalRecord::Abort { .. } => Ok(()),
         }
         .map_err(|e| CmdlError::Persist(format!("wal replay diverged: {e}")))
     }
@@ -323,6 +386,61 @@ impl Cmdl {
         if let Some(handle) = self.persist.as_mut() {
             handle.append(record).map_err(persist_err)?;
         }
+        Ok(())
+    }
+
+    /// The WAL high-water mark: the LSN the next logged mutation will get
+    /// (0 for an in-memory catalog). A serving layer captures this before
+    /// applying a mutation so a panic mid-apply can be compensated with
+    /// [`recover_after_panic`](Cmdl::recover_after_panic).
+    pub fn wal_mark(&self) -> u64 {
+        self.persist.as_ref().map_or(0, PersistHandle::next_lsn)
+    }
+
+    /// Repair a persistent catalog after a mutation panicked mid-apply
+    /// (caught by the serving layer): the mutation's WAL record is already
+    /// fsynced while the in-memory state is partially mutated, so without
+    /// compensation disk and memory diverge forever — a crash-and-replay
+    /// would apply a mutation whose caller was told it failed, and the
+    /// next checkpoint would persist the half-applied state.
+    ///
+    /// `wal_mark` is the high-water mark captured *before* the mutation
+    /// ran. Every record it logged (`wal_mark..` the current mark) gets an
+    /// [`Abort`](WalRecord::Abort) compensation marker so replay skips
+    /// it, then the possibly half-mutated in-memory state is discarded and
+    /// reloaded from disk. After `Ok`, memory, segment, and WAL all agree
+    /// the mutation never happened — matching what the caller was told.
+    /// No-op for an in-memory catalog (there is nothing to reload from).
+    ///
+    /// On `Err` the catalog must be treated as wedged: the in-memory
+    /// state is unreliable and could not be reconciled with disk.
+    pub fn recover_after_panic(&mut self, wal_mark: u64) -> Result<(), CmdlError> {
+        let Some(handle) = self.persist.as_mut() else {
+            return Ok(());
+        };
+        for lsn in wal_mark..handle.next_lsn() {
+            handle
+                .append(&WalRecord::Abort { lsn })
+                .map_err(persist_err)?;
+        }
+        let io = handle.io().clone();
+        let dir = handle.dir().to_path_buf();
+        let recovery = self.recovery.take();
+        // Release the open WAL file before reopening the directory.
+        self.persist = None;
+        let segment = load_segment(&io, &dir)
+            .map_err(persist_err)?
+            .ok_or_else(|| CmdlError::Persist("panic recovery found no manifest".into()))?;
+        let mut system = Self::restore_from_segment(&segment).map_err(persist_err)?;
+        let (new_handle, records, _discarded) =
+            PersistHandle::open(&io, &dir, segment.manifest.last_applied_lsn)
+                .map_err(persist_err)?;
+        for (_lsn, record) in records {
+            system.apply_wal_record(record)?;
+        }
+        system.persist = Some(new_handle);
+        system.recovery = recovery;
+        *self = system;
         Ok(())
     }
 

@@ -203,6 +203,13 @@ impl Io {
         Ok(std::fs::create_dir_all(path)?)
     }
 
+    /// Rename a file within the filesystem (used to set a damaged WAL
+    /// aside rather than destroy it).
+    pub fn rename(&self, from: &Path, to: &Path) -> Result<(), PersistError> {
+        self.guard()?;
+        Ok(std::fs::rename(from, to)?)
+    }
+
     /// Remove a file, ignoring "not found".
     pub fn remove_file(&self, path: &Path) -> Result<(), PersistError> {
         self.guard()?;

@@ -8,12 +8,14 @@
 //! - **Mutations** (`ingest_*`/`remove_*`) append a checksummed
 //!   [`WalRecord`] and fsync *before* the writer gate acknowledges. An
 //!   acked mutation is durable by definition.
-//! - **Checkpoints** serialize the compacted catalog into a new
-//!   per-generation segment file (named, length-prefixed, individually
-//!   checksummed sections), swap the manifest atomically via
-//!   write-temp-then-rename, then truncate the WAL. The manifest records
-//!   `last_applied_lsn`, so a crash *between* manifest swap and WAL
-//!   truncation cannot double-apply: replay filters to newer LSNs.
+//! - **Checkpoints** serialize the compacted catalog into a brand-new,
+//!   write-once segment file (named, length-prefixed, individually
+//!   checksummed sections; the file name comes from a monotone sequence,
+//!   so the live segment is never reopened for writing), swap the
+//!   manifest atomically via write-temp-then-rename, then truncate the
+//!   WAL. The manifest records `last_applied_lsn`, so a crash *between*
+//!   manifest swap and WAL truncation cannot double-apply: replay
+//!   filters to newer LSNs.
 //! - **Recovery** loads the newest valid manifest, verifies every section
 //!   checksum, replays the WAL tail, and skips (never crashes on) a torn
 //!   final record. Any detected corruption degrades to a
@@ -173,25 +175,57 @@ pub struct PersistHandle {
     io: Io,
     dir: PathBuf,
     wal: Wal,
+    /// File-name sequence of the next segment to write. Every checkpoint
+    /// gets a brand-new `seg-<seq>` file — segments are write-once, so a
+    /// crash mid-checkpoint can never damage the segment the live
+    /// manifest points at.
+    next_seq: u64,
 }
 
 impl PersistHandle {
     /// Open the WAL of `dir` (creating the directory if needed) with the
     /// replay floor from the manifest, returning the handle plus the
-    /// replayable records.
+    /// replayable records. Records targeted by a [`WalRecord::Abort`]
+    /// compensation marker are filtered out (their mutation was reported
+    /// as failed), as are the markers themselves.
     pub fn open(io: &Io, dir: &Path, floor_lsn: u64) -> Result<OpenedHandle, PersistError> {
         io.create_dir_all(dir)?;
         let opened = Wal::open(io, &dir.join(Wal::FILE_NAME), floor_lsn)?;
+        let aborted: std::collections::HashSet<u64> = opened
+            .records
+            .iter()
+            .filter_map(|(_, record)| match record {
+                WalRecord::Abort { lsn } => Some(*lsn),
+                _ => None,
+            })
+            .collect();
         let replayable: Vec<(u64, WalRecord)> = opened
             .records
             .into_iter()
-            .filter(|(lsn, _)| *lsn > floor_lsn)
+            .filter(|(lsn, record)| {
+                *lsn > floor_lsn
+                    && !aborted.contains(lsn)
+                    && !matches!(record, WalRecord::Abort { .. })
+            })
             .collect();
+        // Seed the segment sequence past every `seg-` file already in the
+        // directory (live, orphaned by a crash, or left by a failed GC) so
+        // the next checkpoint never overwrites an existing file.
+        let mut next_seq = 1;
+        for name in io.list_dir(dir)? {
+            if let Some(n) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                next_seq = next_seq.max(n + 1);
+            }
+        }
         Ok((
             Self {
                 io: io.clone(),
                 dir: dir.to_path_buf(),
                 wal: opened.wal,
+                next_seq,
             },
             replayable,
             opened.discarded_bytes,
@@ -204,8 +238,15 @@ impl PersistHandle {
         self.wal.append(record)
     }
 
-    /// Write a new segment generation from `sections`, atomically swap
-    /// the manifest, truncate the WAL, and garbage-collect old segments.
+    /// Write a new segment from `sections`, atomically swap the manifest,
+    /// truncate the WAL, and garbage-collect old segments.
+    ///
+    /// The segment file name comes from the handle's own monotone
+    /// sequence, never from `generation`: checkpoints can repeat a
+    /// generation (EKG materialization, back-to-back compactions), and the
+    /// write-once/atomic-swap invariant requires that the file the live
+    /// manifest points at is never reopened for writing — a crash mid-way
+    /// through this function must leave the previous checkpoint intact.
     pub fn checkpoint(
         &mut self,
         generation: u64,
@@ -216,7 +257,8 @@ impl PersistHandle {
             writer.push(name, payload);
         }
         let segment_bytes = writer.finish();
-        let segment_name = format!("seg-{generation:08}");
+        let segment_name = format!("seg-{:08}", self.next_seq);
+        self.next_seq += 1;
         let segment_path = self.dir.join(&segment_name);
         let mut file = DurableFile::create(&self.io, &segment_path)?;
         file.append(&segment_bytes)?;
@@ -251,6 +293,11 @@ impl PersistHandle {
     /// The directory this handle persists into.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The io layer this handle writes through (real fs or fault-planned).
+    pub fn io(&self) -> &Io {
+        &self.io
     }
 
     /// The LSN the next mutation will get.
@@ -363,6 +410,84 @@ mod tests {
         assert!(matches!(
             load_segment(&io, &dir),
             Err(PersistError::Corrupt(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeat_checkpoint_at_same_generation_never_touches_live_segment() {
+        let dir = temp_dir("write-once");
+        let io = Io::real();
+        let (mut handle, _, _) = PersistHandle::open(&io, &dir, 0).unwrap();
+        handle
+            .checkpoint(1, &[("lake", b"first".to_vec())])
+            .unwrap();
+        let first = load_segment(&io, &dir).unwrap().expect("live").manifest;
+        // Same generation again (the materialize_ekg / train_joint path):
+        // a brand-new file, not an in-place rewrite of the live one.
+        handle
+            .checkpoint(1, &[("lake", b"second".to_vec())])
+            .unwrap();
+        let second = load_segment(&io, &dir).unwrap().expect("live").manifest;
+        assert_ne!(first.segment, second.segment);
+        assert_eq!(second.generation, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_mid_recheckpoint_leaves_previous_checkpoint_loadable() {
+        let dir = temp_dir("recheckpoint-kill");
+        let plan = FaultPlan::new();
+        let io = Io::with_plan(plan.clone());
+        let (mut handle, _, _) = PersistHandle::open(&io, &dir, 0).unwrap();
+        handle.checkpoint(1, &[("lake", b"good".to_vec())]).unwrap();
+        // Die mid-way through the next segment write, generation unchanged.
+        plan.arm("segment.write.sync.before", 1, Fault::Kill);
+        assert!(handle
+            .checkpoint(1, &[("lake", b"doomed".to_vec())])
+            .is_err());
+        // The manifest still points at the intact first segment.
+        let loaded = load_segment(&Io::real(), &dir)
+            .expect("no corruption")
+            .expect("manifest live");
+        assert_eq!(loaded.sections["lake"], b"good");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_handle_never_reuses_segment_names() {
+        let dir = temp_dir("seq-reopen");
+        let io = Io::real();
+        let (mut handle, _, _) = PersistHandle::open(&io, &dir, 0).unwrap();
+        handle.checkpoint(1, &[("lake", b"a".to_vec())]).unwrap();
+        let live = load_segment(&io, &dir).unwrap().unwrap().manifest.segment;
+        drop(handle);
+        let (mut handle, _, _) = PersistHandle::open(&io, &dir, 1).unwrap();
+        handle.checkpoint(2, &[("lake", b"b".to_vec())]).unwrap();
+        let next = load_segment(&io, &dir).unwrap().unwrap().manifest.segment;
+        assert_ne!(live, next, "sequence must resume past existing files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn aborted_records_and_markers_never_replay() {
+        let dir = temp_dir("abort");
+        let io = Io::real();
+        let (mut handle, _, _) = PersistHandle::open(&io, &dir, 0).unwrap();
+        let keep = handle
+            .append(&WalRecord::RemoveDocument { index: 1 })
+            .unwrap();
+        let doomed = handle
+            .append(&WalRecord::RemoveDocument { index: 2 })
+            .unwrap();
+        handle.append(&WalRecord::Abort { lsn: doomed }).unwrap();
+        drop(handle);
+        let (_, replay, _) = PersistHandle::open(&io, &dir, 0).unwrap();
+        assert_eq!(replay.len(), 1, "aborted record and marker are filtered");
+        assert_eq!(replay[0].0, keep);
+        assert!(matches!(
+            replay[0].1,
+            WalRecord::RemoveDocument { index: 1 }
         ));
         let _ = std::fs::remove_dir_all(&dir);
     }

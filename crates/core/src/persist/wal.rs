@@ -14,10 +14,14 @@
 //! *skipped*, not fatal, and the file is truncated back to the valid
 //! prefix so the next append starts clean.
 //!
-//! LSNs are monotone across the catalog's life, and the manifest records
+//! LSNs are monotone across the catalog's life — burned *before* the
+//! fsync, so even a failed fsync (whose frame may be durable regardless)
+//! never puts two records under one LSN — and the manifest records
 //! `last_applied_lsn` at every checkpoint: replay filters to
 //! `lsn > last_applied_lsn`, which makes the checkpoint → WAL-truncate
-//! window crash-safe without double-applying mutations.
+//! window crash-safe without double-applying mutations. As
+//! defense-in-depth, replay also skips any frame whose LSN does not
+//! strictly increase.
 
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +46,15 @@ pub enum WalRecord {
     RemoveDocument {
         /// The document index.
         index: usize,
+    },
+    /// A compensation marker: the record at `lsn` was logged by a mutation
+    /// that subsequently failed mid-apply (e.g. panicked in the writer
+    /// gate) and was reported as failed to its caller. Replay must skip
+    /// the aborted record so disk converges with what the caller was told.
+    /// (New variants append at the end: the binary codec tags by index.)
+    Abort {
+        /// The LSN of the record that must not be replayed.
+        lsn: u64,
     },
 }
 
@@ -95,6 +108,10 @@ pub fn decode_frames(bytes: &[u8]) -> (Vec<(u64, Vec<u8>)>, usize) {
 pub struct Wal {
     file: DurableFile,
     next_lsn: u64,
+    /// Set when an append's fsync failed: the frame may or may not be
+    /// durable, so the handle refuses further appends until a successful
+    /// [`reset`](Wal::reset) returns the file to a known state.
+    poisoned: bool,
 }
 
 /// What [`Wal::open`] found on disk.
@@ -123,9 +140,17 @@ impl Wal {
             file.truncate(valid_len as u64)?;
         }
         let mut records = Vec::with_capacity(frames.len());
-        let mut max_lsn = floor_lsn;
+        let mut last_frame_lsn: Option<u64> = None;
         for (lsn, payload) in frames {
-            max_lsn = max_lsn.max(lsn);
+            // LSNs are strictly increasing in a well-formed log. A
+            // duplicate or regression can only be the durable ghost of an
+            // append whose fsync reported failure (the caller was told the
+            // mutation failed, and the LSN was burned, never reused):
+            // replaying it would double-apply, so skip it.
+            if last_frame_lsn.is_some_and(|last| lsn <= last) {
+                continue;
+            }
+            last_frame_lsn = Some(lsn);
             let record: WalRecord = serde::from_bin_bytes(&payload).map_err(|e| {
                 PersistError::Corrupt(format!("wal record {lsn} failed to decode: {e}"))
             })?;
@@ -134,7 +159,8 @@ impl Wal {
         Ok(WalOpen {
             wal: Wal {
                 file,
-                next_lsn: max_lsn + 1,
+                next_lsn: floor_lsn.max(last_frame_lsn.unwrap_or(0)) + 1,
+                poisoned: false,
             },
             records,
             discarded_bytes,
@@ -143,20 +169,40 @@ impl Wal {
 
     /// Append `record`, fsync, and return its LSN. The writer gate must
     /// not acknowledge the mutation until this returns `Ok`.
+    ///
+    /// The LSN is burned *before* the fsync: a failed fsync may leave the
+    /// frame durable anyway, and reusing its LSN would put two different
+    /// records under one sequence number (double-applied on replay). A
+    /// failed fsync also poisons the handle — the log's durable length is
+    /// no longer known, so further appends are refused until a successful
+    /// [`reset`](Wal::reset) returns the file to a known state.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, PersistError> {
+        if self.poisoned {
+            return Err(PersistError::Io(
+                "wal handle is poisoned by an earlier failed fsync".into(),
+            ));
+        }
         let payload = serde::to_bin_bytes(record);
         let lsn = self.next_lsn;
-        let frame = encode_frame(lsn, &payload);
-        self.file.append(&frame)?;
-        self.file.sync("wal.append.sync")?;
         self.next_lsn = lsn + 1;
+        let appended = self
+            .file
+            .append(&encode_frame(lsn, &payload))
+            .and_then(|()| self.file.sync("wal.append.sync"));
+        if let Err(e) = appended {
+            self.poisoned = true;
+            return Err(e);
+        }
         Ok(lsn)
     }
 
     /// Durably drop every record (after a checkpoint made them redundant).
-    /// LSNs keep counting up — they are never reused.
+    /// LSNs keep counting up — they are never reused. A successful reset
+    /// also clears fsync poisoning: the empty log is a known state.
     pub fn reset(&mut self) -> Result<(), PersistError> {
-        self.file.truncate(0)
+        self.file.truncate(0)?;
+        self.poisoned = false;
+        Ok(())
     }
 
     /// The LSN the next append will get.
@@ -232,6 +278,32 @@ mod tests {
             again.records[2].1,
             WalRecord::RemoveDocument { index: 99 }
         ));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn duplicate_lsn_frames_replay_once() {
+        // The durable ghost of an append whose fsync reported failure: two
+        // checksum-valid frames under one LSN. Replay must keep only the
+        // first (the caller of the second was told it failed).
+        let path = temp_path("dup");
+        let mut bytes = Vec::new();
+        for (lsn, index) in [(1u64, 10usize), (2, 20), (2, 21), (3, 30)] {
+            let payload = serde::to_bin_bytes(&sample_record(index));
+            bytes.extend_from_slice(&encode_frame(lsn, &payload));
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let opened = Wal::open(&Io::real(), &path, 0).unwrap();
+        let replayed: Vec<(u64, usize)> = opened
+            .records
+            .iter()
+            .map(|(lsn, r)| match r {
+                WalRecord::RemoveDocument { index } => (*lsn, *index),
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        assert_eq!(replayed, vec![(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(opened.wal.next_lsn(), 4);
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

@@ -22,6 +22,7 @@
 //! [`crate::http`] is nothing but framing.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -51,6 +52,13 @@ pub struct CmdlService {
     /// The mutation queue drained (flat-combining) by whichever writer
     /// holds the gate.
     queue: Mutex<VecDeque<PendingMutation>>,
+    /// Set when a panicked mutation on a persistent catalog could not be
+    /// reconciled with disk ([`Cmdl::recover_after_panic`] failed): the
+    /// in-memory state may diverge from the WAL/segment, so accepting
+    /// further mutations would compound the damage. Reads keep serving
+    /// the last published snapshot; mutations are refused and health
+    /// reports `degraded`.
+    wedged: AtomicBool,
     metrics: Arc<ServiceMetrics>,
 }
 
@@ -62,6 +70,7 @@ impl CmdlService {
             writer: Mutex::new(cmdl),
             published,
             queue: Mutex::new(VecDeque::new()),
+            wedged: AtomicBool::new(false),
             metrics: Arc::new(ServiceMetrics::default()),
         }
     }
@@ -206,8 +215,13 @@ impl CmdlService {
                 ServiceResponse::success(ResponsePayload::Stats(snapshot.stats()))
             }
             ServiceRequest::Health => {
+                let status = if self.wedged.load(Ordering::SeqCst) {
+                    "degraded"
+                } else {
+                    "ok"
+                };
                 ServiceResponse::success(ResponsePayload::Health(HealthReport {
-                    status: "ok".to_string(),
+                    status: status.to_string(),
                     generation: snapshot.generation,
                 }))
             }
@@ -224,6 +238,14 @@ impl CmdlService {
     /// drains the whole queue (flat combining) and publishes one snapshot
     /// for the batch; losers find their result already filled in.
     fn submit_mutation(&self, request: ServiceRequest) -> ServiceResponse {
+        if self.wedged.load(Ordering::SeqCst) {
+            return ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::Internal,
+                "writer gate wedged: in-memory state could not be reconciled with \
+                 disk after a panic; restart to recover"
+                    .to_string(),
+            ));
+        }
         let slot = Arc::new(Mutex::new(None));
         self.queue
             .lock()
@@ -271,6 +293,15 @@ impl CmdlService {
     /// `into_inner` on poison, so the catalog keeps serving either way —
     /// this just turns "all writers see a broken gate" into "one writer
     /// gets one typed error".)
+    ///
+    /// On a *persistent* catalog a caught panic is not enough by itself:
+    /// the mutation's WAL record was fsynced before the in-memory apply
+    /// tore, so disk says "applied" while the caller was told "failed" and
+    /// memory is half-mutated. [`Cmdl::recover_after_panic`] compensates —
+    /// it marks the record aborted in the WAL and reloads memory from
+    /// disk, so all three agree the mutation never happened. If even that
+    /// fails, the gate is wedged: further mutations are refused rather
+    /// than served from unreconcilable state.
     fn drain_queue(&self, cmdl: &mut Cmdl) {
         loop {
             let Some(pending) = self
@@ -282,8 +313,9 @@ impl CmdlService {
                 return;
             };
             let kind = pending.request.kind();
+            let wal_mark = cmdl.wal_mark();
             let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                Self::apply_mutation(cmdl, pending.request)
+                Self::apply_mutation(&mut *cmdl, pending.request)
             }))
             .unwrap_or_else(|panic| {
                 let detail = panic
@@ -292,6 +324,15 @@ impl CmdlService {
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "mutation panicked".to_string());
                 eprintln!("cmdl: {kind} mutation panicked in the writer gate: {detail}");
+                if cmdl.is_persistent() {
+                    if let Err(e) = cmdl.recover_after_panic(wal_mark) {
+                        eprintln!(
+                            "cmdl: panic compensation failed ({e}); wedging the writer \
+                             gate — mutations disabled until restart"
+                        );
+                        self.wedged.store(true, Ordering::SeqCst);
+                    }
+                }
                 ServiceResponse::failure(ServiceError::with_subject(ErrorCode::Internal, detail))
             });
             *pending
@@ -468,6 +509,53 @@ mod tests {
                 .ingest_document(Document::new("n", "s", "still serving"))
                 .ok
         );
+    }
+
+    #[test]
+    fn panicking_mutation_on_persistent_catalog_reconciles_with_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "cmdl-service-panic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        let service =
+            CmdlService::open(&dir, CmdlConfig::fast(), move || lake).expect("durable open");
+        // An acked mutation whose only durable home is the WAL.
+        assert!(
+            service
+                .ingest_document(Document::new("n", "s", "durable note"))
+                .ok
+        );
+        // Smuggle a read into the writer queue: `apply_mutation`
+        // debug-asserts on it, so under `cargo test` the drain catches a
+        // panic on a *persistent* catalog and must compensate — abort the
+        // (zero) WAL records of the failed mutation and reload memory from
+        // disk — instead of serving half-applied state. In release the
+        // same arm returns the Internal envelope without panicking.
+        let slot = Arc::new(Mutex::new(None));
+        service.queue.lock().unwrap().push_back(PendingMutation {
+            request: ServiceRequest::Stats,
+            result: Arc::clone(&slot),
+        });
+        service.flush();
+        let response = slot.lock().unwrap().take().expect("slot filled by drain");
+        assert!(!response.ok);
+        // Compensation succeeded: the gate is not wedged and health is ok.
+        match service.handle(ServiceRequest::Health).payload {
+            Some(ResponsePayload::Health(h)) => assert_eq!(h.status, "ok"),
+            other => panic!("wrong payload: {other:?}"),
+        }
+        // The reload kept the acked mutation and the gate keeps serving.
+        let stats = service.snapshot().stats();
+        assert!(stats.documents >= 1);
+        assert!(
+            service
+                .ingest_document(Document::new("n2", "s", "still serving"))
+                .ok
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

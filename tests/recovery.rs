@@ -515,6 +515,137 @@ fn hand_corrupted_manifest_and_segment_fall_back_to_rebuild() {
     }
 }
 
+#[test]
+fn kill_mid_same_generation_recheckpoint_keeps_previous_checkpoint() {
+    // The materialize_ekg / train_joint path checkpoints without bumping
+    // the generation. Segments are write-once: a crash mid-way through the
+    // re-checkpoint must leave the previous checkpoint (the one the live
+    // manifest points at) fully intact — loaded, never rebuilt.
+    let s = scenario();
+    let config = CmdlConfig::fast();
+    let dir = TempDir::new("recheckpoint");
+
+    let plan = FaultPlan::new();
+    let io = Io::with_plan(plan.clone());
+    let seed = s.seed.clone();
+    let mut cmdl =
+        Cmdl::open_with_io(&io, dir.path(), config.clone(), move || seed).expect("fresh open");
+    apply(&mut cmdl, &s.script[0]).expect("acked mutation");
+    // Die mid-way through the NEXT segment write (past the initial
+    // checkpoint and any ingest-triggered compaction), generation
+    // unchanged.
+    let occurrence = plan
+        .hits()
+        .iter()
+        .filter(|h| h.as_str() == "segment.write.sync.before")
+        .count() as u64;
+    plan.arm("segment.write.sync.before", occurrence, Fault::Kill);
+    assert!(
+        cmdl.checkpoint().is_err(),
+        "checkpoint must report the kill"
+    );
+    drop(cmdl);
+
+    let recovered = Cmdl::open(dir.path(), config, || {
+        panic!("previous checkpoint must load without the source")
+    })
+    .expect("recovery after mid-recheckpoint kill");
+    match recovered.recovery_report() {
+        Some(RecoveryReport::Loaded { replayed, .. }) => {
+            // 1 unless an ingest-triggered compaction already folded the
+            // record into the (previous) segment.
+            assert!(*replayed <= 1, "unexpected replay count {replayed}");
+        }
+        other => panic!("expected Loaded, got {other:?}"),
+    }
+    assert_eq!(recovered.profiled.lake.tables().len(), s.seed_tables + 1);
+}
+
+#[test]
+fn unreplayable_wal_is_salvaged_not_destroyed() {
+    // When only the segment rots but the WAL is intact, rebuild-from-source
+    // cannot replay the acked records — but it must never destroy their
+    // only durable evidence: the log is set aside, not truncated.
+    let s = scenario();
+    let config = CmdlConfig::fast();
+    let dir = TempDir::new("salvage");
+
+    let seed = s.seed.clone();
+    let mut cmdl = Cmdl::open(dir.path(), config.clone(), move || seed).expect("fresh open");
+    apply(&mut cmdl, &s.script[0]).expect("acked mutation");
+    apply(&mut cmdl, &s.script[1]).expect("acked mutation");
+    drop(cmdl);
+    let wal_bytes = std::fs::read(dir.path().join("wal")).expect("wal exists");
+    assert!(!wal_bytes.is_empty(), "acked records live in the WAL");
+
+    // Rot the segment under the intact WAL.
+    let seg = std::fs::read_dir(dir.path())
+        .expect("list dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .find(|name| name.starts_with("seg-"))
+        .expect("segment exists");
+    let seg_path = dir.path().join(seg);
+    let mut bytes = std::fs::read(&seg_path).expect("read segment");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&seg_path, &bytes).expect("corrupt segment");
+
+    let seed = s.seed.clone();
+    let recovered = Cmdl::open(dir.path(), config, move || seed).expect("degrade to rebuild");
+    assert!(matches!(
+        recovered.recovery_report(),
+        Some(RecoveryReport::Rebuilt { .. })
+    ));
+    // The old log survives byte-for-byte under the salvage name, and the
+    // live WAL was restarted fresh.
+    let salvaged = std::fs::read(dir.path().join("wal.salvaged-0"))
+        .expect("unreplayable WAL set aside, not truncated");
+    assert_eq!(salvaged, wal_bytes);
+}
+
+#[test]
+fn undecodable_wal_record_degrades_to_rebuild() {
+    // A checksum-valid frame whose payload no longer decodes (e.g. written
+    // by a different build) must degrade to rebuild-from-source like any
+    // other corruption — not leave the directory permanently unopenable.
+    let s = scenario();
+    let config = CmdlConfig::fast();
+    let dir = TempDir::new("undecodable");
+
+    let seed = s.seed.clone();
+    drop(Cmdl::open(dir.path(), config.clone(), move || seed).expect("fresh open"));
+
+    // Append a frame that passes the checksum but is not a WalRecord.
+    let wal_path = dir.path().join("wal");
+    let mut bytes = std::fs::read(&wal_path).expect("read wal");
+    bytes.extend_from_slice(&encode_frame(9_999, &[0xFF; 16]));
+    std::fs::write(&wal_path, &bytes).expect("write poisoned wal");
+
+    let seed = s.seed.clone();
+    let recovered = Cmdl::open(dir.path(), config.clone(), move || seed)
+        .unwrap_or_else(|e| panic!("undecodable record must not fail open: {e}"));
+    match recovered.recovery_report() {
+        Some(RecoveryReport::Rebuilt { reason }) => {
+            assert!(
+                reason.contains("decode"),
+                "rebuild reason should name the decode failure: {reason}"
+            );
+        }
+        other => panic!("expected Rebuilt, got {other:?}"),
+    }
+    // The poisoned log was salvaged and the rebuilt directory reopens clean.
+    assert!(dir.path().join("wal.salvaged-0").exists());
+    let reopened = Cmdl::open(dir.path(), config, || {
+        panic!("rebuilt directory must load without the source")
+    })
+    .expect("reopen after rebuild");
+    assert!(matches!(
+        reopened.recovery_report(),
+        Some(RecoveryReport::Loaded { .. })
+    ));
+}
+
 // ---------------------------------------------------------------------
 // WAL frame decoding under arbitrary damage (proptest)
 // ---------------------------------------------------------------------
