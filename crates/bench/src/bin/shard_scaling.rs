@@ -1,0 +1,194 @@
+//! Shard scaling: serving QPS and ingest throughput at 1/2/4/8 shards.
+//!
+//! Queries are issued sequentially in a closed loop — the speedup at N
+//! shards comes entirely from each query's scatter/gather running its
+//! per-shard scans in parallel, not from concurrent clients — so the
+//! reported QPS is the latency win a *single* caller observes. The
+//! workload is scan-dominated (unionable + joinable + keyword probes),
+//! the query shapes whose per-shard halves sharding actually
+//! parallelizes; replica-probed cross-modal queries and the global PK-FK
+//! sweep cost the same at any shard count and would only dilute the
+//! ratio.
+//!
+//! Ingest throughput runs 4 writer threads ingesting disjoint tables
+//! through the router: per-shard writer gates let tables routed to
+//! different shards profile and index concurrently, so rows/sec grows
+//! with the shard count while the single-shard row serializes every
+//! ingest behind one gate.
+//!
+//! Every configuration first asserts bit parity of its workload results
+//! against the 1-shard build before any timing: a scaling number for a
+//! path that returns different hits would be meaningless.
+
+use std::time::Instant;
+
+use cmdl_bench::{bench_config, emit, pharma_lake};
+use cmdl_core::{
+    CmdlConfig, DiscoveryQuery, Hit, QueryBuilder, SearchMode, ShardPolicy, ShardedCmdl,
+};
+use cmdl_datalake::{Column, Table};
+use cmdl_eval::{ExperimentReport, MethodResult};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const INGEST_THREADS: usize = 4;
+const INGEST_TABLES: usize = 24;
+const INGEST_ROWS_PER_COLUMN: usize = 60;
+
+fn shard_config(shards: usize) -> CmdlConfig {
+    let mut config = bench_config();
+    config.shards = shards;
+    config.shard_policy = ShardPolicy::SizeBalanced;
+    config
+}
+
+/// The scan-dominated serving workload (see module docs).
+fn workload() -> Vec<DiscoveryQuery> {
+    let mut queries = Vec::new();
+    for table in ["Drugs", "Enzymes", "Compounds", "Trials", "Dosages"] {
+        queries.push(QueryBuilder::unionable(table).top_k(10).build());
+        queries.push(QueryBuilder::joinable(table).top_k(10).build());
+    }
+    for text in [
+        "enzyme inhibitor",
+        "chemotherapy cancer therapy",
+        "clinical trial phase",
+        "drug interaction effect",
+    ] {
+        queries.push(QueryBuilder::keyword(text).top_k(10).build());
+        queries.push(
+            QueryBuilder::keyword(text)
+                .mode(SearchMode::Tables)
+                .top_k(10)
+                .build(),
+        );
+    }
+    for (table, column) in [
+        ("Drugs", "Id"),
+        ("Dosages", "Drug_Key"),
+        ("Trials", "Drug_Key"),
+    ] {
+        queries.push(
+            QueryBuilder::joinable_column(table, column)
+                .top_k(10)
+                .build(),
+        );
+    }
+    queries
+}
+
+/// Disjoint synthetic tables for the ingest measurement.
+fn ingest_tables() -> Vec<Table> {
+    (0..INGEST_TABLES)
+        .map(|t| {
+            Table::new(
+                format!("Ingest_{t}"),
+                (0..3)
+                    .map(|c| {
+                        Column::from_texts(
+                            format!("col_{c}"),
+                            (0..INGEST_ROWS_PER_COLUMN)
+                                .map(|r| format!("value-{t}-{c}-{r} site-{}", (t * 7 + r) % 13)),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn run_workload(sharded: &ShardedCmdl, queries: &[DiscoveryQuery]) -> Vec<Vec<Hit>> {
+    let snapshot = sharded.snapshot();
+    queries
+        .iter()
+        .map(|query| {
+            snapshot
+                .execute(query)
+                .expect("workload query executes")
+                .hits
+        })
+        .collect()
+}
+
+/// Best-of-N closed-loop QPS (robust against CPU-steal spikes).
+fn measure_qps(sharded: &ShardedCmdl, queries: &[DiscoveryQuery], passes: usize) -> f64 {
+    let snapshot = sharded.snapshot();
+    let mut best = 0.0f64;
+    for _ in 0..passes {
+        let start = Instant::now();
+        for query in queries {
+            let _ = snapshot.execute(query).expect("workload query executes");
+        }
+        best = best.max(queries.len() as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Rows/sec of `INGEST_THREADS` writers ingesting disjoint tables through
+/// the router.
+fn measure_ingest(sharded: &ShardedCmdl) -> f64 {
+    let tables = ingest_tables();
+    let total_rows = tables.len() * 3 * INGEST_ROWS_PER_COLUMN;
+    let chunks: Vec<Vec<Table>> = (0..INGEST_THREADS)
+        .map(|w| {
+            tables
+                .iter()
+                .skip(w)
+                .step_by(INGEST_THREADS)
+                .cloned()
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for chunk in chunks {
+            scope.spawn(|| {
+                for table in chunk {
+                    sharded.ingest_table(table).expect("bench ingest");
+                }
+            });
+        }
+    });
+    total_rows as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let queries = workload();
+    let mut report = ExperimentReport::new(
+        "Shard scaling",
+        format!(
+            "Sequential closed-loop serving QPS (per-query scatter/gather, {} scan-dominated \
+             queries, best of 5) and concurrent ingest rows/sec ({INGEST_THREADS} writer threads, \
+             {INGEST_TABLES} tables x 3 columns x {INGEST_ROWS_PER_COLUMN} rows) on the \
+             bench-scale pharma lake at 1/2/4/8 shards. Results are parity-checked against the \
+             1-shard build before timing.",
+            queries.len()
+        ),
+    );
+
+    let mut reference: Option<Vec<Vec<Hit>>> = None;
+    let mut baseline_qps = 0.0f64;
+    for shards in SHARD_COUNTS {
+        let sharded = ShardedCmdl::build(pharma_lake().lake, shard_config(shards));
+        let results = run_workload(&sharded, &queries);
+        match &reference {
+            None => reference = Some(results),
+            Some(expected) => assert_eq!(
+                expected, &results,
+                "sharded results diverged from the single-shard build at {shards} shards"
+            ),
+        }
+        let qps = measure_qps(&sharded, &queries, 5);
+        let ingest = measure_ingest(&sharded);
+        if shards == 1 {
+            baseline_qps = qps;
+        }
+        report.push(
+            MethodResult::new(format!("{shards} shard(s)"))
+                .with("Qps", qps)
+                .with("Qps_vs_1_shard", qps / baseline_qps)
+                .with("Ingest_rows_per_sec", ingest),
+        );
+    }
+
+    emit(&report);
+}

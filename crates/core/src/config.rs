@@ -20,6 +20,21 @@ pub enum HardSampling {
     Disabled,
 }
 
+/// How [`ShardedCmdl`](crate::shard::ShardedCmdl) assigns elements to
+/// shards. Both policies are deterministic, so a partitioning is fully
+/// reproducible from the ingest sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardPolicy {
+    /// Route by a multiplicative hash of the element's first id (a table's
+    /// first column id, a document's id). Stateless and uniform in
+    /// expectation; the default.
+    HashId,
+    /// Route to the shard currently holding the fewest elements (ties break
+    /// toward the lowest shard index). Keeps shard cardinalities within one
+    /// element of each other under any ingest order.
+    SizeBalanced,
+}
+
 /// Which representation the cross-modal (Doc→Table) search uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CrossModalStrategy {
@@ -110,6 +125,13 @@ pub struct CmdlConfig {
     pub compaction_ratio: f64,
     /// Random seed used across the system.
     pub seed: u64,
+    /// Number of catalog shards the service layer partitions the lake
+    /// across. `1` (the default) serves from a single catalog;
+    /// `N > 1` builds a [`ShardedCmdl`](crate::shard::ShardedCmdl) that
+    /// scatter/gathers every query and routes writes to the owning shard.
+    pub shards: usize,
+    /// The partition policy used when `shards > 1`.
+    pub shard_policy: ShardPolicy,
 }
 
 impl Default for CmdlConfig {
@@ -144,6 +166,8 @@ impl Default for CmdlConfig {
             idf_refresh_ratio: 0.1,
             compaction_ratio: 0.25,
             seed: 0xC3D1,
+            shards: 1,
+            shard_policy: ShardPolicy::HashId,
         }
     }
 }

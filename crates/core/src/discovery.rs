@@ -2,11 +2,11 @@
 //!
 //! [`Cmdl`] is the system façade: it owns the profiled lake, the index
 //! catalog, the (optionally trained) joint model, and the EKG. Discovery
-//! runs through the unified [`DiscoveryQuery`](crate::query::DiscoveryQuery)
-//! API: build a query with [`QueryBuilder`](crate::query::QueryBuilder) and
+//! runs through the unified [`DiscoveryQuery`] API: build a query with
+//! [`QueryBuilder`](crate::query::QueryBuilder) and
 //! run it with [`execute`](Cmdl::execute) (or batch it with
 //! [`execute_many`](Cmdl::execute_many)); every kind returns the same
-//! [`QueryResponse`](crate::query::QueryResponse) envelope with per-signal
+//! [`QueryResponse`] envelope with per-signal
 //! score provenance.
 //!
 //! The SRQL-style per-kind methods are kept as thin shims over that path:
@@ -33,7 +33,7 @@
 //! apply it to every index in place (postings appends with lazily-refreshed
 //! IDF, LSH delta inserts with tombstoned removals, ANN delta-tail inserts,
 //! EKG edge patching). All catalog state lives behind `Arc`s: a reader takes
-//! a [`CatalogSnapshot`](crate::snapshot::CatalogSnapshot) via
+//! a [`CatalogSnapshot`] via
 //! [`snapshot`](Cmdl::snapshot) and keeps a consistent generation while
 //! writers apply batches copy-on-write. [`compact`](Cmdl::compact) folds
 //! tombstones and deltas back into the dense layouts, after which the
@@ -125,6 +125,16 @@ impl Cmdl {
     pub fn build(lake: DataLake, config: CmdlConfig) -> Self {
         let profiler = Profiler::new(&config);
         let profiled = profiler.profile_lake(lake);
+        Self::from_profiled(profiled, config)
+    }
+
+    /// Build the catalog over an *already profiled* lake. This is how the
+    /// shard router constructs per-shard catalogs: it profiles the lake
+    /// once globally (so corpus document-frequency statistics are global),
+    /// carves out per-shard [`ProfiledLake`]s with
+    /// [`ProfiledLake::partition_for`], and indexes each independently.
+    pub fn from_profiled(profiled: ProfiledLake, config: CmdlConfig) -> Self {
+        let profiler = Profiler::new(&config);
         let indexes = IndexCatalog::build(&profiled, &config);
         let mut system = Self {
             config,
@@ -858,6 +868,91 @@ impl Cmdl {
         self.generation += 1;
         self.maybe_compact();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded serving support (see `crate::shard`)
+    // ------------------------------------------------------------------
+
+    /// The id the next added element will receive. The shard router mirrors
+    /// a *global* id counter across its shards (via
+    /// [`set_next_element_id`](Self::set_next_element_id)) so a partitioned
+    /// build assigns every element exactly the id a single unpartitioned
+    /// build would.
+    pub fn next_element_id(&self) -> u64 {
+        self.profiled.lake.next_id()
+    }
+
+    /// Pin the id counter for the next ingest (see
+    /// [`next_element_id`](Self::next_element_id)). Only safe to *raise*
+    /// the counter; the shard router uses it to keep global ids unique
+    /// across shards.
+    pub fn set_next_element_id(&mut self, next_id: u64) {
+        Arc::make_mut(&mut self.profiled).lake.set_next_id(next_id);
+    }
+
+    /// Record that a document was ingested into a *different* shard of the
+    /// same logical lake: fold its raw bag into this catalog's corpus
+    /// document-frequency statistics and re-derive any local document whose
+    /// keep-status flipped — exactly the DF bookkeeping
+    /// [`ingest_document`](Self::ingest_document) performs, minus the
+    /// local element. Keeps every shard's corpus statistics global, so a
+    /// shard-resident profile is always bit-identical to the one a single
+    /// unpartitioned catalog would hold.
+    pub fn note_foreign_document(&mut self, raw: &BagOfWords) {
+        let profiled = Arc::make_mut(&mut self.profiled);
+        let flipped: HashSet<String> = {
+            let df = &profiled.doc_df;
+            let n_old = df.num_docs();
+            let n_new = n_old + 1;
+            df.iter()
+                .filter(|(term, dfc)| {
+                    let dfc_new = dfc + u32::from(raw.contains(term));
+                    df.would_keep(*dfc, n_old) != df.would_keep(dfc_new, n_new)
+                })
+                .map(|(term, _)| term.to_string())
+                .collect()
+        };
+        profiled.doc_df.observe(raw);
+        let indexes = Arc::make_mut(&mut self.indexes);
+        Self::patch_flipped_documents(
+            profiled,
+            indexes,
+            &self.profiler,
+            self.joint.as_deref(),
+            &flipped,
+        );
+        self.generation += 1;
+    }
+
+    /// The removal counterpart of
+    /// [`note_foreign_document`](Self::note_foreign_document): retract a
+    /// foreign document's raw bag from the corpus statistics and patch
+    /// local flips.
+    pub fn note_foreign_document_removed(&mut self, raw: &BagOfWords) {
+        let profiled = Arc::make_mut(&mut self.profiled);
+        let flipped: HashSet<String> = {
+            let df = &profiled.doc_df;
+            let n_old = df.num_docs();
+            let n_new = n_old.saturating_sub(1);
+            df.iter()
+                .filter(|(term, dfc)| {
+                    let dfc_new = dfc - u32::from(raw.contains(term));
+                    df.would_keep(*dfc, n_old) != df.would_keep(dfc_new, n_new)
+                })
+                .map(|(term, _)| term.to_string())
+                .collect()
+        };
+        profiled.doc_df.unobserve(raw);
+        let indexes = Arc::make_mut(&mut self.indexes);
+        Self::patch_flipped_documents(
+            profiled,
+            indexes,
+            &self.profiler,
+            self.joint.as_deref(),
+            &flipped,
+        );
+        self.generation += 1;
     }
 
     /// Re-derive and re-index every live document whose raw content bag

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cmdl_datalake::{DeId, DeKind};
-use cmdl_index::{AnnIndex, AnnIndexConfig, InvertedIndex, ScoringFunction};
+use cmdl_index::{AnnIndex, AnnIndexConfig, CorpusStats, InvertedIndex, ScoringFunction};
 use cmdl_sketch::{LshEnsemble, LshEnsembleConfig, MinHash};
 use cmdl_text::BagOfWords;
 
@@ -194,6 +194,34 @@ impl IndexCatalog {
         catalog
     }
 
+    /// Build only the *sketch* half of the catalog — the LSH Ensemble and
+    /// the solo ANN forest — leaving the inverted indexes empty.
+    ///
+    /// This is what the shard router replicates globally: the random-
+    /// projection forest and the cardinality-partitioned LSH are
+    /// *topology-dependent* (their candidate sets depend on the full set of
+    /// indexed elements, not just the probed ones), so partitioning them
+    /// across shards would change cross-modal results. The text indexes,
+    /// which partition exactly, stay on the shards. Construction goes
+    /// through the same canonical `build_containment`/`build_solo_ann`
+    /// code paths as [`build`](Self::build), so the replica's probe results
+    /// are bit-identical to a single unpartitioned catalog's.
+    pub fn build_sketch_only(profiled: &ProfiledLake, config: &CmdlConfig) -> Self {
+        let ordered = ordered_profiles(profiled);
+        let (containment, solo_ann) = rayon::join(
+            || build_containment(&ordered, config),
+            || build_solo_ann(&ordered, config),
+        );
+        Self {
+            content: InvertedIndex::new(),
+            metadata: InvertedIndex::new(),
+            containment,
+            solo_ann,
+            joint_ann: None,
+            joint_embeddings: HashMap::new(),
+        }
+    }
+
     /// Apply the delta of one freshly profiled element to every index in
     /// place (postings appends, LSH delta insert, ANN delta-tail insert) —
     /// no index is rebuilt. Eligibility uses the same predicates as
@@ -201,6 +229,14 @@ impl IndexCatalog {
     pub fn ingest_profile(&mut self, profile: &DeProfile) {
         self.content.add(profile.id.raw(), &profile.content);
         self.metadata.add(profile.id.raw(), &profile.metadata);
+        self.ingest_profile_sketch_only(profile);
+    }
+
+    /// The sketch-index half of [`ingest_profile`](Self::ingest_profile)
+    /// (LSH delta insert + ANN delta-tail insert, text indexes untouched) —
+    /// the delta path of a [`build_sketch_only`](Self::build_sketch_only)
+    /// replica.
+    pub fn ingest_profile_sketch_only(&mut self, profile: &DeProfile) {
         if containment_eligible(profile) {
             self.containment
                 .insert(profile.id.raw(), Arc::clone(&profile.minhash));
@@ -229,6 +265,12 @@ impl IndexCatalog {
     pub fn remove_element(&mut self, profile: &DeProfile) {
         self.content.remove(profile.id.raw());
         self.metadata.remove(profile.id.raw());
+        self.remove_element_sketch_only(profile);
+    }
+
+    /// The sketch-index half of [`remove_element`](Self::remove_element)
+    /// (tombstones in the LSH and ANN structures only).
+    pub fn remove_element_sketch_only(&mut self, profile: &DeProfile) {
         if containment_eligible(profile) {
             self.containment.remove(profile.id.raw());
         }
@@ -328,6 +370,41 @@ impl IndexCatalog {
         }
     }
 
+    /// Compact a [`build_sketch_only`](Self::build_sketch_only) replica:
+    /// rebuild the LSH Ensemble and solo ANN forest from profiles already
+    /// gathered in the *global* canonical element order (the shard router
+    /// owns that order — this catalog has no lake of its own to derive it
+    /// from). Goes through the same canonical builders as
+    /// [`compact`](Self::compact), preserving probe parity with a single
+    /// unpartitioned catalog.
+    pub fn compact_sketch_only(&mut self, ordered: &[&DeProfile], config: &CmdlConfig) {
+        self.containment = build_containment(ordered, config);
+        self.solo_ann = build_solo_ann(ordered, config);
+    }
+
+    /// [`delta_pressure`](Self::delta_pressure) restricted to the sketch
+    /// indexes — the compaction signal for a
+    /// [`build_sketch_only`](Self::build_sketch_only) replica, whose text
+    /// indexes are intentionally empty.
+    pub fn sketch_delta_pressure(&self) -> f64 {
+        let stats = self.delta_stats();
+        let frac = |delta: usize, total: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                delta as f64 / total as f64
+            }
+        };
+        frac(
+            stats.containment_delta,
+            self.containment.len() + self.containment.num_tombstoned(),
+        )
+        .max(frac(
+            stats.solo_delta,
+            self.solo_ann.len() + self.solo_ann.num_tombstoned(),
+        ))
+    }
+
     /// Re-arm the runtime-only state that `#[serde(skip)]` drops across a
     /// segment round-trip: IDF caches and the lazy-refresh policy on the
     /// inverted indexes, and the LSH probe accelerator (the ANN id maps
@@ -381,6 +458,45 @@ impl IndexCatalog {
         scoring: ScoringFunction,
     ) -> Vec<(DeId, f64)> {
         search_by_kind(&self.content, profiled, query, kind, top_k, scoring)
+    }
+
+    /// [`content_search`](Self::content_search) scoring against externally
+    /// supplied global corpus statistics — the per-shard scatter half of
+    /// sharded keyword search (see
+    /// [`InvertedIndex::search_filtered_with_stats`]).
+    pub fn content_search_with_stats(
+        &self,
+        profiled: &ProfiledLake,
+        query: &BagOfWords,
+        kind: Option<DeKind>,
+        top_k: usize,
+        scoring: ScoringFunction,
+        stats: &CorpusStats,
+    ) -> Vec<(DeId, f64)> {
+        let results = self.content.search_filtered_with_stats(
+            query,
+            top_k,
+            scoring,
+            |id| match kind {
+                None => true,
+                Some(k) => profiled
+                    .profile(DeId(id))
+                    .map(|p| p.kind == k)
+                    .unwrap_or(false),
+            },
+            stats,
+        );
+        results
+            .into_iter()
+            .map(|(id, score)| (DeId(id), score))
+            .collect()
+    }
+
+    /// Fold this catalog's content-index statistics for the query's terms
+    /// into a [`CorpusStats`] accumulator (the gather half of sharded
+    /// keyword search).
+    pub fn absorb_content_stats(&self, stats: &mut CorpusStats, query: &BagOfWords) {
+        stats.absorb(&self.content, query);
     }
 
     /// Keyword search over metadata with BM25.

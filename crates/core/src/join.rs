@@ -76,20 +76,35 @@ impl<'a> JoinDiscovery<'a> {
     }
 
     /// Find the `top_k` columns (in other tables) joinable with the given
-    /// column. Returns `(column id, score)` sorted by score descending.
+    /// column. Returns `(column id, score)` sorted by score descending
+    /// (ties broken by ascending id, so any truncated prefix is
+    /// deterministic and partition-independent).
     pub fn joinable_columns(&self, column: DeId, top_k: usize) -> Vec<(DeId, f64)> {
         let Some(query) = self.profiled.profile(column) else {
             return Vec::new();
         };
+        let mut scored = self.joinable_candidates(query);
+        sort_join_candidates(&mut scored);
+        scored.truncate(top_k);
+        scored
+    }
+
+    /// The unsorted scan underlying
+    /// [`joinable_columns`](Self::joinable_columns): score every local
+    /// join-candidate column against the query profile. The query profile
+    /// may be *foreign* (resident on another shard) — the shard router
+    /// scatters this scan across shards and merges with
+    /// [`sort_join_candidates`], which is exactly the single-catalog
+    /// order because the per-shard candidate sets are disjoint.
+    pub fn joinable_candidates(&self, query: &DeProfile) -> Vec<(DeId, f64)> {
         if query.kind != DeKind::Column || !query.tags.join_candidate {
             return Vec::new();
         }
-        let mut scored: Vec<(DeId, f64)> = self
-            .profiled
+        self.profiled
             .column_ids
             .iter()
             .filter_map(|&id| {
-                if id == column {
+                if id == query.id {
                     return None;
                 }
                 let candidate = self.profiled.profile(id)?;
@@ -106,33 +121,19 @@ impl<'a> JoinDiscovery<'a> {
                     None
                 }
             })
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(top_k);
-        scored
+            .collect()
     }
 
     /// Find the `top_k` tables joinable with the given table: the best join
     /// score over any column pair, aggregated per candidate table.
     pub fn joinable_tables(&self, table_name: &str, top_k: usize) -> Vec<(String, f64)> {
-        let columns = self.profiled.columns_of_table(table_name);
-        let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
-        for col in columns {
-            // Aggregate over *all* scored partners (the per-column scan is
-            // linear anyway): the per-table best score is exact and does not
-            // depend on `top_k`, so paginated fetches of different depths
-            // rank tables identically.
-            for (other, score) in self.joinable_columns(col, usize::MAX) {
-                if let Some(profile) = self.profiled.profile(other) {
-                    if let Some(other_table) = &profile.table_name {
-                        let entry = best.entry(other_table.clone()).or_insert(0.0);
-                        if score > *entry {
-                            *entry = score;
-                        }
-                    }
-                }
-            }
-        }
+        let query_columns: Vec<&DeProfile> = self
+            .profiled
+            .columns_of_table(table_name)
+            .into_iter()
+            .filter_map(|id| self.profiled.profile(id))
+            .collect();
+        let best = self.joinable_table_candidates(&query_columns);
         let mut out: Vec<(String, f64)> = best.into_iter().collect();
         // Tie-break by table name: `best` is a HashMap, so without this the
         // order of equal-scored tables (and thus the truncated result set)
@@ -144,6 +145,37 @@ impl<'a> JoinDiscovery<'a> {
         });
         out.truncate(top_k);
         out
+    }
+
+    /// The per-table-best aggregation underlying
+    /// [`joinable_tables`](Self::joinable_tables): the best join score over
+    /// any (query column, local candidate column) pair, keyed by candidate
+    /// table. The query columns may be foreign profiles; a per-table max is
+    /// order-independent, so merging per-shard maps with another max
+    /// reproduces the single-catalog aggregate exactly.
+    ///
+    /// Aggregates over *all* scored partners (the per-column scan is
+    /// linear anyway): the per-table best score is exact and does not
+    /// depend on `top_k`, so paginated fetches of different depths rank
+    /// tables identically.
+    pub fn joinable_table_candidates(
+        &self,
+        query_columns: &[&DeProfile],
+    ) -> std::collections::HashMap<String, f64> {
+        let mut best: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        for query in query_columns {
+            for (other, score) in self.joinable_candidates(query) {
+                if let Some(profile) = self.profiled.profile(other) {
+                    if let Some(other_table) = &profile.table_name {
+                        let entry = best.entry(other_table.clone()).or_insert(0.0);
+                        if score > *entry {
+                            *entry = score;
+                        }
+                    }
+                }
+            }
+        }
+        best
     }
 
     /// Discover all PK-FK links in the lake with the configured signal
@@ -172,81 +204,117 @@ impl<'a> JoinDiscovery<'a> {
         w_name: f64,
         w_uniqueness: f64,
     ) -> Vec<PkFkLink> {
-        let pk_candidates: Vec<&DeProfile> = self
+        let candidates: Vec<&DeProfile> = self
             .profiled
             .column_ids
             .iter()
             .filter_map(|id| self.profiled.profile(*id))
-            .filter(|p| p.tags.key_like && p.tags.join_candidate)
             .collect();
-        let fk_candidates: Vec<&DeProfile> = self
-            .profiled
-            .column_ids
-            .iter()
-            .filter_map(|id| self.profiled.profile(*id))
-            .filter(|p| p.tags.join_candidate)
-            .collect();
-
-        let mut links = Vec::new();
-        let mut seen: HashSet<(DeId, DeId)> = HashSet::new();
-        for pk in &pk_candidates {
-            for fk in &fk_candidates {
-                if pk.id == fk.id || pk.table_name == fk.table_name {
-                    continue;
-                }
-                if pk.tags.numeric != fk.tags.numeric {
-                    continue;
-                }
-                let containment = if pk.tags.numeric {
-                    match (&fk.numeric, &pk.numeric) {
-                        (Some(nf), Some(np)) => {
-                            if nf.range_contained_in(np) {
-                                1.0
-                            } else {
-                                numeric_overlap(nf, np)
-                            }
-                        }
-                        _ => 0.0,
-                    }
-                } else {
-                    exact_containment(&fk.distinct_values, &pk.distinct_values)
-                };
-                if containment < self.config.pkfk_containment {
-                    continue;
-                }
-                let name_sim = name_similarity(&pk.name, &fk.name)
-                    .max(name_similarity(&pk.qualified_name, &fk.qualified_name));
-                if name_sim < self.config.pkfk_name_similarity {
-                    continue;
-                }
-                if !seen.insert((pk.id, fk.id)) {
-                    continue;
-                }
-                links.push(PkFkLink {
-                    pk: pk.id,
-                    fk: fk.id,
-                    pk_name: pk.qualified_name.clone(),
-                    fk_name: fk.qualified_name.clone(),
-                    score: w_containment * containment
-                        + w_name * name_sim
-                        + w_uniqueness * pk.uniqueness,
-                    containment,
-                    name_sim,
-                    uniqueness: pk.uniqueness,
-                });
-            }
-        }
-        // Tie-break on the qualified names so equal-scored links (and thus
-        // any truncated prefix) surface in a run-independent order.
-        links.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.pk_name.cmp(&b.pk_name))
-                .then_with(|| a.fk_name.cmp(&b.fk_name))
-        });
-        links
+        pkfk_links_over(
+            &candidates,
+            self.config,
+            w_containment,
+            w_name,
+            w_uniqueness,
+        )
     }
+}
+
+/// The PK-FK sweep over an explicit candidate set: the single code path
+/// shared by [`JoinDiscovery::pkfk_links_weighted`] (candidates = the local
+/// lake's columns) and the shard router (candidates = every shard's columns,
+/// gathered). The pair math is per-pair and the final sort is a total order
+/// (qualified names are unique across live tables), so the result is
+/// independent of the candidate ordering — a partitioned gather reproduces
+/// the single-catalog links bit for bit.
+pub fn pkfk_links_over(
+    columns: &[&DeProfile],
+    config: &CmdlConfig,
+    w_containment: f64,
+    w_name: f64,
+    w_uniqueness: f64,
+) -> Vec<PkFkLink> {
+    let pk_candidates: Vec<&DeProfile> = columns
+        .iter()
+        .copied()
+        .filter(|p| p.tags.key_like && p.tags.join_candidate)
+        .collect();
+    let fk_candidates: Vec<&DeProfile> = columns
+        .iter()
+        .copied()
+        .filter(|p| p.tags.join_candidate)
+        .collect();
+
+    let mut links = Vec::new();
+    let mut seen: HashSet<(DeId, DeId)> = HashSet::new();
+    for pk in &pk_candidates {
+        for fk in &fk_candidates {
+            if pk.id == fk.id || pk.table_name == fk.table_name {
+                continue;
+            }
+            if pk.tags.numeric != fk.tags.numeric {
+                continue;
+            }
+            let containment = if pk.tags.numeric {
+                match (&fk.numeric, &pk.numeric) {
+                    (Some(nf), Some(np)) => {
+                        if nf.range_contained_in(np) {
+                            1.0
+                        } else {
+                            numeric_overlap(nf, np)
+                        }
+                    }
+                    _ => 0.0,
+                }
+            } else {
+                exact_containment(&fk.distinct_values, &pk.distinct_values)
+            };
+            if containment < config.pkfk_containment {
+                continue;
+            }
+            let name_sim = name_similarity(&pk.name, &fk.name)
+                .max(name_similarity(&pk.qualified_name, &fk.qualified_name));
+            if name_sim < config.pkfk_name_similarity {
+                continue;
+            }
+            if !seen.insert((pk.id, fk.id)) {
+                continue;
+            }
+            links.push(PkFkLink {
+                pk: pk.id,
+                fk: fk.id,
+                pk_name: pk.qualified_name.clone(),
+                fk_name: fk.qualified_name.clone(),
+                score: w_containment * containment
+                    + w_name * name_sim
+                    + w_uniqueness * pk.uniqueness,
+                containment,
+                name_sim,
+                uniqueness: pk.uniqueness,
+            });
+        }
+    }
+    // Tie-break on the qualified names so equal-scored links (and thus
+    // any truncated prefix) surface in a run-independent order.
+    links.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.pk_name.cmp(&b.pk_name))
+            .then_with(|| a.fk_name.cmp(&b.fk_name))
+    });
+    links
+}
+
+/// Sort scored join candidates by score descending, ties by ascending id —
+/// the canonical joinable-columns order, shared by the single-catalog path
+/// and the shard router's merge.
+pub fn sort_join_candidates(scored: &mut [(DeId, f64)]) {
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
 }
 
 #[cfg(test)]

@@ -36,6 +36,12 @@
 //!     .unwrap();
 //! println!("{:?}", response.hits);
 //! ```
+//!
+//! For horizontally partitioned serving, [`shard::ShardedCmdl`] splits the
+//! lake across N catalogs and answers every query with results bit-identical
+//! to a single catalog.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod discovery;
@@ -47,12 +53,13 @@ pub mod joint;
 pub mod persist;
 pub mod profile;
 pub mod query;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod training;
 pub mod union;
 
-pub use config::{CmdlConfig, CrossModalStrategy, HardSampling, SketchScheme};
+pub use config::{CmdlConfig, CrossModalStrategy, HardSampling, ShardPolicy, SketchScheme};
 pub use discovery::{Cmdl, DiscoveryResult, SearchMode};
 pub use ekg::{Ekg, NodeId, RelationType};
 pub use error::{CmdlError, ErrorCode};
@@ -65,6 +72,7 @@ pub use query::{
     DiscoveryQuery, DocQuery, Hit, QueryBuilder, QueryOptions, QueryResponse, ScoreBreakdown,
     Signal, SignalContribution, SignalWeights,
 };
+pub use shard::{ShardedCmdl, ShardedSnapshot};
 pub use snapshot::CatalogSnapshot;
 pub use stats::{CmdlStats, IndexSizes};
 pub use training::{TrainingDataset, TrainingDatasetGenerator, TrainingPair};

@@ -128,6 +128,31 @@ impl ProfiledLake {
         self.profiles.is_empty()
     }
 
+    /// Carve a shard-local profiled lake out of this one: the given
+    /// sub-lake (whose element ids are a subset of this lake's — the shard
+    /// router preserves global ids when it splits the lake) paired with
+    /// clones of the matching profiles, and — deliberately — the *full*
+    /// corpus document-frequency statistics. Every shard filters documents
+    /// against the global corpus DF, so a shard-local profile is
+    /// bit-identical to the one a single unpartitioned build produces.
+    pub fn partition_for(&self, lake: DataLake) -> ProfiledLake {
+        let column_ids: Vec<DeId> = lake.column_ids().map(|(id, _)| id).collect();
+        let doc_ids: Vec<DeId> = lake.document_ids().map(|(id, _)| id).collect();
+        let profiles: HashMap<DeId, DeProfile> = column_ids
+            .iter()
+            .chain(doc_ids.iter())
+            .filter_map(|id| self.profiles.get(id).map(|p| (*id, p.clone())))
+            .collect();
+        ProfiledLake {
+            lake,
+            profiles,
+            doc_ids,
+            column_ids,
+            doc_df: self.doc_df.clone(),
+            profiling_time: Duration::ZERO,
+        }
+    }
+
     /// Ids of columns belonging to a table.
     pub fn columns_of_table(&self, table_name: &str) -> Vec<DeId> {
         self.column_ids

@@ -658,7 +658,7 @@ impl CatalogSnapshot {
     }
 
     /// The resolved PK-FK weight triple of a query, as a hashable bit key.
-    fn pkfk_weight_key(&self, weights: &SignalWeights) -> (u64, u64, u64) {
+    pub(crate) fn pkfk_weight_key(&self, weights: &SignalWeights) -> (u64, u64, u64) {
         (
             weights
                 .containment
@@ -686,7 +686,7 @@ impl CatalogSnapshot {
     }
 
     /// Wrap an element hit with its label and table.
-    fn element_hit(&self, id: DeId, score: f64, breakdown: ScoreBreakdown) -> Hit {
+    pub(crate) fn element_hit(&self, id: DeId, score: f64, breakdown: ScoreBreakdown) -> Hit {
         let result = self.element_result(id, score);
         Hit {
             element: result.element,
@@ -753,7 +753,7 @@ impl CatalogSnapshot {
         let w_contain = weights
             .containment
             .unwrap_or(self.config.cross_modal_containment_weight);
-        let probe_k = fetch.saturating_mul(6).max(20);
+        let probe_k = probe_depth(fetch);
         let column_scores: Vec<(DeId, f64)> = match (strategy, &self.joint) {
             (CrossModalStrategy::JointEmbedding, Some(model)) => {
                 let query = model.embed(solo);
@@ -764,82 +764,15 @@ impl CatalogSnapshot {
             _ => self.indexes.solo_search(&solo.content, probe_k),
         };
         let minhash = self.profiler.minhasher().signature(content.terms());
-        let containment: HashMap<DeId, f64> = self
-            .indexes
-            .containment_search(&minhash, probe_k)
-            .into_iter()
-            .collect();
-
-        #[derive(Clone, Copy, Default)]
-        struct Best {
-            embedding: f64,
-            containment: f64,
-            combined: f64,
-        }
-        let mut table_scores: HashMap<String, Best> = HashMap::new();
-        for (id, score) in column_scores {
-            let Some(profile) = self.profiled.profile(id) else {
-                continue;
-            };
-            let Some(table) = profile.table_name.clone() else {
-                continue;
-            };
-            let embedding = score.max(0.0);
-            let contained = containment.get(&id).copied().unwrap_or(0.0);
-            let combined = w_embed * embedding + w_contain * contained;
-            let entry = table_scores.entry(table).or_default();
-            if combined > entry.combined {
-                *entry = Best {
-                    embedding,
-                    containment: contained,
-                    combined,
-                };
-            }
-        }
-        for (id, contained) in &containment {
-            let Some(profile) = self.profiled.profile(*id) else {
-                continue;
-            };
-            let Some(table) = profile.table_name.clone() else {
-                continue;
-            };
-            let combined = w_contain * contained;
-            let entry = table_scores.entry(table).or_default();
-            if combined > entry.combined {
-                *entry = Best {
-                    embedding: 0.0,
-                    containment: *contained,
-                    combined,
-                };
-            }
-        }
-        let mut hits: Vec<Hit> = table_scores
-            .into_iter()
-            .map(|(table, best)| {
-                let mut breakdown = ScoreBreakdown::default();
-                breakdown.push(Signal::EmbeddingCosine, best.embedding, w_embed);
-                breakdown.push(Signal::Containment, best.containment, w_contain);
-                Hit {
-                    element: None,
-                    label: table.clone(),
-                    table: Some(table),
-                    score: best.combined,
-                    breakdown,
-                    pkfk: None,
-                    union: None,
-                }
-            })
-            .collect();
-        // Tie-break by label: table scores come out of a HashMap, so equal
-        // scores would otherwise surface in a run-dependent order.
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.label.cmp(&b.label))
-        });
-        hits.truncate(fetch);
-        hits
+        let containment = self.indexes.containment_search(&minhash, probe_k);
+        aggregate_doc_to_table(
+            column_scores,
+            containment,
+            |id| self.profiled.profile(id).and_then(|p| p.table_name.clone()),
+            w_embed,
+            w_contain,
+            fetch,
+        )
     }
 
     /// Q4 (table granularity): joinable-table discovery.
@@ -917,29 +850,7 @@ impl CatalogSnapshot {
                     if let (Some(qp), Some(cp)) =
                         (self.profiled.profile(q), self.profiled.profile(c))
                     {
-                        let signals = discovery.signals(qp, cp);
-                        let values = [
-                            (Signal::NameSimilarity, signals.name),
-                            (Signal::Containment, signals.containment),
-                            (Signal::NumericOverlap, signals.numeric),
-                            (Signal::EmbeddingCosine, signals.semantic),
-                        ];
-                        // The ensemble is 0.7·max + 0.3·avg, so the dominant
-                        // signal carries 0.7 + 0.3/4 and the rest 0.3/4.
-                        let max_index = values
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| {
-                                a.1 .1
-                                    .partial_cmp(&b.1 .1)
-                                    .unwrap_or(std::cmp::Ordering::Equal)
-                            })
-                            .map(|(i, _)| i)
-                            .unwrap_or(0);
-                        for (i, (signal, value)) in values.into_iter().enumerate() {
-                            let weight = 0.3 / 4.0 + if i == max_index { 0.7 } else { 0.0 };
-                            breakdown.push(signal, value, weight);
-                        }
+                        breakdown = union_breakdown(&discovery.signals(qp, cp));
                     }
                 }
                 if let Some(weight) =
@@ -987,29 +898,166 @@ impl CatalogSnapshot {
                 links
             }
         };
-        links
-            .into_iter()
-            .map(|link| {
-                let mut breakdown = ScoreBreakdown::default();
-                breakdown.push(Signal::Containment, link.containment, w_contain);
-                breakdown.push(Signal::NameSimilarity, link.name_sim, w_name);
-                breakdown.push(Signal::Uniqueness, link.uniqueness, w_unique);
-                let table = self
-                    .profiled
-                    .profile(link.fk)
-                    .and_then(|p| p.table_name.clone());
-                Hit {
-                    element: Some(link.fk),
-                    table,
-                    label: format!("{} -> {}", link.pk_name, link.fk_name),
-                    score: link.score,
-                    breakdown,
-                    pkfk: Some(link),
-                    union: None,
-                }
-            })
-            .collect()
+        pkfk_link_hits(links, w_contain, w_name, w_unique, |id| {
+            self.profiled.profile(id).and_then(|p| p.table_name.clone())
+        })
     }
+}
+
+/// ANN/LSH probe depth for a cross-modal page of `fetch` hits: columns
+/// aggregate many-to-one into tables, so the indexes are probed deeper than
+/// the page. Shared by the single-catalog and sharded paths so both probe
+/// identically.
+pub(crate) fn probe_depth(fetch: usize) -> usize {
+    fetch.saturating_mul(6).max(20)
+}
+
+/// The table-level aggregation of a Doc→Table search, shared by the
+/// single-catalog path (probes its own indexes) and the shard router
+/// (probes the replicated global sketch catalog): blend per-column
+/// embedding and containment signals, keep each table's best column, rank
+/// `(score desc, table asc)`. Both probe inputs arrive as deterministic
+/// index-order vectors, so tie resolution inside the per-table max is
+/// identical wherever the aggregation runs.
+pub(crate) fn aggregate_doc_to_table<F>(
+    column_scores: Vec<(DeId, f64)>,
+    containment: Vec<(DeId, f64)>,
+    table_of: F,
+    w_embed: f64,
+    w_contain: f64,
+    fetch: usize,
+) -> Vec<Hit>
+where
+    F: Fn(DeId) -> Option<String>,
+{
+    let containment_of: HashMap<DeId, f64> = containment.iter().copied().collect();
+
+    #[derive(Clone, Copy, Default)]
+    struct Best {
+        embedding: f64,
+        containment: f64,
+        combined: f64,
+    }
+    let mut table_scores: HashMap<String, Best> = HashMap::new();
+    for (id, score) in column_scores {
+        let Some(table) = table_of(id) else {
+            continue;
+        };
+        let embedding = score.max(0.0);
+        let contained = containment_of.get(&id).copied().unwrap_or(0.0);
+        let combined = w_embed * embedding + w_contain * contained;
+        let entry = table_scores.entry(table).or_default();
+        if combined > entry.combined {
+            *entry = Best {
+                embedding,
+                containment: contained,
+                combined,
+            };
+        }
+    }
+    for (id, contained) in containment {
+        let Some(table) = table_of(id) else {
+            continue;
+        };
+        let combined = w_contain * contained;
+        let entry = table_scores.entry(table).or_default();
+        if combined > entry.combined {
+            *entry = Best {
+                embedding: 0.0,
+                containment: contained,
+                combined,
+            };
+        }
+    }
+    let mut hits: Vec<Hit> = table_scores
+        .into_iter()
+        .map(|(table, best)| {
+            let mut breakdown = ScoreBreakdown::default();
+            breakdown.push(Signal::EmbeddingCosine, best.embedding, w_embed);
+            breakdown.push(Signal::Containment, best.containment, w_contain);
+            Hit {
+                element: None,
+                label: table.clone(),
+                table: Some(table),
+                score: best.combined,
+                breakdown,
+                pkfk: None,
+                union: None,
+            }
+        })
+        .collect();
+    // Tie-break by label: table scores come out of a HashMap, so equal
+    // scores would otherwise surface in a run-dependent order.
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    hits.truncate(fetch);
+    hits
+}
+
+/// Wrap ranked PK-FK links as hits with their signal breakdowns — shared by
+/// the single-catalog and sharded paths.
+pub(crate) fn pkfk_link_hits<F>(
+    links: Vec<PkFkLink>,
+    w_contain: f64,
+    w_name: f64,
+    w_unique: f64,
+    table_of: F,
+) -> Vec<Hit>
+where
+    F: Fn(DeId) -> Option<String>,
+{
+    links
+        .into_iter()
+        .map(|link| {
+            let mut breakdown = ScoreBreakdown::default();
+            breakdown.push(Signal::Containment, link.containment, w_contain);
+            breakdown.push(Signal::NameSimilarity, link.name_sim, w_name);
+            breakdown.push(Signal::Uniqueness, link.uniqueness, w_unique);
+            let table = table_of(link.fk);
+            Hit {
+                element: Some(link.fk),
+                table,
+                label: format!("{} -> {}", link.pk_name, link.fk_name),
+                score: link.score,
+                breakdown,
+                pkfk: Some(link),
+                union: None,
+            }
+        })
+        .collect()
+}
+
+/// The provenance breakdown of a unionable hit from the best-matched column
+/// pair's ensemble signals: the ensemble is `0.7·max + 0.3·avg`, so the
+/// dominant signal carries `0.7 + 0.3/4` and the rest `0.3/4`. Shared by
+/// the single-catalog and sharded paths.
+pub(crate) fn union_breakdown(signals: &crate::union::UnionSignals) -> ScoreBreakdown {
+    let mut breakdown = ScoreBreakdown::default();
+    let values = [
+        (Signal::NameSimilarity, signals.name),
+        (Signal::Containment, signals.containment),
+        (Signal::NumericOverlap, signals.numeric),
+        (Signal::EmbeddingCosine, signals.semantic),
+    ];
+    let max_index = values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            a.1 .1
+                .partial_cmp(&b.1 .1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    for (i, (signal, value)) in values.into_iter().enumerate() {
+        let weight = 0.3 / 4.0 + if i == max_index { 0.7 } else { 0.0 };
+        breakdown.push(signal, value, weight);
+    }
+    breakdown
 }
 
 #[cfg(test)]

@@ -128,17 +128,40 @@ impl<'a> UnionDiscovery<'a> {
         top_k: usize,
         measure: &str,
     ) -> Vec<UnionScore> {
-        let query_columns = self.profiled.columns_of_table(table_name);
-        if query_columns.is_empty() {
+        let query: Vec<(DeId, &DeProfile)> = self
+            .profiled
+            .columns_of_table(table_name)
+            .into_iter()
+            .filter_map(|id| self.profiled.profile(id).map(|p| (id, p)))
+            .collect();
+        if query.is_empty() {
             return Vec::new();
         }
+        let mut results = self.unionable_candidates(table_name, &query, measure);
+        sort_union_scores(&mut results);
+        results.truncate(top_k);
+        results
+    }
+
+    /// The unsorted per-candidate-table scoring underlying
+    /// [`unionable_tables_with`](Self::unionable_tables_with). The query
+    /// columns arrive as explicit `(id, profile)` pairs so they may be
+    /// *foreign* (resident on another shard); candidate tables are always
+    /// local. Because a candidate table's columns all live on one shard,
+    /// the per-table pair list — and therefore the tie order inside
+    /// `greedy_matching` — is identical whether the scan runs over the
+    /// whole lake or is scattered across shards and merged with
+    /// [`sort_union_scores`].
+    pub fn unionable_candidates(
+        &self,
+        query_table: &str,
+        query: &[(DeId, &DeProfile)],
+        measure: &str,
+    ) -> Vec<UnionScore> {
         // Candidate tables: any table owning a column with a non-trivial
         // pairwise score against some query column.
         let mut candidates: HashMap<String, Vec<(DeId, DeId, f64)>> = HashMap::new();
-        for &qcol in &query_columns {
-            let Some(qprofile) = self.profiled.profile(qcol) else {
-                continue;
-            };
+        for &(qcol, qprofile) in query {
             for &ccol in &self.profiled.column_ids {
                 let Some(cprofile) = self.profiled.profile(ccol) else {
                     continue;
@@ -146,7 +169,7 @@ impl<'a> UnionDiscovery<'a> {
                 let Some(ctable) = cprofile.table_name.clone() else {
                     continue;
                 };
-                if ctable == table_name {
+                if ctable == query_table {
                     continue;
                 }
                 let score = self.signals(qprofile, cprofile).by_name(measure);
@@ -159,7 +182,11 @@ impl<'a> UnionDiscovery<'a> {
             }
         }
 
-        let mut results: Vec<UnionScore> = candidates
+        let query_names: HashMap<DeId, &str> = query
+            .iter()
+            .map(|&(id, profile)| (id, profile.name.as_str()))
+            .collect();
+        candidates
             .into_iter()
             .filter_map(|(table, pairs)| {
                 let candidate_columns = self.profiled.columns_of_table(&table);
@@ -168,7 +195,7 @@ impl<'a> UnionDiscovery<'a> {
                     return None;
                 }
                 let matched_weight: f64 = mapping.iter().map(|(_, _, s)| s).sum();
-                let denom = query_columns.len().max(candidate_columns.len()) as f64;
+                let denom = query.len().max(candidate_columns.len()) as f64;
                 let score = (matched_weight / denom).clamp(0.0, 1.0);
                 let id_mapping: Vec<(DeId, DeId)> =
                     mapping.iter().map(|&(q, c, _)| (q, c)).collect();
@@ -176,9 +203,9 @@ impl<'a> UnionDiscovery<'a> {
                     .into_iter()
                     .map(|(q, c, s)| {
                         (
-                            self.profiled
-                                .profile(q)
-                                .map(|p| p.name.clone())
+                            query_names
+                                .get(&q)
+                                .map(|n| n.to_string())
                                 .unwrap_or_default(),
                             self.profiled
                                 .profile(c)
@@ -195,19 +222,22 @@ impl<'a> UnionDiscovery<'a> {
                     id_mapping,
                 })
             })
-            .collect();
-        // Tie-break by table name: candidates come out of a HashMap, so
-        // equal-scored tables (and any truncated prefix) would otherwise
-        // surface in a run-dependent order.
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.table.cmp(&b.table))
-        });
-        results.truncate(top_k);
-        results
+            .collect()
     }
+}
+
+/// Sort table-level union scores by score descending, ties by table name —
+/// the canonical order, shared by the single-catalog path and the shard
+/// router's merge. (Candidates come out of a `HashMap`, so without the
+/// tie-break equal-scored tables — and any truncated prefix — would surface
+/// in a run-dependent order.)
+pub fn sort_union_scores(results: &mut [UnionScore]) {
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.table.cmp(&b.table))
+    });
 }
 
 /// Greedy maximal weighted bipartite matching over `(left, right, weight)`

@@ -1,0 +1,364 @@
+//! Bit-parity suite: a sharded catalog must answer every query kind with
+//! exactly the hits of a single unpartitioned catalog over the same lake.
+//!
+//! This is the contract that makes sharding a pure serving optimization —
+//! operators can change `shards = N` without any result drift. The suite
+//! pins the parity configuration (`idf_refresh_ratio = 0.0` so the single
+//! catalog's lazily-refreshed IDF cache is always fresh, and automatic
+//! compaction disabled so the trigger — which depends on per-catalog index
+//! sizes — cannot fire on one side only) and compares `hits` plus
+//! `total_candidates` (the full generation-independent response surface)
+//! across:
+//!
+//! * a fixed battery covering all eight [`DiscoveryQuery`] kinds, with
+//!   pagination and `min_score`, at 2/3/4 shards under both policies;
+//! * a property test over randomized query parameters;
+//! * an ingest-interleaved run (the same mutation sequence applied to both
+//!   builds, with parity re-checked after every step);
+//! * `execute_many` batches (which share one PK-FK sweep per weight
+//!   triple) against their sequential equivalents.
+
+use proptest::prelude::*;
+
+use cmdl_core::{
+    Cmdl, CmdlConfig, DiscoveryQuery, QueryBuilder, SearchMode, ShardPolicy, ShardedCmdl,
+    ShardedSnapshot,
+};
+use cmdl_datalake::{synth, Column, DataLake, Document, Table};
+
+/// The parity configuration (see module docs).
+fn parity_config(shards: usize, policy: ShardPolicy) -> CmdlConfig {
+    let mut config = CmdlConfig::fast();
+    config.idf_refresh_ratio = 0.0;
+    config.compaction_ratio = 1_000_000.0;
+    config.shards = shards;
+    config.shard_policy = policy;
+    config
+}
+
+fn lake() -> DataLake {
+    synth::pharma::generate(&synth::PharmaConfig::tiny()).lake
+}
+
+/// Tables known to exist in the tiny pharma lake.
+const TABLES: [&str; 6] = [
+    "Drugs",
+    "Enzymes",
+    "Dosages",
+    "Trials",
+    "Compounds",
+    "Drug_Interactions",
+];
+
+/// (table, column) pairs known to exist in the tiny pharma lake.
+const COLUMNS: [(&str, &str); 5] = [
+    ("Drugs", "Id"),
+    ("Drugs", "Drug"),
+    ("Enzymes", "Target"),
+    ("Dosages", "Drug_Key"),
+    ("Trials", "Trial_Id"),
+];
+
+const KEYWORDS: [&str; 5] = [
+    "drug",
+    "enzyme inhibitor",
+    "chemotherapy cancer",
+    "trial phase",
+    "kinase",
+];
+
+/// Every query kind, with pagination and `min_score` in the mix.
+fn battery() -> Vec<DiscoveryQuery> {
+    let mut queries = Vec::new();
+    for mode in [SearchMode::All, SearchMode::Text, SearchMode::Tables] {
+        queries.push(QueryBuilder::keyword("enzyme").mode(mode).top_k(8).build());
+    }
+    queries.push(QueryBuilder::keyword("drug").top_k(4).offset(3).build());
+    queries.push(
+        QueryBuilder::keyword("drug")
+            .top_k(10)
+            .min_score(0.1)
+            .build(),
+    );
+    queries.push(QueryBuilder::cross_modal_doc(0).top_k(5).build());
+    queries.push(QueryBuilder::cross_modal_doc(7).top_k(3).offset(2).build());
+    queries.push(
+        QueryBuilder::cross_modal_text("pemetrexed inhibits thymidylate synthase")
+            .top_k(5)
+            .build(),
+    );
+    queries.push(
+        QueryBuilder::cross_modal_text("antibiotic infection therapy")
+            .top_k(4)
+            .weight_embedding(0.8)
+            .weight_containment(0.2)
+            .build(),
+    );
+    for table in ["Drugs", "Trials"] {
+        queries.push(QueryBuilder::joinable(table).top_k(6).build());
+    }
+    queries.push(QueryBuilder::joinable("Dosages").top_k(3).offset(1).build());
+    for (table, column) in [("Drugs", "Id"), ("Dosages", "Drug_Key")] {
+        queries.push(
+            QueryBuilder::joinable_column(table, column)
+                .top_k(8)
+                .build(),
+        );
+    }
+    queries.push(
+        QueryBuilder::joinable_column("Enzymes", "Target")
+            .top_k(5)
+            .min_score(0.05)
+            .build(),
+    );
+    for table in ["Drugs", "Compounds"] {
+        queries.push(QueryBuilder::unionable(table).top_k(5).build());
+    }
+    queries.push(
+        QueryBuilder::unionable("Enzymes")
+            .top_k(3)
+            .offset(1)
+            .build(),
+    );
+    queries.push(QueryBuilder::pkfk().top_k(10).build());
+    queries.push(
+        QueryBuilder::pkfk()
+            .top_k(5)
+            .offset(2)
+            .min_score(0.2)
+            .build(),
+    );
+    queries.push(QueryBuilder::pkfk().top_k(6).weight_name(0.5).build());
+    queries
+}
+
+/// Assert one query answers identically on both builds (hits and candidate
+/// count; generations legitimately differ).
+fn assert_parity(single: &Cmdl, sharded: &ShardedSnapshot, query: &DiscoveryQuery, context: &str) {
+    let single_snap = single.snapshot();
+    match (single_snap.execute(query), sharded.execute(query)) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(
+                a.hits,
+                b.hits,
+                "[{context}] hits diverge for {}",
+                query.kind()
+            );
+            assert_eq!(
+                a.total_candidates,
+                b.total_candidates,
+                "[{context}] candidate counts diverge for {}",
+                query.kind()
+            );
+        }
+        (Err(ea), Err(eb)) => {
+            assert_eq!(
+                ea.code(),
+                eb.code(),
+                "[{context}] error codes diverge for {}",
+                query.kind()
+            );
+        }
+        (a, b) => panic!(
+            "[{context}] outcomes diverge for {}: single={a:?} sharded={b:?}",
+            query.kind()
+        ),
+    }
+}
+
+#[test]
+fn fixed_battery_matches_across_shard_counts_and_policies() {
+    let single = Cmdl::build(lake(), parity_config(1, ShardPolicy::HashId));
+    for policy in [ShardPolicy::HashId, ShardPolicy::SizeBalanced] {
+        for shards in [2, 3, 4] {
+            let sharded = ShardedCmdl::build(lake(), parity_config(shards, policy));
+            let snap = sharded.snapshot();
+            for query in battery() {
+                assert_parity(&single, &snap, &query, &format!("{policy:?}/{shards}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn randomized_queries_match(
+        kind in 0usize..8,
+        pick in 0usize..16,
+        top_k in 1usize..12,
+        offset in 0usize..6,
+        min_pick in 0usize..4,
+    ) {
+        // Build once; every case reuses the pinned pair.
+        use std::sync::OnceLock;
+        static PAIR: OnceLock<(Cmdl, ShardedCmdl)> = OnceLock::new();
+        let (single, sharded) = PAIR.get_or_init(|| {
+            (
+                Cmdl::build(lake(), parity_config(1, ShardPolicy::HashId)),
+                ShardedCmdl::build(lake(), parity_config(3, ShardPolicy::HashId)),
+            )
+        });
+        let min_score = [0.0, 0.01, 0.1, 0.3][min_pick];
+        let builder = match kind {
+            0 => QueryBuilder::keyword(KEYWORDS[pick % KEYWORDS.len()]),
+            1 => QueryBuilder::keyword(KEYWORDS[pick % KEYWORDS.len()])
+                .mode([SearchMode::Text, SearchMode::Tables][pick % 2]),
+            2 => QueryBuilder::cross_modal_doc(pick % 40),
+            3 => QueryBuilder::cross_modal_text(KEYWORDS[pick % KEYWORDS.len()]),
+            4 => QueryBuilder::joinable(TABLES[pick % TABLES.len()]),
+            5 => {
+                let (table, column) = COLUMNS[pick % COLUMNS.len()];
+                QueryBuilder::joinable_column(table, column)
+            }
+            6 => QueryBuilder::unionable(TABLES[pick % TABLES.len()]),
+            _ => QueryBuilder::pkfk(),
+        };
+        let query = builder
+            .top_k(top_k)
+            .offset(offset)
+            .min_score(min_score)
+            .build();
+        let snap = sharded.snapshot();
+        let (a, b) = (single.snapshot().execute(&query), snap.execute(&query));
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.hits, &b.hits);
+                prop_assert_eq!(a.total_candidates, b.total_candidates);
+            }
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea.code(), eb.code()),
+            (a, b) => prop_assert!(false, "divergent outcomes: {:?} vs {:?}", a, b),
+        }
+    }
+}
+
+#[test]
+fn ingest_interleaved_parity_holds_after_every_mutation() {
+    let mut single = Cmdl::build(lake(), parity_config(1, ShardPolicy::HashId));
+    let sharded = ShardedCmdl::build(lake(), parity_config(3, ShardPolicy::SizeBalanced));
+
+    let probe = |single: &Cmdl, sharded: &ShardedCmdl, step: &str| {
+        let snap = sharded.snapshot();
+        for query in [
+            QueryBuilder::keyword("xanthine oxidase").top_k(8).build(),
+            QueryBuilder::keyword("Lyon")
+                .mode(SearchMode::Tables)
+                .top_k(5)
+                .build(),
+            QueryBuilder::cross_modal_text("febuxostat gout treatment")
+                .top_k(5)
+                .build(),
+            QueryBuilder::joinable("Drugs").top_k(6).build(),
+            QueryBuilder::unionable("Drugs").top_k(4).build(),
+            QueryBuilder::pkfk().top_k(8).build(),
+        ] {
+            assert_parity(single, &snap, &query, step);
+        }
+    };
+    probe(&single, &sharded, "baseline");
+
+    // The same mutation sequence, applied to both builds in the same
+    // order. Returned indices must agree (global-id preservation).
+    let tables = [
+        Table::new(
+            "Trial_Sites",
+            vec![
+                Column::from_texts("Site", ["Boston General", "Lyon Institute", "Osaka Center"]),
+                Column::from_texts("Country", ["US", "FR", "JP"]),
+            ],
+        ),
+        Table::new(
+            "Gout_Agents",
+            vec![
+                Column::from_texts("Agent", ["febuxostat", "allopurinol", "probenecid"]),
+                Column::from_texts(
+                    "Moa",
+                    [
+                        "xanthine oxidase inhibitor",
+                        "xanthine oxidase inhibitor",
+                        "uricosuric",
+                    ],
+                ),
+            ],
+        ),
+    ];
+    for table in tables {
+        single.ingest_table(table.clone()).expect("single ingest");
+        sharded.ingest_table(table).expect("sharded ingest");
+        probe(&single, &sharded, "after table ingest");
+    }
+
+    let documents = [
+        Document::new(
+            "gout-1",
+            "PubMed",
+            "Febuxostat potently inhibits xanthine oxidase in gout.",
+        ),
+        Document::new(
+            "gout-2",
+            "PubMed",
+            "Allopurinol remains first-line urate-lowering therapy.",
+        ),
+    ];
+    let mut doc_indices = Vec::new();
+    for document in documents {
+        let a = single
+            .ingest_document(document.clone())
+            .expect("single doc");
+        let b = sharded.ingest_document(document).expect("sharded doc");
+        assert_eq!(a, b, "document indices must agree across builds");
+        doc_indices.push(a);
+        probe(&single, &sharded, "after document ingest");
+        // A cross-modal probe by the *new* document's index.
+        let query = QueryBuilder::cross_modal_doc(a).top_k(5).build();
+        assert_parity(&single, &sharded.snapshot(), &query, "new-document probe");
+    }
+
+    single.remove_table("Trial_Sites").expect("single remove");
+    sharded.remove_table("Trial_Sites").expect("sharded remove");
+    probe(&single, &sharded, "after table removal");
+
+    single
+        .remove_document(doc_indices[0])
+        .expect("single doc remove");
+    sharded
+        .remove_document(doc_indices[0])
+        .expect("sharded doc remove");
+    probe(&single, &sharded, "after document removal");
+}
+
+#[test]
+fn execute_many_shares_pkfk_sweeps_and_matches_sequential() {
+    let single = Cmdl::build(lake(), parity_config(1, ShardPolicy::HashId));
+    let sharded = ShardedCmdl::build(lake(), parity_config(4, ShardPolicy::HashId));
+    let queries = vec![
+        QueryBuilder::pkfk().top_k(8).build(),
+        QueryBuilder::keyword("enzyme").top_k(5).build(),
+        QueryBuilder::pkfk().top_k(3).offset(1).build(),
+        QueryBuilder::pkfk().top_k(5).weight_uniqueness(0.9).build(),
+        QueryBuilder::unionable("Drugs").top_k(4).build(),
+        QueryBuilder::joinable("NoSuchTable").top_k(4).build(),
+        QueryBuilder::pkfk().top_k(8).build(),
+    ];
+    let snap = sharded.snapshot();
+    let batched = snap.execute_many(&queries);
+    let single_batched = single.snapshot().execute_many(&queries);
+    assert_eq!(batched.len(), queries.len());
+    for ((query, b), s) in queries.iter().zip(&batched).zip(&single_batched) {
+        // Batched-sharded vs sequential-sharded (the shared PK-FK sweep
+        // must not change results) and vs the single catalog.
+        match (b, snap.execute(query), s) {
+            (Ok(b), Ok(seq), Ok(s)) => {
+                assert_eq!(b.hits, seq.hits, "batch != sequential for {}", query.kind());
+                assert_eq!(b.hits, s.hits, "sharded != single for {}", query.kind());
+                assert_eq!(b.total_candidates, s.total_candidates);
+            }
+            (Err(eb), Err(eseq), Err(es)) => {
+                assert_eq!(eb.code(), eseq.code());
+                assert_eq!(eb.code(), es.code());
+            }
+            other => panic!("divergent outcomes for {}: {other:?}", query.kind()),
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! evaluation.
 //!
 //! * [`model`] — tables, columns, typed values, documents, and the
-//!   [`DataLake`](model::DataLake) container that assigns every discoverable
+//!   [`DataLake`] container that assigns every discoverable
 //!   element (column or document) a stable id.
 //! * [`csv`] — a small CSV reader/writer for loading real tabular data.
 //! * [`groundtruth`] — containers for the ground-truth relationships each

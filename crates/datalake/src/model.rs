@@ -315,6 +315,22 @@ impl DataLake {
         }
     }
 
+    /// The next [`DeId`] this lake will assign. Together with
+    /// [`set_next_id`](Self::set_next_id) this lets a sharded deployment pin
+    /// the id counter of each sub-lake so every element receives the same id
+    /// it would have received in a single unpartitioned lake — the property
+    /// the deterministic cross-shard merge order relies on.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Override the next [`DeId`] to assign. Ids are never checked for
+    /// reuse: the caller (the shard router) is responsible for keeping
+    /// assignments globally unique.
+    pub fn set_next_id(&mut self, next_id: u64) {
+        self.next_id = next_id;
+    }
+
     /// Add a table; every column receives a fresh [`DeId`]. Returns the table
     /// index.
     pub fn add_table(&mut self, table: Table) -> usize {

@@ -16,7 +16,7 @@
 //! contiguous arena** (`Vec<Posting>`) addressed by per-term
 //! `(offset, len)` spans — a query walks flat cache-local memory instead of
 //! chasing one heap allocation per term. Each arena span additionally
-//! carries **per-[`BLOCK_POSTINGS`]-posting block metadata**: the Pareto
+//! carries **per-`BLOCK_POSTINGS`-posting block metadata**: the Pareto
 //! frontier of the block's `(term_freq, doc_length)` pairs. Every
 //! supported scoring function is monotone increasing in term frequency and
 //! non-increasing in document length, so the frontier maximum — evaluated
@@ -86,6 +86,59 @@ pub enum ScoringFunction {
 impl Default for ScoringFunction {
     fn default() -> Self {
         ScoringFunction::Bm25(Bm25Params::default())
+    }
+}
+
+/// Corpus-level statistics injected into
+/// [`InvertedIndex::search_filtered_with_stats`] in place of the index's own.
+///
+/// A sharded deployment gathers these by *integer* summation across shards
+/// (live document counts, live token counts, per-term live document
+/// frequencies, raw per-term corpus frequencies), so the floating-point
+/// values derived from them — BM25 IDF, the average document length, the
+/// LM-Dirichlet background model — are bit-identical to what a single
+/// unpartitioned index would compute from the same corpus.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    /// Live documents across the whole corpus ([`InvertedIndex::len`]).
+    pub num_docs: usize,
+    /// Live tokens across the whole corpus
+    /// ([`InvertedIndex::live_total_length`]).
+    pub total_length: u64,
+    /// Live per-term document frequency ([`InvertedIndex::doc_freq`]),
+    /// for the query's terms.
+    pub doc_freq: HashMap<String, usize>,
+    /// Raw per-term corpus frequency ([`InvertedIndex::term_total`]), for
+    /// the query's terms.
+    pub term_totals: HashMap<String, u64>,
+}
+
+impl CorpusStats {
+    /// Average live document length, with the same arithmetic as
+    /// [`InvertedIndex::avg_doc_length`] (subtract-free here because the
+    /// inputs are already live totals).
+    pub fn avg_doc_length(&self) -> f64 {
+        if self.num_docs == 0 {
+            0.0
+        } else {
+            self.total_length as f64 / self.num_docs as f64
+        }
+    }
+
+    /// Fold one shard's statistics for `terms` into this accumulator.
+    pub fn absorb(&mut self, index: &InvertedIndex, terms: &BagOfWords) {
+        self.num_docs += index.len();
+        self.total_length += index.live_total_length();
+        for (term, _) in terms.iter() {
+            let df = index.doc_freq(term);
+            if df > 0 {
+                *self.doc_freq.entry(term.to_string()).or_insert(0) += df;
+            }
+            let cf = index.term_total(term);
+            if cf > 0 {
+                *self.term_totals.entry(term.to_string()).or_insert(0) += cf;
+            }
+        }
     }
 }
 
@@ -308,6 +361,25 @@ impl InvertedIndex {
         } else {
             (self.total_length - self.dead_length) as f64 / live as f64
         }
+    }
+
+    /// Total live token count (the numerator of
+    /// [`avg_doc_length`](Self::avg_doc_length)). A sharded deployment sums
+    /// this across shards to reconstruct the global average document length
+    /// with the same integer-sum-then-divide arithmetic a single index uses.
+    pub fn live_total_length(&self) -> u64 {
+        self.total_length - self.dead_length
+    }
+
+    /// Raw corpus frequency of a term (total occurrences, tombstoned
+    /// occurrences *included* until the next [`compact`](Self::compact) —
+    /// exactly the value the LM-Dirichlet background model reads). Sharded
+    /// deployments sum this across shards for [`CorpusStats`].
+    pub fn term_total(&self, term: &str) -> u64 {
+        self.term_ids
+            .get(term)
+            .map(|&tid| self.term_totals[tid as usize])
+            .unwrap_or(0)
     }
 
     /// All postings of a term: the arena span followed by the delta tail
@@ -634,17 +706,51 @@ impl InvertedIndex {
             return Vec::new();
         }
         let cursors = self.cursors(query, scoring);
+        let avgdl = self.avg_doc_length().max(1e-9);
         if self.doc_ids.len() <= TAAT_MAX_DOCS {
-            self.scan_taat(cursors, top_k, scoring, filter)
+            self.scan_taat(cursors, top_k, scoring, filter, avgdl)
         } else {
-            self.scan_daat_pruned(cursors, top_k, scoring, filter)
+            self.scan_daat_pruned(cursors, top_k, scoring, filter, avgdl)
+        }
+    }
+
+    /// [`search_filtered`](Self::search_filtered) scoring against externally
+    /// supplied corpus statistics instead of this index's own.
+    ///
+    /// This is the scatter half of sharded keyword search: each shard holds
+    /// only its partition of the corpus, so its local document counts,
+    /// document frequencies, and average document length would skew BM25 IDF
+    /// and length normalization. The router sums the integer statistics
+    /// across shards into one [`CorpusStats`] and every shard scores its own
+    /// postings with the *global* values — per-document scores then come out
+    /// bit-identical to a single unpartitioned index (term weights and the
+    /// average document length are derived here with the same arithmetic the
+    /// local path uses). Block-max pruning stays exact: block bounds are
+    /// evaluated with the injected term weights.
+    pub fn search_filtered_with_stats(
+        &self,
+        query: &BagOfWords,
+        top_k: usize,
+        scoring: ScoringFunction,
+        filter: impl Fn(u64) -> bool,
+        stats: &CorpusStats,
+    ) -> Vec<(u64, f64)> {
+        if self.is_empty() || top_k == 0 {
+            return Vec::new();
+        }
+        let cursors = self.cursors_with_stats(query, scoring, stats);
+        let avgdl = stats.avg_doc_length().max(1e-9);
+        if self.doc_ids.len() <= TAAT_MAX_DOCS {
+            self.scan_taat(cursors, top_k, scoring, filter, avgdl)
+        } else {
+            self.scan_daat_pruned(cursors, top_k, scoring, filter, avgdl)
         }
     }
 
     /// Force the block-max-pruned document-at-a-time scan regardless of
     /// corpus size (production queries via
     /// [`search_with`](Self::search_with) use the TAAT strategy below
-    /// [`TAAT_MAX_DOCS`] documents). A parity-testing and benchmarking
+    /// `TAAT_MAX_DOCS` documents). A parity-testing and benchmarking
     /// surface: must return exactly what
     /// [`search_unpruned`](Self::search_unpruned) returns.
     pub fn search_pruned(
@@ -657,7 +763,8 @@ impl InvertedIndex {
             return Vec::new();
         }
         let cursors = self.cursors(query, scoring);
-        self.scan_daat_pruned(cursors, top_k, scoring, |_| true)
+        let avgdl = self.avg_doc_length().max(1e-9);
+        self.scan_daat_pruned(cursors, top_k, scoring, |_| true, avgdl)
     }
 
     /// The pre-block-max document-at-a-time scan: identical ranking, no
@@ -673,7 +780,8 @@ impl InvertedIndex {
             return Vec::new();
         }
         let cursors = self.cursors(query, scoring);
-        self.scan_daat(cursors, top_k, scoring, |_| true)
+        let avgdl = self.avg_doc_length().max(1e-9);
+        self.scan_daat(cursors, top_k, scoring, |_| true, avgdl)
     }
 
     fn cursors(&self, query: &BagOfWords, scoring: ScoringFunction) -> Vec<Cursor<'_>> {
@@ -719,6 +827,57 @@ impl InvertedIndex {
                     pos: 0,
                     weight: idf,
                     background: 0.0,
+                })
+            })
+            .collect()
+    }
+
+    /// Build scoring cursors whose term weights come from an injected
+    /// [`CorpusStats`] instead of this index's own statistics. BM25 IDF is
+    /// recomputed from the global `(num_docs, doc_freq)` pair with the same
+    /// formula [`bm25_cursors`](Self::bm25_cursors) uses on the exact path;
+    /// the LM-Dirichlet background model reads the global corpus frequency
+    /// and live token count.
+    fn cursors_with_stats(
+        &self,
+        query: &BagOfWords,
+        scoring: ScoringFunction,
+        stats: &CorpusStats,
+    ) -> Vec<Cursor<'_>> {
+        let n = stats.num_docs as f64;
+        let corpus_len = stats.total_length.max(1) as f64;
+        query
+            .iter()
+            .filter_map(|(term, qf)| {
+                let &tid = self.term_ids.get(term)?;
+                if self.term_len(tid) == 0 {
+                    return None;
+                }
+                let (weight, background) = match scoring {
+                    ScoringFunction::Bm25(_) => {
+                        let df = stats.doc_freq.get(term).copied().unwrap_or(0);
+                        if df == 0 {
+                            return None;
+                        }
+                        (bm25_idf(n, df as f64), 0.0)
+                    }
+                    ScoringFunction::LmDirichlet { mu } => {
+                        let cf = stats.term_totals.get(term).copied().unwrap_or(0) as f64;
+                        if cf == 0.0 {
+                            return None;
+                        }
+                        (f64::from(qf), mu * (cf / corpus_len))
+                    }
+                };
+                let (arena, tail) = self.term_postings(tid);
+                Some(Cursor {
+                    arena,
+                    tail,
+                    blocks: self.term_blocks(tid),
+                    frontier: &self.frontier,
+                    pos: 0,
+                    weight,
+                    background,
                 })
             })
             .collect()
@@ -800,7 +959,7 @@ impl InvertedIndex {
     /// dense per-document score array, then stream the touched documents
     /// into the top-k heap. One branch-free addition per posting — the
     /// fastest strategy while the score array fits comfortably in memory
-    /// (up to [`TAAT_MAX_DOCS`] documents); larger corpora use the
+    /// (up to `TAAT_MAX_DOCS` documents); larger corpora use the
     /// document-at-a-time merge instead. The score array and touched list
     /// are reused from a thread-local scratch (zeroed back after each
     /// query), so a serving thread — including every rayon worker inside
@@ -811,6 +970,7 @@ impl InvertedIndex {
         top_k: usize,
         scoring: ScoringFunction,
         filter: impl Fn(u64) -> bool,
+        avgdl: f64,
     ) -> Vec<(u64, f64)> {
         // The user-supplied filter runs while the scratch is borrowed, so a
         // filter that itself searches (reentrancy) must not double-borrow:
@@ -818,15 +978,24 @@ impl InvertedIndex {
         TAAT_SCRATCH.with(|cell| match cell.try_borrow_mut() {
             Ok(mut scratch) => {
                 let (scores, touched) = &mut *scratch;
-                self.scan_taat_with(scores, touched, &cursors, top_k, scoring, &filter)
+                self.scan_taat_with(scores, touched, &cursors, top_k, scoring, &filter, avgdl)
             }
             Err(_) => {
                 let (mut scores, mut touched) = (Vec::new(), Vec::new());
-                self.scan_taat_with(&mut scores, &mut touched, &cursors, top_k, scoring, &filter)
+                self.scan_taat_with(
+                    &mut scores,
+                    &mut touched,
+                    &cursors,
+                    top_k,
+                    scoring,
+                    &filter,
+                    avgdl,
+                )
             }
         })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn scan_taat_with(
         &self,
         scores: &mut Vec<f64>,
@@ -835,8 +1004,8 @@ impl InvertedIndex {
         top_k: usize,
         scoring: ScoringFunction,
         filter: &impl Fn(u64) -> bool,
+        avgdl: f64,
     ) -> Vec<(u64, f64)> {
-        let avgdl = self.avg_doc_length().max(1e-9);
         if scores.len() < self.doc_ids.len() {
             scores.resize(self.doc_ids.len(), 0.0);
         }
@@ -898,8 +1067,8 @@ impl InvertedIndex {
         top_k: usize,
         scoring: ScoringFunction,
         filter: impl Fn(u64) -> bool,
+        avgdl: f64,
     ) -> Vec<(u64, f64)> {
-        let avgdl = self.avg_doc_length().max(1e-9);
         let mut tk = TopK::new(top_k);
         // Min-heap of (dense doc, cursor index) — postings are sorted by
         // dense doc, so repeatedly draining the minimum visits each touched
@@ -952,8 +1121,8 @@ impl InvertedIndex {
         top_k: usize,
         scoring: ScoringFunction,
         filter: impl Fn(u64) -> bool,
+        avgdl: f64,
     ) -> Vec<(u64, f64)> {
-        let avgdl = self.avg_doc_length().max(1e-9);
         if cursors.len() == 1 {
             let cursor = cursors.pop().expect("one cursor");
             return self.scan_single_pruned(cursor, top_k, scoring, filter, avgdl);
@@ -1577,9 +1746,11 @@ mod tests {
             ScoringFunction::LmDirichlet { mu: 50.0 },
         ] {
             let query = bow(&["common", "fizz", "rare"]);
-            let taat = idx.scan_taat(idx.cursors(&query, scoring), 8, scoring, |_| true);
-            let daat = idx.scan_daat(idx.cursors(&query, scoring), 8, scoring, |_| true);
-            let pruned = idx.scan_daat_pruned(idx.cursors(&query, scoring), 8, scoring, |_| true);
+            let avgdl = idx.avg_doc_length().max(1e-9);
+            let taat = idx.scan_taat(idx.cursors(&query, scoring), 8, scoring, |_| true, avgdl);
+            let daat = idx.scan_daat(idx.cursors(&query, scoring), 8, scoring, |_| true, avgdl);
+            let pruned =
+                idx.scan_daat_pruned(idx.cursors(&query, scoring), 8, scoring, |_| true, avgdl);
             assert_eq!(taat, daat, "scan strategies must rank identically");
             assert_eq!(daat, pruned, "block-max pruning must be exact");
         }
@@ -1620,12 +1791,21 @@ mod tests {
                 &["common", "decade", "rare"],
             ] {
                 for k in [1, 5, 17] {
-                    let baseline =
-                        idx.scan_daat(idx.cursors(&bow(query), scoring), k, scoring, |_| true);
-                    let pruned =
-                        idx.scan_daat_pruned(idx.cursors(&bow(query), scoring), k, scoring, |_| {
-                            true
-                        });
+                    let avgdl = idx.avg_doc_length().max(1e-9);
+                    let baseline = idx.scan_daat(
+                        idx.cursors(&bow(query), scoring),
+                        k,
+                        scoring,
+                        |_| true,
+                        avgdl,
+                    );
+                    let pruned = idx.scan_daat_pruned(
+                        idx.cursors(&bow(query), scoring),
+                        k,
+                        scoring,
+                        |_| true,
+                        avgdl,
+                    );
                     assert_eq!(
                         baseline, pruned,
                         "query {query:?} k={k} scoring {scoring:?}"

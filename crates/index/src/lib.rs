@@ -22,6 +22,6 @@ pub mod embedding_store;
 pub mod topk;
 
 pub use ann::{AnnIndex, AnnIndexConfig, BruteForceIndex};
-pub use bm25::{Bm25Params, InvertedIndex, ScoringFunction};
+pub use bm25::{Bm25Params, CorpusStats, InvertedIndex, ScoringFunction};
 pub use embedding_store::EmbeddingStore;
 pub use topk::TopK;

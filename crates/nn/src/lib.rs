@@ -13,7 +13,7 @@
 //! * [`Linear`], [`Activation`], [`Mlp`] — layers and a sequential network
 //!   with manual forward/backward passes.
 //! * [`Adam`] / [`Sgd`] — optimizers.
-//! * [`triplet_loss`] and [`TripletTrainer`] — the margin-based metric
+//! * [`triplet_loss`] and [`TripletBatch`] — the margin-based metric
 //!   learning objective of Eq. 1 in the paper, with the gradient flowing
 //!   through the shared encoder applied to anchor, positive, and negative.
 

@@ -25,7 +25,8 @@
 //! | `GET /metrics`          | (none)              | text exposition           |
 //!
 //! The adapter does no interpretation of its own: each route splices the
-//! body into the externally-tagged [`ServiceRequest`] envelope and calls
+//! body into the externally-tagged [`ServiceRequest`](crate::api::ServiceRequest)
+//! envelope and calls
 //! [`CmdlService::handle_json`] — the same bytes-in/bytes-out path the
 //! in-process tests exercise, so HTTP cannot drift from the service
 //! contract.

@@ -10,7 +10,10 @@
 //! * [`service`] — [`CmdlService`]: reads pin published snapshots and never
 //!   block behind writers; mutations serialize through a flat-combining
 //!   queue behind a single writer gate, with `delta_pressure`-triggered
-//!   compaction inside the gate.
+//!   compaction inside the gate. With `shards = N` in the config the
+//!   service runs a [`ShardedCmdl`](cmdl_core::ShardedCmdl) router instead:
+//!   writes route to the owning shard's gate and reads fan out per query,
+//!   with results bit-identical to the single-catalog backend.
 //! * [`metrics`] — lock-free counters and latency quantiles with a text
 //!   exposition.
 //! * [`http`] — a std-only HTTP/1.1 adapter (no tokio): a
@@ -34,6 +37,8 @@
 //! );
 //! println!("{}", String::from_utf8_lossy(&response));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod api;
 pub mod http;

@@ -1,20 +1,26 @@
 //! The transport-agnostic CMDL service.
 //!
-//! [`CmdlService`] owns a [`Cmdl`] behind a writer gate and routes every
-//! [`ServiceRequest`] to a [`ServiceResponse`]:
+//! [`CmdlService`] routes every [`ServiceRequest`] to a [`ServiceResponse`]
+//! over one of two backends, chosen by `config.shards` at construction
+//! ([`CmdlService::build`]):
 //!
-//! * **Reads never block behind writers.** The service keeps a *published*
+//! * **Single** (`shards <= 1`) — one [`Cmdl`] behind a writer gate.
+//!   Reads never block behind writers: the service keeps a *published*
 //!   [`CatalogSnapshot`] under a lock that is only ever held for a handful
-//!   of `Arc` clones. Query execution happens entirely outside any lock,
-//!   against the pinned generation — a reader mid-query is unaffected by
-//!   however many ingestion batches land after its snapshot was taken.
-//! * **Writes are serialized through a single mutation queue.** Mutations
-//!   enqueue and then compete for the writer gate; whichever thread wins
-//!   drains the *whole* queue (its own mutation plus everything that piled
-//!   up behind it — flat combining), applies the deltas in arrival order,
-//!   and publishes one fresh snapshot per drained batch. [`Cmdl`]'s own
-//!   `delta_pressure` policy triggers `compact()` inside the gate, so
-//!   compaction is likewise serialized and invisible to readers.
+//!   of `Arc` clones, and query execution happens entirely outside any
+//!   lock. Writes serialize through a flat-combining mutation queue:
+//!   whichever thread wins the gate drains the *whole* queue, applies the
+//!   deltas in arrival order, and publishes one fresh snapshot per drained
+//!   batch. [`Cmdl`]'s own `delta_pressure` policy triggers `compact()`
+//!   inside the gate.
+//! * **Sharded** (`shards > 1`) — a [`ShardedCmdl`] router over N
+//!   catalogs. Reads pin a published [`ShardedSnapshot`] the same way;
+//!   queries scatter across shards and merge under the single-catalog
+//!   total order (bit parity — see [`cmdl_core::shard`]). Mutations go
+//!   straight to the router, whose per-shard writer gates let table
+//!   ingests routed to different shards profile concurrently — a single
+//!   flat-combining queue here would serialize exactly the work sharding
+//!   parallelizes. The sharded backend is in-memory only (no WAL).
 //!
 //! The wire contract is bytes-in/bytes-out JSON
 //! ([`handle_json_bytes`](CmdlService::handle_json_bytes)), so every
@@ -26,8 +32,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-use cmdl_core::{CatalogSnapshot, Cmdl, ErrorCode};
-use cmdl_datalake::{Document, Table};
+use cmdl_core::{
+    CatalogSnapshot, Cmdl, CmdlConfig, CmdlError, CmdlStats, DiscoveryQuery, ErrorCode,
+    QueryResponse, ShardedCmdl, ShardedSnapshot,
+};
+use cmdl_datalake::{DataLake, Document, Table};
 
 use crate::api::{
     BatchOutcome, HealthReport, ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
@@ -40,8 +49,9 @@ struct PendingMutation {
     result: Arc<Mutex<Option<ServiceResponse>>>,
 }
 
-/// The transport-agnostic service façade over one [`Cmdl`] catalog.
-pub struct CmdlService {
+/// The single-catalog backend: one [`Cmdl`] behind the flat-combining
+/// writer gate.
+struct SingleGate {
     /// The writer gate: the catalog is only ever mutated while this lock is
     /// held, so mutations (and the compactions they trigger) are serialized.
     writer: Mutex<Cmdl>,
@@ -59,31 +69,131 @@ pub struct CmdlService {
     /// the last published snapshot; mutations are refused and health
     /// reports `degraded`.
     wedged: AtomicBool,
+}
+
+/// The sharded backend: the internally-synchronized [`ShardedCmdl`]
+/// router plus the published snapshot readers pin.
+struct ShardedGate {
+    router: ShardedCmdl,
+    published: RwLock<ShardedSnapshot>,
+    /// Set when a mutation panicked inside the router: its internal locks
+    /// may be poisoned mid-update, so further mutations are refused and
+    /// health reports `degraded` while reads keep serving the last
+    /// published snapshot. (The sharded backend has no WAL, so there is no
+    /// disk state to reconcile — wedging is the whole recovery story.)
+    wedged: AtomicBool,
+}
+
+enum Backend {
+    Single(SingleGate),
+    Sharded(ShardedGate),
+}
+
+/// A pinned read view over either backend — the common surface
+/// `handle_read` executes against.
+enum View {
+    Single(CatalogSnapshot),
+    Sharded(ShardedSnapshot),
+}
+
+impl View {
+    fn execute(&self, query: &DiscoveryQuery) -> Result<QueryResponse, CmdlError> {
+        match self {
+            View::Single(snapshot) => snapshot.execute(query),
+            View::Sharded(snapshot) => snapshot.execute(query),
+        }
+    }
+
+    fn execute_many(&self, queries: &[DiscoveryQuery]) -> Vec<Result<QueryResponse, CmdlError>> {
+        match self {
+            View::Single(snapshot) => snapshot.execute_many(queries),
+            View::Sharded(snapshot) => snapshot.execute_many(queries),
+        }
+    }
+
+    fn stats(&self) -> CmdlStats {
+        match self {
+            View::Single(snapshot) => snapshot.stats(),
+            View::Sharded(snapshot) => snapshot.stats(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        match self {
+            View::Single(snapshot) => snapshot.generation,
+            View::Sharded(snapshot) => snapshot.generation,
+        }
+    }
+}
+
+/// The transport-agnostic service façade over one catalog — single or
+/// sharded (see the module docs).
+pub struct CmdlService {
+    backend: Backend,
     metrics: Arc<ServiceMetrics>,
 }
 
 impl CmdlService {
-    /// Wrap a built catalog as a service.
+    /// Wrap a built catalog as a single-backend service.
     pub fn new(cmdl: Cmdl) -> Self {
         let published = RwLock::new(cmdl.snapshot());
         Self {
-            writer: Mutex::new(cmdl),
-            published,
-            queue: Mutex::new(VecDeque::new()),
-            wedged: AtomicBool::new(false),
+            backend: Backend::Single(SingleGate {
+                writer: Mutex::new(cmdl),
+                published,
+                queue: Mutex::new(VecDeque::new()),
+                wedged: AtomicBool::new(false),
+            }),
             metrics: Arc::new(ServiceMetrics::default()),
         }
     }
 
+    /// Wrap a built shard router as a sharded-backend service.
+    pub fn sharded(router: ShardedCmdl) -> Self {
+        let published = RwLock::new(router.snapshot());
+        Self {
+            backend: Backend::Sharded(ShardedGate {
+                router,
+                published,
+                wedged: AtomicBool::new(false),
+            }),
+            metrics: Arc::new(ServiceMetrics::default()),
+        }
+    }
+
+    /// Build a service from a lake, dispatching on `config.shards`: one
+    /// catalog when `shards <= 1`, a [`ShardedCmdl`] router otherwise.
+    /// This is the config-driven server entry point.
+    ///
+    /// ```no_run
+    /// use cmdl_core::CmdlConfig;
+    /// use cmdl_datalake::synth;
+    /// use cmdl_server::CmdlService;
+    ///
+    /// let mut config = CmdlConfig::fast();
+    /// config.shards = 4;
+    /// let service = CmdlService::build(synth::pharma().lake, config);
+    /// assert_eq!(service.num_shards(), 4);
+    /// ```
+    pub fn build(lake: DataLake, config: CmdlConfig) -> Self {
+        if config.shards > 1 {
+            Self::sharded(ShardedCmdl::build(lake, config))
+        } else {
+            Self::new(Cmdl::build(lake, config))
+        }
+    }
+
     /// Open (or recover) a durable catalog at `dir` and wrap it as a
-    /// service — the server-startup entry point. Recovery is logged: a
-    /// loaded segment reports its replayed WAL tail, a damaged directory
-    /// reports why it degraded to rebuild-from-source.
+    /// single-backend service — the server-startup entry point. Recovery
+    /// is logged: a loaded segment reports its replayed WAL tail, a
+    /// damaged directory reports why it degraded to rebuild-from-source.
+    /// (Sharded serving is in-memory only; it has no durable form to
+    /// open.)
     pub fn open(
         dir: &std::path::Path,
-        config: cmdl_core::CmdlConfig,
-        source: impl FnOnce() -> cmdl_datalake::DataLake,
-    ) -> Result<Self, cmdl_core::CmdlError> {
+        config: CmdlConfig,
+        source: impl FnOnce() -> DataLake,
+    ) -> Result<Self, CmdlError> {
         let cmdl = Cmdl::open(dir, config, source)?;
         if let Some(report) = cmdl.recovery_report() {
             eprintln!("cmdl: catalog at {} recovered: {report:?}", dir.display());
@@ -91,29 +201,94 @@ impl CmdlService {
         Ok(Self::new(cmdl))
     }
 
+    /// How many shards serve this catalog (`1` for the single backend).
+    pub fn num_shards(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 1,
+            Backend::Sharded(gate) => gate.router.num_shards(),
+        }
+    }
+
     /// Drain the writer queue and publish the resulting snapshot — the
     /// graceful-shutdown flush. Every mutation applied here appends and
     /// fsyncs its WAL record before being acknowledged, so after `flush`
-    /// returns there is no acknowledged-but-volatile state left.
+    /// returns there is no acknowledged-but-volatile state left. On the
+    /// sharded backend mutations apply synchronously (nothing is queued),
+    /// so this is a no-op.
     pub fn flush(&self) {
-        let mut cmdl = self
+        let Backend::Single(gate) = &self.backend else {
+            return;
+        };
+        let mut cmdl = gate
             .writer
             .lock()
             .unwrap_or_else(|poison| poison.into_inner());
-        self.drain_queue(&mut cmdl);
+        gate.drain_queue(&mut cmdl);
         let snapshot = cmdl.snapshot();
-        *self
+        *gate
             .published
             .write()
             .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
     }
 
-    /// Pin the currently published generation (cheap: a few `Arc` clones).
+    /// Pin the currently published single-catalog generation (cheap: a few
+    /// `Arc` clones).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a sharded service — a sharded generation is not one
+    /// [`CatalogSnapshot`]; pin it with
+    /// [`sharded_snapshot`](Self::sharded_snapshot) instead.
     pub fn snapshot(&self) -> CatalogSnapshot {
-        self.published
-            .read()
-            .unwrap_or_else(|poison| poison.into_inner())
-            .clone()
+        match &self.backend {
+            Backend::Single(gate) => gate
+                .published
+                .read()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .clone(),
+            Backend::Sharded(_) => {
+                panic!("CmdlService::snapshot on a sharded service; use sharded_snapshot")
+            }
+        }
+    }
+
+    /// Pin the currently published sharded generation, or `None` on a
+    /// single-backend service.
+    pub fn sharded_snapshot(&self) -> Option<ShardedSnapshot> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(gate) => Some(
+                gate.published
+                    .read()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .clone(),
+            ),
+        }
+    }
+
+    /// Pin the published generation of whichever backend is active.
+    fn view(&self) -> View {
+        match &self.backend {
+            Backend::Single(gate) => View::Single(
+                gate.published
+                    .read()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .clone(),
+            ),
+            Backend::Sharded(gate) => View::Sharded(
+                gate.published
+                    .read()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .clone(),
+            ),
+        }
+    }
+
+    fn is_wedged(&self) -> bool {
+        match &self.backend {
+            Backend::Single(gate) => gate.wedged.load(Ordering::SeqCst),
+            Backend::Sharded(gate) => gate.wedged.load(Ordering::SeqCst),
+        }
     }
 
     /// The service counters.
@@ -124,13 +299,22 @@ impl CmdlService {
     /// Render the metrics text exposition (counters plus the published
     /// snapshot's generation and delta pressure).
     pub fn render_metrics(&self) -> String {
-        let snapshot = self.snapshot();
-        self.metrics
-            .render(snapshot.generation, snapshot.indexes.delta_pressure())
+        let (generation, pressure) = match self.view() {
+            View::Single(snapshot) => (snapshot.generation, snapshot.indexes.delta_pressure()),
+            View::Sharded(snapshot) => {
+                let pressure = snapshot
+                    .shards
+                    .iter()
+                    .map(|shard| shard.indexes.delta_pressure())
+                    .fold(0.0_f64, f64::max);
+                (snapshot.generation, pressure)
+            }
+        };
+        self.metrics.render(generation, pressure)
     }
 
     /// Route one typed request. Reads execute against a pinned snapshot;
-    /// mutations go through the writer gate.
+    /// mutations go through the active backend's writer path.
     pub fn handle(&self, request: ServiceRequest) -> ServiceResponse {
         let started = Instant::now();
         let kind = request.kind();
@@ -188,14 +372,14 @@ impl CmdlService {
     }
 
     fn handle_read(&self, request: ServiceRequest) -> ServiceResponse {
-        let snapshot = self.snapshot();
+        let view = self.view();
         match request {
-            ServiceRequest::Query(query) => match snapshot.execute(&query) {
+            ServiceRequest::Query(query) => match view.execute(&query) {
                 Ok(response) => ServiceResponse::success(ResponsePayload::Query(response)),
                 Err(error) => ServiceResponse::failure(error.into()),
             },
             ServiceRequest::QueryBatch(queries) => {
-                let outcomes = snapshot
+                let outcomes = view
                     .execute_many(&queries)
                     .into_iter()
                     .map(|outcome| match outcome {
@@ -211,18 +395,12 @@ impl CmdlService {
                     .collect();
                 ServiceResponse::success(ResponsePayload::QueryBatch(outcomes))
             }
-            ServiceRequest::Stats => {
-                ServiceResponse::success(ResponsePayload::Stats(snapshot.stats()))
-            }
+            ServiceRequest::Stats => ServiceResponse::success(ResponsePayload::Stats(view.stats())),
             ServiceRequest::Health => {
-                let status = if self.wedged.load(Ordering::SeqCst) {
-                    "degraded"
-                } else {
-                    "ok"
-                };
+                let status = if self.is_wedged() { "degraded" } else { "ok" };
                 ServiceResponse::success(ResponsePayload::Health(HealthReport {
                     status: status.to_string(),
-                    generation: snapshot.generation,
+                    generation: view.generation(),
                 }))
             }
             mutation => {
@@ -234,6 +412,35 @@ impl CmdlService {
         }
     }
 
+    fn submit_mutation(&self, request: ServiceRequest) -> ServiceResponse {
+        match &self.backend {
+            Backend::Single(gate) => gate.submit_mutation(request),
+            Backend::Sharded(gate) => gate.submit_mutation(request),
+        }
+    }
+
+    /// Convenience: ingest a document without building an envelope (used by
+    /// tests and benches; routes through the same writer gate).
+    pub fn ingest_document(&self, document: Document) -> ServiceResponse {
+        self.handle(ServiceRequest::IngestDocument(document))
+    }
+
+    /// Convenience: ingest a table through the service envelope.
+    pub fn ingest_table(&self, table: Table) -> ServiceResponse {
+        self.handle(ServiceRequest::IngestTable(table))
+    }
+
+    /// The single-catalog gate, for tests that reach into the queue.
+    #[cfg(test)]
+    fn single_gate(&self) -> &SingleGate {
+        match &self.backend {
+            Backend::Single(gate) => gate,
+            Backend::Sharded(_) => panic!("test expects the single backend"),
+        }
+    }
+}
+
+impl SingleGate {
     /// Enqueue a mutation, then compete for the writer gate. The winner
     /// drains the whole queue (flat combining) and publishes one snapshot
     /// for the batch; losers find their result already filled in.
@@ -344,7 +551,13 @@ impl CmdlService {
 
     fn apply_mutation(cmdl: &mut Cmdl, request: ServiceRequest) -> ServiceResponse {
         match request {
-            ServiceRequest::IngestTable(table) => Self::apply_ingest_table(cmdl, table),
+            ServiceRequest::IngestTable(table) => match cmdl.ingest_table(table) {
+                Ok(table) => ServiceResponse::success(ResponsePayload::IngestedTable {
+                    table,
+                    generation: cmdl.generation(),
+                }),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
             ServiceRequest::IngestDocument(document) => match cmdl.ingest_document(document) {
                 Ok(document) => ServiceResponse::success(ResponsePayload::IngestedDocument {
                     document,
@@ -377,26 +590,93 @@ impl CmdlService {
             }
         }
     }
+}
 
-    fn apply_ingest_table(cmdl: &mut Cmdl, table: Table) -> ServiceResponse {
-        match cmdl.ingest_table(table) {
-            Ok(table) => ServiceResponse::success(ResponsePayload::IngestedTable {
-                table,
-                generation: cmdl.generation(),
-            }),
-            Err(error) => ServiceResponse::failure(error.into()),
+impl ShardedGate {
+    /// Apply a mutation straight on the router (its per-shard gates do the
+    /// serialization, so concurrent ingests to different shards
+    /// parallelize) and publish a fresh snapshot.
+    ///
+    /// A panicking mutation wedges the whole gate: the router's internal
+    /// locks may be poisoned mid-update and there is no WAL to reconcile
+    /// from, so refusing further mutations (while reads keep serving the
+    /// last published snapshot) is the safe degraded mode.
+    fn submit_mutation(&self, request: ServiceRequest) -> ServiceResponse {
+        if self.wedged.load(Ordering::SeqCst) {
+            return ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::Internal,
+                "sharded writer wedged after a panicked mutation; restart to recover".to_string(),
+            ));
         }
+        let kind = request.kind();
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Self::apply_mutation(&self.router, request)
+        }))
+        .unwrap_or_else(|panic| {
+            let detail = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "mutation panicked".to_string());
+            eprintln!("cmdl: {kind} mutation panicked in the shard router: {detail}");
+            self.wedged.store(true, Ordering::SeqCst);
+            ServiceResponse::failure(ServiceError::with_subject(ErrorCode::Internal, detail))
+        });
+        if response.ok {
+            // Publish monotonically: a slower writer must not clobber a
+            // newer generation another writer already published.
+            let snapshot = self.router.snapshot();
+            let mut published = self
+                .published
+                .write()
+                .unwrap_or_else(|poison| poison.into_inner());
+            if snapshot.generation >= published.generation {
+                *published = snapshot;
+            }
+        }
+        response
     }
 
-    /// Convenience: ingest a document without building an envelope (used by
-    /// tests and benches; routes through the same writer gate).
-    pub fn ingest_document(&self, document: Document) -> ServiceResponse {
-        self.handle(ServiceRequest::IngestDocument(document))
-    }
-
-    /// Convenience: ingest a table through the service envelope.
-    pub fn ingest_table(&self, table: Table) -> ServiceResponse {
-        self.handle(ServiceRequest::IngestTable(table))
+    fn apply_mutation(router: &ShardedCmdl, request: ServiceRequest) -> ServiceResponse {
+        match request {
+            ServiceRequest::IngestTable(table) => match router.ingest_table(table) {
+                Ok(table) => ServiceResponse::success(ResponsePayload::IngestedTable {
+                    table,
+                    generation: router.generation(),
+                }),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
+            ServiceRequest::IngestDocument(document) => match router.ingest_document(document) {
+                Ok(document) => ServiceResponse::success(ResponsePayload::IngestedDocument {
+                    document,
+                    generation: router.generation(),
+                }),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
+            ServiceRequest::RemoveTable { name } => match router.remove_table(&name) {
+                Ok(elements) => ServiceResponse::success(ResponsePayload::RemovedTable {
+                    elements,
+                    generation: router.generation(),
+                }),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
+            ServiceRequest::RemoveDocument { index } => match router.remove_document(index) {
+                Ok(()) => ServiceResponse::success(ResponsePayload::RemovedDocument {
+                    generation: router.generation(),
+                }),
+                Err(error) => ServiceResponse::failure(error.into()),
+            },
+            ServiceRequest::Compact => {
+                router.compact();
+                ServiceResponse::success(ResponsePayload::Compacted {
+                    generation: router.generation(),
+                })
+            }
+            other => {
+                debug_assert!(false, "read {} routed to writer gate", other.kind());
+                ServiceResponse::failure(ServiceError::new(ErrorCode::Internal))
+            }
+        }
     }
 }
 
@@ -423,6 +703,13 @@ mod tests {
     fn service() -> CmdlService {
         let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
         CmdlService::new(Cmdl::build(lake, CmdlConfig::fast()))
+    }
+
+    fn sharded_service(shards: usize) -> CmdlService {
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        let mut config = CmdlConfig::fast();
+        config.shards = shards;
+        CmdlService::build(lake, config)
     }
 
     #[test]
@@ -495,10 +782,15 @@ mod tests {
         // same arm returns the Internal envelope directly, so the
         // assertions hold in both profiles.
         let slot = Arc::new(Mutex::new(None));
-        service.queue.lock().unwrap().push_back(PendingMutation {
-            request: ServiceRequest::Stats,
-            result: Arc::clone(&slot),
-        });
+        service
+            .single_gate()
+            .queue
+            .lock()
+            .unwrap()
+            .push_back(PendingMutation {
+                request: ServiceRequest::Stats,
+                result: Arc::clone(&slot),
+            });
         service.flush();
         let response = slot.lock().unwrap().take().expect("slot filled by drain");
         assert!(!response.ok);
@@ -535,10 +827,15 @@ mod tests {
         // disk — instead of serving half-applied state. In release the
         // same arm returns the Internal envelope without panicking.
         let slot = Arc::new(Mutex::new(None));
-        service.queue.lock().unwrap().push_back(PendingMutation {
-            request: ServiceRequest::Stats,
-            result: Arc::clone(&slot),
-        });
+        service
+            .single_gate()
+            .queue
+            .lock()
+            .unwrap()
+            .push_back(PendingMutation {
+                request: ServiceRequest::Stats,
+                result: Arc::clone(&slot),
+            });
         service.flush();
         let response = slot.lock().unwrap().take().expect("slot filled by drain");
         assert!(!response.ok);
@@ -566,5 +863,81 @@ mod tests {
             serde_json::from_str(std::str::from_utf8(&out).unwrap()).unwrap();
         assert_eq!(response.error_code(), Some(ErrorCode::MalformedRequest));
         assert!(service.metrics().errors_total() >= 1);
+    }
+
+    #[test]
+    fn sharded_service_answers_the_same_contract() {
+        let single = service();
+        let sharded = sharded_service(3);
+        assert_eq!(sharded.num_shards(), 3);
+        assert!(sharded.sharded_snapshot().is_some());
+        assert!(single.sharded_snapshot().is_none());
+        let request = ServiceRequest::Query(QueryBuilder::keyword("drug").top_k(5).build());
+        let (a, b) = (single.handle(request.clone()), sharded.handle(request));
+        match (a.payload, b.payload) {
+            (Some(ResponsePayload::Query(qa)), Some(ResponsePayload::Query(qb))) => {
+                assert_eq!(qa.hits, qb.hits, "sharded service must keep bit parity");
+            }
+            other => panic!("wrong payloads: {other:?}"),
+        }
+        // Health and stats flow through the same envelopes.
+        match sharded.handle(ServiceRequest::Health).payload {
+            Some(ResponsePayload::Health(h)) => assert_eq!(h.status, "ok"),
+            other => panic!("wrong payload: {other:?}"),
+        }
+        match sharded.handle(ServiceRequest::Stats).payload {
+            Some(ResponsePayload::Stats(stats)) => assert!(stats.tables > 0),
+            other => panic!("wrong payload: {other:?}"),
+        }
+        assert!(!sharded.render_metrics().is_empty());
+    }
+
+    #[test]
+    fn sharded_mutations_publish_and_errors_stay_typed() {
+        let sharded = sharded_service(2);
+        let gen0 = match sharded.handle(ServiceRequest::Health).payload {
+            Some(ResponsePayload::Health(h)) => h.generation,
+            other => panic!("wrong payload: {other:?}"),
+        };
+        let table = Table::new("Shard_T", vec![Column::from_texts("v", ["x", "y"])]);
+        assert!(sharded.ingest_table(table.clone()).ok);
+        let dup = sharded.ingest_table(table);
+        assert_eq!(dup.error_code(), Some(ErrorCode::DuplicateTable));
+        let doc = sharded.ingest_document(Document::new("n", "s", "sharded note"));
+        let doc_index = match doc.payload {
+            Some(ResponsePayload::IngestedDocument { document, .. }) => document,
+            other => panic!("wrong payload: {other:?}"),
+        };
+        let gen1 = match sharded.handle(ServiceRequest::Health).payload {
+            Some(ResponsePayload::Health(h)) => h.generation,
+            other => panic!("wrong payload: {other:?}"),
+        };
+        assert!(gen1 > gen0, "mutations must publish new generations");
+        // The published snapshot serves the new table.
+        let response = sharded.handle(ServiceRequest::Query(
+            QueryBuilder::keyword("sharded note").top_k(5).build(),
+        ));
+        assert!(response.ok);
+        assert!(
+            sharded
+                .handle(ServiceRequest::RemoveDocument { index: doc_index })
+                .ok
+        );
+        assert!(
+            sharded
+                .handle(ServiceRequest::RemoveTable {
+                    name: "Shard_T".into()
+                })
+                .ok
+        );
+        assert_eq!(
+            sharded
+                .handle(ServiceRequest::RemoveTable {
+                    name: "Shard_T".into()
+                })
+                .error_code(),
+            Some(ErrorCode::UnknownTable)
+        );
+        assert!(sharded.handle(ServiceRequest::Compact).ok);
     }
 }
