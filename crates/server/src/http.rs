@@ -42,6 +42,7 @@ use std::time::Duration;
 use cmdl_core::ErrorCode;
 
 use crate::api::{http_status, ServiceError, ServiceResponse};
+use crate::reactor::parser::ParsedRequest;
 use crate::service::{serialize_response, serialize_response_into, CmdlService};
 
 /// Configuration of the HTTP adapter.
@@ -297,37 +298,27 @@ fn serve_connection(stream: TcpStream, service: &CmdlService, draining: &AtomicB
     }
 }
 
-/// One parsed HTTP request.
-struct HttpRequest {
-    method: String,
-    path: String,
-    body: Vec<u8>,
-    keep_alive: bool,
-    /// The request declared `Transfer-Encoding` (chunked bodies are not
-    /// framed by this adapter): answer 400 and close instead of letting
-    /// the unread payload desync the keep-alive stream.
-    unsupported_encoding: bool,
-}
-
 /// The largest accepted start line / header line. Framing reads are
 /// bounded so a peer streaming bytes without newlines cannot grow memory
 /// past this (the body has its own cap, enforced against
-/// `Content-Length`).
-const MAX_LINE_BYTES: u64 = 8 * 1024;
+/// `Content-Length`). Shared with the reactor's resumable parser so both
+/// transports enforce identical framing limits.
+pub const MAX_LINE_BYTES: u64 = 8 * 1024;
 
 /// Maximum headers per request.
-const MAX_HEADERS: usize = 100;
+pub const MAX_HEADERS: usize = 100;
+
+/// Cap on `Content-Length` bodies — far beyond any legitimate ingest
+/// payload.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
 
 /// Largest response-buffer capacity a keep-alive connection retains
 /// between requests.
-const MAX_RETAINED_BODY_BYTES: usize = 1024 * 1024;
+pub const MAX_RETAINED_BODY_BYTES: usize = 1024 * 1024;
 
 /// `read_line` bounded to [`MAX_LINE_BYTES`]: a line that hits the cap
 /// without a newline is an error, not an ever-growing buffer.
-fn read_line_bounded(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<usize> {
+fn read_line_bounded<R: BufRead>(reader: &mut R, line: &mut String) -> std::io::Result<usize> {
     let read = reader.take(MAX_LINE_BYTES).read_line(line)?;
     if read as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
         return Err(std::io::Error::new(
@@ -342,10 +333,16 @@ fn read_line_bounded(
 /// is a clean EOF before a start line. `writer` is needed for the
 /// `Expect: 100-continue` handshake (curl sends it for bodies over ~1 KiB
 /// and stalls ~1 s if nobody answers).
-fn read_request(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
-) -> std::io::Result<Option<HttpRequest>> {
+///
+/// Public (and generic over the stream halves) because this one-shot
+/// blocking parser is the *reference semantics* for the reactor's
+/// resumable [`RequestParser`](crate::reactor::parser::RequestParser):
+/// the parser-parity property tests feed identical bytes to both and
+/// require identical outcomes.
+pub fn read_request<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+) -> std::io::Result<Option<ParsedRequest>> {
     let mut line = String::new();
     if read_line_bounded(reader, &mut line)? == 0 {
         return Ok(None);
@@ -403,7 +400,7 @@ fn read_request(
         // Do not attempt to read the chunked payload; the caller answers
         // 400 and closes before the unread bytes can be misparsed as the
         // next request.
-        return Ok(Some(HttpRequest {
+        return Ok(Some(ParsedRequest {
             method,
             path,
             body: Vec::new(),
@@ -412,8 +409,7 @@ fn read_request(
         }));
     }
 
-    // Cap bodies at 64 MiB — far beyond any legitimate ingest payload.
-    if content_length > 64 * 1024 * 1024 {
+    if content_length > MAX_BODY_BYTES {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "body too large",
@@ -425,7 +421,7 @@ fn read_request(
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
-    Ok(Some(HttpRequest {
+    Ok(Some(ParsedRequest {
         method,
         path,
         body,
@@ -460,7 +456,7 @@ pub fn route_envelope(method: &str, path: &str, body: &str) -> Option<String> {
 /// including the transport-level ones that never reach a handler — is
 /// recorded in the service metrics, so the labeled request counters always
 /// sum to the total.
-fn route(service: &CmdlService, request: &HttpRequest, out: &mut String) -> (u16, &'static str) {
+fn route(service: &CmdlService, request: &ParsedRequest, out: &mut String) -> (u16, &'static str) {
     if request.unsupported_encoding {
         let response = ServiceResponse::failure(ServiceError::with_subject(
             ErrorCode::MalformedRequest,
@@ -496,14 +492,15 @@ fn route(service: &CmdlService, request: &HttpRequest, out: &mut String) -> (u16
     (status, "application/json")
 }
 
-/// Write one framed response.
-fn write_response(
-    writer: &mut TcpStream,
+/// Compose the status line + headers for one framed response. Shared by
+/// both transports so reactor responses are byte-identical to thread-pool
+/// responses.
+pub fn format_response_head(
     status: u16,
     content_type: &str,
-    body: &[u8],
+    body_len: usize,
     keep_alive: bool,
-) -> std::io::Result<()> {
+) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -514,10 +511,20 @@ fn write_response(
         _ => "Internal Server Error",
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
-        body.len()
-    );
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {body_len}\r\nConnection: {connection}\r\n\r\n",
+    )
+}
+
+/// Write one framed response.
+fn write_response(
+    writer: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format_response_head(status, content_type, body.len(), keep_alive);
     writer.write_all(head.as_bytes())?;
     writer.write_all(body)?;
     writer.flush()

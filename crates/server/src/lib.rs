@@ -20,6 +20,13 @@
 //!   `TcpListener` accept loop, a fixed worker-thread pool, and a bounded
 //!   admission queue that sheds load with `429` instead of queueing
 //!   unboundedly.
+//! * [`reactor`] — the event-driven front end: an epoll readiness loop
+//!   (vendored syscall shim, no `libc` crate) where each connection is a
+//!   resumable-parser state machine instead of a thread, concurrent
+//!   `/query` requests in one readiness tick coalesce into a single
+//!   `execute_many` against one pinned snapshot, and a generation-keyed
+//!   result cache answers repeated queries without executing at all.
+//!   Serves the identical route surface, byte-for-byte.
 //!
 //! In-process use needs no sockets at all:
 //!
@@ -43,6 +50,7 @@
 pub mod api;
 pub mod http;
 pub mod metrics;
+pub mod reactor;
 pub mod service;
 
 pub use api::{
@@ -51,4 +59,7 @@ pub use api::{
 };
 pub use http::{route_envelope, serve, HttpConfig, HttpHandle};
 pub use metrics::ServiceMetrics;
+pub use reactor::ReactorConfig;
+#[cfg(target_os = "linux")]
+pub use reactor::{serve_reactor, ReactorHandle};
 pub use service::CmdlService;

@@ -37,6 +37,11 @@ const KINDS: [&str; 13] = [
     "metrics",
 ];
 
+/// Number of log₂ coalesced-batch-size buckets: bucket `i` counts batches
+/// of size in `[2^i, 2^(i+1))`, with the last bucket open-ended (≥ 2048
+/// queries in one tick).
+const COALESCE_BUCKETS: usize = 12;
+
 /// Lock-free service counters.
 #[derive(Debug)]
 pub struct ServiceMetrics {
@@ -46,6 +51,20 @@ pub struct ServiceMetrics {
     errors_by_code: [AtomicU64; ErrorCode::ALL.len()],
     shed_total: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
+    /// Reactor gauge: currently open reactor connections.
+    reactor_connections: AtomicU64,
+    /// Reactor counter: connections reaped by a deadline (slow-loris read
+    /// deadline, write deadline, or idle timeout).
+    reactor_reaped: AtomicU64,
+    /// Histogram of coalesced `/query` batch sizes (one sample per
+    /// `execute_coalesced` call).
+    coalesce_batches: [AtomicU64; COALESCE_BUCKETS],
+    /// Sum of all coalesced batch sizes (the histogram `_sum`).
+    coalesce_queries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evicted: AtomicU64,
+    cache_invalidated: AtomicU64,
 }
 
 impl Default for ServiceMetrics {
@@ -57,6 +76,14 @@ impl Default for ServiceMetrics {
             errors_by_code: std::array::from_fn(|_| AtomicU64::new(0)),
             shed_total: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
+            reactor_connections: AtomicU64::new(0),
+            reactor_reaped: AtomicU64::new(0),
+            coalesce_batches: std::array::from_fn(|_| AtomicU64::new(0)),
+            coalesce_queries: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evicted: AtomicU64::new(0),
+            cache_invalidated: AtomicU64::new(0),
         }
     }
 }
@@ -107,6 +134,96 @@ impl ServiceMetrics {
     /// Requests shed under admission control.
     pub fn shed_total(&self) -> u64 {
         self.shed_total.load(Ordering::Relaxed)
+    }
+
+    /// A reactor connection was accepted and registered.
+    pub fn reactor_conn_opened(&self) {
+        self.reactor_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A reactor connection was closed (any reason).
+    pub fn reactor_conn_closed(&self) {
+        self.reactor_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Currently open reactor connections.
+    pub fn reactor_connections(&self) -> u64 {
+        self.reactor_connections.load(Ordering::Relaxed)
+    }
+
+    /// A reactor connection was reaped by a deadline (slow-loris read
+    /// deadline, write deadline, or idle timeout).
+    pub fn reactor_conn_reaped(&self) {
+        self.reactor_reaped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total reactor connections reaped by deadlines.
+    pub fn reactor_reaped_total(&self) -> u64 {
+        self.reactor_reaped.load(Ordering::Relaxed)
+    }
+
+    /// Record one coalesced `/query` batch of `size` queries.
+    pub fn record_coalesce(&self, size: usize) {
+        let bucket =
+            (64 - (size.max(1) as u64).leading_zeros() as usize - 1).min(COALESCE_BUCKETS - 1);
+        self.coalesce_batches[bucket].fetch_add(1, Ordering::Relaxed);
+        self.coalesce_queries
+            .fetch_add(size as u64, Ordering::Relaxed);
+    }
+
+    /// Total coalesced batches recorded (the histogram `_count`).
+    pub fn coalesce_batches_total(&self) -> u64 {
+        self.coalesce_batches
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total queries that went through coalesced batches (the histogram
+    /// `_sum`).
+    pub fn coalesce_queries_total(&self) -> u64 {
+        self.coalesce_queries.load(Ordering::Relaxed)
+    }
+
+    /// A result-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A result-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` entries evicted under the cache's entry/byte budget.
+    pub fn record_cache_evicted(&self, n: usize) {
+        self.cache_evicted.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` entries dropped wholesale on a generation publish.
+    pub fn record_cache_invalidated(&self, n: usize) {
+        self.cache_invalidated
+            .fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Total result-cache hits.
+    pub fn cache_hits_total(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total result-cache misses.
+    pub fn cache_misses_total(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Total entries evicted under the cache budget.
+    pub fn cache_evicted_total(&self) -> u64 {
+        self.cache_evicted.load(Ordering::Relaxed)
+    }
+
+    /// Total entries invalidated by generation publishes.
+    pub fn cache_invalidated_total(&self) -> u64 {
+        self.cache_invalidated.load(Ordering::Relaxed)
     }
 
     /// Estimate a latency quantile (0.0..=1.0) from the histogram, in
@@ -166,6 +283,57 @@ impl ServiceMetrics {
         ));
         out.push_str(&format!("cmdl_snapshot_generation {generation}\n"));
         out.push_str(&format!("cmdl_delta_pressure {delta_pressure}\n"));
+        // Reactor transport series (all zero when the thread-pool adapter
+        // serves alone — emitting them unconditionally keeps scrapes
+        // schema-stable across transports).
+        out.push_str(&format!(
+            "cmdl_reactor_open_connections {}\n",
+            self.reactor_connections()
+        ));
+        out.push_str(&format!(
+            "cmdl_reactor_reaped_total {}\n",
+            self.reactor_reaped_total()
+        ));
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.coalesce_batches.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            // Bucket `i` holds integer batch sizes in [2^i, 2^(i+1)), so its
+            // inclusive upper bound is 2^(i+1)-1; the last bucket is +Inf.
+            if i + 1 == COALESCE_BUCKETS {
+                out.push_str(&format!(
+                    "cmdl_coalesce_batch_size_bucket{{le=\"+Inf\"}} {cumulative}\n"
+                ));
+            } else {
+                out.push_str(&format!(
+                    "cmdl_coalesce_batch_size_bucket{{le=\"{}\"}} {cumulative}\n",
+                    (1u64 << (i + 1)) - 1
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "cmdl_coalesce_batch_size_sum {}\n",
+            self.coalesce_queries_total()
+        ));
+        out.push_str(&format!(
+            "cmdl_coalesce_batch_size_count {}\n",
+            self.coalesce_batches_total()
+        ));
+        out.push_str(&format!(
+            "cmdl_cache_hits_total {}\n",
+            self.cache_hits_total()
+        ));
+        out.push_str(&format!(
+            "cmdl_cache_misses_total {}\n",
+            self.cache_misses_total()
+        ));
+        out.push_str(&format!(
+            "cmdl_cache_evicted_total {}\n",
+            self.cache_evicted_total()
+        ));
+        out.push_str(&format!(
+            "cmdl_cache_invalidated_total {}\n",
+            self.cache_invalidated_total()
+        ));
         out
     }
 }
@@ -211,6 +379,53 @@ mod tests {
         assert!(text.contains("cmdl_errors_total{code=\"overloaded\"} 2"));
         assert!(text.contains("cmdl_snapshot_generation 7"));
         assert!(text.contains("cmdl_delta_pressure 0.125"));
+    }
+
+    #[test]
+    fn reactor_series_render_in_exposition_format() {
+        let metrics = ServiceMetrics::default();
+        metrics.reactor_conn_opened();
+        metrics.reactor_conn_opened();
+        metrics.reactor_conn_closed();
+        metrics.reactor_conn_reaped();
+        metrics.record_coalesce(1);
+        metrics.record_coalesce(3); // [2,4) bucket → le="3"
+        metrics.record_coalesce(5); // [4,8) bucket → le="7"
+        metrics.record_cache_hit();
+        metrics.record_cache_hit();
+        metrics.record_cache_miss();
+        metrics.record_cache_evicted(4);
+        metrics.record_cache_invalidated(9);
+
+        assert_eq!(metrics.reactor_connections(), 1);
+        assert_eq!(metrics.reactor_reaped_total(), 1);
+        assert_eq!(metrics.coalesce_batches_total(), 3);
+        assert_eq!(metrics.coalesce_queries_total(), 9);
+
+        let text = metrics.render(0, 0.0);
+        assert!(text.contains("cmdl_reactor_open_connections 1"));
+        assert!(text.contains("cmdl_reactor_reaped_total 1"));
+        // Cumulative histogram: le="1" sees the size-1 batch, le="3" adds
+        // the size-3 batch, le="7" adds the size-5 batch, +Inf sees all.
+        assert!(text.contains("cmdl_coalesce_batch_size_bucket{le=\"1\"} 1"));
+        assert!(text.contains("cmdl_coalesce_batch_size_bucket{le=\"3\"} 2"));
+        assert!(text.contains("cmdl_coalesce_batch_size_bucket{le=\"7\"} 3"));
+        assert!(text.contains("cmdl_coalesce_batch_size_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("cmdl_coalesce_batch_size_sum 9"));
+        assert!(text.contains("cmdl_coalesce_batch_size_count 3"));
+        assert!(text.contains("cmdl_cache_hits_total 2"));
+        assert!(text.contains("cmdl_cache_misses_total 1"));
+        assert!(text.contains("cmdl_cache_evicted_total 4"));
+        assert!(text.contains("cmdl_cache_invalidated_total 9"));
+        // Histogram buckets stay cumulative (monotonically non-decreasing).
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("cmdl_coalesce_batch_size_bucket") {
+                let value: u64 = rest.split(' ').next_back().unwrap().parse().unwrap();
+                assert!(value >= last, "bucket counts must be cumulative: {line}");
+                last = value;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! The generation-keyed result cache.
+//!
+//! Every `/query` response is a pure function of (canonical request bytes,
+//! catalog generation): snapshots are immutable, so a response computed
+//! against generation *g* stays correct for as long as *g* is the
+//! published generation — and becomes garbage the instant a mutation
+//! publishes *g+1*. That makes invalidation trivial: the cache is tagged
+//! with one generation and dropped **wholesale** when it sees another. No
+//! per-key invalidation, no TTLs, no stale reads.
+//!
+//! Entries are keyed by `xxh64(request bytes)` (the same hash the
+//! durability layer checksums segments with) and guarded against hash
+//! collisions by comparing the stored request bytes on every hit. The
+//! store is a bounded LRU — an intrusive doubly-linked list over a slab,
+//! O(1) touch/insert/evict — with both an entry cap and a *byte budget*
+//! covering request and response bytes, so a burst of giant envelopes
+//! evicts proportionally more than a burst of small ones.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use cmdl_core::persist::xxh64;
+use cmdl_core::ErrorCode;
+
+/// Seed for the request-byte hash (any fixed value; distinct from the
+/// durability layer's seeds so accidental cross-use is visible).
+const CACHE_HASH_SEED: u64 = 0x434d_444c_5143; // "CMDLQC"
+
+/// Configuration of the [`ResultCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Master switch; a disabled cache never hits and never stores.
+    pub enabled: bool,
+    /// Upper bound on cached bytes (request keys + response bodies).
+    pub byte_budget: usize,
+    /// Upper bound on cached entries.
+    pub max_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            byte_budget: 64 * 1024 * 1024,
+            max_entries: 65_536,
+        }
+    }
+}
+
+/// One cached response: the HTTP status plus the serialized envelope
+/// bytes, shared so a hit is an `Arc` clone, not a copy.
+#[derive(Debug)]
+pub struct CachedResponse {
+    /// The HTTP status the original computation mapped to.
+    pub status: u16,
+    /// The error code of the original response (if it failed) — replayed
+    /// into the metrics on every hit so error counters stay truthful for
+    /// cached failures (e.g. a cached `InvalidQuery`).
+    pub error: Option<ErrorCode>,
+    /// The serialized [`ServiceResponse`](crate::api::ServiceResponse)
+    /// envelope, byte-for-byte as first computed.
+    pub body: Arc<[u8]>,
+}
+
+/// Outcome of a [`ResultCache::lookup`].
+#[derive(Debug)]
+pub enum CacheOutcome {
+    /// The exact request bytes were cached under the current generation.
+    Hit(Arc<CachedResponse>),
+    /// Nothing cached (or the cache was just invalidated); `invalidated`
+    /// reports how many entries a generation change dropped on the way.
+    Miss {
+        /// Entries dropped wholesale because the generation moved.
+        invalidated: usize,
+    },
+}
+
+struct Entry {
+    hash: u64,
+    request: Box<[u8]>,
+    response: Arc<CachedResponse>,
+    /// Accounted size: request + response bytes.
+    bytes: usize,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// Slab-backed LRU state under the lock.
+struct Inner {
+    /// The generation every entry is valid for.
+    generation: u64,
+    map: HashMap<u64, usize>,
+    slots: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Self {
+            generation: 0,
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let entry = self.slots[slot].as_ref().expect("linked slot");
+            (entry.prev, entry.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("prev slot").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("next slot").prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        {
+            let entry = self.slots[slot].as_mut().expect("slot to link");
+            entry.prev = NIL;
+            entry.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h].as_mut().expect("head slot").prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Remove the least-recently-used entry. Returns `false` on empty.
+    fn evict_tail(&mut self) -> bool {
+        let tail = self.tail;
+        if tail == NIL {
+            return false;
+        }
+        self.unlink(tail);
+        let entry = self.slots[tail].take().expect("tail slot");
+        self.map.remove(&entry.hash);
+        self.bytes -= entry.bytes;
+        self.free.push(tail);
+        true
+    }
+
+    fn clear(&mut self) -> usize {
+        let dropped = self.map.len();
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.bytes = 0;
+        dropped
+    }
+}
+
+/// The shared result cache. All methods are `&self`; the short critical
+/// sections (hash-map probe plus a few pointer swaps) sit behind one mutex.
+pub struct ResultCache {
+    config: CacheConfig,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// An empty cache tagged to generation 0.
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(Inner::new()),
+        }
+    }
+
+    /// The configuration this cache enforces.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Look up `request` under `generation`. A generation different from
+    /// the cache's tag drops every entry (reported in the miss) and
+    /// re-tags — invalidation-by-generation is this one branch.
+    pub fn lookup(&self, generation: u64, request: &[u8]) -> CacheOutcome {
+        if !self.config.enabled {
+            return CacheOutcome::Miss { invalidated: 0 };
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut invalidated = 0;
+        if inner.generation != generation {
+            invalidated = inner.clear();
+            inner.generation = generation;
+        }
+        let hash = xxh64(request, CACHE_HASH_SEED);
+        let Some(&slot) = inner.map.get(&hash) else {
+            return CacheOutcome::Miss { invalidated };
+        };
+        let matches = inner.slots[slot]
+            .as_ref()
+            .map(|e| e.request.as_ref() == request)
+            .unwrap_or(false);
+        if !matches {
+            // A different request collided into the same 64-bit hash:
+            // serve it fresh rather than serve the wrong bytes.
+            return CacheOutcome::Miss { invalidated };
+        }
+        inner.unlink(slot);
+        inner.push_front(slot);
+        let response = Arc::clone(&inner.slots[slot].as_ref().expect("hit slot").response);
+        CacheOutcome::Hit(response)
+    }
+
+    /// Insert a computed response. `generation` is the generation the
+    /// response was actually computed against (authoritative — taken from
+    /// the pinned snapshot, not from "now"): an insert tagged *older* than
+    /// the cache is dropped silently, one tagged *newer* re-tags the cache
+    /// first. Returns how many entries were evicted to make room (budget
+    /// evictions only — generation drops are reported by `lookup`).
+    pub fn insert(
+        &self,
+        generation: u64,
+        request: &[u8],
+        status: u16,
+        error: Option<ErrorCode>,
+        body: &[u8],
+    ) -> usize {
+        if !self.config.enabled {
+            return 0;
+        }
+        let bytes = request.len() + body.len();
+        if bytes > self.config.byte_budget || self.config.max_entries == 0 {
+            return 0; // larger than the whole budget: not cacheable
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if generation < inner.generation {
+            return 0; // computed against a superseded snapshot
+        }
+        if generation > inner.generation {
+            inner.clear();
+            inner.generation = generation;
+        }
+        let hash = xxh64(request, CACHE_HASH_SEED);
+        if let Some(&slot) = inner.map.get(&hash) {
+            // Already cached (e.g. two coalesced ticks raced the same
+            // request): refresh recency, keep the first bytes.
+            inner.unlink(slot);
+            inner.push_front(slot);
+            return 0;
+        }
+        let mut evicted = 0;
+        while inner.map.len() >= self.config.max_entries
+            || inner.bytes + bytes > self.config.byte_budget
+        {
+            if !inner.evict_tail() {
+                break;
+            }
+            evicted += 1;
+        }
+        let entry = Entry {
+            hash,
+            request: request.into(),
+            response: Arc::new(CachedResponse {
+                status,
+                error,
+                body: body.into(),
+            }),
+            bytes,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match inner.free.pop() {
+            Some(slot) => {
+                inner.slots[slot] = Some(entry);
+                slot
+            }
+            None => {
+                inner.slots.push(Some(entry));
+                inner.slots.len() - 1
+            }
+        };
+        inner.map.insert(hash, slot);
+        inner.bytes += bytes;
+        inner.push_front(slot);
+        evicted
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .map
+            .len()
+    }
+
+    /// `true` when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounted bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner()).bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(byte_budget: usize, max_entries: usize) -> ResultCache {
+        ResultCache::new(CacheConfig {
+            enabled: true,
+            byte_budget,
+            max_entries,
+        })
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bytes() {
+        let cache = cache(1 << 20, 16);
+        assert!(matches!(
+            cache.lookup(1, b"req"),
+            CacheOutcome::Miss { invalidated: 0 }
+        ));
+        cache.insert(1, b"req", 200, None, b"resp");
+        match cache.lookup(1, b"req") {
+            CacheOutcome::Hit(r) => {
+                assert_eq!(r.status, 200);
+                assert_eq!(&*r.body, b"resp");
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generation_bump_drops_everything() {
+        let cache = cache(1 << 20, 16);
+        cache.insert(1, b"a", 200, None, b"ra");
+        cache.insert(1, b"b", 200, None, b"rb");
+        assert_eq!(cache.len(), 2);
+        match cache.lookup(2, b"a") {
+            CacheOutcome::Miss { invalidated } => assert_eq!(invalidated, 2),
+            other => panic!("expected miss, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+        // Stale inserts (older generation) are dropped, newer re-tag.
+        cache.insert(1, b"stale", 200, None, b"r");
+        assert_eq!(cache.len(), 0);
+        cache.insert(3, b"fresh", 200, None, b"r");
+        assert!(matches!(cache.lookup(3, b"fresh"), CacheOutcome::Hit(_)));
+    }
+
+    #[test]
+    fn lru_evicts_by_entry_cap_in_recency_order() {
+        let cache = cache(1 << 20, 2);
+        cache.insert(1, b"a", 200, None, b"ra");
+        cache.insert(1, b"b", 200, None, b"rb");
+        // Touch `a` so `b` is the LRU.
+        assert!(matches!(cache.lookup(1, b"a"), CacheOutcome::Hit(_)));
+        let evicted = cache.insert(1, b"c", 200, None, b"rc");
+        assert_eq!(evicted, 1);
+        assert!(matches!(cache.lookup(1, b"b"), CacheOutcome::Miss { .. }));
+        assert!(matches!(cache.lookup(1, b"a"), CacheOutcome::Hit(_)));
+        assert!(matches!(cache.lookup(1, b"c"), CacheOutcome::Hit(_)));
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_cache() {
+        let cache = cache(64, 100);
+        cache.insert(1, b"aaaaaaaa", 200, None, &[b'x'; 24]); // 32 bytes
+        cache.insert(1, b"bbbbbbbb", 200, None, &[b'y'; 24]); // 32 bytes -> 64 total
+        assert_eq!(cache.bytes(), 64);
+        let evicted = cache.insert(1, b"cccccccc", 200, None, &[b'z'; 24]);
+        assert_eq!(evicted, 1, "budget full: LRU entry evicted");
+        assert!(cache.bytes() <= 64);
+        // An entry bigger than the whole budget is refused outright.
+        assert_eq!(cache.insert(1, b"dddddddd", 200, None, &[b'w'; 100]), 0);
+        assert!(matches!(
+            cache.lookup(1, b"dddddddd"),
+            CacheOutcome::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = ResultCache::new(CacheConfig {
+            enabled: false,
+            ..CacheConfig::default()
+        });
+        cache.insert(1, b"a", 200, None, b"ra");
+        assert!(matches!(
+            cache.lookup(1, b"a"),
+            CacheOutcome::Miss { invalidated: 0 }
+        ));
+        assert_eq!(cache.len(), 0);
+    }
+}

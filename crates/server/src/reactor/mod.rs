@@ -1,0 +1,975 @@
+//! The event-driven HTTP front end: an epoll readiness loop serving the
+//! read path of [`CmdlService`](crate::CmdlService) with request coalescing and a
+//! generation-keyed result cache.
+//!
+//! # Why a reactor
+//!
+//! The thread-pool adapter in [`crate::http`] dedicates a blocking worker
+//! thread to every live connection. That is simple and fast at small
+//! fan-in, but a fleet of idle keep-alive connections pins a stack each —
+//! the adapter *releases* idle connections on a read timeout precisely
+//! because it cannot afford to hold them. The reactor inverts the cost
+//! model: one loop thread owns every socket through a vendored epoll shim
+//! ([`sys`]), each connection is a small state machine ([`conn::Conn`])
+//! wrapping a resumable parser ([`parser::RequestParser`]), and ten
+//! thousand idle connections cost tens of megabytes, not ten thousand
+//! threads.
+//!
+//! # Request flow
+//!
+//! Readiness events are processed in **ticks** (one `epoll_wait` batch):
+//!
+//! 1. Readable connections feed their bytes into the resumable parser;
+//!    each completed request takes a sequence number on its connection
+//!    (responses must leave in request order even when they complete out
+//!    of order — [`conn::ResponseQueue`]).
+//! 2. `GET /metrics`, unroutable paths, and unframeable requests are
+//!    answered inline on the loop thread (identically to the thread-pool
+//!    adapter, including metrics recording).
+//! 3. Single `POST /query` requests first probe the [`cache::ResultCache`]
+//!    under the currently published generation: a hit completes inline
+//!    with the cached envelope bytes (an `Arc` clone, no copy, no
+//!    execution). Misses are **coalesced**: every missing `/query` in the
+//!    same tick is gathered into one executor job that pins *one* snapshot
+//!    and runs *one* [`CmdlService::execute_coalesced`](crate::CmdlService::execute_coalesced) sweep —
+//!    per-profile candidate generation amortizes across concurrent
+//!    requests exactly as it does across an explicit `/batch`.
+//! 4. Everything else (mutations, `/batch`, `/stats`, …) dispatches to a
+//!    small executor pool as an individual [`CmdlService::handle_json`](crate::CmdlService::handle_json)
+//!    call — mutations keep routing through the existing writer gate; the
+//!    reactor owns read traffic, not write semantics.
+//!
+//! Completions return to the loop through an [`sys::EventFd`] wakeup and
+//! are spliced into their connection's response queue.
+//!
+//! # Deadlines
+//!
+//! Three per-connection deadlines guard the loop, tracked in one lazy
+//! binary heap: a **read deadline** armed when framing starts and *not*
+//! refreshed by trickled bytes (a slow-loris peer dripping one header byte
+//! per second is reaped after `read_deadline`, while idle keep-alive
+//! connections are untouched); a **write deadline** while response bytes
+//! are buffered; and an **idle timeout** for keep-alive sessions.
+
+pub mod cache;
+pub mod conn;
+pub mod parser;
+#[cfg(target_os = "linux")]
+pub mod sys;
+
+use std::time::Duration;
+
+use crate::reactor::cache::CacheConfig;
+
+/// Configuration of the reactor front end.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral loopback port).
+    pub addr: String,
+    /// Open-connection cap; connections beyond it are shed with `429`.
+    pub max_connections: usize,
+    /// Executor threads running service calls off the loop thread.
+    pub executor_threads: usize,
+    /// Deadline for completing a request whose framing has started — the
+    /// slow-loris bound. Also bounds how long a peer may take to drain
+    /// buffered response bytes.
+    pub read_deadline: Duration,
+    /// How long an idle keep-alive connection is held before being reaped.
+    pub idle_timeout: Duration,
+    /// Result-cache sizing (set `enabled: false` to measure cold paths).
+    pub cache: CacheConfig,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 16_384,
+            executor_threads: 4,
+            read_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(120),
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+pub use serve::{serve_reactor, ReactorHandle};
+
+#[cfg(target_os = "linux")]
+mod serve {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::{mpsc, Arc, Mutex};
+    use std::thread::JoinHandle;
+    use std::time::{Duration, Instant};
+
+    use cmdl_core::{DiscoveryQuery, ErrorCode};
+
+    use super::ReactorConfig;
+    use crate::api::{http_status, ServiceError, ServiceRequest, ServiceResponse};
+    use crate::http::{format_response_head, route_envelope};
+    use crate::reactor::cache::{CacheOutcome, ResultCache};
+    use crate::reactor::conn::{Body, Conn, ConnPhase, Outgoing};
+    use crate::reactor::parser::{ParseEvent, ParsedRequest};
+    use crate::reactor::sys::{
+        Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+    };
+    use crate::service::{serialize_response, CmdlService};
+
+    const TOKEN_LISTENER: u64 = u64::MAX;
+    const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+    fn token_for(idx: usize, epoch: u32) -> u64 {
+        (idx as u64) | ((epoch as u64) << 32)
+    }
+
+    fn slot_of(token: u64) -> usize {
+        (token & 0xFFFF_FFFF) as usize
+    }
+
+    fn epoch_of(token: u64) -> u32 {
+        (token >> 32) as u32
+    }
+
+    /// One `/query` awaiting the tick's coalesced execution.
+    struct QueryItem {
+        token: u64,
+        seq: u64,
+        body: Vec<u8>,
+        keep_alive: bool,
+    }
+
+    /// Work shipped to the executor pool.
+    enum Job {
+        /// One non-`/query` request: splice + `handle_json`, exactly the
+        /// thread-pool path.
+        Single {
+            token: u64,
+            seq: u64,
+            envelope: String,
+            keep_alive: bool,
+        },
+        /// Every cache-missing `/query` gathered in one readiness tick.
+        Coalesce { items: Vec<QueryItem> },
+    }
+
+    /// A finished executor job item, headed back to the loop thread.
+    struct Completion {
+        token: u64,
+        seq: u64,
+        status: u16,
+        body: Body,
+        keep_alive: bool,
+    }
+
+    /// State shared between the handle, the loop thread, and the workers.
+    struct Shared {
+        shutdown: AtomicBool,
+        /// Grace the loop grants in-flight work once it observes shutdown.
+        drain_grace_ms: AtomicU64,
+        wake: EventFd,
+        completions: Mutex<Vec<Completion>>,
+    }
+
+    /// One connection slot. The epoch increments on every close so stale
+    /// epoll events and late completions for a recycled slot are ignored.
+    struct Slot {
+        epoch: u32,
+        conn: Option<Conn>,
+    }
+
+    /// A running reactor. Dropping the handle without calling
+    /// [`shutdown`](ReactorHandle::shutdown) leaves the threads running for
+    /// the process lifetime.
+    pub struct ReactorHandle {
+        addr: SocketAddr,
+        shared: Arc<Shared>,
+        loop_thread: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+        service: Arc<CmdlService>,
+        cache: Arc<ResultCache>,
+    }
+
+    impl ReactorHandle {
+        /// The bound address (useful with an ephemeral port).
+        pub fn addr(&self) -> SocketAddr {
+            self.addr
+        }
+
+        /// The result cache (tests inspect occupancy; sharing the `Arc`
+        /// keeps it observable after shutdown).
+        pub fn cache(&self) -> &Arc<ResultCache> {
+            &self.cache
+        }
+
+        /// Graceful shutdown with a 30-second join bound: see
+        /// [`shutdown_within`](ReactorHandle::shutdown_within).
+        pub fn shutdown(self) -> bool {
+            self.shutdown_within(Duration::from_secs(30))
+        }
+
+        /// Gracefully stop serving:
+        ///
+        /// 1. stop accepting and close idle keep-alive connections;
+        /// 2. drain in-flight work — requests already parsed are executed
+        ///    and answered with `Connection: close`, bounded by a grace
+        ///    period (≤ 5 s, clamped to `timeout`);
+        /// 3. join the loop and executor threads, bounded by `timeout`
+        ///    (stragglers are detached rather than hanging shutdown);
+        /// 4. flush the writer queue — acknowledged mutations are applied
+        ///    and fsynced before this returns.
+        ///
+        /// Returns `true` when every thread joined within the bound.
+        pub fn shutdown_within(mut self, timeout: Duration) -> bool {
+            let deadline = Instant::now() + timeout;
+            let grace = timeout.min(Duration::from_secs(5));
+            self.shared
+                .drain_grace_ms
+                .store(grace.as_millis() as u64, Ordering::Relaxed);
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.wake.signal();
+            let mut all_joined = true;
+            if let Some(thread) = self.loop_thread.take() {
+                all_joined &= join_within(thread, deadline);
+            }
+            for worker in self.workers.drain(..) {
+                all_joined &= join_within(worker, deadline);
+            }
+            self.service.flush();
+            all_joined
+        }
+    }
+
+    fn join_within(handle: JoinHandle<()>, deadline: Instant) -> bool {
+        loop {
+            if handle.is_finished() {
+                let _ = handle.join();
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false; // detach: exits with the process
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Bind and serve a [`CmdlService`](crate::CmdlService) through the reactor.
+    pub fn serve_reactor(
+        service: Arc<CmdlService>,
+        config: ReactorConfig,
+    ) -> std::io::Result<ReactorHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let epoll = Epoll::new()?;
+        let wake = EventFd::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            drain_grace_ms: AtomicU64::new(2_000),
+            wake,
+            completions: Mutex::new(Vec::new()),
+        });
+        let cache = Arc::new(ResultCache::new(config.cache.clone()));
+
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+        let mut workers = Vec::with_capacity(config.executor_threads.max(1));
+        for _ in 0..config.executor_threads.max(1) {
+            let service = Arc::clone(&service);
+            let cache = Arc::clone(&cache);
+            let shared = Arc::clone(&shared);
+            let jobs_rx = Arc::clone(&jobs_rx);
+            workers.push(std::thread::spawn(move || {
+                run_worker(&service, &cache, &shared, &jobs_rx)
+            }));
+        }
+
+        let reactor = Reactor {
+            epoll,
+            listener,
+            slots: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            heap: BinaryHeap::new(),
+            dirty: Vec::new(),
+            tick_queries: Vec::new(),
+            service: Arc::clone(&service),
+            cache: Arc::clone(&cache),
+            shared: Arc::clone(&shared),
+            jobs: jobs_tx,
+            config,
+            draining: None,
+        };
+        let loop_thread = std::thread::spawn(move || reactor.run());
+
+        Ok(ReactorHandle {
+            addr,
+            shared,
+            loop_thread: Some(loop_thread),
+            workers,
+            service,
+            cache,
+        })
+    }
+
+    // ---------------------------------------------------------------
+    // Executor workers
+    // ---------------------------------------------------------------
+
+    fn run_worker(
+        service: &CmdlService,
+        cache: &ResultCache,
+        shared: &Shared,
+        jobs: &Mutex<mpsc::Receiver<Job>>,
+    ) {
+        loop {
+            // Standard shared-receiver pattern: the lock is held only while
+            // *waiting*; job execution happens outside it, so workers run
+            // concurrently.
+            let job = match jobs.lock().unwrap_or_else(|p| p.into_inner()).recv() {
+                Ok(job) => job,
+                Err(_) => return, // loop thread gone: no more work
+            };
+            // Panic isolation: a panicking request costs its own job an
+            // `Internal` envelope, not an executor thread.
+            let owed: Vec<(u64, u64, bool)> = match &job {
+                Job::Single {
+                    token,
+                    seq,
+                    keep_alive,
+                    ..
+                } => vec![(*token, *seq, *keep_alive)],
+                Job::Coalesce { items } => items
+                    .iter()
+                    .map(|i| (i.token, i.seq, i.keep_alive))
+                    .collect(),
+            };
+            let completions = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_job(service, cache, job)
+            }))
+            .unwrap_or_else(|_| {
+                let body = serialize_response(&ServiceResponse::failure(ServiceError::new(
+                    ErrorCode::Internal,
+                )));
+                owed.into_iter()
+                    .map(|(token, seq, keep_alive)| Completion {
+                        token,
+                        seq,
+                        status: 500,
+                        body: Body::Owned(body.clone()),
+                        keep_alive,
+                    })
+                    .collect()
+            });
+            shared
+                .completions
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .extend(completions);
+            shared.wake.signal();
+        }
+    }
+
+    fn execute_job(service: &CmdlService, cache: &ResultCache, job: Job) -> Vec<Completion> {
+        match job {
+            Job::Single {
+                token,
+                seq,
+                envelope,
+                keep_alive,
+            } => {
+                let response = service.handle_json(envelope.as_bytes());
+                let status = response.error_code().map(http_status).unwrap_or(200);
+                vec![Completion {
+                    token,
+                    seq,
+                    status,
+                    body: Body::Owned(serialize_response(&response)),
+                    keep_alive,
+                }]
+            }
+            Job::Coalesce { items } => {
+                // Splice each body into the same `{"Query": …}` envelope the
+                // thread-pool adapter builds, so a body that fails to parse
+                // falls back to `handle_json` and yields the byte-identical
+                // `MalformedRequest` envelope (and identical metrics).
+                let mut queries: Vec<DiscoveryQuery> = Vec::with_capacity(items.len());
+                let mut plan: Vec<Result<usize, String>> = Vec::with_capacity(items.len());
+                for item in &items {
+                    let envelope = format!("{{\"Query\":{}}}", String::from_utf8_lossy(&item.body));
+                    match serde_json::from_str::<ServiceRequest>(&envelope) {
+                        Ok(ServiceRequest::Query(query)) => {
+                            plan.push(Ok(queries.len()));
+                            queries.push(query);
+                        }
+                        _ => plan.push(Err(envelope)),
+                    }
+                }
+                let (generation, responses) = if queries.is_empty() {
+                    (0, Vec::new())
+                } else {
+                    service.execute_coalesced(&queries)
+                };
+                let mut response_iter = responses.into_iter();
+                items
+                    .iter()
+                    .zip(plan)
+                    .map(|(item, step)| {
+                        let (response, cacheable) = match step {
+                            Ok(_) => (response_iter.next().expect("response per query"), true),
+                            Err(envelope) => (service.handle_json(envelope.as_bytes()), false),
+                        };
+                        let status = response.error_code().map(http_status).unwrap_or(200);
+                        let bytes = serialize_response(&response);
+                        if cacheable {
+                            let evicted = cache.insert(
+                                generation,
+                                &item.body,
+                                status,
+                                response.error_code(),
+                                &bytes,
+                            );
+                            if evicted > 0 {
+                                service.metrics().record_cache_evicted(evicted);
+                            }
+                        }
+                        Completion {
+                            token: item.token,
+                            seq: item.seq,
+                            status,
+                            body: Body::Owned(bytes),
+                            keep_alive: item.keep_alive,
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // The event loop
+    // ---------------------------------------------------------------
+
+    struct Reactor {
+        epoll: Epoll,
+        listener: TcpListener,
+        slots: Vec<Slot>,
+        free: Vec<usize>,
+        open: usize,
+        /// Lazily invalidated deadline heap: entries are validated against
+        /// the connection's *current* deadline when they pop, so re-arming
+        /// never needs to find and remove stale entries.
+        heap: BinaryHeap<Reverse<(Instant, u64)>>,
+        /// Connections whose response queues may have releasable items.
+        dirty: Vec<u64>,
+        /// `/query` cache misses gathered during the current tick.
+        tick_queries: Vec<QueryItem>,
+        service: Arc<CmdlService>,
+        cache: Arc<ResultCache>,
+        shared: Arc<Shared>,
+        jobs: mpsc::Sender<Job>,
+        config: ReactorConfig,
+        /// Set once shutdown is observed: the drain deadline.
+        draining: Option<Instant>,
+    }
+
+    impl Reactor {
+        fn run(mut self) {
+            let mut events = vec![EpollEvent { events: 0, data: 0 }; 1024];
+            let mut scratch = vec![0u8; 64 * 1024];
+            loop {
+                if self.draining.is_none() && self.shared.shutdown.load(Ordering::Acquire) {
+                    self.begin_drain();
+                }
+                if let Some(deadline) = self.draining {
+                    if self.open == 0 || Instant::now() >= deadline {
+                        return;
+                    }
+                }
+                let n = match self.epoll.wait(&mut events, Some(self.next_timeout())) {
+                    Ok(n) => n,
+                    Err(_) => continue,
+                };
+                let now = Instant::now();
+                for event in &events[..n] {
+                    match event.token() {
+                        TOKEN_LISTENER => self.accept_ready(now),
+                        TOKEN_WAKE => self.shared.wake.drain(),
+                        token => self.conn_ready(token, event.readiness(), now, &mut scratch),
+                    }
+                }
+                self.drain_completions();
+                // The coalescing window closes with the tick: every /query
+                // that missed the cache in this batch of readiness events
+                // rides one executor job and one pinned snapshot.
+                if !self.tick_queries.is_empty() {
+                    let items = std::mem::take(&mut self.tick_queries);
+                    let _ = self.jobs.send(Job::Coalesce { items });
+                }
+                self.pump_dirty(now);
+                self.reap_deadlines(now);
+            }
+        }
+
+        fn next_timeout(&self) -> Duration {
+            let base = if self.draining.is_some() {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(250)
+            };
+            match self.heap.peek() {
+                Some(&Reverse((when, _))) => when
+                    .saturating_duration_since(Instant::now())
+                    .min(base)
+                    .max(Duration::from_millis(1)),
+                None => base,
+            }
+        }
+
+        fn begin_drain(&mut self) {
+            let grace = Duration::from_millis(self.shared.drain_grace_ms.load(Ordering::Relaxed));
+            self.draining = Some(Instant::now() + grace);
+            let _ = self.epoll.delete(self.listener.as_raw_fd());
+            for idx in 0..self.slots.len() {
+                let is_idle = self.slots[idx]
+                    .conn
+                    .as_ref()
+                    .map(|c| c.phase() == ConnPhase::Idle)
+                    .unwrap_or(false);
+                if is_idle {
+                    self.close(idx);
+                }
+            }
+        }
+
+        fn accept_ready(&mut self, now: Instant) {
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if self.draining.is_some() || self.open >= self.config.max_connections {
+                            self.shed(stream);
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let idx = match self.free.pop() {
+                            Some(idx) => idx,
+                            None => {
+                                self.slots.push(Slot {
+                                    epoch: 0,
+                                    conn: None,
+                                });
+                                self.slots.len() - 1
+                            }
+                        };
+                        let interest = EPOLLIN | EPOLLRDHUP;
+                        let token = token_for(idx, self.slots[idx].epoch);
+                        if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+                            self.free.push(idx);
+                            continue;
+                        }
+                        self.slots[idx].conn = Some(Conn::new(stream, now, interest));
+                        self.open += 1;
+                        self.service.metrics().reactor_conn_opened();
+                        self.arm_deadline(idx, now);
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        /// Answer `429 Overloaded` to a connection over the cap, best
+        /// effort (the envelope fits the socket send buffer), and close.
+        fn shed(&self, stream: TcpStream) {
+            self.service
+                .metrics()
+                .record_transport("shed", Some(ErrorCode::Overloaded));
+            let response = ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::Overloaded,
+                "connection limit reached",
+            ));
+            let body = serialize_response(&response);
+            let head = format_response_head(429, "application/json", body.len(), false);
+            let mut stream = stream;
+            let _ = stream.set_nonblocking(true);
+            let _ = stream
+                .write_all(head.as_bytes())
+                .and_then(|()| stream.write_all(&body));
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+        }
+
+        fn conn_ready(&mut self, token: u64, readiness: u32, now: Instant, scratch: &mut [u8]) {
+            let idx = slot_of(token);
+            if idx >= self.slots.len()
+                || self.slots[idx].epoch != epoch_of(token)
+                || self.slots[idx].conn.is_none()
+            {
+                return; // stale event for a recycled slot
+            }
+            if readiness & (EPOLLERR | EPOLLHUP) != 0 {
+                self.close(idx);
+                return;
+            }
+            if readiness & (EPOLLIN | EPOLLRDHUP) != 0 {
+                self.readable(idx, token, now, scratch);
+            }
+            if self.slots[idx].conn.is_some() && readiness & EPOLLOUT != 0 {
+                self.dirty.push(token);
+            }
+        }
+
+        fn readable(&mut self, idx: usize, token: u64, now: Instant, scratch: &mut [u8]) {
+            let mut failed = false;
+            {
+                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                loop {
+                    match conn.stream.read(scratch) {
+                        Ok(0) => {
+                            conn.eof = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            if conn.stop_after.is_some() {
+                                // A close-forcing request already stops the
+                                // session: discard pipelined bytes behind it
+                                // (reading them out avoids an RST racing the
+                                // final response).
+                                continue;
+                            }
+                            if conn.parser.feed(&scratch[..n]).is_err() {
+                                // Framing violation: the stream position is
+                                // undefined, so close without a response —
+                                // the same observable behavior as the
+                                // thread-pool adapter.
+                                failed = true;
+                                break;
+                            }
+                        }
+                        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if failed {
+                self.close(idx);
+                return;
+            }
+            loop {
+                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                let Some(event) = conn.parser.next_event() else {
+                    break;
+                };
+                if conn.stop_after.is_some() {
+                    continue; // pipelined behind a forced close: dropped
+                }
+                let seq = conn.queue.assign();
+                match event {
+                    ParseEvent::Continue100 => {
+                        conn.queue
+                            .complete(seq, Outgoing::Raw(b"HTTP/1.1 100 Continue\r\n\r\n"));
+                        self.dirty.push(token);
+                    }
+                    ParseEvent::Request(request) => {
+                        if !request.keep_alive {
+                            conn.stop_after = Some(seq);
+                        }
+                        self.dispatch(idx, token, seq, request);
+                    }
+                }
+            }
+            {
+                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                if conn.parser.mid_request() {
+                    // Slow-loris guard: armed when framing starts, never
+                    // refreshed by subsequent trickled bytes.
+                    if conn.read_deadline.is_none() {
+                        conn.read_deadline = Some(now + self.config.read_deadline);
+                    }
+                } else {
+                    conn.read_deadline = None;
+                }
+            }
+            self.dirty.push(token);
+            self.arm_deadline(idx, now);
+        }
+
+        /// Route one parsed request: inline for transport-level answers and
+        /// cache hits, executor job otherwise.
+        fn dispatch(&mut self, idx: usize, token: u64, seq: u64, request: ParsedRequest) {
+            let service = Arc::clone(&self.service);
+            if request.unsupported_encoding {
+                let response = ServiceResponse::failure(ServiceError::with_subject(
+                    ErrorCode::MalformedRequest,
+                    "transfer-encoding is not supported; frame bodies with content-length",
+                ));
+                service
+                    .metrics()
+                    .record_transport("malformed", Some(ErrorCode::MalformedRequest));
+                self.complete_local(
+                    idx,
+                    token,
+                    seq,
+                    Outgoing::Response {
+                        status: 400,
+                        content_type: "application/json",
+                        body: Body::Owned(serialize_response(&response)),
+                        keep_alive: false,
+                    },
+                );
+                return;
+            }
+            if (request.method.as_str(), request.path.as_str()) == ("GET", "/metrics") {
+                // Render before recording, like the thread-pool adapter: the
+                // scrape does not count itself.
+                let out = service.render_metrics();
+                service.metrics().record_transport("metrics", None);
+                self.complete_local(
+                    idx,
+                    token,
+                    seq,
+                    Outgoing::Response {
+                        status: 200,
+                        content_type: "text/plain; version=0.0.4",
+                        body: Body::Owned(out.into_bytes()),
+                        keep_alive: request.keep_alive,
+                    },
+                );
+                return;
+            }
+            if (request.method.as_str(), request.path.as_str()) == ("POST", "/query") {
+                let generation = service.published_generation();
+                match self.cache.lookup(generation, &request.body) {
+                    CacheOutcome::Hit(cached) => {
+                        let metrics = service.metrics();
+                        metrics.record_cache_hit();
+                        // A hit is still a served query: keep the request
+                        // counters truthful (sub-microsecond latency).
+                        metrics.record("query", 1, cached.error);
+                        self.complete_local(
+                            idx,
+                            token,
+                            seq,
+                            Outgoing::Response {
+                                status: cached.status,
+                                content_type: "application/json",
+                                body: Body::Shared(Arc::clone(&cached.body)),
+                                keep_alive: request.keep_alive,
+                            },
+                        );
+                    }
+                    CacheOutcome::Miss { invalidated } => {
+                        let metrics = service.metrics();
+                        metrics.record_cache_miss();
+                        if invalidated > 0 {
+                            metrics.record_cache_invalidated(invalidated);
+                        }
+                        self.tick_queries.push(QueryItem {
+                            token,
+                            seq,
+                            body: request.body,
+                            keep_alive: request.keep_alive,
+                        });
+                    }
+                }
+                return;
+            }
+            let body = String::from_utf8_lossy(&request.body);
+            match route_envelope(&request.method, &request.path, &body) {
+                None => {
+                    let response = ServiceResponse::failure(ServiceError::with_subject(
+                        ErrorCode::UnknownRoute,
+                        format!("{} {}", request.method, request.path),
+                    ));
+                    service
+                        .metrics()
+                        .record_transport("unknown_route", Some(ErrorCode::UnknownRoute));
+                    self.complete_local(
+                        idx,
+                        token,
+                        seq,
+                        Outgoing::Response {
+                            status: http_status(ErrorCode::UnknownRoute),
+                            content_type: "application/json",
+                            body: Body::Owned(serialize_response(&response)),
+                            keep_alive: request.keep_alive,
+                        },
+                    );
+                }
+                Some(envelope) => {
+                    let _ = self.jobs.send(Job::Single {
+                        token,
+                        seq,
+                        envelope,
+                        keep_alive: request.keep_alive,
+                    });
+                }
+            }
+        }
+
+        fn complete_local(&mut self, idx: usize, token: u64, seq: u64, item: Outgoing) {
+            let conn = self.slots[idx].conn.as_mut().expect("live conn");
+            conn.queue.complete(seq, item);
+            self.dirty.push(token);
+        }
+
+        fn drain_completions(&mut self) {
+            let completions = std::mem::take(
+                &mut *self
+                    .shared
+                    .completions
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner()),
+            );
+            for completion in completions {
+                let idx = slot_of(completion.token);
+                if idx >= self.slots.len() || self.slots[idx].epoch != epoch_of(completion.token) {
+                    continue; // the connection died while the job ran
+                }
+                let Some(conn) = self.slots[idx].conn.as_mut() else {
+                    continue;
+                };
+                conn.queue.complete(
+                    completion.seq,
+                    Outgoing::Response {
+                        status: completion.status,
+                        content_type: "application/json",
+                        body: completion.body,
+                        keep_alive: completion.keep_alive,
+                    },
+                );
+                self.dirty.push(completion.token);
+            }
+        }
+
+        /// Release in-order responses into write buffers and flush.
+        fn pump_dirty(&mut self, now: Instant) {
+            let dirty = std::mem::take(&mut self.dirty);
+            for token in dirty {
+                let idx = slot_of(token);
+                if idx >= self.slots.len()
+                    || self.slots[idx].epoch != epoch_of(token)
+                    || self.slots[idx].conn.is_none()
+                {
+                    continue; // closed earlier in this pass (duplicates are fine)
+                }
+                self.pump_conn(idx, now);
+            }
+        }
+
+        fn pump_conn(&mut self, idx: usize, now: Instant) {
+            let force_close = self.draining.is_some();
+            let mut close = false;
+            {
+                let conn = self.slots[idx].conn.as_mut().expect("live conn");
+                while let Some(item) = conn.queue.pop_in_order() {
+                    conn.enqueue_write(item, force_close);
+                }
+                match conn.try_flush() {
+                    Err(_) => close = true,
+                    Ok(true) => {
+                        conn.write_deadline = None;
+                        if conn.close_after_flush || (conn.eof && conn.queue.pending() == 0) {
+                            close = true;
+                        } else if conn.phase() == ConnPhase::Idle {
+                            conn.idle_since = now;
+                        }
+                    }
+                    Ok(false) => {
+                        if conn.write_deadline.is_none() {
+                            conn.write_deadline = Some(now + self.config.read_deadline);
+                        }
+                    }
+                }
+            }
+            if close {
+                self.close(idx);
+                return;
+            }
+            self.update_interest(idx);
+            self.arm_deadline(idx, now);
+        }
+
+        fn update_interest(&mut self, idx: usize) {
+            let token = token_for(idx, self.slots[idx].epoch);
+            let conn = self.slots[idx].conn.as_mut().expect("live conn");
+            let mut want = EPOLLRDHUP;
+            if !conn.eof {
+                want |= EPOLLIN;
+            }
+            if conn.unflushed() > 0 {
+                want |= EPOLLOUT;
+            }
+            if want != conn.interest
+                && self
+                    .epoll
+                    .modify(conn.stream.as_raw_fd(), want, token)
+                    .is_ok()
+            {
+                conn.interest = want;
+            }
+        }
+
+        fn arm_deadline(&mut self, idx: usize, _now: Instant) {
+            let token = token_for(idx, self.slots[idx].epoch);
+            let Some(conn) = self.slots[idx].conn.as_ref() else {
+                return;
+            };
+            if let Some(when) = conn.deadline(Some(self.config.idle_timeout)) {
+                self.heap.push(Reverse((when, token)));
+            }
+        }
+
+        fn reap_deadlines(&mut self, now: Instant) {
+            while let Some(&Reverse((when, token))) = self.heap.peek() {
+                if when > now {
+                    break;
+                }
+                self.heap.pop();
+                let idx = slot_of(token);
+                if idx >= self.slots.len() || self.slots[idx].epoch != epoch_of(token) {
+                    continue; // stale: the connection already closed
+                }
+                let Some(conn) = self.slots[idx].conn.as_ref() else {
+                    continue;
+                };
+                // Lazy invalidation: re-derive the connection's *current*
+                // deadline — activity since arming may have pushed it out.
+                match conn.deadline(Some(self.config.idle_timeout)) {
+                    Some(actual) if actual <= now => {
+                        self.service.metrics().reactor_conn_reaped();
+                        self.close(idx);
+                    }
+                    Some(actual) => self.heap.push(Reverse((actual, token))),
+                    None => {}
+                }
+            }
+        }
+
+        fn close(&mut self, idx: usize) {
+            let Some(conn) = self.slots[idx].conn.take() else {
+                return;
+            };
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.slots[idx].epoch = self.slots[idx].epoch.wrapping_add(1);
+            self.free.push(idx);
+            self.open -= 1;
+            self.service.metrics().reactor_conn_closed();
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! A thin vendored epoll shim: raw `epoll_create1`/`epoll_ctl`/`epoll_wait`
+//! (plus `eventfd` for cross-thread wakeups) declared directly against the
+//! C runtime the Rust standard library already links on Linux. No `libc`
+//! crate — the four symbols below are the entire foreign surface of the
+//! reactor, and file-descriptor lifetimes are owned by
+//! [`std::os::fd::OwnedFd`] so closing stays in safe std code.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`) — always reported, never needs arming.
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hangup (`EPOLLHUP`) — always reported, never needs arming.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write side (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+/// One `struct epoll_event`. On x86-64 the kernel ABI packs it (no padding
+/// between `events` and `data`); other architectures use natural layout.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bitmask (`EPOLLIN | …`).
+    pub events: u32,
+    /// Caller-owned token, echoed back verbatim by `epoll_wait`.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// The event's readiness mask (copied out of the possibly-packed field).
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+
+    /// The event's token (copied out of the possibly-packed field).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// `epoll_create1(EPOLL_CLOEXEC)`.
+    pub fn new() -> io::Result<Self> {
+        let raw = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: `epoll_create1` returned a fresh fd we now own.
+        Ok(Self {
+            fd: unsafe { OwnedFd::from_raw_fd(raw) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        let event_ptr = if op == EPOLL_CTL_DEL {
+            std::ptr::null_mut()
+        } else {
+            &mut event
+        };
+        check(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, event_ptr) }).map(drop)
+    }
+
+    /// Register `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Change the interest mask of a registered `fd`.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregister `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait for readiness, filling `events` and returning how many fired.
+    /// `timeout` of `None` blocks forever; `Some(d)` is rounded up to whole
+    /// milliseconds so a 1 ns deadline does not spin at timeout 0.
+    pub fn wait(
+        &self,
+        events: &mut [EpollEvent],
+        timeout: Option<std::time::Duration>,
+    ) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(d) => {
+                let ms = d.as_millis();
+                let rounded = if d.subsec_nanos() % 1_000_000 != 0 {
+                    ms + 1
+                } else {
+                    ms
+                };
+                rounded.min(i32::MAX as u128) as i32
+            }
+        };
+        loop {
+            let ret = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            if ret < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            return Ok(ret as usize);
+        }
+    }
+}
+
+/// An owned `eventfd` used to wake the reactor loop from executor threads.
+/// Reads and writes go through [`std::fs::File`] so no foreign read/write
+/// symbols are needed.
+pub struct EventFd {
+    file: std::fs::File,
+}
+
+impl EventFd {
+    /// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+    pub fn new() -> io::Result<Self> {
+        let raw = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: `eventfd` returned a fresh fd; File takes ownership.
+        Ok(Self {
+            file: unsafe { std::fs::File::from_raw_fd(raw) },
+        })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw_fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+
+    /// Signal the eventfd (adds 1 to the counter, waking any epoll waiter).
+    /// Infallible from the caller's view: a full counter (`EAGAIN`) already
+    /// means the waiter has a pending wakeup.
+    pub fn signal(&self) {
+        use std::io::Write;
+        let _ = (&self.file).write_all(&1u64.to_ne_bytes());
+    }
+
+    /// Drain the counter so the next `signal` re-arms readiness.
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 8];
+        let _ = (&self.file).read(&mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn eventfd_wakes_epoll() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let efd = EventFd::new().expect("eventfd");
+        epoll.add(efd.raw_fd(), EPOLLIN, 42).expect("add");
+
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing signalled yet: times out empty.
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        efd.signal();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+
+        // Drained, the readiness clears (level-triggered).
+        efd.drain();
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+
+        // Deregistered fds never fire.
+        efd.signal();
+        epoll.delete(efd.raw_fd()).expect("del");
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let epoll = Epoll::new().expect("epoll_create1");
+        let efd = EventFd::new().expect("eventfd");
+        epoll.add(efd.raw_fd(), EPOLLIN, 7).expect("add");
+        efd.signal();
+        // Re-arm for EPOLLOUT only: an eventfd below its max counter is
+        // always writable, so the event fires with the new token.
+        epoll.modify(efd.raw_fd(), EPOLLOUT, 8).expect("mod");
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        let n = epoll
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 8);
+        assert_ne!(events[0].readiness() & EPOLLOUT, 0);
+    }
+}

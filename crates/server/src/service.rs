@@ -313,6 +313,65 @@ impl CmdlService {
         self.metrics.render(generation, pressure)
     }
 
+    /// The generation of the currently published snapshot, without cloning
+    /// it — the reactor's result cache keys on this before deciding whether
+    /// a cached response is still current.
+    pub fn published_generation(&self) -> u64 {
+        match &self.backend {
+            Backend::Single(gate) => {
+                gate.published
+                    .read()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .generation
+            }
+            Backend::Sharded(gate) => {
+                gate.published
+                    .read()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .generation
+            }
+        }
+    }
+
+    /// Execute a batch of *independent single queries* — gathered by the
+    /// reactor from concurrent connections in one readiness tick — against
+    /// **one** pinned snapshot, and wrap each outcome in its own
+    /// [`ServiceResponse`] envelope exactly as [`handle`](Self::handle)
+    /// would for a `Query` request.
+    ///
+    /// This is the coalescing half of the event-driven front end: N
+    /// requests pay one snapshot pin and one `execute_many` sweep (which
+    /// amortizes per-weight-profile candidate generation across the batch)
+    /// instead of N independent `execute` calls. Per-query metrics are
+    /// recorded under the `query` kind with the batch elapsed time
+    /// apportioned evenly, plus one sample in the coalesced-batch-size
+    /// histogram.
+    ///
+    /// Returns the pinned generation (for result-cache tagging) alongside
+    /// the responses, which are index-aligned with `queries`.
+    pub fn execute_coalesced(&self, queries: &[DiscoveryQuery]) -> (u64, Vec<ServiceResponse>) {
+        let started = Instant::now();
+        let view = self.view();
+        let generation = view.generation();
+        let outcomes = view.execute_many(queries);
+        let per_query_micros =
+            (started.elapsed().as_micros() as u64) / (queries.len().max(1) as u64);
+        self.metrics.record_coalesce(queries.len());
+        let responses = outcomes
+            .into_iter()
+            .map(|outcome| {
+                let response = match outcome {
+                    Ok(inner) => ServiceResponse::success(ResponsePayload::Query(inner)),
+                    Err(error) => ServiceResponse::failure(error.into()),
+                };
+                self.metrics
+                    .record("query", per_query_micros, response.error_code());
+                response
+            })
+            .collect();
+        (generation, responses)
+    }
+
     /// Route one typed request. Reads execute against a pinned snapshot;
     /// mutations go through the active backend's writer path.
     pub fn handle(&self, request: ServiceRequest) -> ServiceResponse {

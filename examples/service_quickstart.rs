@@ -1,19 +1,53 @@
 //! Service quickstart: stand up the transport-agnostic `CmdlService` over a
 //! synthetic pharma lake, drive it in-process through the bytes-in/bytes-out
-//! JSON contract, then boot the std-only HTTP adapter on a loopback port and
+//! JSON contract, then boot an HTTP front end on a loopback port and
 //! issue the same requests over a socket (skipped gracefully when the
 //! environment denies loopback binds).
 //!
 //! Run with: `cargo run --example service_quickstart`
+//!
+//! Pick the transport with `-- --transport pool` (fixed thread pool, the
+//! default) or `-- --transport reactor` (epoll readiness loop with request
+//! coalescing and the generation-keyed result cache; Linux only). Both
+//! serve the identical route surface byte-for-byte.
 
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
 use cmdl::core::{Cmdl, CmdlConfig, QueryBuilder};
 use cmdl::datalake::{synth, Column, Table};
 use cmdl::server::{serve, CmdlService, HttpConfig, ServiceRequest};
+
+/// The two HTTP front ends, selected by `--transport`.
+enum Transport {
+    Pool(cmdl::server::HttpHandle),
+    #[cfg(target_os = "linux")]
+    Reactor(cmdl::server::ReactorHandle),
+}
+
+impl Transport {
+    fn addr(&self) -> SocketAddr {
+        match self {
+            Transport::Pool(handle) => handle.addr(),
+            #[cfg(target_os = "linux")]
+            Transport::Reactor(handle) => handle.addr(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Transport::Pool(handle) => {
+                handle.shutdown();
+            }
+            #[cfg(target_os = "linux")]
+            Transport::Reactor(handle) => {
+                handle.shutdown();
+            }
+        }
+    }
+}
 
 fn main() {
     // 1. Build the catalog and wrap it as a service.
@@ -43,17 +77,34 @@ fn main() {
     let stats = service.handle_json_bytes(br#""Stats""#);
     println!("stats -> {}", String::from_utf8_lossy(&stats));
 
-    // 4. The HTTP adapter: std-only (TcpListener + a fixed thread pool with
-    //    a bounded admission queue) — no async runtime.
-    let handle = match serve(Arc::clone(&service), HttpConfig::default()) {
-        Ok(handle) => handle,
+    // 4. An HTTP front end: both are std-only, no async runtime. The
+    //    thread pool parks a worker per connection; the reactor multiplexes
+    //    every connection over one epoll loop, coalesces same-tick /query
+    //    requests into one batched execute, and answers repeated queries
+    //    from a generation-keyed result cache.
+    let want_reactor =
+        std::env::args().skip_while(|a| a != "--transport").nth(1) == Some("reactor".to_string());
+    let booted = if want_reactor {
+        boot_reactor(&service)
+    } else {
+        serve(Arc::clone(&service), HttpConfig::default())
+            .map(Transport::Pool)
+            .map_err(|e| e.to_string())
+    };
+    let transport = match booted {
+        Ok(transport) => transport,
         Err(err) => {
-            println!("(loopback bind denied: {err}; in-process transport shown above is the same contract)");
+            println!("({err}; in-process transport shown above is the same contract)");
             return;
         }
     };
-    let addr = handle.addr();
-    println!("serving on http://{addr}");
+    let addr = transport.addr();
+    let label = if want_reactor {
+        "reactor"
+    } else {
+        "thread pool"
+    };
+    println!("serving on http://{addr} ({label})");
 
     let body = serde_json::to_string(&QueryBuilder::keyword("Lyon").top_k(3).build())
         .expect("query serializes");
@@ -77,6 +128,18 @@ fn main() {
         .unwrap_or(&http_response);
     println!("POST /query -> {body}");
 
-    handle.shutdown();
+    transport.shutdown();
     println!("done.");
+}
+
+#[cfg(target_os = "linux")]
+fn boot_reactor(service: &Arc<CmdlService>) -> Result<Transport, String> {
+    cmdl::server::serve_reactor(Arc::clone(service), cmdl::server::ReactorConfig::default())
+        .map(Transport::Reactor)
+        .map_err(|e| format!("loopback bind denied: {e}"))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn boot_reactor(_service: &Arc<CmdlService>) -> Result<Transport, String> {
+    Err("the reactor transport is Linux-only (epoll); use --transport pool".to_string())
 }
