@@ -45,7 +45,7 @@ pub enum CrossModalStrategy {
 }
 
 /// System-wide configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CmdlConfig {
     /// Number of MinHash permutations per signature.
     pub minhash_hashes: usize,

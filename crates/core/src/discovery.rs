@@ -484,6 +484,23 @@ impl Cmdl {
         }
     }
 
+    /// Detach the persistence layer, turning this catalog into an
+    /// in-memory one. Used by online reconfiguration to hand the open
+    /// WAL and segment directory from a retiring catalog to its rebuilt
+    /// replacement (see [`install_persistence`](Cmdl::install_persistence));
+    /// `None` if the catalog was never persistent.
+    pub fn take_persistence(&mut self) -> Option<PersistHandle> {
+        self.persist.take()
+    }
+
+    /// Attach a persistence layer taken from another catalog over the same
+    /// logical lake. The caller must [`checkpoint`](Cmdl::checkpoint)
+    /// immediately afterwards: until the new segment generation lands, the
+    /// directory still describes the donor catalog's state.
+    pub fn install_persistence(&mut self, handle: PersistHandle) {
+        self.persist = Some(handle);
+    }
+
     /// The Enterprise Knowledge Graph.
     pub fn ekg(&self) -> &Ekg {
         &self.ekg
@@ -492,6 +509,32 @@ impl Cmdl {
     /// The trained joint model, if any.
     pub fn joint_model(&self) -> Option<&JointModel> {
         self.joint.as_deref()
+    }
+
+    /// A shared handle to the trained joint model, if any (cheap clone for
+    /// carrying the model across a background rebuild).
+    pub fn joint_model_arc(&self) -> Option<Arc<JointModel>> {
+        self.joint.clone()
+    }
+
+    /// Install an already-trained joint model (from a donor catalog over
+    /// the same lake), re-embedding every element under this catalog's
+    /// profiles and indexing the joint space. Online reconfiguration uses
+    /// this to carry a model across a background rebuild instead of paying
+    /// for retraining. The model's input dimensionality must match this
+    /// catalog's profile vectors (i.e. the donor's `embedding_dim` /
+    /// `joint_dim` are unchanged); the caller checks that.
+    pub fn adopt_joint(&mut self, model: Arc<JointModel>) {
+        let embeddings: HashMap<DeId, Vec<f32>> = self
+            .profiled
+            .profiles
+            .iter()
+            .map(|(&id, profile)| (id, model.embed(&profile.solo)))
+            .collect();
+        Arc::make_mut(&mut self.indexes).install_joint(&self.profiled, embeddings, &self.config);
+        self.joint = Some(model);
+        self.generation += 1;
+        self.checkpoint_best_effort();
     }
 
     /// The profiler (exposed for query-text transformation).
@@ -503,6 +546,17 @@ impl Cmdl {
     /// per compaction).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Raise the generation to at least `floor`. Online reconfiguration
+    /// calls this on a freshly rebuilt catalog before swapping it in, so
+    /// generation-keyed caches (which assume the published generation is
+    /// monotonic) observe the swap as a new generation rather than a
+    /// replay of an old one. Never lowers the generation.
+    pub fn set_generation_floor(&mut self, floor: u64) {
+        if floor > self.generation {
+            self.generation = floor;
+        }
     }
 
     /// Pin the current generation: a cheap, immutable, internally consistent

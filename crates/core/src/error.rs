@@ -44,13 +44,27 @@ pub enum ErrorCode {
     /// is unusable after a simulated or real crash
     /// ([`CmdlError::Persist`]).
     Persist,
+    /// A referenced lake (tenant) does not exist in the registry
+    /// (transport-level 404 equivalent).
+    UnknownTenant,
+    /// A `CreateLake` collides with a live lake of the same name
+    /// (transport-level 409 equivalent).
+    DuplicateTenant,
+    /// A per-tenant quota (tables, documents, bytes, or in-flight
+    /// requests) would be exceeded — the quota-specific 429
+    /// (transport-level; no [`CmdlError`] counterpart).
+    QuotaExceeded,
+    /// A `Reconfigure` is already rebuilding this tenant's catalog in the
+    /// background; only one reconfiguration runs at a time (transport-level
+    /// 409 equivalent).
+    ReconfigurePending,
 }
 
 impl ErrorCode {
     /// Every code, in a stable order (metrics labels iterate this). New
     /// codes are appended, never inserted, so existing positions — which
     /// metrics counters index by — stay stable.
-    pub const ALL: [ErrorCode; 12] = [
+    pub const ALL: [ErrorCode; 16] = [
         ErrorCode::UnknownTable,
         ErrorCode::DuplicateTable,
         ErrorCode::UnknownColumn,
@@ -63,6 +77,10 @@ impl ErrorCode {
         ErrorCode::Internal,
         ErrorCode::UnknownRoute,
         ErrorCode::Persist,
+        ErrorCode::UnknownTenant,
+        ErrorCode::DuplicateTenant,
+        ErrorCode::QuotaExceeded,
+        ErrorCode::ReconfigurePending,
     ];
 
     /// The snake_case label of the code (metrics and logs).
@@ -80,6 +98,10 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::UnknownRoute => "unknown_route",
             ErrorCode::Persist => "persist",
+            ErrorCode::UnknownTenant => "unknown_tenant",
+            ErrorCode::DuplicateTenant => "duplicate_tenant",
+            ErrorCode::QuotaExceeded => "quota_exceeded",
+            ErrorCode::ReconfigurePending => "reconfigure_pending",
         }
     }
 

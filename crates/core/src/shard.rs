@@ -700,6 +700,8 @@ impl ShardedSnapshot {
             index_sizes: IndexSizes::default(),
             delta: DeltaStats::default(),
             delta_pressure: 0.0,
+            wedged: false,
+            reconfiguring: false,
         };
         for shard in &self.shards {
             let stats = shard.stats();

@@ -49,6 +49,14 @@ pub struct CmdlStats {
     /// The largest delta fraction across the indexes — the signal the
     /// periodic-compaction policy thresholds on.
     pub delta_pressure: f64,
+    /// Whether the serving layer's writer gate is wedged (mutations
+    /// rejected, reads still served). Always `false` at the catalog layer —
+    /// the service fills it in, since wedging is a gate property, not a
+    /// snapshot property.
+    pub wedged: bool,
+    /// Whether a background reconfiguration is rebuilding this catalog.
+    /// Like `wedged`, filled in by the service layer.
+    pub reconfiguring: bool,
 }
 
 impl CatalogSnapshot {
@@ -76,6 +84,8 @@ impl CatalogSnapshot {
             },
             delta: self.indexes.delta_stats(),
             delta_pressure: self.indexes.delta_pressure(),
+            wedged: false,
+            reconfiguring: false,
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cmdl_core::{CmdlError, CmdlStats, DiscoveryQuery, ErrorCode, QueryResponse};
+use cmdl_core::{CmdlConfig, CmdlError, CmdlStats, DiscoveryQuery, ErrorCode, QueryResponse};
 use cmdl_datalake::{Document, Table};
 
 /// One typed service request — the unified surface over the catalog
@@ -50,6 +50,34 @@ pub enum ServiceRequest {
     Stats,
     /// Liveness probe.
     Health,
+    /// Create a new named lake (tenant) in the multi-tenant hub. Only
+    /// meaningful when served by a [`TenantHub`](crate::TenantHub); a bare
+    /// single-lake service rejects it.
+    CreateLake {
+        /// The lake name (also the tenant id in `/t/<name>/...` routes).
+        name: String,
+        /// Catalog configuration for the new lake; the hub default when
+        /// omitted.
+        config: Option<CmdlConfig>,
+        /// Per-lake quota overrides; limits the spec leaves unset (and the
+        /// whole field when omitted) inherit the hub defaults.
+        quotas: Option<LakeQuotas>,
+    },
+    /// Drop a named lake: unregister it, flush its catalog, and retire its
+    /// persist directory. Pinned readers already inside the lake finish
+    /// against their snapshot; new requests get `UnknownTenant`.
+    DropLake {
+        /// The lake name.
+        name: String,
+    },
+    /// List every registered lake with its status (hub only).
+    ListLakes,
+    /// Rebuild this lake's catalog under a new configuration in the
+    /// background (against a pinned snapshot), replay deltas that landed
+    /// meanwhile, and atomically swap the result into the next published
+    /// generation. Queries never block; at most one reconfiguration runs
+    /// per lake at a time.
+    Reconfigure(CmdlConfig),
 }
 
 impl ServiceRequest {
@@ -65,11 +93,18 @@ impl ServiceRequest {
             ServiceRequest::Compact => "compact",
             ServiceRequest::Stats => "stats",
             ServiceRequest::Health => "health",
+            ServiceRequest::CreateLake { .. } => "create_lake",
+            ServiceRequest::DropLake { .. } => "drop_lake",
+            ServiceRequest::ListLakes => "list_lakes",
+            ServiceRequest::Reconfigure(_) => "reconfigure",
         }
     }
 
     /// Does this request mutate the catalog (and therefore route through
-    /// the writer gate)?
+    /// the writer gate)? Control-plane requests (`CreateLake`/`DropLake`/
+    /// `ListLakes`) and `Reconfigure` are *not* queue mutations — they run
+    /// on dedicated paths (the hub registry and the background-rebuild
+    /// protocol respectively).
     pub fn is_mutation(&self) -> bool {
         matches!(
             self,
@@ -143,10 +178,37 @@ pub struct BatchOutcome {
 /// The liveness payload of [`ServiceRequest::Health`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthReport {
-    /// Always `"ok"` when the service can answer at all.
+    /// `"ok"` while the writer gate is healthy, `"degraded"` once it is
+    /// wedged (reads still served from the last published generation,
+    /// mutations rejected).
     pub status: String,
     /// The currently published catalog generation.
     pub generation: u64,
+    /// Whether the writer gate is wedged — the explicit form of
+    /// `status == "degraded"`, so clients need not string-match.
+    pub wedged: bool,
+    /// Whether a background reconfiguration is rebuilding this lake.
+    pub reconfiguring: bool,
+}
+
+/// One lake's registry entry in a [`ResponsePayload::Lakes`] listing — the
+/// stable JSON shape of per-tenant health.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LakeInfo {
+    /// The lake name (tenant id).
+    pub name: String,
+    /// `"ok"` or `"degraded"` (mirrors [`HealthReport::status`]).
+    pub status: String,
+    /// The currently published catalog generation.
+    pub generation: u64,
+    /// Live tables in the lake.
+    pub tables: usize,
+    /// Live documents in the lake.
+    pub documents: usize,
+    /// Whether the writer gate is wedged (mutations rejected).
+    pub wedged: bool,
+    /// Whether a background reconfiguration is in flight.
+    pub reconfiguring: bool,
 }
 
 /// The typed success payload of a [`ServiceResponse`].
@@ -191,6 +253,42 @@ pub enum ResponsePayload {
     Stats(CmdlStats),
     /// Payload of [`ServiceRequest::Health`].
     Health(HealthReport),
+    /// Payload of [`ServiceRequest::CreateLake`].
+    LakeCreated {
+        /// The created lake's name.
+        name: String,
+        /// Its initial published generation.
+        generation: u64,
+    },
+    /// Payload of [`ServiceRequest::DropLake`].
+    LakeDropped {
+        /// The dropped lake's name.
+        name: String,
+    },
+    /// Payload of [`ServiceRequest::ListLakes`]: every registered lake,
+    /// sorted by name.
+    Lakes(Vec<LakeInfo>),
+    /// Payload of [`ServiceRequest::Reconfigure`].
+    Reconfigured {
+        /// The generation the rebuilt catalog was published at.
+        generation: u64,
+    },
+}
+
+/// Wire-level per-lake quota overrides for [`ServiceRequest::CreateLake`].
+/// Every limit is optional: `{"max_inflight": 2}` is a complete spec, and
+/// whatever is left unset inherits the hub defaults (see
+/// [`TenantQuotas`](crate::TenantQuotas)).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LakeQuotas {
+    /// Maximum live tables in the lake.
+    pub max_tables: Option<usize>,
+    /// Maximum live documents in the lake.
+    pub max_documents: Option<usize>,
+    /// Maximum cumulative ingested payload bytes.
+    pub max_ingest_bytes: Option<u64>,
+    /// Maximum concurrently executing requests (the noisy-neighbor cap).
+    pub max_inflight: Option<usize>,
 }
 
 /// The response envelope of every [`ServiceRequest`]: exactly one of
@@ -237,11 +335,14 @@ pub fn http_status(code: ErrorCode) -> u16 {
         ErrorCode::UnknownTable
         | ErrorCode::UnknownColumn
         | ErrorCode::UnknownDocument
-        | ErrorCode::UnknownRoute => 404,
-        ErrorCode::DuplicateTable => 409,
+        | ErrorCode::UnknownRoute
+        | ErrorCode::UnknownTenant => 404,
+        ErrorCode::DuplicateTable | ErrorCode::DuplicateTenant | ErrorCode::ReconfigurePending => {
+            409
+        }
         ErrorCode::InvalidQuery | ErrorCode::MalformedRequest => 400,
         ErrorCode::JointModelMissing | ErrorCode::EmptyTrainingData => 422,
-        ErrorCode::Overloaded => 429,
+        ErrorCode::Overloaded | ErrorCode::QuotaExceeded => 429,
         ErrorCode::Internal | ErrorCode::Persist => 500,
     }
 }
@@ -267,6 +368,24 @@ mod tests {
             ServiceRequest::Compact,
             ServiceRequest::Stats,
             ServiceRequest::Health,
+            ServiceRequest::CreateLake {
+                name: "research".into(),
+                config: None,
+                quotas: None,
+            },
+            ServiceRequest::CreateLake {
+                name: "tuned".into(),
+                config: Some(cmdl_core::CmdlConfig::fast()),
+                quotas: Some(LakeQuotas {
+                    max_inflight: Some(4),
+                    ..LakeQuotas::default()
+                }),
+            },
+            ServiceRequest::DropLake {
+                name: "research".into(),
+            },
+            ServiceRequest::ListLakes,
+            ServiceRequest::Reconfigure(cmdl_core::CmdlConfig::fast()),
         ];
         for request in requests {
             let json = serde_json::to_string(&request).unwrap();
@@ -281,6 +400,11 @@ mod tests {
         assert!(ServiceRequest::RemoveTable { name: "T".into() }.is_mutation());
         assert!(!ServiceRequest::Stats.is_mutation());
         assert!(!ServiceRequest::Query(QueryBuilder::pkfk().build()).is_mutation());
+        // Control-plane and reconfigure requests run on dedicated paths,
+        // never through the writer-gate queue.
+        assert!(!ServiceRequest::ListLakes.is_mutation());
+        assert!(!ServiceRequest::DropLake { name: "x".into() }.is_mutation());
+        assert!(!ServiceRequest::Reconfigure(cmdl_core::CmdlConfig::fast()).is_mutation());
     }
 
     #[test]
@@ -309,5 +433,9 @@ mod tests {
         }
         assert_eq!(http_status(ErrorCode::Overloaded), 429);
         assert_eq!(http_status(ErrorCode::UnknownTable), 404);
+        assert_eq!(http_status(ErrorCode::QuotaExceeded), 429);
+        assert_eq!(http_status(ErrorCode::UnknownTenant), 404);
+        assert_eq!(http_status(ErrorCode::DuplicateTenant), 409);
+        assert_eq!(http_status(ErrorCode::ReconfigurePending), 409);
     }
 }

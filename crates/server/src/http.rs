@@ -23,11 +23,21 @@
 //! | `GET /stats`            | (none)              | `"Stats"`                 |
 //! | `GET /healthz`          | (none)              | `"Health"`                |
 //! | `GET /metrics`          | (none)              | text exposition           |
+//! | `POST /lakes/create`    | `{"name", "config"?, "quotas"?}` | `{"CreateLake": …}` |
+//! | `POST /lakes/drop`      | `{"name": …}`       | `{"DropLake": …}`         |
+//! | `GET /lakes`            | (none)              | `"ListLakes"`             |
+//! | `POST /reconfigure`     | `CmdlConfig`        | `{"Reconfigure": …}`      |
+//!
+//! Every route can be prefixed with `/t/<name>` to address the lake
+//! `<name>` in a multi-tenant hub (`POST /t/alpha/query`, ...); the
+//! un-prefixed form addresses the
+//! [`DEFAULT_TENANT`](crate::tenants::DEFAULT_TENANT) for backward
+//! compatibility.
 //!
 //! The adapter does no interpretation of its own: each route splices the
 //! body into the externally-tagged [`ServiceRequest`](crate::api::ServiceRequest)
 //! envelope and calls
-//! [`CmdlService::handle_json`] — the same bytes-in/bytes-out path the
+//! [`TenantHub::handle_json`] — the same bytes-in/bytes-out path the
 //! in-process tests exercise, so HTTP cannot drift from the service
 //! contract.
 
@@ -44,6 +54,7 @@ use cmdl_core::ErrorCode;
 use crate::api::{http_status, ServiceError, ServiceResponse};
 use crate::reactor::parser::ParsedRequest;
 use crate::service::{serialize_response, serialize_response_into, CmdlService};
+use crate::tenants::{split_tenant, TenantHub};
 
 /// Configuration of the HTTP adapter.
 #[derive(Debug, Clone)]
@@ -120,7 +131,7 @@ pub struct HttpHandle {
     queue: Arc<ConnQueue>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    service: Arc<CmdlService>,
+    hub: Arc<TenantHub>,
 }
 
 impl HttpHandle {
@@ -176,14 +187,20 @@ impl HttpHandle {
         }
         // With the workers quiesced, apply whatever mutations are still
         // queued (each appends + fsyncs its WAL record) and publish the
-        // final snapshot.
-        self.service.flush();
+        // final snapshot — for every tenant.
+        self.hub.flush_all();
         all_joined
     }
 }
 
-/// Bind and serve a [`CmdlService`] over HTTP/1.1.
+/// Bind and serve one [`CmdlService`] over HTTP/1.1 as the default tenant
+/// of a single-lake hub — the backward-compatible entry point.
 pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<HttpHandle> {
+    serve_hub(TenantHub::single(service), config)
+}
+
+/// Bind and serve a multi-tenant [`TenantHub`] over HTTP/1.1.
+pub fn serve_hub(hub: Arc<TenantHub>, config: HttpConfig) -> std::io::Result<HttpHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let queue = Arc::new(ConnQueue {
@@ -196,7 +213,7 @@ pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<H
     let mut workers = Vec::with_capacity(config.threads.max(1));
     for _ in 0..config.threads.max(1) {
         let queue = Arc::clone(&queue);
-        let service = Arc::clone(&service);
+        let hub = Arc::clone(&hub);
         let read_timeout = config.read_timeout;
         workers.push(std::thread::spawn(move || {
             while let Some(stream) = queue.pop() {
@@ -209,17 +226,17 @@ pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<H
                 // Panic isolation: a panicking request must cost one
                 // connection, not permanently shrink the fixed pool (the
                 // service's own locks already recover from poisoning).
-                let service = Arc::clone(&service);
+                let hub = Arc::clone(&hub);
                 let queue = Arc::clone(&queue);
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                    serve_connection(stream, &service, &queue.shutdown);
+                    serve_connection(stream, &hub, &queue.shutdown);
                 }));
             }
         }));
     }
 
     let accept_queue = Arc::clone(&queue);
-    let accept_service = Arc::clone(&service);
+    let accept_hub = Arc::clone(&hub);
     let accept_thread = std::thread::spawn(move || {
         for stream in listener.incoming() {
             if accept_queue.shutdown.load(Ordering::Acquire) {
@@ -229,7 +246,7 @@ pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<H
             if let Err(rejected) = accept_queue.push(stream) {
                 // Admission control: answer 429 from the accept thread and
                 // close, instead of queueing unboundedly.
-                accept_service
+                accept_hub
                     .metrics()
                     .record_transport("shed", Some(ErrorCode::Overloaded));
                 shed_connection(rejected);
@@ -242,7 +259,7 @@ pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<H
         queue,
         accept_thread: Some(accept_thread),
         workers,
-        service,
+        hub,
     })
 }
 
@@ -250,7 +267,7 @@ pub fn serve(service: Arc<CmdlService>, config: HttpConfig) -> std::io::Result<H
 /// closes, asks to close, times out, sends something unframeable, or the
 /// adapter starts draining (the current request is still answered, with
 /// `Connection: close`).
-fn serve_connection(stream: TcpStream, service: &CmdlService, draining: &AtomicBool) {
+fn serve_connection(stream: TcpStream, hub: &TenantHub, draining: &AtomicBool) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -268,7 +285,7 @@ fn serve_connection(stream: TcpStream, service: &CmdlService, draining: &AtomicB
         match read_request(&mut reader, &mut writer) {
             Ok(Some(request)) => {
                 body.clear();
-                let (status, content_type) = route(service, &request, &mut body);
+                let (status, content_type) = route(hub, &request, &mut body);
                 // Re-check after routing: a shutdown that began while this
                 // request executed still gets its response, but the
                 // keep-alive session ends here.
@@ -446,47 +463,52 @@ pub fn route_envelope(method: &str, path: &str, body: &str) -> Option<String> {
         ("POST", "/compact") => "\"Compact\"".to_string(),
         ("GET", "/stats") => "\"Stats\"".to_string(),
         ("GET", "/healthz") => "\"Health\"".to_string(),
+        ("POST", "/lakes/create") => format!("{{\"CreateLake\":{body}}}"),
+        ("POST", "/lakes/drop") => format!("{{\"DropLake\":{body}}}"),
+        ("GET", "/lakes") => "\"ListLakes\"".to_string(),
+        ("POST", "/reconfigure") => format!("{{\"Reconfigure\":{body}}}"),
         _ => return None,
     })
 }
 
-/// Route a request: splice the body into the envelope and run it through
-/// the service's JSON path, streaming the response into the connection's
-/// reusable `out` buffer. Returns (status, content-type). Every outcome —
-/// including the transport-level ones that never reach a handler — is
-/// recorded in the service metrics, so the labeled request counters always
-/// sum to the total.
-fn route(service: &CmdlService, request: &ParsedRequest, out: &mut String) -> (u16, &'static str) {
+/// Route a request: split the tenant prefix off the path, splice the body
+/// into the envelope, and run it through the hub's JSON path, streaming
+/// the response into the connection's reusable `out` buffer. Returns
+/// (status, content-type). Every outcome — including the transport-level
+/// ones that never reach a handler — is recorded in the hub's global
+/// metrics, so the labeled request counters always sum to the total.
+fn route(hub: &TenantHub, request: &ParsedRequest, out: &mut String) -> (u16, &'static str) {
     if request.unsupported_encoding {
         let response = ServiceResponse::failure(ServiceError::with_subject(
             ErrorCode::MalformedRequest,
             "transfer-encoding is not supported; frame bodies with content-length",
         ));
-        service
-            .metrics()
+        hub.metrics()
             .record_transport("malformed", Some(ErrorCode::MalformedRequest));
         serialize_response_into(&response, out);
         return (400, "application/json");
     }
-    if (request.method.as_str(), request.path.as_str()) == ("GET", "/metrics") {
-        out.push_str(&service.render_metrics());
-        service.metrics().record_transport("metrics", None);
+    let (tenant, path) = split_tenant(&request.path);
+    if (request.method.as_str(), path) == ("GET", "/metrics") {
+        // The exposition is hub-wide (global + every tenant's labeled
+        // series) regardless of any tenant prefix on the scrape path.
+        out.push_str(&hub.render_metrics());
+        hub.metrics().record_transport("metrics", None);
         return (200, "text/plain; version=0.0.4");
     }
     let body = String::from_utf8_lossy(&request.body);
-    let Some(envelope) = route_envelope(&request.method, &request.path, &body) else {
+    let Some(envelope) = route_envelope(&request.method, path, &body) else {
         let response = ServiceResponse::failure(ServiceError::with_subject(
             ErrorCode::UnknownRoute,
             format!("{} {}", request.method, request.path),
         ));
-        service
-            .metrics()
+        hub.metrics()
             .record_transport("unknown_route", Some(ErrorCode::UnknownRoute));
         let status = http_status(ErrorCode::UnknownRoute);
         serialize_response_into(&response, out);
         return (status, "application/json");
     };
-    let response = service.handle_json(envelope.as_bytes());
+    let response = hub.handle_json(tenant, envelope.as_bytes());
     let status = response.error_code().map(http_status).unwrap_or(200);
     serialize_response_into(&response, out);
     (status, "application/json")

@@ -27,6 +27,12 @@
 //!   `execute_many` against one pinned snapshot, and a generation-keyed
 //!   result cache answers repeated queries without executing at all.
 //!   Serves the identical route surface, byte-for-byte.
+//! * [`tenants`] — the multi-tenant control plane: a [`TenantHub`]
+//!   registry of named lakes (each its own catalog, writer gate, persist
+//!   directory, metrics, and result-cache partition) behind the same HTTP
+//!   surface via the `/t/<name>/...` path prefix, with per-tenant quotas
+//!   and admission control, and online `Reconfigure` that rebuilds a
+//!   lake's indexes in the background and atomically swaps them in.
 //!
 //! In-process use needs no sockets at all:
 //!
@@ -52,14 +58,16 @@ pub mod http;
 pub mod metrics;
 pub mod reactor;
 pub mod service;
+pub mod tenants;
 
 pub use api::{
-    http_status, BatchOutcome, HealthReport, ResponsePayload, ServiceError, ServiceRequest,
-    ServiceResponse,
+    http_status, BatchOutcome, HealthReport, LakeInfo, LakeQuotas, ResponsePayload, ServiceError,
+    ServiceRequest, ServiceResponse,
 };
-pub use http::{route_envelope, serve, HttpConfig, HttpHandle};
+pub use http::{route_envelope, serve, serve_hub, HttpConfig, HttpHandle};
 pub use metrics::ServiceMetrics;
 pub use reactor::ReactorConfig;
 #[cfg(target_os = "linux")]
-pub use reactor::{serve_reactor, ReactorHandle};
+pub use reactor::{serve_reactor, serve_reactor_hub, ReactorHandle};
 pub use service::CmdlService;
+pub use tenants::{split_tenant, TenantDefaults, TenantHub, TenantQuotas, DEFAULT_TENANT};

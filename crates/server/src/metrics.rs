@@ -21,7 +21,7 @@ const LATENCY_BUCKETS: usize = 36;
 /// unframeable request), `shed` (admission control), `unknown_route`, and
 /// `metrics` scrapes — so the labeled counters always sum to
 /// `cmdl_requests_total`.
-const KINDS: [&str; 13] = [
+const KINDS: [&str; 17] = [
     "query",
     "query_batch",
     "ingest_table",
@@ -35,6 +35,10 @@ const KINDS: [&str; 13] = [
     "shed",
     "unknown_route",
     "metrics",
+    "create_lake",
+    "drop_lake",
+    "list_lakes",
+    "reconfigure",
 ];
 
 /// Number of log₂ coalesced-batch-size buckets: bucket `i` counts batches
@@ -336,6 +340,38 @@ impl ServiceMetrics {
         ));
         out
     }
+
+    /// Render this counter set as one tenant's `tenant`-labeled series —
+    /// the per-tenant half of the hub exposition. The metric names are
+    /// distinct from the un-labeled globals (`cmdl_tenant_*` vs `cmdl_*`),
+    /// so dashboards aggregating the existing names never double-count,
+    /// and a label-aggregation over `cmdl_tenant_requests_total` sums to
+    /// each tenant's own traffic.
+    pub fn render_tenant(&self, tenant: &str) -> String {
+        let mut out = String::with_capacity(1024);
+        for (i, kind) in KINDS.iter().enumerate() {
+            out.push_str(&format!(
+                "cmdl_tenant_requests_total{{tenant=\"{tenant}\",kind=\"{kind}\"}} {}\n",
+                self.requests_by_kind[i].load(Ordering::Relaxed)
+            ));
+        }
+        for code in ErrorCode::ALL {
+            out.push_str(&format!(
+                "cmdl_tenant_errors_total{{tenant=\"{tenant}\",code=\"{}\"}} {}\n",
+                code.as_str(),
+                self.errors_by_code[code.index()].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "cmdl_tenant_latency_p50_micros{{tenant=\"{tenant}\"}} {}\n",
+            self.latency_quantile_micros(0.50)
+        ));
+        out.push_str(&format!(
+            "cmdl_tenant_latency_p99_micros{{tenant=\"{tenant}\"}} {}\n",
+            self.latency_quantile_micros(0.99)
+        ));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +415,40 @@ mod tests {
         assert!(text.contains("cmdl_errors_total{code=\"overloaded\"} 2"));
         assert!(text.contains("cmdl_snapshot_generation 7"));
         assert!(text.contains("cmdl_delta_pressure 0.125"));
+    }
+
+    #[test]
+    fn tenant_series_carry_the_label_and_stay_off_the_global_names() {
+        let metrics = ServiceMetrics::default();
+        metrics.record("query", 100, None);
+        metrics.record("ingest_table", 50, Some(ErrorCode::QuotaExceeded));
+        metrics.record("reconfigure", 900, None);
+        let text = metrics.render_tenant("alpha");
+        assert!(text.contains("cmdl_tenant_requests_total{tenant=\"alpha\",kind=\"query\"} 1"));
+        assert!(
+            text.contains("cmdl_tenant_requests_total{tenant=\"alpha\",kind=\"ingest_table\"} 1")
+        );
+        assert!(
+            text.contains("cmdl_tenant_requests_total{tenant=\"alpha\",kind=\"reconfigure\"} 1")
+        );
+        assert!(
+            text.contains("cmdl_tenant_errors_total{tenant=\"alpha\",code=\"quota_exceeded\"} 1")
+        );
+        assert!(text.contains("cmdl_tenant_latency_p50_micros{tenant=\"alpha\"}"));
+        assert!(text.contains("cmdl_tenant_latency_p99_micros{tenant=\"alpha\"}"));
+        // Every per-tenant line carries the tenant label, and none reuses
+        // an un-labeled global metric name (`cmdl_requests_total` etc.),
+        // so existing dashboards never double-count.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("cmdl_tenant_"),
+                "unexpected series name: {line}"
+            );
+            assert!(
+                line.contains("tenant=\"alpha\""),
+                "missing tenant label: {line}"
+            );
+        }
     }
 
     #[test]

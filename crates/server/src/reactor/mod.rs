@@ -26,18 +26,27 @@
 //! 2. `GET /metrics`, unroutable paths, and unframeable requests are
 //!    answered inline on the loop thread (identically to the thread-pool
 //!    adapter, including metrics recording).
-//! 3. Single `POST /query` requests first probe the [`cache::ResultCache`]
-//!    under the currently published generation: a hit completes inline
-//!    with the cached envelope bytes (an `Arc` clone, no copy, no
-//!    execution). Misses are **coalesced**: every missing `/query` in the
-//!    same tick is gathered into one executor job that pins *one* snapshot
-//!    and runs *one* [`CmdlService::execute_coalesced`](crate::CmdlService::execute_coalesced) sweep —
+//! 3. Single `POST /query` requests resolve their tenant (the
+//!    `/t/<name>/` path prefix; un-prefixed paths are the default tenant),
+//!    reserve an in-flight admission slot, then probe that tenant's
+//!    partition of the [`cache::ResultCache`] under the tenant's currently
+//!    published generation: a hit completes inline with the cached
+//!    envelope bytes (an `Arc` clone, no copy, no execution). Misses are
+//!    **coalesced per tenant**: every missing `/query` for the same lake
+//!    in the same tick is gathered into one executor job that pins *one*
+//!    snapshot and runs *one*
+//!    [`CmdlService::execute_coalesced`](crate::CmdlService::execute_coalesced) sweep —
 //!    per-profile candidate generation amortizes across concurrent
-//!    requests exactly as it does across an explicit `/batch`.
-//! 4. Everything else (mutations, `/batch`, `/stats`, …) dispatches to a
-//!    small executor pool as an individual [`CmdlService::handle_json`](crate::CmdlService::handle_json)
-//!    call — mutations keep routing through the existing writer gate; the
-//!    reactor owns read traffic, not write semantics.
+//!    requests exactly as it does across an explicit `/batch`. Cache
+//!    partitions are keyed by tenant *incarnation* (name + epoch), so a
+//!    dropped-then-recreated lake can never serve a previous life's
+//!    entries.
+//! 4. Everything else (mutations, `/batch`, `/stats`, lake management, …)
+//!    dispatches to a small executor pool as an individual
+//!    [`TenantHub::handle_json`](crate::TenantHub::handle_json) call —
+//!    mutations keep routing through the owning tenant's writer gate, and
+//!    the hub applies admission control and quota checks; the reactor owns
+//!    read traffic, not write semantics.
 //!
 //! Completions return to the loop through an [`sys::EventFd`] wakeup and
 //! are spliced into their connection's response queue.
@@ -94,12 +103,12 @@ impl Default for ReactorConfig {
 }
 
 #[cfg(target_os = "linux")]
-pub use serve::{serve_reactor, ReactorHandle};
+pub use serve::{serve_reactor, serve_reactor_hub, ReactorHandle};
 
 #[cfg(target_os = "linux")]
 mod serve {
     use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
+    use std::collections::{BinaryHeap, HashMap};
     use std::io::{Read, Write};
     use std::net::{SocketAddr, TcpListener, TcpStream};
     use std::os::fd::AsRawFd;
@@ -113,6 +122,7 @@ mod serve {
     use super::ReactorConfig;
     use crate::api::{http_status, ServiceError, ServiceRequest, ServiceResponse};
     use crate::http::{format_response_head, route_envelope};
+    use crate::metrics::ServiceMetrics;
     use crate::reactor::cache::{CacheOutcome, ResultCache};
     use crate::reactor::conn::{Body, Conn, ConnPhase, Outgoing};
     use crate::reactor::parser::{ParseEvent, ParsedRequest};
@@ -120,6 +130,7 @@ mod serve {
         Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
     };
     use crate::service::{serialize_response, CmdlService};
+    use crate::tenants::{split_tenant, InflightPermit, Tenant, TenantHub, DEFAULT_TENANT};
 
     const TOKEN_LISTENER: u64 = u64::MAX;
     const TOKEN_WAKE: u64 = u64::MAX - 1;
@@ -142,20 +153,40 @@ mod serve {
         seq: u64,
         body: Vec<u8>,
         keep_alive: bool,
+        /// The tenant's admission slot, reserved on the loop thread before
+        /// the cache probe and held until the coalesced execution finishes
+        /// (released when the item drops).
+        #[allow(dead_code)]
+        permit: Option<InflightPermit>,
+    }
+
+    /// One tenant's cache-missing `/query` items gathered during the
+    /// current tick — they coalesce into one executor job pinning one of
+    /// *that tenant's* snapshots.
+    struct TickGroup {
+        tenant: Arc<Tenant>,
+        cache: Arc<ResultCache>,
+        items: Vec<QueryItem>,
     }
 
     /// Work shipped to the executor pool.
     enum Job {
-        /// One non-`/query` request: splice + `handle_json`, exactly the
-        /// thread-pool path.
+        /// One non-`/query` request: splice + the hub's `handle_json`
+        /// (admission control included), exactly the thread-pool path.
         Single {
+            tenant: String,
             token: u64,
             seq: u64,
             envelope: String,
             keep_alive: bool,
         },
-        /// Every cache-missing `/query` gathered in one readiness tick.
-        Coalesce { items: Vec<QueryItem> },
+        /// Every cache-missing `/query` for one tenant gathered in one
+        /// readiness tick.
+        Coalesce {
+            tenant: Arc<Tenant>,
+            cache: Arc<ResultCache>,
+            items: Vec<QueryItem>,
+        },
     }
 
     /// A finished executor job item, headed back to the loop thread.
@@ -191,7 +222,7 @@ mod serve {
         shared: Arc<Shared>,
         loop_thread: Option<JoinHandle<()>>,
         workers: Vec<JoinHandle<()>>,
-        service: Arc<CmdlService>,
+        hub: Arc<TenantHub>,
         cache: Arc<ResultCache>,
     }
 
@@ -201,8 +232,11 @@ mod serve {
             self.addr
         }
 
-        /// The result cache (tests inspect occupancy; sharing the `Arc`
-        /// keeps it observable after shutdown).
+        /// The *default tenant's* result-cache partition (tests inspect
+        /// occupancy; sharing the `Arc` keeps it observable after
+        /// shutdown). Other tenants' partitions live on the loop thread,
+        /// keyed by incarnation; if the default lake is dropped and
+        /// recreated, this handle keeps observing the retired partition.
         pub fn cache(&self) -> &Arc<ResultCache> {
             &self.cache
         }
@@ -240,7 +274,7 @@ mod serve {
             for worker in self.workers.drain(..) {
                 all_joined &= join_within(worker, deadline);
             }
-            self.service.flush();
+            self.hub.flush_all();
             all_joined
         }
     }
@@ -258,9 +292,21 @@ mod serve {
         }
     }
 
-    /// Bind and serve a [`CmdlService`](crate::CmdlService) through the reactor.
+    /// Bind and serve one [`CmdlService`](crate::CmdlService) through the
+    /// reactor — single-tenant compatibility mode, wrapping the service as
+    /// the default tenant of a [`TenantHub`](crate::TenantHub).
     pub fn serve_reactor(
         service: Arc<CmdlService>,
+        config: ReactorConfig,
+    ) -> std::io::Result<ReactorHandle> {
+        serve_reactor_hub(TenantHub::single(service), config)
+    }
+
+    /// Bind and serve a [`TenantHub`](crate::TenantHub) — many named lakes
+    /// behind one reactor, addressed by the `/t/<name>/` path prefix —
+    /// through the epoll loop.
+    pub fn serve_reactor_hub(
+        hub: Arc<TenantHub>,
         config: ReactorConfig,
     ) -> std::io::Result<ReactorHandle> {
         let listener = TcpListener::bind(&config.addr)?;
@@ -277,18 +323,27 @@ mod serve {
             wake,
             completions: Mutex::new(Vec::new()),
         });
-        let cache = Arc::new(ResultCache::new(config.cache.clone()));
+        // Pre-create the default tenant's cache partition so the handle
+        // can expose it; the loop thread creates every other partition
+        // lazily, keyed by tenant incarnation.
+        let default_cache = Arc::new(ResultCache::new(config.cache.clone()));
+        let mut caches = HashMap::new();
+        if let Some(tenant) = hub.tenant(DEFAULT_TENANT) {
+            caches.insert(
+                DEFAULT_TENANT.to_string(),
+                (tenant.epoch(), Arc::clone(&default_cache)),
+            );
+        }
 
         let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
         let jobs_rx = Arc::new(Mutex::new(jobs_rx));
         let mut workers = Vec::with_capacity(config.executor_threads.max(1));
         for _ in 0..config.executor_threads.max(1) {
-            let service = Arc::clone(&service);
-            let cache = Arc::clone(&cache);
+            let hub = Arc::clone(&hub);
             let shared = Arc::clone(&shared);
             let jobs_rx = Arc::clone(&jobs_rx);
             workers.push(std::thread::spawn(move || {
-                run_worker(&service, &cache, &shared, &jobs_rx)
+                run_worker(&hub, &shared, &jobs_rx)
             }));
         }
 
@@ -300,9 +355,9 @@ mod serve {
             open: 0,
             heap: BinaryHeap::new(),
             dirty: Vec::new(),
-            tick_queries: Vec::new(),
-            service: Arc::clone(&service),
-            cache: Arc::clone(&cache),
+            tick_queries: HashMap::new(),
+            hub: Arc::clone(&hub),
+            caches,
             shared: Arc::clone(&shared),
             jobs: jobs_tx,
             config,
@@ -315,8 +370,8 @@ mod serve {
             shared,
             loop_thread: Some(loop_thread),
             workers,
-            service,
-            cache,
+            hub,
+            cache: default_cache,
         })
     }
 
@@ -324,12 +379,7 @@ mod serve {
     // Executor workers
     // ---------------------------------------------------------------
 
-    fn run_worker(
-        service: &CmdlService,
-        cache: &ResultCache,
-        shared: &Shared,
-        jobs: &Mutex<mpsc::Receiver<Job>>,
-    ) {
+    fn run_worker(hub: &TenantHub, shared: &Shared, jobs: &Mutex<mpsc::Receiver<Job>>) {
         loop {
             // Standard shared-receiver pattern: the lock is held only while
             // *waiting*; job execution happens outside it, so workers run
@@ -347,28 +397,27 @@ mod serve {
                     keep_alive,
                     ..
                 } => vec![(*token, *seq, *keep_alive)],
-                Job::Coalesce { items } => items
+                Job::Coalesce { items, .. } => items
                     .iter()
                     .map(|i| (i.token, i.seq, i.keep_alive))
                     .collect(),
             };
-            let completions = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                execute_job(service, cache, job)
-            }))
-            .unwrap_or_else(|_| {
-                let body = serialize_response(&ServiceResponse::failure(ServiceError::new(
-                    ErrorCode::Internal,
-                )));
-                owed.into_iter()
-                    .map(|(token, seq, keep_alive)| Completion {
-                        token,
-                        seq,
-                        status: 500,
-                        body: Body::Owned(body.clone()),
-                        keep_alive,
-                    })
-                    .collect()
-            });
+            let completions =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute_job(hub, job)))
+                    .unwrap_or_else(|_| {
+                        let body = serialize_response(&ServiceResponse::failure(
+                            ServiceError::new(ErrorCode::Internal),
+                        ));
+                        owed.into_iter()
+                            .map(|(token, seq, keep_alive)| Completion {
+                                token,
+                                seq,
+                                status: 500,
+                                body: Body::Owned(body.clone()),
+                                keep_alive,
+                            })
+                            .collect()
+                    });
             shared
                 .completions
                 .lock()
@@ -378,15 +427,18 @@ mod serve {
         }
     }
 
-    fn execute_job(service: &CmdlService, cache: &ResultCache, job: Job) -> Vec<Completion> {
+    fn execute_job(hub: &TenantHub, job: Job) -> Vec<Completion> {
         match job {
             Job::Single {
+                tenant,
                 token,
                 seq,
                 envelope,
                 keep_alive,
             } => {
-                let response = service.handle_json(envelope.as_bytes());
+                // The hub applies admission control, quota checks, and both
+                // the tenant-labeled and global metric recordings.
+                let response = hub.handle_json(&tenant, envelope.as_bytes());
                 let status = response.error_code().map(http_status).unwrap_or(200);
                 vec![Completion {
                     token,
@@ -396,7 +448,12 @@ mod serve {
                     keep_alive,
                 }]
             }
-            Job::Coalesce { items } => {
+            Job::Coalesce {
+                tenant,
+                cache,
+                items,
+            } => {
+                let service = tenant.service();
                 // Splice each body into the same `{"Query": …}` envelope the
                 // thread-pool adapter builds, so a body that fails to parse
                 // falls back to `handle_json` and yields the byte-identical
@@ -413,11 +470,20 @@ mod serve {
                         _ => plan.push(Err(envelope)),
                     }
                 }
+                let started = Instant::now();
                 let (generation, responses) = if queries.is_empty() {
                     (0, Vec::new())
                 } else {
                     service.execute_coalesced(&queries)
                 };
+                let per_query_micros =
+                    (started.elapsed().as_micros() as u64) / (queries.len().max(1) as u64);
+                // `execute_coalesced` records per-query metrics into the
+                // tenant's own counters; mirror them into the hub's global
+                // totals when those are distinct (multi-tenant mode).
+                let global: Option<&ServiceMetrics> =
+                    (!Arc::ptr_eq(hub.metrics(), service.metrics_arc()))
+                        .then(|| hub.metrics().as_ref());
                 let mut response_iter = responses.into_iter();
                 items
                     .iter()
@@ -425,11 +491,20 @@ mod serve {
                     .map(|(item, step)| {
                         let (response, cacheable) = match step {
                             Ok(_) => (response_iter.next().expect("response per query"), true),
-                            Err(envelope) => (service.handle_json(envelope.as_bytes()), false),
+                            Err(envelope) => {
+                                let response = service.handle_json(envelope.as_bytes());
+                                if let Some(global) = global {
+                                    global.record_transport("malformed", response.error_code());
+                                }
+                                (response, false)
+                            }
                         };
                         let status = response.error_code().map(http_status).unwrap_or(200);
                         let bytes = serialize_response(&response);
                         if cacheable {
+                            if let Some(global) = global {
+                                global.record("query", per_query_micros, response.error_code());
+                            }
                             let evicted = cache.insert(
                                 generation,
                                 &item.body,
@@ -470,10 +545,14 @@ mod serve {
         heap: BinaryHeap<Reverse<(Instant, u64)>>,
         /// Connections whose response queues may have releasable items.
         dirty: Vec<u64>,
-        /// `/query` cache misses gathered during the current tick.
-        tick_queries: Vec<QueryItem>,
-        service: Arc<CmdlService>,
-        cache: Arc<ResultCache>,
+        /// `/query` cache misses gathered during the current tick, grouped
+        /// by tenant name (each group coalesces into one executor job).
+        tick_queries: HashMap<String, TickGroup>,
+        hub: Arc<TenantHub>,
+        /// Per-tenant result-cache partitions, keyed by name and tagged
+        /// with the incarnation epoch they were created for; a recreated
+        /// lake (new epoch) silently replaces its predecessor's partition.
+        caches: HashMap<String, (u64, Arc<ResultCache>)>,
         shared: Arc<Shared>,
         jobs: mpsc::Sender<Job>,
         config: ReactorConfig,
@@ -511,8 +590,13 @@ mod serve {
                 // that missed the cache in this batch of readiness events
                 // rides one executor job and one pinned snapshot.
                 if !self.tick_queries.is_empty() {
-                    let items = std::mem::take(&mut self.tick_queries);
-                    let _ = self.jobs.send(Job::Coalesce { items });
+                    for (_, group) in std::mem::take(&mut self.tick_queries) {
+                        let _ = self.jobs.send(Job::Coalesce {
+                            tenant: group.tenant,
+                            cache: group.cache,
+                            items: group.items,
+                        });
+                    }
                 }
                 self.pump_dirty(now);
                 self.reap_deadlines(now);
@@ -580,7 +664,7 @@ mod serve {
                         }
                         self.slots[idx].conn = Some(Conn::new(stream, now, interest));
                         self.open += 1;
-                        self.service.metrics().reactor_conn_opened();
+                        self.hub.metrics().reactor_conn_opened();
                         self.arm_deadline(idx, now);
                     }
                     Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -593,7 +677,7 @@ mod serve {
         /// Answer `429 Overloaded` to a connection over the cap, best
         /// effort (the envelope fits the socket send buffer), and close.
         fn shed(&self, stream: TcpStream) {
-            self.service
+            self.hub
                 .metrics()
                 .record_transport("shed", Some(ErrorCode::Overloaded));
             let response = ServiceResponse::failure(ServiceError::with_subject(
@@ -710,16 +794,17 @@ mod serve {
         }
 
         /// Route one parsed request: inline for transport-level answers and
-        /// cache hits, executor job otherwise.
+        /// cache hits, executor job otherwise. The tenant prefix is split
+        /// off the path first; un-prefixed paths address the default
+        /// tenant, exactly as in the thread-pool adapter.
         fn dispatch(&mut self, idx: usize, token: u64, seq: u64, request: ParsedRequest) {
-            let service = Arc::clone(&self.service);
+            let hub = Arc::clone(&self.hub);
             if request.unsupported_encoding {
                 let response = ServiceResponse::failure(ServiceError::with_subject(
                     ErrorCode::MalformedRequest,
                     "transfer-encoding is not supported; frame bodies with content-length",
                 ));
-                service
-                    .metrics()
+                hub.metrics()
                     .record_transport("malformed", Some(ErrorCode::MalformedRequest));
                 self.complete_local(
                     idx,
@@ -734,11 +819,14 @@ mod serve {
                 );
                 return;
             }
-            if (request.method.as_str(), request.path.as_str()) == ("GET", "/metrics") {
+            let (tenant_name, path) = split_tenant(&request.path);
+            if (request.method.as_str(), path) == ("GET", "/metrics") {
                 // Render before recording, like the thread-pool adapter: the
-                // scrape does not count itself.
-                let out = service.render_metrics();
-                service.metrics().record_transport("metrics", None);
+                // scrape does not count itself. The exposition is hub-wide
+                // (global totals + every tenant's labeled series) whichever
+                // prefix it was scraped through.
+                let out = hub.render_metrics();
+                hub.metrics().record_transport("metrics", None);
                 self.complete_local(
                     idx,
                     token,
@@ -752,15 +840,71 @@ mod serve {
                 );
                 return;
             }
-            if (request.method.as_str(), request.path.as_str()) == ("POST", "/query") {
-                let generation = service.published_generation();
-                match self.cache.lookup(generation, &request.body) {
+            if (request.method.as_str(), path) == ("POST", "/query") {
+                let Some(tenant) = hub.tenant(tenant_name) else {
+                    let response = ServiceResponse::failure(ServiceError::with_subject(
+                        ErrorCode::UnknownTenant,
+                        tenant_name,
+                    ));
+                    hub.metrics()
+                        .record_transport("query", Some(ErrorCode::UnknownTenant));
+                    self.complete_local(
+                        idx,
+                        token,
+                        seq,
+                        Outgoing::Response {
+                            status: http_status(ErrorCode::UnknownTenant),
+                            content_type: "application/json",
+                            body: Body::Owned(serialize_response(&response)),
+                            keep_alive: request.keep_alive,
+                        },
+                    );
+                    return;
+                };
+                // Admission happens before the cache probe: a tenant at its
+                // concurrency cap is shed with the typed 429 even for work
+                // the cache could answer, keeping `max_inflight` an honest
+                // bound on the tenant's share of the server.
+                let permit = match tenant.admit() {
+                    Ok(permit) => permit,
+                    Err(error) => {
+                        tenant
+                            .service()
+                            .metrics()
+                            .record_transport("query", Some(error.code));
+                        if !Arc::ptr_eq(hub.metrics(), tenant.service().metrics_arc()) {
+                            hub.metrics().record_transport("query", Some(error.code));
+                        }
+                        let status = http_status(error.code);
+                        let response = ServiceResponse::failure(error);
+                        self.complete_local(
+                            idx,
+                            token,
+                            seq,
+                            Outgoing::Response {
+                                status,
+                                content_type: "application/json",
+                                body: Body::Owned(serialize_response(&response)),
+                                keep_alive: request.keep_alive,
+                            },
+                        );
+                        return;
+                    }
+                };
+                let cache = self.cache_for(&tenant);
+                let generation = tenant.service().published_generation();
+                let distinct = !Arc::ptr_eq(hub.metrics(), tenant.service().metrics_arc());
+                match cache.lookup(generation, &request.body) {
                     CacheOutcome::Hit(cached) => {
-                        let metrics = service.metrics();
+                        let metrics = tenant.service().metrics();
                         metrics.record_cache_hit();
                         // A hit is still a served query: keep the request
                         // counters truthful (sub-microsecond latency).
                         metrics.record("query", 1, cached.error);
+                        if distinct {
+                            hub.metrics().record_cache_hit();
+                            hub.metrics().record("query", 1, cached.error);
+                        }
                         self.complete_local(
                             idx,
                             token,
@@ -772,32 +916,48 @@ mod serve {
                                 keep_alive: request.keep_alive,
                             },
                         );
+                        // The permit drops here: a cache hit occupies its
+                        // admission slot only for the probe.
                     }
                     CacheOutcome::Miss { invalidated } => {
-                        let metrics = service.metrics();
+                        let metrics = tenant.service().metrics();
                         metrics.record_cache_miss();
                         if invalidated > 0 {
                             metrics.record_cache_invalidated(invalidated);
                         }
-                        self.tick_queries.push(QueryItem {
+                        if distinct {
+                            hub.metrics().record_cache_miss();
+                            if invalidated > 0 {
+                                hub.metrics().record_cache_invalidated(invalidated);
+                            }
+                        }
+                        let group = self
+                            .tick_queries
+                            .entry(tenant.name().to_string())
+                            .or_insert_with(|| TickGroup {
+                                tenant: Arc::clone(&tenant),
+                                cache,
+                                items: Vec::new(),
+                            });
+                        group.items.push(QueryItem {
                             token,
                             seq,
                             body: request.body,
                             keep_alive: request.keep_alive,
+                            permit: Some(permit),
                         });
                     }
                 }
                 return;
             }
             let body = String::from_utf8_lossy(&request.body);
-            match route_envelope(&request.method, &request.path, &body) {
+            match route_envelope(&request.method, path, &body) {
                 None => {
                     let response = ServiceResponse::failure(ServiceError::with_subject(
                         ErrorCode::UnknownRoute,
                         format!("{} {}", request.method, request.path),
                     ));
-                    service
-                        .metrics()
+                    hub.metrics()
                         .record_transport("unknown_route", Some(ErrorCode::UnknownRoute));
                     self.complete_local(
                         idx,
@@ -813,11 +973,30 @@ mod serve {
                 }
                 Some(envelope) => {
                     let _ = self.jobs.send(Job::Single {
+                        tenant: tenant_name.to_string(),
                         token,
                         seq,
                         envelope,
                         keep_alive: request.keep_alive,
                     });
+                }
+            }
+        }
+
+        /// The tenant's result-cache partition, created (or replaced) on
+        /// first sight of an incarnation: the epoch tag guarantees a
+        /// dropped-then-recreated lake starts from an empty partition, so
+        /// entries from a previous life can never serve.
+        fn cache_for(&mut self, tenant: &Arc<Tenant>) -> Arc<ResultCache> {
+            match self.caches.get(tenant.name()) {
+                Some((epoch, cache)) if *epoch == tenant.epoch() => Arc::clone(cache),
+                _ => {
+                    let cache = Arc::new(ResultCache::new(self.config.cache.clone()));
+                    self.caches.insert(
+                        tenant.name().to_string(),
+                        (tenant.epoch(), Arc::clone(&cache)),
+                    );
+                    cache
                 }
             }
         }
@@ -952,7 +1131,7 @@ mod serve {
                 // deadline — activity since arming may have pushed it out.
                 match conn.deadline(Some(self.config.idle_timeout)) {
                     Some(actual) if actual <= now => {
-                        self.service.metrics().reactor_conn_reaped();
+                        self.hub.metrics().reactor_conn_reaped();
                         self.close(idx);
                     }
                     Some(actual) => self.heap.push(Reverse((actual, token))),
@@ -969,7 +1148,7 @@ mod serve {
             self.slots[idx].epoch = self.slots[idx].epoch.wrapping_add(1);
             self.free.push(idx);
             self.open -= 1;
-            self.service.metrics().reactor_conn_closed();
+            self.hub.metrics().reactor_conn_closed();
         }
     }
 }

@@ -69,6 +69,17 @@ struct SingleGate {
     /// the last published snapshot; mutations are refused and health
     /// reports `degraded`.
     wedged: AtomicBool,
+    /// While a background reconfiguration is rebuilding the catalog,
+    /// `Some(log)`: every mutation the gate successfully applies is also
+    /// recorded here (in apply order) so the rebuilt catalog can replay
+    /// the deltas it missed before being swapped in. `None` otherwise.
+    /// Only ever locked while holding (or inside) the writer gate, so the
+    /// lock order writer → recording is global.
+    recording: Mutex<Option<Vec<ServiceRequest>>>,
+    /// Guards the one-reconfiguration-at-a-time invariant: set by CAS when
+    /// a `Reconfigure` starts, cleared when it swaps or aborts. A second
+    /// request while set gets `ReconfigurePending`.
+    reconfiguring: AtomicBool,
 }
 
 /// The sharded backend: the internally-synchronized [`ShardedCmdl`]
@@ -84,6 +95,9 @@ struct ShardedGate {
     wedged: AtomicBool,
 }
 
+// One Backend exists per service (never in collections), so the size skew
+// between the gate variants costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Single(SingleGate),
     Sharded(ShardedGate),
@@ -143,6 +157,8 @@ impl CmdlService {
                 published,
                 queue: Mutex::new(VecDeque::new()),
                 wedged: AtomicBool::new(false),
+                recording: Mutex::new(None),
+                reconfiguring: AtomicBool::new(false),
             }),
             metrics: Arc::new(ServiceMetrics::default()),
         }
@@ -284,11 +300,28 @@ impl CmdlService {
         }
     }
 
-    fn is_wedged(&self) -> bool {
+    /// Whether the writer gate is wedged: mutations are refused while
+    /// reads keep serving the last published snapshot, and health reports
+    /// `degraded`. The tenant hub surfaces this per lake.
+    pub fn is_wedged(&self) -> bool {
         match &self.backend {
             Backend::Single(gate) => gate.wedged.load(Ordering::SeqCst),
             Backend::Sharded(gate) => gate.wedged.load(Ordering::SeqCst),
         }
+    }
+
+    /// Whether a background reconfiguration is currently rebuilding this
+    /// catalog (always `false` on the sharded backend).
+    pub fn is_reconfiguring(&self) -> bool {
+        match &self.backend {
+            Backend::Single(gate) => gate.reconfiguring.load(Ordering::SeqCst),
+            Backend::Sharded(_) => false,
+        }
+    }
+
+    /// Introspection statistics of the currently published generation.
+    pub fn stats(&self) -> CmdlStats {
+        self.view().stats()
     }
 
     /// The service counters.
@@ -296,10 +329,16 @@ impl CmdlService {
         &self.metrics
     }
 
-    /// Render the metrics text exposition (counters plus the published
-    /// snapshot's generation and delta pressure).
-    pub fn render_metrics(&self) -> String {
-        let (generation, pressure) = match self.view() {
+    /// The shared counter handle (the tenant hub aliases this as the
+    /// global metrics sink in single-tenant compatibility mode).
+    pub(crate) fn metrics_arc(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
+    }
+
+    /// The published generation and delta pressure — the two gauges the
+    /// text exposition carries next to the counters.
+    pub(crate) fn generation_and_pressure(&self) -> (u64, f64) {
+        match self.view() {
             View::Single(snapshot) => (snapshot.generation, snapshot.indexes.delta_pressure()),
             View::Sharded(snapshot) => {
                 let pressure = snapshot
@@ -309,7 +348,13 @@ impl CmdlService {
                     .fold(0.0_f64, f64::max);
                 (snapshot.generation, pressure)
             }
-        };
+        }
+    }
+
+    /// Render the metrics text exposition (counters plus the published
+    /// snapshot's generation and delta pressure).
+    pub fn render_metrics(&self) -> String {
+        let (generation, pressure) = self.generation_and_pressure();
         self.metrics.render(generation, pressure)
     }
 
@@ -377,10 +422,10 @@ impl CmdlService {
     pub fn handle(&self, request: ServiceRequest) -> ServiceResponse {
         let started = Instant::now();
         let kind = request.kind();
-        let response = if request.is_mutation() {
-            self.submit_mutation(request)
-        } else {
-            self.handle_read(request)
+        let response = match request {
+            request if request.is_mutation() => self.submit_mutation(request),
+            ServiceRequest::Reconfigure(config) => self.reconfigure(config),
+            request => self.handle_read(request),
         };
         self.metrics.record(
             kind,
@@ -454,14 +499,30 @@ impl CmdlService {
                     .collect();
                 ServiceResponse::success(ResponsePayload::QueryBatch(outcomes))
             }
-            ServiceRequest::Stats => ServiceResponse::success(ResponsePayload::Stats(view.stats())),
+            ServiceRequest::Stats => {
+                // `wedged`/`reconfiguring` are gate properties, not snapshot
+                // properties: stamp them in here, where the gate is visible.
+                let mut stats = view.stats();
+                stats.wedged = self.is_wedged();
+                stats.reconfiguring = self.is_reconfiguring();
+                ServiceResponse::success(ResponsePayload::Stats(stats))
+            }
             ServiceRequest::Health => {
-                let status = if self.is_wedged() { "degraded" } else { "ok" };
+                let wedged = self.is_wedged();
+                let status = if wedged { "degraded" } else { "ok" };
                 ServiceResponse::success(ResponsePayload::Health(HealthReport {
                     status: status.to_string(),
                     generation: view.generation(),
+                    wedged,
+                    reconfiguring: self.is_reconfiguring(),
                 }))
             }
+            ServiceRequest::CreateLake { .. }
+            | ServiceRequest::DropLake { .. }
+            | ServiceRequest::ListLakes => ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::InvalidQuery,
+                "lake management requires the multi-tenant hub; this server hosts a single lake",
+            )),
             mutation => {
                 // Unreachable through `handle` (routed by `is_mutation`);
                 // keep a defensive envelope rather than a panic.
@@ -475,6 +536,25 @@ impl CmdlService {
         match &self.backend {
             Backend::Single(gate) => gate.submit_mutation(request),
             Backend::Sharded(gate) => gate.submit_mutation(request),
+        }
+    }
+
+    /// Rebuild the catalog under `config` in the background and atomically
+    /// swap it into the next published generation (see
+    /// `SingleGate::reconfigure` for the protocol). Queries keep hitting
+    /// the old published snapshot throughout; ingests keep landing (they
+    /// are recorded and replayed onto the rebuilt catalog before the
+    /// swap). The sharded backend has no online-rebuild path — its shard
+    /// count and layout are fixed at construction — so it reports a typed
+    /// error instead.
+    pub fn reconfigure(&self, config: CmdlConfig) -> ServiceResponse {
+        match &self.backend {
+            Backend::Single(gate) => gate.reconfigure(config),
+            Backend::Sharded(_) => ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::InvalidQuery,
+                "online reconfiguration is unsupported on the sharded backend; \
+                 restart with the new config",
+            )),
         }
     }
 
@@ -580,6 +660,16 @@ impl SingleGate {
             };
             let kind = pending.request.kind();
             let wal_mark = cmdl.wal_mark();
+            // While a background reconfiguration is in flight, keep a copy
+            // of the request so the rebuilt catalog can replay it. Cloned
+            // before the apply (which consumes the request); recorded after
+            // only if the apply succeeded.
+            let replay_copy = self
+                .recording
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .is_some()
+                .then(|| pending.request.clone());
             let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 Self::apply_mutation(&mut *cmdl, pending.request)
             }))
@@ -601,11 +691,180 @@ impl SingleGate {
                 }
                 ServiceResponse::failure(ServiceError::with_subject(ErrorCode::Internal, detail))
             });
+            if response.ok {
+                if let Some(request) = replay_copy {
+                    if let Some(log) = self
+                        .recording
+                        .lock()
+                        .unwrap_or_else(|poison| poison.into_inner())
+                        .as_mut()
+                    {
+                        log.push(request);
+                    }
+                }
+            }
             *pending
                 .result
                 .lock()
                 .unwrap_or_else(|poison| poison.into_inner()) = Some(response);
         }
+    }
+
+    /// Online reconfiguration — the Polynesia-style "build the new layout
+    /// off the critical path, then propagate" protocol, in three phases:
+    ///
+    /// 1. **Pin** (brief writer hold): drain the queue, publish, snapshot
+    ///    the *lake* (source tuples, not indexes) as the rebuild base, and
+    ///    start recording every mutation the gate applies from here on.
+    /// 2. **Rebuild** (no locks): `Cmdl::build(base, new_config)` — the
+    ///    expensive part. Queries keep hitting the published snapshot;
+    ///    ingests keep landing on the live catalog (and the recording).
+    ///    A joint model is carried over (re-embedded, not retrained) when
+    ///    the new config keeps its dimensionality.
+    /// 3. **Swap** (brief writer hold): drain once more, stop recording,
+    ///    replay the recorded deltas onto the rebuilt catalog, raise its
+    ///    generation above the retiring catalog's (so generation-keyed
+    ///    caches invalidate), hand over the persistence layer (checkpoint
+    ///    under the new config), and publish the rebuilt catalog as the
+    ///    next generation.
+    ///
+    /// Any failure aborts: the live catalog — which kept serving and
+    /// absorbing mutations throughout — stays in place untouched.
+    fn reconfigure(&self, config: CmdlConfig) -> ServiceResponse {
+        if self.wedged.load(Ordering::SeqCst) {
+            return ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::Internal,
+                "writer gate wedged: in-memory state could not be reconciled with \
+                 disk after a panic; restart to recover",
+            ));
+        }
+        if config.shards > 1 {
+            return ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::InvalidQuery,
+                "reconfigure cannot change the shard count; restart with a sharded config",
+            ));
+        }
+        if self
+            .reconfiguring
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::ReconfigurePending,
+                "a background reconfiguration is already in flight for this lake",
+            ));
+        }
+
+        // Phase 1: pin the rebuild base and start recording deltas.
+        let (base_lake, carried_joint) = {
+            let mut cmdl = self
+                .writer
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            self.drain_queue(&mut cmdl);
+            let snapshot = cmdl.snapshot();
+            *self
+                .published
+                .write()
+                .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
+            *self
+                .recording
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner()) = Some(Vec::new());
+            let carry = (cmdl.config.embedding_dim == config.embedding_dim
+                && cmdl.config.joint_dim == config.joint_dim)
+                .then(|| cmdl.joint_model_arc())
+                .flatten();
+            (cmdl.profiled.lake.clone(), carry)
+        };
+
+        // Phase 2: the expensive rebuild, entirely outside the gate.
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut shadow = Cmdl::build(base_lake, config);
+            if let Some(model) = carried_joint {
+                shadow.adopt_joint(model);
+            }
+            shadow
+        }));
+        let mut shadow = match built {
+            Ok(shadow) => shadow,
+            Err(panic) => {
+                let detail = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "background rebuild panicked".to_string());
+                eprintln!("cmdl: reconfigure rebuild panicked: {detail}");
+                return self
+                    .abort_reconfigure(ServiceError::with_subject(ErrorCode::Internal, detail));
+            }
+        };
+
+        // Phase 3: replay the recorded deltas and swap.
+        let mut cmdl = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        self.drain_queue(&mut cmdl);
+        let recorded = self
+            .recording
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .take()
+            .unwrap_or_default();
+        for request in recorded {
+            let kind = request.kind();
+            let outcome = Self::apply_mutation(&mut shadow, request);
+            if !outcome.ok {
+                drop(cmdl);
+                return self.abort_reconfigure(ServiceError::with_subject(
+                    ErrorCode::Internal,
+                    format!(
+                        "reconfigure aborted: replaying a recorded {kind} onto the \
+                         rebuilt catalog failed; the old catalog keeps serving"
+                    ),
+                ));
+            }
+        }
+        // Strictly above the retiring catalog's generation, so
+        // generation-keyed result caches observe the swap.
+        shadow.set_generation_floor(cmdl.generation() + 1);
+        if cmdl.is_persistent() {
+            let handle = cmdl
+                .take_persistence()
+                .expect("persistent catalog has a handle");
+            shadow.install_persistence(handle);
+            if let Err(error) = shadow.checkpoint() {
+                // Undo the handoff: the directory still describes the old
+                // catalog, which keeps both the handle and the traffic.
+                let handle = shadow.take_persistence().expect("just installed");
+                cmdl.install_persistence(handle);
+                drop(cmdl);
+                return self.abort_reconfigure(ServiceError::from(error));
+            }
+        }
+        *cmdl = shadow;
+        let snapshot = cmdl.snapshot();
+        let generation = snapshot.generation;
+        *self
+            .published
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
+        drop(cmdl);
+        self.reconfiguring.store(false, Ordering::SeqCst);
+        ServiceResponse::success(ResponsePayload::Reconfigured { generation })
+    }
+
+    /// Tear down an in-flight reconfiguration (recording off, flag
+    /// cleared) and wrap `error` in a failure envelope. The live catalog
+    /// is untouched by construction — aborts never mutate it.
+    fn abort_reconfigure(&self, error: ServiceError) -> ServiceResponse {
+        *self
+            .recording
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner()) = None;
+        self.reconfiguring.store(false, Ordering::SeqCst);
+        ServiceResponse::failure(error)
     }
 
     fn apply_mutation(cmdl: &mut Cmdl, request: ServiceRequest) -> ServiceResponse {

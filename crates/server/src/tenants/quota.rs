@@ -1,0 +1,123 @@
+//! Per-tenant quotas and admission control.
+//!
+//! Quotas bound what one tenant can *hold* (tables, documents, cumulative
+//! ingested bytes) and what it can *do at once* (in-flight requests).
+//! Breaches surface as [`ErrorCode::QuotaExceeded`] — the quota-specific
+//! 429 — with the breached limit's name as the subject, so a noisy tenant
+//! is shed with a typed error while every other tenant keeps its share of
+//! the worker pool.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cmdl_core::ErrorCode;
+
+use crate::api::{LakeQuotas, ServiceError, ServiceRequest};
+
+use super::Tenant;
+
+/// The per-tenant resource limits. The default is unlimited everywhere —
+/// quotas are opt-in per lake: `CreateLake` may carry a [`LakeQuotas`]
+/// override (any subset of the limits), and whatever it leaves unset is
+/// inherited from the hub defaults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantQuotas {
+    /// Maximum live tables in the lake (`IngestTable` beyond this is shed).
+    pub max_tables: usize,
+    /// Maximum live documents in the lake.
+    pub max_documents: usize,
+    /// Maximum cumulative ingested payload bytes (an admission-time
+    /// estimate over the raw cell/text lengths, refunded when the ingest
+    /// itself fails). Removals do not credit the budget back — the quota
+    /// bounds total ingest work, not the live footprint.
+    pub max_ingest_bytes: u64,
+    /// Maximum concurrently executing requests for this tenant — the
+    /// noisy-neighbor cap that keeps one tenant from monopolizing the
+    /// shared worker pool.
+    pub max_inflight: usize,
+}
+
+impl Default for TenantQuotas {
+    fn default() -> Self {
+        Self {
+            max_tables: usize::MAX,
+            max_documents: usize::MAX,
+            max_ingest_bytes: u64::MAX,
+            max_inflight: usize::MAX,
+        }
+    }
+}
+
+impl TenantQuotas {
+    /// The unlimited quota set (the default).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// These quotas with a wire-level override applied: every limit the
+    /// spec sets wins, everything it leaves out stays as-is.
+    pub fn overridden(&self, spec: &LakeQuotas) -> Self {
+        Self {
+            max_tables: spec.max_tables.unwrap_or(self.max_tables),
+            max_documents: spec.max_documents.unwrap_or(self.max_documents),
+            max_ingest_bytes: spec.max_ingest_bytes.unwrap_or(self.max_ingest_bytes),
+            max_inflight: spec.max_inflight.unwrap_or(self.max_inflight),
+        }
+    }
+}
+
+/// A typed quota breach: 429 with the breached limit named in the subject.
+pub(super) fn quota_error(limit: &str) -> ServiceError {
+    ServiceError::with_subject(ErrorCode::QuotaExceeded, limit)
+}
+
+/// An admitted in-flight slot, released on drop. Holding one keeps the
+/// tenant alive even across a concurrent `DropLake` (the catalog the
+/// request pinned stays valid; only the registry entry is gone).
+pub struct InflightPermit {
+    tenant: Arc<Tenant>,
+}
+
+impl Drop for InflightPermit {
+    fn drop(&mut self) {
+        self.tenant.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Reserve an in-flight slot, or shed with the typed 429 when the tenant
+/// is already at its concurrency cap.
+pub(super) fn admit(tenant: &Arc<Tenant>) -> Result<InflightPermit, ServiceError> {
+    let occupied = tenant.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    if occupied > tenant.quotas.max_inflight {
+        tenant.inflight.fetch_sub(1, Ordering::SeqCst);
+        return Err(quota_error("max_inflight"));
+    }
+    Ok(InflightPermit {
+        tenant: Arc::clone(tenant),
+    })
+}
+
+/// The admission-time byte estimate of an ingest payload: raw cell/text
+/// lengths, not the (config-dependent) indexed footprint.
+pub(super) fn ingest_cost(request: &ServiceRequest) -> u64 {
+    match request {
+        ServiceRequest::IngestTable(table) => {
+            let mut bytes = table.name.len() as u64;
+            for column in &table.columns {
+                bytes += column.name.len() as u64;
+                for value in &column.values {
+                    bytes += match value {
+                        cmdl_datalake::Value::Text(text) => text.len() as u64,
+                        cmdl_datalake::Value::Number(_) => 8,
+                        cmdl_datalake::Value::Null => 0,
+                    };
+                }
+            }
+            bytes
+        }
+        ServiceRequest::IngestDocument(document) => {
+            (document.title.len() + document.source.len() + document.text.len()) as u64
+        }
+        _ => 0,
+    }
+}

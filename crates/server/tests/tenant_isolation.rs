@@ -1,0 +1,656 @@
+//! Multi-tenant control-plane isolation tests: lake lifecycle
+//! (create/list/drop), legacy-route mapping, typed quota enforcement,
+//! concurrent create/drop racing data-plane traffic, drop-fencing of new
+//! requests while pinned readers finish, fresh generations and persist
+//! directories for recreated names, and the `tenant`-labeled metrics
+//! exposition. Everything here runs through the in-process hub contract
+//! (the same `handle`/`handle_json` the HTTP adapters splice into), plus
+//! one wire-level pass over the `/t/<name>/` prefix when the sandbox
+//! allows loopback sockets.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use cmdl_core::{ErrorCode, QueryBuilder};
+use cmdl_datalake::{Column, Document, Table};
+use cmdl_server::{
+    http_status, serve_hub, split_tenant, HttpConfig, LakeQuotas, ResponsePayload, ServiceRequest,
+    ServiceResponse, TenantDefaults, TenantHub, TenantQuotas, DEFAULT_TENANT,
+};
+
+fn memory_hub() -> Arc<TenantHub> {
+    TenantHub::new(TenantDefaults::default()).expect("in-memory hub")
+}
+
+fn quota_hub(quotas: TenantQuotas) -> Arc<TenantHub> {
+    TenantHub::new(TenantDefaults {
+        quotas,
+        ..TenantDefaults::default()
+    })
+    .expect("in-memory hub")
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cmdl-tenants-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create data root");
+    dir
+}
+
+fn create(hub: &TenantHub, name: &str) -> ServiceResponse {
+    hub.handle(
+        DEFAULT_TENANT,
+        ServiceRequest::CreateLake {
+            name: name.to_string(),
+            config: None,
+            quotas: None,
+        },
+    )
+}
+
+fn drop_lake(hub: &TenantHub, name: &str) -> ServiceResponse {
+    hub.handle(
+        DEFAULT_TENANT,
+        ServiceRequest::DropLake {
+            name: name.to_string(),
+        },
+    )
+}
+
+fn ingest_doc(hub: &TenantHub, tenant: &str, title: &str) -> ServiceResponse {
+    hub.handle(
+        tenant,
+        ServiceRequest::IngestDocument(Document::new(title, "PubMed", "a tenant-scoped note")),
+    )
+}
+
+fn query(hub: &TenantHub, tenant: &str, text: &str) -> ServiceResponse {
+    hub.handle(
+        tenant,
+        ServiceRequest::Query(QueryBuilder::keyword(text).top_k(5).build()),
+    )
+}
+
+#[test]
+fn create_list_drop_lifecycle() {
+    let hub = memory_hub();
+
+    let created = create(&hub, "alpha");
+    assert!(created.ok, "{created:?}");
+    match created.payload {
+        Some(ResponsePayload::LakeCreated { ref name, .. }) => assert_eq!(name, "alpha"),
+        ref other => panic!("wrong payload: {other:?}"),
+    }
+
+    // Duplicate names are a typed conflict.
+    let duplicate = create(&hub, "alpha");
+    assert_eq!(duplicate.error_code(), Some(ErrorCode::DuplicateTenant));
+    assert_eq!(http_status(ErrorCode::DuplicateTenant), 409);
+
+    // Invalid names never reach the registry.
+    let invalid = create(&hub, "no/slashes");
+    assert_eq!(invalid.error_code(), Some(ErrorCode::MalformedRequest));
+
+    // The listing is sorted and carries the stable health shape.
+    let listing = hub.handle(DEFAULT_TENANT, ServiceRequest::ListLakes);
+    match listing.payload {
+        Some(ResponsePayload::Lakes(lakes)) => {
+            let names: Vec<&str> = lakes.iter().map(|l| l.name.as_str()).collect();
+            assert_eq!(names, vec!["alpha", DEFAULT_TENANT]);
+            for lake in &lakes {
+                assert_eq!(lake.status, "ok");
+                assert!(!lake.wedged);
+                assert!(!lake.reconfiguring);
+            }
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+
+    // Data plane is isolated per tenant: alpha's document is invisible to
+    // the default lake.
+    assert!(ingest_doc(&hub, "alpha", "alpha-note").ok);
+    let hits_alpha = query(&hub, "alpha", "tenant-scoped");
+    assert!(hits_alpha.ok, "{hits_alpha:?}");
+    match (query(&hub, DEFAULT_TENANT, "tenant-scoped").payload).as_ref() {
+        Some(ResponsePayload::Query(response)) => {
+            assert!(
+                response.hits.is_empty(),
+                "default lake must not see alpha's data"
+            );
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+
+    // Drop fences the name; dropping again is a typed miss.
+    assert!(drop_lake(&hub, "alpha").ok);
+    assert_eq!(
+        query(&hub, "alpha", "x").error_code(),
+        Some(ErrorCode::UnknownTenant)
+    );
+    assert_eq!(http_status(ErrorCode::UnknownTenant), 404);
+    assert_eq!(
+        drop_lake(&hub, "alpha").error_code(),
+        Some(ErrorCode::UnknownTenant)
+    );
+}
+
+#[test]
+fn legacy_paths_address_the_default_tenant() {
+    assert_eq!(split_tenant("/query"), (DEFAULT_TENANT, "/query"));
+    assert_eq!(split_tenant("/t/alpha/query"), ("alpha", "/query"));
+
+    // The hub's JSON transport serves legacy traffic against the default
+    // lake with no tenant ceremony at all.
+    let hub = memory_hub();
+    let response = hub.handle_json(DEFAULT_TENANT, br#""Health""#);
+    assert!(response.ok, "{response:?}");
+    match response.payload {
+        Some(ResponsePayload::Health(health)) => {
+            assert_eq!(health.status, "ok");
+            assert!(!health.wedged);
+            assert!(!health.reconfiguring);
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+}
+
+#[test]
+fn stats_surface_gate_state_explicitly() {
+    let hub = memory_hub();
+    let response = hub.handle(DEFAULT_TENANT, ServiceRequest::Stats);
+    match response.payload {
+        Some(ResponsePayload::Stats(stats)) => {
+            assert!(!stats.wedged);
+            assert!(!stats.reconfiguring);
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+}
+
+#[test]
+fn quota_breaches_are_typed_429s() {
+    let hub = quota_hub(TenantQuotas {
+        max_tables: 1,
+        max_documents: 1,
+        max_ingest_bytes: 10_000,
+        max_inflight: usize::MAX,
+    });
+    assert!(create(&hub, "bounded").ok);
+
+    // Capacity quotas: the first table/document land, the second of each is
+    // shed with the breached limit named in the subject.
+    let table = |name: &str| {
+        ServiceRequest::IngestTable(Table::new(
+            name,
+            vec![Column::from_texts("City", ["Boston", "Lyon"])],
+        ))
+    };
+    assert!(hub.handle("bounded", table("T1")).ok);
+    let over_tables = hub.handle("bounded", table("T2"));
+    assert_eq!(over_tables.error_code(), Some(ErrorCode::QuotaExceeded));
+    assert_eq!(http_status(ErrorCode::QuotaExceeded), 429);
+    assert_eq!(
+        over_tables
+            .error
+            .as_ref()
+            .and_then(|e| e.subject.as_deref()),
+        Some("max_tables")
+    );
+
+    assert!(ingest_doc(&hub, "bounded", "d1").ok);
+    let over_documents = ingest_doc(&hub, "bounded", "d2");
+    assert_eq!(over_documents.error_code(), Some(ErrorCode::QuotaExceeded));
+    assert_eq!(
+        over_documents
+            .error
+            .as_ref()
+            .and_then(|e| e.subject.as_deref()),
+        Some("max_documents")
+    );
+
+    // Reads are not capacity-bounded.
+    assert!(query(&hub, "bounded", "boston").ok);
+
+    // Other tenants are untouched by the noisy one's breaches.
+    assert!(create(&hub, "bystander").ok);
+    // (`bystander` got the same defaults; its own first ingest still works.)
+    assert!(hub.handle("bystander", table("T1")).ok);
+}
+
+#[test]
+fn create_lake_quota_override_beats_hub_defaults() {
+    // Unlimited hub defaults; one lake opts into a one-document cap.
+    let hub = memory_hub();
+    let created = hub.handle(
+        DEFAULT_TENANT,
+        ServiceRequest::CreateLake {
+            name: "capped".to_string(),
+            config: None,
+            quotas: Some(LakeQuotas {
+                max_documents: Some(1),
+                ..LakeQuotas::default()
+            }),
+        },
+    );
+    assert!(created.ok, "{created:?}");
+    assert!(create(&hub, "roomy").ok);
+
+    assert!(ingest_doc(&hub, "capped", "only").ok);
+    let over = ingest_doc(&hub, "capped", "overflow");
+    assert_eq!(over.error_code(), Some(ErrorCode::QuotaExceeded));
+    assert_eq!(
+        over.error.as_ref().and_then(|e| e.subject.as_deref()),
+        Some("max_documents")
+    );
+
+    // The sibling created without an override keeps the hub defaults.
+    for i in 0..3 {
+        assert!(ingest_doc(&hub, "roomy", &format!("doc-{i}")).ok);
+    }
+
+    // The wire shape is additive: a partial JSON spec fills the rest with
+    // unlimited, and the pre-override payload (no "quotas" key) still parses.
+    let wired = hub.handle_json(
+        DEFAULT_TENANT,
+        br#"{"CreateLake":{"name":"wired","config":null,"quotas":{"max_documents":1}}}"#,
+    );
+    assert!(wired.ok, "{wired:?}");
+    assert!(ingest_doc(&hub, "wired", "only").ok);
+    assert_eq!(
+        ingest_doc(&hub, "wired", "overflow").error_code(),
+        Some(ErrorCode::QuotaExceeded)
+    );
+    let legacy = hub.handle_json(
+        DEFAULT_TENANT,
+        br#"{"CreateLake":{"name":"legacy","config":null}}"#,
+    );
+    assert!(legacy.ok, "{legacy:?}");
+}
+
+#[test]
+fn byte_budget_charges_and_refunds() {
+    // Budget chosen so the post-refund sequence (33 + 11 + 33 = 77 bytes)
+    // fits but an un-refunded failed duplicate (+11) would not.
+    let hub = quota_hub(TenantQuotas {
+        max_ingest_bytes: 80,
+        ..TenantQuotas::unlimited()
+    });
+    assert!(create(&hub, "bytes").ok);
+
+    // 33 bytes of payload fits the budget...
+    let doc = |title: &str| {
+        ServiceRequest::IngestDocument(Document::new(title, "s", "0123456789012345678901234567890"))
+    };
+    assert!(hub.handle("bytes", doc("a")).ok);
+    // ...a failed ingest (duplicate title is fine; duplicate *table* names
+    // fail) — use a table to get a deterministic failure and check the
+    // refund: the duplicate's estimate must not burn budget.
+    let table = ServiceRequest::IngestTable(Table::new(
+        "Dup",
+        vec![Column::from_texts("V", ["squeeze"])],
+    ));
+    assert!(hub.handle("bytes", table.clone()).ok);
+    let failed = hub.handle("bytes", table);
+    assert_eq!(failed.error_code(), Some(ErrorCode::DuplicateTable));
+    // The refund left room for one more small document.
+    assert!(hub.handle("bytes", doc("b")).ok, "refund must credit back");
+    // And the budget does eventually bound cumulative ingest.
+    let over = hub.handle("bytes", doc("c"));
+    assert_eq!(over.error_code(), Some(ErrorCode::QuotaExceeded));
+    assert_eq!(
+        over.error.as_ref().and_then(|e| e.subject.as_deref()),
+        Some("max_ingest_bytes")
+    );
+}
+
+#[test]
+fn zero_inflight_quota_sheds_deterministically() {
+    let hub = quota_hub(TenantQuotas {
+        max_inflight: 0,
+        ..TenantQuotas::unlimited()
+    });
+    assert!(create(&hub, "frozen").ok);
+    let shed = query(&hub, "frozen", "anything");
+    assert_eq!(shed.error_code(), Some(ErrorCode::QuotaExceeded));
+    assert_eq!(
+        shed.error.as_ref().and_then(|e| e.subject.as_deref()),
+        Some("max_inflight")
+    );
+    // The control plane is not admission-controlled: the frozen tenant can
+    // still be listed and dropped.
+    assert!(hub.handle(DEFAULT_TENANT, ServiceRequest::ListLakes).ok);
+    assert!(drop_lake(&hub, "frozen").ok);
+}
+
+#[test]
+fn concurrent_create_drop_races_queries_and_ingests() {
+    let hub = memory_hub();
+    let rounds = 60;
+
+    std::thread::scope(|scope| {
+        // Lifecycle churn: create and drop the same name in a tight loop.
+        let churn_hub = Arc::clone(&hub);
+        scope.spawn(move || {
+            for i in 0..rounds {
+                let created = create(&churn_hub, "race");
+                assert!(
+                    created.ok || created.error_code() == Some(ErrorCode::DuplicateTenant),
+                    "create round {i}: {created:?}"
+                );
+                let dropped = drop_lake(&churn_hub, "race");
+                assert!(
+                    dropped.ok || dropped.error_code() == Some(ErrorCode::UnknownTenant),
+                    "drop round {i}: {dropped:?}"
+                );
+            }
+        });
+        // A second creator fighting for the same name.
+        let rival_hub = Arc::clone(&hub);
+        scope.spawn(move || {
+            for i in 0..rounds {
+                let created = create(&rival_hub, "race");
+                assert!(
+                    created.ok || created.error_code() == Some(ErrorCode::DuplicateTenant),
+                    "rival create round {i}: {created:?}"
+                );
+            }
+        });
+        // Data-plane traffic racing the churn: every response is either a
+        // success or one of the exact errors the lifecycle can produce —
+        // never a torn snapshot, panic, or malformed envelope.
+        for reader in 0..2 {
+            let data_hub = Arc::clone(&hub);
+            scope.spawn(move || {
+                for i in 0..rounds {
+                    let response = query(&data_hub, "race", "anything");
+                    assert!(
+                        response.ok || response.error_code() == Some(ErrorCode::UnknownTenant),
+                        "reader {reader} round {i}: {response:?}"
+                    );
+                    let ingested = ingest_doc(&data_hub, "race", &format!("r{reader}-{i}"));
+                    assert!(
+                        ingested.ok
+                            || matches!(
+                                ingested.error_code(),
+                                Some(ErrorCode::UnknownTenant) | Some(ErrorCode::Internal)
+                            ),
+                        "ingest {reader} round {i}: {ingested:?}"
+                    );
+                }
+            });
+        }
+    });
+
+    // Whatever the final interleaving, the registry is consistent: the
+    // default lake is intact and `race` is either fully present or fully
+    // absent.
+    let listing = hub.handle(DEFAULT_TENANT, ServiceRequest::ListLakes);
+    match listing.payload {
+        Some(ResponsePayload::Lakes(lakes)) => {
+            assert!(lakes.iter().any(|l| l.name == DEFAULT_TENANT));
+            for lake in lakes.iter().filter(|l| l.name == "race") {
+                assert_eq!(lake.status, "ok");
+            }
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+    assert!(query(&hub, DEFAULT_TENANT, "still serving").ok);
+}
+
+#[test]
+fn drop_fences_new_requests_while_pinned_readers_finish() {
+    let hub = memory_hub();
+    assert!(create(&hub, "pinned").ok);
+    assert!(ingest_doc(&hub, "pinned", "keep-me").ok);
+
+    // A reader that resolved the tenant before the drop keeps its whole
+    // service stack alive through the Arc it pinned.
+    let pinned = hub.tenant("pinned").expect("live tenant");
+    assert!(drop_lake(&hub, "pinned").ok);
+
+    // New requests are fenced at the registry...
+    assert_eq!(
+        query(&hub, "pinned", "keep-me").error_code(),
+        Some(ErrorCode::UnknownTenant)
+    );
+    // ...while the pinned reader still executes against the catalog it
+    // resolved (state-as-a-value: snapshots outlive the registry entry).
+    let late = pinned.service().handle(ServiceRequest::Query(
+        QueryBuilder::keyword("keep-me").top_k(5).build(),
+    ));
+    assert!(late.ok, "{late:?}");
+}
+
+#[test]
+fn recreated_name_starts_fresh_generation_and_persist_dir() {
+    let root = temp_root("phoenix");
+    let hub = TenantHub::new(TenantDefaults {
+        data_root: Some(root.clone()),
+        ..TenantDefaults::default()
+    })
+    .expect("durable hub");
+
+    let incarnation_dirs = |root: &PathBuf| -> Vec<String> {
+        let mut dirs: Vec<String> = std::fs::read_dir(root)
+            .expect("data root listing")
+            .filter_map(|entry| entry.ok())
+            .map(|entry| entry.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.starts_with("phoenix-e"))
+            .collect();
+        dirs.sort();
+        dirs
+    };
+
+    assert!(create(&hub, "phoenix").ok);
+    for i in 0..3 {
+        assert!(ingest_doc(&hub, "phoenix", &format!("life1-{i}")).ok);
+    }
+    let first_dirs = incarnation_dirs(&root);
+    assert_eq!(first_dirs.len(), 1, "one incarnation dir: {first_dirs:?}");
+    let gen_before = match hub.handle("phoenix", ServiceRequest::Stats).payload {
+        Some(ResponsePayload::Stats(stats)) => stats.generation,
+        other => panic!("wrong payload: {other:?}"),
+    };
+    assert!(
+        gen_before > 0,
+        "mutations must have advanced the generation"
+    );
+
+    assert!(drop_lake(&hub, "phoenix").ok);
+    assert!(create(&hub, "phoenix").ok);
+
+    // Fresh life: empty lake, generation restarted, and a *different*
+    // persist directory (the old epoch's dir was retired).
+    match hub.handle("phoenix", ServiceRequest::Stats).payload {
+        Some(ResponsePayload::Stats(stats)) => {
+            assert_eq!(stats.documents, 0, "no data leaks across incarnations");
+            assert!(
+                stats.generation < gen_before,
+                "recreated lake must not resume the old generation sequence"
+            );
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+    let second_dirs = incarnation_dirs(&root);
+    assert_eq!(second_dirs.len(), 1, "old dir retired: {second_dirs:?}");
+    assert_ne!(
+        first_dirs[0], second_dirs[0],
+        "a recreated name must never reuse a persist directory"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn exposition_carries_tenant_labels_next_to_global_totals() {
+    let hub = memory_hub();
+    assert!(create(&hub, "alpha").ok);
+    assert!(create(&hub, "beta").ok);
+    assert!(ingest_doc(&hub, "alpha", "alpha-doc").ok);
+    assert!(query(&hub, "alpha", "alpha-doc").ok);
+    assert!(query(&hub, "beta", "nothing").ok);
+    assert!(query(&hub, DEFAULT_TENANT, "nothing").ok);
+
+    let exposition = hub.render_metrics();
+    // Global un-labeled totals survive for dashboard compatibility...
+    assert!(
+        exposition.contains("cmdl_requests_total{kind=\"query\"}"),
+        "{exposition}"
+    );
+    // ...and every tenant gets its own labeled series plus health gauges.
+    for tenant in ["alpha", "beta", DEFAULT_TENANT] {
+        assert!(
+            exposition.contains(&format!(
+                "cmdl_tenant_requests_total{{tenant=\"{tenant}\",kind=\"query\"}}"
+            )),
+            "missing labeled series for {tenant}:\n{exposition}"
+        );
+        assert!(
+            exposition.contains(&format!("cmdl_tenant_wedged{{tenant=\"{tenant}\"}} 0")),
+            "missing wedged gauge for {tenant}:\n{exposition}"
+        );
+        assert!(
+            exposition.contains(&format!(
+                "cmdl_tenant_reconfiguring{{tenant=\"{tenant}\"}} 0"
+            )),
+            "missing reconfiguring gauge for {tenant}:\n{exposition}"
+        );
+    }
+    // The global query total is the sum over tenants (the hub
+    // double-records in multi-tenant mode).
+    assert!(hub.metrics().requests_total() >= 3);
+}
+
+// -------------------------------------------------------------------
+// Wire-level pass (skipped when the sandbox denies loopback sockets).
+// -------------------------------------------------------------------
+
+fn send(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+fn parse(body: &str) -> ServiceResponse {
+    serde_json::from_str(body).expect("body is a ServiceResponse envelope")
+}
+
+#[test]
+fn tenant_prefix_routes_over_http() {
+    let hub = memory_hub();
+    let handle = match serve_hub(
+        Arc::clone(&hub),
+        HttpConfig {
+            threads: 2,
+            queue_capacity: 16,
+            read_timeout: Duration::from_secs(2),
+            ..HttpConfig::default()
+        },
+    ) {
+        Ok(handle) => handle,
+        Err(err) => {
+            // Sandbox denied loopback sockets: the in-process tests above
+            // already cover the routing contract.
+            eprintln!("loopback bind denied ({err}); skipping wire-level pass");
+            return;
+        }
+    };
+    let addr = handle.addr();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // Create a lake through the management route.
+    let (status, body) =
+        send(&mut stream, "POST", "/lakes/create", r#"{"name": "wire"}"#).expect("create");
+    assert_eq!(status, 200, "{body}");
+    assert!(parse(&body).ok, "{body}");
+
+    // Ingest + query through the tenant prefix.
+    let doc = serde_json::to_string(&Document::new("wire-doc", "s", "a wire-level note")).unwrap();
+    let (status, body) =
+        send(&mut stream, "POST", "/t/wire/ingest/document", &doc).expect("ingest");
+    assert_eq!(status, 200, "{body}");
+    let query_body =
+        serde_json::to_string(&QueryBuilder::keyword("wire-level").top_k(5).build()).unwrap();
+    let (status, body) = send(&mut stream, "POST", "/t/wire/query", &query_body).expect("query");
+    assert_eq!(status, 200, "{body}");
+    assert!(parse(&body).ok, "{body}");
+
+    // Per-tenant health carries the explicit gate state.
+    let (status, body) = send(&mut stream, "GET", "/t/wire/healthz", "").expect("healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"wedged\""), "{body}");
+
+    // The listing shows both lakes; an unknown tenant is a typed 404.
+    let (status, body) = send(&mut stream, "GET", "/lakes", "").expect("list");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"wire\""), "{body}");
+    let (status, body) = send(&mut stream, "POST", "/t/ghost/query", &query_body).expect("ghost");
+    assert_eq!(status, 404, "{body}");
+    assert_eq!(parse(&body).error_code(), Some(ErrorCode::UnknownTenant));
+
+    // Legacy un-prefixed routes keep hitting the default lake.
+    let (status, body) = send(&mut stream, "GET", "/healthz", "").expect("legacy healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(parse(&body).ok, "{body}");
+
+    // The exposition includes the tenant-labeled series over the wire.
+    let (status, metrics) = send(&mut stream, "GET", "/metrics", "").expect("metrics");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("cmdl_tenant_requests_total{tenant=\"wire\""),
+        "{metrics}"
+    );
+
+    // Drop, then the prefix 404s.
+    let (status, body) =
+        send(&mut stream, "POST", "/lakes/drop", r#"{"name": "wire"}"#).expect("drop");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = send(&mut stream, "POST", "/t/wire/query", &query_body).expect("dropped");
+    assert_eq!(status, 404, "{body}");
+
+    drop(stream);
+    handle.shutdown();
+}
