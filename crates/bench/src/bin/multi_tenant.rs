@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use cmdl_bench::{emit, pharma_lake};
 use cmdl_core::{DiscoveryQuery, ErrorCode, QueryBuilder, SearchMode};
 use cmdl_eval::{ExperimentReport, MethodResult};
-use cmdl_server::{LakeQuotas, ServiceRequest, TenantDefaults, TenantHub, DEFAULT_TENANT};
+use cmdl_server::{Backoff, LakeQuotas, ServiceRequest, TenantDefaults, TenantHub, DEFAULT_TENANT};
 
 const NOISY_MAX_INFLIGHT: usize = 1;
 const NOISY_THREADS: usize = 4;
@@ -33,8 +33,12 @@ const VICTIM_QUERIES_PER_THREAD: usize = 150;
 /// Best-of rounds per phase (scheduler noise on small runners straddles
 /// the CI floor on a single measurement).
 const ROUNDS: usize = 3;
-/// How long a noisy client waits after a 429 before retrying.
-const SHED_BACKOFF: Duration = Duration::from_millis(1);
+/// Client backoff after a 429: jittered exponential from base to cap
+/// (deterministically seeded per worker), reset on the first admitted
+/// request — the same policy the replication shipper uses on a failed
+/// delta ship.
+const SHED_BACKOFF_BASE: Duration = Duration::from_micros(250);
+const SHED_BACKOFF_CAP: Duration = Duration::from_millis(2);
 
 /// Mixed discovery workload over the bench-scale pharma lake (same shape
 /// as the server_load bench, trimmed for the two-tenant closed loop).
@@ -159,6 +163,8 @@ fn main() {
             let (stop, noisy_ok, noisy_shed) = (&stop, &noisy_ok, &noisy_shed);
             let queries = &queries;
             scope.spawn(move || {
+                let mut backoff =
+                    Backoff::seeded(SHED_BACKOFF_BASE, SHED_BACKOFF_CAP, 0x5EED ^ worker as u64);
                 let mut i = worker;
                 while !stop.load(Ordering::Acquire) {
                     let query = queries[i % queries.len()].clone();
@@ -166,6 +172,7 @@ fn main() {
                     let response = hub.handle("noisy", ServiceRequest::Query(query));
                     if response.ok {
                         noisy_ok.fetch_add(1, Ordering::Relaxed);
+                        backoff.reset();
                     } else {
                         assert_eq!(
                             response.error_code(),
@@ -173,7 +180,7 @@ fn main() {
                             "noisy failures must be the typed quota 429: {response:?}"
                         );
                         noisy_shed.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(SHED_BACKOFF);
+                        backoff.sleep();
                     }
                 }
             });
@@ -197,12 +204,14 @@ fn main() {
              {}-query workload, solo vs alongside a tenant whose {} workers share \
              max_inflight = {} (a per-lake CreateLake quota override; overflow \
              sheds as typed QuotaExceeded 429s at admission, before touching the \
-             catalog, and clients back off {}us on a shed). Best of {} \
+             catalog, and clients back off with jittered exponential delays of \
+             {}us..{}us on a shed, reset on the next admit). Best of {} \
              rounds per phase. CI floor: victim_retention >= 0.7.",
             queries.len(),
             NOISY_THREADS,
             NOISY_MAX_INFLIGHT,
-            SHED_BACKOFF.as_micros(),
+            SHED_BACKOFF_BASE.as_micros(),
+            SHED_BACKOFF_CAP.as_micros(),
             ROUNDS,
         ),
     );

@@ -1,0 +1,239 @@
+//! Replicated serving: read QPS scaling at 1/2/4 replicas and failover
+//! time from replica kill to lag-bound rerouting.
+//!
+//! **Serving model.** A replica's value is an extra snapshot source with
+//! its own serving capacity; in-process loopback replicas cannot show
+//! network or machine parallelism, so the bench models each snapshot
+//! source as one closed-loop serving thread (the way one process on one
+//! node would drain its query queue). The single backend gets one loop
+//! over the writer's published snapshot; an N-replica group gets N loops,
+//! one per replica snapshot. Reported QPS is the aggregate — the capacity
+//! a load balancer could extract from the group. Every configuration is
+//! parity-checked against the single build before any timing: a scaling
+//! number over divergent results would be meaningless.
+//!
+//! **Failover.** With a 2-replica group serving, replica r0 is killed
+//! mid-stream. The writer keeps mutating (delta ships to the dead link
+//! fail, retry through the jittered backoff, and are abandoned as lag),
+//! and the clock runs from the kill until the router stops considering
+//! r0 — its lag exceeds the lag bound — and a service read answers at the
+//! writer's current generation. CI floors: failover < 250 ms always;
+//! aggregate read QPS at 4 replicas >= 1.5x single on >= 4-core runners.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cmdl_bench::{bench_config, emit, pharma_lake};
+use cmdl_core::{
+    CatalogSnapshot, Cmdl, CmdlConfig, DiscoveryQuery, Hit, QueryBuilder, Replica,
+    ReplicationConfig, ReplicationGroup, SearchMode,
+};
+use cmdl_datalake::{Column, Document, Table};
+use cmdl_eval::{ExperimentReport, MethodResult};
+use cmdl_server::{CmdlService, ResponsePayload, ServiceRequest};
+
+const REPLICA_COUNTS: [usize; 3] = [1, 2, 4];
+/// Closed-loop passes over the workload per serving thread.
+const PASSES: usize = 6;
+/// Mutations shipped while the failover clock runs.
+const FAILOVER_MUTATIONS: usize = 16;
+
+fn replication_config(replicas: usize) -> ReplicationConfig {
+    ReplicationConfig {
+        replicas,
+        lag_bound: 2,
+        resync_lag: 4,
+        heartbeat_interval: Duration::from_millis(1),
+        retry_base: Duration::from_micros(100),
+        retry_cap: Duration::from_millis(1),
+        ..ReplicationConfig::default()
+    }
+}
+
+/// The serving workload: the same scan-dominated mix the shard bench uses,
+/// trimmed to the query kinds a read replica answers from its snapshot.
+fn workload() -> Vec<DiscoveryQuery> {
+    let mut queries = Vec::new();
+    for table in ["Drugs", "Enzymes", "Compounds", "Trials"] {
+        queries.push(QueryBuilder::unionable(table).top_k(10).build());
+        queries.push(QueryBuilder::joinable(table).top_k(10).build());
+    }
+    for text in [
+        "enzyme inhibitor",
+        "clinical trial phase",
+        "drug interaction effect",
+    ] {
+        queries.push(QueryBuilder::keyword(text).top_k(10).build());
+        queries.push(
+            QueryBuilder::keyword(text)
+                .mode(SearchMode::Tables)
+                .top_k(10)
+                .build(),
+        );
+    }
+    queries
+}
+
+fn run_workload(snapshot: &CatalogSnapshot, queries: &[DiscoveryQuery]) -> Vec<Vec<Hit>> {
+    queries
+        .iter()
+        .map(|query| snapshot.execute(query).expect("workload executes").hits)
+        .collect()
+}
+
+/// Aggregate closed-loop QPS over one serving thread per snapshot source.
+fn measure_group_qps(sources: &[CatalogSnapshot], queries: &[DiscoveryQuery]) -> f64 {
+    let served = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for snapshot in sources {
+            let served = &served;
+            scope.spawn(move || {
+                for _ in 0..PASSES {
+                    for query in queries {
+                        let _ = snapshot.execute(query).expect("workload executes");
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    served.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// A replicated service plus the handles the failover probe steers.
+struct Rig {
+    service: CmdlService,
+    replicas: Vec<Arc<Replica>>,
+    links: Vec<Arc<cmdl_core::LoopbackLink>>,
+}
+
+fn replicated_rig(replicas: usize, config: CmdlConfig) -> Rig {
+    let cmdl = Cmdl::build(pharma_lake().lake, config);
+    let group = ReplicationGroup::new(&cmdl, replication_config(replicas));
+    let replica_handles = (0..replicas).map(|i| group.replica(i)).collect();
+    let links = (0..replicas)
+        .map(|i| group.loopback(i).expect("loopback link"))
+        .collect();
+    Rig {
+        service: CmdlService::replicated(cmdl, group),
+        replicas: replica_handles,
+        links,
+    }
+}
+
+fn mutate(service: &CmdlService, i: usize) {
+    if i.is_multiple_of(2) {
+        let table = Table::new(
+            format!("Failover_{i}"),
+            vec![Column::from_texts(
+                "Id",
+                [format!("f-{i}-a"), format!("f-{i}-b")],
+            )],
+        );
+        assert!(service.ingest_table(table).ok);
+    } else {
+        let document = Document::new(
+            format!("failover-note-{i}"),
+            "Failover",
+            format!("replication failover note number {i}"),
+        );
+        assert!(service.ingest_document(document).ok);
+    }
+}
+
+/// Milliseconds from killing r0 until the router excludes it (lag past
+/// the bound) and a service read answers at the writer's generation.
+fn measure_failover_ms() -> f64 {
+    let rig = replicated_rig(2, bench_config());
+    for i in 0..4 {
+        mutate(&rig.service, i);
+    }
+    // Kill the way the group does: process dies, link refuses ships.
+    rig.replicas[0].kill();
+    rig.links[0].set_down(true);
+    let start = Instant::now();
+    let mut rerouted = None;
+    for i in 4..4 + FAILOVER_MUTATIONS {
+        mutate(&rig.service, i);
+        let status = rig.service.replica_status();
+        if status[0].lag <= 2 {
+            continue;
+        }
+        // r0 is out of the routing set; confirm a read serves the
+        // writer's current generation (from r1 or the writer fallback).
+        let generation = rig.service.snapshot().generation;
+        let response = rig.service.handle(ServiceRequest::Query(
+            QueryBuilder::keyword("failover note").top_k(5).build(),
+        ));
+        match response.payload {
+            Some(ResponsePayload::Query(inner)) if inner.generation == generation => {
+                rerouted = Some(start.elapsed());
+                break;
+            }
+            Some(ResponsePayload::Query(_)) => continue,
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+    let elapsed = rerouted.expect("failover must reroute within the mutation budget");
+    elapsed.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let queries = workload();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut report = ExperimentReport::new(
+        "Replication",
+        format!(
+            "Replicated serving on the bench-scale pharma lake: aggregate closed-loop read QPS \
+             with one serving thread per snapshot source ({} scan-dominated queries x {PASSES} \
+             passes per source; the single backend serves from the writer's published snapshot, \
+             an N-replica group from N replica snapshots, parity-checked against single before \
+             timing), and failover time from replica kill to lag-bound rerouting (2-replica \
+             group, lag bound 2, writer mutating throughout). CI floors: failover < 250 ms; \
+             4-replica QPS >= 1.5x single on >= 4-core runners. This run saw {cores} cores.",
+            queries.len()
+        ),
+    );
+
+    // Single backend: one serving loop over the writer's published snapshot.
+    let single = CmdlService::build(pharma_lake().lake, bench_config());
+    let reference = run_workload(&single.snapshot(), &queries);
+    let single_qps = measure_group_qps(&[single.snapshot()], &queries);
+    report.push(
+        MethodResult::new("Single")
+            .with("Read_qps", single_qps)
+            .with("Cores", cores as f64),
+    );
+
+    for replicas in REPLICA_COUNTS {
+        let rig = replicated_rig(replicas, bench_config());
+        let sources: Vec<CatalogSnapshot> = rig
+            .replicas
+            .iter()
+            .map(|replica| replica.snapshot())
+            .collect();
+        for snapshot in &sources {
+            assert_eq!(
+                reference,
+                run_workload(snapshot, &queries),
+                "replica snapshots diverged from the single build at {replicas} replica(s)"
+            );
+        }
+        let qps = measure_group_qps(&sources, &queries);
+        report.push(
+            MethodResult::new(format!("{replicas} replica(s)"))
+                .with("Read_qps", qps)
+                .with("Qps_vs_single", qps / single_qps),
+        );
+    }
+
+    let failover_ms = measure_failover_ms();
+    report.push(MethodResult::new("Failover").with("Failover_ms", failover_ms));
+
+    emit(&report);
+}

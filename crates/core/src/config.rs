@@ -132,6 +132,16 @@ pub struct CmdlConfig {
     pub shards: usize,
     /// The partition policy used when `shards > 1`.
     pub shard_policy: ShardPolicy,
+    /// Number of read replicas the service layer ships delta batches to.
+    /// `0` (the default) serves reads from the writer's own snapshot;
+    /// `N > 0` builds a
+    /// [`ReplicationGroup`](crate::replicate::ReplicationGroup) of N
+    /// replicas and routes reads to the ones within the lag bound.
+    /// Mutually exclusive with `shards > 1` (sharding wins).
+    pub replicas: usize,
+    /// Maximum generations a read replica may trail the writer and still
+    /// serve reads; beyond it, reads fall back to the writer snapshot.
+    pub replica_lag_bound: u64,
 }
 
 impl Default for CmdlConfig {
@@ -168,6 +178,8 @@ impl Default for CmdlConfig {
             seed: 0xC3D1,
             shards: 1,
             shard_policy: ShardPolicy::HashId,
+            replicas: 0,
+            replica_lag_bound: 8,
         }
     }
 }

@@ -374,7 +374,10 @@ impl Cmdl {
 
     /// Re-apply one WAL record through the ordinary mutation path (the
     /// persist handle is not yet installed, so nothing is re-logged).
-    fn apply_wal_record(&mut self, record: WalRecord) -> Result<(), CmdlError> {
+    /// Crate-visible so a read replica can apply shipped delta records
+    /// through the exact same path as WAL replay (see
+    /// [`replicate`](crate::replicate)).
+    pub(crate) fn apply_wal_record(&mut self, record: WalRecord) -> Result<(), CmdlError> {
         match record {
             WalRecord::IngestTable(table) => self.ingest_table(table).map(|_| ()),
             WalRecord::IngestDocument(document) => self.ingest_document(document).map(|_| ()),
@@ -423,7 +426,10 @@ impl Cmdl {
     /// No-op for an in-memory catalog (there is nothing to reload from).
     ///
     /// On `Err` the catalog must be treated as wedged: the in-memory
-    /// state is unreliable and could not be reconciled with disk.
+    /// state is unreliable and could not be reconciled with disk. A
+    /// failure in the read-only phase (loading the checkpoint) leaves the
+    /// persistence handle installed, so reconciliation can be retried
+    /// once the directory is repaired.
     pub fn recover_after_panic(&mut self, wal_mark: u64) -> Result<(), CmdlError> {
         let Some(handle) = self.persist.as_mut() else {
             return Ok(());
@@ -435,13 +441,18 @@ impl Cmdl {
         }
         let io = handle.io().clone();
         let dir = handle.dir().to_path_buf();
-        let recovery = self.recovery.take();
-        // Release the open WAL file before reopening the directory.
-        self.persist = None;
+        // Read-only phase first: load and decode the checkpoint while the
+        // live handle stays installed, so a failure here (damaged manifest
+        // or segment) leaves the catalog with its persistence intact and
+        // reconciliation can be re-run (the serving layer's `Recover`
+        // request) once the directory is repaired.
         let segment = load_segment(&io, &dir)
             .map_err(persist_err)?
             .ok_or_else(|| CmdlError::Persist("panic recovery found no manifest".into()))?;
         let mut system = Self::restore_from_segment(&segment).map_err(persist_err)?;
+        let recovery = self.recovery.take();
+        // Release the open WAL file before reopening the directory.
+        self.persist = None;
         let (new_handle, records, _discarded) =
             PersistHandle::open(&io, &dir, segment.manifest.last_applied_lsn)
                 .map_err(persist_err)?;
@@ -573,6 +584,87 @@ impl Cmdl {
             ekg: Arc::clone(&self.ekg),
             profiler: Arc::clone(&self.profiler),
         }
+    }
+
+    /// Reassemble a catalog from a pinned snapshot. The result shares the
+    /// snapshot's `Arc`s (so construction is O(1)); the first mutation on
+    /// either side copies-on-write, exactly as with a concurrent reader.
+    /// The clone is in-memory only (no persist handle) and carries no
+    /// training artifacts — it is a *serving* catalog. This is how a read
+    /// replica bootstraps to bit-parity with the writer before delta
+    /// batches start flowing.
+    pub fn from_snapshot(snapshot: CatalogSnapshot) -> Self {
+        let profiler = Arc::clone(&snapshot.profiler);
+        Self {
+            config: snapshot.config,
+            profiled: snapshot.profiled,
+            indexes: snapshot.indexes,
+            profiler,
+            joint: snapshot.joint,
+            ekg: snapshot.ekg,
+            generation: snapshot.generation,
+            training_dataset: None,
+            training_report: None,
+            persist: None,
+            recovery: None,
+        }
+    }
+
+    /// Build an independent, in-memory copy of this catalog for a replica
+    /// resync.
+    ///
+    /// For a persistent catalog this goes through the durability layer —
+    /// load the newest segment, then replay the WAL tail *read-only*
+    /// (decoding the frames directly rather than opening the WAL, which
+    /// would truncate a torn tail out from under the live writer) — so the
+    /// resync path exercises exactly the state a crash recovery would
+    /// produce. Records at or below the segment's LSN floor, `Abort`
+    /// markers, and aborted records are skipped, mirroring
+    /// [`PersistHandle::open`]. For an in-memory catalog it falls back to
+    /// [`from_snapshot`](Self::from_snapshot).
+    ///
+    /// The copy never gets a persist handle: replicas serve reads and must
+    /// not re-log.
+    pub fn resync_clone(&self) -> Result<Self, CmdlError> {
+        let Some(handle) = self.persist.as_ref() else {
+            return Ok(Self::from_snapshot(self.snapshot()));
+        };
+        let io = handle.io().clone();
+        let dir = handle.dir().to_path_buf();
+        let segment = load_segment(&io, &dir)
+            .map_err(persist_err)?
+            .ok_or_else(|| CmdlError::Persist("resync found no manifest".into()))?;
+        let mut system = Self::restore_from_segment(&segment).map_err(persist_err)?;
+        let wal_path = dir.join(Wal::FILE_NAME);
+        if io.exists(&wal_path) {
+            let bytes = io.read(&wal_path).map_err(persist_err)?;
+            let (frames, _consumed) = decode_frames(&bytes);
+            let mut records = Vec::with_capacity(frames.len());
+            for (lsn, payload) in frames {
+                let record: WalRecord = serde::from_bin_bytes(&payload).map_err(|e| {
+                    CmdlError::Persist(format!("resync wal decode failed at lsn {lsn}: {e}"))
+                })?;
+                records.push((lsn, record));
+            }
+            let aborted: HashSet<u64> = records
+                .iter()
+                .filter_map(|(_, record)| match record {
+                    WalRecord::Abort { lsn } => Some(*lsn),
+                    _ => None,
+                })
+                .collect();
+            let floor = segment.manifest.last_applied_lsn;
+            for (lsn, record) in records {
+                if lsn <= floor
+                    || aborted.contains(&lsn)
+                    || matches!(record, WalRecord::Abort { .. })
+                {
+                    continue;
+                }
+                system.apply_wal_record(record)?;
+            }
+        }
+        Ok(system)
     }
 
     /// Generate the weakly-supervised training dataset, train the joint

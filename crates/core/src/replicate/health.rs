@@ -1,0 +1,99 @@
+//! The per-replica health state machine.
+//!
+//! Replication health is writer-observed: the writer drives each replica
+//! through ships, apply-acks, and heartbeats, and classifies it into one of
+//! five states. The transitions are:
+//!
+//! ```text
+//!              apply-ack within lag bound
+//!        ┌────────────────────────────────────┐
+//!        ▼                                    │
+//!    Healthy ──lag > lag_bound──▶ Lagging ────┘
+//!        │                           │
+//!        └──no heartbeat/ack for──▶ Suspect ──for down_after──▶ Down
+//!            suspect_after            │                          │
+//!                                     │ heartbeat resumes        │ rejoin
+//!                                     ▼                          ▼
+//!                                  Healthy ◀──resync done── Recovering
+//! ```
+//!
+//! Only `Healthy` and `Lagging` replicas are read-routable (and `Lagging`
+//! only while within the configured lag bound); `Suspect`, `Down`, and
+//! `Recovering` replicas are excluded, with reads falling back to the
+//! writer's own published snapshot when no replica qualifies.
+
+/// One replica's health, as observed by the writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaHealth {
+    /// Acking applies and within the lag bound.
+    Healthy,
+    /// Acking applies but more than `lag_bound` generations behind the
+    /// writer; excluded from read routing until it catches up.
+    Lagging,
+    /// No heartbeat or apply-ack for `suspect_after`; excluded from read
+    /// routing but not yet written off.
+    Suspect,
+    /// No heartbeat or apply-ack for `down_after`; a rejoin goes through
+    /// `Recovering` (resync), never straight back to `Healthy`.
+    Down,
+    /// A resync-from-checkpoint is installing a fresh catalog on this
+    /// replica right now.
+    Recovering,
+}
+
+impl ReplicaHealth {
+    /// The snake_case label used on the wire and in metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ReplicaHealth::Healthy => "healthy",
+            ReplicaHealth::Lagging => "lagging",
+            ReplicaHealth::Suspect => "suspect",
+            ReplicaHealth::Down => "down",
+            ReplicaHealth::Recovering => "recovering",
+        }
+    }
+
+    /// The stable gauge value exported as `cmdl_replica_health_state`.
+    pub fn gauge(&self) -> u8 {
+        match self {
+            ReplicaHealth::Healthy => 0,
+            ReplicaHealth::Lagging => 1,
+            ReplicaHealth::Suspect => 2,
+            ReplicaHealth::Down => 3,
+            ReplicaHealth::Recovering => 4,
+        }
+    }
+
+    /// Whether reads may route to a replica in this state (subject to the
+    /// lag bound, checked separately).
+    pub fn serves_reads(&self) -> bool {
+        matches!(self, ReplicaHealth::Healthy | ReplicaHealth::Lagging)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_gauges_are_stable_and_unique() {
+        let all = [
+            ReplicaHealth::Healthy,
+            ReplicaHealth::Lagging,
+            ReplicaHealth::Suspect,
+            ReplicaHealth::Down,
+            ReplicaHealth::Recovering,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert_eq!(a.gauge() as usize, i, "gauge values index the states");
+            for b in &all[i + 1..] {
+                assert_ne!(a.as_str(), b.as_str());
+            }
+        }
+        assert!(ReplicaHealth::Healthy.serves_reads());
+        assert!(ReplicaHealth::Lagging.serves_reads());
+        assert!(!ReplicaHealth::Suspect.serves_reads());
+        assert!(!ReplicaHealth::Down.serves_reads());
+        assert!(!ReplicaHealth::Recovering.serves_reads());
+    }
+}

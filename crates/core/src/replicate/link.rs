@@ -1,0 +1,219 @@
+//! The transport abstraction between the writer and its replicas.
+//!
+//! `ReplicaLink` is deliberately tiny — ship on the writer side, drain on the
+//! replica side — so a socket transport can slot in later without touching
+//! the replication protocol. The in-process `LoopbackLink` is the only
+//! implementation today and doubles as the chaos-injection point: a
+//! `LinkChaos` plan arms faults against specific ship occurrences, mirroring
+//! the persist layer's `FaultPlan` idiom, so tests can drop, duplicate,
+//! delay (reorder), bit-flip, or fail individual delta batches
+//! deterministically.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use super::DeltaBatch;
+
+/// A ship failure. Always retryable from the writer's point of view; after
+/// the retry budget is exhausted the batch is abandoned and the replica is
+/// left to catch up via resync.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkError(pub String);
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "replica link error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Writer→replica delta transport.
+pub trait ReplicaLink: Send + Sync {
+    /// Enqueue one delta batch for the replica. `Err` means the batch was
+    /// not delivered and the caller may retry.
+    fn ship(&self, batch: DeltaBatch) -> Result<(), LinkError>;
+
+    /// Take every batch currently buffered on the replica side, in arrival
+    /// order.
+    fn drain(&self) -> Vec<DeltaBatch>;
+
+    /// Discard everything in flight. Called when the replica process dies:
+    /// a real socket buffer does not survive its owner.
+    fn clear(&self);
+}
+
+/// A fault armed against the N-th `ship` call on one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The batch silently never arrives.
+    Drop,
+    /// The batch arrives twice.
+    Duplicate,
+    /// The batch is held back and released only after `ticks` further
+    /// ships, arriving out of order.
+    Delay {
+        /// Ships to wait before delivery.
+        ticks: u32,
+    },
+    /// One bit of the encoded frame is flipped in flight; the replica must
+    /// detect this via the xxh64 frame checksum.
+    Flip {
+        /// Bit offset into the encoded frame.
+        offset: usize,
+    },
+    /// `ship` itself returns an error, exercising the writer's retry path.
+    /// Only the armed attempt fails; a retry of the same batch succeeds
+    /// unless another fault is armed at that occurrence.
+    Fail,
+}
+
+/// Chaos plan for one `LoopbackLink`, in the spirit of `persist::FaultPlan`:
+/// arm faults up front against ship occurrence indices (0-based, counting
+/// every `ship` call including retries), then observe `hits` afterwards.
+#[derive(Default)]
+pub struct LinkChaos {
+    armed: Mutex<Vec<(u64, LinkFault)>>,
+    ships: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl LinkChaos {
+    /// An empty (nothing armed) chaos plan.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Arm `fault` against the `occurrence`-th ship on this link.
+    pub fn arm(&self, occurrence: u64, fault: LinkFault) {
+        let mut armed = self.armed.lock().unwrap_or_else(|p| p.into_inner());
+        armed.push((occurrence, fault));
+    }
+
+    /// How many armed faults have fired.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::SeqCst)
+    }
+
+    /// Total `ship` calls observed on this link.
+    pub fn ships(&self) -> u64 {
+        self.ships.load(Ordering::SeqCst)
+    }
+
+    fn next_occurrence(&self) -> u64 {
+        self.ships.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn take(&self, occurrence: u64) -> Option<LinkFault> {
+        let mut armed = self.armed.lock().unwrap_or_else(|p| p.into_inner());
+        let at = armed.iter().position(|(o, _)| *o == occurrence)?;
+        let (_, fault) = armed.swap_remove(at);
+        self.hits.fetch_add(1, Ordering::SeqCst);
+        Some(fault)
+    }
+}
+
+/// In-process writer→replica link: a mutex-guarded queue plus the chaos
+/// plan. `down` models the peer being unreachable (connection refused) while
+/// the replica process is dead.
+pub struct LoopbackLink {
+    inbox: Mutex<VecDeque<DeltaBatch>>,
+    held: Mutex<Vec<(u32, DeltaBatch)>>,
+    down: AtomicBool,
+    chaos: Arc<LinkChaos>,
+}
+
+impl LoopbackLink {
+    /// A fresh, empty, reachable link with an unarmed chaos plan.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            inbox: Mutex::new(VecDeque::new()),
+            held: Mutex::new(Vec::new()),
+            down: AtomicBool::new(false),
+            chaos: LinkChaos::new(),
+        })
+    }
+
+    /// The chaos plan for this link; keep a clone before handing the link
+    /// to a replication group.
+    pub fn chaos(&self) -> Arc<LinkChaos> {
+        Arc::clone(&self.chaos)
+    }
+
+    /// Mark the replica side unreachable (true) or reachable (false).
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::SeqCst);
+    }
+
+    fn push(&self, batch: DeltaBatch) {
+        let mut inbox = self.inbox.lock().unwrap_or_else(|p| p.into_inner());
+        inbox.push_back(batch);
+    }
+
+    /// Age the delayed batches by one ship and deliver the ones that are
+    /// due. Called after the current batch is enqueued so a delayed batch
+    /// genuinely arrives behind its successors.
+    fn release_due(&self) {
+        let due: Vec<DeltaBatch> = {
+            let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
+            for slot in held.iter_mut() {
+                slot.0 = slot.0.saturating_sub(1);
+            }
+            let mut due = Vec::new();
+            held.retain_mut(|(ticks, batch)| {
+                if *ticks == 0 {
+                    due.push(batch.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for batch in due {
+            self.push(batch);
+        }
+    }
+}
+
+impl ReplicaLink for LoopbackLink {
+    fn ship(&self, mut batch: DeltaBatch) -> Result<(), LinkError> {
+        let occurrence = self.chaos.next_occurrence();
+        if self.down.load(Ordering::SeqCst) {
+            return Err(LinkError("replica unreachable".to_string()));
+        }
+        match self.chaos.take(occurrence) {
+            Some(LinkFault::Fail) => {
+                return Err(LinkError("injected ship failure".to_string()));
+            }
+            Some(LinkFault::Drop) => {}
+            Some(LinkFault::Duplicate) => {
+                self.push(batch.clone());
+                self.push(batch);
+            }
+            Some(LinkFault::Delay { ticks }) => {
+                let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
+                held.push((ticks, batch));
+            }
+            Some(LinkFault::Flip { offset }) => {
+                batch.flip_bit(offset);
+                self.push(batch);
+            }
+            None => self.push(batch),
+        }
+        self.release_due();
+        Ok(())
+    }
+
+    fn drain(&self) -> Vec<DeltaBatch> {
+        let mut inbox = self.inbox.lock().unwrap_or_else(|p| p.into_inner());
+        inbox.drain(..).collect()
+    }
+
+    fn clear(&self) {
+        self.inbox.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        self.held.lock().unwrap_or_else(|p| p.into_inner()).clear();
+    }
+}

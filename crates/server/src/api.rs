@@ -18,7 +18,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use cmdl_core::{CmdlConfig, CmdlError, CmdlStats, DiscoveryQuery, ErrorCode, QueryResponse};
+use cmdl_core::{
+    CmdlConfig, CmdlError, CmdlStats, DiscoveryQuery, ErrorCode, QueryResponse, ReplicaStatus,
+};
 use cmdl_datalake::{Document, Table};
 
 /// One typed service request — the unified surface over the catalog
@@ -78,6 +80,12 @@ pub enum ServiceRequest {
     /// generation. Queries never block; at most one reconfiguration runs
     /// per lake at a time.
     Reconfigure(CmdlConfig),
+    /// Re-run the wedged writer gate's panic reconciliation
+    /// ([`Cmdl::recover_after_panic`](cmdl_core::Cmdl::recover_after_panic))
+    /// and clear the wedged flag on success, so a wedged lake can be
+    /// recovered online instead of by restart. A healthy gate answers with
+    /// a cheap no-op success.
+    Recover,
 }
 
 impl ServiceRequest {
@@ -97,14 +105,16 @@ impl ServiceRequest {
             ServiceRequest::DropLake { .. } => "drop_lake",
             ServiceRequest::ListLakes => "list_lakes",
             ServiceRequest::Reconfigure(_) => "reconfigure",
+            ServiceRequest::Recover => "recover",
         }
     }
 
     /// Does this request mutate the catalog (and therefore route through
     /// the writer gate)? Control-plane requests (`CreateLake`/`DropLake`/
-    /// `ListLakes`) and `Reconfigure` are *not* queue mutations — they run
-    /// on dedicated paths (the hub registry and the background-rebuild
-    /// protocol respectively).
+    /// `ListLakes`), `Reconfigure`, and `Recover` are *not* queue
+    /// mutations — they run on dedicated paths (the hub registry, the
+    /// background-rebuild protocol, and the recovery path; `Recover` in
+    /// particular must bypass the wedged-gate refusal it exists to clear).
     pub fn is_mutation(&self) -> bool {
         matches!(
             self,
@@ -189,6 +199,10 @@ pub struct HealthReport {
     pub wedged: bool,
     /// Whether a background reconfiguration is rebuilding this lake.
     pub reconfiguring: bool,
+    /// Per-replica health on the replicated backend (name, health state,
+    /// generation, lag, applied batches, resyncs). Empty on the single and
+    /// sharded backends.
+    pub replicas: Vec<ReplicaStatus>,
 }
 
 /// One lake's registry entry in a [`ResponsePayload::Lakes`] listing — the
@@ -272,6 +286,14 @@ pub enum ResponsePayload {
     Reconfigured {
         /// The generation the rebuilt catalog was published at.
         generation: u64,
+    },
+    /// Payload of [`ServiceRequest::Recover`].
+    Recovered {
+        /// The published generation after recovery.
+        generation: u64,
+        /// Whether the gate was actually wedged (`false` means the request
+        /// was a no-op on a healthy gate).
+        was_wedged: bool,
     },
 }
 
@@ -386,6 +408,7 @@ mod tests {
             },
             ServiceRequest::ListLakes,
             ServiceRequest::Reconfigure(cmdl_core::CmdlConfig::fast()),
+            ServiceRequest::Recover,
         ];
         for request in requests {
             let json = serde_json::to_string(&request).unwrap();
@@ -405,6 +428,9 @@ mod tests {
         assert!(!ServiceRequest::ListLakes.is_mutation());
         assert!(!ServiceRequest::DropLake { name: "x".into() }.is_mutation());
         assert!(!ServiceRequest::Reconfigure(cmdl_core::CmdlConfig::fast()).is_mutation());
+        // Recover must bypass the writer queue: a wedged gate refuses
+        // queued mutations, and Recover exists to un-wedge it.
+        assert!(!ServiceRequest::Recover.is_mutation());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | `POST /lakes/drop`      | `{"name": …}`       | `{"DropLake": …}`         |
 //! | `GET /lakes`            | (none)              | `"ListLakes"`             |
 //! | `POST /reconfigure`     | `CmdlConfig`        | `{"Reconfigure": …}`      |
+//! | `POST /admin/recover`   | (none)              | `"Recover"`               |
 //!
 //! Every route can be prefixed with `/t/<name>` to address the lake
 //! `<name>` in a multi-tenant hub (`POST /t/alpha/query`, ...); the
@@ -467,6 +468,7 @@ pub fn route_envelope(method: &str, path: &str, body: &str) -> Option<String> {
         ("POST", "/lakes/drop") => format!("{{\"DropLake\":{body}}}"),
         ("GET", "/lakes") => "\"ListLakes\"".to_string(),
         ("POST", "/reconfigure") => format!("{{\"Reconfigure\":{body}}}"),
+        ("POST", "/admin/recover") => "\"Recover\"".to_string(),
         _ => return None,
     })
 }

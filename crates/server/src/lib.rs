@@ -13,9 +13,18 @@
 //!   compaction inside the gate. With `shards = N` in the config the
 //!   service runs a [`ShardedCmdl`](cmdl_core::ShardedCmdl) router instead:
 //!   writes route to the owning shard's gate and reads fan out per query,
-//!   with results bit-identical to the single-catalog backend.
+//!   with results bit-identical to the single-catalog backend. With
+//!   `replicas = N` the writer gate ships every acked mutation as a
+//!   checksummed delta batch to N read replicas
+//!   ([`ReplicationGroup`](cmdl_core::ReplicationGroup)): reads route to
+//!   replicas within the configured lag bound and degrade to the writer's
+//!   snapshot when none qualify, and a wedged writer gate can be
+//!   reconciled back into service with `Recover` (`POST /admin/recover`).
 //! * [`metrics`] — lock-free counters and latency quantiles with a text
 //!   exposition.
+//! * [`backoff`] — the one retry policy: jittered exponential
+//!   [`Backoff`] with deterministic seeding, used by the replication
+//!   shipper and the bench clients.
 //! * [`http`] — a std-only HTTP/1.1 adapter (no tokio): a
 //!   `TcpListener` accept loop, a fixed worker-thread pool, and a bounded
 //!   admission queue that sheds load with `429` instead of queueing
@@ -54,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod backoff;
 pub mod http;
 pub mod metrics;
 pub mod reactor;
@@ -64,6 +74,7 @@ pub use api::{
     http_status, BatchOutcome, HealthReport, LakeInfo, LakeQuotas, ResponsePayload, ServiceError,
     ServiceRequest, ServiceResponse,
 };
+pub use backoff::Backoff;
 pub use http::{route_envelope, serve, serve_hub, HttpConfig, HttpHandle};
 pub use metrics::ServiceMetrics;
 pub use reactor::ReactorConfig;

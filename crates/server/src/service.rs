@@ -1,8 +1,8 @@
 //! The transport-agnostic CMDL service.
 //!
 //! [`CmdlService`] routes every [`ServiceRequest`] to a [`ServiceResponse`]
-//! over one of two backends, chosen by `config.shards` at construction
-//! ([`CmdlService::build`]):
+//! over one of three backends, chosen by `config.shards` / `config.replicas`
+//! at construction ([`CmdlService::build`]):
 //!
 //! * **Single** (`shards <= 1`) — one [`Cmdl`] behind a writer gate.
 //!   Reads never block behind writers: the service keeps a *published*
@@ -21,6 +21,18 @@
 //!   ingests routed to different shards profile concurrently — a single
 //!   flat-combining queue here would serialize exactly the work sharding
 //!   parallelizes. The sharded backend is in-memory only (no WAL).
+//! * **Replicated** (`replicas > 0`, `shards <= 1`) — the single-catalog
+//!   writer gate plus a [`ReplicationGroup`] of N read replicas. Every
+//!   drained mutation is also captured as a [`DeltaRecord`]; after each
+//!   drain the gate ships the accumulated records as one checksummed
+//!   [`DeltaBatch`](cmdl_core::DeltaBatch), pumps the replicas, and tends
+//!   their health. Reads route round-robin to replicas within the lag
+//!   bound and fall back to the writer's snapshot when none qualify —
+//!   degradation, never an error. Ship failures retry with jittered
+//!   exponential [`Backoff`]; a replica whose stream is poisoned (checksum
+//!   mismatch, generation discontinuity, delivery gap) or too far behind
+//!   is resynced from the writer's checkpoint
+//!   ([`Cmdl::resync_clone`]).
 //!
 //! The wire contract is bytes-in/bytes-out JSON
 //! ([`handle_json_bytes`](CmdlService::handle_json_bytes)), so every
@@ -28,19 +40,21 @@
 //! [`crate::http`] is nothing but framing.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
+use cmdl_core::replicate::{DeltaRecord, ReplicaStatus, ReplicationConfig, ReplicationGroup};
 use cmdl_core::{
     CatalogSnapshot, Cmdl, CmdlConfig, CmdlError, CmdlStats, DiscoveryQuery, ErrorCode,
-    QueryResponse, ShardedCmdl, ShardedSnapshot,
+    QueryResponse, ShardedCmdl, ShardedSnapshot, WalRecord,
 };
 use cmdl_datalake::{DataLake, Document, Table};
 
 use crate::api::{
     BatchOutcome, HealthReport, ResponsePayload, ServiceError, ServiceRequest, ServiceResponse,
 };
+use crate::backoff::Backoff;
 use crate::metrics::ServiceMetrics;
 
 /// One queued mutation, paired with the slot its result lands in.
@@ -80,6 +94,13 @@ struct SingleGate {
     /// a `Reconfigure` starts, cleared when it swaps or aborts. A second
     /// request while set gets `ReconfigurePending`.
     reconfiguring: AtomicBool,
+    /// `Some` when this gate feeds a replication group: every successfully
+    /// applied mutation is also captured as a [`DeltaRecord`] stamped with
+    /// the catalog generation it produced, for the shipper to batch. Only
+    /// ever locked while holding the writer gate (drain) or the ship lock
+    /// (take), so the order writer → feed is global. `None` on a plain
+    /// single backend — zero overhead.
+    replica_feed: Mutex<Option<Vec<(DeltaRecord, u64)>>>,
 }
 
 /// The sharded backend: the internally-synchronized [`ShardedCmdl`]
@@ -95,12 +116,27 @@ struct ShardedGate {
     wedged: AtomicBool,
 }
 
+/// The replicated backend: the single-catalog writer gate plus a
+/// [`ReplicationGroup`] the gate's delta feed is shipped to.
+struct ReplicatedGate {
+    single: SingleGate,
+    group: ReplicationGroup,
+    /// Serializes shippers: whichever mutator reaches `sync_replicas`
+    /// first ships the whole accumulated feed (mirroring the
+    /// flat-combining drain). Lock order is ship → writer → feed;
+    /// `submit_mutation` never holds writer and ship at once.
+    ship_lock: Mutex<()>,
+    /// Per-ship backoff decorrelation on top of the configured seed.
+    ship_count: AtomicU64,
+}
+
 // One Backend exists per service (never in collections), so the size skew
 // between the gate variants costs nothing.
 #[allow(clippy::large_enum_variant)]
 enum Backend {
     Single(SingleGate),
     Sharded(ShardedGate),
+    Replicated(Box<ReplicatedGate>),
 }
 
 /// A pinned read view over either backend — the common surface
@@ -150,16 +186,25 @@ pub struct CmdlService {
 impl CmdlService {
     /// Wrap a built catalog as a single-backend service.
     pub fn new(cmdl: Cmdl) -> Self {
-        let published = RwLock::new(cmdl.snapshot());
         Self {
-            backend: Backend::Single(SingleGate {
-                writer: Mutex::new(cmdl),
-                published,
-                queue: Mutex::new(VecDeque::new()),
-                wedged: AtomicBool::new(false),
-                recording: Mutex::new(None),
-                reconfiguring: AtomicBool::new(false),
-            }),
+            backend: Backend::Single(SingleGate::around(cmdl, false)),
+            metrics: Arc::new(ServiceMetrics::default()),
+        }
+    }
+
+    /// Wrap a built catalog and a pre-built replication group (normally
+    /// [`ReplicationGroup::new`] over the same catalog) as a
+    /// replicated-backend service. Tests build the group first so they can
+    /// keep chaos-plan and replica handles; [`build`](Self::build) does the
+    /// wiring from config.
+    pub fn replicated(cmdl: Cmdl, group: ReplicationGroup) -> Self {
+        Self {
+            backend: Backend::Replicated(Box::new(ReplicatedGate {
+                single: SingleGate::around(cmdl, true),
+                group,
+                ship_lock: Mutex::new(()),
+                ship_count: AtomicU64::new(0),
+            })),
             metrics: Arc::new(ServiceMetrics::default()),
         }
     }
@@ -177,8 +222,10 @@ impl CmdlService {
         }
     }
 
-    /// Build a service from a lake, dispatching on `config.shards`: one
-    /// catalog when `shards <= 1`, a [`ShardedCmdl`] router otherwise.
+    /// Build a service from a lake, dispatching on the config: a
+    /// [`ShardedCmdl`] router when `shards > 1`, a writer plus
+    /// `config.replicas` read replicas when `replicas > 0` (sharding
+    /// wins if both are set), and one plain catalog otherwise.
     /// This is the config-driven server entry point.
     ///
     /// ```no_run
@@ -194,6 +241,15 @@ impl CmdlService {
     pub fn build(lake: DataLake, config: CmdlConfig) -> Self {
         if config.shards > 1 {
             Self::sharded(ShardedCmdl::build(lake, config))
+        } else if config.replicas > 0 {
+            let replication = ReplicationConfig {
+                replicas: config.replicas,
+                lag_bound: config.replica_lag_bound,
+                ..ReplicationConfig::default()
+            };
+            let cmdl = Cmdl::build(lake, config);
+            let group = ReplicationGroup::new(&cmdl, replication);
+            Self::replicated(cmdl, group)
         } else {
             Self::new(Cmdl::build(lake, config))
         }
@@ -220,8 +276,17 @@ impl CmdlService {
     /// How many shards serve this catalog (`1` for the single backend).
     pub fn num_shards(&self) -> usize {
         match &self.backend {
-            Backend::Single(_) => 1,
+            Backend::Single(_) | Backend::Replicated(_) => 1,
             Backend::Sharded(gate) => gate.router.num_shards(),
+        }
+    }
+
+    /// How many read replicas serve this catalog (`0` for the single and
+    /// sharded backends).
+    pub fn num_replicas(&self) -> usize {
+        match &self.backend {
+            Backend::Replicated(gate) => gate.group.len(),
+            _ => 0,
         }
     }
 
@@ -232,19 +297,16 @@ impl CmdlService {
     /// sharded backend mutations apply synchronously (nothing is queued),
     /// so this is a no-op.
     pub fn flush(&self) {
-        let Backend::Single(gate) = &self.backend else {
-            return;
-        };
-        let mut cmdl = gate
-            .writer
-            .lock()
-            .unwrap_or_else(|poison| poison.into_inner());
-        gate.drain_queue(&mut cmdl);
-        let snapshot = cmdl.snapshot();
-        *gate
-            .published
-            .write()
-            .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
+        match &self.backend {
+            Backend::Single(gate) => gate.flush(),
+            Backend::Sharded(_) => {}
+            Backend::Replicated(gate) => {
+                // Flush the writer, then ship the flushed feed and pump so
+                // a graceful shutdown leaves the replicas converged.
+                gate.single.flush();
+                gate.sync_replicas();
+            }
+        }
     }
 
     /// Pin the currently published single-catalog generation (cheap: a few
@@ -262,6 +324,14 @@ impl CmdlService {
                 .read()
                 .unwrap_or_else(|poison| poison.into_inner())
                 .clone(),
+            // The writer's own published snapshot — the authoritative
+            // generation, regardless of replica lag.
+            Backend::Replicated(gate) => gate
+                .single
+                .published
+                .read()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .clone(),
             Backend::Sharded(_) => {
                 panic!("CmdlService::snapshot on a sharded service; use sharded_snapshot")
             }
@@ -272,7 +342,7 @@ impl CmdlService {
     /// single-backend service.
     pub fn sharded_snapshot(&self) -> Option<ShardedSnapshot> {
         match &self.backend {
-            Backend::Single(_) => None,
+            Backend::Single(_) | Backend::Replicated(_) => None,
             Backend::Sharded(gate) => Some(
                 gate.published
                     .read()
@@ -282,7 +352,10 @@ impl CmdlService {
         }
     }
 
-    /// Pin the published generation of whichever backend is active.
+    /// Pin the published generation of whichever backend is active. On the
+    /// replicated backend this is where read routing happens: round-robin
+    /// over the replicas within the lag bound, writer snapshot when none
+    /// qualifies.
     fn view(&self) -> View {
         match &self.backend {
             Backend::Single(gate) => View::Single(
@@ -297,6 +370,7 @@ impl CmdlService {
                     .unwrap_or_else(|poison| poison.into_inner())
                     .clone(),
             ),
+            Backend::Replicated(gate) => View::Single(gate.read_snapshot()),
         }
     }
 
@@ -307,6 +381,7 @@ impl CmdlService {
         match &self.backend {
             Backend::Single(gate) => gate.wedged.load(Ordering::SeqCst),
             Backend::Sharded(gate) => gate.wedged.load(Ordering::SeqCst),
+            Backend::Replicated(gate) => gate.single.wedged.load(Ordering::SeqCst),
         }
     }
 
@@ -315,7 +390,7 @@ impl CmdlService {
     pub fn is_reconfiguring(&self) -> bool {
         match &self.backend {
             Backend::Single(gate) => gate.reconfiguring.load(Ordering::SeqCst),
-            Backend::Sharded(_) => false,
+            Backend::Sharded(_) | Backend::Replicated(_) => false,
         }
     }
 
@@ -352,10 +427,13 @@ impl CmdlService {
     }
 
     /// Render the metrics text exposition (counters plus the published
-    /// snapshot's generation and delta pressure).
+    /// snapshot's generation and delta pressure, and — on the replicated
+    /// backend — the per-replica `cmdl_replica_*` series).
     pub fn render_metrics(&self) -> String {
         let (generation, pressure) = self.generation_and_pressure();
-        self.metrics.render(generation, pressure)
+        let mut out = self.metrics.render(generation, pressure);
+        crate::metrics::render_replica_series(&mut out, &self.replica_status(), None);
+        out
     }
 
     /// The generation of the currently published snapshot, without cloning
@@ -371,6 +449,16 @@ impl CmdlService {
             }
             Backend::Sharded(gate) => {
                 gate.published
+                    .read()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .generation
+            }
+            // The writer's published generation: strictly ahead of (or
+            // equal to) every replica, so a cache entry tagged with an
+            // older replica generation can never be mistaken for current.
+            Backend::Replicated(gate) => {
+                gate.single
+                    .published
                     .read()
                     .unwrap_or_else(|poison| poison.into_inner())
                     .generation
@@ -425,6 +513,7 @@ impl CmdlService {
         let response = match request {
             request if request.is_mutation() => self.submit_mutation(request),
             ServiceRequest::Reconfigure(config) => self.reconfigure(config),
+            ServiceRequest::Recover => self.recover(),
             request => self.handle_read(request),
         };
         self.metrics.record(
@@ -505,6 +594,7 @@ impl CmdlService {
                 let mut stats = view.stats();
                 stats.wedged = self.is_wedged();
                 stats.reconfiguring = self.is_reconfiguring();
+                stats.replicas = self.replica_status();
                 ServiceResponse::success(ResponsePayload::Stats(stats))
             }
             ServiceRequest::Health => {
@@ -515,6 +605,7 @@ impl CmdlService {
                     generation: view.generation(),
                     wedged,
                     reconfiguring: self.is_reconfiguring(),
+                    replicas: self.replica_status(),
                 }))
             }
             ServiceRequest::CreateLake { .. }
@@ -536,6 +627,61 @@ impl CmdlService {
         match &self.backend {
             Backend::Single(gate) => gate.submit_mutation(request),
             Backend::Sharded(gate) => gate.submit_mutation(request),
+            Backend::Replicated(gate) => {
+                let response = gate.single.submit_mutation(request);
+                // Ship the feed (ours and anything other drains left
+                // behind), pump the replicas, and tend their health —
+                // whether or not this particular mutation succeeded.
+                gate.sync_replicas();
+                response
+            }
+        }
+    }
+
+    /// Re-run the wedged gate's reconciliation
+    /// ([`Cmdl::recover_after_panic`]) and clear the wedged flag on
+    /// success, so a wedged lake no longer requires a process restart. On
+    /// a healthy gate this is a cheap no-op success (`was_wedged: false`);
+    /// when reconciliation still fails the gate stays wedged and the
+    /// caller gets the typed `Persist` error. The sharded backend has no
+    /// WAL to reconcile from, so a wedged shard router reports a typed
+    /// error instead.
+    pub fn recover(&self) -> ServiceResponse {
+        match &self.backend {
+            Backend::Single(gate) => gate.recover(),
+            Backend::Replicated(gate) => {
+                let response = gate.single.recover();
+                // Only a real un-wedge can have rolled the writer back
+                // behind what was already shipped, which is what forces
+                // every replica back to a checkpoint-consistent copy; a
+                // healthy no-op recover must not churn the replicas
+                // through needless resyncs.
+                if matches!(
+                    response.payload,
+                    Some(ResponsePayload::Recovered {
+                        was_wedged: true,
+                        ..
+                    })
+                ) {
+                    gate.resync_all();
+                }
+                response
+            }
+            Backend::Sharded(gate) => {
+                if gate.wedged.load(Ordering::SeqCst) {
+                    ServiceResponse::failure(ServiceError::with_subject(
+                        ErrorCode::Internal,
+                        "sharded backend has no WAL to reconcile a wedged writer from; \
+                         restart to recover",
+                    ))
+                } else {
+                    let generation = self.published_generation();
+                    ServiceResponse::success(ResponsePayload::Recovered {
+                        generation,
+                        was_wedged: false,
+                    })
+                }
+            }
         }
     }
 
@@ -555,6 +701,31 @@ impl CmdlService {
                 "online reconfiguration is unsupported on the sharded backend; \
                  restart with the new config",
             )),
+            // A rebuilt writer under a new config would strand every
+            // replica (their catalogs were bootstrapped under the old one
+            // and the delta stream is only meaningful between identically
+            // configured catalogs), so refuse rather than half-apply.
+            Backend::Replicated(_) => ServiceResponse::failure(ServiceError::with_subject(
+                ErrorCode::InvalidQuery,
+                "online reconfiguration is unsupported on the replicated backend; \
+                 restart with the new config",
+            )),
+        }
+    }
+
+    /// Per-replica status (name, health, generation, lag, applied batches,
+    /// resyncs), lag measured against the last shipped generation. Empty on
+    /// the single and sharded backends. Surfaced through `/healthz`,
+    /// `/stats`, and the `cmdl_replica_*` metric series.
+    pub fn replica_status(&self) -> Vec<ReplicaStatus> {
+        match &self.backend {
+            Backend::Replicated(gate) => {
+                // Refresh silence-driven health first so a probe observes
+                // Suspect/Down transitions without waiting for a mutation.
+                gate.group.tick();
+                gate.group.status()
+            }
+            _ => Vec::new(),
         }
     }
 
@@ -574,12 +745,90 @@ impl CmdlService {
     fn single_gate(&self) -> &SingleGate {
         match &self.backend {
             Backend::Single(gate) => gate,
+            Backend::Replicated(gate) => &gate.single,
             Backend::Sharded(_) => panic!("test expects the single backend"),
         }
     }
 }
 
 impl SingleGate {
+    /// Wrap a built catalog in a gate. With `feed` set, every successfully
+    /// applied mutation is also captured for a replication shipper (see
+    /// `replica_feed`).
+    fn around(cmdl: Cmdl, feed: bool) -> Self {
+        let published = RwLock::new(cmdl.snapshot());
+        Self {
+            writer: Mutex::new(cmdl),
+            published,
+            queue: Mutex::new(VecDeque::new()),
+            wedged: AtomicBool::new(false),
+            recording: Mutex::new(None),
+            reconfiguring: AtomicBool::new(false),
+            replica_feed: Mutex::new(feed.then(Vec::new)),
+        }
+    }
+
+    /// Drain the writer queue and publish the resulting snapshot (the
+    /// graceful-shutdown flush of this gate).
+    fn flush(&self) {
+        let mut cmdl = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        self.drain_queue(&mut cmdl);
+        let snapshot = cmdl.snapshot();
+        *self
+            .published
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
+    }
+
+    /// Take everything the drains have fed since the last take (empty when
+    /// the feed is inactive). Callers hold the ship lock, never the writer.
+    fn take_feed(&self) -> Vec<(DeltaRecord, u64)> {
+        self.replica_feed
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Re-run panic reconciliation for a wedged gate (the `Recover`
+    /// request): abort any danglingly-logged records and reload memory
+    /// from the segment + WAL tail, exactly as the in-gate compensation
+    /// attempted. Success clears the wedged flag and republishes; failure
+    /// leaves the gate wedged and reports the typed `Persist` error. On a
+    /// healthy gate this is a drain-and-publish no-op success.
+    fn recover(&self) -> ServiceResponse {
+        let mut cmdl = self
+            .writer
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        self.drain_queue(&mut cmdl);
+        let was_wedged = self.wedged.load(Ordering::SeqCst);
+        if was_wedged {
+            let mark = cmdl.wal_mark();
+            if let Err(error) = cmdl.recover_after_panic(mark) {
+                return ServiceResponse::failure(ServiceError::with_subject(
+                    ErrorCode::Persist,
+                    format!("recovery failed; the writer gate stays wedged: {error}"),
+                ));
+            }
+            self.wedged.store(false, Ordering::SeqCst);
+        }
+        let snapshot = cmdl.snapshot();
+        let generation = snapshot.generation;
+        *self
+            .published
+            .write()
+            .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
+        ServiceResponse::success(ResponsePayload::Recovered {
+            generation,
+            was_wedged,
+        })
+    }
+
     /// Enqueue a mutation, then compete for the writer gate. The winner
     /// drains the whole queue (flat combining) and publishes one snapshot
     /// for the batch; losers find their result already filled in.
@@ -670,6 +919,36 @@ impl SingleGate {
                 .unwrap_or_else(|poison| poison.into_inner())
                 .is_some()
                 .then(|| pending.request.clone());
+            // When this gate feeds a replication group, derive the delta
+            // record the writer's WAL path logs (or would log) for this
+            // mutation — cloned before the apply consumes the request,
+            // kept only if the apply succeeds.
+            let feed_copy = self
+                .replica_feed
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .is_some()
+                .then(|| match &pending.request {
+                    ServiceRequest::IngestTable(table) => {
+                        Some(DeltaRecord::Wal(WalRecord::IngestTable(table.clone())))
+                    }
+                    ServiceRequest::IngestDocument(document) => Some(DeltaRecord::Wal(
+                        WalRecord::IngestDocument(document.clone()),
+                    )),
+                    ServiceRequest::RemoveTable { name } => {
+                        Some(DeltaRecord::Wal(WalRecord::RemoveTable {
+                            name: name.clone(),
+                        }))
+                    }
+                    ServiceRequest::RemoveDocument { index } => {
+                        Some(DeltaRecord::Wal(WalRecord::RemoveDocument {
+                            index: *index,
+                        }))
+                    }
+                    ServiceRequest::Compact => Some(DeltaRecord::Compact),
+                    _ => None,
+                })
+                .flatten();
             let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 Self::apply_mutation(&mut *cmdl, pending.request)
             }))
@@ -700,6 +979,19 @@ impl SingleGate {
                         .as_mut()
                     {
                         log.push(request);
+                    }
+                }
+                if let Some(record) = feed_copy {
+                    if let Some(feed) = self
+                        .replica_feed
+                        .lock()
+                        .unwrap_or_else(|poison| poison.into_inner())
+                        .as_mut()
+                    {
+                        // Stamped with the generation the mutation landed
+                        // at; the shipper uses the last stamp in a batch as
+                        // the target generation.
+                        feed.push((record, cmdl.generation()));
                     }
                 }
             }
@@ -905,6 +1197,119 @@ impl SingleGate {
             other => {
                 debug_assert!(false, "read {} routed to writer gate", other.kind());
                 ServiceResponse::failure(ServiceError::new(ErrorCode::Internal))
+            }
+        }
+    }
+}
+
+impl ReplicatedGate {
+    /// Route a read: a replica within the lag bound when one qualifies,
+    /// the writer's own published snapshot otherwise (degraded, never an
+    /// error).
+    fn read_snapshot(&self) -> CatalogSnapshot {
+        match self.group.route() {
+            Some((_, snapshot)) => snapshot,
+            None => self
+                .single
+                .published
+                .read()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .clone(),
+        }
+    }
+
+    /// Ship the accumulated delta feed, pump every replica, resync the
+    /// ones whose stream is beyond in-place repair, and advance the
+    /// heartbeat sweep. Called after every mutation drain and on flush;
+    /// the ship lock serializes shippers so batches stay densely
+    /// sequenced (a mutator that finds the lock held simply leaves its
+    /// feed entry for the current holder's next take).
+    fn sync_replicas(&self) {
+        let _ship = self
+            .ship_lock
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        self.ship_feed();
+        for i in self.group.pump_all() {
+            self.resync_replica(i);
+        }
+        self.group.tick();
+    }
+
+    /// Take whatever the drains accumulated and ship it as one batch,
+    /// retrying failed ships with jittered exponential backoff. Caller
+    /// holds the ship lock.
+    fn ship_feed(&self) {
+        let feed = self.single.take_feed();
+        let Some(target) = feed.last().map(|(_, generation)| *generation) else {
+            return;
+        };
+        let records: Vec<DeltaRecord> = feed.into_iter().map(|(record, _)| record).collect();
+        let config = self.group.config();
+        // Deterministic per config seed, decorrelated per ship and per
+        // replica.
+        let base_seed = config
+            .seed
+            .wrapping_add(self.ship_count.fetch_add(1, Ordering::SeqCst) << 8);
+        let mut backoffs: Vec<Backoff> = (0..self.group.len())
+            .map(|i| {
+                Backoff::seeded(
+                    config.retry_base,
+                    config.retry_cap,
+                    base_seed.wrapping_add(i as u64),
+                )
+            })
+            .collect();
+        self.group.ship(&records, target, &mut |replica, _attempt| {
+            backoffs[replica].sleep();
+        });
+    }
+
+    /// Resync replica `i` from the writer's checkpoint. Caller holds the
+    /// ship lock; the writer gate is held across drain → ship → clone so
+    /// the installed catalog's generation equals the shipped generation
+    /// and every batch the replica sees afterwards applies cleanly on top.
+    fn resync_replica(&self, i: usize) {
+        self.group.mark_recovering(i);
+        let clone = {
+            let mut cmdl = self
+                .single
+                .writer
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner());
+            self.single.drain_queue(&mut cmdl);
+            let snapshot = cmdl.snapshot();
+            *self
+                .single
+                .published
+                .write()
+                .unwrap_or_else(|poison| poison.into_inner()) = snapshot;
+            // Ship what that drain fed (lock order writer → feed holds —
+            // the ship lock is already ours) so the stream position read
+            // below matches the clone.
+            self.ship_feed();
+            match cmdl.resync_clone() {
+                // The durable-state clone is only installable if it caught
+                // all the way up to the in-memory catalog (the WAL tail can
+                // trail pure-compaction generations, which are not logged).
+                Ok(clone) if clone.generation() == cmdl.generation() => clone,
+                Ok(_) | Err(_) => Cmdl::from_snapshot(cmdl.snapshot()),
+            }
+        };
+        self.group
+            .install_resynced(i, clone, self.group.current_seq());
+    }
+
+    /// Resync every live replica (after a writer-side recovery rewound
+    /// acknowledged state, the delta stream is no longer trustworthy).
+    fn resync_all(&self) {
+        let _ship = self
+            .ship_lock
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner());
+        for i in 0..self.group.len() {
+            if self.group.replica(i).is_alive() {
+                self.resync_replica(i);
             }
         }
     }
@@ -1257,5 +1662,175 @@ mod tests {
             Some(ErrorCode::UnknownTable)
         );
         assert!(sharded.handle(ServiceRequest::Compact).ok);
+    }
+
+    fn replicated_service(replicas: usize) -> CmdlService {
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        let mut config = CmdlConfig::fast();
+        config.replicas = replicas;
+        CmdlService::build(lake, config)
+    }
+
+    #[test]
+    fn replicated_service_keeps_bit_parity_with_single() {
+        let single = service();
+        let replicated = replicated_service(2);
+        assert_eq!(replicated.num_replicas(), 2);
+        assert_eq!(single.num_replicas(), 0);
+        // Same mutations against both backends.
+        for service in [&single, &replicated] {
+            assert!(
+                service
+                    .ingest_table(Table::new(
+                        "Parity_T",
+                        vec![Column::from_texts("v", ["alpha", "beta"])],
+                    ))
+                    .ok
+            );
+            assert!(
+                service
+                    .ingest_document(Document::new("n", "s", "replicated parity note"))
+                    .ok
+            );
+        }
+        let request = ServiceRequest::Query(QueryBuilder::keyword("parity").top_k(5).build());
+        let (a, b) = (single.handle(request.clone()), replicated.handle(request));
+        match (a.payload, b.payload) {
+            (Some(ResponsePayload::Query(qa)), Some(ResponsePayload::Query(qb))) => {
+                assert_eq!(qa.hits, qb.hits, "replica reads must keep bit parity");
+            }
+            other => panic!("wrong payloads: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replicated_health_stats_and_metrics_report_replicas() {
+        let replicated = replicated_service(2);
+        assert!(
+            replicated
+                .ingest_document(Document::new("n", "s", "replica visible"))
+                .ok
+        );
+        match replicated.handle(ServiceRequest::Health).payload {
+            Some(ResponsePayload::Health(h)) => {
+                assert_eq!(h.status, "ok");
+                assert_eq!(h.replicas.len(), 2);
+                for replica in &h.replicas {
+                    assert_eq!(replica.health, "healthy");
+                    assert_eq!(replica.lag, 0, "synchronous shipping leaves no lag");
+                }
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+        match replicated.handle(ServiceRequest::Stats).payload {
+            Some(ResponsePayload::Stats(stats)) => {
+                assert_eq!(stats.replicas.len(), 2);
+                assert!(stats.replicas.iter().all(|r| r.applied_batches >= 1));
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+        let text = replicated.render_metrics();
+        assert!(text.contains("cmdl_replica_health_state{replica=\"r0\""));
+        assert!(text.contains("cmdl_replica_lag_generations{replica=\"r1\"}"));
+        // The non-replicated backends expose no replica series at all.
+        assert!(!service().render_metrics().contains("cmdl_replica_"));
+    }
+
+    #[test]
+    fn replicated_backend_rejects_online_reconfiguration() {
+        let replicated = replicated_service(1);
+        let response = replicated.handle(ServiceRequest::Reconfigure(CmdlConfig::fast()));
+        assert_eq!(response.error_code(), Some(ErrorCode::InvalidQuery));
+    }
+
+    #[test]
+    fn recover_on_healthy_gates_is_a_noop_success() {
+        for service in [service(), replicated_service(1), sharded_service(2)] {
+            let response = service.handle(ServiceRequest::Recover);
+            assert!(response.ok, "healthy gates recover as a no-op");
+            match response.payload {
+                Some(ResponsePayload::Recovered { was_wedged, .. }) => {
+                    assert!(!was_wedged);
+                }
+                other => panic!("wrong payload: {other:?}"),
+            }
+            // A no-op recover must not churn healthy replicas through
+            // needless resync-from-checkpoint cycles.
+            assert!(
+                service.replica_status().iter().all(|r| r.resyncs == 0),
+                "healthy recover forced a resync: {:?}",
+                service.replica_status()
+            );
+        }
+    }
+
+    #[test]
+    fn recover_rewedges_until_the_manifest_returns() {
+        if !cfg!(debug_assertions) {
+            // The wedge is induced by the debug assertion on a smuggled
+            // read request; release builds answer it without panicking.
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "cmdl-service-recover-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+        let service =
+            CmdlService::open(&dir, CmdlConfig::fast(), move || lake).expect("durable open");
+        assert!(
+            service
+                .ingest_document(Document::new("n", "s", "durable note"))
+                .ok
+        );
+        // Hide the manifest so the in-gate compensation (and any later
+        // reconciliation) cannot reload from the checkpoint.
+        let manifest = dir.join("MANIFEST");
+        let aside = dir.join("MANIFEST.aside");
+        std::fs::rename(&manifest, &aside).expect("move manifest aside");
+        let slot = Arc::new(Mutex::new(None));
+        service
+            .single_gate()
+            .queue
+            .lock()
+            .unwrap()
+            .push_back(PendingMutation {
+                request: ServiceRequest::Stats,
+                result: Arc::clone(&slot),
+            });
+        service.flush();
+        assert!(!slot.lock().unwrap().take().expect("slot filled").ok);
+        assert!(service.is_wedged(), "failed compensation wedges the gate");
+        // Recover re-runs reconciliation; with the manifest still missing
+        // it fails with a typed persistence error and stays wedged.
+        let failed = service.handle(ServiceRequest::Recover);
+        assert_eq!(failed.error_code(), Some(ErrorCode::Persist));
+        assert!(service.is_wedged());
+        assert_eq!(
+            service
+                .ingest_document(Document::new("n2", "s", "refused"))
+                .error_code(),
+            Some(ErrorCode::Internal),
+            "a wedged gate refuses mutations"
+        );
+        // Repair the directory and recover for real.
+        std::fs::rename(&aside, &manifest).expect("restore manifest");
+        let recovered = service.handle(ServiceRequest::Recover);
+        assert!(recovered.ok, "recover succeeds once the manifest is back");
+        match recovered.payload {
+            Some(ResponsePayload::Recovered { was_wedged, .. }) => assert!(was_wedged),
+            other => panic!("wrong payload: {other:?}"),
+        }
+        assert!(!service.is_wedged());
+        // The acked mutation survived and the gate serves writes again.
+        assert!(service.snapshot().stats().documents >= 1);
+        assert!(
+            service
+                .ingest_document(Document::new("n3", "s", "serving again"))
+                .ok
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

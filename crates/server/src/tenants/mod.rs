@@ -312,11 +312,19 @@ impl TenantHub {
     /// then every tenant's `tenant`-labeled request/error/latency series
     /// and per-tenant health gauges, sorted by name.
     pub fn render_metrics(&self) -> String {
-        let (generation, pressure) = self
-            .tenant(DEFAULT_TENANT)
+        let default = self.tenant(DEFAULT_TENANT);
+        let (generation, pressure) = default
+            .as_ref()
             .map(|tenant| tenant.service.generation_and_pressure())
             .unwrap_or((0, 0.0));
         let mut out = self.global.render(generation, pressure);
+        // The un-labeled `cmdl_replica_*` family also gauges on the
+        // default tenant, so a single-tenant server's exposition matches
+        // `CmdlService::render_metrics` exactly (non-replicated backends
+        // report no replicas and emit nothing here).
+        if let Some(tenant) = &default {
+            crate::metrics::render_replica_series(&mut out, &tenant.service.replica_status(), None);
+        }
         let mut tenants = self.snapshot_tenants();
         tenants.sort_by(|a, b| a.name.cmp(&b.name));
         for tenant in tenants {
@@ -336,6 +344,11 @@ impl TenantHub {
                 tenant.name,
                 u8::from(info.reconfiguring)
             ));
+            crate::metrics::render_replica_series(
+                &mut out,
+                &tenant.service.replica_status(),
+                Some(&tenant.name),
+            );
         }
         out
     }

@@ -1,0 +1,135 @@
+//! Wire-contract tests for the replicated backend: the JSON envelopes a
+//! client sees (`Health`, `Stats`, `Recover`), the HTTP route that maps to
+//! `Recover`, and the per-replica Prometheus series — all through the same
+//! bytes-in/bytes-out path the HTTP front end uses.
+
+use cmdl_core::{CmdlConfig, ErrorCode, QueryBuilder};
+use cmdl_datalake::{synth, Column, Document, Table};
+use cmdl_server::{
+    route_envelope, CmdlService, ResponsePayload, ServiceRequest, ServiceResponse, TenantHub,
+};
+
+fn replicated_service(replicas: usize) -> CmdlService {
+    let lake = synth::pharma::generate(&synth::PharmaConfig::tiny()).lake;
+    let mut config = CmdlConfig::fast();
+    config.replicas = replicas;
+    CmdlService::build(lake, config)
+}
+
+fn round_trip(service: &CmdlService, request: &ServiceRequest) -> ServiceResponse {
+    let request_json = serde_json::to_string(request).expect("request serializes");
+    let response_bytes = service.handle_json_bytes(request_json.as_bytes());
+    let response_json = std::str::from_utf8(&response_bytes).expect("response is UTF-8");
+    serde_json::from_str(response_json).expect("response parses back")
+}
+
+#[test]
+fn replicated_service_answers_the_wire_contract() {
+    let replicated = replicated_service(2);
+    assert_eq!(replicated.num_replicas(), 2);
+    assert!(
+        replicated
+            .ingest_table(Table::new(
+                "Wire_T",
+                vec![Column::from_texts("v", ["alpha", "beta"])],
+            ))
+            .ok
+    );
+    assert!(
+        replicated
+            .ingest_document(Document::new("n", "s", "a replicated wire note"))
+            .ok
+    );
+    // Queries are served from a replica snapshot yet answer the same
+    // envelope as every other backend.
+    let query = round_trip(
+        &replicated,
+        &ServiceRequest::Query(QueryBuilder::keyword("replicated").top_k(5).build()),
+    );
+    assert!(query.ok);
+    match query.payload {
+        Some(ResponsePayload::Query(inner)) => assert!(!inner.hits.is_empty()),
+        other => panic!("wrong payload: {other:?}"),
+    }
+    // Health carries the per-replica status block over the wire.
+    let health = round_trip(&replicated, &ServiceRequest::Health);
+    match health.payload {
+        Some(ResponsePayload::Health(h)) => {
+            assert_eq!(h.status, "ok");
+            assert_eq!(h.replicas.len(), 2);
+            assert_eq!(h.replicas[0].name, "r0");
+            assert!(h
+                .replicas
+                .iter()
+                .all(|r| r.health == "healthy" && r.lag == 0));
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+    // So does Stats.
+    let stats = round_trip(&replicated, &ServiceRequest::Stats);
+    match stats.payload {
+        Some(ResponsePayload::Stats(s)) => {
+            assert_eq!(s.replicas.len(), 2);
+            assert!(s.replicas.iter().all(|r| r.applied_batches >= 1));
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+    // And the exposition text names each replica.
+    let text = replicated.render_metrics();
+    for series in [
+        "cmdl_replica_generation{replica=\"r0\"}",
+        "cmdl_replica_lag_generations{replica=\"r1\"}",
+        "cmdl_replica_applied_batches_total{replica=\"r0\"}",
+        "cmdl_replica_resyncs_total{replica=\"r1\"}",
+        "cmdl_replica_health_state{replica=\"r0\",health=\"healthy\"}",
+    ] {
+        assert!(text.contains(series), "missing series: {series}");
+    }
+}
+
+#[test]
+fn hub_exposition_carries_replica_series_for_the_default_tenant() {
+    // The HTTP `/metrics` handler renders through the tenant hub, not
+    // `CmdlService::render_metrics` — the hub must still expose the
+    // un-labeled `cmdl_replica_*` family (gauged on the default tenant)
+    // alongside the `tenant`-labeled copies.
+    let hub = TenantHub::single(std::sync::Arc::new(replicated_service(2)));
+    let text = hub.render_metrics();
+    for series in [
+        "cmdl_replica_generation{replica=\"r0\"}",
+        "cmdl_replica_health_state{replica=\"r1\",health=\"healthy\"}",
+        "cmdl_tenant_replica_generation{tenant=\"default\",replica=\"r0\"}",
+        "cmdl_tenant_replica_resyncs_total{tenant=\"default\",replica=\"r1\"} 0",
+    ] {
+        assert!(text.contains(series), "missing series: {series}\n{text}");
+    }
+}
+
+#[test]
+fn recover_route_and_envelope_round_trip() {
+    // The HTTP router maps the admin endpoint to the Recover envelope.
+    assert_eq!(
+        route_envelope("POST", "/admin/recover", "").as_deref(),
+        Some("\"Recover\"")
+    );
+    // A healthy replicated gate answers it as a no-op success.
+    let replicated = replicated_service(1);
+    let response = round_trip(&replicated, &ServiceRequest::Recover);
+    assert!(response.ok);
+    match response.payload {
+        Some(ResponsePayload::Recovered {
+            generation,
+            was_wedged,
+        }) => {
+            assert_eq!(generation, 0);
+            assert!(!was_wedged);
+        }
+        other => panic!("wrong payload: {other:?}"),
+    }
+    // Online reconfiguration is refused with a typed error, not a panic.
+    let refused = round_trip(
+        &replicated,
+        &ServiceRequest::Reconfigure(CmdlConfig::fast()),
+    );
+    assert_eq!(refused.error_code(), Some(ErrorCode::InvalidQuery));
+}
